@@ -1,0 +1,76 @@
+/// \file bench_fig_adaptive.cpp
+/// \brief Figure C: adaptive vs uniform OPM (paper §III-B).
+///
+/// Workload: a stiff two-time-scale circuit (fast 50 ps supply transient,
+/// slow 20 ns drift) plus a sharp mid-window pulse — uniform stepping must
+/// resolve the fastest feature everywhere, adaptive refines locally.
+/// Reported: steps used, runtime, and error vs a fine reference, for
+/// uniform OPM at several m and adaptive OPM at several tolerances.
+/// Expected shape: at equal accuracy the adaptive run uses ~5-20x fewer
+/// steps ("a more flexible simulation with lower runtime").
+
+#include <cstdio>
+
+#include "opm/adaptive.hpp"
+#include "opm/solver.hpp"
+#include "util/denormals.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace opmsim;
+
+namespace {
+
+/// diag(-1/50ps, -1/20ns) with unit drive gains.
+opm::DenseDescriptorSystem two_scale_system() {
+    opm::DenseDescriptorSystem s;
+    s.e = la::Matrixd::identity(2);
+    s.a = la::Matrixd{{-2e10, 0.0}, {0.0, -5e7}};
+    s.b = la::Matrixd{{2e10, 1e10}, {5e7, 5e7}};
+    return s;
+}
+
+} // namespace
+
+int main() {
+    opmsim::enable_flush_to_zero();
+    const double t_end = 50e-9;
+    const auto sys = two_scale_system();
+    // channel 0: supply step at t=0; channel 1: sharp pulse mid-window.
+    const std::vector<wave::Source> u = {
+        wave::step(1.0), wave::pulse(0.3, 25e-9, 0.2e-9, 1e-9, 0.2e-9)};
+
+    const auto ref = opm::simulate_opm(sys, u, t_end, 100000);
+
+    std::printf("Figure C -- adaptive vs uniform OPM, stiff two-scale "
+                "circuit, T=50ns\n\n");
+    TextTable tab;
+    tab.set_header({"Method", "steps", "runtime", "err vs ref (dB)"});
+
+    for (const la::index_t m : {250, 1000, 4000, 16000}) {
+        WallTimer t;
+        const auto r = opm::simulate_opm(sys, u, t_end, m);
+        const double ms = t.elapsed_ms();
+        tab.add_row({"uniform", std::to_string(m), fmt_ms(ms),
+                     fmt_db(wave::average_relative_error_db(ref.outputs, r.outputs))});
+    }
+
+    for (const double tol : {1e-2, 1e-3, 1e-4, 1e-5}) {
+        opm::AdaptiveOptions opt;
+        opt.tol = tol;
+        opt.h_init = 1e-11;
+        opt.h_max = t_end / 8;
+        WallTimer t;
+        const auto r = opm::simulate_opm_adaptive(sys, u, t_end, opt);
+        const double ms = t.elapsed_ms();
+        char name[48];
+        std::snprintf(name, sizeof name, "adaptive tol=%g", tol);
+        tab.add_row({name, std::to_string(r.accepted), fmt_ms(ms),
+                     fmt_db(wave::average_relative_error_db(ref.outputs, r.outputs))});
+    }
+    tab.print();
+    std::printf("\nshape check: at matched accuracy the adaptive runs use "
+                "roughly an order of\nmagnitude fewer steps than uniform "
+                "stepping (compare rows of similar dB)\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/// \file bench_fig_alpha_sweep.cpp
+/// \brief Figure E: fractional-order sweep — OPM vs Grünwald–Letnikov vs
+///        FFT against the analytic Mittag-Leffler solution.
+///
+/// Scalar FDE d^alpha x = -x + u (unit step), alpha in [0.25, 1.75],
+/// fixed budget of m = 256 intervals over [0, 2].  Reported: relative
+/// error (dB) of each solver vs the Mittag-Leffler closed form.
+/// Expected shape: OPM and GL are accurate across the whole range (a few
+/// tens of dB down), with accuracy degrading as alpha -> 0 (the t^alpha
+/// start-up singularity sharpens); the FFT method trails because of its
+/// periodic-extension error on the step input.
+
+#include <cmath>
+#include <cstdio>
+
+#include "opm/mittag_leffler.hpp"
+#include "opm/solver.hpp"
+#include "transient/fft_solver.hpp"
+#include "transient/grunwald.hpp"
+#include "util/denormals.hpp"
+#include "util/table.hpp"
+
+using namespace opmsim;
+
+namespace {
+
+opm::DenseDescriptorSystem scalar_system(double lambda) {
+    opm::DenseDescriptorSystem s;
+    s.e = la::Matrixd{{1.0}};
+    s.a = la::Matrixd{{lambda}};
+    s.b = la::Matrixd{{1.0}};
+    return s;
+}
+
+} // namespace
+
+int main() {
+    opmsim::enable_flush_to_zero();
+    const double t_end = 2.0;
+    const la::index_t m = 256;
+    const auto sys = scalar_system(-1.0);
+    const std::vector<wave::Source> u = {wave::step(1.0)};
+
+    std::printf("Figure E -- error vs differential order alpha "
+                "(d^a x = -x + 1, T=2, m=%d)\n\n", static_cast<int>(m));
+    TextTable tab;
+    tab.set_header({"alpha", "OPM (diff)", "OPM (integral)", "GL", "FFT"});
+
+    for (const double alpha :
+         {0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 1.75}) {
+        // Analytic reference on a fine grid.
+        la::Vectord tg = wave::linspace(1e-3, t_end * 0.999, 600);
+        la::Vectord xv(tg.size());
+        for (std::size_t k = 0; k < tg.size(); ++k)
+            xv[k] = opm::ml_step_response(alpha, -1.0, 1.0, tg[k]);
+        const wave::Waveform exact(tg, xv);
+
+        opm::OpmOptions od;
+        od.alpha = alpha;
+        const auto ro = opm::simulate_opm(sys, u, t_end, m, od);
+        opm::OpmOptions oi = od;
+        oi.form = opm::OpmForm::integral;
+        const auto ri = opm::simulate_opm(sys, u, t_end, m, oi);
+        const auto rg = transient::simulate_grunwald(sys.to_sparse(), u, t_end,
+                                                     m, {alpha});
+        const auto rf = transient::simulate_fft(sys, u, t_end,
+                                                {alpha, static_cast<la::index_t>(m)});
+
+        tab.add_row({fmt_g(alpha, 3),
+                     fmt_db(wave::relative_error_db(exact, ro.outputs[0])),
+                     fmt_db(wave::relative_error_db(exact, ri.outputs[0])),
+                     fmt_db(wave::relative_error_db(exact, rg.outputs[0])),
+                     fmt_db(wave::relative_error_db(exact, rf.outputs[0]))});
+    }
+    tab.print();
+    std::printf("\nshape checks: time-domain methods (OPM/GL) beat the FFT "
+                "baseline across the sweep;\nOPM tracks GL within a few dB "
+                "at every order\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/// \file bench_fig_basis_ablation.cpp
+/// \brief Figure D: OPM across basis families (paper §I's claim that "OPM
+///        can readily switch to using other basis functions, each having
+///        its own merits").
+///
+/// The generic-basis OPM solver runs the same RC circuit under block-pulse,
+/// Walsh, Haar and shifted-Legendre bases, for a smooth drive and for a
+/// discontinuous one, sweeping the basis size m.  Expected shape:
+///  * smooth drive: Legendre converges spectrally (best at small m);
+///  * discontinuous drive: the piecewise-constant bases win (no Gibbs);
+///    Walsh/Haar/BPF are algebraically equivalent projections here, and
+///    Walsh's low-sequency truncation shows the "overall trend" behavior
+///    the paper mentions.
+
+#include <cstdio>
+#include <memory>
+
+#include "basis/bpf.hpp"
+#include "basis/haar.hpp"
+#include "basis/laguerre.hpp"
+#include "basis/legendre.hpp"
+#include "basis/walsh.hpp"
+#include "opm/solver.hpp"
+#include "util/denormals.hpp"
+#include "util/table.hpp"
+
+using namespace opmsim;
+
+namespace {
+
+opm::DenseDescriptorSystem rc_system() {
+    opm::DenseDescriptorSystem s;
+    s.e = la::Matrixd{{0.15}};
+    s.a = la::Matrixd{{-1.0}};
+    s.b = la::Matrixd{{1.0}};
+    return s;
+}
+
+std::unique_ptr<basis::Basis> make_basis(int kind, double t_end, la::index_t m) {
+    switch (kind) {
+    case 0: return std::make_unique<basis::BpfBasis>(t_end, m);
+    case 1: return std::make_unique<basis::WalshBasis>(t_end, m);
+    case 2: return std::make_unique<basis::HaarBasis>(t_end, m);
+    case 3: return std::make_unique<basis::LegendreBasis>(t_end, m);
+    default: return std::make_unique<basis::LaguerreBasis>(t_end, m);
+    }
+}
+
+} // namespace
+
+int main() {
+    opmsim::enable_flush_to_zero();
+    const double t_end = 1.0;
+    const auto sys = rc_system();
+
+    const wave::Source smooth = wave::sine(1.0, 1.0);
+    const wave::Source rough = wave::pulse_train(1.0, 0.1, 0.0, 0.2, 0.0, 0.45);
+
+    std::printf("Figure D -- generic-basis OPM accuracy (relative error vs "
+                "fine reference, dB)\n\n");
+    for (const auto& [name, src] :
+         {std::pair<const char*, const wave::Source*>{"smooth sine drive", &smooth},
+          {"discontinuous pulse-train drive", &rough}}) {
+        const auto ref = opm::simulate_opm(sys, {*src}, t_end, 16384);
+        std::printf("%s:\n", name);
+        TextTable tab;
+        tab.set_header({"m", "block-pulse", "walsh", "haar", "legendre", "laguerre"});
+        for (const la::index_t m : {8, 16, 32, 64}) {
+            std::vector<std::string> row = {std::to_string(m)};
+            for (int kind = 0; kind < 5; ++kind) {
+                const auto bas = make_basis(kind, t_end, m);
+                const auto r = opm::simulate_generic_basis(sys, {*src}, *bas);
+                row.push_back(fmt_db(
+                    wave::relative_error_db(ref.outputs[0], r.outputs[0])));
+            }
+            tab.add_row(std::move(row));
+        }
+        tab.print();
+        std::printf("\n");
+    }
+    std::printf("shape checks: Legendre best on the smooth drive; "
+                "piecewise-constant bases robust on the discontinuous one\n");
+    return 0;
+}

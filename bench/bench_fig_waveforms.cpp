@@ -1,0 +1,69 @@
+/// \file bench_fig_waveforms.cpp
+/// \brief Figure A: response waveform overlay for the Table I experiment.
+///
+/// §V-A of the paper discusses how close the FFT waveforms are to OPM's;
+/// this binary prints the actual series (far-end voltage of the fractional
+/// transmission line) for OPM (m = 8 and m = 64), FFT-1, FFT-2, and the
+/// fine Grünwald–Letnikov reference, as tab-separated columns ready for
+/// plotting.  Expected shape: OPM-64 hugs the GL reference; FFT-2 close;
+/// FFT-1 visibly distorted (aliased drive); OPM-8 a faithful staircase.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "circuit/tline.hpp"
+#include "opm/solver.hpp"
+#include "transient/fft_solver.hpp"
+#include "transient/grunwald.hpp"
+#include "util/denormals.hpp"
+
+using namespace opmsim;
+
+int main() {
+    opmsim::enable_flush_to_zero();
+    const double t_end = 2.7e-9;
+    const auto tline = circuit::make_fractional_tline();
+    const wave::Source drive = [](double t) {
+        constexpr double w = 2.0e-9;
+        if (t <= 0.0 || t >= w) return 0.0;
+        const double env = std::sin(std::numbers::pi * t / w);
+        return env * env * (1.0 + 0.15 * std::sin(2.0 * std::numbers::pi * 12e9 * t));
+    };
+    const std::vector<wave::Source> u = {drive, wave::step(0.0)};
+
+    opm::OpmOptions oo;
+    oo.alpha = circuit::kTlineAlpha;
+    oo.quad_points = 2;
+    oo.quad_panels = 8;
+    const auto o8 = opm::simulate_opm(tline, u, t_end, 8, oo);
+    const auto o64 = opm::simulate_opm(tline, u, t_end, 64, oo);
+    const auto f1 = transient::simulate_fft(tline, u, t_end, {0.5, 8});
+    const auto f2 = transient::simulate_fft(tline, u, t_end, {0.5, 100});
+    const auto gl = transient::simulate_grunwald(tline.to_sparse(), u, t_end,
+                                                 4000, {0.5});
+
+    std::printf("Figure A -- far-end voltage v2(t), fractional t-line "
+                "(alpha=1/2), T=2.7ns\n");
+    std::printf("# columns: t[ns]  GL-ref  OPM(m=8)  OPM(m=64)  FFT-1(8)  "
+                "FFT-2(100)\n");
+    const std::size_t ch = 1;  // v2
+    for (int k = 0; k <= 90; ++k) {
+        const double t = t_end * k / 90.0;
+        std::printf("%8.4f\t% .6e\t% .6e\t% .6e\t% .6e\t% .6e\n", t * 1e9,
+                    gl.outputs[ch].at(t), o8.outputs[ch].at(t),
+                    o64.outputs[ch].at(t), f1.outputs[ch].at(t),
+                    f2.outputs[ch].at(t));
+    }
+
+    std::printf("\nrelative error vs GL reference (eq. 30):\n");
+    std::printf("  OPM(m=8)  : %6.1f dB\n",
+                wave::relative_error_db(gl.outputs[ch], o8.outputs[ch]));
+    std::printf("  OPM(m=64) : %6.1f dB\n",
+                wave::relative_error_db(gl.outputs[ch], o64.outputs[ch]));
+    std::printf("  FFT-1     : %6.1f dB\n",
+                wave::relative_error_db(gl.outputs[ch], f1.outputs[ch]));
+    std::printf("  FFT-2     : %6.1f dB\n",
+                wave::relative_error_db(gl.outputs[ch], f2.outputs[ch]));
+    return 0;
+}

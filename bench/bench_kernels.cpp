@@ -1,0 +1,91 @@
+/// \file bench_kernels.cpp
+/// \brief google-benchmark microbenchmarks of opmsim's primitives: the
+///        operational-matrix construction, sparse LU, the OPM column sweep
+///        and the FFT substrate.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "basis/walsh.hpp"
+#include "circuit/power_grid.hpp"
+#include "circuit/tline.hpp"
+#include "fftx/fft.hpp"
+#include "la/sparse_lu.hpp"
+#include "opm/operational.hpp"
+#include "opm/solver.hpp"
+#include "wave/sources.hpp"
+
+using namespace opmsim;
+
+namespace {
+
+void BM_FracToeplitz(benchmark::State& state) {
+    const la::index_t m = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opm::frac_differential_toeplitz(0.5, 1e-9, m));
+    }
+}
+BENCHMARK(BM_FracToeplitz)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AdaptiveFracMatrix(benchmark::State& state) {
+    const la::index_t m = state.range(0);
+    la::Vectord steps(static_cast<std::size_t>(m));
+    for (la::index_t i = 0; i < m; ++i)
+        steps[static_cast<std::size_t>(i)] = 1e-9 * (1.0 + 0.01 * static_cast<double>(i));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opm::frac_differential_matrix_adaptive(0.5, steps));
+    }
+}
+BENCHMARK(BM_AdaptiveFracMatrix)->Arg(16)->Arg(64);
+
+void BM_SparseLuGrid(benchmark::State& state) {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = state.range(0);
+    spec.nz = 3;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    const la::CscMatrix pencil =
+        la::CscMatrix::add(2.0 / 1e-11, pg.mna.e, -1.0, pg.mna.a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(la::SparseLu(pencil));
+    }
+}
+BENCHMARK(BM_SparseLuGrid)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_OpmSweepFractional(benchmark::State& state) {
+    const la::index_t m = state.range(0);
+    const auto tline = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::step(0.0)};
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opm::simulate_opm(tline, u, 2.7e-9, m, opt));
+    }
+}
+BENCHMARK(BM_OpmSweepFractional)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_Fft(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<fftx::cplx> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = fftx::cplx(std::sin(0.1 * static_cast<double>(i)), 0.0);
+    for (auto _ : state) {
+        auto y = x;
+        fftx::fft(y);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_Fft)->Arg(100)->Arg(128)->Arg(1024);
+
+void BM_Fwht(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    la::Vectord x(n, 1.0);
+    for (auto _ : state) {
+        auto y = x;
+        basis::fwht(y);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_Fwht)->Arg(256)->Arg(4096);
+
+} // namespace

@@ -1,0 +1,131 @@
+/// \file bench_table2_power_grid.cpp
+/// \brief Reproduces Table II: OPM vs classic steppers on a 3-D power grid.
+///
+/// Paper setup (§V-B): a 3-D RLC power grid; the second-order NA model
+/// (75 K states) is simulated with OPM at h = 10 ps, while the MNA model
+/// (110 K states) is simulated with backward Euler (h = 10/5/1 ps), Gear
+/// and trapezoidal (h = 10 ps).  Reported: runtime and average relative
+/// error of each baseline against OPM.
+///
+/// Paper values:  b-Euler 10ps 334.7s/-91dB, 5ps 691.7s/-92dB,
+///                1ps 3198s/-127dB; Gear 10ps 359.1s/-134dB;
+///                Trap 10ps 347.2s/-137dB; OPM 10ps 314.6s/-.
+/// Expected shape: all methods within a small factor in runtime at equal h
+/// (one factorization + m solves dominates, and OPM's model is smaller);
+/// b-Euler error decreasing with h; trapezoidal/Gear far closer to OPM
+/// than b-Euler (OPM's alpha=1 recurrence *is* the trapezoidal rule).
+///
+/// Default grid is laptop-sized (20x20x3 -> 1.2 K / 2 K states); pass
+/// --paper-scale for the 75 K / 125 K reproduction (minutes of runtime),
+/// or --nx/--ny/--nz to choose.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "circuit/power_grid.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/steppers.hpp"
+#include "util/denormals.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace opmsim;
+
+int main(int argc, char** argv) {
+    opmsim::enable_flush_to_zero();
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 20;
+    spec.nz = 3;
+    double t_end = 1e-9;
+    double h0 = 10e-12;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", what);
+                std::exit(2);
+            }
+            return std::atof(argv[++i]);
+        };
+        if (arg == "--nx") spec.nx = static_cast<la::index_t>(next("--nx"));
+        else if (arg == "--ny") spec.ny = static_cast<la::index_t>(next("--ny"));
+        else if (arg == "--nz") spec.nz = static_cast<la::index_t>(next("--nz"));
+        else if (arg == "--t-end") t_end = next("--t-end");
+        else if (arg == "--h") h0 = next("--h");
+        else if (arg == "--paper-scale") { spec.nx = spec.ny = 158; spec.nz = 3; }
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--nx N] [--ny N] [--nz N] [--t-end S] "
+                         "[--h S] [--paper-scale]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    const la::index_t n2nd = pg.second_order.num_states();
+    const la::index_t nmna = pg.mna.num_states();
+    const la::index_t m0 = static_cast<la::index_t>(t_end / h0 + 0.5);
+
+    std::printf("Table II -- 3-D power grid %ldx%ldx%ld: second-order model "
+                "n=%ld, MNA DAE n=%ld\n(paper: 75K / 110K), T=%.3g ns, "
+                "base step h=%.3g ps\n\n",
+                static_cast<long>(spec.nx), static_cast<long>(spec.ny),
+                static_cast<long>(spec.nz), static_cast<long>(n2nd),
+                static_cast<long>(nmna), t_end * 1e9, h0 * 1e12);
+
+    // --- OPM on the second-order model (the reference, as in the paper).
+    // The paper's sweep "involves manipulation of all the previous columns"
+    // (§IV), i.e. the O(m^2) Toeplitz accumulation — use it for fidelity;
+    // bench_fig_complexity shows the banded-recurrence speedup opmsim adds.
+    opm::MultiTermOptions mt_opt;
+    mt_opt.path = opm::MultiTermPath::toeplitz;
+    WallTimer timer;
+    const opm::OpmResult opm_res =
+        opm::simulate_multiterm(pg.second_order, pg.inputs, t_end, m0, mt_opt);
+    const double t_opm = timer.elapsed_ms();
+    const std::vector<wave::Waveform> ref = opm::endpoint_outputs_from_coeffs(
+        pg.second_order.c, opm_res.coeffs, opm_res.edges);
+
+    TextTable tab;
+    tab.set_header({"Method", "Step", "Runtime", "Avg Relative Error"});
+
+    auto run_baseline = [&](transient::Method method, double h) {
+        const la::index_t m = static_cast<la::index_t>(t_end / h + 0.5);
+        transient::TransientOptions topt;
+        topt.method = method;
+        WallTimer t;
+        const transient::TransientResult r =
+            transient::simulate_transient(pg.mna, pg.inputs, t_end, m, topt);
+        const double ms = t.elapsed_ms();
+        const double err = wave::average_relative_error_db(ref, r.outputs);
+        char step[32];
+        std::snprintf(step, sizeof step, "h = %g ps", h * 1e12);
+        tab.add_row({transient::method_name(method), step, fmt_ms(ms), fmt_db(err)});
+        return err;
+    };
+
+    const double e_be10 = run_baseline(transient::Method::backward_euler, h0);
+    const double e_be5 = run_baseline(transient::Method::backward_euler, h0 / 2);
+    const double e_be1 = run_baseline(transient::Method::backward_euler, h0 / 10);
+    const double e_gear = run_baseline(transient::Method::gear2, h0);
+    const double e_trap = run_baseline(transient::Method::trapezoidal, h0);
+
+    char step[32];
+    std::snprintf(step, sizeof step, "h = %g ps", h0 * 1e12);
+    tab.add_row({"OPM (2nd-order)", step, fmt_ms(t_opm), "-"});
+    tab.print();
+
+    std::printf("\npaper:  b-Euler 334.7s/-91dB, 691.7s/-92dB, 3198s/-127dB; "
+                "Gear 359.1s/-134dB;\n        Trapezoidal 347.2s/-137dB; "
+                "OPM 314.6s/- (75K/110K states, 2012 hardware)\n");
+    const bool be_monotone = e_be10 > e_be5 && e_be5 > e_be1;
+    const bool trap_best = e_trap < e_be1 && e_gear < e_be10;
+    std::printf("shape checks: b-Euler error shrinks with h: %s | "
+                "trap/Gear closest to OPM: %s\n",
+                be_monotone ? "PASS" : "FAIL", trap_best ? "PASS" : "FAIL");
+    return 0;
+}

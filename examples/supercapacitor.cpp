@@ -1,0 +1,66 @@
+/// \file supercapacitor.cpp
+/// \brief Example: fractional-order supercapacitor charging.
+///
+/// Supercapacitors are the textbook constant-phase-element (CPE) device:
+/// their impedance is 1/(C s^alpha) with alpha ~ 0.5-0.9, not an ideal
+/// capacitor.  This example builds the charging circuit with the netlist
+/// CPE element, lets the *fractional MNA builder* assemble
+/// E d^alpha x = A x + B u automatically, simulates with OPM, and shows
+/// the signature fractional behaviour: fast early charge, then a long
+/// algebraic tail (compared against the exact Mittag-Leffler solution).
+
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/mna.hpp"
+#include "opm/mittag_leffler.hpp"
+#include "opm/solver.hpp"
+
+using namespace opmsim;
+
+int main() {
+    const double alpha = 0.6;  // dispersion coefficient of the device
+    const double r = 10.0;     // series resistance [ohm]
+    const double c = 0.05;     // CPE coefficient [F s^{alpha-1}]
+
+    // charger --- R --- (+) supercap CPE (-) --- gnd
+    circuit::Netlist nl("supercap charger");
+    const la::index_t in = nl.node("charger");
+    const la::index_t cap = nl.node("cap");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, cap, r);
+    nl.cpe("Csc", cap, 0, c, alpha);
+
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem sys = circuit::build_fractional_mna(nl, alpha, &lay);
+    sys.c = circuit::node_voltage_selector(lay, {cap});
+
+    const double t_end = 20.0;
+    opm::OpmOptions opt;
+    opt.alpha = alpha;
+    const auto res = opm::simulate_opm(sys, {wave::step(1.0)}, t_end, 2000, opt);
+
+    // Closed form: v(t) = 1 - E_alpha(-(t^alpha)/(R C)).
+    std::printf("charging a %.2f F*s^%.1f supercapacitor through %.0f ohm\n\n",
+                c, alpha - 1.0, r);
+    std::printf("%10s %14s %16s %12s\n", "t [s]", "v_cap OPM", "Mittag-Leffler",
+                "|error|");
+    double max_err = 0;
+    for (double t : {0.5, 1.0, 2.0, 5.0, 10.0, 19.0}) {
+        const double sim = res.outputs[0].at(t);
+        const double exact =
+            1.0 - opm::mittag_leffler(alpha, -std::pow(t, alpha) / (r * c));
+        max_err = std::max(max_err, std::abs(sim - exact));
+        std::printf("%10.2f %14.6f %16.6f %12.2e\n", t, sim, exact,
+                    std::abs(sim - exact));
+    }
+
+    // Contrast with the exponential an ideal capacitor would give.
+    const double v_frac = res.outputs[0].at(19.0);
+    const double v_ideal = 1.0 - std::exp(-19.0 / (r * c));
+    std::printf("\nat t=19s: fractional cap at %.3f V, an ideal RC would be "
+                "at %.6f V\n", v_frac, v_ideal);
+    std::printf("the slow algebraic tail (~t^-%.1f) is the fractional "
+                "signature; max error vs closed form: %.2e\n", alpha, max_err);
+    return max_err < 1e-2 ? 0 : 1;
+}

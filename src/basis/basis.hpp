@@ -1,0 +1,54 @@
+#pragma once
+/// \file basis.hpp
+/// \brief Common interface for orthogonal function bases.
+///
+/// The paper builds OPM on block-pulse functions "for illustrative purpose"
+/// and notes that "OPM can readily switch to using other basis functions"
+/// (Walsh, Haar, Legendre, ...).  This interface is what makes that switch
+/// possible in opmsim: every basis provides projection, synthesis, the
+/// coefficients of the constant function, and its operational matrix of
+/// integration P satisfying  integral_0^t psi(tau) dtau ~= P psi(t).
+/// The generic-basis solver (opm::simulate_generic_basis) consumes exactly
+/// this interface; bench_fig_basis_ablation compares the bases.
+
+#include <memory>
+#include <string>
+
+#include "la/dense.hpp"
+#include "wave/sources.hpp"
+#include "wave/waveform.hpp"
+
+namespace opmsim::basis {
+
+using la::index_t;
+using la::Matrixd;
+using la::Vectord;
+
+/// An m-term orthogonal basis on [0, t_end).
+class Basis {
+public:
+    virtual ~Basis() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual index_t size() const = 0;
+    [[nodiscard]] virtual double t_end() const = 0;
+
+    /// Best-approximation coefficients of f on [0, t_end).
+    [[nodiscard]] virtual Vectord project(const wave::Source& f) const = 0;
+
+    /// Evaluate the truncated series sum_i c_i psi_i(t).
+    [[nodiscard]] virtual double synthesize(const Vectord& coeffs, double t) const = 0;
+
+    /// Coefficients representing the constant function 1.
+    [[nodiscard]] virtual Vectord constant_coeffs() const = 0;
+
+    /// Operational matrix of integration P (m x m).
+    [[nodiscard]] virtual Matrixd integration_matrix() const = 0;
+
+    /// Sample a coefficient series onto a waveform (default: npts uniform
+    /// samples across [0, t_end)).
+    [[nodiscard]] wave::Waveform to_waveform(const Vectord& coeffs,
+                                             std::size_t npts = 256) const;
+};
+
+} // namespace opmsim::basis

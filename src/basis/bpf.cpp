@@ -1,0 +1,131 @@
+#include "basis/bpf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace opmsim::basis {
+
+// Basis::to_waveform lives here (bpf.cpp is the first basis TU linked).
+wave::Waveform Basis::to_waveform(const Vectord& coeffs, std::size_t npts) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(coeffs.size()) == size(),
+                   "to_waveform: coefficient count mismatch");
+    OPMSIM_REQUIRE(npts >= 2, "to_waveform: need at least two samples");
+    // Sample at midpoints of npts uniform sub-intervals: piecewise-constant
+    // bases are sampled away from their jumps.
+    const double t1 = t_end();
+    Vectord t(npts), v(npts);
+    for (std::size_t k = 0; k < npts; ++k) {
+        t[k] = (static_cast<double>(k) + 0.5) * t1 / static_cast<double>(npts);
+        v[k] = synthesize(coeffs, t[k]);
+    }
+    return wave::Waveform(std::move(t), std::move(v));
+}
+
+Matrixd bpf_integral_matrix(double h, index_t m) {
+    OPMSIM_REQUIRE(h > 0 && m >= 1, "bpf_integral_matrix: need h>0, m>=1");
+    Matrixd hm(m, m);
+    for (index_t i = 0; i < m; ++i) {
+        hm(i, i) = h / 2.0;
+        for (index_t j = i + 1; j < m; ++j) hm(i, j) = h;
+    }
+    return hm;
+}
+
+Matrixd bpf_differential_matrix(double h, index_t m) {
+    OPMSIM_REQUIRE(h > 0 && m >= 1, "bpf_differential_matrix: need h>0, m>=1");
+    Matrixd d(m, m);
+    const double s = 2.0 / h;
+    for (index_t i = 0; i < m; ++i) {
+        d(i, i) = s;
+        double c = -2.0 * s;
+        for (index_t j = i + 1; j < m; ++j) {
+            d(i, j) = c;
+            c = -c;
+        }
+    }
+    return d;
+}
+
+Matrixd bpf_integral_matrix_adaptive(const Vectord& steps) {
+    const index_t m = static_cast<index_t>(steps.size());
+    OPMSIM_REQUIRE(m >= 1, "bpf_integral_matrix_adaptive: empty steps");
+    Matrixd hm(m, m);
+    for (index_t i = 0; i < m; ++i) {
+        const double hi = steps[static_cast<std::size_t>(i)];
+        OPMSIM_REQUIRE(hi > 0, "bpf_integral_matrix_adaptive: steps must be positive");
+        hm(i, i) = hi / 2.0;
+        for (index_t j = i + 1; j < m; ++j) hm(i, j) = hi;
+    }
+    return hm;
+}
+
+Matrixd bpf_differential_matrix_adaptive(const Vectord& steps) {
+    const index_t m = static_cast<index_t>(steps.size());
+    OPMSIM_REQUIRE(m >= 1, "bpf_differential_matrix_adaptive: empty steps");
+    Matrixd d(m, m);
+    for (index_t j = 0; j < m; ++j) {
+        const double hj = steps[static_cast<std::size_t>(j)];
+        OPMSIM_REQUIRE(hj > 0, "bpf_differential_matrix_adaptive: steps must be positive");
+        d(j, j) = 2.0 / hj;
+        double sign = -1.0;
+        for (index_t i = j - 1; i >= 0; --i) {
+            d(i, j) = sign * 4.0 / hj;
+            sign = -sign;
+        }
+    }
+    return d;
+}
+
+Vectord interval_midpoints(const Vectord& edges) {
+    OPMSIM_REQUIRE(edges.size() >= 2, "interval_midpoints: need >= 2 edges");
+    Vectord mid(edges.size() - 1);
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i)
+        mid[i] = 0.5 * (edges[i] + edges[i + 1]);
+    return mid;
+}
+
+Vectord edges_from_steps(const Vectord& steps) {
+    Vectord e(steps.size() + 1);
+    e[0] = 0.0;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        OPMSIM_REQUIRE(steps[i] > 0, "edges_from_steps: steps must be positive");
+        e[i + 1] = e[i] + steps[i];
+    }
+    return e;
+}
+
+BpfBasis::BpfBasis(double t_end, index_t m) {
+    OPMSIM_REQUIRE(t_end > 0 && m >= 1, "BpfBasis: need t_end>0, m>=1");
+    steps_.assign(static_cast<std::size_t>(m), t_end / static_cast<double>(m));
+    edges_ = edges_from_steps(steps_);
+    edges_.back() = t_end;
+}
+
+BpfBasis::BpfBasis(Vectord steps) : steps_(std::move(steps)) {
+    OPMSIM_REQUIRE(!steps_.empty(), "BpfBasis: empty steps");
+    edges_ = edges_from_steps(steps_);
+}
+
+Vectord BpfBasis::project(const wave::Source& f) const {
+    return wave::project_average(f, edges_);
+}
+
+double BpfBasis::synthesize(const Vectord& coeffs, double t) const {
+    OPMSIM_REQUIRE(coeffs.size() == steps_.size(), "synthesize: size mismatch");
+    if (t < edges_.front() || t >= edges_.back()) return 0.0;
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), t);
+    const std::size_t i = static_cast<std::size_t>(it - edges_.begin()) - 1;
+    return coeffs[std::min(i, coeffs.size() - 1)];
+}
+
+Vectord BpfBasis::constant_coeffs() const {
+    return Vectord(steps_.size(), 1.0);
+}
+
+Matrixd BpfBasis::integration_matrix() const {
+    return bpf_integral_matrix_adaptive(steps_);
+}
+
+} // namespace opmsim::basis

@@ -1,0 +1,65 @@
+#pragma once
+/// \file bpf.hpp
+/// \brief Block-pulse functions and their operational matrices (paper §II).
+///
+/// BPFs are the basis the paper develops OPM on: phi_i(t) = 1 on
+/// [ih, (i+1)h), 0 elsewhere (eq. 1).  This module provides
+///  * the integral operational matrix H (eq. 4-5),
+///  * the differential operational matrix D = H^{-1} (eq. 7),
+///  * their adaptive-step generalizations H~ and D~ (eq. 16-17),
+///  * projection (interval averages, eq. 2) and staircase synthesis.
+/// The *fractional* powers D^alpha live in opm/operational.hpp.
+
+#include "basis/basis.hpp"
+
+namespace opmsim::basis {
+
+/// Uniform-step integral matrix H (eq. 4): h/2 on the diagonal, h above.
+Matrixd bpf_integral_matrix(double h, index_t m);
+
+/// Uniform-step differential matrix D = H^{-1} (eq. 7): upper-triangular
+/// Toeplitz, first row (2/h) * [1, -2, 2, -2, ...].
+Matrixd bpf_differential_matrix(double h, index_t m);
+
+/// Adaptive-step integral matrix H~ (eq. 17): row i is h_i * [0 .. 1/2 1 1 ..].
+Matrixd bpf_integral_matrix_adaptive(const Vectord& steps);
+
+/// Adaptive-step differential matrix D~ = H~^{-1} (eq. 17/25): entry (i,j)
+/// is 2*(-1)^(j-i)*c/h_j with c=1 on the diagonal and c=2 above it.
+Matrixd bpf_differential_matrix_adaptive(const Vectord& steps);
+
+/// Interval midpoints of a step-edge vector (m+1 edges -> m midpoints).
+Vectord interval_midpoints(const Vectord& edges);
+
+/// Edges cumulated from step lengths: {0, h0, h0+h1, ...}.
+Vectord edges_from_steps(const Vectord& steps);
+
+/// Block-pulse basis object for the generic-basis solver.  Supports
+/// nonuniform steps (the Basis interface hides the difference).
+class BpfBasis final : public Basis {
+public:
+    /// Uniform: m intervals of length t_end/m.
+    BpfBasis(double t_end, index_t m);
+
+    /// Nonuniform: explicit step lengths (must sum to t_end).
+    explicit BpfBasis(Vectord steps);
+
+    [[nodiscard]] std::string name() const override { return "block-pulse"; }
+    [[nodiscard]] index_t size() const override {
+        return static_cast<index_t>(steps_.size());
+    }
+    [[nodiscard]] double t_end() const override { return edges_.back(); }
+    [[nodiscard]] Vectord project(const wave::Source& f) const override;
+    [[nodiscard]] double synthesize(const Vectord& coeffs, double t) const override;
+    [[nodiscard]] Vectord constant_coeffs() const override;
+    [[nodiscard]] Matrixd integration_matrix() const override;
+
+    [[nodiscard]] const Vectord& edges() const { return edges_; }
+    [[nodiscard]] const Vectord& steps() const { return steps_; }
+
+private:
+    Vectord steps_;
+    Vectord edges_;
+};
+
+} // namespace opmsim::basis

@@ -1,0 +1,69 @@
+#include "basis/haar.hpp"
+
+#include <cmath>
+
+#include "basis/bpf.hpp"
+#include "fftx/fft.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::basis {
+
+Matrixd haar_matrix(index_t m) {
+    OPMSIM_REQUIRE(m >= 1 && fftx::is_pow2(static_cast<std::size_t>(m)),
+                   "haar_matrix: m must be a power of two");
+    Matrixd h(m, m);
+    for (index_t j = 0; j < m; ++j) h(0, j) = 1.0;
+    index_t row = 1;
+    for (index_t scale = 1; scale < m; scale <<= 1) {
+        // `scale` = 2^p wavelets at this level, each supported on m/scale
+        // consecutive subintervals.
+        const index_t support = m / scale;
+        const double amp = std::sqrt(static_cast<double>(scale));
+        for (index_t q = 0; q < scale; ++q, ++row) {
+            const index_t start = q * support;
+            for (index_t j = 0; j < support / 2; ++j) h(row, start + j) = amp;
+            for (index_t j = support / 2; j < support; ++j) h(row, start + j) = -amp;
+        }
+    }
+    return h;
+}
+
+HaarBasis::HaarBasis(double t_end, index_t m)
+    : t_end_(t_end), m_(m), h_(haar_matrix(m)) {
+    OPMSIM_REQUIRE(t_end > 0, "HaarBasis: t_end must be positive");
+}
+
+Vectord HaarBasis::project(const wave::Source& f) const {
+    const Vectord fbar =
+        wave::project_average(f, wave::uniform_edges(t_end_, m_));
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    for (index_t i = 0; i < m_; ++i) {
+        double s = 0;
+        for (index_t j = 0; j < m_; ++j) s += h_(i, j) * fbar[static_cast<std::size_t>(j)];
+        c[static_cast<std::size_t>(i)] = s / static_cast<double>(m_);
+    }
+    return c;
+}
+
+double HaarBasis::synthesize(const Vectord& coeffs, double t) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(coeffs.size()) == m_, "synthesize: size mismatch");
+    if (t < 0 || t >= t_end_) return 0.0;
+    const index_t j = std::min<index_t>(
+        static_cast<index_t>(t / t_end_ * static_cast<double>(m_)), m_ - 1);
+    double s = 0;
+    for (index_t i = 0; i < m_; ++i) s += coeffs[static_cast<std::size_t>(i)] * h_(i, j);
+    return s;
+}
+
+Vectord HaarBasis::constant_coeffs() const {
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    c[0] = 1.0;
+    return c;
+}
+
+Matrixd HaarBasis::integration_matrix() const {
+    const Matrixd hb = bpf_integral_matrix(t_end_ / static_cast<double>(m_), m_);
+    return (1.0 / static_cast<double>(m_)) * (h_ * hb * h_.transposed());
+}
+
+} // namespace opmsim::basis

@@ -1,0 +1,43 @@
+#pragma once
+/// \file haar.hpp
+/// \brief Haar wavelet basis and its operational matrix.
+///
+/// Haar wavelets are the third basis family the paper lists.  Like Walsh
+/// functions they are piecewise constant on m = 2^k subintervals, so the
+/// same change-of-basis trick applies:  P_haar = (1/m) Hr H_bpf Hr^T with
+/// Hr the orthogonal (rows scaled to ||row||^2 = m) Haar matrix.
+/// Haar's locality makes it the best of the piecewise-constant bases for
+/// signals with isolated sharp features.
+
+#include "basis/basis.hpp"
+
+namespace opmsim::basis {
+
+/// Haar matrix, rows = wavelets evaluated on the m subintervals, scaled so
+/// that Hr * Hr^T = m * I.  Row 0 is the constant function; row 2^p + q is
+/// the wavelet at scale p, offset q, with value +-sqrt(2^p).
+/// m must be a power of two.
+Matrixd haar_matrix(index_t m);
+
+/// Haar basis on [0, t_end) with m = 2^k terms.
+class HaarBasis final : public Basis {
+public:
+    HaarBasis(double t_end, index_t m);
+
+    [[nodiscard]] std::string name() const override { return "haar"; }
+    [[nodiscard]] index_t size() const override { return m_; }
+    [[nodiscard]] double t_end() const override { return t_end_; }
+    [[nodiscard]] Vectord project(const wave::Source& f) const override;
+    [[nodiscard]] double synthesize(const Vectord& coeffs, double t) const override;
+    [[nodiscard]] Vectord constant_coeffs() const override;
+    [[nodiscard]] Matrixd integration_matrix() const override;
+
+    [[nodiscard]] const Matrixd& matrix() const { return h_; }
+
+private:
+    double t_end_;
+    index_t m_;
+    Matrixd h_;
+};
+
+} // namespace opmsim::basis

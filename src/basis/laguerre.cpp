@@ -1,0 +1,85 @@
+#include "basis/laguerre.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "basis/legendre.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::basis {
+
+void laguerre_all(index_t kmax, double x, double* out) {
+    out[0] = 1.0;
+    if (kmax == 0) return;
+    out[1] = 1.0 - x;
+    for (index_t k = 1; k < kmax; ++k)
+        out[k + 1] = ((2.0 * static_cast<double>(k) + 1.0 - x) * out[k] -
+                      static_cast<double>(k) * out[k - 1]) /
+                     (static_cast<double>(k) + 1.0);
+}
+
+LaguerreBasis::LaguerreBasis(double t_end, index_t m, double sigma)
+    : t_end_(t_end), m_(m), sigma_(sigma > 0.0 ? sigma : 6.0 / t_end) {
+    OPMSIM_REQUIRE(t_end > 0 && m >= 1, "LaguerreBasis: need t_end>0, m>=1");
+}
+
+Vectord LaguerreBasis::project(const wave::Source& f) const {
+    // c_k = int_0^T f(t) sqrt(sigma) e^{-sigma t/2} L_k(sigma t) dt,
+    // composite Gauss-Legendre over [0, T) (enough panels to resolve both
+    // the exponential window and the oscillatory L_k).
+    const index_t panels = std::max<index_t>(m_, 16);
+    const GaussRule rule = gauss_legendre(8);
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    std::vector<double> lk(static_cast<std::size_t>(m_));
+    const double w = t_end_ / static_cast<double>(panels);
+    for (index_t p = 0; p < panels; ++p) {
+        const double a = w * static_cast<double>(p);
+        for (std::size_t q = 0; q < rule.nodes.size(); ++q) {
+            const double t = a + 0.5 * w * (rule.nodes[q] + 1.0);
+            const double weight = 0.5 * w * rule.weights[q];
+            const double win = std::sqrt(sigma_) * std::exp(-0.5 * sigma_ * t);
+            laguerre_all(m_ - 1, sigma_ * t, lk.data());
+            const double fv = f(t) * weight * win;
+            for (index_t k = 0; k < m_; ++k)
+                c[static_cast<std::size_t>(k)] += fv * lk[static_cast<std::size_t>(k)];
+        }
+    }
+    return c;
+}
+
+double LaguerreBasis::synthesize(const Vectord& coeffs, double t) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(coeffs.size()) == m_, "synthesize: size mismatch");
+    std::vector<double> lk(static_cast<std::size_t>(m_));
+    laguerre_all(m_ - 1, sigma_ * t, lk.data());
+    const double win = std::sqrt(sigma_) * std::exp(-0.5 * sigma_ * t);
+    double s = 0;
+    for (index_t k = 0; k < m_; ++k)
+        s += coeffs[static_cast<std::size_t>(k)] * lk[static_cast<std::size_t>(k)];
+    return win * s;
+}
+
+Vectord LaguerreBasis::constant_coeffs() const {
+    // <1, phi_k> on [0, inf) = 2 (-1)^k / sqrt(sigma); Abel-convergent only.
+    Vectord c(static_cast<std::size_t>(m_));
+    double sign = 1.0;
+    for (index_t k = 0; k < m_; ++k) {
+        c[static_cast<std::size_t>(k)] = 2.0 * sign / std::sqrt(sigma_);
+        sign = -sign;
+    }
+    return c;
+}
+
+Matrixd LaguerreBasis::integration_matrix() const {
+    Matrixd p(m_, m_);
+    for (index_t i = 0; i < m_; ++i) {
+        p(i, i) = 2.0 / sigma_;
+        double c = -4.0 / sigma_;
+        for (index_t j = i + 1; j < m_; ++j) {
+            p(i, j) = c;
+            c = -c;
+        }
+    }
+    return p;
+}
+
+} // namespace opmsim::basis

@@ -1,0 +1,50 @@
+#pragma once
+/// \file laguerre.hpp
+/// \brief Laguerre-function basis and its operational matrix.
+///
+/// The last basis family the paper names.  The Laguerre *functions*
+/// phi_k(t) = sqrt(sigma) e^{-sigma t/2} L_k(sigma t) are orthonormal on
+/// [0, inf) and natural for decaying transients.  Their integration
+/// operational matrix follows from the Laplace-domain identity
+/// (with w = (s - sigma/2)/(s + sigma/2)):
+///     integral of phi_k  =  (2/sigma) [phi_k - 2 phi_{k+1} + 2 phi_{k+2} - ...]
+/// — the same alternating upper-Toeplitz pattern as the BPF differential
+/// matrix, scaled by 2/sigma.
+///
+/// Caveats (inherent to the family, visible in bench_fig_basis_ablation):
+/// the basis lives on [0, inf), so projections over a finite window [0, T)
+/// leak tail energy unless sigma ~ 6/T or larger, and the constant
+/// function is not square-integrable (its coefficient series only
+/// Abel-converges).
+
+#include "basis/basis.hpp"
+
+namespace opmsim::basis {
+
+/// Evaluate Laguerre polynomials L_0..L_kmax at x (three-term recurrence);
+/// out must have kmax+1 entries.
+void laguerre_all(index_t kmax, double x, double* out);
+
+/// Laguerre-function basis with m terms on [0, t_end) (projection window).
+class LaguerreBasis final : public Basis {
+public:
+    /// sigma <= 0 selects the default 6 / t_end.
+    LaguerreBasis(double t_end, index_t m, double sigma = 0.0);
+
+    [[nodiscard]] std::string name() const override { return "laguerre"; }
+    [[nodiscard]] index_t size() const override { return m_; }
+    [[nodiscard]] double t_end() const override { return t_end_; }
+    [[nodiscard]] Vectord project(const wave::Source& f) const override;
+    [[nodiscard]] double synthesize(const Vectord& coeffs, double t) const override;
+    [[nodiscard]] Vectord constant_coeffs() const override;
+    [[nodiscard]] Matrixd integration_matrix() const override;
+
+    [[nodiscard]] double sigma() const { return sigma_; }
+
+private:
+    double t_end_;
+    index_t m_;
+    double sigma_;
+};
+
+} // namespace opmsim::basis

@@ -1,0 +1,113 @@
+#include "basis/legendre.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace opmsim::basis {
+
+void legendre_all(index_t kmax, double x, double* out) {
+    out[0] = 1.0;
+    if (kmax == 0) return;
+    out[1] = x;
+    for (index_t k = 2; k <= kmax; ++k)
+        out[k] = ((2.0 * static_cast<double>(k) - 1.0) * x * out[k - 1] -
+                  (static_cast<double>(k) - 1.0) * out[k - 2]) /
+                 static_cast<double>(k);
+}
+
+GaussRule gauss_legendre(index_t n) {
+    OPMSIM_REQUIRE(n >= 1, "gauss_legendre: n >= 1 required");
+    GaussRule r;
+    r.nodes.resize(static_cast<std::size_t>(n));
+    r.weights.resize(static_cast<std::size_t>(n));
+    const index_t half = (n + 1) / 2;
+    for (index_t i = 0; i < half; ++i) {
+        // Tricomi initial guess, then Newton on P_n.
+        double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                            (static_cast<double>(n) + 0.5));
+        double dp = 0;
+        for (int it = 0; it < 100; ++it) {
+            // Evaluate P_n and P_{n-1}.
+            double p0 = 1.0, p1 = x;
+            for (index_t k = 2; k <= n; ++k) {
+                const double p2 = ((2.0 * static_cast<double>(k) - 1.0) * x * p1 -
+                                   (static_cast<double>(k) - 1.0) * p0) /
+                                  static_cast<double>(k);
+                p0 = p1;
+                p1 = p2;
+            }
+            // P'_n(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+            dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+            const double dx = p1 / dp;
+            x -= dx;
+            if (std::abs(dx) < 1e-15) break;
+        }
+        r.nodes[static_cast<std::size_t>(i)] = -x;  // ascending order
+        r.nodes[static_cast<std::size_t>(n - 1 - i)] = x;
+        const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+        r.weights[static_cast<std::size_t>(i)] = w;
+        r.weights[static_cast<std::size_t>(n - 1 - i)] = w;
+    }
+    return r;
+}
+
+LegendreBasis::LegendreBasis(double t_end, index_t m)
+    : t_end_(t_end), m_(m), quad_(gauss_legendre(std::max<index_t>(m + 8, 24))) {
+    OPMSIM_REQUIRE(t_end > 0 && m >= 1, "LegendreBasis: need t_end>0, m>=1");
+}
+
+Vectord LegendreBasis::project(const wave::Source& f) const {
+    // c_k = (2k+1)/2 * int_{-1}^{1} f(T(x+1)/2) P_k(x) dx
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    std::vector<double> p(static_cast<std::size_t>(m_));
+    for (std::size_t q = 0; q < quad_.nodes.size(); ++q) {
+        const double x = quad_.nodes[q];
+        const double t = 0.5 * t_end_ * (x + 1.0);
+        const double fw = f(t) * quad_.weights[q];
+        legendre_all(m_ - 1, x, p.data());
+        for (index_t k = 0; k < m_; ++k)
+            c[static_cast<std::size_t>(k)] += fw * p[static_cast<std::size_t>(k)];
+    }
+    for (index_t k = 0; k < m_; ++k)
+        c[static_cast<std::size_t>(k)] *= (2.0 * static_cast<double>(k) + 1.0) / 2.0;
+    return c;
+}
+
+double LegendreBasis::synthesize(const Vectord& coeffs, double t) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(coeffs.size()) == m_, "synthesize: size mismatch");
+    const double x = 2.0 * t / t_end_ - 1.0;
+    std::vector<double> p(static_cast<std::size_t>(m_));
+    legendre_all(m_ - 1, x, p.data());
+    double s = 0;
+    for (index_t k = 0; k < m_; ++k)
+        s += coeffs[static_cast<std::size_t>(k)] * p[static_cast<std::size_t>(k)];
+    return s;
+}
+
+Vectord LegendreBasis::constant_coeffs() const {
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    c[0] = 1.0;
+    return c;
+}
+
+Matrixd LegendreBasis::integration_matrix() const {
+    // Row k: integral of psi_k expressed in the basis.  With x = 2t/T - 1,
+    //   int_0^t psi_0 = (T/2)(P_0 + P_1),
+    //   int_0^t psi_k = (T/2)(P_{k+1} - P_{k-1})/(2k+1), k >= 1
+    // (the P_{k+1} term is dropped at the truncation boundary k = m-1).
+    Matrixd p(m_, m_);
+    const double s = 0.5 * t_end_;
+    p(0, 0) = s;
+    if (m_ > 1) p(0, 1) = s;
+    for (index_t k = 1; k < m_; ++k) {
+        const double inv = s / (2.0 * static_cast<double>(k) + 1.0);
+        p(k, k - 1) = -inv;
+        if (k + 1 < m_) p(k, k + 1) = inv;
+    }
+    return p;
+}
+
+} // namespace opmsim::basis

@@ -1,0 +1,46 @@
+#pragma once
+/// \file legendre.hpp
+/// \brief Shifted Legendre polynomial basis and its operational matrix.
+///
+/// The polynomial member of the paper's basis list.  On [0, t_end) the
+/// basis is psi_k(t) = P_k(2t/t_end - 1); spectral accuracy on smooth
+/// waveforms, global ringing on discontinuous ones — the exact trade-off
+/// bench_fig_basis_ablation quantifies.  The integration operational matrix
+/// follows from the classic identity
+///     int_{-1}^{x} P_k = (P_{k+1} - P_{k-1}) / (2k+1).
+
+#include "basis/basis.hpp"
+
+namespace opmsim::basis {
+
+/// Evaluate Legendre polynomials P_0..P_kmax at x via the three-term
+/// recurrence; out must have kmax+1 entries.
+void legendre_all(index_t kmax, double x, double* out);
+
+/// Gauss–Legendre nodes and weights on [-1, 1] (Newton iteration on P_n).
+struct GaussRule {
+    Vectord nodes;
+    Vectord weights;
+};
+GaussRule gauss_legendre(index_t n);
+
+/// Shifted Legendre basis with m terms (degrees 0..m-1) on [0, t_end).
+class LegendreBasis final : public Basis {
+public:
+    LegendreBasis(double t_end, index_t m);
+
+    [[nodiscard]] std::string name() const override { return "legendre"; }
+    [[nodiscard]] index_t size() const override { return m_; }
+    [[nodiscard]] double t_end() const override { return t_end_; }
+    [[nodiscard]] Vectord project(const wave::Source& f) const override;
+    [[nodiscard]] double synthesize(const Vectord& coeffs, double t) const override;
+    [[nodiscard]] Vectord constant_coeffs() const override;
+    [[nodiscard]] Matrixd integration_matrix() const override;
+
+private:
+    double t_end_;
+    index_t m_;
+    GaussRule quad_;  ///< projection quadrature (enough nodes for degree m-1)
+};
+
+} // namespace opmsim::basis

@@ -1,0 +1,104 @@
+#include "basis/walsh.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "basis/bpf.hpp"
+#include "fftx/fft.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::basis {
+
+void fwht(Vectord& x) {
+    const std::size_t n = x.size();
+    OPMSIM_REQUIRE(fftx::is_pow2(n), "fwht: size must be a power of two");
+    for (std::size_t len = 1; len < n; len <<= 1)
+        for (std::size_t i = 0; i < n; i += 2 * len)
+            for (std::size_t k = i; k < i + len; ++k) {
+                const double a = x[k], b = x[k + len];
+                x[k] = a + b;
+                x[k + len] = a - b;
+            }
+}
+
+Matrixd walsh_matrix(index_t m) {
+    OPMSIM_REQUIRE(m >= 1 && fftx::is_pow2(static_cast<std::size_t>(m)),
+                   "walsh_matrix: m must be a power of two");
+    // Natural-order Hadamard via Sylvester recursion, then reorder rows by
+    // sequency (number of sign changes) -- robust and unambiguous.
+    Matrixd h = Matrixd::identity(1);
+    h(0, 0) = 1.0;
+    for (index_t n = 1; n < m; n <<= 1) {
+        Matrixd h2(2 * n, 2 * n);
+        for (index_t i = 0; i < n; ++i)
+            for (index_t j = 0; j < n; ++j) {
+                const double v = h(i, j);
+                h2(i, j) = v;
+                h2(i, j + n) = v;
+                h2(i + n, j) = v;
+                h2(i + n, j + n) = -v;
+            }
+        h = std::move(h2);
+    }
+    // Sequency of each row.
+    std::vector<index_t> order(static_cast<std::size_t>(m));
+    std::iota(order.begin(), order.end(), index_t{0});
+    auto sign_changes = [&](index_t r) {
+        index_t c = 0;
+        for (index_t j = 1; j < m; ++j)
+            if (h(r, j) != h(r, j - 1)) ++c;
+        return c;
+    };
+    std::vector<index_t> seq(static_cast<std::size_t>(m));
+    for (index_t r = 0; r < m; ++r) seq[static_cast<std::size_t>(r)] = sign_changes(r);
+    std::sort(order.begin(), order.end(),
+              [&](index_t a, index_t b) {
+                  return seq[static_cast<std::size_t>(a)] < seq[static_cast<std::size_t>(b)];
+              });
+    Matrixd w(m, m);
+    for (index_t r = 0; r < m; ++r)
+        for (index_t j = 0; j < m; ++j)
+            w(r, j) = h(order[static_cast<std::size_t>(r)], j);
+    return w;
+}
+
+WalshBasis::WalshBasis(double t_end, index_t m)
+    : t_end_(t_end), m_(m), w_(walsh_matrix(m)) {
+    OPMSIM_REQUIRE(t_end > 0, "WalshBasis: t_end must be positive");
+}
+
+Vectord WalshBasis::project(const wave::Source& f) const {
+    // BPF averages, then rotate into the Walsh basis: c = (1/m) W fbar.
+    const Vectord fbar =
+        wave::project_average(f, wave::uniform_edges(t_end_, m_));
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    for (index_t i = 0; i < m_; ++i) {
+        double s = 0;
+        for (index_t j = 0; j < m_; ++j) s += w_(i, j) * fbar[static_cast<std::size_t>(j)];
+        c[static_cast<std::size_t>(i)] = s / static_cast<double>(m_);
+    }
+    return c;
+}
+
+double WalshBasis::synthesize(const Vectord& coeffs, double t) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(coeffs.size()) == m_, "synthesize: size mismatch");
+    if (t < 0 || t >= t_end_) return 0.0;
+    const index_t j = std::min<index_t>(
+        static_cast<index_t>(t / t_end_ * static_cast<double>(m_)), m_ - 1);
+    double s = 0;
+    for (index_t i = 0; i < m_; ++i) s += coeffs[static_cast<std::size_t>(i)] * w_(i, j);
+    return s;
+}
+
+Vectord WalshBasis::constant_coeffs() const {
+    Vectord c(static_cast<std::size_t>(m_), 0.0);
+    c[0] = 1.0;  // sequency-0 row is the all-ones function
+    return c;
+}
+
+Matrixd WalshBasis::integration_matrix() const {
+    const Matrixd h = bpf_integral_matrix(t_end_ / static_cast<double>(m_), m_);
+    return (1.0 / static_cast<double>(m_)) * (w_ * h * w_.transposed());
+}
+
+} // namespace opmsim::basis

@@ -1,0 +1,47 @@
+#pragma once
+/// \file walsh.hpp
+/// \brief Walsh functions (sequency-ordered) and their operational matrix.
+///
+/// Walsh functions are the +-1-valued basis the paper singles out as
+/// preferable "if we are only interested in the overall trend of the
+/// response waveforms": low sequency indices capture low-frequency content.
+/// Because each Walsh function is constant on the m = 2^k BPF subintervals,
+/// the Walsh matrix W (rows = functions, columns = subintervals) links the
+/// two bases, and all operational matrices transport across:
+///     P_walsh = (1/m) W H_bpf W^T.
+
+#include "basis/basis.hpp"
+
+namespace opmsim::basis {
+
+/// Sequency-ordered Walsh matrix: W(i, j) = value of the i-th Walsh
+/// function on subinterval j.  m must be a power of two.  Rows are ordered
+/// by increasing number of sign changes (sequency).
+Matrixd walsh_matrix(index_t m);
+
+/// In-place fast Walsh–Hadamard transform, natural (Hadamard) order,
+/// unnormalized.  Size must be a power of two.
+void fwht(Vectord& x);
+
+/// Walsh basis on [0, t_end) with m = 2^k terms.
+class WalshBasis final : public Basis {
+public:
+    WalshBasis(double t_end, index_t m);
+
+    [[nodiscard]] std::string name() const override { return "walsh"; }
+    [[nodiscard]] index_t size() const override { return m_; }
+    [[nodiscard]] double t_end() const override { return t_end_; }
+    [[nodiscard]] Vectord project(const wave::Source& f) const override;
+    [[nodiscard]] double synthesize(const Vectord& coeffs, double t) const override;
+    [[nodiscard]] Vectord constant_coeffs() const override;
+    [[nodiscard]] Matrixd integration_matrix() const override;
+
+    [[nodiscard]] const Matrixd& matrix() const { return w_; }
+
+private:
+    double t_end_;
+    index_t m_;
+    Matrixd w_;
+};
+
+} // namespace opmsim::basis

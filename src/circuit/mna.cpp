@@ -1,0 +1,262 @@
+#include "circuit/mna.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+namespace {
+
+/// Assembly workspace: one triplet accumulator per differential order.
+struct Assembly {
+    MnaLayout layout;
+    std::map<double, la::Triplets> terms;  ///< order -> A_k stamps
+    la::Triplets b;                        ///< injections
+    Assembly(index_t n, index_t p) : b(n, p) {}
+
+    la::Triplets& term(double order, index_t n) {
+        auto it = terms.find(order);
+        if (it == terms.end()) it = terms.emplace(order, la::Triplets(n, n)).first;
+        return it->second;
+    }
+};
+
+/// Two-terminal admittance-style stamp (R, C, CPE) into the given term.
+/// Node indices are 1-based; ground (0) rows/columns are dropped.
+void stamp_branch(la::Triplets& t, const MnaLayout& lay, index_t n1, index_t n2,
+                  double value) {
+    const index_t i1 = n1 > 0 ? lay.voltage_index(n1) : -1;
+    const index_t i2 = n2 > 0 ? lay.voltage_index(n2) : -1;
+    if (i1 >= 0) t.add(i1, i1, value);
+    if (i2 >= 0) t.add(i2, i2, value);
+    if (i1 >= 0 && i2 >= 0) {
+        t.add(i1, i2, -value);
+        t.add(i2, i1, -value);
+    }
+}
+
+Assembly assemble(const Netlist& nl) {
+    MnaLayout lay;
+    lay.num_nodes = nl.num_nodes();
+    lay.num_inductors = nl.count(ElementKind::inductor);
+    lay.num_vsources = nl.count(ElementKind::vsource);
+    lay.num_controlled =
+        nl.count(ElementKind::vcvs) + nl.count(ElementKind::ccvs);
+    const index_t n = lay.size();
+    const index_t p = std::max<index_t>(nl.num_inputs(), 1);
+
+    Assembly as(n, p);
+    as.layout = lay;
+
+    // Pass 1: assign branch-current state indices in element order, and
+    // record named branches so controlled sources can reference them.
+    std::map<std::string, index_t> branch_of;
+    std::map<std::string, double> inductance_of;
+    {
+        index_t next_branch = lay.num_nodes;
+        for (const Element& e : nl.elements()) {
+            if (e.kind == ElementKind::inductor || e.kind == ElementKind::vsource ||
+                e.kind == ElementKind::vcvs || e.kind == ElementKind::ccvs) {
+                OPMSIM_REQUIRE(branch_of.emplace(e.name, next_branch).second,
+                               "build_mna: duplicate branch element name '" +
+                                   e.name + "'");
+                ++next_branch;
+            }
+            if (e.kind == ElementKind::inductor) inductance_of[e.name] = e.value;
+        }
+    }
+    auto ctrl_branch = [&](const Element& e) {
+        const auto it = branch_of.find(e.ctrl_name);
+        OPMSIM_REQUIRE(it != branch_of.end(),
+                       "build_mna: element '" + e.name +
+                           "' references unknown branch '" + e.ctrl_name + "'");
+        return it->second;
+    };
+
+    // Pass 2: stamp.
+    for (const Element& e : nl.elements()) {
+        const index_t i1 = e.n1 > 0 ? lay.voltage_index(e.n1) : -1;
+        const index_t i2 = e.n2 > 0 ? lay.voltage_index(e.n2) : -1;
+        switch (e.kind) {
+        case ElementKind::resistor:
+            stamp_branch(as.term(0.0, n), lay, e.n1, e.n2, 1.0 / e.value);
+            break;
+        case ElementKind::capacitor:
+            stamp_branch(as.term(1.0, n), lay, e.n1, e.n2, e.value);
+            break;
+        case ElementKind::cpe:
+            stamp_branch(as.term(e.alpha, n), lay, e.n1, e.n2, e.value);
+            break;
+        case ElementKind::inductor: {
+            const index_t bi = branch_of.at(e.name);
+            la::Triplets& a0 = as.term(0.0, n);
+            // KCL: branch current leaves n1, enters n2.
+            if (i1 >= 0) a0.add(i1, bi, 1.0);
+            if (i2 >= 0) a0.add(i2, bi, -1.0);
+            // Branch: L di/dt - (v1 - v2) = 0.
+            as.term(1.0, n).add(bi, bi, e.value);
+            if (i1 >= 0) a0.add(bi, i1, -1.0);
+            if (i2 >= 0) a0.add(bi, i2, 1.0);
+            break;
+        }
+        case ElementKind::vsource: {
+            const index_t bv = branch_of.at(e.name);
+            la::Triplets& a0 = as.term(0.0, n);
+            // i_v flows out of the + terminal into node n1.
+            if (i1 >= 0) a0.add(i1, bv, -1.0);
+            if (i2 >= 0) a0.add(i2, bv, 1.0);
+            // Branch: v1 - v2 = u.
+            if (i1 >= 0) a0.add(bv, i1, 1.0);
+            if (i2 >= 0) a0.add(bv, i2, -1.0);
+            as.b.add(bv, e.source_id, 1.0);
+            break;
+        }
+        case ElementKind::isource:
+            if (i1 >= 0) as.b.add(i1, e.source_id, e.value);
+            if (i2 >= 0) as.b.add(i2, e.source_id, -e.value);
+            break;
+        case ElementKind::vccs: {
+            la::Triplets& a0 = as.term(0.0, n);
+            const index_t cp = e.ctrl_p > 0 ? lay.voltage_index(e.ctrl_p) : -1;
+            const index_t cn = e.ctrl_n > 0 ? lay.voltage_index(e.ctrl_n) : -1;
+            // gm*(vcp - vcn) injected into n1, drawn from n2.
+            if (i1 >= 0 && cp >= 0) a0.add(i1, cp, -e.value);
+            if (i1 >= 0 && cn >= 0) a0.add(i1, cn, e.value);
+            if (i2 >= 0 && cp >= 0) a0.add(i2, cp, e.value);
+            if (i2 >= 0 && cn >= 0) a0.add(i2, cn, -e.value);
+            break;
+        }
+        case ElementKind::vcvs: {
+            const index_t be = branch_of.at(e.name);
+            la::Triplets& a0 = as.term(0.0, n);
+            const index_t cp = e.ctrl_p > 0 ? lay.voltage_index(e.ctrl_p) : -1;
+            const index_t cn = e.ctrl_n > 0 ? lay.voltage_index(e.ctrl_n) : -1;
+            if (i1 >= 0) a0.add(i1, be, -1.0);
+            if (i2 >= 0) a0.add(i2, be, 1.0);
+            // Branch: v1 - v2 - gain*(vcp - vcn) = 0.
+            if (i1 >= 0) a0.add(be, i1, 1.0);
+            if (i2 >= 0) a0.add(be, i2, -1.0);
+            if (cp >= 0) a0.add(be, cp, -e.value);
+            if (cn >= 0) a0.add(be, cn, e.value);
+            break;
+        }
+        case ElementKind::ccvs: {
+            const index_t bh = branch_of.at(e.name);
+            const index_t bc = ctrl_branch(e);
+            la::Triplets& a0 = as.term(0.0, n);
+            if (i1 >= 0) a0.add(i1, bh, -1.0);
+            if (i2 >= 0) a0.add(i2, bh, 1.0);
+            // Branch: v1 - v2 - r*i_ctrl = 0.
+            if (i1 >= 0) a0.add(bh, i1, 1.0);
+            if (i2 >= 0) a0.add(bh, i2, -1.0);
+            a0.add(bh, bc, -e.value);
+            break;
+        }
+        case ElementKind::cccs: {
+            const index_t bc = ctrl_branch(e);
+            la::Triplets& a0 = as.term(0.0, n);
+            // gain * i_ctrl injected into n1, drawn from n2.
+            if (i1 >= 0) a0.add(i1, bc, -e.value);
+            if (i2 >= 0) a0.add(i2, bc, e.value);
+            break;
+        }
+        case ElementKind::mutual: {
+            const auto l1 = inductance_of.find(e.ctrl_name);
+            const auto l2 = inductance_of.find(e.ctrl_name2);
+            OPMSIM_REQUIRE(l1 != inductance_of.end() && l2 != inductance_of.end(),
+                           "build_mna: mutual '" + e.name +
+                               "' references unknown inductors");
+            const double m = e.value * std::sqrt(l1->second * l2->second);
+            const index_t b1 = branch_of.at(e.ctrl_name);
+            const index_t b2 = branch_of.at(e.ctrl_name2);
+            // Branch equations gain the coupling: L1 di1/dt + M di2/dt = ...
+            la::Triplets& e1 = as.term(1.0, n);
+            e1.add(b1, b2, m);
+            e1.add(b2, b1, m);
+            break;
+        }
+        }
+    }
+    // Every system has an order-0 term (possibly structural only).
+    as.term(0.0, n);
+    return as;
+}
+
+} // namespace
+
+opm::MultiTermSystem build_multiterm_mna(const Netlist& nl, MnaLayout* layout) {
+    OPMSIM_REQUIRE(nl.num_nodes() > 0, "build_multiterm_mna: empty netlist");
+    Assembly as = assemble(nl);
+    if (layout) *layout = as.layout;
+
+    opm::MultiTermSystem sys;
+    for (const auto& [order, trip] : as.terms)
+        sys.lhs.push_back({order, la::CscMatrix(trip)});
+    sys.rhs.push_back({0.0, la::CscMatrix(as.b)});
+    return sys;
+}
+
+namespace {
+
+/// Convert a two-order multi-term assembly into descriptor form
+/// E d^alpha x = A x + B u with E = A_alpha and A = -A_0.
+opm::DescriptorSystem to_descriptor(opm::MultiTermSystem mt, double alpha,
+                                    index_t n) {
+    opm::DescriptorSystem sys;
+    bool have_dyn = false;
+    for (auto& t : mt.lhs) {
+        if (t.order == 0.0) {
+            sys.a = la::CscMatrix::add(-1.0, t.mat, 0.0, t.mat);
+        } else {
+            OPMSIM_REQUIRE(t.order == alpha,
+                           "netlist contains a dynamic element of order " +
+                               std::to_string(t.order) + ", expected " +
+                               std::to_string(alpha));
+            sys.e = std::move(t.mat);
+            have_dyn = true;
+        }
+    }
+    if (!have_dyn) sys.e = la::CscMatrix(la::Triplets(n, n));
+    sys.b = std::move(mt.rhs.front().mat);
+    return sys;
+}
+
+} // namespace
+
+opm::DescriptorSystem build_mna(const Netlist& nl, MnaLayout* layout) {
+    OPMSIM_REQUIRE(nl.count(ElementKind::cpe) == 0,
+                   "build_mna: netlist contains CPEs; use build_fractional_mna "
+                   "or build_multiterm_mna");
+    MnaLayout lay;
+    opm::MultiTermSystem mt = build_multiterm_mna(nl, &lay);
+    if (layout) *layout = lay;
+    return to_descriptor(std::move(mt), 1.0, lay.size());
+}
+
+opm::DescriptorSystem build_fractional_mna(const Netlist& nl, double alpha,
+                                           MnaLayout* layout) {
+    OPMSIM_REQUIRE(alpha > 0.0, "build_fractional_mna: alpha must be positive");
+    OPMSIM_REQUIRE(nl.count(ElementKind::capacitor) == 0 &&
+                       nl.count(ElementKind::inductor) == 0,
+                   "build_fractional_mna: integer-order dynamic elements "
+                   "present; use build_multiterm_mna");
+    MnaLayout lay;
+    opm::MultiTermSystem mt = build_multiterm_mna(nl, &lay);
+    if (layout) *layout = lay;
+    return to_descriptor(std::move(mt), alpha, lay.size());
+}
+
+la::CscMatrix node_voltage_selector(const MnaLayout& layout,
+                                    const std::vector<index_t>& nodes) {
+    la::Triplets t(static_cast<index_t>(nodes.size()), layout.size());
+    for (std::size_t r = 0; r < nodes.size(); ++r) {
+        OPMSIM_REQUIRE(nodes[r] >= 1 && nodes[r] <= layout.num_nodes,
+                       "node_voltage_selector: node index out of range");
+        t.add(static_cast<index_t>(r), layout.voltage_index(nodes[r]), 1.0);
+    }
+    return la::CscMatrix(t);
+}
+
+} // namespace opmsim::circuit

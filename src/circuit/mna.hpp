@@ -1,0 +1,57 @@
+#pragma once
+/// \file mna.hpp
+/// \brief Modified nodal analysis: netlist -> descriptor / multi-term models.
+///
+/// State vector layout: [node voltages 1..N | inductor currents | voltage
+/// source currents].  The assembled system follows the paper's convention
+///     E x' = A x + B u
+/// (i.e. A = -(conductance side) of the classic  C x' + G x = B u  MNA
+/// form).  Voltage sources contribute algebraic rows, so E is singular —
+/// a genuine DAE, which OPM handles unchanged (paper §III).
+///
+/// Circuits containing CPEs assemble into a MultiTermSystem
+///     sum_k A_k d^{alpha_k} x = B u
+/// with one term per distinct differential order (0, 1, and each CPE
+/// order), or — when *all* dynamic elements share one order alpha — into a
+/// single-order fractional descriptor system E d^alpha x = A x + B u.
+
+#include "circuit/netlist.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+
+namespace opmsim::circuit {
+
+/// Index bookkeeping for the MNA state vector.
+struct MnaLayout {
+    index_t num_nodes = 0;       ///< N (ground excluded)
+    index_t num_inductors = 0;   ///< branch-current states
+    index_t num_vsources = 0;    ///< branch-current states
+    index_t num_controlled = 0;  ///< VCVS/CCVS branch-current states
+    [[nodiscard]] index_t size() const {
+        return num_nodes + num_inductors + num_vsources + num_controlled;
+    }
+    /// State index of node voltage v_n (n in 1..N).
+    [[nodiscard]] index_t voltage_index(index_t node) const { return node - 1; }
+};
+
+/// Assemble E x' = A x + B u for an integer-order circuit (no CPEs).
+/// Throws std::invalid_argument if the netlist contains CPEs.
+opm::DescriptorSystem build_mna(const Netlist& nl, MnaLayout* layout = nullptr);
+
+/// Assemble E d^alpha x = A x + B u for a *uniform-order* fractional
+/// circuit: every dynamic element must be a CPE of the given order (the
+/// resistive/algebraic part is unrestricted).  Capacitors and inductors are
+/// rejected — mix them via build_multiterm_mna instead.
+opm::DescriptorSystem build_fractional_mna(const Netlist& nl, double alpha,
+                                           MnaLayout* layout = nullptr);
+
+/// Assemble the general multi-term form; handles any mix of R, L, C, CPE,
+/// and sources.  Terms are grouped by differential order.
+opm::MultiTermSystem build_multiterm_mna(const Netlist& nl,
+                                         MnaLayout* layout = nullptr);
+
+/// Output selector C picking the voltages of the given (1-based) nodes.
+la::CscMatrix node_voltage_selector(const MnaLayout& layout,
+                                    const std::vector<index_t>& nodes);
+
+} // namespace opmsim::circuit

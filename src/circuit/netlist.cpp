@@ -1,0 +1,103 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+index_t Netlist::node(const std::string& name) {
+    const auto it = names_.find(name);
+    if (it != names_.end()) return it->second;
+    const index_t id = num_nodes_ + 1;
+    names_.emplace(name, id);
+    ensure_node(id);
+    return id;
+}
+
+void Netlist::ensure_node(index_t n) {
+    OPMSIM_REQUIRE(n >= 0, "Netlist: negative node index");
+    num_nodes_ = std::max(num_nodes_, n);
+}
+
+void Netlist::add(Element e) {
+    ensure_node(e.n1);
+    ensure_node(e.n2);
+    if (e.kind == ElementKind::vccs) {
+        ensure_node(e.ctrl_p);
+        ensure_node(e.ctrl_n);
+    }
+    if (e.kind == ElementKind::vsource || e.kind == ElementKind::isource) {
+        OPMSIM_REQUIRE(e.source_id >= 0, "Netlist: source needs a source_id");
+        num_inputs_ = std::max(num_inputs_, e.source_id + 1);
+    }
+    elements_.push_back(std::move(e));
+}
+
+void Netlist::resistor(const std::string& name, index_t n1, index_t n2, double r) {
+    OPMSIM_REQUIRE(r > 0.0, "Netlist: resistance must be positive");
+    add({ElementKind::resistor, name, n1, n2, r, 1.0, 0, 0, -1});
+}
+
+void Netlist::capacitor(const std::string& name, index_t n1, index_t n2, double c) {
+    OPMSIM_REQUIRE(c > 0.0, "Netlist: capacitance must be positive");
+    add({ElementKind::capacitor, name, n1, n2, c, 1.0, 0, 0, -1});
+}
+
+void Netlist::inductor(const std::string& name, index_t n1, index_t n2, double l) {
+    OPMSIM_REQUIRE(l > 0.0, "Netlist: inductance must be positive");
+    add({ElementKind::inductor, name, n1, n2, l, 1.0, 0, 0, -1});
+}
+
+void Netlist::cpe(const std::string& name, index_t n1, index_t n2, double c,
+                  double alpha) {
+    OPMSIM_REQUIRE(c > 0.0, "Netlist: CPE coefficient must be positive");
+    OPMSIM_REQUIRE(alpha > 0.0 && alpha < 2.0, "Netlist: CPE order in (0,2)");
+    add({ElementKind::cpe, name, n1, n2, c, alpha, 0, 0, -1});
+}
+
+void Netlist::vsource(const std::string& name, index_t np, index_t nn,
+                      index_t source_id) {
+    add({ElementKind::vsource, name, np, nn, 1.0, 1.0, 0, 0, source_id});
+}
+
+void Netlist::isource(const std::string& name, index_t np, index_t nn,
+                      index_t source_id, double scale) {
+    add({ElementKind::isource, name, np, nn, scale, 1.0, 0, 0, source_id});
+}
+
+void Netlist::vccs(const std::string& name, index_t np, index_t nn, index_t cp,
+                   index_t cn, double gm) {
+    add({ElementKind::vccs, name, np, nn, gm, 1.0, cp, cn, -1, {}, {}});
+}
+
+void Netlist::vcvs(const std::string& name, index_t np, index_t nn, index_t cp,
+                   index_t cn, double gain) {
+    add({ElementKind::vcvs, name, np, nn, gain, 1.0, cp, cn, -1, {}, {}});
+}
+
+void Netlist::ccvs(const std::string& name, index_t np, index_t nn,
+                   const std::string& vsource_name, double r) {
+    add({ElementKind::ccvs, name, np, nn, r, 1.0, 0, 0, -1, vsource_name, {}});
+}
+
+void Netlist::cccs(const std::string& name, index_t np, index_t nn,
+                   const std::string& vsource_name, double gain) {
+    add({ElementKind::cccs, name, np, nn, gain, 1.0, 0, 0, -1, vsource_name, {}});
+}
+
+void Netlist::mutual(const std::string& name, const std::string& l1,
+                     const std::string& l2, double k) {
+    OPMSIM_REQUIRE(k > -1.0 && k < 1.0 && k != 0.0,
+                   "Netlist: coupling coefficient must be in (-1,1), nonzero");
+    OPMSIM_REQUIRE(l1 != l2, "Netlist: mutual inductance needs two inductors");
+    add({ElementKind::mutual, name, 0, 0, k, 1.0, 0, 0, -1, l1, l2});
+}
+
+index_t Netlist::count(ElementKind k) const {
+    return static_cast<index_t>(
+        std::count_if(elements_.begin(), elements_.end(),
+                      [k](const Element& e) { return e.kind == k; }));
+}
+
+} // namespace opmsim::circuit

@@ -1,0 +1,107 @@
+#pragma once
+/// \file netlist.hpp
+/// \brief Circuit netlist: R, L, C, sources, and fractional (CPE) elements.
+///
+/// The element set covers everything the paper's experiments need:
+/// resistors/capacitors/inductors and independent sources for the power
+/// grid, plus constant-phase elements (CPEs, "fractances") — the canonical
+/// fractional-order circuit element with branch law i = c * d^alpha v —
+/// for fractional models.  Node 0 is ground; other nodes are created on
+/// first use (by index or by name).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::circuit {
+
+using la::index_t;
+
+enum class ElementKind {
+    resistor,   ///< i = (v1 - v2) / value
+    capacitor,  ///< i = value * d(v1 - v2)/dt
+    inductor,   ///< value * di/dt = v1 - v2 (branch current is a state)
+    cpe,        ///< i = value * d^alpha (v1 - v2), 0 < alpha < 2
+    vsource,    ///< v1 - v2 = u[source_id](t) (branch current is a state)
+    isource,    ///< injects u[source_id](t) * value into n1, out of n2
+    vccs,       ///< injects value * (v_cp - v_cn) into n1, out of n2
+    vcvs,       ///< v1 - v2 = value * (v_cp - v_cn) (branch state)
+    ccvs,       ///< v1 - v2 = value * i(ctrl_name) (branch state)
+    cccs,       ///< injects value * i(ctrl_name) into n1, out of n2
+    mutual      ///< coupling k between inductors ctrl_name / ctrl_name2
+};
+
+struct Element {
+    ElementKind kind;
+    std::string name;
+    index_t n1 = 0, n2 = 0;      ///< terminal nodes (0 = ground)
+    double value = 0.0;          ///< R, C, L, CPE coefficient, gain, or k
+    double alpha = 1.0;          ///< CPE order
+    index_t ctrl_p = 0, ctrl_n = 0;  ///< VCCS/VCVS sensing nodes
+    index_t source_id = -1;      ///< input-vector slot for sources
+    std::string ctrl_name;       ///< CCVS/CCCS controlling V-source;
+                                 ///< mutual: first inductor
+    std::string ctrl_name2;      ///< mutual: second inductor
+};
+
+/// Element container with a tiny builder API.
+class Netlist {
+public:
+    explicit Netlist(std::string title = "") : title_(std::move(title)) {}
+
+    /// Map a symbolic node name to an index (creates on first use).
+    index_t node(const std::string& name);
+
+    /// Grow the node count to cover index n (for direct-index authoring).
+    void ensure_node(index_t n);
+
+    void resistor(const std::string& name, index_t n1, index_t n2, double r);
+    void capacitor(const std::string& name, index_t n1, index_t n2, double c);
+    void inductor(const std::string& name, index_t n1, index_t n2, double l);
+    /// Constant-phase element: i = c * d^alpha (v1 - v2).
+    void cpe(const std::string& name, index_t n1, index_t n2, double c, double alpha);
+    /// Independent voltage source; `source_id` selects the input channel.
+    void vsource(const std::string& name, index_t np, index_t nn, index_t source_id);
+    /// Independent current source scaled by `scale`, injecting into np.
+    void isource(const std::string& name, index_t np, index_t nn, index_t source_id,
+                 double scale = 1.0);
+    /// Voltage-controlled current source: gm * (v_cp - v_cn) into np.
+    void vccs(const std::string& name, index_t np, index_t nn, index_t cp, index_t cn,
+              double gm);
+    /// Voltage-controlled voltage source: v(np,nn) = gain * (v_cp - v_cn).
+    void vcvs(const std::string& name, index_t np, index_t nn, index_t cp, index_t cn,
+              double gain);
+    /// Current-controlled voltage source: v(np,nn) = r * i(vsource_name).
+    void ccvs(const std::string& name, index_t np, index_t nn,
+              const std::string& vsource_name, double r);
+    /// Current-controlled current source: gain * i(vsource_name) into np.
+    void cccs(const std::string& name, index_t np, index_t nn,
+              const std::string& vsource_name, double gain);
+    /// Mutual inductance M = k * sqrt(L1 L2) between two named inductors.
+    void mutual(const std::string& name, const std::string& l1,
+                const std::string& l2, double k);
+
+    [[nodiscard]] const std::string& title() const { return title_; }
+    [[nodiscard]] const std::vector<Element>& elements() const { return elements_; }
+
+    /// Number of non-ground nodes (highest node index used).
+    [[nodiscard]] index_t num_nodes() const { return num_nodes_; }
+
+    /// Number of input channels (1 + max source_id), 0 if no sources.
+    [[nodiscard]] index_t num_inputs() const { return num_inputs_; }
+
+    [[nodiscard]] index_t count(ElementKind k) const;
+
+private:
+    void add(Element e);
+
+    std::string title_;
+    std::vector<Element> elements_;
+    std::unordered_map<std::string, index_t> names_;
+    index_t num_nodes_ = 0;
+    index_t num_inputs_ = 0;
+};
+
+} // namespace opmsim::circuit

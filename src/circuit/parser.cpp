@@ -1,0 +1,269 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw std::invalid_argument("netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+std::string lowercase(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+/// Split a card into tokens; '(' ')' ',' '=' count as whitespace so
+/// "PULSE(0 1 0 1n)" and "SIN(0,1,1k)" tokenize uniformly.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::string cleaned = line;
+    for (char& c : cleaned)
+        if (c == '(' || c == ')' || c == ',' || c == '=') c = ' ';
+    std::istringstream is(cleaned);
+    std::vector<std::string> toks;
+    std::string t;
+    while (is >> t) toks.push_back(t);
+    return toks;
+}
+
+/// Strip comments: '*' at start of line, ';' anywhere.
+std::string strip_comment(const std::string& line) {
+    if (!line.empty() && line[0] == '*') return "";
+    const auto semi = line.find(';');
+    return semi == std::string::npos ? line : line.substr(0, semi);
+}
+
+} // namespace
+
+double parse_spice_number(const std::string& token) {
+    OPMSIM_REQUIRE(!token.empty(), "parse_spice_number: empty token");
+    std::size_t pos = 0;
+    double v;
+    try {
+        v = std::stod(token, &pos);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("parse_spice_number: not a number: '" + token + "'");
+    }
+    std::string suffix = lowercase(token.substr(pos));
+    if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+    if (suffix.rfind("mil", 0) == 0) return v * 25.4e-6;
+    if (suffix.empty()) return v;
+    switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    default:
+        // Bare unit letters ("5V", "3A", "10Hz") are ignored.
+        if (std::isalpha(static_cast<unsigned char>(suffix[0]))) return v;
+        throw std::invalid_argument("parse_spice_number: bad suffix on '" + token + "'");
+    }
+}
+
+index_t ParsedDeck::node(const std::string& name) const {
+    if (name == "0") return 0;
+    for (const auto& [n, id] : node_table)
+        if (n == name) return id;
+    throw std::invalid_argument("ParsedDeck::node: unknown node '" + name + "'");
+}
+
+namespace {
+
+/// Build the Source for a V/I card tail (tokens after the two nodes).
+wave::Source parse_source_spec(const std::vector<std::string>& t, std::size_t i,
+                               std::size_t line_no) {
+    if (i >= t.size()) fail(line_no, "missing source value");
+    const std::string kind = lowercase(t[i]);
+
+    auto num = [&](std::size_t k, double dflt = 0.0) {
+        return (i + k < t.size()) ? parse_spice_number(t[i + k]) : dflt;
+    };
+
+    if (kind == "dc") {
+        if (i + 1 >= t.size()) fail(line_no, "DC needs a value");
+        return wave::step(parse_spice_number(t[i + 1]));
+    }
+    if (kind == "sin") {
+        // SIN(voff vamp freq [td])
+        const double voff = num(1), vamp = num(2), freq = num(3), td = num(4);
+        if (freq <= 0) fail(line_no, "SIN needs a positive frequency");
+        return [=](double x) {
+            if (x < td) return voff;
+            return voff + vamp * std::sin(2.0 * 3.14159265358979323846 * freq * (x - td));
+        };
+    }
+    if (kind == "pulse") {
+        // PULSE(v1 v2 td tr tf pw per) — v1 assumed 0-based baseline shift.
+        const double v1 = num(1), v2 = num(2), td = num(3);
+        const double tr = num(4, 1e-12), tf = num(5, 1e-12);
+        const double pw = num(6), per = num(7, 0.0);
+        const wave::Source p =
+            per > 0.0 ? wave::pulse_train(v2 - v1, td, tr, pw, tf, per)
+                      : wave::pulse(v2 - v1, td, tr, pw, tf);
+        return [=](double x) { return v1 + p(x); };
+    }
+    if (kind == "pwl") {
+        std::vector<double> ts, vs;
+        for (std::size_t k = i + 1; k + 1 < t.size(); k += 2) {
+            ts.push_back(parse_spice_number(t[k]));
+            vs.push_back(parse_spice_number(t[k + 1]));
+        }
+        if (ts.size() < 2) fail(line_no, "PWL needs at least two breakpoints");
+        return wave::pwl(std::move(ts), std::move(vs));
+    }
+    if (kind == "exp") {
+        // EXP(v0 v1 td tau): v0 -> v1 with time constant tau after td.
+        const double v0 = num(1), v1 = num(2), td = num(3), tau = num(4, 1e-9);
+        if (tau <= 0) fail(line_no, "EXP needs a positive tau");
+        return [=](double x) {
+            if (x < td) return v0;
+            return v1 + (v0 - v1) * std::exp(-(x - td) / tau);
+        };
+    }
+    // Bare number: DC level.
+    return wave::step(parse_spice_number(t[i]));
+}
+
+} // namespace
+
+ParsedDeck parse_netlist(const std::string& text) {
+    ParsedDeck deck;
+
+    // Join continuation lines ('+' prefix) and drop comments.
+    std::vector<std::pair<std::size_t, std::string>> cards;
+    {
+        std::istringstream is(text);
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(is, line)) {
+            ++line_no;
+            line = strip_comment(line);
+            const auto first = line.find_first_not_of(" \t\r");
+            if (first == std::string::npos) continue;
+            if (line[first] == '+') {
+                if (cards.empty()) fail(line_no, "continuation with no previous card");
+                cards.back().second += " " + line.substr(first + 1);
+            } else {
+                cards.emplace_back(line_no, line.substr(first));
+            }
+        }
+    }
+    // SPICE convention: the first line is the title (unless it's a card we
+    // recognize — be forgiving for programmatic decks).
+    std::size_t start = 0;
+    if (!cards.empty()) {
+        const char c0 = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(cards[0].second[0])));
+        const bool looks_like_card =
+            std::string("rlcvipg.").find(c0) != std::string::npos &&
+            tokenize(cards[0].second).size() >= 2;
+        if (!looks_like_card) {
+            deck.netlist = Netlist(cards[0].second);
+            start = 1;
+        }
+    }
+
+    auto node_id = [&](const std::string& name) -> index_t {
+        if (name == "0" || lowercase(name) == "gnd") return 0;
+        for (const auto& [n, id] : deck.node_table)
+            if (n == name) return id;
+        const index_t id = deck.netlist.node(name);
+        deck.node_table.emplace_back(name, id);
+        return id;
+    };
+
+    bool ended = false;
+    for (std::size_t c = start; c < cards.size(); ++c) {
+        const auto& [line_no, card] = cards[c];
+        if (ended) fail(line_no, "card after .end");
+        const std::vector<std::string> t = tokenize(card);
+        if (t.empty()) continue;
+        const std::string head = lowercase(t[0]);
+
+        if (head[0] == '.') {
+            if (head == ".end") {
+                ended = true;
+            } else if (head == ".tran") {
+                if (t.size() < 3) fail(line_no, ".tran needs step and stop");
+                deck.tran_step = parse_spice_number(t[1]);
+                deck.tran_stop = parse_spice_number(t[2]);
+                if (deck.tran_step <= 0 || deck.tran_stop <= deck.tran_step)
+                    fail(line_no, ".tran needs 0 < step < stop");
+            } else {
+                fail(line_no, "unsupported directive '" + t[0] + "'");
+            }
+            continue;
+        }
+
+        if (t.size() < 4) fail(line_no, "too few fields on card '" + t[0] + "'");
+        const std::string& name = t[0];
+        const index_t n1 = node_id(t[1]);
+        const index_t n2 = node_id(t[2]);
+
+        try {
+            switch (head[0]) {
+            case 'r':
+                deck.netlist.resistor(name, n1, n2, parse_spice_number(t[3]));
+                break;
+            case 'l':
+                deck.netlist.inductor(name, n1, n2, parse_spice_number(t[3]));
+                break;
+            case 'c':
+                deck.netlist.capacitor(name, n1, n2, parse_spice_number(t[3]));
+                break;
+            case 'p': {  // CPE: P name n+ n- CPE(c alpha)  (opmsim extension)
+                std::size_t i = 3;
+                if (lowercase(t[3]) == "cpe") ++i;
+                if (i + 1 >= t.size()) fail(line_no, "CPE needs c and alpha");
+                deck.netlist.cpe(name, n1, n2, parse_spice_number(t[i]),
+                                 parse_spice_number(t[i + 1]));
+                break;
+            }
+            case 'g': {  // VCCS: G name n+ n- nc+ nc- gm
+                if (t.size() < 6) fail(line_no, "VCCS needs 4 nodes and gm");
+                const index_t cp = node_id(t[3]);
+                const index_t cn = node_id(t[4]);
+                deck.netlist.vccs(name, n1, n2, cp, cn, parse_spice_number(t[5]));
+                break;
+            }
+            case 'v': {
+                const index_t ch = static_cast<index_t>(deck.inputs.size());
+                deck.netlist.vsource(name, n1, n2, ch);
+                deck.inputs.push_back(parse_source_spec(t, 3, line_no));
+                deck.input_names.push_back(name);
+                break;
+            }
+            case 'i': {
+                const index_t ch = static_cast<index_t>(deck.inputs.size());
+                deck.netlist.isource(name, n1, n2, ch, 1.0);
+                deck.inputs.push_back(parse_source_spec(t, 3, line_no));
+                deck.input_names.push_back(name);
+                break;
+            }
+            default:
+                fail(line_no, "unsupported element '" + t[0] + "'");
+            }
+        } catch (const std::invalid_argument& e) {
+            // Re-tag netlist/number errors with the deck line.
+            fail(line_no, e.what());
+        }
+    }
+
+    OPMSIM_REQUIRE(deck.netlist.num_nodes() > 0, "parse_netlist: empty deck");
+    return deck;
+}
+
+} // namespace opmsim::circuit

@@ -1,0 +1,58 @@
+#pragma once
+/// \file parser.hpp
+/// \brief SPICE-style netlist deck parser.
+///
+/// Parses the familiar subset of a SPICE deck into a circuit::Netlist plus
+/// the source waveforms and analysis directive, so benches/tests/users can
+/// describe circuits as text:
+///
+///     * rc lowpass
+///     V1 in 0 PULSE(0 1 0 1n 1n 5n 12n)
+///     R1 in out 1k
+///     C1 out 0 1u
+///     P1 out 0 CPE(2.2u 0.5)        ; fractional element (opmsim extension)
+///     .tran 10n 5u
+///     .end
+///
+/// Supported cards:
+///   R/L/C name n+ n- value            (value with SPICE suffixes f..T)
+///   V/I   name n+ n- <spec>           spec: DC v | SIN(..) | PULSE(..) |
+///                                     PWL(t v ...) | EXP(v0 v1 td tau)
+///   P     name n+ n- CPE(c alpha)     constant-phase element
+///   G     name n+ n- nc+ nc- gm       VCCS
+///   .tran h tstop | .end | comments (* or ;) | continuation (+)
+///
+/// Each independent source gets its own input channel in deck order.
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "wave/sources.hpp"
+
+namespace opmsim::circuit {
+
+/// Result of parsing a deck.
+struct ParsedDeck {
+    Netlist netlist;
+    std::vector<wave::Source> inputs;  ///< one per independent source
+    std::vector<std::string> input_names;
+    double tran_step = 0.0;  ///< .tran h (0 if absent)
+    double tran_stop = 0.0;  ///< .tran tstop (0 if absent)
+
+    /// Look up a node index by deck name ("0" is ground).
+    [[nodiscard]] index_t node(const std::string& name) const;
+
+    std::vector<std::pair<std::string, index_t>> node_table;  ///< name -> id
+};
+
+/// Parse a deck from text.  Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+ParsedDeck parse_netlist(const std::string& text);
+
+/// Parse a single SPICE number with magnitude suffix: "4.7k" -> 4700,
+/// "100n" -> 1e-7, "2meg" -> 2e6, "5" -> 5.  Trailing unit letters after
+/// the suffix are ignored ("10pF" -> 1e-11).
+double parse_spice_number(const std::string& token);
+
+} // namespace opmsim::circuit

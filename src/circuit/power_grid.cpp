@@ -1,0 +1,122 @@
+#include "circuit/power_grid.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+index_t grid_node(const PowerGridSpec& s, index_t x, index_t y, index_t z) {
+    OPMSIM_REQUIRE(x >= 0 && x < s.nx && y >= 0 && y < s.ny && z >= 0 && z < s.nz,
+                   "grid_node: coordinates out of range");
+    return 1 + (z * s.ny + y) * s.nx + x;
+}
+
+namespace {
+
+/// Deterministic linear-congruential generator for load placement (fixed
+/// across platforms, unlike <random> distributions).
+class Lcg {
+public:
+    explicit Lcg(unsigned seed) : state_(seed * 2654435761u + 1u) {}
+    index_t next(index_t bound) {
+        state_ = state_ * 1664525u + 1013904223u;
+        return static_cast<index_t>((state_ >> 8) % static_cast<unsigned>(bound));
+    }
+
+private:
+    unsigned state_;
+};
+
+} // namespace
+
+PowerGrid build_power_grid(const PowerGridSpec& spec) {
+    OPMSIM_REQUIRE(spec.nx >= 2 && spec.ny >= 2 && spec.nz >= 1,
+                   "build_power_grid: grid must be at least 2x2x1");
+    OPMSIM_REQUIRE(spec.num_loads >= 1 && spec.load_channels >= 1,
+                   "build_power_grid: need at least one load and channel");
+
+    PowerGrid pg;
+    Netlist& nl = pg.netlist;
+
+    // Metal mesh: resistors between lateral neighbors in every layer.
+    for (index_t z = 0; z < spec.nz; ++z)
+        for (index_t y = 0; y < spec.ny; ++y)
+            for (index_t x = 0; x < spec.nx; ++x) {
+                const index_t n = grid_node(spec, x, y, z);
+                if (x + 1 < spec.nx)
+                    nl.resistor("Rx" + std::to_string(n), n,
+                                grid_node(spec, x + 1, y, z), spec.seg_r);
+                if (y + 1 < spec.ny)
+                    nl.resistor("Ry" + std::to_string(n), n,
+                                grid_node(spec, x, y + 1, z), spec.seg_r);
+                nl.capacitor("C" + std::to_string(n), n, 0, spec.node_c);
+                if (z + 1 < spec.nz)
+                    nl.inductor("Lv" + std::to_string(n), n,
+                                grid_node(spec, x, y, z + 1), spec.via_l);
+            }
+
+    // VDD pads: Norton equivalents at the four corners of the top layer.
+    const index_t top = spec.nz - 1;
+    const index_t pads[4] = {
+        grid_node(spec, 0, 0, top),
+        grid_node(spec, spec.nx - 1, 0, top),
+        grid_node(spec, 0, spec.ny - 1, top),
+        grid_node(spec, spec.nx - 1, spec.ny - 1, top),
+    };
+    for (int k = 0; k < 4; ++k) {
+        nl.resistor("Rpad" + std::to_string(k), pads[k], 0, spec.pad_r);
+        nl.isource("Ipad" + std::to_string(k), pads[k], 0, /*source_id=*/0,
+                   spec.vdd / spec.pad_r);
+    }
+
+    // Switching loads on the bottom layer, grouped into phase channels.
+    Lcg rng(spec.seed);
+    for (index_t l = 0; l < spec.num_loads; ++l) {
+        const index_t x = rng.next(spec.nx);
+        const index_t y = rng.next(spec.ny);
+        const index_t ch = 1 + l % spec.load_channels;
+        // Negative scale: the load *draws* current out of the node.
+        nl.isource("Iload" + std::to_string(l), grid_node(spec, x, y, 0), 0, ch,
+                   -spec.load_peak);
+    }
+
+    // Input channel 0: supply ramp 0 -> 1 over vdd_rise, then hold.
+    // Channels 1..k: staggered pulse trains.  Raised-cosine edges keep the
+    // stimulus C^1 so the integrators' order (not input corners) governs
+    // their error — matching the smooth-workload regime of Table II.
+    pg.inputs.push_back(wave::smooth_step(1.0, 0.0, spec.vdd_rise));
+    for (index_t ch = 0; ch < spec.load_channels; ++ch) {
+        const double t0 = spec.vdd_rise * 1.5 + static_cast<double>(ch) *
+                                                    spec.load_period /
+                                                    static_cast<double>(spec.load_channels);
+        pg.inputs.push_back(wave::smooth_pulse_train(1.0, t0, spec.load_rise,
+                                                     spec.load_width,
+                                                     spec.load_fall,
+                                                     spec.load_period));
+    }
+
+    // Monitors: bottom-layer center, bottom corner farthest from pads
+    // (worst-case IR drop), and a mid-edge node.
+    pg.monitors = {
+        grid_node(spec, spec.nx / 2, spec.ny / 2, 0),
+        grid_node(spec, spec.nx - 1, spec.ny - 1, 0),
+        grid_node(spec, spec.nx / 2, 0, 0),
+    };
+
+    // Both models of the same grid.
+    pg.second_order = build_second_order(nl);
+    pg.mna = build_mna(nl, &pg.mna_layout);
+
+    // Output selectors.  Node-voltage state indices coincide in both
+    // models (voltages come first in the MNA layout).
+    la::Triplets csel(static_cast<index_t>(pg.monitors.size()), nl.num_nodes());
+    for (std::size_t r = 0; r < pg.monitors.size(); ++r)
+        csel.add(static_cast<index_t>(r), pg.monitors[r] - 1, 1.0);
+    pg.second_order.c = la::CscMatrix(csel);
+    pg.mna.c = node_voltage_selector(pg.mna_layout, pg.monitors);
+
+    return pg;
+}
+
+} // namespace opmsim::circuit

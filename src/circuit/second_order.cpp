@@ -1,0 +1,69 @@
+#include "circuit/second_order.hpp"
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+opm::MultiTermSystem build_second_order(const Netlist& nl) {
+    const index_t n = nl.num_nodes();
+    OPMSIM_REQUIRE(n > 0, "build_second_order: empty netlist");
+    const index_t p = std::max<index_t>(nl.num_inputs(), 1);
+
+    la::Triplets c2(n, n);   // order 2: capacitances
+    la::Triplets g1(n, n);   // order 1: conductances
+    la::Triplets gam(n, n);  // order 0: 1/L branch Laplacian
+    la::Triplets b(n, p);    // injections (applied at order 1 on the rhs)
+
+    auto stamp = [n](la::Triplets& t, index_t n1, index_t n2, double v) {
+        const index_t i1 = n1 - 1, i2 = n2 - 1;
+        if (n1 > 0) t.add(i1, i1, v);
+        if (n2 > 0) t.add(i2, i2, v);
+        if (n1 > 0 && n2 > 0) {
+            t.add(i1, i2, -v);
+            t.add(i2, i1, -v);
+        }
+    };
+
+    for (const Element& e : nl.elements()) {
+        switch (e.kind) {
+        case ElementKind::resistor:
+            stamp(g1, e.n1, e.n2, 1.0 / e.value);
+            break;
+        case ElementKind::capacitor:
+            stamp(c2, e.n1, e.n2, e.value);
+            break;
+        case ElementKind::inductor:
+            stamp(gam, e.n1, e.n2, 1.0 / e.value);
+            break;
+        case ElementKind::isource:
+            if (e.n1 > 0) b.add(e.n1 - 1, e.source_id, e.value);
+            if (e.n2 > 0) b.add(e.n2 - 1, e.source_id, -e.value);
+            break;
+        case ElementKind::vccs: {
+            if (e.n1 > 0 && e.ctrl_p > 0) g1.add(e.n1 - 1, e.ctrl_p - 1, -e.value);
+            if (e.n1 > 0 && e.ctrl_n > 0) g1.add(e.n1 - 1, e.ctrl_n - 1, e.value);
+            if (e.n2 > 0 && e.ctrl_p > 0) g1.add(e.n2 - 1, e.ctrl_p - 1, e.value);
+            if (e.n2 > 0 && e.ctrl_n > 0) g1.add(e.n2 - 1, e.ctrl_n - 1, -e.value);
+            break;
+        }
+        case ElementKind::vsource:
+        case ElementKind::cpe:
+        case ElementKind::vcvs:
+        case ElementKind::ccvs:
+        case ElementKind::cccs:
+        case ElementKind::mutual:
+            OPMSIM_REQUIRE(false,
+                           "build_second_order: element '" + e.name +
+                               "' is not supported by the NA second-order form");
+        }
+    }
+
+    opm::MultiTermSystem sys;
+    sys.lhs.push_back({2.0, la::CscMatrix(c2)});
+    sys.lhs.push_back({1.0, la::CscMatrix(g1)});
+    sys.lhs.push_back({0.0, la::CscMatrix(gam)});
+    sys.rhs.push_back({1.0, la::CscMatrix(b)});
+    return sys;
+}
+
+} // namespace opmsim::circuit

@@ -1,0 +1,68 @@
+#include "circuit/tline.hpp"
+
+#include "util/check.hpp"
+
+namespace opmsim::circuit {
+
+opm::DenseDescriptorSystem make_fractional_tline(const FractionalTlineSpec& spec) {
+    OPMSIM_REQUIRE(spec.sections >= 1, "make_fractional_tline: sections >= 1");
+    OPMSIM_REQUIRE(spec.r >= 0 && spec.l > 0 && spec.k >= 0 && spec.c > 0 &&
+                       spec.c_end > 0 && spec.r_load > 0,
+                   "make_fractional_tline: nonphysical element value");
+
+    const la::index_t s_count = spec.sections;
+    const la::index_t n = 4 * s_count - 1;
+
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd(n, n);
+    sys.a = la::Matrixd(n, n);
+    sys.b = la::Matrixd(n, 2);
+    sys.c = la::Matrixd(2, n);
+
+    // State indices for section s (1-based).
+    auto ii = [](la::index_t s) { return 4 * (s - 1); };      // i_s
+    auto iih = [](la::index_t s) { return 4 * (s - 1) + 1; }; // i_s^{1/2}
+    auto iv = [](la::index_t s) { return 4 * (s - 1) + 2; };  // v_s
+    auto ivh = [](la::index_t s) { return 4 * (s - 1) + 3; }; // v_s^{1/2}
+
+    for (la::index_t s = 1; s <= s_count; ++s) {
+        // d^{1/2} i_s = i_s^h
+        sys.e(ii(s), ii(s)) = 1.0;
+        sys.a(ii(s), iih(s)) = 1.0;
+
+        // L d^{1/2} i_s^h = v_{s-1} - v_s - R i_s - K i_s^h
+        // (L zeta^2 i = L di/dt; K zeta i = K i_h: series R + sL + K sqrt(s))
+        sys.e(iih(s), iih(s)) = spec.l;
+        sys.a(iih(s), ii(s)) = -spec.r;
+        sys.a(iih(s), iih(s)) = -spec.k;
+        sys.a(iih(s), iv(s)) = -1.0;
+        if (s == 1)
+            sys.b(iih(s), 0) = 1.0;  // v_0 = near-end source u1
+        else
+            sys.a(iih(s), iv(s - 1)) = 1.0;
+
+        if (s < s_count) {
+            // Interior node: ideal capacitor through the half-order pair.
+            // d^{1/2} v_s = v_s^h;  C d^{1/2} v_s^h = i_s - i_{s+1}
+            sys.e(iv(s), iv(s)) = 1.0;
+            sys.a(iv(s), ivh(s)) = 1.0;
+            sys.e(ivh(s), ivh(s)) = spec.c;
+            sys.a(ivh(s), ii(s)) = 1.0;
+            sys.a(ivh(s), ii(s + 1)) = -1.0;
+        } else {
+            // Far-end node: CPE (i = c_end d^{1/2} v) + load to source u2.
+            // c_end d^{1/2} v_S = i_S - (v_S - u2)/R_load
+            sys.e(iv(s), iv(s)) = spec.c_end;
+            sys.a(iv(s), ii(s)) = 1.0;
+            sys.a(iv(s), iv(s)) = -1.0 / spec.r_load;
+            sys.b(iv(s), 1) = 1.0 / spec.r_load;
+        }
+    }
+
+    // Outputs: near-end current and far-end voltage.
+    sys.c(0, ii(1)) = 1.0;
+    sys.c(1, iv(s_count)) = 1.0;
+    return sys;
+}
+
+} // namespace opmsim::circuit

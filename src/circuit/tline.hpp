@@ -1,0 +1,45 @@
+#pragma once
+/// \file tline.hpp
+/// \brief Fractional (order-1/2) transmission-line model (Table I substrate).
+///
+/// The paper's §V-A example is a 7-state, 2-input/2-output transmission-
+/// line model with d^{1/2} dynamics, citing fractional-calculus line models
+/// ([7],[8]); its numerical data was never published.  This module builds
+/// the closest physical equivalent: a cascade of RLC sections whose series
+/// impedance includes the skin-effect term K*sqrt(s),
+///     Z(s) = R + s L + K sqrt(s),
+/// realized in *half-order companion form*: each first-order relation is
+/// split through the auxiliary states i_h = d^{1/2} i and v_h = d^{1/2} v,
+/// so the whole cascade becomes a single-order system
+///     E d^{1/2} x = A x + B u,    y = C x.
+/// The far-end node uses a constant-phase element (lossy dielectric), which
+/// needs no auxiliary state — with S sections the model has n = 4S - 1
+/// states, and the default S = 2 gives exactly the paper's n = 7, p = q = 2.
+///
+/// State layout (S = 2): {i1, i1h, v1, v1h, i2, i2h, v2};
+/// inputs u = (near-end source, far-end source); outputs y = (i1, v2).
+/// Passivity: tests verify Matignon's condition |arg(lambda)| > pi/4 on
+/// the pencil spectrum.
+
+#include "opm/solver.hpp"
+
+namespace opmsim::circuit {
+
+struct FractionalTlineSpec {
+    la::index_t sections = 2;  ///< S >= 1; n = 4S - 1 states
+    double r = 10.0;           ///< series resistance per section [ohm]
+    double l = 2e-9;           ///< series inductance per section [H]
+    double k = 1e-4;           ///< skin-effect coefficient [ohm*s^{1/2}]
+    double c = 1e-12;          ///< shunt capacitance per section [F]
+    double c_end = 1e-12;      ///< far-end CPE coefficient [F*s^{-1/2}]
+    double r_load = 50.0;      ///< far-end termination [ohm]
+};
+
+/// Build the half-order-companion state-space model (alpha = 1/2).
+opm::DenseDescriptorSystem make_fractional_tline(
+    const FractionalTlineSpec& spec = {});
+
+/// The order of the model's fractional derivative.
+inline constexpr double kTlineAlpha = 0.5;
+
+} // namespace opmsim::circuit

@@ -1,0 +1,112 @@
+#include "fftx/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace opmsim::fftx {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Iterative radix-2 Cooley–Tukey, size must be a power of two.
+/// sign = -1 forward, +1 inverse (no normalization here).
+void fft_pow2(std::vector<cplx>& x, int sign) {
+    const std::size_t n = x.size();
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(x[i], x[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * kPi / static_cast<double>(len);
+        const cplx wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            cplx w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const cplx u = x[i + k];
+                const cplx v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+/// Bluestein chirp-z: arbitrary-size DFT via a power-of-two convolution.
+void fft_bluestein(std::vector<cplx>& x, int sign) {
+    const std::size_t n = x.size();
+    const std::size_t m = next_pow2(2 * n - 1);
+
+    // chirp[k] = exp(sign * i * pi * k^2 / n)
+    std::vector<cplx> chirp(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        // k^2 mod 2n avoids precision loss for large k.
+        const double e = static_cast<double>((k * k) % (2 * n));
+        const double ang = sign * kPi * e / static_cast<double>(n);
+        chirp[k] = cplx(std::cos(ang), std::sin(ang));
+    }
+
+    std::vector<cplx> a(m, cplx(0, 0)), b(m, cplx(0, 0));
+    for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+    b[0] = std::conj(chirp[0]);
+    for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+
+    fft_pow2(a, -1);
+    fft_pow2(b, -1);
+    for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+    fft_pow2(a, +1);
+    const double inv_m = 1.0 / static_cast<double>(m);
+    for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * inv_m * chirp[k];
+}
+
+void transform(std::vector<cplx>& x, int sign) {
+    if (x.size() <= 1) return;
+    if (is_pow2(x.size()))
+        fft_pow2(x, sign);
+    else
+        fft_bluestein(x, sign);
+}
+
+} // namespace
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+void fft(std::vector<cplx>& x) { transform(x, -1); }
+
+void ifft(std::vector<cplx>& x) {
+    transform(x, +1);
+    const double inv_n = 1.0 / static_cast<double>(x.size() == 0 ? 1 : x.size());
+    for (auto& v : x) v *= inv_n;
+}
+
+std::vector<cplx> fft_real(const std::vector<double>& x) {
+    std::vector<cplx> z(x.begin(), x.end());
+    fft(z);
+    return z;
+}
+
+std::vector<cplx> dft_naive(const std::vector<cplx>& x) {
+    const std::size_t n = x.size();
+    std::vector<cplx> y(n, cplx(0, 0));
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * kPi * static_cast<double>(j * k % n) /
+                               static_cast<double>(n);
+            y[k] += x[j] * cplx(std::cos(ang), std::sin(ang));
+        }
+    return y;
+}
+
+} // namespace opmsim::fftx

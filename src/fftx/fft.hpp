@@ -1,0 +1,37 @@
+#pragma once
+/// \file fft.hpp
+/// \brief Fast Fourier transforms (radix-2 Cooley–Tukey + Bluestein).
+///
+/// The FFT is the substrate of the paper's frequency-domain baseline
+/// ("FFT-1"/"FFT-2" in Table I): the input is transformed to the frequency
+/// domain, the fractional pencil (jw)^a E - A is solved per sample, and the
+/// result is transformed back.  Arbitrary (non power-of-two) lengths — the
+/// paper uses 100 samples — are handled by Bluestein's chirp-z algorithm.
+
+#include <complex>
+#include <vector>
+
+namespace opmsim::fftx {
+
+using cplx = std::complex<double>;
+
+/// In-place forward DFT: X[k] = sum_n x[n] exp(-2*pi*i*n*k/N).
+/// Power-of-two sizes use iterative radix-2; other sizes use Bluestein.
+void fft(std::vector<cplx>& x);
+
+/// In-place inverse DFT (includes the 1/N normalization).
+void ifft(std::vector<cplx>& x);
+
+/// Forward DFT of a real signal (convenience wrapper).
+std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// Naive O(N^2) DFT — test oracle only.
+std::vector<cplx> dft_naive(const std::vector<cplx>& x);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+} // namespace opmsim::fftx

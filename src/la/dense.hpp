@@ -1,0 +1,218 @@
+#pragma once
+/// \file dense.hpp
+/// \brief Dense column-major matrices and vector kernels.
+///
+/// opmsim has no external math dependencies, so this header provides the
+/// dense substrate used throughout the library: a column-major Matrix<T>
+/// (T = double or std::complex<double>), std::vector-based vectors, and the
+/// level-1/2/3 kernels the solvers need.  Column-major layout is chosen
+/// because the OPM solvers operate on the coefficient matrix X one column
+/// at a time (paper, Section III-A).
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace opmsim::la {
+
+using index_t = std::ptrdiff_t;
+using cplx = std::complex<double>;
+
+/// Magnitude helper that works for both real and complex scalars.
+inline double abs_val(double x) { return std::abs(x); }
+inline double abs_val(const cplx& x) { return std::abs(x); }
+
+/// Dense column-major matrix of scalars T.
+///
+/// Invariants: storage size == rows()*cols(); rows(), cols() >= 0.
+template <class T>
+class Matrix {
+public:
+    /// Empty 0x0 matrix.
+    Matrix() = default;
+
+    /// r-by-c matrix, zero-initialized.
+    Matrix(index_t r, index_t c) : rows_(r), cols_(c), d_(check_size(r, c)) {}
+
+    /// Build from a row-major nested initializer list (test convenience):
+    /// Matrix<double>{{1,2},{3,4}}.
+    Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+        rows_ = static_cast<index_t>(rows.size());
+        cols_ = rows_ > 0 ? static_cast<index_t>(rows.begin()->size()) : 0;
+        d_.assign(static_cast<std::size_t>(rows_ * cols_), T{});
+        index_t i = 0;
+        for (const auto& row : rows) {
+            OPMSIM_REQUIRE(static_cast<index_t>(row.size()) == cols_,
+                           "ragged initializer list");
+            index_t j = 0;
+            for (const T& v : row) (*this)(i, j++) = v;
+            ++i;
+        }
+    }
+
+    /// n-by-n identity.
+    static Matrix identity(index_t n) {
+        Matrix m(n, n);
+        for (index_t i = 0; i < n; ++i) m(i, i) = T{1};
+        return m;
+    }
+
+    /// r-by-c zero matrix (alias of the sizing constructor, reads better).
+    static Matrix zeros(index_t r, index_t c) { return Matrix(r, c); }
+
+    [[nodiscard]] index_t rows() const { return rows_; }
+    [[nodiscard]] index_t cols() const { return cols_; }
+    [[nodiscard]] bool empty() const { return d_.empty(); }
+
+    /// Unchecked element access (column-major).
+    T& operator()(index_t i, index_t j) {
+        return d_[static_cast<std::size_t>(j * rows_ + i)];
+    }
+    const T& operator()(index_t i, index_t j) const {
+        return d_[static_cast<std::size_t>(j * rows_ + i)];
+    }
+
+    /// Raw pointer to the first element of column j.
+    T* col(index_t j) { return d_.data() + j * rows_; }
+    const T* col(index_t j) const { return d_.data() + j * rows_; }
+
+    T* data() { return d_.data(); }
+    const T* data() const { return d_.data(); }
+
+    /// Element-wise operations.
+    Matrix& operator+=(const Matrix& o) {
+        require_same_shape(o);
+        for (std::size_t k = 0; k < d_.size(); ++k) d_[k] += o.d_[k];
+        return *this;
+    }
+    Matrix& operator-=(const Matrix& o) {
+        require_same_shape(o);
+        for (std::size_t k = 0; k < d_.size(); ++k) d_[k] -= o.d_[k];
+        return *this;
+    }
+    Matrix& operator*=(T s) {
+        for (auto& v : d_) v *= s;
+        return *this;
+    }
+
+    friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+    friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+    friend Matrix operator*(Matrix a, T s) { return a *= s; }
+    friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+    /// Matrix product (naive jki loop, adequate for the dense sizes opmsim
+    /// uses: operational matrices m<=1024 and small circuit pencils).
+    friend Matrix operator*(const Matrix& a, const Matrix& b) {
+        OPMSIM_REQUIRE(a.cols_ == b.rows_, "matmul: inner dimensions differ");
+        Matrix c(a.rows_, b.cols_);
+        for (index_t j = 0; j < b.cols_; ++j)
+            for (index_t k = 0; k < a.cols_; ++k) {
+                const T bkj = b(k, j);
+                if (bkj == T{}) continue;
+                const T* ak = a.col(k);
+                T* cj = c.col(j);
+                for (index_t i = 0; i < a.rows_; ++i) cj[i] += ak[i] * bkj;
+            }
+        return c;
+    }
+
+    [[nodiscard]] Matrix transposed() const {
+        Matrix t(cols_, rows_);
+        for (index_t j = 0; j < cols_; ++j)
+            for (index_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+        return t;
+    }
+
+    /// Max absolute entry (infinity norm of vec(A)).
+    [[nodiscard]] double max_abs() const {
+        double m = 0;
+        for (const auto& v : d_) m = std::max(m, abs_val(v));
+        return m;
+    }
+
+    /// Frobenius norm.
+    [[nodiscard]] double frobenius() const {
+        double s = 0;
+        for (const auto& v : d_) s += abs_val(v) * abs_val(v);
+        return std::sqrt(s);
+    }
+
+    bool operator==(const Matrix& o) const {
+        return rows_ == o.rows_ && cols_ == o.cols_ && d_ == o.d_;
+    }
+
+private:
+    static std::size_t check_size(index_t r, index_t c) {
+        OPMSIM_REQUIRE(r >= 0 && c >= 0, "matrix dimensions must be non-negative");
+        return static_cast<std::size_t>(r) * static_cast<std::size_t>(c);
+    }
+    void require_same_shape(const Matrix& o) const {
+        OPMSIM_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_,
+                       "matrix shapes differ");
+    }
+
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<T> d_;
+};
+
+using Matrixd = Matrix<double>;
+using Matrixz = Matrix<cplx>;
+using Vectord = std::vector<double>;
+using Vectorz = std::vector<cplx>;
+
+/// y = A x.
+template <class T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
+    OPMSIM_REQUIRE(static_cast<index_t>(x.size()) == a.cols(),
+                   "matvec: dimension mismatch");
+    std::vector<T> y(static_cast<std::size_t>(a.rows()), T{});
+    for (index_t j = 0; j < a.cols(); ++j) {
+        const T xj = x[static_cast<std::size_t>(j)];
+        if (xj == T{}) continue;
+        const T* aj = a.col(j);
+        for (index_t i = 0; i < a.rows(); ++i) y[static_cast<std::size_t>(i)] += aj[i] * xj;
+    }
+    return y;
+}
+
+/// y += alpha * x.
+template <class T>
+void axpy(T alpha, const std::vector<T>& x, std::vector<T>& y) {
+    OPMSIM_REQUIRE(x.size() == y.size(), "axpy: dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// Euclidean norm.
+template <class T>
+double norm2(const std::vector<T>& x) {
+    double s = 0;
+    for (const auto& v : x) s += abs_val(v) * abs_val(v);
+    return std::sqrt(s);
+}
+
+/// Max-abs entry.
+template <class T>
+double norm_inf(const std::vector<T>& x) {
+    double m = 0;
+    for (const auto& v : x) m = std::max(m, abs_val(v));
+    return m;
+}
+
+/// Max absolute entry-wise difference between two same-shaped matrices.
+template <class T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+    OPMSIM_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "max_abs_diff: shapes differ");
+    double m = 0;
+    for (index_t j = 0; j < a.cols(); ++j)
+        for (index_t i = 0; i < a.rows(); ++i)
+            m = std::max(m, abs_val(static_cast<T>(a(i, j) - b(i, j))));
+    return m;
+}
+
+} // namespace opmsim::la

@@ -1,0 +1,100 @@
+#include "la/dense_lu.hpp"
+
+#include <cmath>
+
+namespace opmsim::la {
+
+template <class T>
+DenseLu<T>::DenseLu(Matrix<T> a) : lu_(std::move(a)) {
+    OPMSIM_REQUIRE(lu_.rows() == lu_.cols(), "DenseLu: matrix must be square");
+    const index_t n = lu_.rows();
+    piv_.resize(static_cast<std::size_t>(n));
+
+    for (index_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        index_t p = k;
+        double best = abs_val(lu_(k, k));
+        for (index_t i = k + 1; i < n; ++i) {
+            const double v = abs_val(lu_(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best == 0.0)
+            throw numerical_error("DenseLu: singular matrix (zero pivot column at k=" +
+                                  std::to_string(k) + ")");
+        piv_[static_cast<std::size_t>(k)] = p;
+        if (p != k) {
+            sign_ = -sign_;
+            for (index_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+        }
+        const T pivot = lu_(k, k);
+        for (index_t i = k + 1; i < n; ++i) {
+            const T m = lu_(i, k) / pivot;
+            lu_(i, k) = m;
+            if (m == T{}) continue;
+            for (index_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+        }
+    }
+}
+
+template <class T>
+void DenseLu<T>::solve_in_place(std::vector<T>& b) const {
+    const index_t n = lu_.rows();
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n, "DenseLu::solve: size mismatch");
+    // Apply permutation.
+    for (index_t k = 0; k < n; ++k) {
+        const index_t p = piv_[static_cast<std::size_t>(k)];
+        if (p != k) std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(p)]);
+    }
+    // Forward: L y = Pb (unit lower).
+    for (index_t i = 1; i < n; ++i) {
+        T s = b[static_cast<std::size_t>(i)];
+        for (index_t j = 0; j < i; ++j) s -= lu_(i, j) * b[static_cast<std::size_t>(j)];
+        b[static_cast<std::size_t>(i)] = s;
+    }
+    // Backward: U x = y.
+    for (index_t i = n - 1; i >= 0; --i) {
+        T s = b[static_cast<std::size_t>(i)];
+        for (index_t j = i + 1; j < n; ++j) s -= lu_(i, j) * b[static_cast<std::size_t>(j)];
+        b[static_cast<std::size_t>(i)] = s / lu_(i, i);
+    }
+}
+
+template <class T>
+std::vector<T> DenseLu<T>::solve(std::vector<T> b) const {
+    solve_in_place(b);
+    return b;
+}
+
+template <class T>
+Matrix<T> DenseLu<T>::solve(const Matrix<T>& b) const {
+    const index_t n = lu_.rows();
+    OPMSIM_REQUIRE(b.rows() == n, "DenseLu::solve: row count mismatch");
+    Matrix<T> x = b;
+    std::vector<T> col(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < b.cols(); ++j) {
+        for (index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = x(i, j);
+        solve_in_place(col);
+        for (index_t i = 0; i < n; ++i) x(i, j) = col[static_cast<std::size_t>(i)];
+    }
+    return x;
+}
+
+template <class T>
+T DenseLu<T>::det() const {
+    T d = static_cast<T>(sign_);
+    for (index_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+    return d;
+}
+
+template <class T>
+Matrix<T> DenseLu<T>::inverse() const {
+    return solve(Matrix<T>::identity(lu_.rows()));
+}
+
+template class DenseLu<double>;
+template class DenseLu<cplx>;
+
+} // namespace opmsim::la

@@ -1,0 +1,67 @@
+#pragma once
+/// \file dense_lu.hpp
+/// \brief Dense LU factorization with partial pivoting.
+///
+/// Used for the small dense pencils in opmsim (fractional transmission-line
+/// models, the FFT frequency-domain baseline's complex solves, and the
+/// full-Kronecker reference solver).  Large circuit matrices go through
+/// la::SparseLu instead.
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::la {
+
+/// PA = LU factorization with partial (row) pivoting.
+///
+/// T is double or std::complex<double>.  Factor once, solve many times:
+///   DenseLu<double> lu(A);
+///   auto x = lu.solve(b);
+template <class T>
+class DenseLu {
+public:
+    /// Factor a square matrix.  Throws numerical_error on an exactly zero
+    /// pivot column (structurally singular matrix).
+    explicit DenseLu(Matrix<T> a);
+
+    /// Solve A x = b.
+    [[nodiscard]] std::vector<T> solve(std::vector<T> b) const;
+
+    /// Solve A X = B column-by-column.
+    [[nodiscard]] Matrix<T> solve(const Matrix<T>& b) const;
+
+    /// In-place solve (b is overwritten with x); avoids allocation in the
+    /// inner loops of the OPM column sweep.
+    void solve_in_place(std::vector<T>& b) const;
+
+    /// Determinant (product of pivots with permutation sign).
+    [[nodiscard]] T det() const;
+
+    /// Inverse (for tests / operational-matrix identities; O(n^3)).
+    [[nodiscard]] Matrix<T> inverse() const;
+
+    [[nodiscard]] index_t size() const { return lu_.rows(); }
+
+private:
+    Matrix<T> lu_;              ///< packed L (unit lower) and U
+    std::vector<index_t> piv_;  ///< piv_[k] = row swapped into position k
+    int sign_ = 1;              ///< permutation parity
+};
+
+extern template class DenseLu<double>;
+extern template class DenseLu<cplx>;
+
+/// Convenience one-shot solve of A x = b.
+template <class T>
+std::vector<T> solve_dense(const Matrix<T>& a, const std::vector<T>& b) {
+    return DenseLu<T>(a).solve(b);
+}
+
+/// Convenience inverse.
+template <class T>
+Matrix<T> inverse(const Matrix<T>& a) {
+    return DenseLu<T>(a).inverse();
+}
+
+} // namespace opmsim::la

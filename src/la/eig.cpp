@@ -1,0 +1,213 @@
+#include "la/eig.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "la/dense_lu.hpp"
+
+namespace opmsim::la {
+
+namespace {
+
+/// Householder reduction to upper Hessenberg form, in place.
+void hessenberg(Matrixd& a) {
+    const index_t n = a.rows();
+    Vectord v(static_cast<std::size_t>(n));
+    for (index_t k = 0; k + 2 < n; ++k) {
+        // Householder vector for column k below the subdiagonal.
+        double norm = 0;
+        for (index_t i = k + 1; i < n; ++i) norm += a(i, k) * a(i, k);
+        norm = std::sqrt(norm);
+        if (norm == 0.0) continue;
+        const double x0 = a(k + 1, k);
+        const double alpha = (x0 >= 0) ? -norm : norm;
+        double vnorm2 = 0;
+        for (index_t i = k + 1; i < n; ++i) {
+            v[static_cast<std::size_t>(i)] = a(i, k);
+        }
+        v[static_cast<std::size_t>(k + 1)] -= alpha;
+        for (index_t i = k + 1; i < n; ++i)
+            vnorm2 += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+        if (vnorm2 == 0.0) continue;
+        const double tau = 2.0 / vnorm2;
+
+        // A <- P A  (rows k+1..n-1, all columns)
+        for (index_t j = k; j < n; ++j) {
+            double dot = 0;
+            for (index_t i = k + 1; i < n; ++i) dot += v[static_cast<std::size_t>(i)] * a(i, j);
+            dot *= tau;
+            for (index_t i = k + 1; i < n; ++i) a(i, j) -= dot * v[static_cast<std::size_t>(i)];
+        }
+        // A <- A P  (all rows, columns k+1..n-1)
+        for (index_t i = 0; i < n; ++i) {
+            double dot = 0;
+            for (index_t j = k + 1; j < n; ++j) dot += a(i, j) * v[static_cast<std::size_t>(j)];
+            dot *= tau;
+            for (index_t j = k + 1; j < n; ++j) a(i, j) -= dot * v[static_cast<std::size_t>(j)];
+        }
+        a(k + 1, k) = alpha;
+        for (index_t i = k + 2; i < n; ++i) a(i, k) = 0.0;
+    }
+}
+
+/// Householder reflection data for a 2- or 3-vector.
+struct House {
+    double v[3];
+    double tau = 0.0;  // 0 => identity
+    int len = 0;
+};
+
+House make_house(const double* x, int len) {
+    House h;
+    h.len = len;
+    double norm = 0;
+    for (int i = 0; i < len; ++i) norm += x[i] * x[i];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return h;
+    const double alpha = (x[0] >= 0) ? -norm : norm;
+    double vnorm2 = 0;
+    for (int i = 0; i < len; ++i) h.v[i] = x[i];
+    h.v[0] -= alpha;
+    for (int i = 0; i < len; ++i) vnorm2 += h.v[i] * h.v[i];
+    if (vnorm2 == 0.0) return h;
+    h.tau = 2.0 / vnorm2;
+    return h;
+}
+
+/// Apply P = I - tau v v^T from the left to rows r..r+len-1, cols c0..c1.
+void apply_left(Matrixd& a, const House& h, index_t r, index_t c0, index_t c1) {
+    if (h.tau == 0.0) return;
+    for (index_t j = c0; j <= c1; ++j) {
+        double dot = 0;
+        for (int i = 0; i < h.len; ++i) dot += h.v[i] * a(r + i, j);
+        dot *= h.tau;
+        for (int i = 0; i < h.len; ++i) a(r + i, j) -= dot * h.v[i];
+    }
+}
+
+/// Apply P from the right to cols c..c+len-1, rows r0..r1.
+void apply_right(Matrixd& a, const House& h, index_t c, index_t r0, index_t r1) {
+    if (h.tau == 0.0) return;
+    for (index_t i = r0; i <= r1; ++i) {
+        double dot = 0;
+        for (int j = 0; j < h.len; ++j) dot += a(i, c + j) * h.v[j];
+        dot *= h.tau;
+        for (int j = 0; j < h.len; ++j) a(i, c + j) -= dot * h.v[j];
+    }
+}
+
+/// Eigenvalues of the trailing 2x2 block [[a,b],[c,d]].
+void eig2x2(double a, double b, double c, double d, cplx& l1, cplx& l2) {
+    const double tr = a + d;
+    const double det = a * d - b * c;
+    const double disc = 0.25 * tr * tr - det;
+    if (disc >= 0) {
+        const double rt = std::sqrt(disc);
+        // Stable formulation: compute the larger root first.
+        const double s = (tr >= 0) ? 0.5 * tr + rt : 0.5 * tr - rt;
+        l1 = cplx(s, 0);
+        l2 = cplx(s != 0.0 ? det / s : 0.5 * tr - rt, 0);
+    } else {
+        const double im = std::sqrt(-disc);
+        l1 = cplx(0.5 * tr, im);
+        l2 = cplx(0.5 * tr, -im);
+    }
+}
+
+} // namespace
+
+std::vector<cplx> eig_values(Matrixd a, int max_sweeps_per_eig) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "eig_values: square matrix required");
+    const index_t n = a.rows();
+    std::vector<cplx> eigs;
+    eigs.reserve(static_cast<std::size_t>(n));
+    if (n == 0) return eigs;
+
+    hessenberg(a);
+    const double eps = std::numeric_limits<double>::epsilon();
+
+    index_t u = n - 1;
+    int iter = 0;
+    while (u >= 0) {
+        // Deflate negligible subdiagonals in the active block.
+        index_t l = u;
+        while (l > 0) {
+            const double sub = std::abs(a(l, l - 1));
+            const double scale = std::abs(a(l - 1, l - 1)) + std::abs(a(l, l));
+            if (sub <= eps * std::max(scale, 1e-300)) {
+                a(l, l - 1) = 0.0;
+                break;
+            }
+            --l;
+        }
+
+        if (l == u) {
+            eigs.emplace_back(a(u, u), 0.0);
+            --u;
+            iter = 0;
+            continue;
+        }
+        if (l == u - 1) {
+            cplx l1, l2;
+            eig2x2(a(u - 1, u - 1), a(u - 1, u), a(u, u - 1), a(u, u), l1, l2);
+            eigs.push_back(l1);
+            eigs.push_back(l2);
+            u -= 2;
+            iter = 0;
+            continue;
+        }
+
+        if (++iter > max_sweeps_per_eig)
+            throw numerical_error("eig_values: QR iteration failed to converge");
+
+        // Francis double shift (exceptional ad-hoc shift every 10 sweeps).
+        double s, t;
+        if (iter % 10 == 0) {
+            const double sx = std::abs(a(u, u - 1)) + std::abs(a(u - 1, u - 2));
+            s = 1.5 * sx;
+            t = sx * sx;
+        } else {
+            s = a(u - 1, u - 1) + a(u, u);
+            t = a(u - 1, u - 1) * a(u, u) - a(u - 1, u) * a(u, u - 1);
+        }
+
+        double x = a(l, l) * a(l, l) + a(l, l + 1) * a(l + 1, l) - s * a(l, l) + t;
+        double y = a(l + 1, l) * (a(l, l) + a(l + 1, l + 1) - s);
+        double z = a(l + 2, l + 1) * a(l + 1, l);
+
+        for (index_t k = l; k <= u - 2; ++k) {
+            const double xyz[3] = {x, y, z};
+            const House h = make_house(xyz, 3);
+            const index_t c0 = (k > l) ? k - 1 : l;
+            apply_left(a, h, k, c0, n - 1);
+            apply_right(a, h, k, 0, std::min<index_t>(k + 3, u));
+            x = a(k + 1, k);
+            y = a(k + 2, k);
+            if (k < u - 2) z = a(k + 3, k);
+        }
+        const double xy[2] = {x, y};
+        const House h2 = make_house(xy, 2);
+        apply_left(a, h2, u - 1, u - 2, n - 1);
+        apply_right(a, h2, u - 1, 0, u);
+    }
+    return eigs;
+}
+
+std::vector<cplx> generalized_eig_values(const Matrixd& e, const Matrixd& a) {
+    OPMSIM_REQUIRE(e.rows() == e.cols() && a.rows() == a.cols() && e.rows() == a.rows(),
+                   "generalized_eig_values: shape mismatch");
+    const DenseLu<double> lu(e);  // throws numerical_error if E singular
+    return eig_values(lu.solve(a));
+}
+
+bool fractional_stable(const std::vector<cplx>& eigs, double alpha, double margin_rad) {
+    OPMSIM_REQUIRE(alpha > 0.0, "fractional_stable: alpha must be positive");
+    const double bound = alpha * 3.14159265358979323846 / 2.0 + margin_rad;
+    for (const cplx& l : eigs) {
+        if (std::abs(l) == 0.0) continue;  // marginal origin modes: treat as stable boundary
+        if (std::abs(std::arg(l)) <= bound) return false;
+    }
+    return true;
+}
+
+} // namespace opmsim::la

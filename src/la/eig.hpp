@@ -1,0 +1,33 @@
+#pragma once
+/// \file eig.hpp
+/// \brief Dense real eigenvalue computation (Hessenberg + Francis QR).
+///
+/// opmsim uses eigenvalues for two purposes:
+///  * verifying that generated circuit models are stable — for a fractional
+///    system E d^a x/dt^a = A x the pencil eigenvalues must satisfy
+///    |arg(lambda)| > a*pi/2 (Matignon's condition);
+///  * cross-checking the fractional operational-matrix powers.
+/// Eigenvalues only (no Schur vectors); adequate for model sizes <= ~2000.
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::la {
+
+/// Eigenvalues of a general real square matrix via Householder Hessenberg
+/// reduction followed by the implicit Francis double-shift QR iteration.
+/// Throws numerical_error if the iteration fails to converge.
+std::vector<cplx> eig_values(Matrixd a, int max_sweeps_per_eig = 60);
+
+/// Eigenvalues of the pencil (E, A), i.e. the lambda with det(lambda E - A)
+/// = 0, computed as eig(E^{-1} A).  Requires invertible E (finite
+/// eigenvalues only); throws numerical_error otherwise.
+std::vector<cplx> generalized_eig_values(const Matrixd& e, const Matrixd& a);
+
+/// Matignon stability test for fractional systems: all finite eigenvalues
+/// satisfy |arg(lambda)| > alpha*pi/2 (+ margin).  Returns true if stable.
+bool fractional_stable(const std::vector<cplx>& eigs, double alpha,
+                       double margin_rad = 0.0);
+
+} // namespace opmsim::la

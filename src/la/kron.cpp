@@ -1,0 +1,35 @@
+#include "la/kron.hpp"
+
+namespace opmsim::la {
+
+Matrixd kron(const Matrixd& a, const Matrixd& b) {
+    Matrixd k(a.rows() * b.rows(), a.cols() * b.cols());
+    for (index_t ja = 0; ja < a.cols(); ++ja)
+        for (index_t ia = 0; ia < a.rows(); ++ia) {
+            const double av = a(ia, ja);
+            if (av == 0.0) continue;
+            for (index_t jb = 0; jb < b.cols(); ++jb)
+                for (index_t ib = 0; ib < b.rows(); ++ib)
+                    k(ia * b.rows() + ib, ja * b.cols() + jb) = av * b(ib, jb);
+        }
+    return k;
+}
+
+Vectord vec(const Matrixd& x) {
+    Vectord v(static_cast<std::size_t>(x.rows() * x.cols()));
+    std::size_t k = 0;
+    for (index_t j = 0; j < x.cols(); ++j)
+        for (index_t i = 0; i < x.rows(); ++i) v[k++] = x(i, j);
+    return v;
+}
+
+Matrixd unvec(const Vectord& v, index_t n, index_t m) {
+    OPMSIM_REQUIRE(static_cast<index_t>(v.size()) == n * m, "unvec: size mismatch");
+    Matrixd x(n, m);
+    std::size_t k = 0;
+    for (index_t j = 0; j < m; ++j)
+        for (index_t i = 0; i < n; ++i) x(i, j) = v[k++];
+    return x;
+}
+
+} // namespace opmsim::la

@@ -1,0 +1,24 @@
+#pragma once
+/// \file kron.hpp
+/// \brief Kronecker products and vec/unvec reshaping.
+///
+/// The paper states the OPM linear system in Kronecker form (eq. 15):
+///   (D^T (x) E - I_m (x) A) vec(X) = (I_m (x) B) vec(U).
+/// The production solvers never materialize this (they exploit the
+/// triangular structure of D), but the Kronecker form is the ground truth
+/// the tests verify against — see opm/kron_reference.hpp.
+
+#include "la/dense.hpp"
+
+namespace opmsim::la {
+
+/// Dense Kronecker product A (x) B.
+Matrixd kron(const Matrixd& a, const Matrixd& b);
+
+/// Column-stacking vec(X): X (n x m) -> vector of length n*m.
+Vectord vec(const Matrixd& x);
+
+/// Inverse of vec: vector of length n*m -> n x m matrix.
+Matrixd unvec(const Vectord& v, index_t n, index_t m);
+
+} // namespace opmsim::la

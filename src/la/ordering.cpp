@@ -1,0 +1,148 @@
+#include "la/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace opmsim::la {
+
+namespace {
+
+/// Symmetrized adjacency (pattern of A + A^T, no self loops), CSR-like.
+struct Graph {
+    std::vector<index_t> ptr;
+    std::vector<index_t> adj;
+    [[nodiscard]] index_t degree(index_t v) const {
+        return ptr[static_cast<std::size_t>(v) + 1] - ptr[static_cast<std::size_t>(v)];
+    }
+};
+
+Graph build_graph(const CscMatrix& a) {
+    const index_t n = a.rows();
+    std::vector<std::vector<index_t>> nbr(static_cast<std::size_t>(n));
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_ind();
+    for (index_t j = 0; j < n; ++j)
+        for (index_t p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1];
+             ++p) {
+            const index_t i = ri[static_cast<std::size_t>(p)];
+            if (i == j) continue;
+            nbr[static_cast<std::size_t>(i)].push_back(j);
+            nbr[static_cast<std::size_t>(j)].push_back(i);
+        }
+    Graph g;
+    g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (index_t v = 0; v < n; ++v) {
+        auto& list = nbr[static_cast<std::size_t>(v)];
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+        g.ptr[static_cast<std::size_t>(v) + 1] =
+            g.ptr[static_cast<std::size_t>(v)] + static_cast<index_t>(list.size());
+    }
+    g.adj.reserve(static_cast<std::size_t>(g.ptr.back()));
+    for (auto& list : nbr) g.adj.insert(g.adj.end(), list.begin(), list.end());
+    return g;
+}
+
+/// BFS recording levels; returns the last-visited vertex (an eccentric one).
+index_t bfs_far_vertex(const Graph& g, index_t start, std::vector<int>& seen, int stamp) {
+    std::queue<index_t> q;
+    q.push(start);
+    seen[static_cast<std::size_t>(start)] = stamp;
+    index_t last = start;
+    while (!q.empty()) {
+        const index_t v = q.front();
+        q.pop();
+        last = v;
+        for (index_t p = g.ptr[static_cast<std::size_t>(v)];
+             p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+            const index_t w = g.adj[static_cast<std::size_t>(p)];
+            if (seen[static_cast<std::size_t>(w)] != stamp) {
+                seen[static_cast<std::size_t>(w)] = stamp;
+                q.push(w);
+            }
+        }
+    }
+    return last;
+}
+
+} // namespace
+
+std::vector<index_t> rcm_ordering(const CscMatrix& a) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "rcm_ordering: square matrix required");
+    const index_t n = a.rows();
+    const Graph g = build_graph(a);
+
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    std::vector<int> seen(static_cast<std::size_t>(n), -1);
+    int stamp = 0;
+
+    for (index_t root = 0; root < n; ++root) {
+        if (placed[static_cast<std::size_t>(root)]) continue;
+        // Pseudo-peripheral start: two BFS passes from the component's
+        // min-degree unplaced vertex.
+        index_t start = root;
+        for (index_t v = root; v < n; ++v)
+            if (!placed[static_cast<std::size_t>(v)] && g.degree(v) < g.degree(start) &&
+                seen[static_cast<std::size_t>(v)] != stamp)
+                ;  // degree scan limited to this component below
+        start = bfs_far_vertex(g, root, seen, stamp++);
+        start = bfs_far_vertex(g, start, seen, stamp++);
+
+        // Cuthill–McKee BFS from `start`, neighbors in increasing degree.
+        std::queue<index_t> q;
+        q.push(start);
+        placed[static_cast<std::size_t>(start)] = true;
+        std::vector<index_t> nbrs;
+        while (!q.empty()) {
+            const index_t v = q.front();
+            q.pop();
+            order.push_back(v);
+            nbrs.clear();
+            for (index_t p = g.ptr[static_cast<std::size_t>(v)];
+                 p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+                const index_t w = g.adj[static_cast<std::size_t>(p)];
+                if (!placed[static_cast<std::size_t>(w)]) {
+                    placed[static_cast<std::size_t>(w)] = true;
+                    nbrs.push_back(w);
+                }
+            }
+            std::sort(nbrs.begin(), nbrs.end(), [&](index_t x, index_t y) {
+                return g.degree(x) < g.degree(y);
+            });
+            for (index_t w : nbrs) q.push(w);
+        }
+    }
+
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+index_t bandwidth(const CscMatrix& a, const std::vector<index_t>& perm) {
+    OPMSIM_REQUIRE(static_cast<index_t>(perm.size()) == a.rows(),
+                   "bandwidth: permutation size mismatch");
+    std::vector<index_t> inv(perm.size());
+    for (std::size_t k = 0; k < perm.size(); ++k)
+        inv[static_cast<std::size_t>(perm[k])] = static_cast<index_t>(k);
+    index_t bw = 0;
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_ind();
+    for (index_t j = 0; j < a.cols(); ++j)
+        for (index_t p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1];
+             ++p) {
+            const index_t i = ri[static_cast<std::size_t>(p)];
+            bw = std::max(bw, std::abs(inv[static_cast<std::size_t>(i)] -
+                                       inv[static_cast<std::size_t>(j)]));
+        }
+    return bw;
+}
+
+std::vector<index_t> natural_ordering(index_t n) {
+    std::vector<index_t> p(static_cast<std::size_t>(n));
+    std::iota(p.begin(), p.end(), index_t{0});
+    return p;
+}
+
+} // namespace opmsim::la

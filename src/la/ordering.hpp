@@ -1,0 +1,29 @@
+#pragma once
+/// \file ordering.hpp
+/// \brief Fill-reducing orderings for sparse LU.
+///
+/// Reverse Cuthill–McKee produces a small-bandwidth permutation, which is a
+/// good fill reducer for the mesh-like matrices circuit simulation produces
+/// (power grids, RC ladders).  The permutation is applied symmetrically to
+/// the pattern of A + A^T before factorization.
+
+#include <vector>
+
+#include "la/sparse.hpp"
+
+namespace opmsim::la {
+
+/// Reverse Cuthill–McKee ordering of a square sparse matrix's symmetrized
+/// pattern.  Returns perm with perm[new_index] = old_index.  Handles
+/// disconnected graphs (each component is ordered from a pseudo-peripheral
+/// vertex).
+std::vector<index_t> rcm_ordering(const CscMatrix& a);
+
+/// Bandwidth of A under a given ordering (test/diagnostic helper):
+/// max |new(i) - new(j)| over nonzeros (i,j).
+index_t bandwidth(const CscMatrix& a, const std::vector<index_t>& perm);
+
+/// Identity permutation of length n.
+std::vector<index_t> natural_ordering(index_t n);
+
+} // namespace opmsim::la

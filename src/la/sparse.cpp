@@ -1,0 +1,163 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace opmsim::la {
+
+CscMatrix::CscMatrix(const Triplets& t) : rows_(t.rows_), cols_(t.cols_) {
+    const std::size_t nz = t.nnz();
+    // Count entries per column.
+    std::vector<index_t> count(static_cast<std::size_t>(cols_) + 1, 0);
+    for (std::size_t k = 0; k < nz; ++k) ++count[static_cast<std::size_t>(t.j_[k]) + 1];
+    std::partial_sum(count.begin(), count.end(), count.begin());
+
+    // Scatter (unsorted within column for now).
+    std::vector<index_t> ri(nz);
+    std::vector<double> vv(nz);
+    std::vector<index_t> next(count.begin(), count.end() - 1);
+    for (std::size_t k = 0; k < nz; ++k) {
+        const index_t pos = next[static_cast<std::size_t>(t.j_[k])]++;
+        ri[static_cast<std::size_t>(pos)] = t.i_[k];
+        vv[static_cast<std::size_t>(pos)] = t.v_[k];
+    }
+
+    // Sort rows within each column and sum duplicates.
+    colp_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+    rowi_.reserve(nz);
+    val_.reserve(nz);
+    std::vector<std::pair<index_t, double>> buf;
+    for (index_t j = 0; j < cols_; ++j) {
+        buf.clear();
+        for (index_t p = count[static_cast<std::size_t>(j)];
+             p < count[static_cast<std::size_t>(j) + 1]; ++p)
+            buf.emplace_back(ri[static_cast<std::size_t>(p)], vv[static_cast<std::size_t>(p)]);
+        std::sort(buf.begin(), buf.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (std::size_t k = 0; k < buf.size(); ++k) {
+            if (!rowi_.empty() &&
+                static_cast<index_t>(rowi_.size()) > colp_[static_cast<std::size_t>(j)] &&
+                rowi_.back() == buf[k].first) {
+                val_.back() += buf[k].second;  // duplicate: accumulate
+            } else {
+                rowi_.push_back(buf[k].first);
+                val_.push_back(buf[k].second);
+            }
+        }
+        colp_[static_cast<std::size_t>(j) + 1] = static_cast<index_t>(rowi_.size());
+    }
+}
+
+CscMatrix CscMatrix::from_dense(const Matrixd& a, double drop_tol) {
+    Triplets t(a.rows(), a.cols());
+    for (index_t j = 0; j < a.cols(); ++j)
+        for (index_t i = 0; i < a.rows(); ++i)
+            if (std::abs(a(i, j)) > drop_tol) t.add(i, j, a(i, j));
+    return CscMatrix(t);
+}
+
+CscMatrix CscMatrix::identity(index_t n) {
+    Triplets t(n, n);
+    for (index_t i = 0; i < n; ++i) t.add(i, i, 1.0);
+    return CscMatrix(t);
+}
+
+Vectord CscMatrix::matvec(const Vectord& x) const {
+    Vectord y(static_cast<std::size_t>(rows_), 0.0);
+    gaxpy(1.0, x, y);
+    return y;
+}
+
+void CscMatrix::gaxpy(double alpha, const Vectord& x, Vectord& y) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(x.size()) == cols_ &&
+                       static_cast<index_t>(y.size()) == rows_,
+                   "CscMatrix::gaxpy: dimension mismatch");
+    for (index_t j = 0; j < cols_; ++j) {
+        const double xj = alpha * x[static_cast<std::size_t>(j)];
+        if (xj == 0.0) continue;
+        for (index_t p = colp_[static_cast<std::size_t>(j)];
+             p < colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            y[static_cast<std::size_t>(rowi_[static_cast<std::size_t>(p)])] +=
+                val_[static_cast<std::size_t>(p)] * xj;
+    }
+}
+
+Vectord CscMatrix::matvec_transposed(const Vectord& x) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(x.size()) == rows_,
+                   "matvec_transposed: dimension mismatch");
+    Vectord y(static_cast<std::size_t>(cols_), 0.0);
+    for (index_t j = 0; j < cols_; ++j) {
+        double s = 0;
+        for (index_t p = colp_[static_cast<std::size_t>(j)];
+             p < colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            s += val_[static_cast<std::size_t>(p)] *
+                 x[static_cast<std::size_t>(rowi_[static_cast<std::size_t>(p)])];
+        y[static_cast<std::size_t>(j)] = s;
+    }
+    return y;
+}
+
+CscMatrix CscMatrix::transposed() const {
+    Triplets t(cols_, rows_);
+    for (index_t j = 0; j < cols_; ++j)
+        for (index_t p = colp_[static_cast<std::size_t>(j)];
+             p < colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(j, rowi_[static_cast<std::size_t>(p)], val_[static_cast<std::size_t>(p)]);
+    return CscMatrix(t);
+}
+
+CscMatrix CscMatrix::add(double alpha, const CscMatrix& a, double beta,
+                         const CscMatrix& b) {
+    OPMSIM_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                   "CscMatrix::add: shapes differ");
+    Triplets t(a.rows_, a.cols_);
+    for (index_t j = 0; j < a.cols_; ++j) {
+        for (index_t p = a.colp_[static_cast<std::size_t>(j)];
+             p < a.colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(a.rowi_[static_cast<std::size_t>(p)], j,
+                  alpha * a.val_[static_cast<std::size_t>(p)]);
+        for (index_t p = b.colp_[static_cast<std::size_t>(j)];
+             p < b.colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(b.rowi_[static_cast<std::size_t>(p)], j,
+                  beta * b.val_[static_cast<std::size_t>(p)]);
+    }
+    return CscMatrix(t);
+}
+
+Matrixd CscMatrix::to_dense() const {
+    Matrixd d(rows_, cols_);
+    for (index_t j = 0; j < cols_; ++j)
+        for (index_t p = colp_[static_cast<std::size_t>(j)];
+             p < colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            d(rowi_[static_cast<std::size_t>(p)], j) = val_[static_cast<std::size_t>(p)];
+    return d;
+}
+
+double CscMatrix::coeff(index_t i, index_t j) const {
+    OPMSIM_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                   "CscMatrix::coeff: index out of range");
+    const auto first = rowi_.begin() + colp_[static_cast<std::size_t>(j)];
+    const auto last = rowi_.begin() + colp_[static_cast<std::size_t>(j) + 1];
+    const auto it = std::lower_bound(first, last, i);
+    if (it == last || *it != i) return 0.0;
+    return val_[static_cast<std::size_t>(it - rowi_.begin())];
+}
+
+CscMatrix CscMatrix::permuted(const std::vector<index_t>& perm) const {
+    OPMSIM_REQUIRE(rows_ == cols_, "permuted: square matrix required");
+    OPMSIM_REQUIRE(static_cast<index_t>(perm.size()) == rows_,
+                   "permuted: permutation size mismatch");
+    // inv[old] = new
+    std::vector<index_t> inv(perm.size());
+    for (std::size_t k = 0; k < perm.size(); ++k)
+        inv[static_cast<std::size_t>(perm[k])] = static_cast<index_t>(k);
+    Triplets t(rows_, cols_);
+    for (index_t j = 0; j < cols_; ++j)
+        for (index_t p = colp_[static_cast<std::size_t>(j)];
+             p < colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            t.add(inv[static_cast<std::size_t>(rowi_[static_cast<std::size_t>(p)])],
+                  inv[static_cast<std::size_t>(j)], val_[static_cast<std::size_t>(p)]);
+    return CscMatrix(t);
+}
+
+} // namespace opmsim::la

@@ -1,0 +1,102 @@
+#pragma once
+/// \file sparse.hpp
+/// \brief Sparse matrices in triplet (COO) and compressed-sparse-column form.
+///
+/// Circuit matrices (MNA conductance/capacitance stamps, power-grid
+/// Laplacians) are assembled as triplets and compressed to CSC.  CSC is the
+/// storage the left-looking sparse LU (la/sparse_lu.hpp) consumes directly.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::la {
+
+/// Coordinate-format accumulator.  Duplicate (i,j) entries are summed when
+/// compressed — exactly the semantics of circuit stamping.
+class Triplets {
+public:
+    Triplets(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+        OPMSIM_REQUIRE(rows >= 0 && cols >= 0, "Triplets: negative dimension");
+    }
+
+    /// Accumulate a(i,j) += v.  Zero-valued stamps are kept (they still
+    /// contribute structure, which LU symbolic analysis may need).
+    void add(index_t i, index_t j, double v) {
+        OPMSIM_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                       "Triplets::add: index out of range");
+        i_.push_back(i);
+        j_.push_back(j);
+        v_.push_back(v);
+    }
+
+    [[nodiscard]] index_t rows() const { return rows_; }
+    [[nodiscard]] index_t cols() const { return cols_; }
+    [[nodiscard]] std::size_t nnz() const { return v_.size(); }
+
+    friend class CscMatrix;
+
+private:
+    index_t rows_, cols_;
+    std::vector<index_t> i_, j_;
+    std::vector<double> v_;
+};
+
+/// Immutable compressed-sparse-column matrix.
+class CscMatrix {
+public:
+    CscMatrix() = default;
+
+    /// Compress a triplet accumulator (duplicates summed, rows sorted
+    /// within each column).
+    explicit CscMatrix(const Triplets& t);
+
+    /// Build from an existing dense matrix, dropping exact zeros (tests).
+    static CscMatrix from_dense(const Matrixd& a, double drop_tol = 0.0);
+
+    /// n-by-n identity.
+    static CscMatrix identity(index_t n);
+
+    [[nodiscard]] index_t rows() const { return rows_; }
+    [[nodiscard]] index_t cols() const { return cols_; }
+    [[nodiscard]] index_t nnz() const { return static_cast<index_t>(val_.size()); }
+
+    [[nodiscard]] const std::vector<index_t>& col_ptr() const { return colp_; }
+    [[nodiscard]] const std::vector<index_t>& row_ind() const { return rowi_; }
+    [[nodiscard]] const std::vector<double>& values() const { return val_; }
+
+    /// y = A x.
+    [[nodiscard]] Vectord matvec(const Vectord& x) const;
+
+    /// y += alpha * A x (no allocation).
+    void gaxpy(double alpha, const Vectord& x, Vectord& y) const;
+
+    /// y = A^T x.
+    [[nodiscard]] Vectord matvec_transposed(const Vectord& x) const;
+
+    /// Structural + numerical transpose.
+    [[nodiscard]] CscMatrix transposed() const;
+
+    /// Scaled sum alpha*A + beta*B (shapes must match).
+    static CscMatrix add(double alpha, const CscMatrix& a, double beta,
+                         const CscMatrix& b);
+
+    /// Densify (test / small-model convenience).
+    [[nodiscard]] Matrixd to_dense() const;
+
+    /// Entry lookup, O(log nnz(col)).  Missing entries read as 0.
+    [[nodiscard]] double coeff(index_t i, index_t j) const;
+
+    /// Symmetric permutation A(p,p) — used to apply fill-reducing orders.
+    /// perm maps new index -> old index.
+    [[nodiscard]] CscMatrix permuted(const std::vector<index_t>& perm) const;
+
+private:
+    index_t rows_ = 0, cols_ = 0;
+    std::vector<index_t> colp_;  ///< size cols+1
+    std::vector<index_t> rowi_;  ///< size nnz, sorted within column
+    std::vector<double> val_;    ///< size nnz
+};
+
+} // namespace opmsim::la

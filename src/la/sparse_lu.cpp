@@ -1,0 +1,221 @@
+#include "la/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmsim::la {
+
+namespace {
+
+/// Iterative depth-first search computing the nonzero pattern (reach) of
+/// the solution of L x = b for one column.  Edges: original row r with
+/// pivot position k = pinv[r] points to the rows of L(:,k).  Emits vertices
+/// in reverse postorder into `topo` (back to front), which is a topological
+/// order of the dependency DAG.
+class ReachDfs {
+public:
+    explicit ReachDfs(index_t n)
+        : mark_(static_cast<std::size_t>(n), -1),
+          row_stack_(static_cast<std::size_t>(n)),
+          ptr_stack_(static_cast<std::size_t>(n)) {}
+
+    /// Start a new column; `stamp` must be unique per column.
+    void begin(int stamp) {
+        stamp_ = stamp;
+        topo_.clear();
+    }
+
+    void dfs_from(index_t root, const std::vector<index_t>& l_colp,
+                  const std::vector<index_t>& l_rowi, const std::vector<index_t>& pinv) {
+        if (mark_[static_cast<std::size_t>(root)] == stamp_) return;
+        index_t top = 0;
+        row_stack_[0] = root;
+        ptr_stack_[0] = -1;  // -1 => not yet expanded
+        mark_[static_cast<std::size_t>(root)] = stamp_;
+        while (top >= 0) {
+            const index_t r = row_stack_[static_cast<std::size_t>(top)];
+            const index_t k = pinv[static_cast<std::size_t>(r)];
+            index_t p = ptr_stack_[static_cast<std::size_t>(top)];
+            if (p < 0) p = (k >= 0) ? l_colp[static_cast<std::size_t>(k)] : 0;
+            const index_t pend = (k >= 0) ? l_colp[static_cast<std::size_t>(k) + 1] : 0;
+            bool descended = false;
+            while (p < pend) {
+                const index_t child = l_rowi[static_cast<std::size_t>(p)];
+                ++p;
+                if (mark_[static_cast<std::size_t>(child)] != stamp_) {
+                    mark_[static_cast<std::size_t>(child)] = stamp_;
+                    ptr_stack_[static_cast<std::size_t>(top)] = p;
+                    ++top;
+                    row_stack_[static_cast<std::size_t>(top)] = child;
+                    ptr_stack_[static_cast<std::size_t>(top)] = -1;
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                topo_.push_back(r);  // postorder
+                --top;
+            }
+        }
+    }
+
+    /// Pattern in topological (reverse-post) order.
+    [[nodiscard]] std::vector<index_t> take_topo() {
+        std::reverse(topo_.begin(), topo_.end());
+        return std::move(topo_);
+    }
+
+private:
+    int stamp_ = -1;
+    std::vector<int> mark_;
+    std::vector<index_t> row_stack_;
+    std::vector<index_t> ptr_stack_;
+    std::vector<index_t> topo_;
+};
+
+} // namespace
+
+SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt) : n_(a.rows()) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "SparseLu: square matrix required");
+    OPMSIM_REQUIRE(opt.pivot_tol >= 0.0 && opt.pivot_tol <= 1.0,
+                   "SparseLu: pivot_tol must be in [0,1]");
+    const index_t n = n_;
+
+    perm_cols_ = (opt.ordering == SparseLuOptions::Ordering::rcm) ? rcm_ordering(a)
+                                                                  : natural_ordering(n);
+
+    pinv_.assign(static_cast<std::size_t>(n), -1);
+    perm_rows_.assign(static_cast<std::size_t>(n), -1);
+    l_colp_.assign(1, 0);
+    u_colp_.assign(1, 0);
+    u_diag_.resize(static_cast<std::size_t>(n));
+
+    Vectord x(static_cast<std::size_t>(n), 0.0);
+    ReachDfs dfs(n);
+    const auto& acp = a.col_ptr();
+    const auto& ari = a.row_ind();
+    const auto& avl = a.values();
+
+    for (index_t j = 0; j < n; ++j) {
+        const index_t aj = perm_cols_[static_cast<std::size_t>(j)];
+
+        // --- symbolic: reach of column aj's pattern through L's DAG.
+        dfs.begin(static_cast<int>(j));
+        for (index_t p = acp[static_cast<std::size_t>(aj)];
+             p < acp[static_cast<std::size_t>(aj) + 1]; ++p)
+            dfs.dfs_from(ari[static_cast<std::size_t>(p)], l_colp_, l_rowi_, pinv_);
+        const std::vector<index_t> pattern = dfs.take_topo();
+
+        // --- numeric: scatter b, then eliminate in topological order.
+        for (index_t p = acp[static_cast<std::size_t>(aj)];
+             p < acp[static_cast<std::size_t>(aj) + 1]; ++p)
+            x[static_cast<std::size_t>(ari[static_cast<std::size_t>(p)])] =
+                avl[static_cast<std::size_t>(p)];
+
+        for (const index_t r : pattern) {
+            const index_t k = pinv_[static_cast<std::size_t>(r)];
+            if (k < 0) continue;  // unpivoted row: below the diagonal, no outedges
+            const double xr = x[static_cast<std::size_t>(r)];
+            if (xr == 0.0) continue;
+            for (index_t p = l_colp_[static_cast<std::size_t>(k)];
+                 p < l_colp_[static_cast<std::size_t>(k) + 1]; ++p)
+                x[static_cast<std::size_t>(l_rowi_[static_cast<std::size_t>(p)])] -=
+                    l_val_[static_cast<std::size_t>(p)] * xr;
+        }
+
+        // --- pivot: among unpivoted rows, prefer the structural diagonal
+        // (original row aj) when it passes the threshold test.
+        double cmax = 0.0;
+        index_t rpiv = -1;
+        for (const index_t r : pattern) {
+            if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
+            const double v = std::abs(x[static_cast<std::size_t>(r)]);
+            if (v > cmax) {
+                cmax = v;
+                rpiv = r;
+            }
+        }
+        if (rpiv < 0 || cmax == 0.0)
+            throw numerical_error("SparseLu: matrix is singular at column " +
+                                  std::to_string(j));
+        const double xdiag =
+            (pinv_[static_cast<std::size_t>(aj)] < 0) ? std::abs(x[static_cast<std::size_t>(aj)]) : 0.0;
+        if (xdiag >= opt.pivot_tol * cmax && xdiag > 0.0) {
+            rpiv = aj;
+        } else if (rpiv != aj) {
+            ++offdiag_pivots_;
+        }
+        const double pivot = x[static_cast<std::size_t>(rpiv)];
+        pinv_[static_cast<std::size_t>(rpiv)] = j;
+        perm_rows_[static_cast<std::size_t>(j)] = rpiv;
+        u_diag_[static_cast<std::size_t>(j)] = pivot;
+
+        // --- gather into U (pivoted rows) and L (unpivoted rows / pivot).
+        for (const index_t r : pattern) {
+            const double v = x[static_cast<std::size_t>(r)];
+            x[static_cast<std::size_t>(r)] = 0.0;  // reset scratch
+            const index_t k = pinv_[static_cast<std::size_t>(r)];
+            if (r == rpiv) continue;
+            if (k >= 0 && k < j) {
+                if (v != 0.0) {
+                    u_rowi_.push_back(k);
+                    u_val_.push_back(v);
+                }
+            } else {
+                if (v != 0.0) {
+                    l_rowi_.push_back(r);
+                    l_val_.push_back(v / pivot);
+                }
+            }
+        }
+        u_colp_.push_back(static_cast<index_t>(u_val_.size()));
+        l_colp_.push_back(static_cast<index_t>(l_val_.size()));
+    }
+
+    work_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+void SparseLu::solve_in_place(Vectord& b) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n_, "SparseLu::solve: size mismatch");
+    const index_t n = n_;
+    Vectord& y = work_;
+    std::copy(b.begin(), b.end(), y.begin());
+
+    // Forward solve L z = P b, working in original row space: after
+    // processing factor column k, y[perm_rows_[k]] holds z_k.
+    for (index_t k = 0; k < n; ++k) {
+        const double zk = y[static_cast<std::size_t>(perm_rows_[static_cast<std::size_t>(k)])];
+        if (zk == 0.0) continue;
+        for (index_t p = l_colp_[static_cast<std::size_t>(k)];
+             p < l_colp_[static_cast<std::size_t>(k) + 1]; ++p)
+            y[static_cast<std::size_t>(l_rowi_[static_cast<std::size_t>(p)])] -=
+                l_val_[static_cast<std::size_t>(p)] * zk;
+    }
+
+    // Backward solve U w = z in pivot space (reuse b as w).
+    for (index_t k = 0; k < n; ++k)
+        b[static_cast<std::size_t>(k)] =
+            y[static_cast<std::size_t>(perm_rows_[static_cast<std::size_t>(k)])];
+    for (index_t j = n - 1; j >= 0; --j) {
+        const double wj = b[static_cast<std::size_t>(j)] / u_diag_[static_cast<std::size_t>(j)];
+        b[static_cast<std::size_t>(j)] = wj;
+        if (wj == 0.0) continue;
+        for (index_t p = u_colp_[static_cast<std::size_t>(j)];
+             p < u_colp_[static_cast<std::size_t>(j) + 1]; ++p)
+            b[static_cast<std::size_t>(u_rowi_[static_cast<std::size_t>(p)])] -=
+                u_val_[static_cast<std::size_t>(p)] * wj;
+    }
+
+    // Undo the column permutation: x[perm_cols_[j]] = w_j.
+    for (index_t j = 0; j < n; ++j)
+        y[static_cast<std::size_t>(perm_cols_[static_cast<std::size_t>(j)])] =
+            b[static_cast<std::size_t>(j)];
+    std::copy(y.begin(), y.end(), b.begin());
+}
+
+Vectord SparseLu::solve(Vectord b) const {
+    solve_in_place(b);
+    return b;
+}
+
+} // namespace opmsim::la

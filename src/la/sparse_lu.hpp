@@ -1,0 +1,78 @@
+#pragma once
+/// \file sparse_lu.hpp
+/// \brief Left-looking (Gilbert–Peierls) sparse LU with partial pivoting.
+///
+/// This is the factorization engine behind every implicit time-stepping
+/// scheme in opmsim: OPM's column-by-column sweep, backward Euler,
+/// trapezoidal and Gear all factor one circuit-sized pencil once and then
+/// perform m forward/backward solves.  The factorization uses:
+///  * a fill-reducing column ordering (reverse Cuthill–McKee by default),
+///  * Gilbert–Peierls symbolic DFS per column (O(flops) total),
+///  * threshold partial pivoting that prefers the diagonal entry — circuit
+///    pencils are close to diagonally dominant, and keeping the diagonal
+///    pivot preserves the ordering's fill profile (the same choice KLU
+///    makes).
+
+#include <vector>
+
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+
+namespace opmsim::la {
+
+struct SparseLuOptions {
+    enum class Ordering { natural, rcm };
+    Ordering ordering = Ordering::rcm;
+    /// Diagonal entry is accepted as pivot when |a_diag| >= pivot_tol * max
+    /// |column|.  1.0 = strict partial pivoting, 0 = always diagonal.
+    double pivot_tol = 0.1;
+};
+
+/// Factor once, solve many times:
+///   SparseLu lu(a);
+///   Vectord x = lu.solve(b);
+class SparseLu {
+public:
+    explicit SparseLu(const CscMatrix& a, SparseLuOptions opt = {});
+
+    /// Solve A x = b.
+    [[nodiscard]] Vectord solve(Vectord b) const;
+
+    /// Solve in place.  NOTE: uses an internal scratch buffer, so a single
+    /// SparseLu instance must not be used from multiple threads
+    /// concurrently (fine for opmsim's single-threaded solvers).
+    void solve_in_place(Vectord& b) const;
+
+    [[nodiscard]] index_t size() const { return n_; }
+    [[nodiscard]] index_t nnz_l() const { return static_cast<index_t>(l_val_.size()); }
+    [[nodiscard]] index_t nnz_u() const {
+        return static_cast<index_t>(u_val_.size() + u_diag_.size());
+    }
+
+    /// Number of off-diagonal pivots chosen (diagnostic: 0 for diagonally
+    /// dominant matrices).
+    [[nodiscard]] index_t off_diagonal_pivots() const { return offdiag_pivots_; }
+
+private:
+    index_t n_ = 0;
+
+    // L: unit lower triangular, stored by factor column with *original* row
+    // indices (resolved through pinv_ during solves).
+    std::vector<index_t> l_colp_, l_rowi_;
+    std::vector<double> l_val_;
+
+    // U: strictly upper part stored by column with pivot-position row
+    // indices; diagonal separately.
+    std::vector<index_t> u_colp_, u_rowi_;
+    std::vector<double> u_val_;
+    std::vector<double> u_diag_;
+
+    std::vector<index_t> perm_cols_;  ///< column order: factor col j <- A col perm_cols_[j]
+    std::vector<index_t> perm_rows_;  ///< pivot order:  factor row k <- A row perm_rows_[k]
+    std::vector<index_t> pinv_;       ///< inverse of perm_rows_
+
+    mutable Vectord work_;   ///< scratch for solves (original row space)
+    index_t offdiag_pivots_ = 0;
+};
+
+} // namespace opmsim::la

@@ -1,0 +1,98 @@
+#include "la/triangular.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmsim::la {
+
+Vectord solve_upper(const Matrixd& u, Vectord b) {
+    OPMSIM_REQUIRE(u.rows() == u.cols(), "solve_upper: matrix must be square");
+    const index_t n = u.rows();
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n, "solve_upper: size mismatch");
+    for (index_t i = n - 1; i >= 0; --i) {
+        double s = b[static_cast<std::size_t>(i)];
+        for (index_t j = i + 1; j < n; ++j) s -= u(i, j) * b[static_cast<std::size_t>(j)];
+        const double d = u(i, i);
+        if (d == 0.0) throw numerical_error("solve_upper: zero diagonal");
+        b[static_cast<std::size_t>(i)] = s / d;
+    }
+    return b;
+}
+
+Vectord solve_lower(const Matrixd& l, Vectord b) {
+    OPMSIM_REQUIRE(l.rows() == l.cols(), "solve_lower: matrix must be square");
+    const index_t n = l.rows();
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n, "solve_lower: size mismatch");
+    for (index_t i = 0; i < n; ++i) {
+        double s = b[static_cast<std::size_t>(i)];
+        for (index_t j = 0; j < i; ++j) s -= l(i, j) * b[static_cast<std::size_t>(j)];
+        const double d = l(i, i);
+        if (d == 0.0) throw numerical_error("solve_lower: zero diagonal");
+        b[static_cast<std::size_t>(i)] = s / d;
+    }
+    return b;
+}
+
+TriangularEig eig_upper_triangular(const Matrixd& t, double sep_tol) {
+    OPMSIM_REQUIRE(t.rows() == t.cols(), "eig_upper_triangular: square required");
+    const index_t n = t.rows();
+
+    TriangularEig out;
+    out.lambda.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) out.lambda[static_cast<std::size_t>(i)] = t(i, i);
+
+    // Separation check: the back-substitution divides by (lambda_k - lambda_i).
+    for (index_t i = 0; i < n; ++i)
+        for (index_t k = i + 1; k < n; ++k) {
+            const double li = t(i, i), lk = t(k, k);
+            const double scale = std::max({std::abs(li), std::abs(lk), 1.0});
+            if (std::abs(lk - li) < sep_tol * scale)
+                throw numerical_error(
+                    "eig_upper_triangular: repeated (or nearly repeated) "
+                    "eigenvalues; use the nilpotent-series construction instead");
+        }
+
+    // Eigenvector for lambda_k: v(k)=1, entries above solved bottom-up from
+    // (T - lambda_k I) v = 0, entries below are zero.
+    Matrixd v = Matrixd::identity(n);
+    for (index_t k = 0; k < n; ++k) {
+        const double lk = t(k, k);
+        for (index_t i = k - 1; i >= 0; --i) {
+            double s = 0;
+            for (index_t j = i + 1; j <= k; ++j) s += t(i, j) * v(j, k);
+            v(i, k) = s / (lk - t(i, i));
+        }
+    }
+
+    // Invert the unit upper-triangular V by back-substitution per column.
+    Matrixd vi = Matrixd::identity(n);
+    for (index_t c = 0; c < n; ++c) {
+        for (index_t i = c - 1; i >= 0; --i) {
+            double s = (i == c) ? 1.0 : 0.0;
+            for (index_t j = i + 1; j <= c; ++j) s -= v(i, j) * vi(j, c);
+            vi(i, c) = s;
+        }
+    }
+
+    out.v = std::move(v);
+    out.v_inv = std::move(vi);
+    return out;
+}
+
+Matrixd fractional_power_upper(const Matrixd& t, double alpha, double sep_tol) {
+    const TriangularEig e = eig_upper_triangular(t, sep_tol);
+    const index_t n = t.rows();
+    for (index_t i = 0; i < n; ++i)
+        OPMSIM_REQUIRE(e.lambda[static_cast<std::size_t>(i)] > 0.0,
+                       "fractional_power_upper: diagonal must be positive for a "
+                       "real fractional power");
+    // V * diag(lambda^alpha) * V^{-1}; scale columns of V first.
+    Matrixd scaled = e.v;
+    for (index_t j = 0; j < n; ++j) {
+        const double p = std::pow(e.lambda[static_cast<std::size_t>(j)], alpha);
+        for (index_t i = 0; i <= j; ++i) scaled(i, j) *= p;
+    }
+    return scaled * e.v_inv;
+}
+
+} // namespace opmsim::la

@@ -1,0 +1,46 @@
+#pragma once
+/// \file triangular.hpp
+/// \brief Triangular solves and the upper-triangular eigendecomposition used
+///        for fractional powers of the adaptive-step differential matrix.
+///
+/// The paper's eq. (25) computes D̃^α for adaptive time steps "using
+/// eigendecomposition-based methods": when all steps h_i are distinct the
+/// upper-triangular D̃ has distinct eigenvalues 2/h_i on its diagonal, so an
+/// upper-triangular eigenvector matrix V exists and
+///     D̃^α = V diag((2/h_i)^α) V^{-1}.
+/// Both V and V^{-1} are computed by back-substitution in O(m^3).
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::la {
+
+/// Solve U x = b for upper-triangular U (zero entries below diagonal are
+/// not referenced).  Throws numerical_error on a zero diagonal entry.
+Vectord solve_upper(const Matrixd& u, Vectord b);
+
+/// Solve L x = b for lower-triangular L.
+Vectord solve_lower(const Matrixd& l, Vectord b);
+
+/// Eigendecomposition T V = V diag(lambda) of an upper-triangular matrix T
+/// with *distinct* diagonal entries.  V is upper triangular with unit
+/// diagonal; lambda_i = T(i,i).
+struct TriangularEig {
+    Matrixd v;             ///< upper-triangular eigenvectors, unit diagonal
+    Matrixd v_inv;         ///< inverse of v (also unit upper triangular)
+    Vectord lambda;        ///< eigenvalues (the diagonal of T)
+};
+
+/// Compute the eigendecomposition above.  Throws numerical_error if two
+/// diagonal entries are closer than \p sep_tol relative to their magnitude
+/// (the decomposition becomes numerically meaningless; callers should fall
+/// back to the nilpotent-series construction for repeated steps).
+TriangularEig eig_upper_triangular(const Matrixd& t, double sep_tol = 1e-10);
+
+/// Real fractional power T^alpha of an upper-triangular matrix with
+/// distinct positive diagonal entries, via the eigendecomposition above.
+Matrixd fractional_power_upper(const Matrixd& t, double alpha,
+                               double sep_tol = 1e-10);
+
+} // namespace opmsim::la

@@ -1,0 +1,95 @@
+#include "laplace/inversion.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "la/dense_lu.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::laplace {
+
+double talbot_invert(const LaplaceFn& f, double t, int m) {
+    OPMSIM_REQUIRE(t > 0.0, "talbot_invert: t must be positive");
+    OPMSIM_REQUIRE(m >= 8 && m <= 128, "talbot_invert: m in [8,128]");
+
+    // Fixed-Talbot (Abate–Valkó): contour s(theta) = r*theta(cot(theta)+i),
+    // r = 2m/(5t), theta_k = (2k+1)pi/(2m)... using the midpoint variant:
+    const double r = 2.0 * static_cast<double>(m) / (5.0 * t);
+    double sum = 0.5 * std::exp(r * t) * f(cplx(r, 0.0)).real();
+    for (int k = 1; k < m; ++k) {
+        const double theta =
+            static_cast<double>(k) * std::numbers::pi / static_cast<double>(m);
+        const double cot = std::cos(theta) / std::sin(theta);
+        const cplx s(r * theta * cot, r * theta);
+        // ds/dtheta contribution: (1 + i*sigma(theta)), sigma = theta +
+        // (theta*cot - 1)*cot.
+        const double sigma = theta + (theta * cot - 1.0) * cot;
+        const cplx factor = std::exp(s * t) * f(s) * cplx(1.0, sigma);
+        sum += factor.real();
+    }
+    return sum * r / static_cast<double>(m);
+}
+
+double stehfest_invert(const std::function<double(double)>& f, double t, int n) {
+    OPMSIM_REQUIRE(t > 0.0, "stehfest_invert: t must be positive");
+    OPMSIM_REQUIRE(n >= 2 && n <= 18 && n % 2 == 0,
+                   "stehfest_invert: n must be even, in [2,18]");
+
+    const double ln2 = std::numbers::ln2;
+    double sum = 0.0;
+    for (int k = 1; k <= n; ++k) {
+        // Stehfest weight V_k.
+        double vk = 0.0;
+        const int jmin = (k + 1) / 2;
+        const int jmax = std::min(k, n / 2);
+        for (int j = jmin; j <= jmax; ++j) {
+            double term = std::pow(static_cast<double>(j), n / 2) *
+                          std::tgamma(2.0 * j + 1.0);
+            term /= std::tgamma(static_cast<double>(n) / 2.0 - j + 1.0) *
+                    std::tgamma(static_cast<double>(j) + 1.0) *
+                    std::tgamma(static_cast<double>(j - 1) + 1.0) *
+                    std::tgamma(static_cast<double>(k - j) + 1.0) *
+                    std::tgamma(2.0 * j - k + 1.0);
+            vk += term;
+        }
+        if ((k + n / 2) % 2 != 0) vk = -vk;
+        sum += vk * f(static_cast<double>(k) * ln2 / t);
+    }
+    return sum * ln2 / t;
+}
+
+LaplaceFn system_transform(const opm::DenseDescriptorSystem& sys, double alpha,
+                           std::vector<LaplaceFn> u_hat, la::index_t channel) {
+    OPMSIM_REQUIRE(alpha > 0.0, "system_transform: alpha must be positive");
+    OPMSIM_REQUIRE(static_cast<la::index_t>(u_hat.size()) == sys.num_inputs(),
+                   "system_transform: input transform count mismatch");
+    OPMSIM_REQUIRE(channel >= 0 && channel < sys.num_outputs(),
+                   "system_transform: output channel out of range");
+    return [sys, alpha, u_hat = std::move(u_hat), channel](cplx s) -> cplx {
+        const la::index_t n = sys.num_states();
+        const cplx sa = std::pow(s, alpha);
+        la::Matrixz pencil(n, n);
+        for (la::index_t j = 0; j < n; ++j)
+            for (la::index_t i = 0; i < n; ++i)
+                pencil(i, j) = sa * sys.e(i, j) - sys.a(i, j);
+        la::Vectorz rhs(static_cast<std::size_t>(n), cplx(0, 0));
+        for (la::index_t c = 0; c < sys.num_inputs(); ++c) {
+            const cplx uc = u_hat[static_cast<std::size_t>(c)](s);
+            for (la::index_t i = 0; i < n; ++i)
+                rhs[static_cast<std::size_t>(i)] += sys.b(i, c) * uc;
+        }
+        const la::Vectorz x = la::DenseLu<cplx>(std::move(pencil)).solve(rhs);
+        if (sys.c.rows() == 0) return x[static_cast<std::size_t>(channel)];
+        cplx y(0, 0);
+        for (la::index_t i = 0; i < n; ++i)
+            y += sys.c(channel, i) * x[static_cast<std::size_t>(i)];
+        return y;
+    };
+}
+
+LaplaceFn step_transform(double level) {
+    return [level](cplx s) { return level / s; };
+}
+
+} // namespace opmsim::laplace

@@ -1,0 +1,47 @@
+#pragma once
+/// \file inversion.hpp
+/// \brief Numerical inverse Laplace transform (Talbot + Gaver–Stehfest).
+///
+/// The operational-matrix literature the paper builds on ([1] Bellman,
+/// [3] Davies & Martin, [5] Cohen) is rooted in numerical Laplace-transform
+/// inversion; this module provides the two classic quadratures as yet
+/// another independent oracle for fractional responses:
+///  * Talbot's deformed-contour method — complex evaluations of F(s),
+///    spectral accuracy for analytic transforms;
+///  * Gaver–Stehfest — real evaluations only, works well for smooth
+///    monotone time functions, famously fragile beyond ~14 terms.
+/// For a fractional descriptor system, X(s) = (s^alpha E - A)^{-1} B U(s)
+/// is easy to evaluate, so x(t) = L^{-1}[X](t) cross-checks OPM/GL/FFT.
+
+#include <complex>
+#include <functional>
+
+#include "opm/solver.hpp"
+
+namespace opmsim::laplace {
+
+using cplx = std::complex<double>;
+
+/// A Laplace-domain function F(s) defined on the right half-plane /
+/// Talbot contour region.
+using LaplaceFn = std::function<cplx(cplx)>;
+
+/// Talbot inversion: f(t) from M complex samples of F along the cotangent
+/// contour (Abate–Valkó fixed-Talbot parameters).  Requires t > 0.
+double talbot_invert(const LaplaceFn& f, double t, int m = 32);
+
+/// Gaver–Stehfest inversion with n terms (n even, <= 18): f(t) from
+/// real samples F(k ln2 / t).  Requires t > 0.
+double stehfest_invert(const std::function<double(double)>& f, double t,
+                       int n = 14);
+
+/// Laplace-domain response of a fractional descriptor system for one
+/// output channel:  Y(s) = [C (s^alpha E - A)^{-1} B U(s)]_channel, where
+/// each input has transform u_hat[i](s).
+LaplaceFn system_transform(const opm::DenseDescriptorSystem& sys, double alpha,
+                           std::vector<LaplaceFn> u_hat, la::index_t channel);
+
+/// Transform of the unit step: 1/s.
+LaplaceFn step_transform(double level = 1.0);
+
+} // namespace opmsim::laplace

@@ -1,0 +1,294 @@
+#include "opm/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "basis/bpf.hpp"
+#include "la/sparse_lu.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::opm {
+
+namespace {
+
+/// Incremental adaptive-OPM engine, integral formulation.
+///
+/// Instead of the paper's eq. (25) — a fractional power of the adaptive
+/// differential matrix via eigendecomposition, which requires pairwise
+/// distinct steps and is catastrophically ill-conditioned for clustered
+/// ones — the engine discretizes the *integral* form
+///     E z = (A Z + G) H~^alpha
+/// where H~^alpha is the exact Riemann–Liouville projection of the
+/// adaptive block-pulse basis:
+///     (H~^alpha)_{ij} = avg over interval j of I^alpha phi_i
+///                     = [ (b_j-a_i)^{a+1} - (a_j-a_i)^{a+1}
+///                        -(b_j-b_i)^{a+1} + (a_j-b_i)^{a+1} ]
+///                       / (h_j * Gamma(alpha+2)),          i < j,
+///     (H~^alpha)_{jj} = h_j^alpha / Gamma(alpha+2).
+/// This is closed-form, exact for the basis, and unconditionally stable for
+/// ANY step sequence (equal steps included); for alpha = 1 it reduces to
+/// the paper's eq. (17) integral matrix, making the sweep the adaptive
+/// trapezoidal rule.  Columns only depend on steps 0..j, so the grid can
+/// grow and roll back as the error controller probes candidate steps.
+class AdaptiveEngine {
+public:
+    AdaptiveEngine(const DescriptorSystem& sys,
+                   const std::vector<wave::Source>& inputs,
+                   const AdaptiveOptions& opt)
+        : sys_(sys), inputs_(inputs), opt_(opt), n_(sys.num_states()),
+          inv_gamma_a2_(1.0 / std::tgamma(opt.alpha + 2.0)) {
+        if (!opt_.x0.empty()) ax0_ = sys_.a.matvec(opt_.x0);
+        xend_hist_.push_back(Vectord(static_cast<std::size_t>(n_), 0.0));
+        if (opt_.alpha == 1.0) {
+            runsum_z_.push_back(Vectord(static_cast<std::size_t>(n_), 0.0));
+            runsum_g_.push_back(Vectord(static_cast<std::size_t>(n_), 0.0));
+        }
+    }
+
+    [[nodiscard]] std::size_t columns() const { return steps_.size(); }
+    [[nodiscard]] const Vectord& steps() const { return steps_; }
+    [[nodiscard]] const std::vector<Vectord>& solution() const { return xcols_; }
+    [[nodiscard]] index_t factorizations() const { return factorizations_; }
+
+    /// Current end-of-history state estimate.
+    [[nodiscard]] const Vectord& x_end() const { return xend_hist_.back(); }
+
+    /// Length of the most recently pushed step.
+    [[nodiscard]] double last_step() const { return steps_.back(); }
+
+    /// Append a column with step h starting at time t.  Returns the
+    /// end-of-interval state estimate (x_end = 2 X_j - x_start).
+    Vectord push_step(double t, double h) {
+        steps_.push_back(h);
+        edges_.push_back(edges_.empty() ? h : edges_.back() + h);
+        gcols_.push_back(forcing(t, h));
+        xcols_.push_back(solve_column());
+
+        if (opt_.alpha == 1.0) {
+            // Extend the running sums to include the new column.
+            Vectord rz = runsum_z_.back();
+            Vectord rg = runsum_g_.back();
+            la::axpy(h, xcols_.back(), rz);
+            la::axpy(h, gcols_.back(), rg);
+            runsum_z_.push_back(std::move(rz));
+            runsum_g_.push_back(std::move(rg));
+        }
+
+        Vectord xe(static_cast<std::size_t>(n_));
+        const Vectord& xj = xcols_.back();
+        const Vectord& xs = xend_hist_.back();
+        for (index_t i = 0; i < n_; ++i)
+            xe[static_cast<std::size_t>(i)] =
+                2.0 * xj[static_cast<std::size_t>(i)] - xs[static_cast<std::size_t>(i)];
+        xend_hist_.push_back(xe);
+        return xe;
+    }
+
+    /// Remove the most recent column (trial rollback).
+    void pop_step() {
+        OPMSIM_ENSURE(!steps_.empty(), "AdaptiveEngine::pop_step on empty history");
+        steps_.pop_back();
+        edges_.pop_back();
+        gcols_.pop_back();
+        xcols_.pop_back();
+        xend_hist_.pop_back();
+        if (opt_.alpha == 1.0) {
+            runsum_z_.pop_back();
+            runsum_g_.pop_back();
+        }
+    }
+
+private:
+    /// Exact Riemann–Liouville entry (H~^alpha)_{ij} for the current grid
+    /// (i <= j = last column).
+    [[nodiscard]] double h_entry(index_t i, index_t j) const {
+        const double hj = steps_[static_cast<std::size_t>(j)];
+        if (i == j) return std::pow(hj, opt_.alpha) * inv_gamma_a2_;
+        const double ai = (i == 0) ? 0.0 : edges_[static_cast<std::size_t>(i - 1)];
+        const double bi = edges_[static_cast<std::size_t>(i)];
+        const double aj = edges_[static_cast<std::size_t>(j - 1)];
+        const double bj = edges_[static_cast<std::size_t>(j)];
+        const double e = opt_.alpha + 1.0;
+        const double v = std::pow(bj - ai, e) - std::pow(aj - ai, e) -
+                         std::pow(bj - bi, e) + std::pow(aj - bi, e);
+        return v * inv_gamma_a2_ / hj;
+    }
+
+    /// Forcing G_j = B * avg(u over the interval) + A x0 (Caputo shift).
+    [[nodiscard]] Vectord forcing(double t, double h) const {
+        Vectord uj(inputs_.size());
+        const Vectord iv = {t, t + h};
+        for (std::size_t i = 0; i < inputs_.size(); ++i)
+            uj[i] = wave::project_average(inputs_[i], iv, opt_.quad_points)[0];
+        Vectord g(static_cast<std::size_t>(n_), 0.0);
+        sys_.b.gaxpy(1.0, uj, g);
+        if (!ax0_.empty()) la::axpy(1.0, ax0_, g);
+        return g;
+    }
+
+    /// Solve (E - H_jj A) Z_j = A sum_{i<j} H_ij Z_i + sum_{i<=j} H_ij G_i.
+    ///
+    /// alpha = 1 fast path: H_ij = h_i for every i < j, so both memory
+    /// sums are running weighted sums maintained incrementally — O(n) per
+    /// column instead of O(n j) (this is what makes adaptive OPM cheap for
+    /// ordinary circuits; fractional orders genuinely need the O(n j)
+    /// history convolution, matching the paper's complexity analysis).
+    [[nodiscard]] Vectord solve_column() {
+        const index_t j = static_cast<index_t>(steps_.size()) - 1;
+        Vectord rhs(static_cast<std::size_t>(n_), 0.0);
+        const double hjj = h_entry(j, j);
+        if (opt_.alpha == 1.0) {
+            const Vectord& az = runsum_z_.back();  // sum h_i Z_i, i < j
+            Vectord acc = runsum_g_.back();        // sum h_i G_i, i < j
+            la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], acc);
+            rhs = std::move(acc);
+            sys_.a.gaxpy(1.0, az, rhs);
+        } else {
+            Vectord acc_z(static_cast<std::size_t>(n_), 0.0);
+            for (index_t i = 0; i < j; ++i) {
+                const double hij = h_entry(i, j);
+                la::axpy(hij, xcols_[static_cast<std::size_t>(i)], acc_z);
+                la::axpy(hij, gcols_[static_cast<std::size_t>(i)], rhs);
+            }
+            la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], rhs);
+            sys_.a.gaxpy(1.0, acc_z, rhs);
+        }
+        factor(hjj)->solve_in_place(rhs);
+        return rhs;
+    }
+
+    /// Pencil cache keyed on H_jj = h^alpha / Gamma(alpha+2).
+    const la::SparseLu* factor(double hjj) {
+        auto it = lu_cache_.find(hjj);
+        if (it == lu_cache_.end()) {
+            auto lu = std::make_unique<la::SparseLu>(
+                la::CscMatrix::add(1.0, sys_.e, -hjj, sys_.a));
+            ++factorizations_;
+            it = lu_cache_.emplace(hjj, std::move(lu)).first;
+        }
+        return it->second.get();
+    }
+
+    const DescriptorSystem& sys_;
+    const std::vector<wave::Source>& inputs_;
+    const AdaptiveOptions& opt_;
+    index_t n_;
+    double inv_gamma_a2_;
+
+    Vectord steps_;
+    Vectord edges_;                   ///< cumulative step sums (b_i per column)
+    std::vector<Vectord> gcols_;      ///< forcing per column
+    std::vector<Vectord> xcols_;      ///< solution columns
+    std::vector<Vectord> xend_hist_;  ///< x_end after 0..j accepted columns
+    std::vector<Vectord> runsum_z_;   ///< alpha=1: sum h_i Z_i prefix stack
+    std::vector<Vectord> runsum_g_;   ///< alpha=1: sum h_i G_i prefix stack
+    Vectord ax0_;
+
+    std::map<double, std::unique_ptr<la::SparseLu>> lu_cache_;
+    index_t factorizations_ = 0;
+};
+
+} // namespace
+
+AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
+                                     const std::vector<wave::Source>& inputs,
+                                     double t_end, const AdaptiveOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(t_end > 0.0, "simulate_opm_adaptive: t_end must be positive");
+    OPMSIM_REQUIRE(opt.alpha > 0.0, "simulate_opm_adaptive: alpha must be positive");
+    OPMSIM_REQUIRE(opt.tol > 0.0, "simulate_opm_adaptive: tol must be positive");
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == sys.num_inputs(),
+                   "simulate_opm_adaptive: input count mismatch");
+
+    const double h_init = opt.h_init > 0 ? opt.h_init : t_end / 64.0;
+    const double h_min = opt.h_min > 0 ? opt.h_min : t_end * 1e-9;
+    const double h_max = opt.h_max > 0 ? opt.h_max : t_end / 4.0;
+    OPMSIM_REQUIRE(h_min <= h_init && h_init <= h_max,
+                   "simulate_opm_adaptive: h_min <= h_init <= h_max violated");
+
+    AdaptiveEngine eng(sys, inputs, opt);
+    AdaptiveResult res;
+
+    double t = 0.0;
+    double h = h_init;
+    const index_t n = sys.num_states();
+    index_t consecutive_rejects = 0;
+    double last_diff = -1.0;  ///< diff of the previous trial (any step)
+
+    while (t < t_end * (1.0 - 1e-12)) {
+        // Clamp to [h_min, h_max], then never step past the horizon — the
+        // horizon cap wins even when the remainder is below h_min.
+        const double remaining = t_end - t;
+        h = std::clamp(h, h_min, h_max);
+        if (h > remaining || remaining - h < h_min) h = remaining;
+        OPMSIM_REQUIRE(res.accepted + res.rejected < opt.max_steps,
+                       "simulate_opm_adaptive: step budget exhausted "
+                       "(tolerance too tight for h_min?)");
+
+        // Step doubling: one full step vs two half steps.
+        const Vectord full_end = eng.push_step(t, h);
+        eng.pop_step();
+        eng.push_step(t, 0.5 * h);
+        const Vectord half_end = eng.push_step(t + 0.5 * h, 0.5 * h);
+
+        double diff = 0.0, scale = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+            diff = std::max(diff, std::abs(full_end[static_cast<std::size_t>(i)] -
+                                           half_end[static_cast<std::size_t>(i)]));
+            scale = std::max(scale, std::abs(half_end[static_cast<std::size_t>(i)]));
+        }
+        eng.pop_step();
+        eng.pop_step();
+#ifdef OPMSIM_ADAPTIVE_DEBUG
+        std::fprintf(stderr, "t=%.6g h=%.6g diff=%.3e scale=%.3e err=%.3e\n", t,
+                     h, diff, scale, diff / (scale + 1e-300));
+#endif
+
+        const double threshold = opt.atol + opt.tol * scale;
+        const bool pass = diff <= threshold;
+        // Futility: the estimate is insensitive to h (for fractional
+        // systems this is error inherited through the memory kernel from
+        // earlier coarse intervals — no local step size can reduce it).
+        // Committing and *growing* builds the geometric graded mesh the
+        // fractional literature prescribes.
+        const bool futile = !pass && last_diff > 0.0 &&
+                            diff >= 0.9 * last_diff && diff <= 1.25 * last_diff;
+        last_diff = diff;
+
+        if (pass || futile || h <= h_min * (1.0 + 1e-12) ||
+            consecutive_rejects >= opt.max_consecutive_rejects) {
+            eng.push_step(t, h);  // commit the full step
+            t += h;
+            ++res.accepted;
+            consecutive_rejects = 0;
+            if (futile || diff < 0.25 * threshold) h = std::min(2.0 * h, h_max);
+        } else {
+            ++res.rejected;
+            ++consecutive_rejects;
+            h = std::max(0.5 * h, h_min);
+        }
+    }
+
+    // Package the history.
+    const std::size_t m = eng.columns();
+    res.steps = eng.steps();
+    res.edges = basis::edges_from_steps(res.steps);
+    res.coeffs = la::Matrixd(n, static_cast<index_t>(m));
+    for (std::size_t j = 0; j < m; ++j)
+        for (index_t i = 0; i < n; ++i)
+            res.coeffs(i, static_cast<index_t>(j)) = eng.solution()[j][static_cast<std::size_t>(i)];
+    res.factorizations = eng.factorizations();
+    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
+    return res;
+}
+
+AdaptiveResult simulate_opm_adaptive(const DenseDescriptorSystem& sys,
+                                     const std::vector<wave::Source>& inputs,
+                                     double t_end, const AdaptiveOptions& opt) {
+    const DescriptorSystem s = sys.to_sparse();
+    return simulate_opm_adaptive(s, inputs, t_end, opt);
+}
+
+} // namespace opmsim::opm

@@ -1,0 +1,60 @@
+#include "opm/fractional_series.hpp"
+
+#include "util/check.hpp"
+
+namespace opmsim::opm {
+
+Vectord binomial_coeffs(double alpha, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "binomial_coeffs: m >= 1 required");
+    Vectord c(static_cast<std::size_t>(m));
+    c[0] = 1.0;
+    // C(alpha, k) = C(alpha, k-1) * (alpha - k + 1) / k
+    for (index_t k = 1; k < m; ++k)
+        c[static_cast<std::size_t>(k)] =
+            c[static_cast<std::size_t>(k - 1)] *
+            (alpha - static_cast<double>(k) + 1.0) / static_cast<double>(k);
+    return c;
+}
+
+Vectord binomial_series(double alpha, double s, index_t m) {
+    OPMSIM_REQUIRE(s == 1.0 || s == -1.0, "binomial_series: s must be +-1");
+    Vectord c = binomial_coeffs(alpha, m);
+    if (s < 0)
+        for (index_t k = 1; k < m; k += 2) c[static_cast<std::size_t>(k)] = -c[static_cast<std::size_t>(k)];
+    return c;
+}
+
+Vectord poly_mul_trunc(const Vectord& a, const Vectord& b, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "poly_mul_trunc: m >= 1 required");
+    Vectord c(static_cast<std::size_t>(m), 0.0);
+    const index_t na = static_cast<index_t>(a.size());
+    const index_t nb = static_cast<index_t>(b.size());
+    for (index_t i = 0; i < na && i < m; ++i) {
+        const double ai = a[static_cast<std::size_t>(i)];
+        if (ai == 0.0) continue;
+        const index_t jmax = std::min(nb, m - i);
+        for (index_t j = 0; j < jmax; ++j)
+            c[static_cast<std::size_t>(i + j)] += ai * b[static_cast<std::size_t>(j)];
+    }
+    return c;
+}
+
+Vectord frac_diff_series(double alpha, index_t m) {
+    // (1-q)^alpha * (1+q)^{-alpha}
+    const Vectord num = binomial_series(alpha, -1.0, m);
+    const Vectord den = binomial_series(-alpha, +1.0, m);
+    return poly_mul_trunc(num, den, m);
+}
+
+Vectord frac_int_series(double alpha, index_t m) {
+    // (1+q)^alpha * (1-q)^{-alpha}
+    const Vectord num = binomial_series(alpha, +1.0, m);
+    const Vectord den = binomial_series(-alpha, -1.0, m);
+    return poly_mul_trunc(num, den, m);
+}
+
+Vectord grunwald_weights(double alpha, index_t m) {
+    return binomial_series(alpha, -1.0, m);
+}
+
+} // namespace opmsim::opm

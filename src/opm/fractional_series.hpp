@@ -1,0 +1,43 @@
+#pragma once
+/// \file fractional_series.hpp
+/// \brief Power-series machinery for fractional operational matrices.
+///
+/// The paper's eq. (21) defines the fractional differential operational
+/// matrix as D^alpha = ((2/h)(1-q)/(1+q))^alpha evaluated at the nilpotent
+/// shift q = Q_m.  Because Q_m^m = 0, the formal power series truncated at
+/// q^{m-1} is *exact* as a matrix polynomial (eq. 22).  This module
+/// computes those truncated series:
+///     rho_alpha(q) = (1-q)^alpha * (1+q)^{-alpha}  (mod q^m)
+/// via binomial expansions and truncated polynomial convolution.
+/// The worked example in the paper (eq. 23): rho_{3/2,4} has coefficients
+/// {1, -3, 4.5, -5.5} — reproduced exactly by tests.
+
+#include "la/dense.hpp"
+
+namespace opmsim::opm {
+
+using la::index_t;
+using la::Vectord;
+
+/// Generalized binomial coefficients: out[k] = C(alpha, k), k = 0..m-1.
+Vectord binomial_coeffs(double alpha, index_t m);
+
+/// Coefficients of (1 + s*q)^alpha truncated at q^{m-1} (s = +-1).
+Vectord binomial_series(double alpha, double s, index_t m);
+
+/// Truncated product: (a * b) mod q^m.
+Vectord poly_mul_trunc(const Vectord& a, const Vectord& b, index_t m);
+
+/// Coefficients of ((1-q)/(1+q))^alpha mod q^m — the paper's rho_{alpha,m}
+/// *without* the (2/h)^alpha scale factor.
+Vectord frac_diff_series(double alpha, index_t m);
+
+/// Coefficients of ((1+q)/(1-q))^alpha mod q^m — the fractional
+/// *integration* series (inverse of the above in the truncated ring).
+Vectord frac_int_series(double alpha, index_t m);
+
+/// Grünwald–Letnikov weights w_j = (-1)^j C(alpha, j), j = 0..m-1 — the
+/// coefficients of (1-q)^alpha, used by the GL baseline stepper.
+Vectord grunwald_weights(double alpha, index_t m);
+
+} // namespace opmsim::opm

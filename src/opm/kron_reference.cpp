@@ -1,0 +1,27 @@
+#include "opm/kron_reference.hpp"
+
+#include "la/dense_lu.hpp"
+#include "la/kron.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::opm {
+
+la::Matrixd solve_kronecker_reference(const la::Matrixd& e, const la::Matrixd& a,
+                                      const la::Matrixd& b, const la::Matrixd& u,
+                                      const la::Matrixd& d) {
+    const index_t n = a.rows();
+    const index_t m = d.rows();
+    OPMSIM_REQUIRE(e.rows() == n && e.cols() == n && a.cols() == n,
+                   "solve_kronecker_reference: E/A shape mismatch");
+    OPMSIM_REQUIRE(b.rows() == n && u.rows() == b.cols() && u.cols() == m,
+                   "solve_kronecker_reference: B/U shape mismatch");
+    OPMSIM_REQUIRE(d.cols() == m, "solve_kronecker_reference: D must be square");
+
+    const la::Matrixd lhs = la::kron(d.transposed(), e) -
+                            la::kron(la::Matrixd::identity(m), a);
+    const la::Matrixd rhs = b * u;  // vec(B U) = (I (x) B) vec(U)
+    const Vectord x = la::DenseLu<double>(lhs).solve(la::vec(rhs));
+    return la::unvec(x, n, m);
+}
+
+} // namespace opmsim::opm

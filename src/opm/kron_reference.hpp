@@ -1,0 +1,22 @@
+#pragma once
+/// \file kron_reference.hpp
+/// \brief Ground-truth solver for OPM via the full Kronecker system.
+///
+/// The paper notes (eq. 15 / 27) that the OPM equations can be written as
+///     ((D^alpha)^T (x) E - I_m (x) A) vec(X) = (I_m (x) B) vec(U)
+/// and then immediately advises *against* solving this directly.  This
+/// module solves it directly anyway — as an O((nm)^3) oracle the tests use
+/// to prove the production column sweep computes the same X.
+
+#include "opm/solver.hpp"
+
+namespace opmsim::opm {
+
+/// Solve eq. (15)/(27) densely and return the coefficient matrix X.
+/// `d` is any operational matrix (uniform or adaptive, any alpha); `u` is
+/// the p x m input coefficient matrix.
+la::Matrixd solve_kronecker_reference(const la::Matrixd& e, const la::Matrixd& a,
+                                      const la::Matrixd& b, const la::Matrixd& u,
+                                      const la::Matrixd& d);
+
+} // namespace opmsim::opm

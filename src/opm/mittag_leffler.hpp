@@ -1,0 +1,32 @@
+#pragma once
+/// \file mittag_leffler.hpp
+/// \brief Mittag-Leffler functions — the analytic oracle for fractional
+///        differential equations.
+///
+/// The scalar FDE  d^alpha x/dt^alpha = lambda x + b u(t)  (Caputo, zero
+/// history) has closed-form solutions in terms of E_{alpha,beta}:
+///   relaxation (u = 0, x(0) = x0):  x(t) = x0 * E_alpha(lambda t^alpha)
+///   step response (x(0) = 0, u = 1): x(t) = b t^alpha E_{alpha,alpha+1}(lambda t^alpha)
+/// Tests and the alpha-sweep bench validate every fractional solver in
+/// opmsim against these.
+///
+/// Implementation: exact special cases (alpha = 1, 2, 1/2), power series in
+/// long double for moderate |z|, and the z -> -inf asymptotic expansion.
+
+namespace opmsim::opm {
+
+/// Two-parameter Mittag-Leffler E_{alpha,beta}(z) for real z.
+/// Supported domain: 0 < alpha <= 2, beta > 0, z <= ~12 (any negative z).
+/// Throws std::invalid_argument outside the supported domain.
+double mittag_leffler(double alpha, double beta, double z);
+
+/// One-parameter E_alpha(z) = E_{alpha,1}(z).
+double mittag_leffler(double alpha, double z);
+
+/// Relaxation solution x(t) of d^a x = lambda x, x(0) = x0 (Caputo).
+double ml_relaxation(double alpha, double lambda, double x0, double t);
+
+/// Step response x(t) of d^a x = lambda x + b, x(0) = 0.
+double ml_step_response(double alpha, double lambda, double b, double t);
+
+} // namespace opmsim::opm

@@ -1,0 +1,236 @@
+#include "opm/multiterm.hpp"
+
+#include <cmath>
+
+#include "la/sparse_lu.hpp"
+#include "opm/fractional_series.hpp"
+#include "opm/operational.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace opmsim::opm {
+
+index_t MultiTermSystem::num_states() const {
+    OPMSIM_REQUIRE(!lhs.empty(), "MultiTermSystem: no left-hand terms");
+    return lhs.front().mat.rows();
+}
+
+index_t MultiTermSystem::num_inputs() const {
+    OPMSIM_REQUIRE(!rhs.empty(), "MultiTermSystem: no right-hand terms");
+    return rhs.front().mat.cols();
+}
+
+index_t MultiTermSystem::num_outputs() const {
+    return c.rows() > 0 ? c.rows() : num_states();
+}
+
+void MultiTermSystem::validate() const {
+    OPMSIM_REQUIRE(!lhs.empty() && !rhs.empty(),
+                   "MultiTermSystem: need at least one term on each side");
+    const index_t n = num_states();
+    const index_t p = num_inputs();
+    for (const auto& t : lhs) {
+        OPMSIM_REQUIRE(t.order >= 0.0, "MultiTermSystem: negative lhs order");
+        OPMSIM_REQUIRE(t.mat.rows() == n && t.mat.cols() == n,
+                       "MultiTermSystem: lhs matrix shape mismatch");
+    }
+    for (const auto& t : rhs) {
+        OPMSIM_REQUIRE(t.order >= 0.0, "MultiTermSystem: negative rhs order");
+        OPMSIM_REQUIRE(t.mat.rows() == n && t.mat.cols() == p,
+                       "MultiTermSystem: rhs matrix shape mismatch");
+    }
+    if (c.rows() > 0)
+        OPMSIM_REQUIRE(c.cols() == n, "MultiTermSystem: C column count mismatch");
+}
+
+namespace {
+
+bool all_integer_orders(const MultiTermSystem& sys) {
+    const auto is_int = [](double a) { return a == std::floor(a); };
+    for (const auto& t : sys.lhs)
+        if (!is_int(t.order)) return false;
+    for (const auto& t : sys.rhs)
+        if (!is_int(t.order)) return false;
+    return true;
+}
+
+/// Coefficients of (2/h)^a (1-q)^a (1+q)^{K-a}: the banded operator every
+/// order-a term becomes after the equation is multiplied by (I+Q)^K.
+Vectord banded_coeffs(double a, index_t k_max, double h) {
+    const Vectord num = binomial_series(a, -1.0, k_max + 1);
+    const Vectord den = binomial_series(static_cast<double>(k_max) - a, +1.0,
+                                        k_max + 1);
+    Vectord c = poly_mul_trunc(num, den, k_max + 1);
+    const double scale = std::pow(2.0 / h, a);
+    for (auto& v : c) v *= scale;
+    return c;
+}
+
+} // namespace
+
+OpmResult simulate_multiterm(const MultiTermSystem& sys,
+                             const std::vector<wave::Source>& inputs,
+                             double t_end, index_t m,
+                             const MultiTermOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(t_end > 0.0 && m >= 1, "simulate_multiterm: bad time grid");
+    const index_t n = sys.num_states();
+    const index_t p = sys.num_inputs();
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == p,
+                   "simulate_multiterm: input count mismatch");
+    const double h = t_end / static_cast<double>(m);
+
+    MultiTermPath path = opt.path;
+    const bool integer_ok = all_integer_orders(sys);
+    if (path == MultiTermPath::automatic)
+        path = integer_ok ? MultiTermPath::recurrence : MultiTermPath::toeplitz;
+    OPMSIM_REQUIRE(path != MultiTermPath::recurrence || integer_ok,
+                   "simulate_multiterm: the recurrence path requires integer "
+                   "differential orders");
+
+    OpmResult res;
+    res.edges = wave::uniform_edges(t_end, m);
+    res.coeffs = la::Matrixd(n, m);
+
+    // Project inputs: U is p x m.
+    la::Matrixd u(p, m);
+    for (index_t i = 0; i < p; ++i) {
+        const Vectord ui = wave::project_average(inputs[static_cast<std::size_t>(i)],
+                                                 res.edges, opt.quad_points,
+                                                 opt.quad_panels);
+        for (index_t j = 0; j < m; ++j) u(i, j) = ui[static_cast<std::size_t>(j)];
+    }
+
+    if (path == MultiTermPath::recurrence) {
+        // Banded sweep: multiply through by (I+Q)^K; each term's history
+        // depth is K = the largest order, independent of m.
+        index_t k_max = 0;
+        for (const auto& t : sys.lhs)
+            k_max = std::max(k_max, static_cast<index_t>(t.order));
+        for (const auto& t : sys.rhs)
+            k_max = std::max(k_max, static_cast<index_t>(t.order));
+
+        std::vector<Vectord> cl, cr;
+        for (const auto& t : sys.lhs) cl.push_back(banded_coeffs(t.order, k_max, h));
+        for (const auto& t : sys.rhs) cr.push_back(banded_coeffs(t.order, k_max, h));
+
+        WallTimer timer;
+        la::CscMatrix pencil(la::Triplets(n, n));
+        for (std::size_t k = 0; k < sys.lhs.size(); ++k)
+            pencil = la::CscMatrix::add(1.0, pencil, cl[k][0], sys.lhs[k].mat);
+        const la::SparseLu lu(pencil);
+        res.factor_seconds = timer.elapsed_s();
+
+        timer.reset();
+        Vectord acc(static_cast<std::size_t>(n));
+        Vectord rhs(static_cast<std::size_t>(n));
+        Vectord up(static_cast<std::size_t>(p));
+        la::Matrixd& x = res.coeffs;
+        for (index_t j = 0; j < m; ++j) {
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+            // RHS: sum_l B_l (U banded)_j.
+            for (std::size_t l = 0; l < sys.rhs.size(); ++l) {
+                std::fill(up.begin(), up.end(), 0.0);
+                for (index_t d = 0; d <= k_max && d <= j; ++d) {
+                    const double c = cr[l][static_cast<std::size_t>(d)];
+                    if (c == 0.0) continue;
+                    for (index_t r = 0; r < p; ++r)
+                        up[static_cast<std::size_t>(r)] += c * u(r, j - d);
+                }
+                sys.rhs[l].mat.gaxpy(1.0, up, rhs);
+            }
+            // LHS history: - sum_k A_k sum_{d>=1} c^{(k)}_d X_{j-d}.
+            for (std::size_t k = 0; k < sys.lhs.size(); ++k) {
+                std::fill(acc.begin(), acc.end(), 0.0);
+                bool any = false;
+                for (index_t d = 1; d <= k_max && d <= j; ++d) {
+                    const double c = cl[k][static_cast<std::size_t>(d)];
+                    if (c == 0.0) continue;
+                    any = true;
+                    const double* xd = x.col(j - d);
+                    for (index_t r = 0; r < n; ++r)
+                        acc[static_cast<std::size_t>(r)] += c * xd[r];
+                }
+                if (any) sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
+            }
+            lu.solve_in_place(rhs);
+            for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        }
+        res.sweep_seconds = timer.elapsed_s();
+        res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges);
+        return res;
+    }
+
+    // Toeplitz rows for every distinct order.
+    std::vector<UpperToeplitz> dl;
+    dl.reserve(sys.lhs.size());
+    for (const auto& t : sys.lhs)
+        dl.push_back(frac_differential_toeplitz(t.order, h, m));
+    std::vector<UpperToeplitz> dr;
+    dr.reserve(sys.rhs.size());
+    for (const auto& t : sys.rhs)
+        dr.push_back(frac_differential_toeplitz(t.order, h, m));
+
+    // Forcing F = sum_l B_l (U D^{beta_l}): each column of U D^{beta} is
+    // sum_{i<=j} d_{j-i} U_i.
+    la::Matrixd f(n, m);
+    {
+        Vectord acc(static_cast<std::size_t>(p));
+        Vectord fj(static_cast<std::size_t>(n));
+        for (index_t j = 0; j < m; ++j) {
+            std::fill(fj.begin(), fj.end(), 0.0);
+            for (std::size_t l = 0; l < sys.rhs.size(); ++l) {
+                std::fill(acc.begin(), acc.end(), 0.0);
+                for (index_t i = 0; i <= j; ++i) {
+                    const double d = dr[l].coeffs[static_cast<std::size_t>(j - i)];
+                    if (d == 0.0) continue;
+                    for (index_t r = 0; r < p; ++r)
+                        acc[static_cast<std::size_t>(r)] += d * u(r, i);
+                }
+                sys.rhs[l].mat.gaxpy(1.0, acc, fj);
+            }
+            for (index_t i = 0; i < n; ++i) f(i, j) = fj[static_cast<std::size_t>(i)];
+        }
+    }
+
+    // Pencil: sum_k d0^(k) A_k, factored once.
+    WallTimer timer;
+    la::CscMatrix pencil = sys.lhs.front().mat;  // placeholder, rebuilt below
+    {
+        la::CscMatrix acc(la::Triplets(n, n));
+        for (std::size_t k = 0; k < sys.lhs.size(); ++k)
+            acc = la::CscMatrix::add(1.0, acc, dl[k].coeffs[0], sys.lhs[k].mat);
+        pencil = std::move(acc);
+    }
+    const la::SparseLu lu(pencil);
+    res.factor_seconds = timer.elapsed_s();
+
+    // Column sweep: (sum_k d0^(k) A_k) X_j = F_j - sum_k A_k sum_{i<j} d^(k)_{j-i} X_i.
+    timer.reset();
+    Vectord acc(static_cast<std::size_t>(n));
+    Vectord rhs(static_cast<std::size_t>(n));
+    la::Matrixd& x = res.coeffs;
+    for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = f(i, j);
+        for (std::size_t k = 0; k < sys.lhs.size(); ++k) {
+            std::fill(acc.begin(), acc.end(), 0.0);
+            bool any = false;
+            for (index_t i = 0; i < j; ++i) {
+                const double d = dl[k].coeffs[static_cast<std::size_t>(j - i)];
+                if (d == 0.0) continue;
+                any = true;
+                const double* xi = x.col(i);
+                for (index_t r = 0; r < n; ++r) acc[static_cast<std::size_t>(r)] += d * xi[r];
+            }
+            if (any) sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
+        }
+        lu.solve_in_place(rhs);
+        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+    }
+    res.sweep_seconds = timer.elapsed_s();
+
+    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges);
+    return res;
+}
+
+} // namespace opmsim::opm

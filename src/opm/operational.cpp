@@ -1,0 +1,90 @@
+#include "opm/operational.hpp"
+
+#include <cmath>
+
+#include "la/triangular.hpp"
+#include "opm/fractional_series.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::opm {
+
+Matrixd UpperToeplitz::to_dense() const {
+    const index_t m = size();
+    Matrixd d(m, m);
+    for (index_t i = 0; i < m; ++i)
+        for (index_t j = i; j < m; ++j) d(i, j) = coeffs[static_cast<std::size_t>(j - i)];
+    return d;
+}
+
+UpperToeplitz frac_differential_toeplitz(double alpha, double h, index_t m) {
+    OPMSIM_REQUIRE(alpha >= 0.0, "frac_differential_toeplitz: alpha >= 0 required");
+    OPMSIM_REQUIRE(h > 0.0 && m >= 1, "frac_differential_toeplitz: need h>0, m>=1");
+    UpperToeplitz t;
+    t.coeffs = frac_diff_series(alpha, m);
+    const double scale = std::pow(2.0 / h, alpha);
+    for (auto& c : t.coeffs) c *= scale;
+    return t;
+}
+
+UpperToeplitz frac_integral_toeplitz(double alpha, double h, index_t m) {
+    OPMSIM_REQUIRE(alpha >= 0.0, "frac_integral_toeplitz: alpha >= 0 required");
+    OPMSIM_REQUIRE(h > 0.0 && m >= 1, "frac_integral_toeplitz: need h>0, m>=1");
+    UpperToeplitz t;
+    t.coeffs = frac_int_series(alpha, m);
+    const double scale = std::pow(h / 2.0, alpha);
+    for (auto& c : t.coeffs) c *= scale;
+    return t;
+}
+
+Matrixd frac_differential_matrix(double alpha, double h, index_t m) {
+    return frac_differential_toeplitz(alpha, h, m).to_dense();
+}
+
+Matrixd frac_integral_matrix(double alpha, double h, index_t m) {
+    return frac_integral_toeplitz(alpha, h, m).to_dense();
+}
+
+namespace {
+
+bool is_integer(double a) { return a == std::floor(a); }
+
+Matrixd matrix_power(const Matrixd& a, index_t p) {
+    Matrixd r = Matrixd::identity(a.rows());
+    Matrixd base = a;
+    while (p > 0) {
+        if (p & 1) r = r * base;
+        base = base * base;
+        p >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+Matrixd frac_differential_matrix_adaptive(double alpha, const Vectord& steps) {
+    OPMSIM_REQUIRE(alpha >= 0.0, "frac_differential_matrix_adaptive: alpha >= 0");
+    OPMSIM_REQUIRE(!steps.empty(), "frac_differential_matrix_adaptive: empty steps");
+    const index_t m = static_cast<index_t>(steps.size());
+
+    if (is_integer(alpha)) {
+        if (alpha == 0.0) return Matrixd::identity(m);
+        return matrix_power(basis::bpf_differential_matrix_adaptive(steps),
+                            static_cast<index_t>(alpha));
+    }
+
+    bool all_equal = true;
+    for (std::size_t i = 1; i < steps.size(); ++i)
+        if (steps[i] != steps[0]) {
+            all_equal = false;
+            break;
+        }
+    if (all_equal)
+        return frac_differential_matrix(alpha, steps[0], m);
+
+    // Distinct steps: eigendecomposition path (paper eq. 25).  Throws
+    // numerical_error from eig_upper_triangular on (near-)repeats.
+    const Matrixd d = basis::bpf_differential_matrix_adaptive(steps);
+    return la::fractional_power_upper(d, alpha);
+}
+
+} // namespace opmsim::opm

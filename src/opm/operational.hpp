@@ -1,0 +1,54 @@
+#pragma once
+/// \file operational.hpp
+/// \brief Fractional operational matrices D^alpha and H^alpha (paper §IV).
+///
+/// For uniform steps both operators are upper-triangular *Toeplitz*
+/// matrices, fully described by their first row; the solvers consume that
+/// row directly (struct UpperToeplitz) and never materialize the dense
+/// matrix on the hot path.  For adaptive steps the operators lose the
+/// Toeplitz property and are computed either by triangular
+/// eigendecomposition (paper eq. 25) or, column-incrementally, by the
+/// Parlett recurrence (opm/adaptive.cpp).
+
+#include "basis/bpf.hpp"
+#include "la/dense.hpp"
+
+namespace opmsim::opm {
+
+using la::index_t;
+using la::Matrixd;
+using la::Vectord;
+
+/// Upper-triangular Toeplitz operator: entry (i,j) = coeffs[j-i] for j>=i.
+struct UpperToeplitz {
+    Vectord coeffs;  ///< first row; coeffs[0] is the diagonal value
+
+    [[nodiscard]] index_t size() const { return static_cast<index_t>(coeffs.size()); }
+
+    /// Densify (tests, generic-basis solver).
+    [[nodiscard]] Matrixd to_dense() const;
+};
+
+/// D^alpha for m uniform steps of length h: (2/h)^alpha * rho_{alpha,m}(Q).
+/// alpha = 1 reproduces basis::bpf_differential_matrix; alpha = 0 is I.
+UpperToeplitz frac_differential_toeplitz(double alpha, double h, index_t m);
+
+/// H^alpha (fractional integration): (h/2)^alpha * ((1+q)/(1-q))^alpha.
+UpperToeplitz frac_integral_toeplitz(double alpha, double h, index_t m);
+
+/// Dense D^alpha (convenience wrapper).
+Matrixd frac_differential_matrix(double alpha, double h, index_t m);
+
+/// Dense H^alpha (convenience wrapper).
+Matrixd frac_integral_matrix(double alpha, double h, index_t m);
+
+/// Adaptive-step D~^alpha.  Dispatch:
+///  * alpha integer      -> exact matrix power of D~ (eq. 17),
+///  * all steps equal    -> uniform Toeplitz densified,
+///  * steps all distinct -> triangular eigendecomposition (eq. 25).
+/// Throws numerical_error when a genuinely fractional power is requested
+/// for a step vector with repeated (or nearly repeated) entries — callers
+/// that generate steps (the adaptive driver) keep them pairwise distinct.
+Matrixd frac_differential_matrix_adaptive(double alpha, const Vectord& steps);
+
+} // namespace opmsim::opm

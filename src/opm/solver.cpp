@@ -1,0 +1,416 @@
+#include "opm/solver.hpp"
+
+#include <cmath>
+
+#include "la/dense_lu.hpp"
+#include "la/kron.hpp"
+#include "la/sparse_lu.hpp"
+#include "opm/operational.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace opmsim::opm {
+
+void DescriptorSystem::validate() const {
+    const index_t n = a.rows();
+    OPMSIM_REQUIRE(a.cols() == n, "DescriptorSystem: A must be square");
+    OPMSIM_REQUIRE(e.rows() == n && e.cols() == n,
+                   "DescriptorSystem: E must match A's shape");
+    OPMSIM_REQUIRE(b.rows() == n, "DescriptorSystem: B row count must equal n");
+    if (c.rows() > 0)
+        OPMSIM_REQUIRE(c.cols() == n, "DescriptorSystem: C column count must equal n");
+}
+
+DescriptorSystem DenseDescriptorSystem::to_sparse() const {
+    DescriptorSystem s;
+    s.e = la::CscMatrix::from_dense(e);
+    s.a = la::CscMatrix::from_dense(a);
+    s.b = la::CscMatrix::from_dense(b);
+    if (c.rows() > 0) s.c = la::CscMatrix::from_dense(c);
+    return s;
+}
+
+std::vector<wave::Waveform> outputs_from_coeffs(const la::CscMatrix& c,
+                                                const la::Matrixd& x,
+                                                const Vectord& edges,
+                                                const Vectord& x0) {
+    const index_t n = x.rows();
+    const index_t m = x.cols();
+    const index_t q = c.rows() > 0 ? c.rows() : n;
+    const Vectord mid = basis::interval_midpoints(edges);
+
+    la::Matrixd y(q, m);
+    Vectord xj(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+            xj[static_cast<std::size_t>(i)] = x(i, j);
+            if (!x0.empty()) xj[static_cast<std::size_t>(i)] += x0[static_cast<std::size_t>(i)];
+        }
+        if (c.rows() > 0) {
+            const Vectord yj = c.matvec(xj);
+            for (index_t i = 0; i < q; ++i) y(i, j) = yj[static_cast<std::size_t>(i)];
+        } else {
+            for (index_t i = 0; i < q; ++i) y(i, j) = xj[static_cast<std::size_t>(i)];
+        }
+    }
+
+    std::vector<wave::Waveform> out;
+    out.reserve(static_cast<std::size_t>(q));
+    for (index_t i = 0; i < q; ++i) {
+        Vectord v(static_cast<std::size_t>(m));
+        for (index_t j = 0; j < m; ++j) v[static_cast<std::size_t>(j)] = y(i, j);
+        out.emplace_back(mid, std::move(v));
+    }
+    return out;
+}
+
+std::vector<wave::Waveform> endpoint_outputs_from_coeffs(const la::CscMatrix& c,
+                                                         const la::Matrixd& x,
+                                                         const Vectord& edges,
+                                                         const Vectord& x0) {
+    const index_t n = x.rows();
+    const index_t m = x.cols();
+    const index_t q = c.rows() > 0 ? c.rows() : n;
+    OPMSIM_REQUIRE(static_cast<index_t>(edges.size()) == m + 1,
+                   "endpoint_outputs_from_coeffs: edge count mismatch");
+
+    // Unwind interval averages into endpoint states.
+    la::Matrixd xe(n, m + 1);
+    for (index_t i = 0; i < n; ++i)
+        xe(i, 0) = x0.empty() ? 0.0 : x0[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < m; ++j)
+        for (index_t i = 0; i < n; ++i) {
+            const double avg =
+                x(i, j) + (x0.empty() ? 0.0 : x0[static_cast<std::size_t>(i)]);
+            xe(i, j + 1) = 2.0 * avg - xe(i, j);
+        }
+
+    std::vector<wave::Waveform> out;
+    out.reserve(static_cast<std::size_t>(q));
+    Vectord col(static_cast<std::size_t>(n));
+    la::Matrixd y(q, m + 1);
+    for (index_t j = 0; j <= m; ++j) {
+        for (index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = xe(i, j);
+        if (c.rows() > 0) {
+            const Vectord yj = c.matvec(col);
+            for (index_t i = 0; i < q; ++i) y(i, j) = yj[static_cast<std::size_t>(i)];
+        } else {
+            for (index_t i = 0; i < q; ++i) y(i, j) = col[static_cast<std::size_t>(i)];
+        }
+    }
+    for (index_t i = 0; i < q; ++i) {
+        Vectord v(static_cast<std::size_t>(m) + 1);
+        for (index_t j = 0; j <= m; ++j) v[static_cast<std::size_t>(j)] = y(i, j);
+        out.emplace_back(edges, std::move(v));
+    }
+    return out;
+}
+
+namespace {
+
+/// Effective per-column forcing G_j = B U_j + A x0 (the x0 term implements
+/// the Caputo shift described in the header).
+la::Matrixd build_forcing(const DescriptorSystem& sys,
+                          const std::vector<wave::Source>& inputs,
+                          const Vectord& edges, const OpmOptions& opt) {
+    const index_t n = sys.num_states();
+    const index_t p = sys.num_inputs();
+    const index_t m = static_cast<index_t>(edges.size()) - 1;
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == p,
+                   "simulate_opm: input count must match B's column count");
+
+    la::Matrixd u(p, m);
+    for (index_t i = 0; i < p; ++i) {
+        const Vectord ui = wave::project_average(inputs[static_cast<std::size_t>(i)],
+                                                 edges, opt.quad_points,
+                                                 opt.quad_panels);
+        for (index_t j = 0; j < m; ++j) u(i, j) = ui[static_cast<std::size_t>(j)];
+    }
+
+    Vectord ax0;
+    if (!opt.x0.empty()) {
+        OPMSIM_REQUIRE(static_cast<index_t>(opt.x0.size()) == n,
+                       "simulate_opm: x0 size must equal the state count");
+        ax0 = sys.a.matvec(opt.x0);
+    }
+
+    la::Matrixd g(n, m);
+    Vectord uj(static_cast<std::size_t>(p));
+    for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < p; ++i) uj[static_cast<std::size_t>(i)] = u(i, j);
+        Vectord gj(static_cast<std::size_t>(n), 0.0);
+        sys.b.gaxpy(1.0, uj, gj);
+        if (!ax0.empty()) la::axpy(1.0, ax0, gj);
+        for (index_t i = 0; i < n; ++i) g(i, j) = gj[static_cast<std::size_t>(i)];
+    }
+    return g;
+}
+
+/// O(m) path: (2/h E - A) X_j = (2/h E + A) X_{j-1} + G_j + G_{j-1}.
+void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
+                      double h, la::Matrixd& x, OpmResult& res) {
+    const index_t n = sys.num_states();
+    const index_t m = g.cols();
+    const double s = 2.0 / h;
+
+    WallTimer t;
+    const la::CscMatrix pencil = la::CscMatrix::add(s, sys.e, -1.0, sys.a);
+    const la::SparseLu lu(pencil);
+    res.factor_seconds = t.elapsed_s();
+
+    t.reset();
+    Vectord rhs(static_cast<std::size_t>(n));
+    Vectord prev(static_cast<std::size_t>(n), 0.0);
+    for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < n; ++i) {
+            rhs[static_cast<std::size_t>(i)] = g(i, j);
+            if (j > 0) rhs[static_cast<std::size_t>(i)] += g(i, j - 1);
+        }
+        if (j > 0) {
+            sys.e.gaxpy(s, prev, rhs);
+            sys.a.gaxpy(1.0, prev, rhs);
+        }
+        lu.solve_in_place(rhs);
+        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        std::swap(prev, rhs);
+    }
+    res.sweep_seconds = t.elapsed_s();
+}
+
+/// O(m^2) path, differential form:
+///   (d0 E - A) X_j = G_j - E sum_{i<j} d_{j-i} X_i.
+void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
+                         const UpperToeplitz& d, la::Matrixd& x, OpmResult& res) {
+    const index_t n = sys.num_states();
+    const index_t m = g.cols();
+    const double d0 = d.coeffs[0];
+
+    WallTimer t;
+    const la::CscMatrix pencil = la::CscMatrix::add(d0, sys.e, -1.0, sys.a);
+    const la::SparseLu lu(pencil);
+    res.factor_seconds = t.elapsed_s();
+
+    t.reset();
+    Vectord acc(static_cast<std::size_t>(n));
+    Vectord rhs(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < m; ++j) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (index_t i = 0; i < j; ++i) {
+            const double dji = d.coeffs[static_cast<std::size_t>(j - i)];
+            if (dji == 0.0) continue;
+            const double* xi = x.col(i);
+            for (index_t r = 0; r < n; ++r) acc[static_cast<std::size_t>(r)] += dji * xi[r];
+        }
+        for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = g(i, j);
+        sys.e.gaxpy(-1.0, acc, rhs);
+        lu.solve_in_place(rhs);
+        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+    }
+    res.sweep_seconds = t.elapsed_s();
+}
+
+/// O(m^2) path, integral form:
+///   (E - g0 A) X_j = A sum_{i<j} g_{j-i} X_i + (G H^alpha)_j.
+void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
+                        const UpperToeplitz& hop, la::Matrixd& x, OpmResult& res) {
+    const index_t n = sys.num_states();
+    const index_t m = g.cols();
+    const double g0 = hop.coeffs[0];
+
+    WallTimer t;
+    const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys.e, -g0, sys.a);
+    const la::SparseLu lu(pencil);
+    res.factor_seconds = t.elapsed_s();
+
+    t.reset();
+    // Precompute the transformed forcing W = G * H^alpha (n x m).
+    la::Matrixd w(n, m);
+    for (index_t j = 0; j < m; ++j)
+        for (index_t i = 0; i <= j; ++i) {
+            const double gji = hop.coeffs[static_cast<std::size_t>(j - i)];
+            if (gji == 0.0) continue;
+            for (index_t r = 0; r < n; ++r) w(r, j) += gji * g(r, i);
+        }
+
+    Vectord acc(static_cast<std::size_t>(n));
+    Vectord rhs(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < m; ++j) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (index_t i = 0; i < j; ++i) {
+            const double gji = hop.coeffs[static_cast<std::size_t>(j - i)];
+            if (gji == 0.0) continue;
+            const double* xi = x.col(i);
+            for (index_t r = 0; r < n; ++r) acc[static_cast<std::size_t>(r)] += gji * xi[r];
+        }
+        for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = w(i, j);
+        sys.a.gaxpy(1.0, acc, rhs);
+        lu.solve_in_place(rhs);
+        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+    }
+    res.sweep_seconds = t.elapsed_s();
+}
+
+} // namespace
+
+OpmResult simulate_opm(const DescriptorSystem& sys,
+                       const std::vector<wave::Source>& inputs, double t_end,
+                       index_t m, const OpmOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(t_end > 0.0, "simulate_opm: t_end must be positive");
+    OPMSIM_REQUIRE(m >= 1, "simulate_opm: m >= 1 required");
+    OPMSIM_REQUIRE(opt.alpha > 0.0, "simulate_opm: alpha must be positive");
+
+    OpmPath path = opt.path;
+    const bool recurrence_ok =
+        opt.alpha == 1.0 && opt.form == OpmForm::differential;
+    if (path == OpmPath::automatic)
+        path = recurrence_ok ? OpmPath::recurrence : OpmPath::toeplitz;
+    OPMSIM_REQUIRE(path != OpmPath::recurrence || recurrence_ok,
+                   "simulate_opm: recurrence path requires alpha == 1 and the "
+                   "differential form");
+
+    const index_t n = sys.num_states();
+    const double h = t_end / static_cast<double>(m);
+    OpmResult res;
+    res.edges = wave::uniform_edges(t_end, m);
+    res.coeffs = la::Matrixd(n, m);
+
+    const la::Matrixd g = build_forcing(sys, inputs, res.edges, opt);
+
+    if (path == OpmPath::recurrence) {
+        sweep_recurrence(sys, g, h, res.coeffs, res);
+    } else if (opt.form == OpmForm::differential) {
+        const UpperToeplitz d = frac_differential_toeplitz(opt.alpha, h, m);
+        sweep_toeplitz_diff(sys, g, d, res.coeffs, res);
+    } else {
+        const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
+        sweep_toeplitz_int(sys, g, hop, res.coeffs, res);
+    }
+
+    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
+    return res;
+}
+
+OpmResult simulate_opm(const DenseDescriptorSystem& sys,
+                       const std::vector<wave::Source>& inputs, double t_end,
+                       index_t m, const OpmOptions& opt) {
+    return simulate_opm(sys.to_sparse(), inputs, t_end, m, opt);
+}
+
+OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
+                                const std::vector<wave::Source>& inputs,
+                                double t_end, index_t m, index_t window,
+                                const OpmOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(opt.alpha == 1.0,
+                   "simulate_opm_windowed: fractional orders carry memory "
+                   "across windows; use simulate_opm");
+    OPMSIM_REQUIRE(t_end > 0.0 && m >= 1 && window >= 1,
+                   "simulate_opm_windowed: bad time grid");
+
+    const index_t n = sys.num_states();
+    const double h = t_end / static_cast<double>(m);
+
+    OpmResult res;
+    res.edges = wave::uniform_edges(t_end, m);
+    res.coeffs = la::Matrixd(n, m);
+
+    Vectord x0 = opt.x0.empty() ? Vectord(static_cast<std::size_t>(n), 0.0)
+                                : opt.x0;
+    for (index_t start = 0; start < m; start += window) {
+        const index_t cols = std::min(window, m - start);
+        const double t0 = h * static_cast<double>(start);
+
+        // Time-shift the inputs into the window's local frame.
+        std::vector<wave::Source> shifted;
+        shifted.reserve(inputs.size());
+        for (const auto& u : inputs)
+            shifted.push_back([u, t0](double t) { return u(t + t0); });
+
+        OpmOptions wopt = opt;
+        wopt.x0 = x0;
+        const OpmResult w = simulate_opm(
+            sys, shifted, h * static_cast<double>(cols), cols, wopt);
+        res.factor_seconds += w.factor_seconds;
+        res.sweep_seconds += w.sweep_seconds;
+
+        // Copy window coefficients (absolute values: add the Caputo shift
+        // back so res.coeffs matches the monolithic zero-IC convention of
+        // "coefficients of x(t)" when opt.x0 is empty).
+        for (index_t j = 0; j < cols; ++j)
+            for (index_t i = 0; i < n; ++i)
+                res.coeffs(i, start + j) =
+                    w.coeffs(i, j) + x0[static_cast<std::size_t>(i)];
+
+        // End-of-window state by unwinding the averages: x_{k+1} = 2X_k - x_k.
+        Vectord xe = x0;
+        for (index_t j = 0; j < cols; ++j)
+            for (index_t i = 0; i < n; ++i)
+                xe[static_cast<std::size_t>(i)] =
+                    2.0 * (w.coeffs(i, j) + x0[static_cast<std::size_t>(i)]) -
+                    xe[static_cast<std::size_t>(i)];
+        x0 = std::move(xe);
+    }
+
+    // Match simulate_opm's convention: res.coeffs holds the shifted
+    // variable z = x - x0 and outputs add the initial state back.
+    if (!opt.x0.empty())
+        for (index_t j = 0; j < m; ++j)
+            for (index_t i = 0; i < n; ++i)
+                res.coeffs(i, j) -= opt.x0[static_cast<std::size_t>(i)];
+    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
+    return res;
+}
+
+OpmResult simulate_generic_basis(const DenseDescriptorSystem& sys,
+                                 const std::vector<wave::Source>& inputs,
+                                 const basis::Basis& bas, const Vectord& x0) {
+    const index_t n = sys.num_states();
+    const index_t p = sys.num_inputs();
+    const index_t m = bas.size();
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == p,
+                   "simulate_generic_basis: input count mismatch");
+    OPMSIM_REQUIRE(x0.empty() || static_cast<index_t>(x0.size()) == n,
+                   "simulate_generic_basis: x0 size mismatch");
+
+    // Project the inputs; U is p x m.
+    la::Matrixd u(p, m);
+    for (index_t i = 0; i < p; ++i) {
+        const Vectord ci = bas.project(inputs[static_cast<std::size_t>(i)]);
+        for (index_t j = 0; j < m; ++j) u(i, j) = ci[static_cast<std::size_t>(j)];
+    }
+
+    WallTimer t;
+    const la::Matrixd pmat = bas.integration_matrix();
+    // (I (x) E - P^T (x) A) vec(X) = vec(B U P + E x0 k1^T)
+    const la::Matrixd lhs =
+        la::kron(la::Matrixd::identity(m), sys.e) -
+        la::kron(pmat.transposed(), sys.a);
+    la::Matrixd rhs_m = sys.b * u * pmat;
+    if (!x0.empty()) {
+        const Vectord k1 = bas.constant_coeffs();
+        const Vectord ex0 = la::matvec(sys.e, x0);
+        for (index_t j = 0; j < m; ++j)
+            for (index_t i = 0; i < n; ++i)
+                rhs_m(i, j) += ex0[static_cast<std::size_t>(i)] * k1[static_cast<std::size_t>(j)];
+    }
+    const Vectord xv = la::DenseLu<double>(lhs).solve(la::vec(rhs_m));
+
+    OpmResult res;
+    res.coeffs = la::unvec(xv, n, m);
+    res.factor_seconds = t.elapsed_s();
+    res.edges = wave::uniform_edges(bas.t_end(), m);
+
+    // Outputs: synthesize y = C x channel by channel on a fine grid.
+    const index_t q = sys.num_outputs();
+    const la::Matrixd y =
+        sys.c.rows() > 0 ? sys.c * res.coeffs : res.coeffs;
+    for (index_t i = 0; i < q; ++i) {
+        Vectord ci(static_cast<std::size_t>(m));
+        for (index_t j = 0; j < m; ++j) ci[static_cast<std::size_t>(j)] = y(i, j);
+        res.outputs.push_back(bas.to_waveform(ci));
+    }
+    return res;
+}
+
+} // namespace opmsim::opm

@@ -1,0 +1,76 @@
+#include "transient/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/dense_lu.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::transient {
+
+double AcResult::magnitude(std::size_t k, la::index_t out, la::index_t in) const {
+    return std::abs(points.at(k).h(out, in));
+}
+
+double AcResult::phase(std::size_t k, la::index_t out, la::index_t in) const {
+    return std::arg(points.at(k).h(out, in));
+}
+
+la::Vectord log_sweep(double w_lo, double w_hi, la::index_t npts) {
+    OPMSIM_REQUIRE(w_lo > 0 && w_hi > w_lo && npts >= 2,
+                   "log_sweep: need 0 < w_lo < w_hi, npts >= 2");
+    la::Vectord w(static_cast<std::size_t>(npts));
+    const double step = std::log(w_hi / w_lo) / static_cast<double>(npts - 1);
+    for (la::index_t k = 0; k < npts; ++k)
+        w[static_cast<std::size_t>(k)] = w_lo * std::exp(step * static_cast<double>(k));
+    return w;
+}
+
+AcResult ac_analysis(const opm::DenseDescriptorSystem& sys, double alpha,
+                     const la::Vectord& omegas) {
+    OPMSIM_REQUIRE(alpha > 0.0, "ac_analysis: alpha must be positive");
+    const la::index_t n = sys.num_states();
+    const la::index_t p = sys.num_inputs();
+    const la::index_t q = sys.num_outputs();
+
+    AcResult res;
+    res.points.reserve(omegas.size());
+    for (const double w : omegas) {
+        OPMSIM_REQUIRE(w > 0.0, "ac_analysis: frequencies must be positive");
+        // (jw)^alpha on the principal branch.
+        const double mag = std::pow(w, alpha);
+        const double ang = alpha * std::numbers::pi / 2.0;
+        const la::cplx sa(mag * std::cos(ang), mag * std::sin(ang));
+
+        la::Matrixz pencil(n, n);
+        for (la::index_t j = 0; j < n; ++j)
+            for (la::index_t i = 0; i < n; ++i)
+                pencil(i, j) = sa * sys.e(i, j) - sys.a(i, j);
+        const la::DenseLu<la::cplx> lu(std::move(pencil));
+
+        AcPoint pt;
+        pt.omega = w;
+        pt.h = la::Matrixz(q, p);
+        la::Vectorz col(static_cast<std::size_t>(n));
+        for (la::index_t c = 0; c < p; ++c) {
+            for (la::index_t i = 0; i < n; ++i)
+                col[static_cast<std::size_t>(i)] = sys.b(i, c);
+            lu.solve_in_place(col);
+            if (sys.c.rows() > 0) {
+                for (la::index_t o = 0; o < q; ++o) {
+                    la::cplx y(0, 0);
+                    for (la::index_t i = 0; i < n; ++i)
+                        y += sys.c(o, i) * col[static_cast<std::size_t>(i)];
+                    pt.h(o, c) = y;
+                }
+            } else {
+                for (la::index_t o = 0; o < q; ++o)
+                    pt.h(o, c) = col[static_cast<std::size_t>(o)];
+            }
+        }
+        res.points.push_back(std::move(pt));
+    }
+    return res;
+}
+
+} // namespace opmsim::transient

@@ -1,0 +1,41 @@
+#pragma once
+/// \file ac.hpp
+/// \brief Small-signal AC (frequency-response) analysis.
+///
+/// Complements the time-domain solvers: evaluates the transfer matrix
+///     H(jw) = C ((jw)^alpha E - A)^{-1} B
+/// over a frequency sweep.  Fractional systems show their signature here —
+/// |H| slopes of -20*alpha dB/dec and constant phase alpha*90 degrees —
+/// which tests use to validate generated models (e.g. the skin-effect
+/// transmission line's half-order roll-off).
+
+#include <complex>
+
+#include "opm/solver.hpp"
+
+namespace opmsim::transient {
+
+struct AcPoint {
+    double omega = 0.0;                  ///< angular frequency [rad/s]
+    la::Matrixz h;                       ///< q x p transfer matrix at jw
+};
+
+struct AcResult {
+    std::vector<AcPoint> points;
+
+    /// |H(c_out, c_in)| at sweep index k.
+    [[nodiscard]] double magnitude(std::size_t k, la::index_t out,
+                                   la::index_t in) const;
+    /// Phase [rad] of H(c_out, c_in) at sweep index k.
+    [[nodiscard]] double phase(std::size_t k, la::index_t out,
+                               la::index_t in) const;
+};
+
+/// Logarithmic sweep: npts frequencies from w_lo to w_hi (rad/s).
+la::Vectord log_sweep(double w_lo, double w_hi, la::index_t npts);
+
+/// Evaluate the transfer matrix over the given angular frequencies.
+AcResult ac_analysis(const opm::DenseDescriptorSystem& sys, double alpha,
+                     const la::Vectord& omegas);
+
+} // namespace opmsim::transient

@@ -1,0 +1,116 @@
+#include "transient/fft_solver.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fftx/fft.hpp"
+#include "la/dense_lu.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace opmsim::transient {
+
+namespace {
+
+using la::cplx;
+
+/// Principal branch of (j*w)^alpha.
+cplx jw_pow(double w, double alpha) {
+    if (w == 0.0) return alpha == 0.0 ? cplx(1.0, 0.0) : cplx(0.0, 0.0);
+    const double mag = std::pow(std::abs(w), alpha);
+    const double ang = (w > 0 ? 1.0 : -1.0) * alpha * std::numbers::pi / 2.0;
+    return cplx(mag * std::cos(ang), mag * std::sin(ang));
+}
+
+} // namespace
+
+FftSolverResult simulate_fft(const opm::DenseDescriptorSystem& sys,
+                             const std::vector<wave::Source>& inputs,
+                             double t_end, const FftSolverOptions& opt) {
+    const la::index_t n = sys.num_states();
+    const la::index_t p = sys.num_inputs();
+    const la::index_t q = sys.num_outputs();
+    const la::index_t m = opt.samples;
+    OPMSIM_REQUIRE(m >= 2, "simulate_fft: need at least 2 samples");
+    OPMSIM_REQUIRE(t_end > 0.0, "simulate_fft: t_end must be positive");
+    OPMSIM_REQUIRE(opt.alpha > 0.0, "simulate_fft: alpha must be positive");
+    OPMSIM_REQUIRE(static_cast<la::index_t>(inputs.size()) == p,
+                   "simulate_fft: input count mismatch");
+
+    WallTimer timer;
+    const double dt = t_end / static_cast<double>(m);
+
+    // Forward FFT of each input channel, sampled at t_k = k*dt.
+    std::vector<std::vector<cplx>> uf(static_cast<std::size_t>(p));
+    for (la::index_t i = 0; i < p; ++i) {
+        std::vector<cplx>& ui = uf[static_cast<std::size_t>(i)];
+        ui.resize(static_cast<std::size_t>(m));
+        for (la::index_t k = 0; k < m; ++k)
+            ui[static_cast<std::size_t>(k)] =
+                inputs[static_cast<std::size_t>(i)](dt * static_cast<double>(k));
+        fftx::fft(ui);
+    }
+
+    // Per-sample pencil solves; frequencies follow DFT wrap-around order.
+    la::Matrixz ez(n, n), az(n, n), bz(n, p);
+    for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i < n; ++i) {
+            ez(i, j) = sys.e(i, j);
+            az(i, j) = sys.a(i, j);
+        }
+    for (la::index_t j = 0; j < p; ++j)
+        for (la::index_t i = 0; i < n; ++i) bz(i, j) = sys.b(i, j);
+
+    std::vector<std::vector<cplx>> xf(
+        static_cast<std::size_t>(n), std::vector<cplx>(static_cast<std::size_t>(m)));
+    la::Vectorz rhs(static_cast<std::size_t>(n));
+    for (la::index_t k = 0; k < m; ++k) {
+        const double freq = (k <= m / 2) ? static_cast<double>(k)
+                                         : static_cast<double>(k - m);
+        const double w = 2.0 * std::numbers::pi * freq / t_end;
+        const cplx s = jw_pow(w, opt.alpha);
+
+        la::Matrixz pencil = az;
+        pencil *= cplx(-1.0, 0.0);
+        for (la::index_t j = 0; j < n; ++j)
+            for (la::index_t i = 0; i < n; ++i) pencil(i, j) += s * ez(i, j);
+
+        std::fill(rhs.begin(), rhs.end(), cplx(0, 0));
+        for (la::index_t j = 0; j < p; ++j) {
+            const cplx ukj = uf[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)];
+            for (la::index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] += bz(i, j) * ukj;
+        }
+        const la::Vectorz xk = la::DenseLu<cplx>(std::move(pencil)).solve(rhs);
+        for (la::index_t i = 0; i < n; ++i)
+            xf[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+                xk[static_cast<std::size_t>(i)];
+    }
+
+    // Inverse FFT back to the time domain.
+    for (la::index_t i = 0; i < n; ++i) fftx::ifft(xf[static_cast<std::size_t>(i)]);
+
+    FftSolverResult res;
+    la::Vectord times(static_cast<std::size_t>(m));
+    for (la::index_t k = 0; k < m; ++k)
+        times[static_cast<std::size_t>(k)] = dt * static_cast<double>(k);
+
+    for (la::index_t o = 0; o < q; ++o) {
+        la::Vectord v(static_cast<std::size_t>(m), 0.0);
+        for (la::index_t k = 0; k < m; ++k) {
+            double y = 0.0;
+            if (sys.c.rows() > 0) {
+                for (la::index_t i = 0; i < n; ++i)
+                    y += sys.c(o, i) *
+                         xf[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)].real();
+            } else {
+                y = xf[static_cast<std::size_t>(o)][static_cast<std::size_t>(k)].real();
+            }
+            v[static_cast<std::size_t>(k)] = y;
+        }
+        res.outputs.emplace_back(times, std::move(v));
+    }
+    res.solve_seconds = timer.elapsed_s();
+    return res;
+}
+
+} // namespace opmsim::transient

@@ -1,0 +1,80 @@
+#include "transient/grunwald.hpp"
+
+#include <cmath>
+
+#include "la/sparse_lu.hpp"
+#include "opm/fractional_series.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace opmsim::transient {
+
+GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
+                                 const std::vector<wave::Source>& inputs,
+                                 double t_end, la::index_t steps,
+                                 const GrunwaldOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(t_end > 0.0 && steps >= 1, "simulate_grunwald: bad time grid");
+    OPMSIM_REQUIRE(opt.alpha > 0.0, "simulate_grunwald: alpha must be positive");
+    const la::index_t n = sys.num_states();
+    const la::index_t p = sys.num_inputs();
+    OPMSIM_REQUIRE(static_cast<la::index_t>(inputs.size()) == p,
+                   "simulate_grunwald: input count mismatch");
+
+    const la::index_t m = steps;
+    const double h = t_end / static_cast<double>(m);
+    const double ha = std::pow(h, -opt.alpha);
+    const la::Vectord w = opm::grunwald_weights(opt.alpha, m + 1);
+
+    WallTimer timer;
+    GrunwaldResult res;
+    res.times.resize(static_cast<std::size_t>(m) + 1);
+    for (la::index_t k = 0; k <= m; ++k)
+        res.times[static_cast<std::size_t>(k)] = h * static_cast<double>(k);
+    res.states = la::Matrixd(n, m + 1);
+
+    const la::SparseLu lu(la::CscMatrix::add(w[0] * ha, sys.e, -1.0, sys.a));
+
+    la::Vectord ut(static_cast<std::size_t>(p));
+    la::Vectord rhs(static_cast<std::size_t>(n));
+    la::Vectord hist(static_cast<std::size_t>(n));
+    for (la::index_t k = 1; k <= m; ++k) {
+        const double tk = res.times[static_cast<std::size_t>(k)];
+        for (la::index_t i = 0; i < p; ++i)
+            ut[static_cast<std::size_t>(i)] = inputs[static_cast<std::size_t>(i)](tk);
+        std::fill(rhs.begin(), rhs.end(), 0.0);
+        sys.b.gaxpy(1.0, ut, rhs);
+
+        std::fill(hist.begin(), hist.end(), 0.0);
+        for (la::index_t j = 1; j <= k; ++j) {
+            const double wj = w[static_cast<std::size_t>(j)];
+            if (wj == 0.0) continue;
+            for (la::index_t i = 0; i < n; ++i)
+                hist[static_cast<std::size_t>(i)] += wj * res.states(i, k - j);
+        }
+        sys.e.gaxpy(-ha, hist, rhs);
+        lu.solve_in_place(rhs);
+        for (la::index_t i = 0; i < n; ++i) res.states(i, k) = rhs[static_cast<std::size_t>(i)];
+    }
+
+    // Outputs.
+    const la::index_t q = sys.num_outputs();
+    la::Vectord col(static_cast<std::size_t>(n));
+    for (la::index_t o = 0; o < q; ++o) {
+        la::Vectord v(static_cast<std::size_t>(m) + 1, 0.0);
+        for (la::index_t k = 0; k <= m; ++k) {
+            for (la::index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = res.states(i, k);
+            if (sys.c.rows() > 0) {
+                const la::Vectord yk = sys.c.matvec(col);
+                v[static_cast<std::size_t>(k)] = yk[static_cast<std::size_t>(o)];
+            } else {
+                v[static_cast<std::size_t>(k)] = col[static_cast<std::size_t>(o)];
+            }
+        }
+        res.outputs.emplace_back(res.times, std::move(v));
+    }
+    res.solve_seconds = timer.elapsed_s();
+    return res;
+}
+
+} // namespace opmsim::transient

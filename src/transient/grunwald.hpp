@@ -1,0 +1,36 @@
+#pragma once
+/// \file grunwald.hpp
+/// \brief Grünwald–Letnikov fractional time stepper (extra baseline).
+///
+/// Not in the paper, but the standard time-domain discretization of
+/// fractional derivatives:
+///     d^alpha x(t_k) ~= h^{-alpha} sum_{j=0..k} w_j x_{k-j},
+///     w_j = (-1)^j C(alpha, j),
+/// giving the implicit marching scheme
+///     (w_0 h^{-alpha} E - A) x_k = B u_k - h^{-alpha} E sum_{j>=1} w_j x_{k-j}.
+/// Like OPM's fractional path it costs O(n m^2) in history convolutions —
+/// a useful independent cross-check for every fractional experiment
+/// (Fig. E compares OPM / GL / FFT against the Mittag-Leffler oracle).
+
+#include "opm/solver.hpp"
+
+namespace opmsim::transient {
+
+struct GrunwaldOptions {
+    double alpha = 0.5;  ///< fractional order, > 0
+};
+
+struct GrunwaldResult {
+    la::Matrixd states;  ///< n x (m+1) including x(0) = 0
+    la::Vectord times;
+    std::vector<wave::Waveform> outputs;
+    double solve_seconds = 0.0;
+};
+
+/// March m uniform GL steps over [0, t_end]; zero initial state.
+GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
+                                 const std::vector<wave::Source>& inputs,
+                                 double t_end, la::index_t steps,
+                                 const GrunwaldOptions& opt = {});
+
+} // namespace opmsim::transient

@@ -1,0 +1,137 @@
+#include "transient/steppers.hpp"
+
+#include "la/sparse_lu.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace opmsim::transient {
+
+const char* method_name(Method m) {
+    switch (m) {
+    case Method::backward_euler: return "b-Euler";
+    case Method::trapezoidal: return "Trapezoidal";
+    case Method::gear2: return "Gear";
+    }
+    return "?";
+}
+
+TransientResult simulate_transient(const opm::DescriptorSystem& sys,
+                                   const std::vector<wave::Source>& inputs,
+                                   double t_end, index_t steps,
+                                   const TransientOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(t_end > 0.0 && steps >= 1, "simulate_transient: bad time grid");
+    const index_t n = sys.num_states();
+    const index_t p = sys.num_inputs();
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == p,
+                   "simulate_transient: input count mismatch");
+    OPMSIM_REQUIRE(opt.x0.empty() || static_cast<index_t>(opt.x0.size()) == n,
+                   "simulate_transient: x0 size mismatch");
+
+    const double h = t_end / static_cast<double>(steps);
+    const index_t m = steps;
+
+    TransientResult res;
+    res.times.resize(static_cast<std::size_t>(m) + 1);
+    for (index_t k = 0; k <= m; ++k)
+        res.times[static_cast<std::size_t>(k)] = h * static_cast<double>(k);
+    res.states = la::Matrixd(n, m + 1);
+    if (!opt.x0.empty())
+        for (index_t i = 0; i < n; ++i) res.states(i, 0) = opt.x0[static_cast<std::size_t>(i)];
+
+    // Pencils.  Gear's first step is backward Euler, so it may need two
+    // factorizations; the BDF2 pencil dominates.
+    WallTimer t;
+    const double lead = (opt.method == Method::backward_euler) ? 1.0 / h
+                        : (opt.method == Method::trapezoidal)  ? 2.0 / h
+                                                               : 1.5 / h;
+    const la::SparseLu lu(la::CscMatrix::add(lead, sys.e, -1.0, sys.a));
+    std::unique_ptr<la::SparseLu> lu_start;
+    if (opt.method == Method::gear2)
+        lu_start = std::make_unique<la::SparseLu>(
+            la::CscMatrix::add(1.0 / h, sys.e, -1.0, sys.a));
+    res.factor_seconds = t.elapsed_s();
+
+    t.reset();
+    Vectord ut(static_cast<std::size_t>(p));
+    Vectord bu_prev(static_cast<std::size_t>(n), 0.0);
+    {
+        // B u at t = 0 (needed by the trapezoidal combination).
+        for (index_t i = 0; i < p; ++i)
+            ut[static_cast<std::size_t>(i)] = inputs[static_cast<std::size_t>(i)](0.0);
+        sys.b.gaxpy(1.0, ut, bu_prev);
+    }
+
+    Vectord xk(static_cast<std::size_t>(n)), xm1(static_cast<std::size_t>(n), 0.0),
+        xm2(static_cast<std::size_t>(n), 0.0);
+    if (!opt.x0.empty()) xm1 = opt.x0;
+
+    Vectord rhs(static_cast<std::size_t>(n));
+    Vectord bu(static_cast<std::size_t>(n));
+    for (index_t k = 1; k <= m; ++k) {
+        const double tk = res.times[static_cast<std::size_t>(k)];
+        for (index_t i = 0; i < p; ++i)
+            ut[static_cast<std::size_t>(i)] = inputs[static_cast<std::size_t>(i)](tk);
+        std::fill(bu.begin(), bu.end(), 0.0);
+        sys.b.gaxpy(1.0, ut, bu);
+
+        std::fill(rhs.begin(), rhs.end(), 0.0);
+        switch (opt.method) {
+        case Method::backward_euler:
+            // (E/h - A) x_k = (E/h) x_{k-1} + B u_k
+            sys.e.gaxpy(1.0 / h, xm1, rhs);
+            la::axpy(1.0, bu, rhs);
+            lu.solve_in_place(rhs);
+            break;
+        case Method::trapezoidal:
+            // (2E/h - A) x_k = (2E/h + A) x_{k-1} + B(u_k + u_{k-1})
+            sys.e.gaxpy(2.0 / h, xm1, rhs);
+            sys.a.gaxpy(1.0, xm1, rhs);
+            la::axpy(1.0, bu, rhs);
+            la::axpy(1.0, bu_prev, rhs);
+            lu.solve_in_place(rhs);
+            break;
+        case Method::gear2:
+            if (k == 1) {
+                sys.e.gaxpy(1.0 / h, xm1, rhs);
+                la::axpy(1.0, bu, rhs);
+                lu_start->solve_in_place(rhs);
+            } else {
+                // (1.5E/h - A) x_k = (E/h)(2 x_{k-1} - 0.5 x_{k-2}) + B u_k
+                sys.e.gaxpy(2.0 / h, xm1, rhs);
+                sys.e.gaxpy(-0.5 / h, xm2, rhs);
+                la::axpy(1.0, bu, rhs);
+                lu.solve_in_place(rhs);
+            }
+            break;
+        }
+        xk = rhs;
+        for (index_t i = 0; i < n; ++i) res.states(i, k) = xk[static_cast<std::size_t>(i)];
+        xm2 = xm1;
+        xm1 = xk;
+        std::swap(bu_prev, bu);
+    }
+    res.sweep_seconds = t.elapsed_s();
+
+    // Outputs y = C x at the step times.
+    const index_t q = sys.num_outputs();
+    Vectord col(static_cast<std::size_t>(n));
+    la::Matrixd y(q, m + 1);
+    for (index_t k = 0; k <= m; ++k) {
+        for (index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = res.states(i, k);
+        if (sys.c.rows() > 0) {
+            const Vectord yk = sys.c.matvec(col);
+            for (index_t i = 0; i < q; ++i) y(i, k) = yk[static_cast<std::size_t>(i)];
+        } else {
+            for (index_t i = 0; i < q; ++i) y(i, k) = col[static_cast<std::size_t>(i)];
+        }
+    }
+    for (index_t i = 0; i < q; ++i) {
+        Vectord v(static_cast<std::size_t>(m) + 1);
+        for (index_t k = 0; k <= m; ++k) v[static_cast<std::size_t>(k)] = y(i, k);
+        res.outputs.emplace_back(res.times, std::move(v));
+    }
+    return res;
+}
+
+} // namespace opmsim::transient

@@ -1,0 +1,47 @@
+#pragma once
+/// \file steppers.hpp
+/// \brief Classic implicit time-stepping baselines (Table II comparison).
+///
+/// Backward Euler, trapezoidal and Gear's 2nd-order BDF on the descriptor
+/// system E x' = A x + B u — the "advanced transient analysis methods" the
+/// paper measures OPM against.  All three factor one constant pencil and
+/// reuse it for every step, so their cost profile matches OPM's
+/// (one factorization + m solves).
+
+#include "opm/solver.hpp"
+
+namespace opmsim::transient {
+
+using la::index_t;
+using la::Vectord;
+
+enum class Method {
+    backward_euler,  ///< O(h) LTE; the paper's "b-Euler" rows
+    trapezoidal,     ///< O(h^2); A-stable
+    gear2            ///< BDF2, O(h^2); L-stable (the paper's "Gear")
+};
+
+struct TransientOptions {
+    Method method = Method::trapezoidal;
+    Vectord x0;  ///< initial state; empty = zero
+};
+
+struct TransientResult {
+    la::Matrixd states;  ///< n x (m+1), including the initial state
+    Vectord times;       ///< m+1 time points
+    std::vector<wave::Waveform> outputs;
+
+    double factor_seconds = 0.0;
+    double sweep_seconds = 0.0;
+};
+
+/// March m uniform steps over [0, t_end].
+TransientResult simulate_transient(const opm::DescriptorSystem& sys,
+                                   const std::vector<wave::Source>& inputs,
+                                   double t_end, index_t steps,
+                                   const TransientOptions& opt = {});
+
+/// Name for table output ("b-Euler", "Trapezoidal", "Gear").
+const char* method_name(Method m);
+
+} // namespace opmsim::transient

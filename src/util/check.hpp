@@ -1,0 +1,46 @@
+#pragma once
+/// \file check.hpp
+/// \brief Precondition / invariant checking for the opmsim library.
+///
+/// Public API entry points validate their arguments with OPMSIM_REQUIRE
+/// (throws std::invalid_argument).  Internal consistency violations that
+/// indicate a library bug use OPMSIM_ENSURE (throws std::logic_error).
+/// Numerical failures discovered at run time (singular pivot, divergence)
+/// throw opmsim::numerical_error.
+
+#include <stdexcept>
+#include <string>
+
+namespace opmsim {
+
+/// Thrown when an algorithm fails numerically (e.g. an exactly singular
+/// pivot in LU, a non-converging eigenvalue iteration).  Distinct from
+/// std::invalid_argument so callers can retry with different parameters.
+class numerical_error : public std::runtime_error {
+public:
+    explicit numerical_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* file, int line, const std::string& msg) {
+    throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+[[noreturn]] inline void throw_logic(const char* file, int line, const std::string& msg) {
+    throw std::logic_error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+} // namespace detail
+
+} // namespace opmsim
+
+/// Validate a user-facing precondition; throws std::invalid_argument.
+#define OPMSIM_REQUIRE(cond, msg)                                              \
+    do {                                                                       \
+        if (!(cond)) ::opmsim::detail::throw_invalid(__FILE__, __LINE__, msg); \
+    } while (0)
+
+/// Validate an internal invariant; throws std::logic_error (library bug).
+#define OPMSIM_ENSURE(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond)) ::opmsim::detail::throw_logic(__FILE__, __LINE__, msg); \
+    } while (0)

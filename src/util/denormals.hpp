@@ -1,0 +1,28 @@
+#pragma once
+/// \file denormals.hpp
+/// \brief Flush-to-zero control for benchmark timing fidelity.
+///
+/// Diffusive circuit responses decay spatially below the normalized
+/// double range, and x86 cores execute subnormal arithmetic 10-100x
+/// slower than normal arithmetic — enough to corrupt scaling studies
+/// (a 2x larger RC ladder can appear 17x slower).  Benchmarks call
+/// enable_flush_to_zero() so timings reflect algorithmic cost; the
+/// library itself stays strict-IEEE by default.
+
+#if defined(__SSE2__)
+#include <pmmintrin.h>
+#include <xmmintrin.h>
+#endif
+
+namespace opmsim {
+
+/// Enable flush-to-zero / denormals-are-zero on this thread (no-op on
+/// targets without SSE2).
+inline void enable_flush_to_zero() {
+#if defined(__SSE2__)
+    _MM_SET_FLUSH_ZERO_MODE(_MM_FLUSH_ZERO_ON);
+    _MM_SET_DENORMALS_ZERO_MODE(_MM_DENORMALS_ZERO_ON);
+#endif
+}
+
+} // namespace opmsim

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace opmsim {
+
+void TextTable::set_header(std::vector<std::string> header) {
+    OPMSIM_REQUIRE(!header.empty(), "table header must not be empty");
+    header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    OPMSIM_REQUIRE(row.size() == header_.size(),
+                   "row arity does not match header arity");
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+    const std::size_t ncol = header_.size();
+    std::vector<std::size_t> width(ncol);
+    for (std::size_t c = 0; c < ncol; ++c) {
+        width[c] = header_[c].size();
+        for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < ncol; ++c) {
+            os << row[c];
+            if (c + 1 < ncol) os << std::string(width[c] - row[c].size() + 3, ' ');
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::vector<std::string> rule(ncol);
+    for (std::size_t c = 0; c < ncol; ++c) rule[c] = std::string(width[c], '-');
+    emit(rule);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string fmt_g(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    return buf;
+}
+
+std::string fmt_ms(double ms) {
+    char buf[64];
+    if (ms >= 1000.0)
+        std::snprintf(buf, sizeof buf, "%.3g s", ms / 1000.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.3g ms", ms);
+    return buf;
+}
+
+std::string fmt_db(double db) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f dB", db);
+    return buf;
+}
+
+} // namespace opmsim

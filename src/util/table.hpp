@@ -1,0 +1,44 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table printer used by the benchmark harness to emit rows in
+///        the same layout as the paper's Tables I and II.
+
+#include <string>
+#include <vector>
+
+namespace opmsim {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers below
+/// format doubles consistently across the bench binaries.
+class TextTable {
+public:
+    /// Set the header row (defines the column count).
+    void set_header(std::vector<std::string> header);
+
+    /// Append a data row.  Must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Render the table with a rule under the header, e.g.
+    ///   Method   CPU time   Relative Error
+    ///   ------   --------   --------------
+    ///   OPM      3.56 ms    -
+    [[nodiscard]] std::string str() const;
+
+    /// Render to stdout.
+    void print() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with \p prec significant digits (general format).
+[[nodiscard]] std::string fmt_g(double v, int prec = 4);
+
+/// Format a duration in milliseconds, e.g. "3.56 ms".
+[[nodiscard]] std::string fmt_ms(double ms);
+
+/// Format a relative error as decibels, e.g. "-29.2 dB".
+[[nodiscard]] std::string fmt_db(double db);
+
+} // namespace opmsim

@@ -1,0 +1,30 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Minimal wall-clock stopwatch used by the benchmark harness.
+
+#include <chrono>
+
+namespace opmsim {
+
+/// Wall-clock stopwatch.  Starts running on construction.
+class WallTimer {
+public:
+    WallTimer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed time since construction / last reset, in seconds.
+    [[nodiscard]] double elapsed_s() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed time since construction / last reset, in milliseconds.
+    [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace opmsim

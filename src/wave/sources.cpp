@@ -1,0 +1,175 @@
+#include "wave/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace opmsim::wave {
+
+Source step(double level, double t0) {
+    return [=](double t) { return t >= t0 ? level : 0.0; };
+}
+
+namespace {
+/// One trapezoid evaluated at local time dt >= 0.
+double trapezoid(double dt, double level, double rise, double width, double fall) {
+    if (dt < 0) return 0.0;
+    if (dt < rise) return rise > 0 ? level * dt / rise : level;
+    dt -= rise;
+    if (dt < width) return level;
+    dt -= width;
+    if (dt < fall) return level * (1.0 - dt / fall);
+    return 0.0;
+}
+} // namespace
+
+Source pulse(double level, double t0, double rise, double width, double fall) {
+    OPMSIM_REQUIRE(rise >= 0 && width >= 0 && fall >= 0, "pulse: negative segment");
+    return [=](double t) { return trapezoid(t - t0, level, rise, width, fall); };
+}
+
+Source pulse_train(double level, double t0, double rise, double width,
+                   double fall, double period) {
+    OPMSIM_REQUIRE(period > 0, "pulse_train: period must be positive");
+    OPMSIM_REQUIRE(rise + width + fall <= period,
+                   "pulse_train: pulse longer than period");
+    return [=](double t) {
+        if (t < t0) return 0.0;
+        const double local = std::fmod(t - t0, period);
+        return trapezoid(local, level, rise, width, fall);
+    };
+}
+
+Source sine(double amp, double freq, double phase) {
+    return [=](double t) {
+        return amp * std::sin(2.0 * std::numbers::pi * freq * t + phase);
+    };
+}
+
+Source exp_decay(double amp, double tau) {
+    OPMSIM_REQUIRE(tau > 0, "exp_decay: tau must be positive");
+    return [=](double t) { return t >= 0 ? amp * std::exp(-t / tau) : 0.0; };
+}
+
+Source pwl(std::vector<double> t, std::vector<double> v) {
+    OPMSIM_REQUIRE(t.size() == v.size() && !t.empty(), "pwl: bad breakpoints");
+    for (std::size_t i = 1; i < t.size(); ++i)
+        OPMSIM_REQUIRE(t[i] > t[i - 1], "pwl: times must strictly increase");
+    return [t = std::move(t), v = std::move(v)](double x) {
+        if (x <= t.front()) return v.front();
+        if (x >= t.back()) return v.back();
+        const auto it = std::upper_bound(t.begin(), t.end(), x);
+        const std::size_t hi = static_cast<std::size_t>(it - t.begin());
+        const std::size_t lo = hi - 1;
+        const double w = (x - t[lo]) / (t[hi] - t[lo]);
+        return v[lo] + w * (v[hi] - v[lo]);
+    };
+}
+
+namespace {
+/// Raised-cosine transition from 0 to 1 on [0, 1].
+double coserp(double x) {
+    if (x <= 0) return 0.0;
+    if (x >= 1) return 1.0;
+    return 0.5 * (1.0 - std::cos(std::numbers::pi * x));
+}
+
+/// One smooth trapezoid at local time dt >= 0.
+double smooth_trapezoid(double dt, double level, double rise, double width,
+                        double fall) {
+    if (dt < 0) return 0.0;
+    if (dt < rise) return rise > 0 ? level * coserp(dt / rise) : level;
+    dt -= rise;
+    if (dt < width) return level;
+    dt -= width;
+    if (dt < fall) return level * coserp(1.0 - dt / fall);
+    return 0.0;
+}
+} // namespace
+
+Source smooth_step(double level, double t0, double rise) {
+    OPMSIM_REQUIRE(rise > 0, "smooth_step: rise must be positive");
+    return [=](double t) { return level * coserp((t - t0) / rise); };
+}
+
+Source smooth_pulse(double level, double t0, double rise, double width,
+                    double fall) {
+    OPMSIM_REQUIRE(rise >= 0 && width >= 0 && fall >= 0,
+                   "smooth_pulse: negative segment");
+    return [=](double t) {
+        return smooth_trapezoid(t - t0, level, rise, width, fall);
+    };
+}
+
+Source smooth_pulse_train(double level, double t0, double rise, double width,
+                          double fall, double period) {
+    OPMSIM_REQUIRE(period > 0, "smooth_pulse_train: period must be positive");
+    OPMSIM_REQUIRE(rise + width + fall <= period,
+                   "smooth_pulse_train: pulse longer than period");
+    return [=](double t) {
+        if (t < t0) return 0.0;
+        const double local = std::fmod(t - t0, period);
+        return smooth_trapezoid(local, level, rise, width, fall);
+    };
+}
+
+la::Vectord sample(const Source& f, const la::Vectord& grid) {
+    la::Vectord out(grid.size());
+    for (std::size_t k = 0; k < grid.size(); ++k) out[k] = f(grid[k]);
+    return out;
+}
+
+la::Vectord project_average(const Source& f, const la::Vectord& edges, int npts,
+                            int panels) {
+    OPMSIM_REQUIRE(edges.size() >= 2, "project_average: need at least one interval");
+    OPMSIM_REQUIRE(npts >= 1 && npts <= 8, "project_average: npts in [1,8]");
+    OPMSIM_REQUIRE(panels >= 1 && panels <= 1024, "project_average: panels in [1,1024]");
+
+    // Gauss–Legendre nodes/weights on [-1, 1] for small orders.
+    static const double n2[] = {-0.5773502691896257, 0.5773502691896257};
+    static const double w2[] = {1.0, 1.0};
+    static const double n4[] = {-0.8611363115940526, -0.3399810435848563,
+                                0.3399810435848563, 0.8611363115940526};
+    static const double w4[] = {0.3478548451374538, 0.6521451548625461,
+                                0.6521451548625461, 0.3478548451374538};
+
+    // Average of f over one panel [a, b] via the selected rule.
+    const auto panel_avg = [npts, &f](double a, double b) {
+        double acc = 0;
+        if (npts == 1) {
+            acc = f(0.5 * (a + b)) * 2.0;  // midpoint, weight 2 on [-1,1]
+        } else if (npts <= 2) {
+            for (int k = 0; k < 2; ++k)
+                acc += w2[k] * f(0.5 * (a + b) + 0.5 * (b - a) * n2[k]);
+        } else {
+            for (int k = 0; k < 4; ++k)
+                acc += w4[k] * f(0.5 * (a + b) + 0.5 * (b - a) * n4[k]);
+        }
+        return 0.5 * acc;  // (1/(b-a)) * integral
+    };
+
+    la::Vectord out(edges.size() - 1);
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+        const double a = edges[i], b = edges[i + 1];
+        OPMSIM_REQUIRE(b > a, "project_average: edges must strictly increase");
+        double acc = 0;
+        const double w = (b - a) / panels;
+        for (int pnl = 0; pnl < panels; ++pnl)
+            acc += panel_avg(a + pnl * w, a + (pnl + 1) * w);
+        out[i] = acc / panels;  // equal panels: average of panel averages
+    }
+    return out;
+}
+
+la::Vectord uniform_edges(double t_end, la::index_t m) {
+    OPMSIM_REQUIRE(t_end > 0 && m >= 1, "uniform_edges: need t_end>0, m>=1");
+    la::Vectord e(static_cast<std::size_t>(m) + 1);
+    const double h = t_end / static_cast<double>(m);
+    for (la::index_t k = 0; k <= m; ++k) e[static_cast<std::size_t>(k)] = h * static_cast<double>(k);
+    e.back() = t_end;
+    return e;
+}
+
+} // namespace opmsim::wave

@@ -1,0 +1,67 @@
+#pragma once
+/// \file sources.hpp
+/// \brief Excitation sources and their projections onto time grids.
+///
+/// A Source is a scalar function of time.  The factories below cover the
+/// stimuli used in the paper's experiments (steps for the transmission-line
+/// study, switching-current pulse trains for the power grid) plus the usual
+/// SPICE-style shapes.  project_average() computes the BPF coefficients
+/// f_i = (1/h_i) * integral of f over interval i (paper eq. 2) with
+/// per-interval Gauss–Legendre quadrature.
+
+#include <functional>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::wave {
+
+using Source = std::function<double(double)>;
+
+/// u(t) = level * 1[t >= t0].
+Source step(double level = 1.0, double t0 = 0.0);
+
+/// Single trapezoidal pulse: rises over [t0, t0+rise], holds until
+/// t0+rise+width, falls over `fall`.
+Source pulse(double level, double t0, double rise, double width, double fall);
+
+/// Periodic trapezoidal pulse train with the given period.
+Source pulse_train(double level, double t0, double rise, double width,
+                   double fall, double period);
+
+/// u(t) = amp * sin(2*pi*freq*t + phase).
+Source sine(double amp, double freq, double phase = 0.0);
+
+/// u(t) = amp * exp(-t/tau) * 1[t >= 0].
+Source exp_decay(double amp, double tau);
+
+/// Piecewise-linear source through (t, v) breakpoints (SPICE PWL); constant
+/// extrapolation outside.
+Source pwl(std::vector<double> t, std::vector<double> v);
+
+/// C^1 step: raised-cosine ramp from 0 to `level` over [t0, t0 + rise].
+Source smooth_step(double level, double t0, double rise);
+
+/// Single C^1 pulse with raised-cosine edges (rise/fall) and a flat top.
+Source smooth_pulse(double level, double t0, double rise, double width,
+                    double fall);
+
+/// Periodic version of smooth_pulse.
+Source smooth_pulse_train(double level, double t0, double rise, double width,
+                          double fall, double period);
+
+/// Point samples f(t_k) on a grid.
+la::Vectord sample(const Source& f, const la::Vectord& grid);
+
+/// Interval averages (1/h_i) * integral over [edges[i], edges[i+1]) using
+/// composite Gauss–Legendre quadrature: each interval is split into
+/// `panels` equal panels integrated with an `npts`-point rule.  edges has
+/// m+1 entries; the result has m.  Raise `panels` when the source carries
+/// content far above the interval rate (e.g. switching ripple).
+la::Vectord project_average(const Source& f, const la::Vectord& edges,
+                            int npts = 4, int panels = 1);
+
+/// Interval edges for m uniform steps on [0, T).
+la::Vectord uniform_edges(double t_end, la::index_t m);
+
+} // namespace opmsim::wave

@@ -1,0 +1,92 @@
+#include "wave/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace opmsim::wave {
+
+Waveform::Waveform(Vectord t, Vectord v) : t_(std::move(t)), v_(std::move(v)) {
+    OPMSIM_REQUIRE(t_.size() == v_.size(), "Waveform: time/value size mismatch");
+    for (std::size_t i = 1; i < t_.size(); ++i)
+        OPMSIM_REQUIRE(t_[i] > t_[i - 1], "Waveform: times must strictly increase");
+}
+
+Waveform Waveform::uniform(double t0, double dt, Vectord v) {
+    OPMSIM_REQUIRE(dt > 0.0, "Waveform::uniform: dt must be positive");
+    Vectord t(v.size());
+    for (std::size_t k = 0; k < v.size(); ++k) t[k] = t0 + static_cast<double>(k) * dt;
+    return Waveform(std::move(t), std::move(v));
+}
+
+double Waveform::at(double t) const {
+    OPMSIM_REQUIRE(!t_.empty(), "Waveform::at: empty waveform");
+    if (t <= t_.front()) return v_.front();
+    if (t >= t_.back()) return v_.back();
+    const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - t_.begin());
+    const std::size_t lo = hi - 1;
+    const double w = (t - t_[lo]) / (t_[hi] - t_[lo]);
+    return v_[lo] + w * (v_[hi] - v_[lo]);
+}
+
+Waveform Waveform::resampled(const Vectord& grid) const {
+    Vectord v(grid.size());
+    for (std::size_t k = 0; k < grid.size(); ++k) v[k] = at(grid[k]);
+    return Waveform(grid, std::move(v));
+}
+
+double Waveform::max_abs() const {
+    double m = 0;
+    for (double v : v_) m = std::max(m, std::abs(v));
+    return m;
+}
+
+Vectord linspace(double t0, double t1, std::size_t n) {
+    OPMSIM_REQUIRE(n >= 2 && t1 > t0, "linspace: need n>=2 and t1>t0");
+    Vectord g(n);
+    const double dt = (t1 - t0) / static_cast<double>(n - 1);
+    for (std::size_t k = 0; k < n; ++k) g[k] = t0 + static_cast<double>(k) * dt;
+    g.back() = t1;
+    return g;
+}
+
+double relative_l2(const Waveform& reference, const Waveform& test, std::size_t npts) {
+    OPMSIM_REQUIRE(!reference.empty() && !test.empty(),
+                   "relative_l2: empty waveform");
+    const double t0 = std::max(reference.t_front(), test.t_front());
+    const double t1 = std::min(reference.t_back(), test.t_back());
+    OPMSIM_REQUIRE(t1 > t0, "relative_l2: waveforms do not overlap in time");
+    const Vectord grid = linspace(t0, t1, npts);
+    double num = 0, den = 0;
+    for (double t : grid) {
+        const double r = reference.at(t);
+        const double d = r - test.at(t);
+        num += d * d;
+        den += r * r;
+    }
+    if (den == 0.0) return std::sqrt(num) == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return std::sqrt(num / den);
+}
+
+double relative_error_db(const Waveform& reference, const Waveform& test,
+                         std::size_t npts) {
+    const double rel = relative_l2(reference, test, npts);
+    if (rel == 0.0) return -std::numeric_limits<double>::infinity();
+    return 20.0 * std::log10(rel);
+}
+
+double average_relative_error_db(const std::vector<Waveform>& reference,
+                                 const std::vector<Waveform>& test,
+                                 std::size_t npts) {
+    OPMSIM_REQUIRE(reference.size() == test.size() && !reference.empty(),
+                   "average_relative_error_db: channel count mismatch");
+    double sum = 0;
+    for (std::size_t c = 0; c < reference.size(); ++c)
+        sum += relative_error_db(reference[c], test[c], npts);
+    return sum / static_cast<double>(reference.size());
+}
+
+} // namespace opmsim::wave

@@ -1,0 +1,72 @@
+#pragma once
+/// \file waveform.hpp
+/// \brief Sampled waveforms and the paper's accuracy metric.
+///
+/// Every solver in opmsim returns its response as Waveforms — (time, value)
+/// sample pairs, not necessarily uniform (adaptive OPM produces nonuniform
+/// grids).  The comparison metric is the paper's eq. (30):
+///     err = 20*log10( ||y_a - y_b||_2 / ||y_a||_2 )   [dB]
+/// evaluated after resampling both signals onto a common time grid.
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace opmsim::wave {
+
+using la::index_t;
+using la::Vectord;
+
+/// A scalar signal sampled at strictly increasing times.
+class Waveform {
+public:
+    Waveform() = default;
+
+    /// Construct from parallel (time, value) arrays.
+    Waveform(Vectord t, Vectord v);
+
+    /// Uniform grid convenience: samples at t0 + k*dt, k = 0..v.size()-1.
+    static Waveform uniform(double t0, double dt, Vectord v);
+
+    [[nodiscard]] std::size_t size() const { return t_.size(); }
+    [[nodiscard]] bool empty() const { return t_.empty(); }
+    [[nodiscard]] const Vectord& times() const { return t_; }
+    [[nodiscard]] const Vectord& values() const { return v_; }
+
+    [[nodiscard]] double t_front() const { return t_.front(); }
+    [[nodiscard]] double t_back() const { return t_.back(); }
+
+    /// Linear interpolation (clamped at the ends).
+    [[nodiscard]] double at(double t) const;
+
+    /// Resample onto an arbitrary grid by linear interpolation.
+    [[nodiscard]] Waveform resampled(const Vectord& grid) const;
+
+    /// Pointwise max |v|.
+    [[nodiscard]] double max_abs() const;
+
+private:
+    Vectord t_, v_;
+};
+
+/// The paper's relative error metric (eq. 30), in dB.  `reference` plays
+/// the role of y_OPM in the paper (the denominator).  Both waveforms are
+/// resampled onto `npts` uniform points across the overlap of their spans.
+/// Returns -inf dB if the signals match exactly.
+double relative_error_db(const Waveform& reference, const Waveform& test,
+                         std::size_t npts = 512);
+
+/// Same metric averaged over several output channels (Table II's "average
+/// relative error": the mean of the per-channel dB values).
+double average_relative_error_db(const std::vector<Waveform>& reference,
+                                 const std::vector<Waveform>& test,
+                                 std::size_t npts = 512);
+
+/// Plain relative L2 mismatch (linear, not dB) on a common grid.
+double relative_l2(const Waveform& reference, const Waveform& test,
+                   std::size_t npts = 512);
+
+/// Uniform grid with n points covering [t0, t1] inclusive.
+Vectord linspace(double t0, double t1, std::size_t n);
+
+} // namespace opmsim::wave

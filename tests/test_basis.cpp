@@ -1,0 +1,253 @@
+/// \file test_basis.cpp
+/// \brief Tests for the basis-function substrate: block-pulse, Walsh, Haar,
+///        shifted Legendre, and their operational matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "basis/bpf.hpp"
+#include "basis/haar.hpp"
+#include "basis/legendre.hpp"
+#include "basis/walsh.hpp"
+#include "la/dense_lu.hpp"
+
+namespace basis = opmsim::basis;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+
+TEST(Bpf, IntegralMatrixMatchesPaperEq4) {
+    const la::Matrixd h = basis::bpf_integral_matrix(2.0, 3);
+    // h/2 on the diagonal, h above.
+    EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(h(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(h(0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(h(1, 2), 2.0);
+    EXPECT_DOUBLE_EQ(h(1, 0), 0.0);
+}
+
+TEST(Bpf, DifferentialMatrixMatchesPaperEq7) {
+    const la::Matrixd d = basis::bpf_differential_matrix(0.5, 4);
+    const double s = 4.0;  // 2/h
+    EXPECT_DOUBLE_EQ(d(0, 0), s);
+    EXPECT_DOUBLE_EQ(d(0, 1), -2 * s);
+    EXPECT_DOUBLE_EQ(d(0, 2), 2 * s);
+    EXPECT_DOUBLE_EQ(d(0, 3), -2 * s);
+    EXPECT_DOUBLE_EQ(d(2, 3), -2 * s);
+}
+
+/// D = H^{-1} (paper: eq. 7 "the inverse of (4)"), for several m.
+class BpfInverseProperty : public ::testing::TestWithParam<la::index_t> {};
+
+TEST_P(BpfInverseProperty, DTimesHIsIdentity) {
+    const la::index_t m = GetParam();
+    const double h = 0.37;
+    const la::Matrixd prod = basis::bpf_differential_matrix(h, m) *
+                             basis::bpf_integral_matrix(h, m);
+    EXPECT_LT(la::max_abs_diff(prod, la::Matrixd::identity(m)), 1e-10);
+}
+
+TEST_P(BpfInverseProperty, AdaptiveDTimesHIsIdentity) {
+    const la::index_t m = GetParam();
+    la::Vectord steps(static_cast<std::size_t>(m));
+    for (la::index_t i = 0; i < m; ++i)
+        steps[static_cast<std::size_t>(i)] = 0.1 + 0.03 * static_cast<double>(i);
+    const la::Matrixd prod = basis::bpf_differential_matrix_adaptive(steps) *
+                             basis::bpf_integral_matrix_adaptive(steps);
+    EXPECT_LT(la::max_abs_diff(prod, la::Matrixd::identity(m)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, BpfInverseProperty, ::testing::Values(1, 2, 5, 16, 64));
+
+TEST(Bpf, AdaptiveWithEqualStepsMatchesUniform) {
+    const la::Vectord steps(6, 0.25);
+    EXPECT_LT(la::max_abs_diff(basis::bpf_differential_matrix_adaptive(steps),
+                               basis::bpf_differential_matrix(0.25, 6)),
+              1e-14);
+    EXPECT_LT(la::max_abs_diff(basis::bpf_integral_matrix_adaptive(steps),
+                               basis::bpf_integral_matrix(0.25, 6)),
+              1e-14);
+}
+
+TEST(Bpf, IntegralMatrixIntegratesProjection) {
+    // Project f(t)=t on [0,1); H * coeffs should approximate t^2/2.
+    basis::BpfBasis b(1.0, 64);
+    const la::Vectord f = b.project([](double t) { return t; });
+    const la::Matrixd h = b.integration_matrix();
+    // integral-of-basis interpretation: int f = f^T H phi, so coefficient
+    // vector of the integral is H^T f.
+    la::Vectord integ(64, 0.0);
+    for (la::index_t j = 0; j < 64; ++j)
+        for (la::index_t i = 0; i < 64; ++i)
+            integ[static_cast<std::size_t>(j)] += h(i, j) * f[static_cast<std::size_t>(i)];
+    for (double t : {0.25, 0.5, 0.9}) {
+        EXPECT_NEAR(b.synthesize(integ, t), t * t / 2.0, 1e-2) << t;
+    }
+}
+
+TEST(Walsh, MatrixIsOrthogonalAndSequencyOrdered) {
+    for (const la::index_t m : {2, 4, 8, 16}) {
+        const la::Matrixd w = basis::walsh_matrix(m);
+        // W W^T = m I.
+        EXPECT_LT(la::max_abs_diff(w * w.transposed(),
+                                   static_cast<double>(m) * la::Matrixd::identity(m)),
+                  1e-12)
+            << m;
+        // Row r has exactly r sign changes (sequency order).
+        for (la::index_t r = 0; r < m; ++r) {
+            la::index_t changes = 0;
+            for (la::index_t j = 1; j < m; ++j)
+                if (w(r, j) != w(r, j - 1)) ++changes;
+            EXPECT_EQ(changes, r) << "m=" << m << " row=" << r;
+        }
+    }
+}
+
+TEST(Walsh, NonPowerOfTwoThrows) {
+    EXPECT_THROW(basis::walsh_matrix(6), std::invalid_argument);
+    EXPECT_THROW(basis::WalshBasis(1.0, 12), std::invalid_argument);
+}
+
+TEST(Walsh, FwhtMatchesMatrixTransform) {
+    // Natural-order FWHT equals multiplication by the Hadamard matrix;
+    // check via energy (norm) preservation and a known vector.
+    la::Vectord x = {1.0, 2.0, 3.0, 4.0};
+    basis::fwht(x);
+    // Hadamard(4) * [1 2 3 4]^T = [10, -2, -4, 0].
+    EXPECT_DOUBLE_EQ(x[0], 10.0);
+    EXPECT_DOUBLE_EQ(x[1], -2.0);
+    EXPECT_DOUBLE_EQ(x[2], -4.0);
+    EXPECT_DOUBLE_EQ(x[3], 0.0);
+}
+
+TEST(Walsh, ProjectSynthesizeRoundTripOnStaircase) {
+    // Any function constant on the m subintervals is represented exactly.
+    basis::WalshBasis b(1.0, 8);
+    const auto f = [](double t) { return std::floor(t * 8.0); };
+    const la::Vectord c = b.project(f);
+    for (double t : {0.0625, 0.3125, 0.9375})
+        EXPECT_NEAR(b.synthesize(c, t), f(t), 1e-10);
+}
+
+TEST(Haar, MatrixIsOrthogonal) {
+    for (const la::index_t m : {2, 4, 8, 32}) {
+        const la::Matrixd h = basis::haar_matrix(m);
+        EXPECT_LT(la::max_abs_diff(h * h.transposed(),
+                                   static_cast<double>(m) * la::Matrixd::identity(m)),
+                  1e-10)
+            << m;
+    }
+}
+
+TEST(Haar, LocalizedRepresentationOfSpike) {
+    // A spike in one subinterval excites only O(log m) Haar coefficients.
+    basis::HaarBasis b(1.0, 16);
+    const auto f = [](double t) { return (t >= 10.0 / 16 && t < 11.0 / 16) ? 1.0 : 0.0; };
+    const la::Vectord c = b.project(f);
+    la::index_t nonzero = 0;
+    for (double v : c)
+        if (std::abs(v) > 1e-12) ++nonzero;
+    EXPECT_LE(nonzero, 5);  // 1 + log2(16)
+    for (double t : {0.1, 0.5, 10.5 / 16.0})
+        EXPECT_NEAR(b.synthesize(c, t), f(t), 1e-10);
+}
+
+TEST(Legendre, GaussNodesIntegrateHighDegree) {
+    // n-point Gauss is exact through degree 2n-1: check x^9 with n=5.
+    const basis::GaussRule r = basis::gauss_legendre(5);
+    double acc = 0;
+    for (std::size_t i = 0; i < r.nodes.size(); ++i)
+        acc += r.weights[i] * std::pow(r.nodes[i], 8);
+    EXPECT_NEAR(acc, 2.0 / 9.0, 1e-13);  // int_{-1}^{1} x^8 = 2/9
+    double wsum = 0;
+    for (double w : r.weights) wsum += w;
+    EXPECT_NEAR(wsum, 2.0, 1e-13);
+}
+
+TEST(Legendre, ProjectionIsSpectrallyAccurateOnSmooth) {
+    basis::LegendreBasis b(1.0, 12);
+    const auto f = [](double t) { return std::exp(-2.0 * t) * std::sin(3.0 * t); };
+    const la::Vectord c = b.project(f);
+    for (double t : {0.1, 0.37, 0.82})
+        EXPECT_NEAR(b.synthesize(c, t), f(t), 1e-8) << t;
+}
+
+TEST(Legendre, PolynomialReproducedExactly) {
+    basis::LegendreBasis b(2.0, 5);
+    const auto f = [](double t) { return 1.0 + t + 0.5 * t * t; };
+    const la::Vectord c = b.project(f);
+    for (double t : {0.0, 0.5, 1.3, 1.9})
+        EXPECT_NEAR(b.synthesize(c, t), f(t), 1e-11) << t;
+}
+
+/// Operational-matrix correctness across all bases: projecting f' and then
+/// integrating with P must reproduce (f - f(0)) projections.
+class IntegrationMatrixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationMatrixProperty, IntegratesDerivative) {
+    const double t_end = 1.0;
+    const la::index_t m = 16;
+    std::unique_ptr<basis::Basis> b;
+    switch (GetParam()) {
+    case 0: b = std::make_unique<basis::BpfBasis>(t_end, m); break;
+    case 1: b = std::make_unique<basis::WalshBasis>(t_end, m); break;
+    case 2: b = std::make_unique<basis::HaarBasis>(t_end, m); break;
+    default: b = std::make_unique<basis::LegendreBasis>(t_end, m); break;
+    }
+    // f(t) = sin(2 pi t) (f(0)=0), f'(t) = 2 pi cos(2 pi t).
+    const auto fp = [](double t) {
+        return 2.0 * std::numbers::pi * std::cos(2.0 * std::numbers::pi * t);
+    };
+    const auto f = [](double t) { return std::sin(2.0 * std::numbers::pi * t); };
+    const la::Vectord cfp = b->project(fp);
+    const la::Matrixd p = b->integration_matrix();
+    // coefficient vector of int f' = P^T cfp (same transport as eq. 3).
+    la::Vectord integ(static_cast<std::size_t>(m), 0.0);
+    for (la::index_t j = 0; j < m; ++j)
+        for (la::index_t i = 0; i < m; ++i)
+            integ[static_cast<std::size_t>(j)] += p(i, j) * cfp[static_cast<std::size_t>(i)];
+    // Compare waveforms with a tolerance matched to m=16 piecewise bases.
+    const wave::Waveform approx = b->to_waveform(integ, 128);
+    // Piecewise-constant bases at m=16 carry ~0.13 staircase error on a
+    // full-period sine; Legendre is far below.
+    double max_err = 0;
+    for (double t = 0.05; t < 0.95; t += 0.02)
+        max_err = std::max(max_err, std::abs(approx.at(t) - f(t)));
+    EXPECT_LT(max_err, 0.2) << "basis " << b->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, IntegrationMatrixProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(BasisInterop, WalshAndHaarIntegralMatricesAreSimilarToBpf) {
+    // P_walsh = (1/m) W H W^T must have the same spectrum as H (similarity).
+    const la::index_t m = 8;
+    const double t_end = 1.0;
+    basis::WalshBasis wb(t_end, m);
+    const la::Matrixd pw = wb.integration_matrix();
+    const la::Matrixd hb = basis::bpf_integral_matrix(t_end / m, m);
+    // trace is similarity-invariant.
+    double tw = 0, th = 0;
+    for (la::index_t i = 0; i < m; ++i) {
+        tw += pw(i, i);
+        th += hb(i, i);
+    }
+    EXPECT_NEAR(tw, th, 1e-12);
+}
+
+TEST(BasisInterop, ConstantCoeffsSynthesizeToOne) {
+    const double t_end = 2.0;
+    const la::index_t m = 8;
+    const basis::BpfBasis b1(t_end, m);
+    const basis::WalshBasis b2(t_end, m);
+    const basis::HaarBasis b3(t_end, m);
+    const basis::LegendreBasis b4(t_end, m);
+    for (const basis::Basis* b :
+         std::initializer_list<const basis::Basis*>{&b1, &b2, &b3, &b4}) {
+        const la::Vectord k = b->constant_coeffs();
+        for (double t : {0.1, 0.9, 1.7})
+            EXPECT_NEAR(b->synthesize(k, t), 1.0, 1e-10) << b->name();
+    }
+}

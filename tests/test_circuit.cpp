@@ -1,0 +1,220 @@
+/// \file test_circuit.cpp
+/// \brief Tests for the netlist and MNA assembly (stamp-level checks
+///        against hand-derived matrices and DC/transient closed forms).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/second_order.hpp"
+#include "la/dense_lu.hpp"
+#include "opm/solver.hpp"
+
+namespace circuit = opmsim::circuit;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace wave = opmsim::wave;
+
+TEST(Netlist, NodeBookkeeping) {
+    circuit::Netlist nl;
+    const la::index_t a = nl.node("a");
+    const la::index_t b = nl.node("b");
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(nl.node("a"), a);  // idempotent lookup
+    nl.resistor("R1", a, b, 10.0);
+    nl.vsource("V1", a, 0, 0);
+    EXPECT_EQ(nl.num_nodes(), 2);
+    EXPECT_EQ(nl.num_inputs(), 1);
+    EXPECT_EQ(nl.count(circuit::ElementKind::resistor), 1);
+}
+
+TEST(Netlist, RejectsNonphysicalValues) {
+    circuit::Netlist nl;
+    EXPECT_THROW(nl.resistor("R", 1, 0, -5.0), std::invalid_argument);
+    EXPECT_THROW(nl.capacitor("C", 1, 0, 0.0), std::invalid_argument);
+    EXPECT_THROW(nl.cpe("Z", 1, 0, 1e-6, 2.5), std::invalid_argument);
+}
+
+TEST(Mna, ResistorDividerDcSolution) {
+    // V1(1V) - R1(2k) - mid - R2(1k) - gnd: v_mid = 1/3.
+    circuit::Netlist nl;
+    const auto in = nl.node("in"), mid = nl.node("mid");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, mid, 2e3);
+    nl.resistor("R2", mid, 0, 1e3);
+    circuit::MnaLayout lay;
+    const opm::DescriptorSystem sys = circuit::build_mna(nl, &lay);
+    EXPECT_EQ(lay.size(), 3);  // 2 nodes + 1 vsource current
+
+    // DC: 0 = A x + B u -> x = -A^{-1} B u.
+    const la::Matrixd a = sys.a.to_dense();
+    const la::Matrixd b = sys.b.to_dense();
+    la::Vectord rhs(3);
+    for (la::index_t i = 0; i < 3; ++i) rhs[static_cast<std::size_t>(i)] = -b(i, 0);
+    const la::Vectord x = la::solve_dense(a, rhs);
+    EXPECT_NEAR(x[static_cast<std::size_t>(lay.voltage_index(in))], 1.0, 1e-12);
+    EXPECT_NEAR(x[static_cast<std::size_t>(lay.voltage_index(mid))], 1.0 / 3.0, 1e-12);
+    // Source current: 1V across 3k total -> 1/3 mA drawn from the source.
+    EXPECT_NEAR(std::abs(x[2]), 1.0 / 3e3, 1e-12);
+}
+
+TEST(Mna, CapacitorStampsIntoE) {
+    circuit::Netlist nl;
+    nl.capacitor("C1", 1, 2, 3e-12);
+    nl.resistor("R1", 1, 0, 1.0);
+    nl.resistor("R2", 2, 0, 1.0);
+    const opm::DescriptorSystem sys = circuit::build_mna(nl);
+    EXPECT_DOUBLE_EQ(sys.e.coeff(0, 0), 3e-12);
+    EXPECT_DOUBLE_EQ(sys.e.coeff(0, 1), -3e-12);
+    EXPECT_DOUBLE_EQ(sys.e.coeff(1, 0), -3e-12);
+    EXPECT_DOUBLE_EQ(sys.e.coeff(1, 1), 3e-12);
+    // conductances land in A with negative sign (A = -G).
+    EXPECT_DOUBLE_EQ(sys.a.coeff(0, 0), -1.0);
+}
+
+TEST(Mna, InductorBranchRelation) {
+    // V - L loop: branch row enforces L di/dt = v1.
+    circuit::Netlist nl;
+    nl.vsource("V1", 1, 0, 0);
+    nl.inductor("L1", 1, 0, 2e-9);
+    circuit::MnaLayout lay;
+    const opm::DescriptorSystem sys = circuit::build_mna(nl, &lay);
+    ASSERT_EQ(lay.size(), 3);  // v1, i_V, i_L
+    const la::index_t il = 2;  // branches in element order: V1 first, L1 next
+    EXPECT_DOUBLE_EQ(sys.e.coeff(il, il), 2e-9);
+    EXPECT_DOUBLE_EQ(sys.a.coeff(il, 0), 1.0);   // L di/dt = +v1
+    EXPECT_DOUBLE_EQ(sys.a.coeff(0, il), -1.0);  // KCL: i_L leaves node 1
+}
+
+TEST(Mna, VsourceIsAlgebraicRow) {
+    circuit::Netlist nl;
+    nl.vsource("V1", 1, 0, 0);
+    nl.resistor("R1", 1, 0, 1e3);
+    const opm::DescriptorSystem sys = circuit::build_mna(nl);
+    // Row 1 (branch) has no E entries: pure algebraic constraint.
+    EXPECT_DOUBLE_EQ(sys.e.coeff(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(sys.a.coeff(1, 0), -1.0);  // -(v1) + u = 0 form: A=-A0
+    EXPECT_DOUBLE_EQ(sys.b.coeff(1, 0), 1.0);
+}
+
+TEST(Mna, VccsStampSigns) {
+    // VCCS injecting gm*(v3-v4) into node1/out of node2.
+    circuit::Netlist nl;
+    nl.ensure_node(4);
+    for (la::index_t n = 1; n <= 4; ++n)
+        nl.resistor("R" + std::to_string(n), n, 0, 1.0);
+    nl.vccs("G1", 1, 2, 3, 4, 0.5);
+    const opm::DescriptorSystem sys = circuit::build_mna(nl);
+    // A = -A0: injection into node 1 gives +gm at (0, 2).
+    EXPECT_DOUBLE_EQ(sys.a.coeff(0, 2), 0.5);
+    EXPECT_DOUBLE_EQ(sys.a.coeff(0, 3), -0.5);
+    EXPECT_DOUBLE_EQ(sys.a.coeff(1, 2), -0.5);
+    EXPECT_DOUBLE_EQ(sys.a.coeff(1, 3), 0.5);
+}
+
+TEST(Mna, RcTransientThroughOpm) {
+    // End-to-end: netlist -> MNA -> OPM -> analytic RC response.
+    circuit::Netlist nl;
+    const auto in = nl.node("in"), out = nl.node("out");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, out, 1e3);
+    nl.capacitor("C1", out, 0, 1e-9);
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem sys = circuit::build_mna(nl, &lay);
+    sys.c = circuit::node_voltage_selector(lay, {out});
+    const double tau = 1e-6;
+    const auto res = opm::simulate_opm(sys, {wave::step(1.0)}, 5 * tau, 500);
+    for (double t : {0.5 * tau, 2.0 * tau})
+        EXPECT_NEAR(res.outputs[0].at(t), 1.0 - std::exp(-t / tau), 1e-3) << t;
+}
+
+TEST(Mna, CpeRejectedByIntegerBuilder) {
+    circuit::Netlist nl;
+    nl.cpe("Z1", 1, 0, 1e-6, 0.5);
+    nl.resistor("R1", 1, 0, 1.0);
+    EXPECT_THROW(circuit::build_mna(nl), std::invalid_argument);
+}
+
+TEST(Mna, FractionalBuilderProducesSingleOrderSystem) {
+    // R-CPE relaxation: c d^a v = (u - v)/R.
+    circuit::Netlist nl;
+    const auto in = nl.node("in"), out = nl.node("out");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, out, 2.0);
+    nl.cpe("Z1", out, 0, 3.0, 0.5);
+    const opm::DescriptorSystem sys = circuit::build_fractional_mna(nl, 0.5);
+    EXPECT_DOUBLE_EQ(sys.e.coeff(1, 1), 3.0);  // CPE stamp in E
+    EXPECT_DOUBLE_EQ(sys.e.coeff(0, 0), 0.0);  // resistive node: algebraic
+}
+
+TEST(Mna, FractionalBuilderRejectsWrongOrder) {
+    circuit::Netlist nl;
+    nl.cpe("Z1", 1, 0, 1.0, 0.5);
+    nl.resistor("R1", 1, 0, 1.0);
+    EXPECT_THROW(circuit::build_fractional_mna(nl, 0.7), std::invalid_argument);
+    circuit::Netlist nl2;
+    nl2.capacitor("C1", 1, 0, 1.0);
+    EXPECT_THROW(circuit::build_fractional_mna(nl2, 0.5), std::invalid_argument);
+}
+
+TEST(Mna, MultitermGroupsDistinctOrders) {
+    circuit::Netlist nl;
+    nl.resistor("R1", 1, 0, 1.0);
+    nl.capacitor("C1", 1, 0, 2.0);
+    nl.cpe("Z1", 1, 0, 3.0, 0.5);
+    nl.cpe("Z2", 1, 0, 4.0, 0.5);   // same order: merged into one term
+    nl.isource("I1", 1, 0, 0);
+    const opm::MultiTermSystem mt = circuit::build_multiterm_mna(nl);
+    ASSERT_EQ(mt.lhs.size(), 3u);  // orders 0, 0.5, 1
+    EXPECT_DOUBLE_EQ(mt.lhs[0].order, 0.0);
+    EXPECT_DOUBLE_EQ(mt.lhs[1].order, 0.5);
+    EXPECT_DOUBLE_EQ(mt.lhs[2].order, 1.0);
+    EXPECT_DOUBLE_EQ(mt.lhs[1].mat.coeff(0, 0), 7.0);  // 3 + 4 merged
+}
+
+TEST(SecondOrder, SeriesRlcMatchesMnaThroughOpm) {
+    // Same physical RLC driven by a current source, both formulations.
+    circuit::Netlist nl;
+    const auto n1 = nl.node("n1");
+    nl.isource("I1", n1, 0, 0);
+    nl.resistor("R1", n1, 0, 2.0);
+    nl.capacitor("C1", n1, 0, 0.5);
+    nl.inductor("L1", n1, 0, 1.0);
+
+    opm::MultiTermSystem so = circuit::build_second_order(nl);
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem mna = circuit::build_mna(nl, &lay);
+    la::Triplets sel(1, 1);
+    sel.add(0, 0, 1.0);
+    so.c = la::CscMatrix(sel);
+    mna.c = circuit::node_voltage_selector(lay, {n1});
+
+    const std::vector<wave::Source> u = {wave::smooth_step(1e-3, 0.0, 0.5)};
+    const auto r_so = opm::simulate_multiterm(so, u, 8.0, 1024);
+    const auto r_mna = opm::simulate_opm(mna, u, 8.0, 1024);
+    EXPECT_LT(wave::relative_l2(r_mna.outputs[0], r_so.outputs[0]), 2e-3);
+}
+
+TEST(SecondOrder, RejectsVsourceAndCpe) {
+    circuit::Netlist nl;
+    nl.vsource("V1", 1, 0, 0);
+    nl.resistor("R1", 1, 0, 1.0);
+    EXPECT_THROW(circuit::build_second_order(nl), std::invalid_argument);
+
+    circuit::Netlist nl2;
+    nl2.cpe("Z1", 1, 0, 1.0, 0.5);
+    EXPECT_THROW(circuit::build_second_order(nl2), std::invalid_argument);
+}
+
+TEST(Mna, NodeVoltageSelectorValidation) {
+    circuit::MnaLayout lay;
+    lay.num_nodes = 3;
+    EXPECT_THROW(circuit::node_voltage_selector(lay, {0}), std::invalid_argument);
+    EXPECT_THROW(circuit::node_voltage_selector(lay, {4}), std::invalid_argument);
+    const la::CscMatrix c = circuit::node_voltage_selector(lay, {2, 3});
+    EXPECT_DOUBLE_EQ(c.coeff(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(c.coeff(1, 2), 1.0);
+}

@@ -1,0 +1,147 @@
+/// \file test_fftx.cpp
+/// \brief Tests for the FFT substrate (radix-2 + Bluestein).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fftx/fft.hpp"
+
+using opmsim::fftx::cplx;
+
+namespace {
+
+std::vector<cplx> test_signal(std::size_t n, unsigned seed) {
+    std::vector<cplx> x(n);
+    unsigned s = seed;
+    for (auto& v : x) {
+        s = s * 1664525u + 1013904223u;
+        const double re = static_cast<double>(s % 2000) / 1000.0 - 1.0;
+        s = s * 1664525u + 1013904223u;
+        const double im = static_cast<double>(s % 2000) / 1000.0 - 1.0;
+        v = cplx(re, im);
+    }
+    return x;
+}
+
+double max_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace
+
+TEST(Fft, PowerOfTwoHelpers) {
+    using opmsim::fftx::is_pow2;
+    using opmsim::fftx::next_pow2;
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(64));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(100));
+    EXPECT_EQ(next_pow2(100), 128u);
+    EXPECT_EQ(next_pow2(128), 128u);
+    EXPECT_EQ(next_pow2(1), 1u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+    std::vector<cplx> x(8, cplx(0, 0));
+    x[0] = cplx(1, 0);
+    opmsim::fftx::fft(x);
+    for (const auto& v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-14);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+    }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+    std::vector<cplx> x(16, cplx(2.5, 0));
+    opmsim::fftx::fft(x);
+    EXPECT_NEAR(x[0].real(), 40.0, 1e-12);
+    for (std::size_t k = 1; k < 16; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInRightBin) {
+    const std::size_t n = 32;
+    std::vector<cplx> x(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double t = 2.0 * std::numbers::pi * 5.0 * static_cast<double>(k) /
+                         static_cast<double>(n);
+        x[k] = cplx(std::cos(t), 0.0);
+    }
+    opmsim::fftx::fft(x);
+    EXPECT_NEAR(std::abs(x[5]), static_cast<double>(n) / 2.0, 1e-10);
+    EXPECT_NEAR(std::abs(x[n - 5]), static_cast<double>(n) / 2.0, 1e-10);
+    EXPECT_NEAR(std::abs(x[3]), 0.0, 1e-10);
+}
+
+/// Round-trip and naive-DFT agreement across power-of-two and Bluestein
+/// sizes.
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+    const std::size_t n = GetParam();
+    const std::vector<cplx> x = test_signal(n, 42);
+    std::vector<cplx> fast = x;
+    opmsim::fftx::fft(fast);
+    const std::vector<cplx> ref = opmsim::fftx::dft_naive(x);
+    EXPECT_LT(max_diff(fast, ref), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+    const std::size_t n = GetParam();
+    const std::vector<cplx> x = test_signal(n, 7);
+    std::vector<cplx> y = x;
+    opmsim::fftx::fft(y);
+    opmsim::fftx::ifft(y);
+    EXPECT_LT(max_diff(x, y), 1e-11 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+    const std::size_t n = GetParam();
+    const std::vector<cplx> x = test_signal(n, 99);
+    std::vector<cplx> f = x;
+    opmsim::fftx::fft(f);
+    double et = 0, ef = 0;
+    for (const auto& v : x) et += std::norm(v);
+    for (const auto& v : f) ef += std::norm(v);
+    EXPECT_NEAR(ef, et * static_cast<double>(n), 1e-9 * et * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(2, 4, 8, 64, 256,   // radix-2
+                                           3, 5, 7, 12, 100, 127, 360));  // Bluestein
+
+TEST(Fft, LinearityProperty) {
+    const std::size_t n = 100;
+    const auto x = test_signal(n, 1);
+    const auto y = test_signal(n, 2);
+    std::vector<cplx> xy(n);
+    for (std::size_t i = 0; i < n; ++i) xy[i] = 2.0 * x[i] + cplx(0, 1) * y[i];
+    auto fx = x, fy = y, fxy = xy;
+    opmsim::fftx::fft(fx);
+    opmsim::fftx::fft(fy);
+    opmsim::fftx::fft(fxy);
+    double m = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        m = std::max(m, std::abs(fxy[i] - (2.0 * fx[i] + cplx(0, 1) * fy[i])));
+    EXPECT_LT(m, 1e-10 * static_cast<double>(n));
+}
+
+TEST(Fft, RealSignalHasConjugateSymmetry) {
+    std::vector<double> x(100);
+    for (std::size_t k = 0; k < x.size(); ++k)
+        x[k] = std::sin(0.3 * static_cast<double>(k)) + 0.2 * static_cast<double>(k % 7);
+    const auto f = opmsim::fftx::fft_real(x);
+    for (std::size_t k = 1; k < x.size(); ++k)
+        EXPECT_LT(std::abs(f[k] - std::conj(f[x.size() - k])), 1e-9);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+    std::vector<cplx> x = {cplx(3.0, -2.0)};
+    opmsim::fftx::fft(x);
+    EXPECT_NEAR(x[0].real(), 3.0, 1e-15);
+    opmsim::fftx::ifft(x);
+    EXPECT_NEAR(x[0].real(), 3.0, 1e-15);
+}

@@ -1,0 +1,186 @@
+/// \file test_integration.cpp
+/// \brief End-to-end integration tests across modules, plus failure
+///        injection (singular pencils, inconsistent inputs, bad options).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/power_grid.hpp"
+#include "circuit/tline.hpp"
+#include "opm/adaptive.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/fft_solver.hpp"
+#include "transient/grunwald.hpp"
+#include "transient/steppers.hpp"
+
+namespace circuit = opmsim::circuit;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace wave = opmsim::wave;
+namespace transient = opmsim::transient;
+
+TEST(Integration, NetlistToOpmVsTrapezoidalOnRlcLadder) {
+    // 6-stage RLC ladder, netlist -> MNA -> both solvers.
+    circuit::Netlist nl;
+    la::index_t prev = nl.node("in");
+    nl.vsource("V1", prev, 0, 0);
+    for (int k = 0; k < 6; ++k) {
+        const la::index_t mid = nl.node("m" + std::to_string(k));
+        const la::index_t nxt = nl.node("n" + std::to_string(k));
+        nl.resistor("R" + std::to_string(k), prev, mid, 1.0);
+        nl.inductor("L" + std::to_string(k), mid, nxt, 1e-9);
+        nl.capacitor("C" + std::to_string(k), nxt, 0, 1e-12);
+        prev = nxt;
+    }
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem sys = circuit::build_mna(nl, &lay);
+    sys.c = circuit::node_voltage_selector(lay, {prev});
+
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.2e-9)};
+    const double t_end = 5e-9;
+    const auto o = opm::simulate_opm(sys, u, t_end, 500);
+    transient::TransientOptions topt;
+    topt.method = transient::Method::trapezoidal;
+    const auto t = transient::simulate_transient(sys, u, t_end, 500, topt);
+    EXPECT_LT(wave::relative_l2(t.outputs[0], o.outputs[0]), 5e-3);
+}
+
+TEST(Integration, FractionalNetlistAcrossThreeSolvers) {
+    // R-CPE circuit through OPM, GL and FFT; all three must agree.
+    circuit::Netlist nl;
+    const auto in = nl.node("in"), out = nl.node("out");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, out, 1.0);
+    nl.cpe("Z1", out, 0, 1.0, 0.5);
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem sys = circuit::build_fractional_mna(nl, 0.5, &lay);
+    sys.c = circuit::node_voltage_selector(lay, {out});
+
+    const std::vector<wave::Source> u = {wave::smooth_pulse(1.0, 0.5, 1.0, 2.0, 1.0)};
+    const double t_end = 8.0;
+
+    opm::OpmOptions oo;
+    oo.alpha = 0.5;
+    const auto r_opm = opm::simulate_opm(sys, u, t_end, 512, oo);
+    const auto r_gl = transient::simulate_grunwald(sys, u, t_end, 1024, {0.5});
+
+    // Dense copy for the FFT baseline.
+    opm::DenseDescriptorSystem dense;
+    dense.e = sys.e.to_dense();
+    dense.a = sys.a.to_dense();
+    dense.b = sys.b.to_dense();
+    dense.c = sys.c.to_dense();
+    transient::FftSolverOptions fo;
+    fo.alpha = 0.5;
+    fo.samples = 512;
+    const auto r_fft = transient::simulate_fft(dense, u, t_end, fo);
+
+    EXPECT_LT(wave::relative_l2(r_gl.outputs[0], r_opm.outputs[0]), 1e-2);
+    // The FFT baseline carries the fractional wrap-around error (see
+    // test_transient.cpp) — bounded but far behind the time-domain methods.
+    EXPECT_LT(wave::relative_l2(r_gl.outputs[0], r_fft.outputs[0]), 0.5);
+}
+
+TEST(Integration, AdaptiveMatchesUniformOnPowerGridColumn) {
+    // Adaptive OPM on a small power grid MNA model vs dense-step uniform.
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 4;
+    spec.nz = 2;
+    spec.num_loads = 2;
+    spec.load_channels = 1;
+    const auto pg = circuit::build_power_grid(spec);
+
+    opm::AdaptiveOptions aopt;
+    aopt.tol = 1e-5;
+    aopt.h_init = 1e-11;
+    const auto ad = opm::simulate_opm_adaptive(pg.mna, pg.inputs, 1e-9, aopt);
+    const auto un = opm::simulate_opm(pg.mna, pg.inputs, 1e-9, 400);
+    for (std::size_t ch = 0; ch < ad.outputs.size(); ++ch)
+        EXPECT_LT(wave::relative_l2(un.outputs[ch], ad.outputs[ch]), 2e-2) << ch;
+}
+
+TEST(Integration, TlineTableOneSetupRunsEndToEnd) {
+    // The exact Table I flow at reduced size, checking all pieces hook up.
+    const auto tline = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::step(0.0)};
+    opm::OpmOptions oo;
+    oo.alpha = circuit::kTlineAlpha;
+    const auto o = opm::simulate_opm(tline, u, 2.7e-9, 8, oo);
+    EXPECT_EQ(o.coeffs.cols(), 8);
+    transient::FftSolverOptions f1{0.5, 8}, f2{0.5, 100};
+    const auto r1 = transient::simulate_fft(tline, u, 2.7e-9, f1);
+    const auto r2 = transient::simulate_fft(tline, u, 2.7e-9, f2);
+    EXPECT_EQ(r1.outputs.size(), 2u);
+    EXPECT_EQ(r2.outputs.size(), 2u);
+    // sanity: all finite
+    for (const auto& w : {o.outputs[0], o.outputs[1], r1.outputs[0], r2.outputs[1]})
+        for (double v : w.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---- failure injection ----
+
+TEST(FailureInjection, SingularPencilSurfacesAsNumericalError) {
+    // E = 0 and A singular: every pencil d0*E - A is singular.
+    opm::DescriptorSystem sys;
+    la::Triplets e(2, 2), a(2, 2), b(2, 1);
+    a.add(0, 0, 1.0);
+    a.add(0, 1, 1.0);
+    a.add(1, 0, 1.0);
+    a.add(1, 1, 1.0);  // rank 1
+    b.add(0, 0, 1.0);
+    sys.e = la::CscMatrix(e);
+    sys.a = la::CscMatrix(a);
+    sys.b = la::CscMatrix(b);
+    EXPECT_THROW(opm::simulate_opm(sys, {wave::step(1.0)}, 1.0, 8),
+                 opmsim::numerical_error);
+}
+
+TEST(FailureInjection, MismatchedShapesRejected) {
+    opm::DescriptorSystem sys;
+    la::Triplets e(2, 2), a(3, 3), b(2, 1);
+    sys.e = la::CscMatrix(e);
+    sys.a = la::CscMatrix(a);
+    sys.b = la::CscMatrix(b);
+    EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+TEST(FailureInjection, WrongInputCountRejectedEverywhere) {
+    const auto tline = circuit::make_fractional_tline();  // wants 2 inputs
+    const std::vector<wave::Source> one = {wave::step(1.0)};
+    opm::OpmOptions oo;
+    oo.alpha = 0.5;
+    EXPECT_THROW(opm::simulate_opm(tline, one, 1e-9, 8, oo),
+                 std::invalid_argument);
+    EXPECT_THROW(transient::simulate_fft(tline, one, 1e-9, {0.5, 16}),
+                 std::invalid_argument);
+    EXPECT_THROW(transient::simulate_grunwald(tline.to_sparse(), one, 1e-9, 8,
+                                              {0.5}),
+                 std::invalid_argument);
+    opm::AdaptiveOptions ao;
+    ao.alpha = 0.5;
+    EXPECT_THROW(opm::simulate_opm_adaptive(tline, one, 1e-9, ao),
+                 std::invalid_argument);
+}
+
+TEST(FailureInjection, NonFiniteInputsProduceNonFiniteNotCrash) {
+    // A NaN source must not crash the sweep; it propagates into the
+    // coefficients where the caller can detect it.
+    const auto sys = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {
+        [](double) { return std::numeric_limits<double>::quiet_NaN(); },
+        wave::step(0.0)};
+    opm::OpmOptions oo;
+    oo.alpha = 0.5;
+    const auto res = opm::simulate_opm(sys, u, 1e-9, 8, oo);
+    EXPECT_TRUE(std::isnan(res.coeffs(0, 0)) || std::isnan(res.coeffs.max_abs()));
+}
+
+TEST(FailureInjection, EmptyNetlistRejected) {
+    circuit::Netlist nl;
+    EXPECT_THROW(circuit::build_mna(nl), std::invalid_argument);
+    EXPECT_THROW(circuit::build_second_order(nl), std::invalid_argument);
+}

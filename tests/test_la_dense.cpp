@@ -1,0 +1,46 @@
+/// \file test_la_dense.cpp
+/// \brief Unit tests for the dense linear-algebra substrate.
+
+#include <gtest/gtest.h>
+
+#include "la/dense.hpp"
+#include "la/dense_lu.hpp"
+
+namespace la = opmsim::la;
+
+TEST(DenseMatrix, ConstructAndIndex) {
+    la::Matrixd m(2, 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, InitializerList) {
+    la::Matrixd m{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, MatmulKnown) {
+    la::Matrixd a{{1, 2}, {3, 4}};
+    la::Matrixd b{{5, 6}, {7, 8}};
+    la::Matrixd c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseLu, SolveKnown) {
+    la::Matrixd a{{4, 3}, {6, 3}};
+    const la::Vectord x = la::solve_dense(a, {10.0, 12.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, SingularThrows) {
+    la::Matrixd a{{1, 2}, {2, 4}};
+    EXPECT_THROW(la::DenseLu<double>{a}, opmsim::numerical_error);
+}

@@ -1,0 +1,189 @@
+/// \file test_la_eig.cpp
+/// \brief Tests for the QR eigenvalue solver, triangular eigendecomposition
+///        and fractional matrix powers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "la/dense_lu.hpp"
+#include "la/eig.hpp"
+#include "la/triangular.hpp"
+
+namespace la = opmsim::la;
+
+namespace {
+
+/// Sort eigenvalues by (real, imag) for comparison.
+std::vector<la::cplx> sorted(std::vector<la::cplx> v) {
+    std::sort(v.begin(), v.end(), [](const la::cplx& a, const la::cplx& b) {
+        if (a.real() != b.real()) return a.real() < b.real();
+        return a.imag() < b.imag();
+    });
+    return v;
+}
+
+} // namespace
+
+TEST(EigValues, DiagonalMatrix) {
+    la::Matrixd a{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}};
+    const auto e = sorted(la::eig_values(a));
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_NEAR(e[0].real(), -1.0, 1e-10);
+    EXPECT_NEAR(e[1].real(), 3.0, 1e-10);
+    EXPECT_NEAR(e[2].real(), 7.0, 1e-10);
+    for (const auto& l : e) EXPECT_NEAR(l.imag(), 0.0, 1e-10);
+}
+
+TEST(EigValues, RotationGivesComplexPair) {
+    // [[0,-1],[1,0]] has eigenvalues +-i.
+    la::Matrixd a{{0, -1}, {1, 0}};
+    const auto e = sorted(la::eig_values(a));
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_NEAR(e[0].real(), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(e[0].imag()), 1.0, 1e-12);
+    EXPECT_NEAR(e[1].imag(), -e[0].imag(), 1e-12);
+}
+
+TEST(EigValues, CompanionMatrixRoots) {
+    // Companion of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+    la::Matrixd a{{6, -11, 6}, {1, 0, 0}, {0, 1, 0}};
+    const auto e = sorted(la::eig_values(a));
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_NEAR(e[0].real(), 1.0, 1e-8);
+    EXPECT_NEAR(e[1].real(), 2.0, 1e-8);
+    EXPECT_NEAR(e[2].real(), 3.0, 1e-8);
+}
+
+TEST(EigValues, TraceAndDeterminantConsistency) {
+    // Invariants: sum(eig) = trace, prod(eig) = det.
+    la::Matrixd a{{2, 1, 0, 3}, {1, -1, 2, 0}, {0, 4, 3, 1}, {2, 0, 1, -2}};
+    const auto e = la::eig_values(a);
+    la::cplx sum(0, 0), prod(1, 0);
+    for (const auto& l : e) {
+        sum += l;
+        prod *= l;
+    }
+    double trace = 0;
+    for (la::index_t i = 0; i < 4; ++i) trace += a(i, i);
+    EXPECT_NEAR(sum.real(), trace, 1e-8);
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+    EXPECT_NEAR(prod.real(), la::DenseLu<double>(a).det(), 1e-6);
+}
+
+TEST(EigValues, LargerRandomSpectrumIsStableUnderSimilarity) {
+    // eig(A) == eig(S A S^{-1}) for diagonal S: a weak but effective check
+    // on a 20x20 matrix with deterministic pseudo-random entries.
+    const la::index_t n = 20;
+    la::Matrixd a(n, n);
+    unsigned s = 123;
+    for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i < n; ++i) {
+            s = s * 1664525u + 1013904223u;
+            a(i, j) = static_cast<double>(s % 2000) / 1000.0 - 1.0;
+        }
+    la::Matrixd b = a;
+    for (la::index_t i = 0; i < n; ++i) {
+        const double sc = 1.0 + 0.1 * static_cast<double>(i);
+        for (la::index_t j = 0; j < n; ++j) b(i, j) *= sc;
+        for (la::index_t j = 0; j < n; ++j) b(j, i) /= sc;
+    }
+    const auto ea = sorted(la::eig_values(a));
+    const auto eb = sorted(la::eig_values(b));
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t k = 0; k < ea.size(); ++k)
+        EXPECT_LT(std::abs(ea[k] - eb[k]), 1e-6) << "eigenvalue " << k;
+}
+
+TEST(GeneralizedEig, PencilEigenvalues) {
+    // E = diag(2, 1), A = diag(-4, -3): lambda = {-2, -3}.
+    la::Matrixd e{{2, 0}, {0, 1}};
+    la::Matrixd a{{-4, 0}, {0, -3}};
+    const auto ev = sorted(la::generalized_eig_values(e, a));
+    EXPECT_NEAR(ev[0].real(), -3.0, 1e-12);
+    EXPECT_NEAR(ev[1].real(), -2.0, 1e-12);
+}
+
+TEST(GeneralizedEig, SingularEThrows) {
+    la::Matrixd e{{1, 0}, {0, 0}};
+    la::Matrixd a{{1, 0}, {0, 1}};
+    EXPECT_THROW(la::generalized_eig_values(e, a), opmsim::numerical_error);
+}
+
+TEST(FractionalStable, MatignonSectors) {
+    using c = la::cplx;
+    // alpha = 1: classic Hurwitz condition.
+    EXPECT_TRUE(la::fractional_stable({c(-1, 5)}, 1.0));
+    EXPECT_FALSE(la::fractional_stable({c(1e-3, 5)}, 1.0));
+    // alpha = 1/2: sector |arg| > pi/4; stable even slightly into RHP.
+    EXPECT_TRUE(la::fractional_stable({c(1.0, 2.0)}, 0.5));
+    EXPECT_FALSE(la::fractional_stable({c(2.0, 1.0)}, 0.5));
+    // alpha = 1.5: needs |arg| > 3pi/4.
+    EXPECT_FALSE(la::fractional_stable({c(-1.0, 1.1)}, 1.5));
+    EXPECT_TRUE(la::fractional_stable({c(-1.0, 0.1)}, 1.5));
+}
+
+TEST(TriangularEig, ReconstructsMatrix) {
+    la::Matrixd t{{1, 2, 3}, {0, 2, 1}, {0, 0, 4}};
+    const la::TriangularEig e = la::eig_upper_triangular(t);
+    // T V = V diag(lambda)
+    la::Matrixd tv = t * e.v;
+    la::Matrixd vl = e.v;
+    for (la::index_t j = 0; j < 3; ++j)
+        for (la::index_t i = 0; i < 3; ++i) vl(i, j) *= e.lambda[static_cast<std::size_t>(j)];
+    EXPECT_LT(la::max_abs_diff(tv, vl), 1e-12);
+    // V * V^{-1} = I
+    EXPECT_LT(la::max_abs_diff(e.v * e.v_inv, la::Matrixd::identity(3)), 1e-12);
+}
+
+TEST(TriangularEig, RepeatedEigenvaluesThrow) {
+    la::Matrixd t{{2, 1}, {0, 2}};
+    EXPECT_THROW(la::eig_upper_triangular(t), opmsim::numerical_error);
+}
+
+TEST(FractionalPowerUpper, SquareRootSquares) {
+    la::Matrixd t{{1, 3, -2}, {0, 4, 1}, {0, 0, 9}};
+    const la::Matrixd r = la::fractional_power_upper(t, 0.5);
+    EXPECT_LT(la::max_abs_diff(r * r, t), 1e-10);
+}
+
+TEST(FractionalPowerUpper, IntegerPowerMatchesMultiplication) {
+    la::Matrixd t{{1, 1, 0}, {0, 2, 2}, {0, 0, 5}};
+    const la::Matrixd r = la::fractional_power_upper(t, 2.0);
+    EXPECT_LT(la::max_abs_diff(r, t * t), 1e-9);
+}
+
+TEST(FractionalPowerUpper, NegativePowerIsInverse) {
+    la::Matrixd t{{2, 1}, {0, 3}};
+    const la::Matrixd r = la::fractional_power_upper(t, -1.0);
+    EXPECT_LT(la::max_abs_diff(r * t, la::Matrixd::identity(2)), 1e-12);
+}
+
+TEST(FractionalPowerUpper, NonPositiveDiagonalThrows) {
+    la::Matrixd t{{-1, 0}, {0, 2}};
+    EXPECT_THROW(la::fractional_power_upper(t, 0.5), std::invalid_argument);
+}
+
+/// Semigroup property of triangular fractional powers: T^a T^b = T^{a+b}.
+class TriPowerSemigroup
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TriPowerSemigroup, Holds) {
+    const auto [a, b] = GetParam();
+    la::Matrixd t{{1.0, 0.5, 0.2, 0.1},
+                  {0.0, 2.0, 0.7, 0.3},
+                  {0.0, 0.0, 3.5, 0.9},
+                  {0.0, 0.0, 0.0, 5.0}};
+    const la::Matrixd ta = la::fractional_power_upper(t, a);
+    const la::Matrixd tb = la::fractional_power_upper(t, b);
+    const la::Matrixd tab = la::fractional_power_upper(t, a + b);
+    EXPECT_LT(la::max_abs_diff(ta * tb, tab), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, TriPowerSemigroup,
+    ::testing::Values(std::make_pair(0.5, 0.5), std::make_pair(0.3, 0.9),
+                      std::make_pair(1.5, 0.5), std::make_pair(0.25, 0.25),
+                      std::make_pair(1.2, 1.3)));

@@ -1,0 +1,244 @@
+/// \file test_la_sparse.cpp
+/// \brief Unit + property tests for sparse matrices, RCM, and sparse LU.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "la/dense_lu.hpp"
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace la = opmsim::la;
+
+namespace {
+
+/// Deterministic xorshift PRNG (no <random> to keep values platform-fixed).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+    double uniform() {  // in (0, 1)
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return static_cast<double>(s_ % 1000003u + 1) / 1000004.0;
+    }
+    la::index_t index(la::index_t bound) {
+        return static_cast<la::index_t>(uniform() * static_cast<double>(bound)) % bound;
+    }
+
+private:
+    std::uint64_t s_;
+};
+
+/// Random diagonally-bumped sparse matrix (always nonsingular).
+la::CscMatrix random_sparse(la::index_t n, la::index_t extra_per_row, Rng& rng) {
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + rng.uniform());
+        for (la::index_t k = 0; k < extra_per_row; ++k)
+            t.add(i, rng.index(n), rng.uniform() - 0.5);
+    }
+    return la::CscMatrix(t);
+}
+
+} // namespace
+
+TEST(Triplets, DuplicatesAreSummed) {
+    la::Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(0, 0, 2.5);
+    t.add(1, 0, -1.0);
+    la::CscMatrix a(t);
+    EXPECT_EQ(a.nnz(), 2);
+    EXPECT_DOUBLE_EQ(a.coeff(0, 0), 3.5);
+    EXPECT_DOUBLE_EQ(a.coeff(1, 0), -1.0);
+    EXPECT_DOUBLE_EQ(a.coeff(1, 1), 0.0);
+}
+
+TEST(Triplets, OutOfRangeThrows) {
+    la::Triplets t(2, 2);
+    EXPECT_THROW(t.add(2, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(t.add(0, -1, 1.0), std::invalid_argument);
+}
+
+TEST(CscMatrix, MatvecKnown) {
+    la::Matrixd d{{1, 0, 2}, {0, 3, 0}, {4, 0, 5}};
+    const la::CscMatrix a = la::CscMatrix::from_dense(d);
+    EXPECT_EQ(a.nnz(), 5);
+    const la::Vectord y = a.matvec({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(y[0], 7.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+    EXPECT_DOUBLE_EQ(y[2], 19.0);
+}
+
+TEST(CscMatrix, TransposeRoundTrip) {
+    Rng rng(7);
+    const la::CscMatrix a = random_sparse(20, 3, rng);
+    const la::CscMatrix att = a.transposed().transposed();
+    EXPECT_NEAR(la::max_abs_diff(a.to_dense(), att.to_dense()), 0.0, 0.0);
+}
+
+TEST(CscMatrix, MatvecTransposedMatchesTranspose) {
+    Rng rng(8);
+    const la::CscMatrix a = random_sparse(15, 2, rng);
+    la::Vectord x(15);
+    for (auto& v : x) v = rng.uniform();
+    const la::Vectord y1 = a.matvec_transposed(x);
+    const la::Vectord y2 = a.transposed().matvec(x);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(CscMatrix, AddScaled) {
+    la::Matrixd d1{{1, 2}, {0, 3}};
+    la::Matrixd d2{{0, 1}, {5, 0}};
+    const la::CscMatrix s = la::CscMatrix::add(2.0, la::CscMatrix::from_dense(d1),
+                                               -1.0, la::CscMatrix::from_dense(d2));
+    EXPECT_DOUBLE_EQ(s.coeff(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(s.coeff(0, 1), 3.0);
+    EXPECT_DOUBLE_EQ(s.coeff(1, 0), -5.0);
+    EXPECT_DOUBLE_EQ(s.coeff(1, 1), 6.0);
+}
+
+TEST(CscMatrix, PermutedIsSymmetricPermutation) {
+    la::Matrixd d{{1, 2, 0}, {0, 3, 4}, {5, 0, 6}};
+    const la::CscMatrix a = la::CscMatrix::from_dense(d);
+    const std::vector<la::index_t> perm = {2, 0, 1};  // new -> old
+    const la::CscMatrix p = a.permuted(perm);
+    for (la::index_t i = 0; i < 3; ++i)
+        for (la::index_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(p.coeff(i, j), d(perm[static_cast<std::size_t>(i)],
+                                              perm[static_cast<std::size_t>(j)]));
+}
+
+TEST(Rcm, ReducesBandwidthOnPath) {
+    // A path graph numbered randomly has large bandwidth; RCM restores ~1.
+    const la::index_t n = 40;
+    const std::vector<la::index_t> shuffle = [&] {
+        std::vector<la::index_t> s(static_cast<std::size_t>(n));
+        for (la::index_t i = 0; i < n; ++i)
+            s[static_cast<std::size_t>(i)] = (i * 23) % n;  // gcd(23,40)=1
+        return s;
+    }();
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) t.add(i, i, 2.0);
+    for (la::index_t i = 0; i + 1 < n; ++i) {
+        t.add(shuffle[static_cast<std::size_t>(i)], shuffle[static_cast<std::size_t>(i + 1)], -1.0);
+        t.add(shuffle[static_cast<std::size_t>(i + 1)], shuffle[static_cast<std::size_t>(i)], -1.0);
+    }
+    const la::CscMatrix a(t);
+    const auto perm = la::rcm_ordering(a);
+    EXPECT_GT(la::bandwidth(a, la::natural_ordering(n)), 10);
+    EXPECT_LE(la::bandwidth(a, perm), 2);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+    la::Triplets t(6, 6);
+    for (la::index_t i = 0; i < 6; ++i) t.add(i, i, 1.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(3, 4, 1.0);
+    t.add(4, 3, 1.0);
+    const auto perm = la::rcm_ordering(la::CscMatrix(t));
+    std::vector<bool> seen(6, false);
+    for (const auto p : perm) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, 6);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(p)]) << "duplicate in permutation";
+        seen[static_cast<std::size_t>(p)] = true;
+    }
+}
+
+TEST(SparseLu, SolvesKnownSystem) {
+    la::Matrixd d{{4, 1, 0}, {1, 4, 1}, {0, 1, 4}};
+    const la::SparseLu lu(la::CscMatrix::from_dense(d));
+    const la::Vectord x = lu.solve({6.0, 12.0, 14.0});
+    // Verify A x = b.
+    const la::Vectord b = la::CscMatrix::from_dense(d).matvec(x);
+    EXPECT_NEAR(b[0], 6.0, 1e-12);
+    EXPECT_NEAR(b[1], 12.0, 1e-12);
+    EXPECT_NEAR(b[2], 14.0, 1e-12);
+}
+
+TEST(SparseLu, SingularMatrixThrows) {
+    la::Matrixd d{{1, 2}, {2, 4}};
+    EXPECT_THROW(la::SparseLu{la::CscMatrix::from_dense(d)}, opmsim::numerical_error);
+}
+
+TEST(SparseLu, StructurallySingularThrows) {
+    la::Triplets t(3, 3);
+    t.add(0, 0, 1.0);
+    t.add(1, 1, 1.0);  // column/row 2 empty
+    EXPECT_THROW(la::SparseLu{la::CscMatrix(t)}, opmsim::numerical_error);
+}
+
+TEST(SparseLu, PivotingHandlesZeroDiagonal) {
+    // MNA-style saddle point: zero diagonal block requires row pivoting.
+    // Natural ordering keeps the zero pivot in front so the threshold test
+    // must reject the structural diagonal.
+    la::Matrixd d{{0, 1}, {1, 1}};
+    la::SparseLuOptions opt;
+    opt.ordering = la::SparseLuOptions::Ordering::natural;
+    const la::SparseLu lu(la::CscMatrix::from_dense(d), opt);
+    const la::Vectord x = lu.solve({1.0, 3.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-14);
+    EXPECT_NEAR(x[1], 1.0, 1e-14);
+    EXPECT_GE(lu.off_diagonal_pivots(), 1);
+}
+
+/// Property sweep: sparse LU solution matches dense LU on random systems
+/// under both orderings.
+class SparseLuProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SparseLuProperty, MatchesDenseSolve) {
+    const auto [n, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const la::CscMatrix a = random_sparse(n, 4, rng);
+    la::Vectord b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform() - 0.5;
+
+    for (const auto ord : {la::SparseLuOptions::Ordering::natural,
+                           la::SparseLuOptions::Ordering::rcm}) {
+        la::SparseLuOptions opt;
+        opt.ordering = ord;
+        const la::SparseLu lu(a, opt);
+        const la::Vectord xs = lu.solve(b);
+        const la::Vectord xd = la::solve_dense(a.to_dense(), b);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            EXPECT_NEAR(xs[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuProperty,
+                         ::testing::Combine(::testing::Values(5, 17, 40, 83),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(SparseLu, ResidualSmallOnLaplacian2D) {
+    // 2-D 5-point Laplacian with Dirichlet shift: the canonical mesh case.
+    const la::index_t nx = 12, ny = 12, n = nx * ny;
+    la::Triplets t(n, n);
+    auto id = [nx](la::index_t x, la::index_t y) { return y * nx + x; };
+    for (la::index_t y = 0; y < ny; ++y)
+        for (la::index_t x = 0; x < nx; ++x) {
+            t.add(id(x, y), id(x, y), 4.1);
+            if (x + 1 < nx) {
+                t.add(id(x, y), id(x + 1, y), -1.0);
+                t.add(id(x + 1, y), id(x, y), -1.0);
+            }
+            if (y + 1 < ny) {
+                t.add(id(x, y), id(x, y + 1), -1.0);
+                t.add(id(x, y + 1), id(x, y), -1.0);
+            }
+        }
+    const la::CscMatrix a(t);
+    const la::SparseLu lu(a);
+    la::Vectord b(static_cast<std::size_t>(n), 1.0);
+    const la::Vectord x = lu.solve(b);
+    const la::Vectord ax = a.matvec(x);
+    double rmax = 0;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        rmax = std::max(rmax, std::abs(b[i] - ax[i]));
+    EXPECT_LT(rmax, 1e-11);
+    EXPECT_EQ(lu.off_diagonal_pivots(), 0) << "SPD mesh should keep diagonal pivots";
+}

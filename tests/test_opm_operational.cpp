@@ -1,0 +1,199 @@
+/// \file test_opm_operational.cpp
+/// \brief Tests for fractional series and operational matrices — including
+///        the paper's worked example (eq. 23-24) verified digit for digit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basis/bpf.hpp"
+#include "la/dense_lu.hpp"
+#include "opm/fractional_series.hpp"
+#include "opm/operational.hpp"
+
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace basis = opmsim::basis;
+
+TEST(FractionalSeries, BinomialKnownValues) {
+    const la::Vectord c = opm::binomial_coeffs(1.5, 4);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.5);
+    EXPECT_DOUBLE_EQ(c[2], 0.375);   // 1.5*0.5/2
+    EXPECT_DOUBLE_EQ(c[3], -0.0625); // 1.5*0.5*(-0.5)/6
+}
+
+TEST(FractionalSeries, IntegerAlphaTerminates) {
+    const la::Vectord c = opm::binomial_coeffs(2.0, 6);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 2.0);
+    EXPECT_DOUBLE_EQ(c[2], 1.0);
+    for (std::size_t k = 3; k < 6; ++k) EXPECT_DOUBLE_EQ(c[k], 0.0);
+}
+
+TEST(FractionalSeries, PaperEq23Coefficients) {
+    // rho_{3/2,4}(q) = 1 - 3q + 4.5q^2 - 5.5q^3 (paper eq. 23).
+    const la::Vectord c = opm::frac_diff_series(1.5, 4);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_NEAR(c[0], 1.0, 1e-14);
+    EXPECT_NEAR(c[1], -3.0, 1e-14);
+    EXPECT_NEAR(c[2], 4.5, 1e-14);
+    EXPECT_NEAR(c[3], -5.5, 1e-14);
+}
+
+TEST(FractionalSeries, AlphaOneMatchesBpfPattern) {
+    // ((1-q)/(1+q))^1 = 1 - 2q + 2q^2 - 2q^3 + ...
+    const la::Vectord c = opm::frac_diff_series(1.0, 6);
+    EXPECT_NEAR(c[0], 1.0, 1e-14);
+    for (std::size_t k = 1; k < 6; ++k)
+        EXPECT_NEAR(c[k], (k % 2 ? -2.0 : 2.0), 1e-13) << k;
+}
+
+TEST(FractionalSeries, AlphaZeroIsIdentity) {
+    const la::Vectord c = opm::frac_diff_series(0.0, 5);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    for (std::size_t k = 1; k < 5; ++k) EXPECT_DOUBLE_EQ(c[k], 0.0);
+}
+
+TEST(FractionalSeries, DiffAndIntSeriesAreInverse) {
+    // rho_alpha * rho_{-alpha} = 1 in the truncated ring.
+    for (double alpha : {0.3, 0.5, 1.2, 1.7}) {
+        const la::Vectord d = opm::frac_diff_series(alpha, 12);
+        const la::Vectord h = opm::frac_int_series(alpha, 12);
+        const la::Vectord prod = opm::poly_mul_trunc(d, h, 12);
+        EXPECT_NEAR(prod[0], 1.0, 1e-12);
+        for (std::size_t k = 1; k < 12; ++k) EXPECT_NEAR(prod[k], 0.0, 1e-11) << k;
+    }
+}
+
+TEST(FractionalSeries, GrunwaldWeightsKnown) {
+    // (1-q)^{1/2}: w = 1, -1/2, -1/8, -1/16, ...
+    const la::Vectord w = opm::grunwald_weights(0.5, 4);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+    EXPECT_DOUBLE_EQ(w[1], -0.5);
+    EXPECT_DOUBLE_EQ(w[2], -0.125);
+    EXPECT_DOUBLE_EQ(w[3], -0.0625);
+}
+
+TEST(OperationalMatrix, PaperEq24Matrix) {
+    // D^{3/2}_{(4)} = (2/h)^{3/2} * [[1,-3,4.5,-5.5], ...] (paper eq. 24).
+    const double h = 0.1;
+    const la::Matrixd d = opm::frac_differential_matrix(1.5, h, 4);
+    const double s = std::pow(2.0 / h, 1.5);
+    EXPECT_NEAR(d(0, 0), s, 1e-9);
+    EXPECT_NEAR(d(0, 1), -3.0 * s, 1e-9);
+    EXPECT_NEAR(d(0, 2), 4.5 * s, 1e-9);
+    EXPECT_NEAR(d(0, 3), -5.5 * s, 1e-9);
+    EXPECT_NEAR(d(1, 2), -3.0 * s, 1e-9);
+    EXPECT_NEAR(d(2, 2), s, 1e-9);
+    EXPECT_NEAR(d(1, 0), 0.0, 1e-15);
+}
+
+TEST(OperationalMatrix, PaperIdentityDThreeHalvesSquaredIsDCubed) {
+    // The paper notes (D^{3/2}_{(4)})^2 equals the integer-order matrix
+    // power — exact in the nilpotent ring.
+    const double h = 0.25;
+    const la::Matrixd d32 = opm::frac_differential_matrix(1.5, h, 4);
+    const la::Matrixd d = basis::bpf_differential_matrix(h, 4);
+    EXPECT_LT(la::max_abs_diff(d32 * d32, d * d * d), 1e-6 * d32.max_abs());
+}
+
+TEST(OperationalMatrix, AlphaOneMatchesBpf) {
+    const la::Matrixd d1 = opm::frac_differential_matrix(1.0, 0.3, 8);
+    const la::Matrixd d2 = basis::bpf_differential_matrix(0.3, 8);
+    EXPECT_LT(la::max_abs_diff(d1, d2), 1e-12);
+    const la::Matrixd h1 = opm::frac_integral_matrix(1.0, 0.3, 8);
+    const la::Matrixd h2 = basis::bpf_integral_matrix(0.3, 8);
+    EXPECT_LT(la::max_abs_diff(h1, h2), 1e-12);
+}
+
+/// Semigroup property D^a D^b = D^{a+b} for the uniform Toeplitz operators.
+class FracSemigroup : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(FracSemigroup, Holds) {
+    const auto [a, b] = GetParam();
+    const double h = 0.2;
+    const la::index_t m = 10;
+    const la::Matrixd da = opm::frac_differential_matrix(a, h, m);
+    const la::Matrixd db = opm::frac_differential_matrix(b, h, m);
+    const la::Matrixd dab = opm::frac_differential_matrix(a + b, h, m);
+    EXPECT_LT(la::max_abs_diff(da * db, dab), 1e-8 * dab.max_abs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FracSemigroup,
+    ::testing::Values(std::make_pair(0.5, 0.5), std::make_pair(0.25, 0.75),
+                      std::make_pair(0.5, 1.0), std::make_pair(0.9, 0.9),
+                      std::make_pair(1.5, 0.5), std::make_pair(0.1, 0.2)));
+
+TEST(OperationalMatrix, FracIntegralIsInverseOfFracDifferential) {
+    for (double alpha : {0.5, 0.8, 1.3}) {
+        const la::Matrixd d = opm::frac_differential_matrix(alpha, 0.5, 8);
+        const la::Matrixd h = opm::frac_integral_matrix(alpha, 0.5, 8);
+        EXPECT_LT(la::max_abs_diff(d * h, la::Matrixd::identity(8)), 1e-9)
+            << alpha;
+    }
+}
+
+TEST(OperationalMatrix, UpperToeplitzDensify) {
+    opm::UpperToeplitz t;
+    t.coeffs = {1.0, -2.0, 3.0};
+    const la::Matrixd d = t.to_dense();
+    EXPECT_DOUBLE_EQ(d(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(d(1, 2), -2.0);
+    EXPECT_DOUBLE_EQ(d(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(d(2, 0), 0.0);
+}
+
+TEST(AdaptiveFractional, EqualStepsFallBackToUniform) {
+    const la::Vectord steps(5, 0.2);
+    const la::Matrixd d = opm::frac_differential_matrix_adaptive(0.5, steps);
+    EXPECT_LT(la::max_abs_diff(d, opm::frac_differential_matrix(0.5, 0.2, 5)),
+              1e-10);
+}
+
+TEST(AdaptiveFractional, IntegerOrderIsMatrixPower) {
+    la::Vectord steps = {0.1, 0.2, 0.15, 0.3};
+    const la::Matrixd d2 = opm::frac_differential_matrix_adaptive(2.0, steps);
+    const la::Matrixd d = basis::bpf_differential_matrix_adaptive(steps);
+    EXPECT_LT(la::max_abs_diff(d2, d * d), 1e-9 * d2.max_abs());
+}
+
+TEST(AdaptiveFractional, EigPathSquareRootSquares) {
+    // (D~^{1/2})^2 = D~ for distinct steps (paper eq. 25).
+    la::Vectord steps = {0.1, 0.17, 0.23, 0.31, 0.44};
+    const la::Matrixd dh = opm::frac_differential_matrix_adaptive(0.5, steps);
+    const la::Matrixd d = basis::bpf_differential_matrix_adaptive(steps);
+    EXPECT_LT(la::max_abs_diff(dh * dh, d), 1e-8 * d.max_abs());
+}
+
+TEST(AdaptiveFractional, NearUniformApproachesUniform) {
+    // Mildly perturbed steps: the eig-path matrix should be close to the
+    // uniform Toeplitz one (continuity of the matrix function).  The
+    // perturbation must stay well above the eigendecomposition's
+    // conditioning limit — clustering eigenvalues closer than ~1e-3
+    // relative makes V blow up like (1/sep)^(m-1), the reason the paper
+    // demands "no two steps exactly the same" for eq. (25).
+    const la::index_t m = 6;
+    la::Vectord steps(static_cast<std::size_t>(m));
+    for (la::index_t i = 0; i < m; ++i)
+        steps[static_cast<std::size_t>(i)] = 0.2 * (1.0 + 0.02 * static_cast<double>(i + 1));
+    const la::Matrixd da = opm::frac_differential_matrix_adaptive(0.5, steps);
+    const la::Matrixd du = opm::frac_differential_matrix(0.5, 0.2, m);
+    EXPECT_LT(la::max_abs_diff(da, du), 0.25 * du.max_abs());
+}
+
+TEST(AdaptiveFractional, RepeatedStepsThrowForFractionalOrder) {
+    la::Vectord steps = {0.1, 0.2, 0.1};
+    EXPECT_THROW(opm::frac_differential_matrix_adaptive(0.5, steps),
+                 opmsim::numerical_error);
+}
+
+TEST(OperationalMatrix, InvalidArgumentsThrow) {
+    EXPECT_THROW(opm::frac_differential_toeplitz(-0.5, 0.1, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(opm::frac_differential_toeplitz(0.5, 0.0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(opm::frac_differential_toeplitz(0.5, 0.1, 0),
+                 std::invalid_argument);
+}

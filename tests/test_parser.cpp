@@ -1,0 +1,141 @@
+/// \file test_parser.cpp
+/// \brief Tests for the SPICE-style netlist parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "circuit/parser.hpp"
+#include "opm/solver.hpp"
+
+namespace circuit = opmsim::circuit;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace wave = opmsim::wave;
+
+TEST(SpiceNumber, SuffixesParse) {
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("5"), 5.0);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("4.7k"), 4700.0);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("100n"), 100e-9);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("2meg"), 2e6);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("3m"), 3e-3);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("10pF"), 10e-12);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("1.5u"), 1.5e-6);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("-2.5f"), -2.5e-15);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("5V"), 5.0);
+    EXPECT_DOUBLE_EQ(circuit::parse_spice_number("1T"), 1e12);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+    EXPECT_THROW(circuit::parse_spice_number("abc"), std::invalid_argument);
+    EXPECT_THROW(circuit::parse_spice_number(""), std::invalid_argument);
+}
+
+TEST(Parser, RcDeckRoundTrip) {
+    const auto deck = circuit::parse_netlist(R"(
+* rc lowpass
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 5m
+.end
+)");
+    EXPECT_EQ(deck.netlist.num_nodes(), 2);
+    EXPECT_EQ(deck.inputs.size(), 1u);
+    EXPECT_DOUBLE_EQ(deck.tran_step, 10e-6);
+    EXPECT_DOUBLE_EQ(deck.tran_stop, 5e-3);
+    EXPECT_DOUBLE_EQ(deck.inputs[0](1.0), 1.0);
+
+    // Simulate the parsed deck end to end.
+    circuit::MnaLayout lay;
+    opm::DescriptorSystem sys = circuit::build_mna(deck.netlist, &lay);
+    sys.c = circuit::node_voltage_selector(lay, {deck.node("out")});
+    const auto res = opm::simulate_opm(
+        sys, deck.inputs, deck.tran_stop,
+        static_cast<la::index_t>(deck.tran_stop / deck.tran_step));
+    EXPECT_NEAR(res.outputs[0].at(1e-3), 1.0 - std::exp(-1.0), 2e-3);
+}
+
+TEST(Parser, TitleLineIsSkipped) {
+    const auto deck = circuit::parse_netlist(
+        "my fancy circuit title\nR1 a 0 50\nV1 a 0 DC 2\n.end\n");
+    EXPECT_EQ(deck.netlist.title(), "my fancy circuit title");
+    EXPECT_EQ(deck.netlist.num_nodes(), 1);
+}
+
+TEST(Parser, SourceShapes) {
+    const auto deck = circuit::parse_netlist(R"(
+V1 a 0 SIN(0 2 1k)
+V2 b 0 PULSE(0 1 1u 1n 1n 5u 20u)
+V3 c 0 PWL(0 0 1m 1 2m 0)
+V4 d 0 EXP(0 1 0 1m)
+I1 e 0 DC 3m
+R1 a 0 1
+R2 b 0 1
+R3 c 0 1
+R4 d 0 1
+R5 e 0 1
+)");
+    ASSERT_EQ(deck.inputs.size(), 5u);
+    // SIN: value at quarter period = amplitude.
+    EXPECT_NEAR(deck.inputs[0](0.25e-3), 2.0, 1e-9);
+    // PULSE: inside the flat top.
+    EXPECT_NEAR(deck.inputs[1](3e-6), 1.0, 1e-9);
+    EXPECT_NEAR(deck.inputs[1](21.5e-6 + 1.5e-6), 1.0, 1e-9);  // periodic
+    // PWL: peak at 1 ms.
+    EXPECT_NEAR(deck.inputs[2](1e-3), 1.0, 1e-12);
+    EXPECT_NEAR(deck.inputs[2](1.5e-3), 0.5, 1e-12);
+    // EXP: one time constant.
+    EXPECT_NEAR(deck.inputs[3](1e-3), 1.0 - std::exp(-1.0), 1e-9);
+    // DC current source.
+    EXPECT_NEAR(deck.inputs[4](0.5), 3e-3, 1e-15);
+}
+
+TEST(Parser, CpeExtensionAndContinuation) {
+    const auto deck = circuit::parse_netlist(
+        "P1 a 0 CPE(2.2u\n+ 0.5)\nR1 a 0 10\nV1 a 0 DC 1\n");
+    const auto& els = deck.netlist.elements();
+    ASSERT_GE(els.size(), 1u);
+    EXPECT_EQ(els[0].kind, circuit::ElementKind::cpe);
+    EXPECT_DOUBLE_EQ(els[0].value, 2.2e-6);
+    EXPECT_DOUBLE_EQ(els[0].alpha, 0.5);
+}
+
+TEST(Parser, VccsCard) {
+    const auto deck = circuit::parse_netlist(
+        "G1 out 0 in 0 0.01\nR1 in 0 1k\nR2 out 0 2k\nI1 in 0 DC 1m\n");
+    EXPECT_EQ(deck.netlist.count(circuit::ElementKind::vccs), 1);
+}
+
+TEST(Parser, CommentsAndSemicolons) {
+    const auto deck = circuit::parse_netlist(R"(
+* full-line comment
+R1 a 0 1k ; trailing comment
+V1 a 0 DC 1  ; drive
+)");
+    EXPECT_EQ(deck.netlist.count(circuit::ElementKind::resistor), 1);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+    try {
+        circuit::parse_netlist("R1 a 0 1k\nL1 b 0\n");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+    // Note the title line: a leading "Q1 ..." would be swallowed as title.
+    EXPECT_THROW(circuit::parse_netlist("title\nQ1 a b c model\nR1 a 0 1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::parse_netlist(".tran 1 0.5\nR1 a 0 1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::parse_netlist(""), std::invalid_argument);
+}
+
+TEST(Parser, UnknownNodeLookupThrows) {
+    const auto deck = circuit::parse_netlist("R1 a 0 1k\nV1 a 0 DC 1\n");
+    EXPECT_EQ(deck.node("0"), 0);
+    EXPECT_GT(deck.node("a"), 0);
+    EXPECT_THROW(deck.node("nope"), std::invalid_argument);
+}

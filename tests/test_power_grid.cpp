@@ -1,0 +1,153 @@
+/// \file test_power_grid.cpp
+/// \brief Tests for the 3-D power-grid generator (the Table II substrate):
+///        sizes, structure, determinism, and cross-model agreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/power_grid.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/steppers.hpp"
+
+namespace circuit = opmsim::circuit;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace wave = opmsim::wave;
+
+namespace {
+
+circuit::PowerGridSpec small_spec() {
+    circuit::PowerGridSpec s;
+    s.nx = 6;
+    s.ny = 5;
+    s.nz = 3;
+    s.num_loads = 4;
+    s.load_channels = 2;
+    return s;
+}
+
+} // namespace
+
+TEST(PowerGrid, ModelSizesMatchTopology) {
+    const auto spec = small_spec();
+    const auto pg = circuit::build_power_grid(spec);
+    const la::index_t n_nodes = spec.nx * spec.ny * spec.nz;
+    const la::index_t n_vias = spec.nx * spec.ny * (spec.nz - 1);
+    EXPECT_EQ(pg.second_order.num_states(), n_nodes);
+    EXPECT_EQ(pg.mna.num_states(), n_nodes + n_vias);
+    EXPECT_EQ(pg.mna_layout.num_inductors, n_vias);
+    EXPECT_EQ(pg.mna_layout.num_vsources, 0);  // pads are Norton models
+    // paper ratio check: second-order strictly smaller than MNA.
+    EXPECT_LT(pg.second_order.num_states(), pg.mna.num_states());
+}
+
+TEST(PowerGrid, InputChannelCount) {
+    const auto spec = small_spec();
+    const auto pg = circuit::build_power_grid(spec);
+    EXPECT_EQ(static_cast<la::index_t>(pg.inputs.size()),
+              1 + spec.load_channels);
+    EXPECT_EQ(pg.mna.num_inputs(), 1 + spec.load_channels);
+}
+
+TEST(PowerGrid, GridNodeIndexing) {
+    const auto spec = small_spec();
+    EXPECT_EQ(circuit::grid_node(spec, 0, 0, 0), 1);
+    EXPECT_EQ(circuit::grid_node(spec, 1, 0, 0), 2);
+    EXPECT_EQ(circuit::grid_node(spec, 0, 1, 0), 1 + spec.nx);
+    EXPECT_EQ(circuit::grid_node(spec, 0, 0, 1), 1 + spec.nx * spec.ny);
+    EXPECT_THROW(circuit::grid_node(spec, spec.nx, 0, 0), std::invalid_argument);
+}
+
+TEST(PowerGrid, ConductanceAndCapacitanceAreSymmetric) {
+    const auto pg = circuit::build_power_grid(small_spec());
+    // The second-order matrices (node space) must be symmetric: C, G, Gamma.
+    for (const auto& term : pg.second_order.lhs) {
+        const la::Matrixd m = term.mat.to_dense();
+        EXPECT_LT(la::max_abs_diff(m, m.transposed()), 1e-14)
+            << "order " << term.order;
+    }
+}
+
+TEST(PowerGrid, DeterministicForFixedSeed) {
+    const auto a = circuit::build_power_grid(small_spec());
+    const auto b = circuit::build_power_grid(small_spec());
+    EXPECT_EQ(a.netlist.elements().size(), b.netlist.elements().size());
+    const la::Matrixd ba = a.mna.b.to_dense();
+    const la::Matrixd bb = b.mna.b.to_dense();
+    EXPECT_LT(la::max_abs_diff(ba, bb), 0.0 + 1e-300);
+
+    auto spec2 = small_spec();
+    spec2.seed = 1234;
+    const auto c = circuit::build_power_grid(spec2);
+    // different seed -> loads land elsewhere (B differs)
+    EXPECT_GT(la::max_abs_diff(ba, c.mna.b.to_dense()), 0.0);
+}
+
+TEST(PowerGrid, MonitorsAreValidBottomLayerNodes) {
+    const auto spec = small_spec();
+    const auto pg = circuit::build_power_grid(spec);
+    ASSERT_EQ(pg.monitors.size(), 3u);
+    for (const auto n : pg.monitors) {
+        EXPECT_GE(n, 1);
+        EXPECT_LE(n, spec.nx * spec.ny);  // z = 0 layer
+    }
+    EXPECT_EQ(pg.second_order.c.rows(), 3);
+    EXPECT_EQ(pg.mna.c.rows(), 3);
+}
+
+TEST(PowerGrid, SupplyRampSettlesNearVdd) {
+    // With no loads switching (peak = 0), every node must settle to ~VDD.
+    auto spec = small_spec();
+    spec.load_peak = 0.0;
+    const auto pg = circuit::build_power_grid(spec);
+    opmsim::transient::TransientOptions topt;
+    topt.method = opmsim::transient::Method::trapezoidal;
+    const auto res = opmsim::transient::simulate_transient(
+        pg.mna, pg.inputs, 4e-9, 400, topt);
+    for (const auto& y : res.outputs)
+        EXPECT_NEAR(y.at(3.9e-9), spec.vdd, 5e-3);
+}
+
+TEST(PowerGrid, LoadsCauseIrDrop) {
+    const auto pg = circuit::build_power_grid(small_spec());
+    opmsim::transient::TransientOptions topt;
+    topt.method = opmsim::transient::Method::trapezoidal;
+    const auto res = opmsim::transient::simulate_transient(
+        pg.mna, pg.inputs, 3e-9, 300, topt);
+    // After the ramp, the monitored bottom nodes dip below VDD when loads
+    // fire but stay above 50% (sane sizing).
+    double vmin = 1e9;
+    for (const auto& y : res.outputs)
+        for (double t = 1.2e-9; t < 2.9e-9; t += 0.05e-9) vmin = std::min(vmin, y.at(t));
+    EXPECT_LT(vmin, 0.9999);
+    EXPECT_GT(vmin, 0.5);
+}
+
+TEST(PowerGrid, CrossModelAgreement) {
+    // The same physical grid through both formulations: second-order OPM
+    // vs MNA trapezoidal must coincide on the monitored nodes.
+    const auto pg = circuit::build_power_grid(small_spec());
+    const double t_end = 2e-9;
+    const la::index_t m = 400;
+
+    const auto so = opm::simulate_multiterm(pg.second_order, pg.inputs, t_end, m);
+    opmsim::transient::TransientOptions topt;
+    topt.method = opmsim::transient::Method::trapezoidal;
+    const auto tr = opmsim::transient::simulate_transient(pg.mna, pg.inputs,
+                                                          t_end, m, topt);
+    const auto ref = opm::endpoint_outputs_from_coeffs(pg.second_order.c,
+                                                       so.coeffs, so.edges);
+    const double err = wave::average_relative_error_db(ref, tr.outputs);
+    EXPECT_LT(err, -55.0) << "models should agree well below -55 dB";
+}
+
+TEST(PowerGrid, RejectsDegenerateSpecs) {
+    circuit::PowerGridSpec spec;
+    spec.nx = 1;
+    EXPECT_THROW(circuit::build_power_grid(spec), std::invalid_argument);
+    spec = {};
+    spec.num_loads = 0;
+    EXPECT_THROW(circuit::build_power_grid(spec), std::invalid_argument);
+}

@@ -1,0 +1,127 @@
+/// \file test_tline.cpp
+/// \brief Tests for the fractional transmission-line generator (the Table I
+///        substitute model): dimensions, stability, physics sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/tline.hpp"
+#include "la/eig.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+
+namespace circuit = opmsim::circuit;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace wave = opmsim::wave;
+
+TEST(Tline, DefaultMatchesPaperDimensions) {
+    const auto sys = circuit::make_fractional_tline();
+    EXPECT_EQ(sys.num_states(), 7);   // paper: 7 state variables
+    EXPECT_EQ(sys.num_inputs(), 2);   // paper: 2 inputs
+    EXPECT_EQ(sys.num_outputs(), 2);  // paper: 2 outputs
+}
+
+TEST(Tline, SectionCountScalesStates) {
+    circuit::FractionalTlineSpec spec;
+    for (la::index_t s : {1, 2, 3, 8}) {
+        spec.sections = s;
+        EXPECT_EQ(circuit::make_fractional_tline(spec).num_states(), 4 * s - 1);
+    }
+}
+
+TEST(Tline, RejectsNonphysicalSpec) {
+    circuit::FractionalTlineSpec spec;
+    spec.sections = 0;
+    EXPECT_THROW(circuit::make_fractional_tline(spec), std::invalid_argument);
+    spec = {};
+    spec.l = -1e-9;
+    EXPECT_THROW(circuit::make_fractional_tline(spec), std::invalid_argument);
+}
+
+TEST(Tline, SatisfiesMatignonStabilityForHalfOrder) {
+    // |arg(lambda)| > alpha*pi/2 for every pencil eigenvalue (E^{-1}A).
+    const auto sys = circuit::make_fractional_tline();
+    const auto eigs = la::generalized_eig_values(sys.e, sys.a);
+    EXPECT_EQ(eigs.size(), 7u);
+    EXPECT_TRUE(la::fractional_stable(eigs, circuit::kTlineAlpha, 1e-6));
+}
+
+TEST(Tline, StabilityHoldsAcrossSpecSweep) {
+    circuit::FractionalTlineSpec spec;
+    for (double k : {0.0, 1e-4, 1e-3}) {
+        for (la::index_t s : {1, 2, 4}) {
+            spec.k = k;
+            spec.sections = s;
+            const auto sys = circuit::make_fractional_tline(spec);
+            const auto eigs = la::generalized_eig_values(sys.e, sys.a);
+            EXPECT_TRUE(la::fractional_stable(eigs, 0.5, 0.0))
+                << "k=" << k << " sections=" << s;
+        }
+    }
+}
+
+TEST(Tline, DcGainMatchesResistiveDivider) {
+    // At DC (L and skin terms inert, CPE open): far-end voltage follows
+    // the R-ladder divider from port 1 with the load to port 2 grounded.
+    circuit::FractionalTlineSpec spec;  // defaults: 2 sections
+    const auto sys = circuit::make_fractional_tline(spec);
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    const auto res = opm::simulate_opm(sys, {wave::step(1.0), wave::step(0.0)},
+                                       400e-9, 4000, opt);
+    const double expect =
+        spec.r_load / (2.0 * spec.r + spec.r_load);  // 50/70 for defaults
+    EXPECT_NEAR(res.outputs[1].at(390e-9), expect, 0.07);
+}
+
+TEST(Tline, QuiescentWithoutExcitation) {
+    const auto sys = circuit::make_fractional_tline();
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    const auto res = opm::simulate_opm(sys, {wave::step(0.0), wave::step(0.0)},
+                                       2.7e-9, 64, opt);
+    EXPECT_LT(res.coeffs.max_abs(), 1e-14);
+}
+
+TEST(Tline, ReciprocalPortDriveReachesFarEnd) {
+    // Driving port 2 must move the near-end current output, confirming the
+    // 2-port coupling is wired both ways.
+    const auto sys = circuit::make_fractional_tline();
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    const auto res = opm::simulate_opm(sys, {wave::step(0.0), wave::step(1.0)},
+                                       2.7e-9, 128, opt);
+    EXPECT_GT(res.outputs[0].max_abs(), 1e-4);  // i1 responds to u2
+}
+
+TEST(Tline, OpmAgreesWithGrunwaldReference) {
+    // Independent fractional discretization agrees on the Table I setup.
+    const auto sys = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {
+        wave::smooth_pulse(1.0, 0.1e-9, 0.5e-9, 0.6e-9, 0.5e-9), wave::step(0.0)};
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    const auto o = opm::simulate_opm(sys, u, 2.7e-9, 512, opt);
+    const auto g = opmsim::transient::simulate_grunwald(sys.to_sparse(), u,
+                                                        2.7e-9, 512, {0.5});
+    for (std::size_t ch = 0; ch < 2; ++ch)
+        EXPECT_LT(wave::relative_l2(g.outputs[ch], o.outputs[ch]), 2e-2) << ch;
+}
+
+TEST(Tline, SkinEffectTermAddsDamping) {
+    // Raising K must reduce the ringing (peak overshoot) of the far-end
+    // step response — basic physics of the skin-effect loss.
+    circuit::FractionalTlineSpec lossless, lossy;
+    lossless.k = 0.0;
+    lossy.k = 5e-4;
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::step(0.0)};
+    const auto r0 =
+        opm::simulate_opm(circuit::make_fractional_tline(lossless), u, 2.7e-9, 256, opt);
+    const auto r1 =
+        opm::simulate_opm(circuit::make_fractional_tline(lossy), u, 2.7e-9, 256, opt);
+    EXPECT_LT(r1.outputs[1].max_abs(), r0.outputs[1].max_abs() + 1e-12);
+}

@@ -1,0 +1,214 @@
+/// \file test_transient.cpp
+/// \brief Tests for the baseline solvers: convergence orders of the
+///        classic steppers, the FFT frequency-domain method, and the
+///        Grünwald–Letnikov fractional stepper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "opm/mittag_leffler.hpp"
+#include "opm/solver.hpp"
+#include "transient/fft_solver.hpp"
+#include "transient/grunwald.hpp"
+#include "transient/steppers.hpp"
+
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+namespace transient = opmsim::transient;
+
+namespace {
+
+opm::DenseDescriptorSystem scalar_system(double lambda) {
+    opm::DenseDescriptorSystem s;
+    s.e = la::Matrixd{{1.0}};
+    s.a = la::Matrixd{{lambda}};
+    s.b = la::Matrixd{{1.0}};
+    return s;
+}
+
+/// Max |x_num(t_k) - x_exact(t_k)| for the scalar decay problem
+/// x' = -x + 1, x(0) = 0, over [0, 2].
+double stepper_error(transient::Method method, la::index_t steps) {
+    transient::TransientOptions opt;
+    opt.method = method;
+    const auto sys = scalar_system(-1.0).to_sparse();
+    const auto res =
+        transient::simulate_transient(sys, {wave::step(1.0)}, 2.0, steps, opt);
+    double err = 0;
+    for (std::size_t k = 0; k < res.times.size(); ++k) {
+        const double exact = 1.0 - std::exp(-res.times[k]);
+        err = std::max(err, std::abs(res.outputs[0].values()[k] - exact));
+    }
+    return err;
+}
+
+} // namespace
+
+TEST(Steppers, BackwardEulerIsFirstOrder) {
+    const double e1 = stepper_error(transient::Method::backward_euler, 50);
+    const double e2 = stepper_error(transient::Method::backward_euler, 100);
+    EXPECT_GT(e1 / e2, 1.8);
+    EXPECT_LT(e1 / e2, 2.2);
+}
+
+TEST(Steppers, TrapezoidalIsSecondOrder) {
+    const double e1 = stepper_error(transient::Method::trapezoidal, 50);
+    const double e2 = stepper_error(transient::Method::trapezoidal, 100);
+    EXPECT_GT(e1 / e2, 3.5);
+    EXPECT_LT(e1 / e2, 4.5);
+}
+
+TEST(Steppers, Gear2IsSecondOrder) {
+    const double e1 = stepper_error(transient::Method::gear2, 50);
+    const double e2 = stepper_error(transient::Method::gear2, 100);
+    EXPECT_GT(e1 / e2, 3.3);
+    EXPECT_LT(e1 / e2, 4.7);
+}
+
+TEST(Steppers, AllConvergeOnOscillator) {
+    // Undamped-ish oscillator keeps phase errors honest.
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd::identity(2);
+    sys.a = la::Matrixd{{-0.1, 1.0}, {-1.0, -0.1}};
+    sys.b = la::Matrixd{{0.0}, {1.0}};
+    const auto s = sys.to_sparse();
+    for (auto method : {transient::Method::backward_euler,
+                        transient::Method::trapezoidal, transient::Method::gear2}) {
+        transient::TransientOptions opt;
+        opt.method = method;
+        const auto coarse = transient::simulate_transient(s, {wave::step(1.0)},
+                                                          10.0, 500, opt);
+        const auto fine = transient::simulate_transient(s, {wave::step(1.0)},
+                                                        10.0, 4000, opt);
+        EXPECT_LT(wave::relative_l2(fine.outputs[0], coarse.outputs[0]), 0.05)
+            << transient::method_name(method);
+    }
+}
+
+TEST(Steppers, HandlesDaeWithAlgebraicConstraint) {
+    // x1' = -x1 + x2; 0 = x2 - u.
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd{{1, 0}, {0, 0}};
+    sys.a = la::Matrixd{{-1, 1}, {0, -1}};
+    sys.b = la::Matrixd{{0}, {1}};
+    transient::TransientOptions opt;
+    opt.method = transient::Method::backward_euler;
+    const auto res = transient::simulate_transient(sys.to_sparse(),
+                                                   {wave::step(1.0)}, 3.0, 300, opt);
+    EXPECT_NEAR(res.outputs[1].at(1.5), 1.0, 1e-10);
+    EXPECT_NEAR(res.outputs[0].at(1.5), 1.0 - std::exp(-1.5), 5e-3);
+}
+
+TEST(Steppers, InitialConditionRespected) {
+    transient::TransientOptions opt;
+    opt.method = transient::Method::trapezoidal;
+    opt.x0 = {2.0};
+    const auto res = transient::simulate_transient(
+        scalar_system(-1.0).to_sparse(), {wave::step(0.0)}, 2.0, 200, opt);
+    EXPECT_DOUBLE_EQ(res.outputs[0].values()[0], 2.0);
+    EXPECT_NEAR(res.outputs[0].at(1.0), 2.0 * std::exp(-1.0), 1e-3);
+}
+
+TEST(Steppers, MethodNames) {
+    EXPECT_STREQ(transient::method_name(transient::Method::backward_euler),
+                 "b-Euler");
+    EXPECT_STREQ(transient::method_name(transient::Method::trapezoidal),
+                 "Trapezoidal");
+    EXPECT_STREQ(transient::method_name(transient::Method::gear2), "Gear");
+}
+
+TEST(FftSolver, IntegerOrderPeriodicSteadyState) {
+    // Sinusoidal drive with an integer number of periods in the window is
+    // the FFT method's home turf: it returns the exact periodic response.
+    // x' = -x + sin(2 pi f t), f = 2 / T.
+    const double t_end = 4.0;
+    const double f = 2.0 / t_end;
+    const auto sys = scalar_system(-1.0);
+    transient::FftSolverOptions opt;
+    opt.alpha = 1.0;
+    opt.samples = 256;
+    const auto res = transient::simulate_fft(sys, {wave::sine(1.0, f)}, t_end, opt);
+    // periodic steady state: x_p(t) = (sin wt - w cos wt + w e^{-t}...)
+    // compare against the phasor solution |H| sin(wt + phi).
+    const double w = 2.0 * std::numbers::pi * f;
+    const double mag = 1.0 / std::sqrt(1.0 + w * w);
+    const double phi = -std::atan(w);
+    double max_err = 0;
+    for (double t = 0.5; t < 3.9; t += 0.13)
+        max_err = std::max(max_err, std::abs(res.outputs[0].at(t) -
+                                             mag * std::sin(w * t + phi)));
+    EXPECT_LT(max_err, 5e-3);
+}
+
+TEST(FftSolver, FractionalPulseMatchesGrunwald) {
+    const auto sys = scalar_system(-1.0);
+    const std::vector<wave::Source> u = {wave::smooth_pulse(1.0, 0.2, 0.5, 1.0, 0.5)};
+    transient::FftSolverOptions fopt;
+    fopt.alpha = 0.5;
+    fopt.samples = 512;
+    const auto f = transient::simulate_fft(sys, u, 8.0, fopt);
+    const auto g = transient::simulate_grunwald(sys.to_sparse(), u, 8.0, 2048, {0.5});
+    // The FFT method's periodic extension clashes with the fractional
+    // memory tail (~t^{-1/2}, still ~0.35 at the window edge), so the
+    // mismatch is tens of percent — exactly the "difficult to control the
+    // approximation error" weakness the paper ascribes to the frequency-
+    // domain approach.  The test pins the error to that regime: clearly
+    // imperfect, clearly not divergent.
+    const double mismatch = wave::relative_l2(g.outputs[0], f.outputs[0]);
+    EXPECT_GT(mismatch, 0.02);
+    EXPECT_LT(mismatch, 0.5);
+}
+
+TEST(FftSolver, MoreSamplesImproveSharpInputs) {
+    const auto sys = scalar_system(-1.0);
+    const std::vector<wave::Source> u = {wave::pulse(1.0, 0.5, 0.05, 0.4, 0.05)};
+    const auto g = transient::simulate_grunwald(sys.to_sparse(), u, 6.0, 4096, {1.0});
+    transient::FftSolverOptions o1{1.0, 16}, o2{1.0, 256};
+    const auto f1 = transient::simulate_fft(sys, u, 6.0, o1);
+    const auto f2 = transient::simulate_fft(sys, u, 6.0, o2);
+    EXPECT_LT(wave::relative_l2(g.outputs[0], f2.outputs[0]),
+              wave::relative_l2(g.outputs[0], f1.outputs[0]));
+}
+
+TEST(FftSolver, ValidatesOptions) {
+    const auto sys = scalar_system(-1.0);
+    transient::FftSolverOptions bad;
+    bad.samples = 1;
+    EXPECT_THROW(transient::simulate_fft(sys, {wave::step(1.0)}, 1.0, bad),
+                 std::invalid_argument);
+}
+
+/// GL stepper vs Mittag-Leffler across orders (first-order accuracy).
+class GrunwaldOracle : public ::testing::TestWithParam<double> {};
+
+TEST_P(GrunwaldOracle, StepResponseConverges) {
+    const double alpha = GetParam();
+    const auto sys = scalar_system(-1.0).to_sparse();
+    const auto res = transient::simulate_grunwald(sys, {wave::step(1.0)}, 2.0,
+                                                  2000, {alpha});
+    double max_err = 0;
+    for (double t = 0.2; t <= 1.9; t += 0.1)
+        max_err = std::max(max_err,
+                           std::abs(res.outputs[0].at(t) -
+                                    opm::ml_step_response(alpha, -1.0, 1.0, t)));
+    EXPECT_LT(max_err, 5e-3) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GrunwaldOracle,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0, 1.5));
+
+TEST(Grunwald, AlphaOneReducesToBackwardEuler) {
+    // GL with alpha = 1 is the backward-difference scheme: compare.
+    const auto sys = scalar_system(-1.0).to_sparse();
+    const auto g = transient::simulate_grunwald(sys, {wave::step(1.0)}, 2.0,
+                                                200, {1.0});
+    transient::TransientOptions be;
+    be.method = transient::Method::backward_euler;
+    const auto b = transient::simulate_transient(sys, {wave::step(1.0)}, 2.0,
+                                                 200, be);
+    for (std::size_t k = 0; k < g.times.size(); ++k)
+        EXPECT_NEAR(g.outputs[0].values()[k], b.outputs[0].values()[k], 1e-12);
+}

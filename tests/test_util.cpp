@@ -1,0 +1,145 @@
+/// \file test_util.cpp
+/// \brief Tests for the utility layer (tables, timers, checks) and the
+///        Kronecker helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense_lu.hpp"
+#include "la/kron.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace la = opmsim::la;
+
+TEST(TextTable, AlignsColumns) {
+    opmsim::TextTable t;
+    t.set_header({"Method", "CPU time"});
+    t.add_row({"FFT-1", "6.09 ms"});
+    t.add_row({"OPM", "3.56 ms"});
+    const std::string s = t.str();
+    // header, rule, two rows
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    EXPECT_NE(s.find("Method   CPU time"), std::string::npos);
+    EXPECT_NE(s.find("------"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedArity) {
+    opmsim::TextTable t;
+    t.set_header({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    opmsim::TextTable t2;
+    EXPECT_THROW(t2.set_header({}), std::invalid_argument);
+}
+
+TEST(Format, Helpers) {
+    EXPECT_EQ(opmsim::fmt_ms(3.56), "3.56 ms");
+    EXPECT_EQ(opmsim::fmt_ms(2500.0), "2.5 s");
+    EXPECT_EQ(opmsim::fmt_db(-29.23), "-29.2 dB");
+    EXPECT_EQ(opmsim::fmt_g(0.000123456, 3), "0.000123");
+}
+
+TEST(Checks, RequireThrowsInvalidArgument) {
+    EXPECT_THROW(
+        [] { OPMSIM_REQUIRE(false, "user error"); }(), std::invalid_argument);
+    EXPECT_THROW([] { OPMSIM_ENSURE(false, "bug"); }(), std::logic_error);
+    EXPECT_NO_THROW([] { OPMSIM_REQUIRE(true, "fine"); }());
+    try {
+        OPMSIM_REQUIRE(1 == 2, "contains context");
+        FAIL();
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("contains context"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+    }
+}
+
+TEST(Checks, NumericalErrorIsARuntimeError) {
+    const opmsim::numerical_error e("singular");
+    const std::runtime_error& base = e;
+    EXPECT_STREQ(base.what(), "singular");
+}
+
+TEST(Timer, IsMonotone) {
+    opmsim::WallTimer t;
+    const double a = t.elapsed_s();
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+    const double b = t.elapsed_s();
+    EXPECT_GE(b, a);
+    t.reset();
+    EXPECT_LT(t.elapsed_s(), b + 1.0);
+    EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+TEST(Kron, KnownSmallProduct) {
+    la::Matrixd a{{1, 2}, {3, 4}};
+    la::Matrixd b{{0, 1}, {1, 0}};
+    const la::Matrixd k = la::kron(a, b);
+    ASSERT_EQ(k.rows(), 4);
+    EXPECT_DOUBLE_EQ(k(0, 1), 1.0);   // a00 * b01
+    EXPECT_DOUBLE_EQ(k(0, 3), 2.0);   // a01 * b01
+    EXPECT_DOUBLE_EQ(k(3, 0), 3.0);   // a10 * b10
+    EXPECT_DOUBLE_EQ(k(2, 2), 0.0);
+}
+
+TEST(Kron, VecUnvecRoundTrip) {
+    la::Matrixd x{{1, 2, 3}, {4, 5, 6}};
+    const la::Vectord v = la::vec(x);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);  // column-major stacking
+    EXPECT_DOUBLE_EQ(v[1], 4.0);
+    const la::Matrixd y = la::unvec(v, 2, 3);
+    EXPECT_LT(la::max_abs_diff(x, y), 0.0 + 1e-300);
+    EXPECT_THROW(la::unvec(v, 2, 2), std::invalid_argument);
+}
+
+TEST(Kron, VecIdentity) {
+    // vec(A X B) = (B^T (x) A) vec(X) — the identity eq. (15) rests on.
+    la::Matrixd a{{1, 2}, {0, 1}};
+    la::Matrixd x{{3, 1}, {2, 4}};
+    la::Matrixd b{{1, 1}, {0, 2}};
+    const la::Vectord lhs = la::vec(a * x * b);
+    const la::Vectord rhs = la::matvec(la::kron(b.transposed(), a), la::vec(x));
+    for (std::size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-13);
+}
+
+TEST(Dense, NormsAndTranspose) {
+    la::Matrixd a{{3, -4}, {0, 0}};
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+    EXPECT_DOUBLE_EQ(a.frobenius(), 5.0);
+    const la::Matrixd at = a.transposed();
+    EXPECT_DOUBLE_EQ(at(1, 0), -4.0);
+    EXPECT_DOUBLE_EQ(at(0, 0), 3.0);
+}
+
+TEST(Dense, ComplexLuSolves) {
+    using c = la::cplx;
+    la::Matrixz a(2, 2);
+    a(0, 0) = c(1, 1);
+    a(0, 1) = c(0, 2);
+    a(1, 0) = c(3, 0);
+    a(1, 1) = c(1, -1);
+    la::Vectorz b = {c(1, 0), c(0, 1)};
+    const la::Vectorz x = la::DenseLu<c>(a).solve(b);
+    // verify A x = b
+    for (int i = 0; i < 2; ++i) {
+        c acc(0, 0);
+        for (int j = 0; j < 2; ++j) acc += a(i, j) * x[static_cast<std::size_t>(j)];
+        EXPECT_LT(std::abs(acc - b[static_cast<std::size_t>(i)]), 1e-13);
+    }
+}
+
+TEST(Dense, DeterminantTracksPivotSign) {
+    la::Matrixd a{{0, 1}, {1, 0}};  // det = -1, needs a row swap
+    EXPECT_NEAR(la::DenseLu<double>(a).det(), -1.0, 1e-14);
+    la::Matrixd b{{2, 0}, {0, 3}};
+    EXPECT_NEAR(la::DenseLu<double>(b).det(), 6.0, 1e-14);
+}
+
+TEST(Dense, InverseRoundTrip) {
+    la::Matrixd a{{4, 7, 2}, {3, 6, 1}, {2, 5, 3}};
+    const la::Matrixd inv = la::inverse(a);
+    EXPECT_LT(la::max_abs_diff(a * inv, la::Matrixd::identity(3)), 1e-12);
+}

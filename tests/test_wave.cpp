@@ -1,0 +1,171 @@
+/// \file test_wave.cpp
+/// \brief Tests for waveforms, the dB error metric, and sources.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "wave/sources.hpp"
+#include "wave/waveform.hpp"
+
+namespace wave = opmsim::wave;
+using opmsim::la::Vectord;
+
+TEST(Waveform, RejectsBadInput) {
+    EXPECT_THROW(wave::Waveform({0.0, 1.0}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(wave::Waveform({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(wave::Waveform({1.0, 0.5}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Waveform, LinearInterpolationAndClamping) {
+    const wave::Waveform w({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(w.at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(w.at(1.5), 5.0);
+    EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);  // clamped
+    EXPECT_DOUBLE_EQ(w.at(3.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(w.max_abs(), 10.0);
+}
+
+TEST(Waveform, ResampleOnUniformGrid) {
+    const wave::Waveform w = wave::Waveform::uniform(0.0, 0.5, {0.0, 1.0, 2.0});
+    const wave::Waveform r = w.resampled(wave::linspace(0.0, 1.0, 5));
+    EXPECT_DOUBLE_EQ(r.values()[2], 1.0);
+    EXPECT_DOUBLE_EQ(r.values()[1], 0.5);
+}
+
+TEST(ErrorMetric, IdenticalSignalsGiveMinusInfinity) {
+    const wave::Waveform a({0.0, 1.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_EQ(wave::relative_error_db(a, a), -std::numeric_limits<double>::infinity());
+}
+
+TEST(ErrorMetric, KnownRelativeError) {
+    // test = 1.1 * ref -> relative L2 error = 0.1 -> -20 dB.
+    Vectord t = wave::linspace(0.0, 1.0, 64);
+    Vectord v1(t.size()), v2(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        v1[i] = std::sin(2 * std::numbers::pi * t[i]) + 2.0;
+        v2[i] = 1.1 * v1[i];
+    }
+    const wave::Waveform ref(t, v1), test(t, v2);
+    EXPECT_NEAR(wave::relative_error_db(ref, test), -20.0, 1e-6);
+    EXPECT_NEAR(wave::relative_l2(ref, test), 0.1, 1e-9);
+}
+
+TEST(ErrorMetric, AverageOverChannels) {
+    Vectord t = wave::linspace(0.0, 1.0, 16);
+    Vectord ones(t.size(), 1.0), tenth(t.size(), 1.1), hundredth(t.size(), 1.01);
+    const std::vector<wave::Waveform> ref = {wave::Waveform(t, ones),
+                                             wave::Waveform(t, ones)};
+    const std::vector<wave::Waveform> test = {wave::Waveform(t, tenth),
+                                              wave::Waveform(t, hundredth)};
+    // channel errors: -20 dB and -40 dB -> average -30 dB.
+    EXPECT_NEAR(wave::average_relative_error_db(ref, test), -30.0, 1e-6);
+}
+
+TEST(ErrorMetric, DisjointSpansThrow) {
+    const wave::Waveform a({0.0, 1.0}, {1.0, 1.0});
+    const wave::Waveform b({2.0, 3.0}, {1.0, 1.0});
+    EXPECT_THROW(wave::relative_error_db(a, b), std::invalid_argument);
+}
+
+TEST(Sources, StepAndDelay) {
+    const auto s = wave::step(2.0, 1.0);
+    EXPECT_DOUBLE_EQ(s(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(s(5.0), 2.0);
+}
+
+TEST(Sources, PulseShape) {
+    const auto p = wave::pulse(1.0, 1.0, 1.0, 2.0, 1.0);
+    EXPECT_DOUBLE_EQ(p(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p(1.5), 0.5);   // mid rise
+    EXPECT_DOUBLE_EQ(p(3.0), 1.0);   // top
+    EXPECT_DOUBLE_EQ(p(4.5), 0.5);   // mid fall
+    EXPECT_DOUBLE_EQ(p(6.0), 0.0);
+}
+
+TEST(Sources, PulseTrainPeriodicity) {
+    const auto p = wave::pulse_train(1.0, 0.0, 0.1, 0.3, 0.1, 1.0);
+    for (double t : {0.2, 1.2, 7.2}) EXPECT_NEAR(p(t), 1.0, 1e-12) << t;
+    for (double t : {0.8, 3.8}) EXPECT_NEAR(p(t), 0.0, 1e-12) << t;
+}
+
+TEST(Sources, PulseLongerThanPeriodThrows) {
+    EXPECT_THROW(wave::pulse_train(1.0, 0.0, 0.5, 0.5, 0.5, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Sources, PwlInterpolatesAndClamps) {
+    const auto f = wave::pwl({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+    EXPECT_DOUBLE_EQ(f(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(f(9.0), 0.0);
+}
+
+TEST(Sources, SmoothStepIsContinuousAndMonotone) {
+    const auto f = wave::smooth_step(1.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(f(-0.1), 0.0);
+    EXPECT_DOUBLE_EQ(f(1.1), 1.0);
+    EXPECT_NEAR(f(0.5), 0.5, 1e-12);
+    double prev = -1;
+    for (double t = 0.0; t <= 1.0; t += 0.01) {
+        EXPECT_GE(f(t), prev - 1e-12);
+        prev = f(t);
+    }
+    // C^1: derivative ~0 at the ends.
+    const double d0 = (f(0.01) - f(0.0)) / 0.01;
+    const double d1 = (f(1.0) - f(0.99)) / 0.01;
+    EXPECT_LT(d0, 0.05);
+    EXPECT_LT(d1, 0.05);
+}
+
+TEST(Sources, SmoothPulseTrainPeriodicity) {
+    const auto p = wave::smooth_pulse_train(2.0, 0.5, 0.2, 0.2, 0.2, 1.0);
+    EXPECT_NEAR(p(0.5 + 0.3), 2.0, 1e-12);
+    EXPECT_NEAR(p(3.5 + 0.3), 2.0, 1e-12);
+    EXPECT_NEAR(p(0.4), 0.0, 1e-12);
+}
+
+TEST(ProjectAverage, ExactForConstants) {
+    const auto c = wave::project_average([](double) { return 3.0; },
+                                         {0.0, 0.5, 2.0});
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c[0], 3.0);
+    EXPECT_DOUBLE_EQ(c[1], 3.0);
+}
+
+TEST(ProjectAverage, ExactForCubicWith4PointRule) {
+    // 4-point Gauss integrates degree-7 exactly; check t^3 averages.
+    const auto c = wave::project_average([](double t) { return t * t * t; },
+                                         {0.0, 1.0, 2.0}, 4);
+    EXPECT_NEAR(c[0], 0.25, 1e-14);        // (1/1) * [t^4/4] over [0,1]
+    EXPECT_NEAR(c[1], (16.0 - 1.0) / 4.0, 1e-13);  // over [1,2]
+}
+
+TEST(ProjectAverage, PanelsResolveOscillation) {
+    // Average of sin^2(20*pi*t) over [0,1] is exactly 0.5; one 4-pt panel
+    // aliases badly, 32 panels nail it.
+    const auto f = [](double t) {
+        const double s = std::sin(20.0 * std::numbers::pi * t);
+        return s * s;
+    };
+    const auto coarse = wave::project_average(f, {0.0, 1.0}, 4, 1);
+    const auto fine = wave::project_average(f, {0.0, 1.0}, 4, 32);
+    EXPECT_GT(std::abs(coarse[0] - 0.5), 0.05);
+    EXPECT_NEAR(fine[0], 0.5, 1e-9);
+}
+
+TEST(ProjectAverage, MidpointRuleOption) {
+    const auto c = wave::project_average([](double t) { return t; },
+                                         {0.0, 2.0}, 1);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);  // midpoint of linear = average
+}
+
+TEST(UniformEdges, CoversSpanExactly) {
+    const auto e = wave::uniform_edges(2.7e-9, 8);
+    ASSERT_EQ(e.size(), 9u);
+    EXPECT_DOUBLE_EQ(e.front(), 0.0);
+    EXPECT_DOUBLE_EQ(e.back(), 2.7e-9);
+}
