@@ -1,11 +1,18 @@
 /// \file bench_kernels.cpp
 /// \brief google-benchmark microbenchmarks of opmsim's primitives: the
 ///        operational-matrix construction, sparse LU, the OPM column sweep
-///        and the FFT substrate.
+///        (per history backend) and the FFT substrate.
+///
+/// Results are written to BENCH_kernels.json (JSON) by default so future
+/// changes have a machine-readable perf trajectory to compare against;
+/// pass an explicit --benchmark_out=... to override.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "basis/walsh.hpp"
 #include "circuit/power_grid.hpp"
@@ -64,6 +71,30 @@ void BM_OpmSweepFractional(benchmark::State& state) {
 }
 BENCHMARK(BM_OpmSweepFractional)->Arg(8)->Arg(64)->Arg(256);
 
+/// The headline comparison: the fractional Toeplitz history sweep on a
+/// fixed test circuit (the 7-state fractional t-line, alpha = 0.5) across
+/// the history backends.  The fft backend turns the O(m^2 n) sweep into
+/// O(m log^2 m n); at m = 4096 it must beat naive by >= 5x wall-clock.
+void BM_HistorySweep(benchmark::State& state) {
+    const la::index_t m = state.range(0);
+    const auto backend = static_cast<opm::HistoryBackend>(state.range(1));
+    const auto tline = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::step(0.0)};
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    opt.path = opm::OpmPath::toeplitz;
+    opt.history = backend;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opm::simulate_opm(tline, u, 2.7e-9, m, opt));
+    }
+}
+BENCHMARK(BM_HistorySweep)
+    ->ArgNames({"m", "backend"})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2})
+    ->Args({1024, 0})->Args({1024, 1})->Args({1024, 2})
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Fft(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));
     std::vector<fftx::cplx> x(n);
@@ -89,3 +120,27 @@ void BM_Fwht(benchmark::State& state) {
 BENCHMARK(BM_Fwht)->Arg(256)->Arg(4096);
 
 } // namespace
+
+/// Custom main: defaults --benchmark_out to BENCH_kernels.json so every
+/// run leaves a machine-readable record (google-benchmark only writes a
+/// file when asked on the command line).
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv, argv + argc);
+    bool has_out = false;
+    for (const std::string& a : args)
+        if (a == "--benchmark_out" || a.rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    if (!has_out) {
+        args.push_back("--benchmark_out=BENCH_kernels.json");
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char*> cargs;
+    cargs.reserve(args.size());
+    for (std::string& a : args) cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,78 @@
+#include "fftx/convolve.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace opmsim::fftx {
+
+std::vector<double> convolve_real(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+    if (a.empty() || b.empty()) return {};
+    const std::size_t ny = a.size() + b.size() - 1;
+
+    // Direct path: FFT overhead dominates for tiny operands.
+    if (std::min(a.size(), b.size()) < 16 || ny < 64) {
+        std::vector<double> y(ny, 0.0);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            for (std::size_t j = 0; j < b.size(); ++j) y[i + j] += a[i] * b[j];
+        return y;
+    }
+
+    RealConvPlan plan(b.data(), b.size(), a.size());
+    std::vector<double> y(ny, 0.0);
+    plan.accumulate(a.data(), a.size(), y.data(), 0, ny);
+    return y;
+}
+
+RealConvPlan::RealConvPlan(const double* kernel, std::size_t nk,
+                           std::size_t max_nx)
+    : nk_(nk), max_nx_(max_nx) {
+    OPMSIM_REQUIRE(nk >= 1 && max_nx >= 1, "RealConvPlan: empty operands");
+    n_ = next_pow2(nk + max_nx - 1);
+    kspec_.assign(n_, cplx(0.0, 0.0));
+    for (std::size_t i = 0; i < nk; ++i) kspec_[i] = cplx(kernel[i], 0.0);
+    fft(kspec_);
+    // Fold the inverse-transform normalization into the cached spectrum so
+    // each convolution can use the unnormalized inverse FFT.
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (auto& v : kspec_) v *= inv_n;
+    buf_.resize(n_);
+}
+
+void RealConvPlan::transform_and_extract(std::size_t nx) {
+    std::fill(buf_.begin() + static_cast<std::ptrdiff_t>(nx), buf_.end(),
+              cplx(0.0, 0.0));
+    fft(buf_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Explicit complex product: keeps the hot loop free of __mulsc3.
+        const double ar = buf_[k].real(), ai = buf_[k].imag();
+        const double br = kspec_[k].real(), bi = kspec_[k].imag();
+        buf_[k] = cplx(ar * br - ai * bi, ar * bi + ai * br);
+    }
+    ifft_unnormalized(buf_);
+}
+
+void RealConvPlan::accumulate(const double* x, std::size_t nx, double* y,
+                              std::size_t t0, std::size_t nt) {
+    OPMSIM_ENSURE(nx <= max_nx_, "RealConvPlan: input exceeds planned length");
+    OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
+    for (std::size_t u = 0; u < nx; ++u) buf_[u] = cplx(x[u], 0.0);
+    transform_and_extract(nx);
+    for (std::size_t t = 0; t < nt; ++t) y[t] += buf_[t0 + t].real();
+}
+
+void RealConvPlan::accumulate2(const double* xa, const double* xb,
+                               std::size_t nx, double* ya, double* yb,
+                               std::size_t t0, std::size_t nt) {
+    OPMSIM_ENSURE(nx <= max_nx_, "RealConvPlan: input exceeds planned length");
+    OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
+    for (std::size_t u = 0; u < nx; ++u) buf_[u] = cplx(xa[u], xb[u]);
+    transform_and_extract(nx);
+    for (std::size_t t = 0; t < nt; ++t) {
+        ya[t] += buf_[t0 + t].real();
+        yb[t] += buf_[t0 + t].imag();
+    }
+}
+
+} // namespace opmsim::fftx

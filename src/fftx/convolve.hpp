@@ -1,0 +1,62 @@
+#pragma once
+/// \file convolve.hpp
+/// \brief Batched real-input FFT convolution with cached kernel spectra.
+///
+/// The fractional OPM sweeps and the Grünwald–Letnikov stepper reduce to
+/// causal convolutions of the solved state columns against a fixed Toeplitz
+/// coefficient row.  This module provides the FFT substrate for evaluating
+/// those convolutions fast: a RealConvPlan caches the zero-padded kernel
+/// spectrum once and then convolves any number of input channels against
+/// it.  Channels are processed two at a time, packed into the real and
+/// imaginary lanes of a single complex transform — exact by linearity,
+/// because the kernel spectrum multiplies both lanes identically — which
+/// halves the FFT count for the multi-channel state convolutions.
+
+#include <cstddef>
+#include <vector>
+
+#include "fftx/fft.hpp"
+
+namespace opmsim::fftx {
+
+/// Full linear convolution y[t] = sum_u a[u] b[t-u], length na + nb - 1.
+/// Uses FFT above a small size threshold, direct multiplication below it.
+std::vector<double> convolve_real(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Reusable plan for linear convolution of real signals against one fixed
+/// real kernel.  The FFT size is the smallest power of two holding the
+/// full linear convolution (kernel length + max input length - 1), so no
+/// circular aliasing occurs anywhere in the output.
+class RealConvPlan {
+public:
+    /// \param kernel  kernel taps k[0..nk-1]
+    /// \param nk      kernel length (>= 1)
+    /// \param max_nx  largest input length this plan will be asked to
+    ///                convolve (>= 1)
+    RealConvPlan(const double* kernel, std::size_t nk, std::size_t max_nx);
+
+    /// y[t] += (x * k)[t0 + t] for t in [0, nt).  Requires nx <= max_nx
+    /// and t0 + nt <= fft_size().
+    void accumulate(const double* x, std::size_t nx, double* y,
+                    std::size_t t0, std::size_t nt);
+
+    /// Two-channel packed variant: ya[t] += (xa * k)[t0 + t] and
+    /// yb[t] += (xb * k)[t0 + t] with a single complex FFT pair.
+    void accumulate2(const double* xa, const double* xb, std::size_t nx,
+                     double* ya, double* yb, std::size_t t0, std::size_t nt);
+
+    [[nodiscard]] std::size_t fft_size() const { return n_; }
+    [[nodiscard]] std::size_t kernel_size() const { return nk_; }
+
+private:
+    void transform_and_extract(std::size_t nx);
+
+    std::size_t nk_ = 0;      ///< kernel length
+    std::size_t max_nx_ = 0;  ///< largest admissible input length
+    std::size_t n_ = 0;       ///< FFT size (power of two)
+    std::vector<cplx> kspec_; ///< cached kernel spectrum, length n_
+    std::vector<cplx> buf_;   ///< scratch transform buffer, length n_
+};
+
+} // namespace opmsim::fftx

@@ -22,8 +22,18 @@ void fft(std::vector<cplx>& x);
 /// In-place inverse DFT (includes the 1/N normalization).
 void ifft(std::vector<cplx>& x);
 
+/// In-place inverse DFT without the 1/N normalization — for callers that
+/// fold the scale into precomputed data (e.g. a cached kernel spectrum),
+/// saving a pass over the buffer per transform.
+void ifft_unnormalized(std::vector<cplx>& x);
+
 /// Forward DFT of a real signal (convenience wrapper).
 std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// Inverse of fft_real: recover the real signal from its full-length
+/// spectrum (includes the 1/N normalization; the imaginary parts of the
+/// inverse transform are discarded).
+std::vector<double> irfft(const std::vector<cplx>& spectrum);
 
 /// Naive O(N^2) DFT — test oracle only.
 std::vector<cplx> dft_naive(const std::vector<cplx>& x);

@@ -9,6 +9,7 @@
 /// because the OPM solvers operate on the coefficient matrix X one column
 /// at a time (paper, Section III-A).
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
@@ -104,19 +105,30 @@ public:
     friend Matrix operator*(Matrix a, T s) { return a *= s; }
     friend Matrix operator*(T s, Matrix a) { return a *= s; }
 
-    /// Matrix product (naive jki loop, adequate for the dense sizes opmsim
-    /// uses: operational matrices m<=1024 and small circuit pencils).
+    /// Matrix product.  The jki loop is tiled 64x64 over (j, k) so the
+    /// active panel of `a` stays cache-resident across a whole tile of
+    /// output columns — the operational matrices (m up to a few thousand)
+    /// and the generic-basis Kronecker pencils are large enough to thrash
+    /// without it.
     friend Matrix operator*(const Matrix& a, const Matrix& b) {
         OPMSIM_REQUIRE(a.cols_ == b.rows_, "matmul: inner dimensions differ");
         Matrix c(a.rows_, b.cols_);
-        for (index_t j = 0; j < b.cols_; ++j)
-            for (index_t k = 0; k < a.cols_; ++k) {
-                const T bkj = b(k, j);
-                if (bkj == T{}) continue;
-                const T* ak = a.col(k);
-                T* cj = c.col(j);
-                for (index_t i = 0; i < a.rows_; ++i) cj[i] += ak[i] * bkj;
+        constexpr index_t tile = 64;
+        for (index_t k0 = 0; k0 < a.cols_; k0 += tile) {
+            const index_t k1 = std::min(k0 + tile, a.cols_);
+            for (index_t j0 = 0; j0 < b.cols_; j0 += tile) {
+                const index_t j1 = std::min(j0 + tile, b.cols_);
+                for (index_t j = j0; j < j1; ++j) {
+                    T* cj = c.col(j);
+                    for (index_t k = k0; k < k1; ++k) {
+                        const T bkj = b(k, j);
+                        if (bkj == T{}) continue;
+                        const T* ak = a.col(k);
+                        for (index_t i = 0; i < a.rows_; ++i) cj[i] += ak[i] * bkj;
+                    }
+                }
             }
+        }
         return c;
     }
 

@@ -1,37 +1,43 @@
 #include "opm/fractional_series.hpp"
 
+#include <vector>
+
 #include "util/check.hpp"
 
 namespace opmsim::opm {
 
-Vectord binomial_coeffs(double alpha, index_t m) {
-    OPMSIM_REQUIRE(m >= 1, "binomial_coeffs: m >= 1 required");
-    Vectord c(static_cast<std::size_t>(m));
-    c[0] = 1.0;
+namespace {
+
+using Vectorld = std::vector<long double>;
+
+/// Extended-precision binomial series of (1 + s*q)^alpha.  The series
+/// coefficients feed history sums that cancel by orders of magnitude (the
+/// differential operator for alpha > 1 grows like d^{alpha-1}); computing
+/// them in long double makes the returned rows correctly rounded, so the
+/// direct row and its cascade factorization (fast_history.cpp) agree to
+/// ~1 ulp instead of drifting apart at the accumulated-roundoff level.
+Vectorld binomial_series_ld(double alpha, double s, index_t m) {
+    Vectorld c(static_cast<std::size_t>(m));
+    c[0] = 1.0L;
     // C(alpha, k) = C(alpha, k-1) * (alpha - k + 1) / k
     for (index_t k = 1; k < m; ++k)
         c[static_cast<std::size_t>(k)] =
             c[static_cast<std::size_t>(k - 1)] *
-            (alpha - static_cast<double>(k) + 1.0) / static_cast<double>(k);
-    return c;
-}
-
-Vectord binomial_series(double alpha, double s, index_t m) {
-    OPMSIM_REQUIRE(s == 1.0 || s == -1.0, "binomial_series: s must be +-1");
-    Vectord c = binomial_coeffs(alpha, m);
+            (static_cast<long double>(alpha) - static_cast<long double>(k) + 1.0L) /
+            static_cast<long double>(k);
     if (s < 0)
-        for (index_t k = 1; k < m; k += 2) c[static_cast<std::size_t>(k)] = -c[static_cast<std::size_t>(k)];
+        for (index_t k = 1; k < m; k += 2)
+            c[static_cast<std::size_t>(k)] = -c[static_cast<std::size_t>(k)];
     return c;
 }
 
-Vectord poly_mul_trunc(const Vectord& a, const Vectord& b, index_t m) {
-    OPMSIM_REQUIRE(m >= 1, "poly_mul_trunc: m >= 1 required");
-    Vectord c(static_cast<std::size_t>(m), 0.0);
+Vectorld poly_mul_trunc_ld(const Vectorld& a, const Vectorld& b, index_t m) {
+    Vectorld c(static_cast<std::size_t>(m), 0.0L);
     const index_t na = static_cast<index_t>(a.size());
     const index_t nb = static_cast<index_t>(b.size());
     for (index_t i = 0; i < na && i < m; ++i) {
-        const double ai = a[static_cast<std::size_t>(i)];
-        if (ai == 0.0) continue;
+        const long double ai = a[static_cast<std::size_t>(i)];
+        if (ai == 0.0L) continue;
         const index_t jmax = std::min(nb, m - i);
         for (index_t j = 0; j < jmax; ++j)
             c[static_cast<std::size_t>(i + j)] += ai * b[static_cast<std::size_t>(j)];
@@ -39,22 +45,68 @@ Vectord poly_mul_trunc(const Vectord& a, const Vectord& b, index_t m) {
     return c;
 }
 
+Vectord round_to_double(const Vectorld& c) {
+    Vectord out(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) out[i] = static_cast<double>(c[i]);
+    return out;
+}
+
+} // namespace
+
+Vectord binomial_coeffs(double alpha, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "binomial_coeffs: m >= 1 required");
+    return round_to_double(binomial_series_ld(alpha, +1.0, m));
+}
+
+Vectord binomial_series(double alpha, double s, index_t m) {
+    OPMSIM_REQUIRE(s == 1.0 || s == -1.0, "binomial_series: s must be +-1");
+    OPMSIM_REQUIRE(m >= 1, "binomial_series: m >= 1 required");
+    return round_to_double(binomial_series_ld(alpha, s, m));
+}
+
+Vectord poly_mul_trunc(const Vectord& a, const Vectord& b, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "poly_mul_trunc: m >= 1 required");
+    return round_to_double(poly_mul_trunc_ld(Vectorld(a.begin(), a.end()),
+                                             Vectorld(b.begin(), b.end()), m));
+}
+
+namespace {
+
+/// Coefficients of f = ((1 -+ q)/(1 +- q))^alpha via the O(m) recurrence
+/// from (1 - q^2) f' = -+ 2 alpha f:
+///     (k+1) c_{k+1} = (k-1) c_{k-1} -+ 2 alpha c_k,   c_0 = 1.
+/// Replaces the O(m^2) truncated product of the two binomial series —
+/// the series construction sits on the solver setup path for every sweep.
+Vectord rho_series(double alpha, double s, index_t m) {
+    Vectorld c(static_cast<std::size_t>(m));
+    const long double a2 = 2.0L * static_cast<long double>(alpha) * s;
+    c[0] = 1.0L;
+    if (m > 1) c[1] = a2;
+    for (index_t k = 1; k + 1 < m; ++k)
+        c[static_cast<std::size_t>(k + 1)] =
+            (static_cast<long double>(k - 1) * c[static_cast<std::size_t>(k - 1)] +
+             a2 * c[static_cast<std::size_t>(k)]) /
+            static_cast<long double>(k + 1);
+    return round_to_double(c);
+}
+
+} // namespace
+
 Vectord frac_diff_series(double alpha, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "frac_diff_series: m >= 1 required");
     // (1-q)^alpha * (1+q)^{-alpha}
-    const Vectord num = binomial_series(alpha, -1.0, m);
-    const Vectord den = binomial_series(-alpha, +1.0, m);
-    return poly_mul_trunc(num, den, m);
+    return rho_series(alpha, -1.0, m);
 }
 
 Vectord frac_int_series(double alpha, index_t m) {
+    OPMSIM_REQUIRE(m >= 1, "frac_int_series: m >= 1 required");
     // (1+q)^alpha * (1-q)^{-alpha}
-    const Vectord num = binomial_series(alpha, +1.0, m);
-    const Vectord den = binomial_series(-alpha, -1.0, m);
-    return poly_mul_trunc(num, den, m);
+    return rho_series(alpha, +1.0, m);
 }
 
 Vectord grunwald_weights(double alpha, index_t m) {
-    return binomial_series(alpha, -1.0, m);
+    OPMSIM_REQUIRE(m >= 1, "grunwald_weights: m >= 1 required");
+    return round_to_double(binomial_series_ld(alpha, -1.0, m));
 }
 
 } // namespace opmsim::opm

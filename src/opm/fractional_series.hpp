@@ -8,7 +8,10 @@
 /// q^{m-1} is *exact* as a matrix polynomial (eq. 22).  This module
 /// computes those truncated series:
 ///     rho_alpha(q) = (1-q)^alpha * (1+q)^{-alpha}  (mod q^m)
-/// via binomial expansions and truncated polynomial convolution.
+/// via the O(m) coefficient recurrence of (1-q^2) rho' = -2 alpha rho,
+/// evaluated in extended precision so the returned rows are correctly
+/// rounded (the history sweeps cancel heavily for alpha > 1, and the
+/// fast-history cascade relies on row/factorization consistency).
 /// The worked example in the paper (eq. 23): rho_{3/2,4} has coefficients
 /// {1, -3, 4.5, -5.5} — reproduced exactly by tests.
 

@@ -177,13 +177,17 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
     res.sweep_seconds = t.elapsed_s();
 }
 
-/// O(m^2) path, differential form:
+/// Differential form:
 ///   (d0 E - A) X_j = G_j - E sum_{i<j} d_{j-i} X_i.
+/// The history sum is delegated to a DiffHistoryEngine backend: O(m^2 n)
+/// for naive/blocked, O(m log^2 m n) for fft (with the cascade
+/// stabilization for alpha > 1).
 void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
-                         const UpperToeplitz& d, la::Matrixd& x, OpmResult& res) {
+                         double alpha, double h, HistoryBackend backend,
+                         la::Matrixd& x, OpmResult& res) {
     const index_t n = sys.num_states();
     const index_t m = g.cols();
-    const double d0 = d.coeffs[0];
+    const double d0 = std::pow(2.0 / h, alpha);
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(d0, sys.e, -1.0, sys.a);
@@ -191,28 +195,27 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
     res.factor_seconds = t.elapsed_s();
 
     t.reset();
+    DiffHistoryEngine eng(alpha, h, n, m, backend);
     Vectord acc(static_cast<std::size_t>(n));
     Vectord rhs(static_cast<std::size_t>(n));
     for (index_t j = 0; j < m; ++j) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (index_t i = 0; i < j; ++i) {
-            const double dji = d.coeffs[static_cast<std::size_t>(j - i)];
-            if (dji == 0.0) continue;
-            const double* xi = x.col(i);
-            for (index_t r = 0; r < n; ++r) acc[static_cast<std::size_t>(r)] += dji * xi[r];
-        }
+        eng.history(j, acc);
         for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = g(i, j);
         sys.e.gaxpy(-1.0, acc, rhs);
         lu.solve_in_place(rhs);
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        eng.push(j, rhs.data());
     }
     res.sweep_seconds = t.elapsed_s();
 }
 
-/// O(m^2) path, integral form:
+/// Integral form:
 ///   (E - g0 A) X_j = A sum_{i<j} g_{j-i} X_i + (G H^alpha)_j.
+/// Both the forcing precompute W = G H^alpha and the history sum go
+/// through the fast-convolution machinery.
 void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
-                        const UpperToeplitz& hop, la::Matrixd& x, OpmResult& res) {
+                        const UpperToeplitz& hop, HistoryBackend backend,
+                        la::Matrixd& x, OpmResult& res) {
     const index_t n = sys.num_states();
     const index_t m = g.cols();
     const double g0 = hop.coeffs[0];
@@ -223,29 +226,18 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
     res.factor_seconds = t.elapsed_s();
 
     t.reset();
-    // Precompute the transformed forcing W = G * H^alpha (n x m).
-    la::Matrixd w(n, m);
-    for (index_t j = 0; j < m; ++j)
-        for (index_t i = 0; i <= j; ++i) {
-            const double gji = hop.coeffs[static_cast<std::size_t>(j - i)];
-            if (gji == 0.0) continue;
-            for (index_t r = 0; r < n; ++r) w(r, j) += gji * g(r, i);
-        }
+    const la::Matrixd w = toeplitz_apply(hop, g, backend);
 
+    HistoryEngine eng(hop.coeffs, n, m, backend);
     Vectord acc(static_cast<std::size_t>(n));
     Vectord rhs(static_cast<std::size_t>(n));
     for (index_t j = 0; j < m; ++j) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (index_t i = 0; i < j; ++i) {
-            const double gji = hop.coeffs[static_cast<std::size_t>(j - i)];
-            if (gji == 0.0) continue;
-            const double* xi = x.col(i);
-            for (index_t r = 0; r < n; ++r) acc[static_cast<std::size_t>(r)] += gji * xi[r];
-        }
+        eng.history(j, acc);
         for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = w(i, j);
         sys.a.gaxpy(1.0, acc, rhs);
         lu.solve_in_place(rhs);
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        eng.push(j, rhs.data());
     }
     res.sweep_seconds = t.elapsed_s();
 }
@@ -280,11 +272,10 @@ OpmResult simulate_opm(const DescriptorSystem& sys,
     if (path == OpmPath::recurrence) {
         sweep_recurrence(sys, g, h, res.coeffs, res);
     } else if (opt.form == OpmForm::differential) {
-        const UpperToeplitz d = frac_differential_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_diff(sys, g, d, res.coeffs, res);
+        sweep_toeplitz_diff(sys, g, opt.alpha, h, opt.history, res.coeffs, res);
     } else {
         const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_int(sys, g, hop, res.coeffs, res);
+        sweep_toeplitz_int(sys, g, hop, opt.history, res.coeffs, res);
     }
 
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);

@@ -7,8 +7,9 @@
 ///     E X D^alpha = A X + B U            (eq. 14 / 27)
 /// column by column, exploiting the upper-triangular structure of D^alpha.
 /// One pencil factorization is reused across all m columns, so the cost is
-/// O(n^beta) + m sparse solves + O(n m^2) Toeplitz accumulation — the
-/// complexity stated in the paper's §IV.
+/// O(n^beta) + m sparse solves + the Toeplitz history accumulation — the
+/// paper's §IV quotes O(n m^2) for the latter; the fast history engine
+/// (opm/fast_history.hpp) lowers it to O(n m log^2 m).
 ///
 /// Two execution paths:
 ///  * `recurrence` (integer alpha = 1, differential form): the equation is
@@ -16,7 +17,10 @@
 ///       (2/h E - A) X_j = (2/h E + A) X_{j-1} + B (U_j + U_{j-1}),
 ///    which is algebraically the trapezoidal rule — O(n m) total sweep.
 ///  * `toeplitz` (any alpha > 0): the general accumulation
-///       (d_0 E - A) X_j = B U_j - E sum_{i<j} d_{j-i} X_i — O(n m^2).
+///       (d_0 E - A) X_j = B U_j - E sum_{i<j} d_{j-i} X_i,
+///    with the history sum evaluated by the backend selected through
+///    OpmOptions::history (naive / blocked direct, or blocked FFT
+///    convolution — see HistoryBackend).
 /// Both produce identical results for alpha = 1 (verified by tests).
 ///
 /// Initial conditions use the Caputo convention: x(t) = x0 + z(t) with
@@ -28,6 +32,7 @@
 #include "basis/basis.hpp"
 #include "la/dense.hpp"
 #include "la/sparse.hpp"
+#include "opm/fast_history.hpp"
 #include "wave/sources.hpp"
 #include "wave/waveform.hpp"
 
@@ -80,6 +85,10 @@ struct OpmOptions {
     double alpha = 1.0;                   ///< differential order (> 0)
     OpmForm form = OpmForm::differential;
     OpmPath path = OpmPath::automatic;
+    /// History-sum backend for the Toeplitz sweeps: `naive` is the O(m^2)
+    /// oracle loop, `blocked` the register-tiled panel scatter, `fft` the
+    /// O(m log^2 m) blocked-convolution scheme; `automatic` picks by m.
+    HistoryBackend history = HistoryBackend::automatic;
     Vectord x0;                           ///< initial state; empty = zero
     int quad_points = 4;                  ///< input projection quadrature
     int quad_panels = 1;                  ///< composite panels per interval

@@ -35,6 +35,11 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
 
     const la::SparseLu lu(la::CscMatrix::add(w[0] * ha, sys.e, -1.0, sys.a));
 
+    // The history sum sum_{j>=1} w_j x_{k-j} is exactly the engine's
+    // Toeplitz form sum_{i<k} w_{k-i} x_i over columns 0..m (x_0 = 0).
+    opm::HistoryEngine eng(w, n, m + 1, opt.history);
+    eng.push(0, res.states.col(0));
+
     la::Vectord ut(static_cast<std::size_t>(p));
     la::Vectord rhs(static_cast<std::size_t>(n));
     la::Vectord hist(static_cast<std::size_t>(n));
@@ -45,16 +50,11 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
         std::fill(rhs.begin(), rhs.end(), 0.0);
         sys.b.gaxpy(1.0, ut, rhs);
 
-        std::fill(hist.begin(), hist.end(), 0.0);
-        for (la::index_t j = 1; j <= k; ++j) {
-            const double wj = w[static_cast<std::size_t>(j)];
-            if (wj == 0.0) continue;
-            for (la::index_t i = 0; i < n; ++i)
-                hist[static_cast<std::size_t>(i)] += wj * res.states(i, k - j);
-        }
+        eng.history(k, hist);
         sys.e.gaxpy(-ha, hist, rhs);
         lu.solve_in_place(rhs);
         for (la::index_t i = 0; i < n; ++i) res.states(i, k) = rhs[static_cast<std::size_t>(i)];
+        eng.push(k, rhs.data());
     }
 
     // Outputs.

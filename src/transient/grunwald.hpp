@@ -8,9 +8,10 @@
 ///     w_j = (-1)^j C(alpha, j),
 /// giving the implicit marching scheme
 ///     (w_0 h^{-alpha} E - A) x_k = B u_k - h^{-alpha} E sum_{j>=1} w_j x_{k-j}.
-/// Like OPM's fractional path it costs O(n m^2) in history convolutions —
-/// a useful independent cross-check for every fractional experiment
-/// (Fig. E compares OPM / GL / FFT against the Mittag-Leffler oracle).
+/// Like OPM's fractional path its history convolutions cost O(n m^2)
+/// directly, or O(n m log^2 m) through the fast history engine — a useful
+/// independent cross-check for every fractional experiment (Fig. E
+/// compares OPM / GL / FFT against the Mittag-Leffler oracle).
 
 #include "opm/solver.hpp"
 
@@ -18,6 +19,8 @@ namespace opmsim::transient {
 
 struct GrunwaldOptions {
     double alpha = 0.5;  ///< fractional order, > 0
+    /// History-sum backend (same semantics as OpmOptions::history).
+    opm::HistoryBackend history = opm::HistoryBackend::automatic;
 };
 
 struct GrunwaldResult {

@@ -1,0 +1,224 @@
+/// \file test_fast_history.cpp
+/// \brief The fast history-convolution engine against the naive oracle:
+///        irfft round trips, RealConvPlan linear convolution, HistoryEngine
+///        backend equivalence, and end-to-end solver / Grünwald agreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fftx/convolve.hpp"
+#include "fftx/fft.hpp"
+#include "opm/fast_history.hpp"
+#include "opm/operational.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+
+namespace fftx = opmsim::fftx;
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+
+namespace {
+
+la::Vectord random_vector(std::size_t n, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    la::Vectord v(n);
+    for (auto& x : v) x = dist(gen);
+    return v;
+}
+
+/// y[t] = sum_u a[u] b[t-u], the quadratic-time reference.
+la::Vectord conv_naive(const la::Vectord& a, const la::Vectord& b) {
+    la::Vectord y(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j) y[i + j] += a[i] * b[j];
+    return y;
+}
+
+/// The 3-state MIMO descriptor system from test_opm_solver.
+opm::DenseDescriptorSystem mimo_system() {
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd{{1, 0.2, 0}, {0, 1, 0}, {0.1, 0, 1}};
+    sys.a = la::Matrixd{{-2, 1, 0}, {0, -3, 1}, {0.5, 0, -1}};
+    sys.b = la::Matrixd{{1, 0}, {0, 1}, {1, 1}};
+    return sys;
+}
+
+} // namespace
+
+TEST(Irfft, RoundTripsRealSignals) {
+    // 100 exercises the Bluestein path, 128 the radix-2 path.
+    for (const std::size_t n : {1u, 7u, 100u, 128u}) {
+        const la::Vectord x = random_vector(n, 42 + static_cast<unsigned>(n));
+        const std::vector<fftx::cplx> spec = fftx::fft_real(x);
+        const la::Vectord back = fftx::irfft(spec);
+        ASSERT_EQ(back.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(back[i], x[i], 1e-12) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(ConvolveReal, MatchesNaiveConvolution) {
+    for (const auto& [na, nb] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 5}, {17, 9}, {64, 64}, {100, 33}}) {
+        const la::Vectord a = random_vector(na, 1);
+        const la::Vectord b = random_vector(nb, 2);
+        const la::Vectord ref = conv_naive(a, b);
+        const la::Vectord got = fftx::convolve_real(a, b);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            EXPECT_NEAR(got[i], ref[i], 1e-11) << na << "x" << nb << " @" << i;
+    }
+}
+
+TEST(RealConvPlan, AccumulatesWindowsAndPackedPairs) {
+    const std::size_t nk = 31, nx = 20;
+    const la::Vectord k = random_vector(nk, 3);
+    const la::Vectord xa = random_vector(nx, 4);
+    const la::Vectord xb = random_vector(nx, 5);
+    const la::Vectord ra = conv_naive(xa, k);
+    const la::Vectord rb = conv_naive(xb, k);
+
+    fftx::RealConvPlan plan(k.data(), nk, nx);
+    const std::size_t t0 = 8, nt = 12;
+
+    // Single-channel windowed accumulate: starts from a nonzero y, so the
+    // += semantics are exercised too.
+    la::Vectord ya(nt, 1.0);
+    plan.accumulate(xa.data(), nx, ya.data(), t0, nt);
+    for (std::size_t t = 0; t < nt; ++t)
+        EXPECT_NEAR(ya[t], 1.0 + ra[t0 + t], 1e-11) << t;
+
+    // Packed two-channel variant against both references.
+    la::Vectord pa(nt, 0.0), pb(nt, 0.0);
+    plan.accumulate2(xa.data(), xb.data(), nx, pa.data(), pb.data(), t0, nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+        EXPECT_NEAR(pa[t], ra[t0 + t], 1e-11) << t;
+        EXPECT_NEAR(pb[t], rb[t0 + t], 1e-11) << t;
+    }
+}
+
+TEST(HistoryEngine, BackendsMatchNaiveOracle) {
+    const la::index_t n = 3;
+    for (const la::index_t m : {1, 5, 63, 64, 100, 257}) {
+        const la::Vectord coeffs = random_vector(static_cast<std::size_t>(m), 7);
+        la::Matrixd cols(n, m);
+        const la::Vectord vals =
+            random_vector(static_cast<std::size_t>(n * m), 8);
+        for (la::index_t j = 0; j < m; ++j)
+            for (la::index_t i = 0; i < n; ++i)
+                cols(i, j) = vals[static_cast<std::size_t>(j * n + i)];
+
+        opm::HistoryEngine ref(coeffs, n, m, opm::HistoryBackend::naive);
+        opm::HistoryEngine blk(coeffs, n, m, opm::HistoryBackend::blocked);
+        opm::HistoryEngine fft(coeffs, n, m, opm::HistoryBackend::fft);
+        la::Vectord hr, hb, hf;
+        for (la::index_t j = 0; j < m; ++j) {
+            ref.history(j, hr);
+            blk.history(j, hb);
+            fft.history(j, hf);
+            for (la::index_t i = 0; i < n; ++i) {
+                EXPECT_NEAR(hb[static_cast<std::size_t>(i)],
+                            hr[static_cast<std::size_t>(i)], 1e-10)
+                    << "blocked m=" << m << " j=" << j;
+                EXPECT_NEAR(hf[static_cast<std::size_t>(i)],
+                            hr[static_cast<std::size_t>(i)], 1e-10)
+                    << "fft m=" << m << " j=" << j;
+            }
+            ref.push(j, cols.col(j));
+            blk.push(j, cols.col(j));
+            fft.push(j, cols.col(j));
+        }
+    }
+}
+
+TEST(HistoryEngine, RejectsOutOfOrderPushes) {
+    opm::HistoryEngine eng({1.0, 0.5}, 1, 2, opm::HistoryBackend::naive);
+    const double x = 1.0;
+    EXPECT_THROW(eng.push(1, &x), std::invalid_argument);
+}
+
+TEST(ToeplitzApply, BackendsMatchNaive) {
+    const la::index_t n = 4;
+    for (const la::index_t m : {3, 64, 100, 256}) {
+        opm::UpperToeplitz op;
+        op.coeffs = random_vector(static_cast<std::size_t>(m), 11);
+        la::Matrixd x(n, m);
+        const la::Vectord vals =
+            random_vector(static_cast<std::size_t>(n * m), 12);
+        for (la::index_t j = 0; j < m; ++j)
+            for (la::index_t i = 0; i < n; ++i)
+                x(i, j) = vals[static_cast<std::size_t>(j * n + i)];
+
+        const la::Matrixd ref =
+            opm::toeplitz_apply(op, x, opm::HistoryBackend::naive);
+        for (const auto be :
+             {opm::HistoryBackend::blocked, opm::HistoryBackend::fft}) {
+            const la::Matrixd got = opm::toeplitz_apply(op, x, be);
+            EXPECT_LT(la::max_abs_diff(ref, got), 1e-10) << "m=" << m;
+        }
+    }
+}
+
+/// End-to-end: the fast backends reproduce the naive sweep across orders,
+/// forms, and both power-of-two and non-power-of-two m.
+class FastSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FastSweep, MatchesNaiveSweepBothForms) {
+    const double alpha = GetParam();
+    const auto sys = mimo_system();
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::sine(0.5, 1.0)};
+    for (const auto form : {opm::OpmForm::differential, opm::OpmForm::integral}) {
+        for (const la::index_t m : {100, 256}) {
+            opm::OpmOptions base;
+            base.alpha = alpha;
+            base.form = form;
+            base.path = opm::OpmPath::toeplitz;
+            base.history = opm::HistoryBackend::naive;
+            const auto ref = opm::simulate_opm(sys, u, 1.5, m, base);
+
+            for (const auto be : {opm::HistoryBackend::blocked,
+                                  opm::HistoryBackend::fft,
+                                  opm::HistoryBackend::automatic}) {
+                opm::OpmOptions opt = base;
+                opt.history = be;
+                const auto got = opm::simulate_opm(sys, u, 1.5, m, opt);
+                EXPECT_LT(la::max_abs_diff(ref.coeffs, got.coeffs), 1e-10)
+                    << "alpha=" << alpha << " m=" << m
+                    << " form=" << static_cast<int>(form)
+                    << " backend=" << static_cast<int>(be);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, FastSweep,
+                         ::testing::Values(0.3, 0.5, 1.0, 1.7));
+
+TEST(FastSweep, GrunwaldBackendsMatchNaive) {
+    const auto sys = mimo_system().to_sparse();
+    const std::vector<wave::Source> u = {wave::step(1.0), wave::sine(0.5, 1.0)};
+    for (const double alpha : {0.3, 0.5, 1.0, 1.7}) {
+        for (const la::index_t m : {100, 256}) {
+            opmsim::transient::GrunwaldOptions base;
+            base.alpha = alpha;
+            base.history = opm::HistoryBackend::naive;
+            const auto ref =
+                opmsim::transient::simulate_grunwald(sys, u, 1.5, m, base);
+            for (const auto be : {opm::HistoryBackend::blocked,
+                                  opm::HistoryBackend::fft,
+                                  opm::HistoryBackend::automatic}) {
+                auto opt = base;
+                opt.history = be;
+                const auto got =
+                    opmsim::transient::simulate_grunwald(sys, u, 1.5, m, opt);
+                EXPECT_LT(la::max_abs_diff(ref.states, got.states), 1e-10)
+                    << "alpha=" << alpha << " m=" << m
+                    << " backend=" << static_cast<int>(be);
+            }
+        }
+    }
+}
