@@ -19,6 +19,7 @@
 #include "circuit/tline.hpp"
 #include "fftx/fft.hpp"
 #include "la/sparse_lu.hpp"
+#include "opm/multiterm.hpp"
 #include "opm/operational.hpp"
 #include "opm/solver.hpp"
 #include "wave/sources.hpp"
@@ -92,7 +93,37 @@ BENCHMARK(BM_HistorySweep)
     ->ArgNames({"m", "backend"})
     ->Args({256, 0})->Args({256, 1})->Args({256, 2})
     ->Args({1024, 0})->Args({1024, 1})->Args({1024, 2})
-    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})->Args({4096, 3})
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// The multi-term counterpart of BM_HistorySweep: a fractional-decap
+/// power grid (orders {1.8, 1, 0} — a real §V-B circuit, not a toy)
+/// solved through simulate_multiterm's Toeplitz path per history backend.
+/// The batched engine must beat naive by >= 5x wall-clock at m = 4096.
+void BM_MultiTermSweep(benchmark::State& state) {
+    const la::index_t m = state.range(0);
+    const auto backend = static_cast<opm::HistoryBackend>(state.range(1));
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 3;
+    spec.nz = 2;
+    spec.num_loads = 4;
+    spec.load_channels = 2;
+    spec.decap_alpha = 0.8;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    opm::MultiTermOptions opt;
+    opt.path = opm::MultiTermPath::toeplitz;
+    opt.history = backend;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opm::simulate_multiterm(
+            pg.second_order, pg.inputs, 3e-9, m, opt));
+    }
+}
+BENCHMARK(BM_MultiTermSweep)
+    ->ArgNames({"m", "backend"})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2})
+    ->Args({1024, 0})->Args({1024, 1})->Args({1024, 2})
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})->Args({4096, 3})
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fft(benchmark::State& state) {
@@ -106,7 +137,23 @@ void BM_Fft(benchmark::State& state) {
         benchmark::DoNotOptimize(y);
     }
 }
-BENCHMARK(BM_Fft)->Arg(100)->Arg(128)->Arg(1024);
+BENCHMARK(BM_Fft)->Arg(100)->Arg(128)->Arg(1024)->Arg(4096)->Arg(16384);
+
+/// The scalar radix-2 kernel on the same signals as BM_Fft's
+/// power-of-two sizes: the production transform runs fused radix-4
+/// passes, and this pins the before/after of that change.
+void BM_FftRadix2(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<fftx::cplx> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = fftx::cplx(std::sin(0.1 * static_cast<double>(i)), 0.0);
+    for (auto _ : state) {
+        auto y = x;
+        fftx::fft_pow2_radix2(y, -1);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_FftRadix2)->Arg(128)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void BM_Fwht(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -35,6 +35,8 @@ PowerGrid build_power_grid(const PowerGridSpec& spec) {
                    "build_power_grid: grid must be at least 2x2x1");
     OPMSIM_REQUIRE(spec.num_loads >= 1 && spec.load_channels >= 1,
                    "build_power_grid: need at least one load and channel");
+    OPMSIM_REQUIRE(spec.decap_alpha > 0.0 && spec.decap_alpha <= 1.0,
+                   "build_power_grid: decap_alpha must lie in (0, 1]");
 
     PowerGrid pg;
     Netlist& nl = pg.netlist;
@@ -107,6 +109,14 @@ PowerGrid build_power_grid(const PowerGridSpec& spec) {
     // Both models of the same grid.
     pg.second_order = build_second_order(nl);
     pg.mna = build_mna(nl, &pg.mna_layout);
+
+    // Lossy (CPE) decaps: the capacitive term responds at order
+    // 1 + alpha < 2.  Only the second-order model expresses this — the
+    // integer-order MNA companion has no fractional counterpart — and the
+    // resulting mixed orders {1+alpha, 1, 0} force the multi-term solver
+    // onto its fast Toeplitz path.
+    if (spec.decap_alpha != 1.0)
+        pg.second_order.lhs.front().order = 1.0 + spec.decap_alpha;
 
     // Output selectors.  Node-voltage state indices coincide in both
     // models (voltages come first in the MNA layout).

@@ -37,6 +37,13 @@ struct PowerGridSpec {
     double node_c = 500e-15; ///< decap per node [F]
     double via_l = 50e-12;   ///< via inductance [H]
 
+    /// Dielectric dispersion order of the decap response: 1.0 gives the
+    /// ideal capacitors of the paper's grid; alpha < 1 models lossy CPE
+    /// decaps, turning the second-order model into a genuinely fractional
+    /// multi-term system  C d^{1+alpha} v + G v' + Gamma v = d/dt i_inj —
+    /// the workload the batched fast multi-term path is built for.
+    double decap_alpha = 1.0;
+
     double vdd = 1.0;       ///< supply voltage [V]
     double pad_r = 0.2;     ///< pad Norton resistance [ohm]
     double vdd_rise = 400e-12;  ///< supply ramp time [s]

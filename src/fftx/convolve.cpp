@@ -40,17 +40,25 @@ RealConvPlan::RealConvPlan(const double* kernel, std::size_t nk,
     buf_.resize(n_);
 }
 
-void RealConvPlan::transform_and_extract(std::size_t nx) {
-    std::fill(buf_.begin() + static_cast<std::ptrdiff_t>(nx), buf_.end(),
-              cplx(0.0, 0.0));
-    fft(buf_);
+/// buf_ = ifft_unnormalized(spec .* kspec_).  The one place the kernel
+/// spectrum is applied — both the fused accumulate paths and the
+/// split-phase accumulate_spectrum go through it, so they stay
+/// numerically identical.  `spec` may alias buf_ (element-wise).
+void RealConvPlan::multiply_and_invert(const cplx* spec) {
     for (std::size_t k = 0; k < n_; ++k) {
         // Explicit complex product: keeps the hot loop free of __mulsc3.
-        const double ar = buf_[k].real(), ai = buf_[k].imag();
+        const double ar = spec[k].real(), ai = spec[k].imag();
         const double br = kspec_[k].real(), bi = kspec_[k].imag();
         buf_[k] = cplx(ar * br - ai * bi, ar * bi + ai * br);
     }
     ifft_unnormalized(buf_);
+}
+
+void RealConvPlan::transform_and_extract(std::size_t nx) {
+    std::fill(buf_.begin() + static_cast<std::ptrdiff_t>(nx), buf_.end(),
+              cplx(0.0, 0.0));
+    fft(buf_);
+    multiply_and_invert(buf_.data());
 }
 
 void RealConvPlan::accumulate(const double* x, std::size_t nx, double* y,
@@ -60,6 +68,27 @@ void RealConvPlan::accumulate(const double* x, std::size_t nx, double* y,
     for (std::size_t u = 0; u < nx; ++u) buf_[u] = cplx(x[u], 0.0);
     transform_and_extract(nx);
     for (std::size_t t = 0; t < nt; ++t) y[t] += buf_[t0 + t].real();
+}
+
+void RealConvPlan::forward(const double* xa, const double* xb, std::size_t nx,
+                           std::vector<cplx>& spec) const {
+    OPMSIM_ENSURE(nx <= max_nx_, "RealConvPlan: input exceeds planned length");
+    spec.assign(n_, cplx(0.0, 0.0));
+    for (std::size_t u = 0; u < nx; ++u)
+        spec[u] = cplx(xa[u], xb != nullptr ? xb[u] : 0.0);
+    fft(spec);
+}
+
+void RealConvPlan::accumulate_spectrum(const std::vector<cplx>& spec,
+                                       double* ya, double* yb, std::size_t t0,
+                                       std::size_t nt) {
+    OPMSIM_ENSURE(spec.size() == n_, "RealConvPlan: spectrum size mismatch");
+    OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
+    multiply_and_invert(spec.data());
+    for (std::size_t t = 0; t < nt; ++t) {
+        ya[t] += buf_[t0 + t].real();
+        if (yb != nullptr) yb[t] += buf_[t0 + t].imag();
+    }
 }
 
 void RealConvPlan::accumulate2(const double* xa, const double* xb,

@@ -46,11 +46,25 @@ public:
     void accumulate2(const double* xa, const double* xb, std::size_t nx,
                      double* ya, double* yb, std::size_t t0, std::size_t nt);
 
+    /// Split-phase API for batched multi-kernel convolution: forward()
+    /// transforms a packed channel pair once into `spec`, and
+    /// accumulate_spectrum() convolves that spectrum against THIS plan's
+    /// kernel.  A spectrum computed by any plan is valid for every plan of
+    /// the same fft_size(), so K same-size plans cost one forward + K
+    /// inverse transforms per input block instead of K of each — the
+    /// multi-term history engine's batching primitive.  `xb`/`yb` may be
+    /// null for a single channel.
+    void forward(const double* xa, const double* xb, std::size_t nx,
+                 std::vector<cplx>& spec) const;
+    void accumulate_spectrum(const std::vector<cplx>& spec, double* ya,
+                             double* yb, std::size_t t0, std::size_t nt);
+
     [[nodiscard]] std::size_t fft_size() const { return n_; }
     [[nodiscard]] std::size_t kernel_size() const { return nk_; }
 
 private:
     void transform_and_extract(std::size_t nx);
+    void multiply_and_invert(const cplx* spec);
 
     std::size_t nk_ = 0;      ///< kernel length
     std::size_t max_nx_ = 0;  ///< largest admissible input length

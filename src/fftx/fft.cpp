@@ -1,10 +1,24 @@
 #include "fftx/fft.hpp"
 
+#include <bit>
 #include <cmath>
 #include <map>
 #include <numbers>
 
 #include "util/check.hpp"
+
+/// Function multi-versioning for the butterfly kernels: on x86-64
+/// GNU/Linux each kernel is compiled twice — a baseline ISA version and
+/// an x86-64-v3 (AVX2 + FMA) version — and the loader's ifunc resolver
+/// picks once at startup.  The wide version roughly halves the butterfly
+/// wall clock (the loops vectorize at 32 bytes instead of 16) with zero
+/// per-call dispatch cost and no change to the build's baseline ISA.
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define OPMSIM_FFT_KERNEL __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define OPMSIM_FFT_KERNEL
+#endif
 
 namespace opmsim::fftx {
 
@@ -36,46 +50,213 @@ const std::vector<double>& twiddle_table(std::size_t n) {
     return tw;
 }
 
-/// Iterative radix-2 Cooley–Tukey, size must be a power of two.
-/// sign = -1 forward, +1 inverse (no normalization here).
-///
-/// The butterflies run on restrict-qualified raw doubles
-/// (std::complex<double> is layout-compatible with double[2]): with
-/// std::complex element access the compiler must assume the twiddle reads
-/// alias the data writes and reorders nothing, which costs ~8x throughput
-/// on this loop.
-void fft_pow2(std::vector<cplx>& xc, int sign) {
+/// Bit-reversal permutation shared by both power-of-two kernels.
+void bit_reverse(std::vector<cplx>& xc) {
     const std::size_t n = xc.size();
-    // Bit-reversal permutation.
     for (std::size_t i = 1, j = 0; i < n; ++i) {
         std::size_t bit = n >> 1;
         for (; j & bit; bit >>= 1) j ^= bit;
         j ^= bit;
         if (i < j) std::swap(xc[i], xc[j]);
     }
-    double* __restrict__ x = reinterpret_cast<double*>(xc.data());
-    const double* __restrict__ tw = twiddle_table(n).data();
-    const double wsign = sign > 0 ? -1.0 : 1.0;
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const std::size_t half = len / 2;
-        for (std::size_t i = 0; i < n; i += len) {
-            for (std::size_t k = 0; k < half; ++k) {
-                const double wr = tw[2 * k];
-                const double wi = wsign * tw[2 * k + 1];
-                const std::size_t p = 2 * (i + k);
-                const std::size_t q = 2 * (i + k + half);
-                const double ur = x[p], ui = x[p + 1];
-                const double zr = x[q], zi = x[q + 1];
-                const double vr = zr * wr - zi * wi;
-                const double vi = zr * wi + zi * wr;
-                x[p] = ur + vr;
-                x[p + 1] = ui + vi;
-                x[q] = ur - vr;
-                x[q + 1] = ui - vi;
+}
+
+/// One radix-2 stage of width `len` over the whole signal.  Returns the
+/// advanced twiddle-table cursor.
+///
+/// The butterflies run on restrict-qualified raw doubles
+/// (std::complex<double> is layout-compatible with double[2]): with
+/// std::complex element access the compiler must assume the twiddle reads
+/// alias the data writes and reorders nothing, which costs ~8x throughput
+/// on this loop.
+OPMSIM_FFT_KERNEL
+const double* radix2_stage(double* __restrict__ x, std::size_t n,
+                           std::size_t len, const double* __restrict__ tw,
+                           double wsign) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t k = 0; k < half; ++k) {
+            const double wr = tw[2 * k];
+            const double wi = wsign * tw[2 * k + 1];
+            const std::size_t p = 2 * (i + k);
+            const std::size_t q = 2 * (i + k + half);
+            const double ur = x[p], ui = x[p + 1];
+            const double zr = x[q], zi = x[q + 1];
+            const double vr = zr * wr - zi * wi;
+            const double vi = zr * wi + zi * wr;
+            x[p] = ur + vr;
+            x[p + 1] = ui + vi;
+            x[q] = ur - vr;
+            x[q + 1] = ui - vi;
+        }
+    }
+    return tw + 2 * half;
+}
+
+/// Radix-4 twiddle triples for size n: for every fused stage pair
+/// (L, 2L) in fft_pow2's schedule and every k < L/2, the roots
+/// (v, v^2, v^3) with v = exp(-pi*i*k/L), interleaved re/im — the three
+/// pre-rotations of the radix-4 butterfly.  Each root is computed
+/// directly from its own angle (same accuracy rationale as
+/// twiddle_table) and cached per size.
+const std::vector<double>& radix4_twiddle_table(std::size_t n) {
+    thread_local std::map<std::size_t, std::vector<double>> cache;
+    std::vector<double>& tw = cache[n];
+    if (tw.empty()) {
+        std::size_t len =
+            static_cast<unsigned>(std::countr_zero(n)) % 2 != 0 ? 4 : 2;
+        for (; len <= n; len <<= 2)
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const double ang =
+                    -kPi * static_cast<double>(k) / static_cast<double>(len);
+                for (int t = 1; t <= 3; ++t) {
+                    tw.push_back(std::cos(static_cast<double>(t) * ang));
+                    tw.push_back(std::sin(static_cast<double>(t) * ang));
+                }
+            }
+        if (tw.empty()) tw.push_back(0.0);  // n <= 2: keep .data() valid
+    }
+    return tw;
+}
+
+/// The twiddle-free len = 2 stage (its only root is 1): opens the
+/// transform when the total stage count is odd so the radix-4 passes
+/// cover the rest.
+OPMSIM_FFT_KERNEL void radix2_stage2(double* __restrict__ x, std::size_t n) {
+    for (std::size_t i = 0; i < n; i += 2) {
+        const std::size_t p = 2 * i;
+        const double ar = x[p], ai = x[p + 1];
+        const double br = x[p + 2], bi = x[p + 3];
+        x[p] = ar + br;
+        x[p + 1] = ai + bi;
+        x[p + 2] = ar - br;
+        x[p + 3] = ai - bi;
+    }
+}
+
+/// First radix-4 pass (len = 2): every twiddle is 1, so each block of
+/// four points is a twiddle-free 4-point DFT — pure additions.  This pass
+/// touches every point, so specializing it removes a quarter of all
+/// butterfly multiplies at even stage counts.
+template <bool Forward>
+OPMSIM_FFT_KERNEL void radix4_first_pass(double* __restrict__ x, std::size_t n) {
+    for (std::size_t i = 0; i < n; i += 4) {
+        const std::size_t p = 2 * i;
+        const double ar = x[p], ai = x[p + 1];
+        const double br = x[p + 2], bi = x[p + 3];
+        const double cr = x[p + 4], ci = x[p + 5];
+        const double dr = x[p + 6], di = x[p + 7];
+        const double t0r = ar + br, t0i = ai + bi;
+        const double t1r = ar - br, t1i = ai - bi;
+        const double t2r = cr + dr, t2i = ci + di;
+        const double t3r = cr - dr, t3i = ci - di;
+        x[p] = t0r + t2r;
+        x[p + 1] = t0i + t2i;
+        x[p + 4] = t0r - t2r;
+        x[p + 5] = t0i - t2i;
+        if constexpr (Forward) {
+            x[p + 2] = t1r + t3i;
+            x[p + 3] = t1i - t3r;
+            x[p + 6] = t1r - t3i;
+            x[p + 7] = t1i + t3r;
+        } else {
+            x[p + 2] = t1r - t3i;
+            x[p + 3] = t1i + t3r;
+            x[p + 6] = t1r + t3i;
+            x[p + 7] = t1i - t3r;
+        }
+    }
+}
+
+/// Radix-4 pass covering the two radix-2 stages (len, 2*len) in one sweep
+/// with the classic 3-multiply butterfly: with v = exp(-pi*i*k/len) the
+/// four outputs are the combinations of p = a, q = v^2 b, r = v c,
+/// s = v^3 d —
+///     out0 = (p+q) + (r+s),   out2 = (p+q) - (r+s),
+///     out1 = (p-q) - i(r-s),  out3 = (p-q) + i(r-s)   (forward)
+/// — 3 complex multiplies per 4 points where two radix-2 stages spend 4,
+/// and each point is loaded/stored once per pass instead of twice.  The
+/// transform direction is a template parameter so the conjugations and
+/// the ±i rotation are resolved at compile time instead of costing five
+/// extra multiplies per butterfly in the hot loop.  Returns the cursor
+/// advanced past this stage's twiddle triples.
+template <bool Forward>
+OPMSIM_FFT_KERNEL const double* radix4_pass(double* __restrict__ x, std::size_t n,
+                                            std::size_t len,
+                                            const double* __restrict__ tw) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += 2 * len) {
+        for (std::size_t k = 0; k < half; ++k) {
+            const double* w = tw + 6 * k;
+            const double vr = w[0], vi = Forward ? w[1] : -w[1];
+            const double v2r = w[2], v2i = Forward ? w[3] : -w[3];
+            const double v3r = w[4], v3i = Forward ? w[5] : -w[5];
+            const std::size_t p0 = 2 * (i + k);
+            const std::size_t p1 = p0 + 2 * half;
+            const std::size_t p2 = 2 * (i + k + len);
+            const std::size_t p3 = p2 + 2 * half;
+            const double ar = x[p0], ai = x[p0 + 1];
+            const double br = x[p1], bi = x[p1 + 1];
+            const double cr = x[p2], ci = x[p2 + 1];
+            const double dr = x[p3], di = x[p3 + 1];
+            const double qr = br * v2r - bi * v2i;
+            const double qi = br * v2i + bi * v2r;
+            const double rr = cr * vr - ci * vi;
+            const double ri = cr * vi + ci * vr;
+            const double sr = dr * v3r - di * v3i;
+            const double si = dr * v3i + di * v3r;
+            const double t0r = ar + qr, t0i = ai + qi;
+            const double t1r = ar - qr, t1i = ai - qi;
+            const double t2r = rr + sr, t2i = ri + si;
+            const double t3r = rr - sr, t3i = ri - si;
+            x[p0] = t0r + t2r;
+            x[p0 + 1] = t0i + t2i;
+            x[p2] = t0r - t2r;
+            x[p2 + 1] = t0i - t2i;
+            // -i (r - s) forward, +i (r - s) inverse.
+            if constexpr (Forward) {
+                x[p1] = t1r + t3i;
+                x[p1 + 1] = t1i - t3r;
+                x[p3] = t1r - t3i;
+                x[p3 + 1] = t1i + t3r;
+            } else {
+                x[p1] = t1r - t3i;
+                x[p1 + 1] = t1i + t3r;
+                x[p3] = t1r + t3i;
+                x[p3 + 1] = t1i - t3r;
             }
         }
-        tw += 2 * half;
     }
+    return tw + 6 * half;
+}
+
+/// Iterative power-of-two Cooley–Tukey, sign = -1 forward, +1 inverse (no
+/// normalization here).  Stages run as radix-4 passes; when the stage
+/// count is odd, the trivial len = 2 stage opens the transform so the
+/// remainder pairs up.
+template <bool Forward>
+void fft_pow2_dir(std::vector<cplx>& xc) {
+    const std::size_t n = xc.size();
+    bit_reverse(xc);
+    double* __restrict__ x = reinterpret_cast<double*>(xc.data());
+    const double* tw = radix4_twiddle_table(n).data();
+    std::size_t len;
+    if (static_cast<unsigned>(std::countr_zero(n)) % 2 != 0) {
+        radix2_stage2(x, n);
+        len = 4;
+    } else {
+        radix4_first_pass<Forward>(x, n);
+        tw += 6;  // past the trivial len = 2 twiddle triple
+        len = 8;
+    }
+    for (; len <= n; len <<= 2) tw = radix4_pass<Forward>(x, n, len, tw);
+}
+
+void fft_pow2(std::vector<cplx>& xc, int sign) {
+    if (sign < 0)
+        fft_pow2_dir<true>(xc);
+    else
+        fft_pow2_dir<false>(xc);
 }
 
 /// Bluestein chirp-z: arbitrary-size DFT via a power-of-two convolution.
@@ -114,6 +295,18 @@ void transform(std::vector<cplx>& x, int sign) {
 }
 
 } // namespace
+
+void fft_pow2_radix2(std::vector<cplx>& x, int sign) {
+    OPMSIM_REQUIRE(is_pow2(x.size()), "fft_pow2_radix2: size must be a power of two");
+    if (x.size() <= 1) return;
+    const std::size_t n = x.size();
+    bit_reverse(x);
+    double* __restrict__ d = reinterpret_cast<double*>(x.data());
+    const double* tw = twiddle_table(n).data();
+    const double wsign = sign > 0 ? -1.0 : 1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1)
+        tw = radix2_stage(d, n, len, tw, wsign);
+}
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 

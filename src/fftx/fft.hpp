@@ -1,6 +1,6 @@
 #pragma once
 /// \file fft.hpp
-/// \brief Fast Fourier transforms (radix-2 Cooley–Tukey + Bluestein).
+/// \brief Fast Fourier transforms (fused radix-4 Cooley–Tukey + Bluestein).
 ///
 /// The FFT is the substrate of the paper's frequency-domain baseline
 /// ("FFT-1"/"FFT-2" in Table I): the input is transformed to the frequency
@@ -37,6 +37,13 @@ std::vector<double> irfft(const std::vector<cplx>& spectrum);
 
 /// Naive O(N^2) DFT — test oracle only.
 std::vector<cplx> dft_naive(const std::vector<cplx>& x);
+
+/// Power-of-two DFT forced onto plain radix-2 butterflies (sign = -1
+/// forward, +1 inverse without normalization).  The production kernel
+/// runs fused radix-4 passes; this is the reference it is pinned against
+/// in tests and compared with in bench_kernels.  Throws unless
+/// is_pow2(x.size()).
+void fft_pow2_radix2(std::vector<cplx>& x, int sign);
 
 /// True if n is a power of two (n >= 1).
 bool is_pow2(std::size_t n);

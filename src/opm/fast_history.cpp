@@ -21,6 +21,29 @@ constexpr index_t kPanel = 64;
 /// and fft wins 2.3x at 1024, 4.9x at 4096, 23x at 32768.
 constexpr index_t kFftCrossover = 192;
 
+/// rho_1 cascade depth for the differential operator on the fast
+/// backends: number of exactly-applied rho_1 factors below the decaying
+/// fractional factor rho_{alpha-k}.
+index_t cascade_depth(double alpha, HistoryBackend resolved) {
+    return alpha > 1.0 && resolved != HistoryBackend::naive
+               ? static_cast<index_t>(std::ceil(alpha)) - 1
+               : 0;
+}
+
+/// One rho_1 cascade step at a single element: given V^{(t)}_j and the
+/// strict history r^{(t)}_j, returns V^{(t+1)}_j = r + v and advances the
+/// recurrence to r^{(t)}_{j+1} = -r - 2v.  The history stays in extended
+/// precision: the recurrence is marginally stable (|eigenvalue| = 1), so
+/// double roundoff would grow linearly in the column count and the
+/// sweep's column recursion amplifies any per-column error by orders of
+/// magnitude.  Every cascade site (streaming engine and offline apply)
+/// MUST advance through this one helper so the paths stay bit-identical.
+inline double rho1_advance(long double& r, double v) {
+    const double out = static_cast<double>(r + static_cast<long double>(v));
+    r = -r - 2.0L * v;
+    return out;
+}
+
 } // namespace
 
 HistoryBackend HistoryEngine::resolve(HistoryBackend b, index_t m) {
@@ -30,11 +53,17 @@ HistoryBackend HistoryEngine::resolve(HistoryBackend b, index_t m) {
 
 HistoryEngine::HistoryEngine(Vectord coeffs, index_t n, index_t m,
                              HistoryBackend backend)
-    : c_(std::move(coeffs)), n_(n), m_(m), backend_(resolve(backend, m)) {
+    : HistoryEngine(std::vector<Vectord>{std::move(coeffs)}, n, m, backend) {}
+
+HistoryEngine::HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
+                             HistoryBackend backend)
+    : rows_(std::move(rows)), n_(n), m_(m), backend_(resolve(backend, m)) {
     OPMSIM_REQUIRE(n >= 1 && m >= 1, "HistoryEngine: empty problem");
+    OPMSIM_REQUIRE(!rows_.empty(), "HistoryEngine: need at least one row");
     x_ = la::Matrixd(n_, m_);
     if (backend_ != HistoryBackend::naive) {
-        acc_ = la::Matrixd(n_, m_);
+        acc_.resize(rows_.size());
+        for (auto& a : acc_) a = la::Matrixd(n_, m_);
         base_ = std::min(kPanel, m_);
     }
     if (backend_ == HistoryBackend::fft) {
@@ -47,8 +76,9 @@ HistoryEngine::HistoryEngine(Vectord coeffs, index_t n, index_t m,
 
 HistoryEngine::~HistoryEngine() = default;
 
-void HistoryEngine::history(index_t j, Vectord& out) {
+void HistoryEngine::history(index_t j, std::size_t term, Vectord& out) {
     OPMSIM_REQUIRE(j >= 0 && j < m_, "HistoryEngine::history: column out of range");
+    OPMSIM_REQUIRE(term < rows_.size(), "HistoryEngine::history: term out of range");
     OPMSIM_ENSURE(j <= next_col_, "HistoryEngine::history: column not yet reachable");
     out.assign(static_cast<std::size_t>(n_), 0.0);
 
@@ -60,7 +90,7 @@ void HistoryEngine::history(index_t j, Vectord& out) {
         if (hacc_.empty()) hacc_.resize(static_cast<std::size_t>(n_));
         std::fill(hacc_.begin(), hacc_.end(), 0.0L);
         for (index_t i = 0; i < j; ++i) {
-            const double cji = coef(j - i);
+            const double cji = coef(term, j - i);
             if (cji == 0.0) continue;
             const double* xi = x_.col(i);
             for (index_t r = 0; r < n_; ++r)
@@ -74,7 +104,7 @@ void HistoryEngine::history(index_t j, Vectord& out) {
     }
 
     // Scattered block contributions were accumulated at push time.
-    const double* aj = acc_.col(j);
+    const double* aj = acc_[term].col(j);
     for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = aj[r];
     // Direct part: the blocked backend owes the in-panel columns, the fft
     // backend the sliding lag window [1, base).
@@ -82,7 +112,7 @@ void HistoryEngine::history(index_t j, Vectord& out) {
                            ? (j / base_) * base_
                            : std::max<index_t>(0, j - base_ + 1);
     for (index_t i = lo; i < j; ++i) {
-        const double cji = coef(j - i);
+        const double cji = coef(term, j - i);
         if (cji == 0.0) continue;
         const double* xi = x_.col(i);
         for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] += cji * xi[r];
@@ -99,7 +129,7 @@ void HistoryEngine::push(index_t j, const double* xj) {
     if (backend_ == HistoryBackend::naive || a % base_ != 0 || a >= m_) return;
 
     if (backend_ == HistoryBackend::blocked) {
-        scatter_panel(a);
+        for (std::size_t t = 0; t < rows_.size(); ++t) scatter_panel(t, a);
         return;
     }
     // fft: every dyadic level whose block ends at a fires.  Level L owns
@@ -110,23 +140,24 @@ void HistoryEngine::push(index_t j, const double* xj) {
 }
 
 /// Blocked backend: fold the completed panel [a-P, a) into every future
-/// column.  Processes 4 output columns per pass so each panel column is
-/// read once per group while the 4 accumulator columns stay in registers
-/// or L1.
-void HistoryEngine::scatter_panel(index_t a) {
+/// column of one term.  Processes 4 output columns per pass so each panel
+/// column is read once per group while the 4 accumulator columns stay in
+/// registers or L1; across terms the panel of X stays cache-hot.
+void HistoryEngine::scatter_panel(std::size_t t, index_t a) {
     const index_t p0 = a - base_;
+    la::Matrixd& acc = acc_[t];
     for (index_t jj = a; jj < m_; jj += 4) {
         const index_t jn = std::min<index_t>(4, m_ - jj);
-        double* a0 = acc_.col(jj);
-        double* a1 = jn > 1 ? acc_.col(jj + 1) : nullptr;
-        double* a2 = jn > 2 ? acc_.col(jj + 2) : nullptr;
-        double* a3 = jn > 3 ? acc_.col(jj + 3) : nullptr;
+        double* a0 = acc.col(jj);
+        double* a1 = jn > 1 ? acc.col(jj + 1) : nullptr;
+        double* a2 = jn > 2 ? acc.col(jj + 2) : nullptr;
+        double* a3 = jn > 3 ? acc.col(jj + 3) : nullptr;
         for (index_t i = p0; i < a; ++i) {
             const double* xi = x_.col(i);
-            const double c0 = coef(jj - i);
-            const double c1 = jn > 1 ? coef(jj + 1 - i) : 0.0;
-            const double c2 = jn > 2 ? coef(jj + 2 - i) : 0.0;
-            const double c3 = jn > 3 ? coef(jj + 3 - i) : 0.0;
+            const double c0 = coef(t, jj - i);
+            const double c1 = jn > 1 ? coef(t, jj + 1 - i) : 0.0;
+            const double c2 = jn > 2 ? coef(t, jj + 2 - i) : 0.0;
+            const double c3 = jn > 3 ? coef(t, jj + 3 - i) : 0.0;
             switch (jn) {
             case 4:
                 for (index_t r = 0; r < n_; ++r) {
@@ -159,15 +190,41 @@ void HistoryEngine::scatter_panel(index_t a) {
     }
 }
 
-/// FFT backend: convolve the completed block [a-len, a) against the lag
-/// window c[len .. 2*len-1] and scatter into columns [a, a+2*len).  Lags
-/// below `len` belong to finer levels (or to the direct sliding window),
-/// so each level's kernel magnitude decays with len — the large small-lag
-/// Toeplitz coefficients never pass through an FFT, which keeps the
-/// backend within ~1e-13 of the naive oracle even for the steeply scaled
-/// differential operators.  The kernel spectrum for each dyadic level is
-/// cached across all blocks of that level; state channels are packed two
-/// per complex transform.
+/// Lazily build (or fetch) term t's convolution plan for a dyadic level.
+/// The kernel is the term's lag window c[len .. 2*len-1]; a window that is
+/// entirely zero (short rows — e.g. Grünwald weights truncated early, or
+/// low-order terms) gets no plan and the term skips the level.
+fftx::RealConvPlan* HistoryEngine::level_plan(std::size_t level, std::size_t t,
+                                              index_t len) {
+    while (plans_.size() <= level)
+        plans_.emplace_back(rows_.size());
+    auto& slot = plans_[level][t];
+    if (!slot) {
+        Vectord kernel(static_cast<std::size_t>(len), 0.0);
+        bool any = false;
+        for (index_t d = 0; d < len; ++d) {
+            const double c = coef(t, len + d);
+            kernel[static_cast<std::size_t>(d)] = c;
+            if (c != 0.0) any = true;
+        }
+        if (!any) return nullptr;
+        slot = std::make_unique<fftx::RealConvPlan>(
+            kernel.data(), kernel.size(), static_cast<std::size_t>(len));
+    }
+    return slot.get();
+}
+
+/// FFT backend: convolve the completed block [a-len, a) against each
+/// term's lag window c[len .. 2*len-1] and scatter into columns
+/// [a, a+2*len).  Lags below `len` belong to finer levels (or to the
+/// direct sliding window), so each level's kernel magnitude decays with
+/// len — the large small-lag Toeplitz coefficients never pass through an
+/// FFT, which keeps the backend within ~1e-13 of the naive oracle even
+/// for the steeply scaled differential operators.  The kernel spectrum
+/// for each (level, term) is cached across all blocks of that level;
+/// state channels are packed two per complex transform, and the forward
+/// transform of the block is computed ONCE per channel pair and reused
+/// for every term's kernel (RealConvPlan::accumulate_spectrum).
 void HistoryEngine::scatter_block(index_t a, index_t len) {
     const index_t avail = std::min(2 * len, m_ - a);
     if (avail <= 0) return;
@@ -178,16 +235,12 @@ void HistoryEngine::scatter_block(index_t a, index_t len) {
     // — half the transform work of convolving against the unshifted row.
     std::size_t level = 0;
     for (index_t l = base_; l < len; l *= 2) ++level;
-    while (plans_.size() <= level) plans_.push_back(nullptr);
-    if (!plans_[level]) {
-        const index_t lvl_len = base_ << level;
-        Vectord kernel(static_cast<std::size_t>(lvl_len), 0.0);
-        for (index_t d = 0; d < lvl_len; ++d)
-            kernel[static_cast<std::size_t>(d)] = coef(lvl_len + d);
-        plans_[level] = std::make_unique<fftx::RealConvPlan>(
-            kernel.data(), kernel.size(), static_cast<std::size_t>(lvl_len));
+    fftx::RealConvPlan* fwd = nullptr;
+    for (std::size_t t = 0; t < rows_.size(); ++t) {
+        fftx::RealConvPlan* p = level_plan(level, t, len);
+        if (fwd == nullptr && p != nullptr) fwd = p;
     }
-    fftx::RealConvPlan& plan = *plans_[level];
+    if (fwd == nullptr) return;  // every term is zero on this lag window
 
     const index_t i0 = a - len;
     // Conv index s corresponds to lag len + s - u; s = 2*len - 1 would be
@@ -202,63 +255,103 @@ void HistoryEngine::scatter_block(index_t a, index_t len) {
             rowa_[static_cast<std::size_t>(u)] = x_(r, i0 + u);
             if (pair) rowb_[static_cast<std::size_t>(u)] = x_(r + 1, i0 + u);
         }
-        std::fill(outa_.begin(), outa_.begin() + static_cast<std::ptrdiff_t>(unt), 0.0);
-        if (pair) {
-            std::fill(outb_.begin(), outb_.begin() + static_cast<std::ptrdiff_t>(unt), 0.0);
-            plan.accumulate2(rowa_.data(), rowb_.data(), ulen, outa_.data(),
-                             outb_.data(), 0, unt);
-        } else {
-            plan.accumulate(rowa_.data(), ulen, outa_.data(), 0, unt);
-        }
-        for (index_t s = 0; s < nt; ++s) {
-            acc_(r, a + s) += outa_[static_cast<std::size_t>(s)];
-            if (pair) acc_(r + 1, a + s) += outb_[static_cast<std::size_t>(s)];
+        fwd->forward(rowa_.data(), pair ? rowb_.data() : nullptr, ulen, spec_);
+        for (std::size_t t = 0; t < rows_.size(); ++t) {
+            fftx::RealConvPlan* plan = plans_[level][t].get();
+            if (plan == nullptr) continue;
+            std::fill(outa_.begin(),
+                      outa_.begin() + static_cast<std::ptrdiff_t>(unt), 0.0);
+            if (pair)
+                std::fill(outb_.begin(),
+                          outb_.begin() + static_cast<std::ptrdiff_t>(unt), 0.0);
+            plan->accumulate_spectrum(spec_, outa_.data(),
+                                      pair ? outb_.data() : nullptr, 0, unt);
+            la::Matrixd& acc = acc_[t];
+            for (index_t s = 0; s < nt; ++s) {
+                acc(r, a + s) += outa_[static_cast<std::size_t>(s)];
+                if (pair) acc(r + 1, a + s) += outb_[static_cast<std::size_t>(s)];
+            }
         }
     }
 }
 
 DiffHistoryEngine::DiffHistoryEngine(double alpha, double h, index_t n,
                                      index_t m, HistoryBackend backend)
-    : n_(n) {
-    OPMSIM_REQUIRE(alpha > 0.0 && h > 0.0, "DiffHistoryEngine: bad operator");
-    scale_ = std::pow(2.0 / h, alpha);
-    const HistoryBackend be = HistoryEngine::resolve(backend, m);
+    : eng_([&] {
+          OPMSIM_REQUIRE(alpha > 0.0, "DiffHistoryEngine: bad operator");
+          return std::vector<double>{alpha};
+      }(), h, n, m, backend) {}
 
-    const index_t k = alpha > 1.0 && be != HistoryBackend::naive
-                          ? static_cast<index_t>(std::ceil(alpha)) - 1
-                          : 0;
-    const double frac = alpha - static_cast<double>(k);
-    frac_ = std::make_unique<HistoryEngine>(frac_diff_series(frac, m), n, m, be);
-    r_.assign(static_cast<std::size_t>(k),
+MultiTermHistoryEngine::MultiTermHistoryEngine(const std::vector<double>& alphas,
+                                               double h, index_t n, index_t m,
+                                               HistoryBackend backend)
+    : n_(n), backend_(HistoryEngine::resolve(backend, m)) {
+    OPMSIM_REQUIRE(!alphas.empty(), "MultiTermHistoryEngine: no terms");
+    OPMSIM_REQUIRE(h > 0.0 && n >= 1 && m >= 1,
+                   "MultiTermHistoryEngine: empty problem");
+
+    terms_.resize(alphas.size());
+    index_t max_depth = 0;
+    for (std::size_t k = 0; k < alphas.size(); ++k) {
+        const double a = alphas[k];
+        OPMSIM_REQUIRE(a >= 0.0, "MultiTermHistoryEngine: negative order");
+        terms_[k].scale = std::pow(2.0 / h, a);
+        terms_[k].identity = a == 0.0;
+        terms_[k].depth = terms_[k].identity ? 0 : cascade_depth(a, backend_);
+        max_depth = std::max(max_depth, terms_[k].depth);
+    }
+
+    // Group the non-identity terms by cascade depth; each group becomes
+    // one batched engine over the shared stream V^{(depth)}.
+    std::vector<std::vector<Vectord>> rows(static_cast<std::size_t>(max_depth) + 1);
+    for (std::size_t k = 0; k < alphas.size(); ++k) {
+        if (terms_[k].identity) continue;
+        const std::size_t d = static_cast<std::size_t>(terms_[k].depth);
+        terms_[k].slot = rows[d].size();
+        rows[d].push_back(frac_diff_series(
+            alphas[k] - static_cast<double>(terms_[k].depth), m));
+    }
+    groups_.resize(rows.size());
+    for (std::size_t d = 0; d < rows.size(); ++d)
+        if (!rows[d].empty())
+            groups_[d] = std::make_unique<HistoryEngine>(std::move(rows[d]), n,
+                                                         m, backend_);
+    r_.assign(static_cast<std::size_t>(max_depth),
               std::vector<long double>(static_cast<std::size_t>(n), 0.0L));
     vcol_.resize(static_cast<std::size_t>(n));
 }
 
-void DiffHistoryEngine::history(index_t j, Vectord& out) {
-    // The rho_1 strict histories r^{(t)}_j were advanced at push(j-1);
-    // the fractional factor acts on the innermost series V^{(k+1)}.
-    frac_->history(j, out);
-    for (const std::vector<long double>& rt : r_)
+void MultiTermHistoryEngine::history(index_t j, std::size_t term, Vectord& out) {
+    OPMSIM_REQUIRE(term < terms_.size(),
+                   "MultiTermHistoryEngine::history: term out of range");
+    const Term& t = terms_[term];
+    if (t.identity) {
+        out.assign(static_cast<std::size_t>(n_), 0.0);
+        return;
+    }
+    groups_[static_cast<std::size_t>(t.depth)]->history(j, t.slot, out);
+    for (index_t d = 0; d < t.depth; ++d) {
+        const std::vector<long double>& rd = r_[static_cast<std::size_t>(d)];
         for (index_t r = 0; r < n_; ++r)
             out[static_cast<std::size_t>(r)] +=
-                static_cast<double>(rt[static_cast<std::size_t>(r)]);
-    for (auto& v : out) v *= scale_;
+                static_cast<double>(rd[static_cast<std::size_t>(r)]);
+    }
+    for (auto& v : out) v *= t.scale;
 }
 
-void DiffHistoryEngine::push(index_t j, const double* xj) {
-    // Thread X_j through the rho_1 stages: V^{(t+1)}_j = r^{(t)}_j + V^{(t)}_j
-    // (unit leading coefficients), then commit the innermost column to the
-    // fractional engine and advance each recurrence to column j+1.
+void MultiTermHistoryEngine::push(index_t j, const double* xj) {
+    // V^{(0)} = X feeds the depth-0 group; each rho_1 stage then advances
+    // the shared recurrence and feeds the next depth's group.
     std::copy(xj, xj + n_, vcol_.begin());
-    for (std::vector<long double>& rt : r_) {
+    if (groups_[0]) groups_[0]->push(j, vcol_.data());
+    for (std::size_t t = 0; t < r_.size(); ++t) {
+        std::vector<long double>& rt = r_[t];
         for (index_t i = 0; i < n_; ++i) {
             const std::size_t u = static_cast<std::size_t>(i);
-            const double vt = vcol_[u];                        // V^{(t)}_j
-            vcol_[u] = static_cast<double>(rt[u] + vt);        // V^{(t+1)}_j
-            rt[u] = -rt[u] - 2.0L * vt;                        // r^{(t)}_{j+1}
+            vcol_[u] = rho1_advance(rt[u], vcol_[u]);
         }
+        if (groups_[t + 1]) groups_[t + 1]->push(j, vcol_.data());
     }
-    frac_->push(j, vcol_.data());
 }
 
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
@@ -314,6 +407,39 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
             yj[r] = h[static_cast<std::size_t>(r)] + c0 * xj[r];
         eng.push(j, xj);
     }
+    return y;
+}
+
+la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
+                                HistoryBackend backend) {
+    OPMSIM_REQUIRE(alpha >= 0.0 && h > 0.0, "diff_toeplitz_apply: bad operator");
+    if (alpha == 0.0) return x;  // D^0 = I
+    const index_t n = x.rows();
+    const index_t m = x.cols();
+    if (n == 0 || m == 0) return x;
+
+    const HistoryBackend be = HistoryEngine::resolve(backend, m);
+    const index_t k = cascade_depth(alpha, be);
+
+    // Exact rho_1 stages first: the inclusive apply y_j = V_j + r_j (unit
+    // leading coefficient), advancing through the shared cascade helper.
+    la::Matrixd v = x;
+    std::vector<long double> r(static_cast<std::size_t>(n));
+    for (index_t stage = 0; stage < k; ++stage) {
+        std::fill(r.begin(), r.end(), 0.0L);
+        for (index_t j = 0; j < m; ++j) {
+            double* vj = v.col(j);
+            for (index_t i = 0; i < n; ++i)
+                vj[i] = rho1_advance(r[static_cast<std::size_t>(i)], vj[i]);
+        }
+    }
+
+    // Decaying fractional factor through the shared Toeplitz apply, then
+    // the operator scale in one pass.
+    UpperToeplitz frac;
+    frac.coeffs = frac_diff_series(alpha - static_cast<double>(k), m);
+    la::Matrixd y = toeplitz_apply(frac, v, be);
+    y *= std::pow(2.0 / h, alpha);
     return y;
 }
 

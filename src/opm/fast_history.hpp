@@ -3,8 +3,9 @@
 /// \brief Fast evaluation of causal Toeplitz history sums.
 ///
 /// Every fractional sweep in opmsim — the OPM differential / integral
-/// Toeplitz paths and the Grünwald–Letnikov stepper — advances a column at
-/// a time and needs, before solving column j, the history sum
+/// Toeplitz paths, the multi-term solver, and the Grünwald–Letnikov
+/// stepper — advances a column at a time and needs, before solving column
+/// j, the history sum
 ///     H_j = sum_{i<j} c_{j-i} X_i                       (n-vector)
 /// against a fixed coefficient row c.  Evaluated directly this is the
 /// O(m^2 n) term that dominates all fractional simulations.
@@ -32,10 +33,20 @@
 ///                giving O(m log^2 m · n) total.
 ///  * `automatic` — fft above a measured crossover in m, blocked below.
 ///
-/// Columns must be pushed in order; history(j) may be queried any time
-/// after columns 0..j-1 were pushed.  All backends agree to roundoff
+/// The engine is *batched*: one instance evaluates the histories of K
+/// coefficient rows against the SAME pushed column stream (the multi-term
+/// solver's workload — every LHS term sees the solved columns X).  All
+/// backends share the committed column storage, and the fft backend
+/// computes the forward transform of each completed block once and
+/// multiplies it against all K cached kernel spectra
+/// (RealConvPlan::forward / accumulate_spectrum), so K terms cost one
+/// forward + K inverse transforms per block instead of K of each.
+///
+/// Columns must be pushed in order; history(j, term) may be queried any
+/// time after columns 0..j-1 were pushed.  All backends agree to roundoff
 /// (~1e-13 relative); tests pin them to the naive oracle at 1e-10.
 
+#include <complex>
 #include <memory>
 #include <vector>
 
@@ -57,19 +68,29 @@ enum class HistoryBackend {
 
 class HistoryEngine {
 public:
+    /// Single-row engine.
     /// \param coeffs  Toeplitz first row; coeffs[d] multiplies X_{j-d}.
     ///                Lags beyond the row are treated as zero.
     /// \param n       channel (state) count
     /// \param m       total column count
     HistoryEngine(Vectord coeffs, index_t n, index_t m,
                   HistoryBackend backend = HistoryBackend::automatic);
+
+    /// Batched engine: K coefficient rows evaluated against one shared
+    /// column stream.  Rows may have different lengths (short rows are
+    /// zero-extended).
+    HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
+                  HistoryBackend backend = HistoryBackend::automatic);
     ~HistoryEngine();
 
     HistoryEngine(const HistoryEngine&) = delete;
     HistoryEngine& operator=(const HistoryEngine&) = delete;
 
-    /// out = sum_{i<j} coeffs[j-i] X_i.  Resizes out to n.
-    void history(index_t j, Vectord& out);
+    /// out = sum_{i<j} rows[0][j-i] X_i.  Resizes out to n.
+    void history(index_t j, Vectord& out) { history(j, 0, out); }
+
+    /// out = sum_{i<j} rows[term][j-i] X_i.  Resizes out to n.
+    void history(index_t j, std::size_t term, Vectord& out);
 
     /// Commit solved column j (columns must arrive in order 0, 1, ...).
     void push(index_t j, const double* xj);
@@ -77,33 +98,44 @@ public:
     /// The concrete backend in use (automatic is resolved at construction).
     [[nodiscard]] HistoryBackend backend() const { return backend_; }
 
+    /// Number of coefficient rows served by this engine.
+    [[nodiscard]] std::size_t num_terms() const { return rows_.size(); }
+
     /// Resolve `automatic` to a concrete backend for m columns.
     static HistoryBackend resolve(HistoryBackend b, index_t m);
 
 private:
-    [[nodiscard]] double coef(index_t d) const {
-        return d < static_cast<index_t>(c_.size()) ? c_[static_cast<std::size_t>(d)] : 0.0;
+    [[nodiscard]] double coef(std::size_t t, index_t d) const {
+        const Vectord& c = rows_[t];
+        return d < static_cast<index_t>(c.size()) ? c[static_cast<std::size_t>(d)] : 0.0;
     }
-    void scatter_panel(index_t a);             ///< blocked: [a-P, a) -> [a, m)
-    void scatter_block(index_t a, index_t len);///< fft: [a-len, a) -> [a, a+len)
+    void scatter_panel(std::size_t t, index_t a);  ///< blocked: [a-P, a) -> [a, m)
+    void scatter_block(index_t a, index_t len);    ///< fft: [a-len, a) -> [a, a+len), all terms
+    fftx::RealConvPlan* level_plan(std::size_t level, std::size_t t,
+                                   index_t len);
 
-    Vectord c_;
+    std::vector<Vectord> rows_;
     index_t n_ = 0;
     index_t m_ = 0;
     HistoryBackend backend_ = HistoryBackend::naive;
     index_t base_ = 0;     ///< panel / base block width
     index_t next_col_ = 0; ///< number of columns pushed so far
 
-    la::Matrixd x_;    ///< committed columns (n x m)
-    la::Matrixd acc_;  ///< scattered future contributions (n x m)
+    la::Matrixd x_;                  ///< committed columns (n x m, shared)
+    std::vector<la::Matrixd> acc_;   ///< per-term scattered contributions
 
-    // fft backend state: per-level convolution plans and row scratch.
-    std::vector<std::unique_ptr<fftx::RealConvPlan>> plans_;
+    // fft backend state: per-(level, term) convolution plans (null where a
+    // term's lag window is entirely zero), shared forward spectrum, and
+    // row scratch.
+    std::vector<std::vector<std::unique_ptr<fftx::RealConvPlan>>> plans_;
+    std::vector<std::complex<double>> spec_;
     Vectord rowa_, rowb_, outa_, outb_;
     std::vector<long double> hacc_;  ///< naive oracle accumulators
 };
 
-/// History engine specialized for the differential operator D^alpha.
+/// Batched engine for differential operators D^{alpha_k}: one instance
+/// evaluates the scaled strict histories of K operators (mixed integer /
+/// fractional orders) against the same pushed column stream.
 ///
 /// For alpha > 1 the series rho_alpha has coefficients *growing* like
 /// d^{alpha-1}, so its history sums cancel massively (terms ~150x larger
@@ -121,33 +153,77 @@ private:
 ///     r_j = -r_{j-1} - 2 V_{j-1}     (strict history of rho_1),
 /// so only the decaying fractional factor ever touches an FFT — the
 /// cascade stays within ~1e-14 (unscaled) of exact arithmetic.  The
-/// (2/h)^a scale is applied once to the summed history.
+/// (2/h)^a scale is applied once to each term's summed history.
+///
+/// Terms are grouped by cascade depth d = ceil(alpha) - 1 (0 for
+/// alpha <= 1): the streams V^{(t)} and histories r^{(t)} depend only on
+/// the pushed columns — not on any term's fractional part — so they are
+/// computed ONCE and shared by every term, and all terms of equal depth
+/// share one batched HistoryEngine over V^{(d)} (one forward FFT per
+/// block for the whole group).  alpha = 0 terms are the identity; their
+/// strict history is exactly zero and they cost nothing.
 ///
 /// The cascade is engaged for alpha > 1 on both fast backends (fft and
 /// blocked), so they evaluate the same factored operator; the naive
-/// oracle keeps the full operator row with extended-precision
+/// oracle keeps the full operator rows with extended-precision
 /// accumulation instead.
+class MultiTermHistoryEngine {
+public:
+    MultiTermHistoryEngine(const std::vector<double>& alphas, double h,
+                           index_t n, index_t m,
+                           HistoryBackend backend = HistoryBackend::automatic);
+
+    /// out = sum_{i<j} D^{alpha_term}_row[j-i] X_i (scaled).
+    void history(index_t j, std::size_t term, Vectord& out);
+
+    /// Commit solved column j (columns must arrive in order 0, 1, ...).
+    void push(index_t j, const double* xj);
+
+    /// True when history(j, term) is identically zero (alpha_term = 0).
+    [[nodiscard]] bool term_is_identity(std::size_t term) const {
+        return terms_[term].identity;
+    }
+
+    [[nodiscard]] HistoryBackend backend() const { return backend_; }
+
+private:
+    struct Term {
+        double scale = 1.0;    ///< (2/h)^alpha
+        index_t depth = 0;     ///< rho_1 cascade stages below this term
+        std::size_t slot = 0;  ///< row index within the depth group
+        bool identity = false; ///< alpha == 0: strict history is zero
+    };
+
+    std::vector<Term> terms_;
+    /// groups_[d]: batched engine over stream V^{(d)} (null when no term
+    /// has depth d).
+    std::vector<std::unique_ptr<HistoryEngine>> groups_;
+    /// Per rho_1 stage: strict history r^{(t)}_j.  Extended precision —
+    /// the recurrence is marginally stable (|eigenvalue| = 1), so double
+    /// roundoff would grow linearly in m and the column recursion of the
+    /// sweep amplifies any per-column error by orders of magnitude.
+    std::vector<std::vector<long double>> r_;
+    index_t n_ = 0;
+    HistoryBackend backend_ = HistoryBackend::naive;
+    Vectord vcol_;
+};
+
+/// Single-operator D^alpha engine — the single-term solver's interface.
+/// Exactly MultiTermHistoryEngine with one term (one shared cascade
+/// implementation; see above for the alpha > 1 stabilization).
 class DiffHistoryEngine {
 public:
     DiffHistoryEngine(double alpha, double h, index_t n, index_t m,
                       HistoryBackend backend = HistoryBackend::automatic);
 
     /// out = sum_{i<j} D^alpha_row[j-i] X_i (scaled, like the raw operator).
-    void history(index_t j, Vectord& out);
+    void history(index_t j, Vectord& out) { eng_.history(j, 0, out); }
 
     /// Commit solved column j (columns must arrive in order 0, 1, ...).
-    void push(index_t j, const double* xj);
+    void push(index_t j, const double* xj) { eng_.push(j, xj); }
 
 private:
-    double scale_ = 1.0;  ///< (2/h)^alpha, applied after summing stages
-    index_t n_ = 0;
-    std::unique_ptr<HistoryEngine> frac_;  ///< fractional-factor engine
-    /// Per rho_1 stage: strict history r^{(t)}_j.  Extended precision —
-    /// the recurrence is marginally stable (|eigenvalue| = 1), so double
-    /// roundoff would grow linearly in m and the column recursion of the
-    /// sweep amplifies any per-column error by orders of magnitude.
-    std::vector<std::vector<long double>> r_;
-    Vectord vcol_;
+    MultiTermHistoryEngine eng_;
 };
 
 /// Y(:,j) = sum_{i<=j} op.coeffs[j-i] X(:,i) — the full (diagonal-included)
@@ -157,5 +233,17 @@ private:
 /// front), O(n m log m); other backends stream through a HistoryEngine.
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
                            HistoryBackend backend = HistoryBackend::automatic);
+
+/// Y = X D^alpha in coefficient space: the full (diagonal-included) apply
+/// of the differential operator to a matrix whose columns are all known up
+/// front — the multi-term solver's input-derivative precompute
+/// W_l = U D^{beta_l}.  For alpha > 1 on the fast backends the operator is
+/// applied in cascade form (exact rho_1 recurrences + one decaying
+/// fractional Toeplitz factor), so the growing rho_alpha coefficients
+/// never enter an FFT; the naive backend applies the full row with
+/// extended-precision accumulation (oracle semantics).  alpha = 0 returns
+/// X unchanged.
+la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
+                                HistoryBackend backend = HistoryBackend::automatic);
 
 } // namespace opmsim::opm

@@ -2,6 +2,7 @@
 
 #include "la/dense_lu.hpp"
 #include "la/kron.hpp"
+#include "opm/operational.hpp"
 #include "util/check.hpp"
 
 namespace opmsim::opm {
@@ -20,6 +21,28 @@ la::Matrixd solve_kronecker_reference(const la::Matrixd& e, const la::Matrixd& a
     const la::Matrixd lhs = la::kron(d.transposed(), e) -
                             la::kron(la::Matrixd::identity(m), a);
     const la::Matrixd rhs = b * u;  // vec(B U) = (I (x) B) vec(U)
+    const Vectord x = la::DenseLu<double>(lhs).solve(la::vec(rhs));
+    return la::unvec(x, n, m);
+}
+
+la::Matrixd solve_multiterm_kronecker_reference(const MultiTermSystem& sys,
+                                                const la::Matrixd& u, double h) {
+    sys.validate();
+    OPMSIM_REQUIRE(h > 0.0, "solve_multiterm_kronecker_reference: bad step");
+    const index_t n = sys.num_states();
+    const index_t m = u.cols();
+    OPMSIM_REQUIRE(u.rows() == sys.num_inputs(),
+                   "solve_multiterm_kronecker_reference: U row count mismatch");
+    OPMSIM_REQUIRE(m >= 1, "solve_multiterm_kronecker_reference: empty grid");
+
+    la::Matrixd lhs(n * m, n * m);
+    for (const auto& t : sys.lhs)
+        lhs += la::kron(frac_differential_matrix(t.order, h, m).transposed(),
+                        t.mat.to_dense());
+    la::Matrixd rhs(n, m);
+    for (const auto& t : sys.rhs)
+        rhs += t.mat.to_dense() * u * frac_differential_matrix(t.order, h, m);
+
     const Vectord x = la::DenseLu<double>(lhs).solve(la::vec(rhs));
     return la::unvec(x, n, m);
 }

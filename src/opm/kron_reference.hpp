@@ -8,6 +8,7 @@
 /// module solves it directly anyway — as an O((nm)^3) oracle the tests use
 /// to prove the production column sweep computes the same X.
 
+#include "opm/multiterm.hpp"
 #include "opm/solver.hpp"
 
 namespace opmsim::opm {
@@ -18,5 +19,13 @@ namespace opmsim::opm {
 la::Matrixd solve_kronecker_reference(const la::Matrixd& e, const la::Matrixd& a,
                                       const la::Matrixd& b, const la::Matrixd& u,
                                       const la::Matrixd& d);
+
+/// Multi-term ground truth: solve
+///     (sum_k (D^{alpha_k})^T (x) A_k) vec(X) = vec(sum_l B_l U D^{beta_l})
+/// densely with every operational matrix materialized, O((nm)^3).  `u` is
+/// the p x m input coefficient matrix and `h` the uniform step — the
+/// oracle the cross-solver tests pin the fast multi-term sweep against.
+la::Matrixd solve_multiterm_kronecker_reference(const MultiTermSystem& sys,
+                                                const la::Matrixd& u, double h);
 
 } // namespace opmsim::opm

@@ -11,9 +11,14 @@
 /// Because every D^{alpha} shares the same upper-triangular Toeplitz
 /// structure, the column-by-column solve carries over unchanged: the pencil
 /// (sum_k d0^(k) A_k) is factored once and each column costs one solve plus
-/// O(K n j) accumulation.  Derivatives of the *input* are handled in the
-/// operational-matrix domain (U D^{beta}) — no numeric differentiation of
-/// u(t) is ever performed.
+/// the K Toeplitz history sums, which are delegated to the batched
+/// MultiTermHistoryEngine (opm/fast_history.hpp) — the same
+/// naive | blocked | fft | automatic backends as the single-term solver,
+/// selected by MultiTermOptions::history, with the forward FFT of each
+/// solved-column block shared across all K terms.  Derivatives of the
+/// *input* are handled in the operational-matrix domain (U D^{beta},
+/// evaluated by diff_toeplitz_apply) — no numeric differentiation of u(t)
+/// is ever performed.
 
 #include "opm/solver.hpp"
 
@@ -54,6 +59,11 @@ enum class MultiTermPath {
 
 struct MultiTermOptions {
     MultiTermPath path = MultiTermPath::automatic;
+    /// History-sum backend for the Toeplitz path (same semantics as
+    /// OpmOptions::history): `naive` is the O(K n m^2) oracle loop,
+    /// `blocked` the register-tiled panel scatter, `fft` the batched
+    /// O(n m log^2 m) blocked-convolution scheme; `automatic` picks by m.
+    HistoryBackend history = HistoryBackend::automatic;
     int quad_points = 4;  ///< input projection quadrature order
     int quad_panels = 1;  ///< composite panels per interval
     /// Zero initial state is assumed (as in the paper); nonzero ICs for

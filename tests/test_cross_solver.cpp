@@ -1,0 +1,254 @@
+/// \file test_cross_solver.cpp
+/// \brief Cross-solver oracle harness: the same multi-term systems solved
+///        by every route the library offers — the fast multi-term sweep
+///        (per history backend), the single-term solver where the system
+///        is reducible, the dense Kronecker ground truth, and the
+///        Grünwald–Letnikov stepper — asserting pairwise agreement.
+///
+/// The exact-agreement checks (multiterm vs naive oracle, vs single-term
+/// solver, vs Kronecker) pin identical algebra evaluated by different
+/// code paths and must match to near roundoff.  The Grünwald comparison
+/// crosses *discretizations* (GL is a different first-order scheme), so
+/// it is held to a coarse tolerance that shrinks with h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "opm/kron_reference.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+
+namespace {
+
+la::Matrixd random_matrix(la::index_t r, la::index_t c, std::mt19937& gen,
+                          double scale) {
+    std::uniform_real_distribution<double> dist(-scale, scale);
+    la::Matrixd m(r, c);
+    for (la::index_t j = 0; j < c; ++j)
+        for (la::index_t i = 0; i < r; ++i) m(i, j) = dist(gen);
+    return m;
+}
+
+/// Randomized multi-term system with K left-hand terms whose orders mix
+/// integers and fractionals.  The leading term is diagonally dominant and
+/// the lower-order couplings are kept small, so every pencil in every
+/// solver is well-conditioned and the cross-checks measure algorithmic
+/// agreement, not conditioning luck.
+opm::MultiTermSystem random_system(unsigned seed, const std::vector<double>& orders,
+                                   la::index_t n, la::index_t p,
+                                   const std::vector<double>& rhs_orders) {
+    std::mt19937 gen(seed);
+    opm::MultiTermSystem sys;
+    for (std::size_t k = 0; k < orders.size(); ++k) {
+        la::Matrixd a = random_matrix(n, n, gen, k == 0 ? 0.2 : 0.4);
+        if (k == 0)
+            for (la::index_t i = 0; i < n; ++i) a(i, i) += 1.0;
+        if (orders[k] == 0.0)  // keep the zero-order term dissipative
+            for (la::index_t i = 0; i < n; ++i) a(i, i) += 1.0;
+        sys.lhs.push_back({orders[k], la::CscMatrix::from_dense(a)});
+    }
+    for (const double b : rhs_orders)
+        sys.rhs.push_back(
+            {b, la::CscMatrix::from_dense(random_matrix(n, p, gen, 1.0))});
+    return sys;
+}
+
+std::vector<wave::Source> test_inputs(la::index_t p) {
+    std::vector<wave::Source> u;
+    for (la::index_t i = 0; i < p; ++i) {
+        if (i % 2 == 0)
+            u.push_back(wave::smooth_step(1.0 + 0.5 * static_cast<double>(i),
+                                          0.05, 0.3));
+        else
+            u.push_back(wave::sine(0.8, 0.9 + 0.3 * static_cast<double>(i)));
+    }
+    return u;
+}
+
+double rel_diff(const la::Matrixd& a, const la::Matrixd& b) {
+    return la::max_abs_diff(a, b) / (1.0 + a.max_abs());
+}
+
+struct Scenario {
+    unsigned seed;
+    std::vector<double> orders;      ///< K = 1..4, mixed integer/fractional
+    std::vector<double> rhs_orders;  ///< includes beta_l > 0
+    la::index_t n, p, m;             ///< m deliberately not a power of two
+};
+
+const std::vector<Scenario>& scenarios() {
+    static const std::vector<Scenario> s = {
+        {11, {0.6}, {0.0}, 2, 1, 97},
+        {12, {1.0, 0.0}, {0.0}, 3, 2, 130},
+        {13, {1.5, 0.7, 0.0}, {0.5, 0.0}, 2, 1, 201},
+        {14, {2.0, 1.3, 1.0, 0.0}, {1.0, 0.0}, 2, 2, 150},
+    };
+    return s;
+}
+
+} // namespace
+
+/// (a) The fast multi-term path, every backend against the naive oracle.
+TEST(CrossSolver, MultiTermBackendsAgreeOnRandomSystems) {
+    for (const Scenario& sc : scenarios()) {
+        const auto sys = random_system(sc.seed, sc.orders, sc.n, sc.p,
+                                       sc.rhs_orders);
+        const auto u = test_inputs(sc.p);
+        opm::MultiTermOptions base;
+        base.path = opm::MultiTermPath::toeplitz;
+        base.history = opm::HistoryBackend::naive;
+        const auto ref = opm::simulate_multiterm(sys, u, 1.5, sc.m, base);
+        for (const auto be : {opm::HistoryBackend::blocked,
+                              opm::HistoryBackend::fft,
+                              opm::HistoryBackend::automatic}) {
+            opm::MultiTermOptions opt = base;
+            opt.history = be;
+            const auto got = opm::simulate_multiterm(sys, u, 1.5, sc.m, opt);
+            EXPECT_LT(rel_diff(ref.coeffs, got.coeffs), 1e-10)
+                << "seed=" << sc.seed << " K=" << sc.orders.size()
+                << " m=" << sc.m << " backend=" << static_cast<int>(be);
+        }
+    }
+}
+
+/// (b) K = 2 systems with orders {alpha, 0} are exactly the single-term
+/// descriptor problem E d^alpha x = A x + B u with E = A_1, A = -A_0.
+TEST(CrossSolver, ReducibleSystemsMatchSingleTermSolver) {
+    for (const double alpha : {0.5, 1.0, 1.4}) {
+        const auto sys = random_system(21, {alpha, 0.0}, 3, 2, {0.0});
+        const auto u = test_inputs(2);
+        const la::index_t m = 140;
+
+        opm::MultiTermOptions mopt;
+        mopt.path = opm::MultiTermPath::toeplitz;
+        const auto mt = opm::simulate_multiterm(sys, u, 2.0, m, mopt);
+
+        opm::DescriptorSystem d;
+        d.e = sys.lhs[0].mat;
+        d.a = la::CscMatrix::add(-1.0, sys.lhs[1].mat, 0.0, sys.lhs[1].mat);
+        d.b = sys.rhs[0].mat;
+        opm::OpmOptions sopt;
+        sopt.alpha = alpha;
+        sopt.path = opm::OpmPath::toeplitz;
+        const auto st = opm::simulate_opm(d, u, 2.0, m, sopt);
+
+        EXPECT_LT(rel_diff(st.coeffs, mt.coeffs), 1e-9) << "alpha=" << alpha;
+    }
+}
+
+/// (c) The dense Kronecker ground truth — the "do not solve it this way"
+/// formulation of eq. (15)/(27), solved that way.
+TEST(CrossSolver, MultiTermMatchesKroneckerOracle) {
+    for (const Scenario& sc : {scenarios()[0], scenarios()[2]}) {
+        const la::index_t m = 33;  // O((nm)^3): keep the oracle small
+        const double t_end = 1.2;
+        const auto sys = random_system(sc.seed, sc.orders, sc.n, sc.p,
+                                       sc.rhs_orders);
+        const auto inputs = test_inputs(sc.p);
+
+        opm::MultiTermOptions opt;
+        opt.path = opm::MultiTermPath::toeplitz;
+        const auto mt = opm::simulate_multiterm(sys, inputs, t_end, m, opt);
+
+        // Same BPF input coefficients the solver used.
+        const la::Vectord edges = wave::uniform_edges(t_end, m);
+        la::Matrixd u(sc.p, m);
+        for (la::index_t i = 0; i < sc.p; ++i) {
+            const la::Vectord ui = wave::project_average(
+                inputs[static_cast<std::size_t>(i)], edges, opt.quad_points,
+                opt.quad_panels);
+            for (la::index_t j = 0; j < m; ++j)
+                u(i, j) = ui[static_cast<std::size_t>(j)];
+        }
+        const la::Matrixd ref = opm::solve_multiterm_kronecker_reference(
+            sys, u, t_end / static_cast<double>(m));
+        EXPECT_LT(rel_diff(ref, mt.coeffs), 1e-8)
+            << "seed=" << sc.seed << " K=" << sc.orders.size();
+    }
+}
+
+/// (d) Grünwald–Letnikov on the half-order companion embedding of a
+/// commensurate multi-term system: a different discretization entirely,
+/// so agreement is at the truncation-error level and tightens with m.
+TEST(CrossSolver, CommensurateSystemMatchesGrunwaldStepper) {
+    // d^{1/2} relaxation: the K = 2 system d^{0.5} x + x = u.
+    opm::MultiTermSystem mt;
+    {
+        la::Triplets one(1, 1);
+        one.add(0, 0, 1.0);
+        mt.lhs.push_back({0.5, la::CscMatrix(one)});
+        mt.lhs.push_back({0.0, la::CscMatrix(one)});
+        mt.rhs.push_back({0.0, la::CscMatrix(one)});
+    }
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.2)};
+    const double t_end = 2.0;
+    const la::index_t m = 900;  // non-power-of-two
+    const auto res = opm::simulate_multiterm(mt, u, t_end, m);
+
+    opm::DescriptorSystem d;
+    {
+        la::Triplets e(1, 1), a(1, 1), b(1, 1);
+        e.add(0, 0, 1.0);
+        a.add(0, 0, -1.0);
+        b.add(0, 0, 1.0);
+        d.e = la::CscMatrix(e);
+        d.a = la::CscMatrix(a);
+        d.b = la::CscMatrix(b);
+    }
+    opmsim::transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
+    const auto gl = opmsim::transient::simulate_grunwald(d, u, t_end, m, gopt);
+
+    for (double t : {0.5, 1.0, 1.8})
+        EXPECT_NEAR(res.outputs[0].at(t), gl.outputs[0].at(t), 1.5e-2) << t;
+}
+
+/// (d') Bagley–Torvik form x'' + d^{3/2} x + x = u through the 4-state
+/// alpha = 1/2 companion system, marched with Grünwald–Letnikov.
+TEST(CrossSolver, BagleyTorvikMatchesGrunwaldCompanion) {
+    opm::MultiTermSystem mt;
+    {
+        la::Triplets one(1, 1);
+        one.add(0, 0, 1.0);
+        mt.lhs.push_back({2.0, la::CscMatrix(one)});
+        mt.lhs.push_back({1.5, la::CscMatrix(one)});
+        mt.lhs.push_back({0.0, la::CscMatrix(one)});
+        mt.rhs.push_back({0.0, la::CscMatrix(one)});
+    }
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3)};
+    const double t_end = 3.0;
+    const la::index_t m = 1200;
+    const auto res = opm::simulate_multiterm(mt, u, t_end, m);
+
+    // zeta = d^{1/2}: z = (x, zeta x, x', zeta^3 x); zeta z4 = u - z1 - z4.
+    opm::DescriptorSystem comp;
+    {
+        la::Triplets e(4, 4), a(4, 4), b(4, 1);
+        for (int i = 0; i < 4; ++i) e.add(i, i, 1.0);
+        a.add(0, 1, 1.0);
+        a.add(1, 2, 1.0);
+        a.add(2, 3, 1.0);
+        a.add(3, 0, -1.0);
+        a.add(3, 3, -1.0);
+        b.add(3, 0, 1.0);
+        comp.e = la::CscMatrix(e);
+        comp.a = la::CscMatrix(a);
+        comp.b = la::CscMatrix(b);
+        la::Triplets c(1, 4);
+        c.add(0, 0, 1.0);
+        comp.c = la::CscMatrix(c);
+    }
+    opmsim::transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
+    const auto gl = opmsim::transient::simulate_grunwald(comp, u, t_end, m, gopt);
+
+    for (double t : {0.8, 1.5, 2.7})
+        EXPECT_NEAR(res.outputs[0].at(t), gl.outputs[0].at(t), 4e-2) << t;
+}

@@ -138,6 +138,61 @@ TEST(Fft, RealSignalHasConjugateSymmetry) {
         EXPECT_LT(std::abs(f[k] - std::conj(f[x.size() - k])), 1e-9);
 }
 
+/// The fused radix-4 production kernel against the plain radix-2
+/// reference, forward and (unnormalized) inverse, across 4^k sizes (all
+/// stages fused), 2·4^k sizes (one radix-2 opening stage), and — via the
+/// Bluestein wrapper exercised by fft() on non-power-of-two sizes — the
+/// naive-DFT suite above.
+class Radix4Sizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Radix4Sizes, MatchesRadix2Kernel) {
+    const std::size_t n = GetParam();
+    const std::vector<cplx> x = test_signal(n, 1234);
+    for (const int sign : {-1, +1}) {
+        std::vector<cplx> r4 = x;
+        std::vector<cplx> r2 = x;
+        if (sign < 0)
+            opmsim::fftx::fft(r4);  // production = fused radix-4
+        else
+            opmsim::fftx::ifft_unnormalized(r4);
+        opmsim::fftx::fft_pow2_radix2(r2, sign);
+        EXPECT_LT(max_diff(r4, r2), 1e-12 * static_cast<double>(n))
+            << "n=" << n << " sign=" << sign;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Radix4Sizes,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096,  // 4^k
+                                           2, 8, 32, 128, 512, 2048));  // 2*4^k
+
+TEST(Fft, Radix2ReferenceRejectsNonPowerOfTwo) {
+    std::vector<cplx> x(12, cplx(1.0, 0.0));
+    EXPECT_THROW(opmsim::fftx::fft_pow2_radix2(x, -1), std::invalid_argument);
+}
+
+TEST(Fft, IrfftRfftRoundTripProperty) {
+    // irfft(rfft(x)) == x across radix-4, radix-2-opening, and Bluestein
+    // sizes, on signals with decade-scale dynamic range.
+    unsigned s = 91;
+    for (const std::size_t n : {1u, 2u, 5u, 12u, 27u, 64u, 100u, 127u, 256u,
+                                360u, 500u, 512u}) {
+        std::vector<double> x(n);
+        for (auto& v : x) {
+            s = s * 1664525u + 1013904223u;
+            const double mag = static_cast<double>(s % 2000) / 1000.0 - 1.0;
+            s = s * 1664525u + 1013904223u;
+            v = mag * std::pow(10.0, static_cast<double>(s % 4));
+        }
+        const auto back = opmsim::fftx::irfft(opmsim::fftx::fft_real(x));
+        ASSERT_EQ(back.size(), n);
+        double scale = 0;
+        for (const double v : x) scale = std::max(scale, std::abs(v));
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(back[i], x[i], 1e-12 * scale * static_cast<double>(n))
+                << "n=" << n << " i=" << i;
+    }
+}
+
 TEST(Fft, SizeOneIsIdentity) {
     std::vector<cplx> x = {cplx(3.0, -2.0)};
     opmsim::fftx::fft(x);

@@ -157,6 +157,95 @@ TEST(MultiTerm, RecurrenceAndToeplitzPathsAgree) {
               1e-9 * (1.0 + r2.coeffs.max_abs()));
 }
 
+TEST(MultiTerm, HistoryBackendsMatchNaiveOracle) {
+    // The full backend matrix against the naive extended-precision oracle,
+    // on a system that exercises everything at once: a mixed
+    // integer/fractional LHS including an alpha > 1 term (engaging the
+    // rho_1 cascade on the fast backends), an identity (order 0) term,
+    // and RHS input-derivative terms with beta_l > 0 — at power-of-two
+    // and non-power-of-two m.
+    opm::MultiTermSystem mt;
+    mt.lhs.push_back({1.8, scalar(1.0)});
+    mt.lhs.push_back({1.0, scalar(0.6)});
+    mt.lhs.push_back({0.4, scalar(0.3)});
+    mt.lhs.push_back({0.0, scalar(1.0)});
+    mt.rhs.push_back({1.2, scalar(0.2)});
+    mt.rhs.push_back({0.5, scalar(0.5)});
+    mt.rhs.push_back({0.0, scalar(1.0)});
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.1, 0.5)};
+
+    for (const la::index_t m : {100, 256, 301}) {
+        opm::MultiTermOptions base;
+        base.path = opm::MultiTermPath::toeplitz;
+        base.history = opm::HistoryBackend::naive;
+        const auto ref = opm::simulate_multiterm(mt, u, 2.0, m, base);
+        for (const auto be : {opm::HistoryBackend::blocked,
+                              opm::HistoryBackend::fft,
+                              opm::HistoryBackend::automatic}) {
+            opm::MultiTermOptions opt = base;
+            opt.history = be;
+            const auto got = opm::simulate_multiterm(mt, u, 2.0, m, opt);
+            EXPECT_LT(la::max_abs_diff(ref.coeffs, got.coeffs),
+                      1e-10 * (1.0 + ref.coeffs.max_abs()))
+                << "m=" << m << " backend=" << static_cast<int>(be);
+        }
+    }
+}
+
+TEST(MultiTerm, RhsDerivativeBackendsMatchNaive) {
+    // Isolate the forcing precompute W_l = U D^{beta_l}: with a single
+    // order-0 LHS term the sweep is diagonal and the result IS the
+    // forcing, so any backend disagreement here indicts
+    // diff_toeplitz_apply alone (including its beta > 1 cascade).
+    opm::MultiTermSystem mt;
+    mt.lhs.push_back({0.0, scalar(1.0)});
+    mt.rhs.push_back({1.5, scalar(1.0)});
+    mt.rhs.push_back({1.0, scalar(-0.3)});
+    const std::vector<wave::Source> u = {wave::sine(1.0, 0.7)};
+
+    for (const la::index_t m : {100, 200}) {
+        opm::MultiTermOptions base;
+        base.path = opm::MultiTermPath::toeplitz;
+        base.history = opm::HistoryBackend::naive;
+        const auto ref = opm::simulate_multiterm(mt, u, 2.0, m, base);
+        for (const auto be :
+             {opm::HistoryBackend::blocked, opm::HistoryBackend::fft}) {
+            opm::MultiTermOptions opt = base;
+            opt.history = be;
+            const auto got = opm::simulate_multiterm(mt, u, 2.0, m, opt);
+            EXPECT_LT(la::max_abs_diff(ref.coeffs, got.coeffs),
+                      1e-10 * (1.0 + ref.coeffs.max_abs()))
+                << "m=" << m << " backend=" << static_cast<int>(be);
+        }
+    }
+}
+
+TEST(MultiTerm, Alpha2CascadePathMatchesNaive) {
+    // Pure second-order LHS term: ceil(alpha) - 1 = 1 rho_1 cascade stage
+    // on the fast backends vs the full growing row in the oracle.
+    const double w = 4.0, zeta = 0.25;
+    opm::MultiTermSystem mt;
+    mt.lhs.push_back({2.0, scalar(1.0)});
+    mt.lhs.push_back({1.0, scalar(2.0 * zeta * w)});
+    mt.lhs.push_back({0.0, scalar(w * w)});
+    mt.rhs.push_back({0.0, scalar(w * w)});
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.2)};
+
+    opm::MultiTermOptions base;
+    base.path = opm::MultiTermPath::toeplitz;
+    base.history = opm::HistoryBackend::naive;
+    const auto ref = opm::simulate_multiterm(mt, u, 3.0, 320, base);
+    for (const auto be :
+         {opm::HistoryBackend::blocked, opm::HistoryBackend::fft}) {
+        opm::MultiTermOptions opt = base;
+        opt.history = be;
+        const auto got = opm::simulate_multiterm(mt, u, 3.0, 320, opt);
+        EXPECT_LT(la::max_abs_diff(ref.coeffs, got.coeffs),
+                  1e-10 * (1.0 + ref.coeffs.max_abs()))
+            << "backend=" << static_cast<int>(be);
+    }
+}
+
 TEST(MultiTerm, RecurrencePathRejectsFractionalOrders) {
     opm::MultiTermSystem mt;
     mt.lhs.push_back({0.5, scalar(1.0)});
