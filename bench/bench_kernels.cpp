@@ -47,18 +47,55 @@ void BM_AdaptiveFracMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptiveFracMatrix)->Arg(16)->Arg(64);
 
-void BM_SparseLuGrid(benchmark::State& state) {
+la::CscMatrix power_grid_pencil(la::index_t nxy, double lead = 2.0 / 1e-11) {
     circuit::PowerGridSpec spec;
-    spec.nx = spec.ny = state.range(0);
+    spec.nx = spec.ny = nxy;
     spec.nz = 3;
     const circuit::PowerGrid pg = circuit::build_power_grid(spec);
-    const la::CscMatrix pencil =
-        la::CscMatrix::add(2.0 / 1e-11, pg.mna.e, -1.0, pg.mna.a);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(la::SparseLu(pencil));
-    }
+    return la::CscMatrix::add(lead, pg.mna.e, -1.0, pg.mna.a);
 }
-BENCHMARK(BM_SparseLuGrid)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+/// Full factorization (symbolic analysis + numeric) of the power-grid MNA
+/// pencil per ordering.  The nnz_LU counter is the fill-in each ordering
+/// produces — the quality metric AMD is meant to cut vs RCM.
+void BM_SparseLuGrid(benchmark::State& state) {
+    const la::CscMatrix pencil = power_grid_pencil(state.range(0));
+    la::SparseLuOptions opt;
+    opt.ordering = static_cast<la::SparseLuOptions::Ordering>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(la::SparseLu(pencil, opt));
+    }
+    const la::SparseLu lu(pencil, opt);
+    state.counters["nnz_LU"] = static_cast<double>(lu.nnz_lu());
+    state.counters["offdiag_pivots"] = static_cast<double>(lu.off_diagonal_pivots());
+}
+BENCHMARK(BM_SparseLuGrid)
+    ->ArgNames({"g", "ordering"})
+    ->Args({8, 0})->Args({8, 1})->Args({8, 2})
+    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
+    ->Args({24, 1})->Args({24, 2})->Args({24, 3})
+    ->Unit(benchmark::kMillisecond);
+
+/// Numeric-only refactorization of the same pencil with refreshed values
+/// (a new step size), pattern and pivots frozen — the per-step-change cost
+/// the adaptive stepper and the variable-step baselines now pay instead of
+/// a full factorization (compare against BM_SparseLuGrid at the same g).
+void BM_SparseLuRefactor(benchmark::State& state) {
+    const la::CscMatrix pencil = power_grid_pencil(state.range(0));
+    const la::CscMatrix shifted = power_grid_pencil(state.range(0), 2.0 / 0.7e-11);
+    la::SparseLu lu(pencil);
+    bool flip = false;
+    for (auto _ : state) {
+        lu.refactor(flip ? shifted : pencil);
+        flip = !flip;
+        benchmark::DoNotOptimize(lu);
+    }
+    state.counters["nnz_LU"] = static_cast<double>(lu.nnz_lu());
+}
+BENCHMARK(BM_SparseLuRefactor)
+    ->ArgNames({"g"})
+    ->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OpmSweepFractional(benchmark::State& state) {
     const la::index_t m = state.range(0);

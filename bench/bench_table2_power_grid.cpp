@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "circuit/power_grid.hpp"
@@ -93,13 +94,19 @@ int main(int argc, char** argv) {
     TextTable tab;
     tab.set_header({"Method", "Step", "Runtime", "Avg Relative Error"});
 
+    // Every baseline factors the same MNA pattern (lead*E - A) with a
+    // different lead, so the fill-reducing analysis is shared across all
+    // five runs: the first run computes it, the rest reuse it.
+    std::shared_ptr<const la::SparseLuSymbolic> symbolic;
     auto run_baseline = [&](transient::Method method, double h) {
         const la::index_t m = static_cast<la::index_t>(t_end / h + 0.5);
         transient::TransientOptions topt;
         topt.method = method;
+        topt.symbolic = symbolic;
         WallTimer t;
         const transient::TransientResult r =
             transient::simulate_transient(pg.mna, pg.inputs, t_end, m, topt);
+        symbolic = r.symbolic;
         const double ms = t.elapsed_ms();
         const double err = wave::average_relative_error_db(ref, r.outputs);
         char step[32];
@@ -118,6 +125,18 @@ int main(int argc, char** argv) {
     std::snprintf(step, sizeof step, "h = %g ps", h0 * 1e12);
     tab.add_row({"OPM (2nd-order)", step, fmt_ms(t_opm), "-"});
     tab.print();
+
+    if (symbolic) {
+        const char* ord =
+            symbolic->chosen_ordering() == la::SparseLuOptions::Ordering::amd ? "amd"
+            : symbolic->chosen_ordering() == la::SparseLuOptions::Ordering::rcm
+                ? "rcm"
+                : "natural";
+        std::printf("\nMNA pencil analysis (shared by all baselines): "
+                    "ordering=%s, mean degree %.2f, predicted nnz(L+U)=%ld\n",
+                    ord, symbolic->mean_degree(),
+                    static_cast<long>(symbolic->fill_estimate()));
+    }
 
     std::printf("\npaper:  b-Euler 334.7s/-91dB, 691.7s/-92dB, 3198s/-127dB; "
                 "Gear 359.1s/-134dB;\n        Trapezoidal 347.2s/-137dB; "

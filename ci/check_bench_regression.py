@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench-smoke regression gate.
+
+Compares a fresh one-rep benchmark smoke run against the checked-in
+BENCH_kernels.json and fails when a gated benchmark regressed by more than
+--factor (default 3x).
+
+The gate is meant to catch complexity regressions (an accidental O(n^2)
+reintroduction in the LU or history paths), not scheduler noise, and it
+must not fire just because the CI runner is slower than the machine that
+recorded the baseline.  To cancel the machine-speed difference, every
+compared benchmark's ratio (new_time / baseline_time) is normalized by the
+median ratio across *all* compared benchmarks: a uniformly slower runner
+moves every ratio equally and the normalized ratios stay ~1, while a
+single benchmark blowing up stands out.
+
+Usage:
+  check_bench_regression.py BASELINE.json SMOKE.json \
+      [--gate REGEX] [--factor 3.0]
+
+Only benchmarks whose name matches --gate (default: the sparse-LU and
+multi-term sweeps) are *enforced*; every benchmark present in both files
+participates in the median normalization.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+
+def load_times(path):
+    """name -> real_time in ns (aggregates and error runs skipped)."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or "error_occurred" in b:
+            continue
+        name = b["name"]
+        t = float(b["real_time"])
+        # google-benchmark reports per-iteration time in `time_unit`.
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[name] = t * scale
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("smoke")
+    ap.add_argument("--gate", default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_MultiTermSweep",
+                    help="regex of benchmark names the gate enforces")
+    ap.add_argument("--factor", type=float, default=3.0,
+                    help="maximum allowed normalized slowdown")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    new = load_times(args.smoke)
+    common = sorted(set(base) & set(new))
+    if not common:
+        print(f"error: no common benchmarks between {args.baseline} and {args.smoke}")
+        return 2
+
+    ratios = {n: new[n] / base[n] for n in common if base[n] > 0}
+    gate = re.compile(args.gate)
+    # Calibrate the machine-speed factor on the *ungated* benchmarks (the
+    # FFT smoke entries) so a genuine uniform regression of the gated set
+    # cannot normalize itself away; fall back to all ratios if the smoke
+    # filter provided no calibration points.
+    calib = [r for n, r in ratios.items() if not gate.search(n)]
+    if len(calib) >= 2:
+        speed = statistics.median(calib)
+        print(f"machine-speed factor (median of {len(calib)} ungated ratios): "
+              f"{speed:.2f}x")
+    else:
+        speed = statistics.median(list(ratios.values()))
+        print(f"machine-speed factor (median of all {len(ratios)} ratios): "
+              f"{speed:.2f}x")
+    print(f"{'benchmark':50s} {'base':>10s} {'smoke':>10s} {'norm':>6s}")
+    failed = []
+    for n in common:
+        norm = ratios[n] / speed
+        gated = bool(gate.search(n))
+        verdict = ""
+        if gated and norm > args.factor:
+            verdict = f"  REGRESSED (> {args.factor:.1f}x)"
+            failed.append(n)
+        elif gated:
+            verdict = "  ok"
+        print(f"{n:50s} {base[n]/1e6:9.3f}ms {new[n]/1e6:9.3f}ms {norm:5.2f}x{verdict}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} gated benchmark(s) regressed more than "
+              f"{args.factor:.1f}x after speed normalization: {', '.join(failed)}")
+        return 1
+    print("\nOK: no gated benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,34 +36,34 @@ void Netlist::add(Element e) {
 
 void Netlist::resistor(const std::string& name, index_t n1, index_t n2, double r) {
     OPMSIM_REQUIRE(r > 0.0, "Netlist: resistance must be positive");
-    add({ElementKind::resistor, name, n1, n2, r, 1.0, 0, 0, -1});
+    add({ElementKind::resistor, name, n1, n2, r, 1.0, 0, 0, -1, {}, {}});
 }
 
 void Netlist::capacitor(const std::string& name, index_t n1, index_t n2, double c) {
     OPMSIM_REQUIRE(c > 0.0, "Netlist: capacitance must be positive");
-    add({ElementKind::capacitor, name, n1, n2, c, 1.0, 0, 0, -1});
+    add({ElementKind::capacitor, name, n1, n2, c, 1.0, 0, 0, -1, {}, {}});
 }
 
 void Netlist::inductor(const std::string& name, index_t n1, index_t n2, double l) {
     OPMSIM_REQUIRE(l > 0.0, "Netlist: inductance must be positive");
-    add({ElementKind::inductor, name, n1, n2, l, 1.0, 0, 0, -1});
+    add({ElementKind::inductor, name, n1, n2, l, 1.0, 0, 0, -1, {}, {}});
 }
 
 void Netlist::cpe(const std::string& name, index_t n1, index_t n2, double c,
                   double alpha) {
     OPMSIM_REQUIRE(c > 0.0, "Netlist: CPE coefficient must be positive");
     OPMSIM_REQUIRE(alpha > 0.0 && alpha < 2.0, "Netlist: CPE order in (0,2)");
-    add({ElementKind::cpe, name, n1, n2, c, alpha, 0, 0, -1});
+    add({ElementKind::cpe, name, n1, n2, c, alpha, 0, 0, -1, {}, {}});
 }
 
 void Netlist::vsource(const std::string& name, index_t np, index_t nn,
                       index_t source_id) {
-    add({ElementKind::vsource, name, np, nn, 1.0, 1.0, 0, 0, source_id});
+    add({ElementKind::vsource, name, np, nn, 1.0, 1.0, 0, 0, source_id, {}, {}});
 }
 
 void Netlist::isource(const std::string& name, index_t np, index_t nn,
                       index_t source_id, double scale) {
-    add({ElementKind::isource, name, np, nn, scale, 1.0, 0, 0, source_id});
+    add({ElementKind::isource, name, np, nn, scale, 1.0, 0, 0, source_id, {}, {}});
 }
 
 void Netlist::vccs(const std::string& name, index_t np, index_t nn, index_t cp,

@@ -1,6 +1,7 @@
 #include "la/ordering.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <queue>
 
@@ -8,57 +9,23 @@ namespace opmsim::la {
 
 namespace {
 
-/// Symmetrized adjacency (pattern of A + A^T, no self loops), CSR-like.
-struct Graph {
-    std::vector<index_t> ptr;
-    std::vector<index_t> adj;
-    [[nodiscard]] index_t degree(index_t v) const {
-        return ptr[static_cast<std::size_t>(v) + 1] - ptr[static_cast<std::size_t>(v)];
-    }
-};
-
-Graph build_graph(const CscMatrix& a) {
-    const index_t n = a.rows();
-    std::vector<std::vector<index_t>> nbr(static_cast<std::size_t>(n));
-    const auto& cp = a.col_ptr();
-    const auto& ri = a.row_ind();
-    for (index_t j = 0; j < n; ++j)
-        for (index_t p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1];
-             ++p) {
-            const index_t i = ri[static_cast<std::size_t>(p)];
-            if (i == j) continue;
-            nbr[static_cast<std::size_t>(i)].push_back(j);
-            nbr[static_cast<std::size_t>(j)].push_back(i);
-        }
-    Graph g;
-    g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
-    for (index_t v = 0; v < n; ++v) {
-        auto& list = nbr[static_cast<std::size_t>(v)];
-        std::sort(list.begin(), list.end());
-        list.erase(std::unique(list.begin(), list.end()), list.end());
-        g.ptr[static_cast<std::size_t>(v) + 1] =
-            g.ptr[static_cast<std::size_t>(v)] + static_cast<index_t>(list.size());
-    }
-    g.adj.reserve(static_cast<std::size_t>(g.ptr.back()));
-    for (auto& list : nbr) g.adj.insert(g.adj.end(), list.begin(), list.end());
-    return g;
-}
+inline std::size_t usz(index_t v) { return static_cast<std::size_t>(v); }
 
 /// BFS recording levels; returns the last-visited vertex (an eccentric one).
-index_t bfs_far_vertex(const Graph& g, index_t start, std::vector<int>& seen, int stamp) {
+index_t bfs_far_vertex(const SymmetricPattern& g, index_t start, std::vector<int>& seen,
+                       int stamp) {
     std::queue<index_t> q;
     q.push(start);
-    seen[static_cast<std::size_t>(start)] = stamp;
+    seen[usz(start)] = stamp;
     index_t last = start;
     while (!q.empty()) {
         const index_t v = q.front();
         q.pop();
         last = v;
-        for (index_t p = g.ptr[static_cast<std::size_t>(v)];
-             p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
-            const index_t w = g.adj[static_cast<std::size_t>(p)];
-            if (seen[static_cast<std::size_t>(w)] != stamp) {
-                seen[static_cast<std::size_t>(w)] = stamp;
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            const index_t w = g.adj[usz(p)];
+            if (seen[usz(w)] != stamp) {
+                seen[usz(w)] = stamp;
                 q.push(w);
             }
         }
@@ -68,44 +35,65 @@ index_t bfs_far_vertex(const Graph& g, index_t start, std::vector<int>& seen, in
 
 } // namespace
 
-std::vector<index_t> rcm_ordering(const CscMatrix& a) {
-    OPMSIM_REQUIRE(a.rows() == a.cols(), "rcm_ordering: square matrix required");
+SymmetricPattern symmetrized_pattern(const CscMatrix& a) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "symmetrized_pattern: square matrix required");
     const index_t n = a.rows();
-    const Graph g = build_graph(a);
+    std::vector<std::vector<index_t>> nbr(usz(n));
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_ind();
+    for (index_t j = 0; j < n; ++j)
+        for (index_t p = cp[usz(j)]; p < cp[usz(j) + 1]; ++p) {
+            const index_t i = ri[usz(p)];
+            if (i == j) continue;
+            nbr[usz(i)].push_back(j);
+            nbr[usz(j)].push_back(i);
+        }
+    SymmetricPattern g;
+    g.ptr.assign(usz(n) + 1, 0);
+    for (index_t v = 0; v < n; ++v) {
+        auto& list = nbr[usz(v)];
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+        g.ptr[usz(v) + 1] = g.ptr[usz(v)] + static_cast<index_t>(list.size());
+    }
+    g.adj.reserve(usz(g.ptr.back()));
+    for (auto& list : nbr) g.adj.insert(g.adj.end(), list.begin(), list.end());
+    return g;
+}
+
+std::vector<index_t> rcm_ordering(const CscMatrix& a) {
+    return rcm_ordering(symmetrized_pattern(a));
+}
+
+std::vector<index_t> rcm_ordering(const SymmetricPattern& g) {
+    const index_t n = g.size();
 
     std::vector<index_t> order;
-    order.reserve(static_cast<std::size_t>(n));
-    std::vector<bool> placed(static_cast<std::size_t>(n), false);
-    std::vector<int> seen(static_cast<std::size_t>(n), -1);
+    order.reserve(usz(n));
+    std::vector<bool> placed(usz(n), false);
+    std::vector<int> seen(usz(n), -1);
     int stamp = 0;
 
     for (index_t root = 0; root < n; ++root) {
-        if (placed[static_cast<std::size_t>(root)]) continue;
-        // Pseudo-peripheral start: two BFS passes from the component's
-        // min-degree unplaced vertex.
-        index_t start = root;
-        for (index_t v = root; v < n; ++v)
-            if (!placed[static_cast<std::size_t>(v)] && g.degree(v) < g.degree(start) &&
-                seen[static_cast<std::size_t>(v)] != stamp)
-                ;  // degree scan limited to this component below
-        start = bfs_far_vertex(g, root, seen, stamp++);
+        if (placed[usz(root)]) continue;
+        // Pseudo-peripheral start: two BFS passes from the component root.
+        index_t start = bfs_far_vertex(g, root, seen, stamp++);
         start = bfs_far_vertex(g, start, seen, stamp++);
 
         // Cuthill–McKee BFS from `start`, neighbors in increasing degree.
         std::queue<index_t> q;
         q.push(start);
-        placed[static_cast<std::size_t>(start)] = true;
+        placed[usz(start)] = true;
         std::vector<index_t> nbrs;
         while (!q.empty()) {
             const index_t v = q.front();
             q.pop();
             order.push_back(v);
             nbrs.clear();
-            for (index_t p = g.ptr[static_cast<std::size_t>(v)];
-                 p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
-                const index_t w = g.adj[static_cast<std::size_t>(p)];
-                if (!placed[static_cast<std::size_t>(w)]) {
-                    placed[static_cast<std::size_t>(w)] = true;
+            for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+                const index_t w = g.adj[usz(p)];
+                if (!placed[usz(w)]) {
+                    placed[usz(w)] = true;
                     nbrs.push_back(w);
                 }
             }
@@ -120,27 +108,267 @@ std::vector<index_t> rcm_ordering(const CscMatrix& a) {
     return order;
 }
 
+std::vector<index_t> amd_ordering(const CscMatrix& a) {
+    return amd_ordering(symmetrized_pattern(a));
+}
+
+/// Approximate minimum degree on the quotient graph.
+///
+/// Node roles evolve during elimination: a *variable* is an uneliminated
+/// (super)variable, an *element* is an eliminated pivot standing for the
+/// clique of its remaining variables, and *absorbed* nodes have been merged
+/// into a supervariable or covered by a newer element.  For a variable v,
+/// vadj[v] holds variable neighbors and eadj[v] the elements v belongs to;
+/// for an element e, vadj[e] holds its variable list Le.  Lists are pruned
+/// lazily, so stale (absorbed / zero-weight) entries are skipped on scan.
+std::vector<index_t> amd_ordering(const SymmetricPattern& g) {
+    const index_t n = g.size();
+    std::vector<index_t> order;
+    order.reserve(usz(n));
+    if (n == 0) return order;
+
+    enum : char { kVar = 0, kElement = 1, kAbsorbed = 2, kDense = 3 };
+    std::vector<char> state(usz(n), kVar);
+    std::vector<index_t> nv(usz(n), 1);  ///< supervariable weight (0 = gone)
+    std::vector<index_t> degree(usz(n), 0);
+    std::vector<std::vector<index_t>> vadj(usz(n));
+    std::vector<std::vector<index_t>> eadj(usz(n));
+
+    // Member chains so a supervariable expands to consecutive output slots.
+    std::vector<index_t> mem_head(usz(n)), mem_tail(usz(n)), mem_next(usz(n), -1);
+    for (index_t v = 0; v < n; ++v) mem_head[usz(v)] = mem_tail[usz(v)] = v;
+
+    // Dense rows are deferred: they would join (and so re-update) nearly
+    // every pivot's reach without ever being good pivots themselves.
+    const index_t dense_cut = std::max<index_t>(
+        16, static_cast<index_t>(10.0 * std::sqrt(static_cast<double>(n))));
+    index_t nlive = 0;
+    for (index_t v = 0; v < n; ++v) {
+        if (g.degree(v) >= dense_cut) state[usz(v)] = kDense;
+    }
+    for (index_t v = 0; v < n; ++v) {
+        if (state[usz(v)] == kDense) continue;
+        ++nlive;
+        auto& list = vadj[usz(v)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            const index_t w = g.adj[usz(p)];
+            if (state[usz(w)] != kDense) list.push_back(w);
+        }
+        degree[usz(v)] = static_cast<index_t>(list.size());
+    }
+
+    // Degree buckets (doubly linked lists indexed by approximate degree).
+    std::vector<index_t> head(usz(n), -1), dnext(usz(n), -1), dprev(usz(n), -1);
+    auto bucket_insert = [&](index_t v, index_t d) {
+        dnext[usz(v)] = head[usz(d)];
+        dprev[usz(v)] = -1;
+        if (head[usz(d)] >= 0) dprev[usz(head[usz(d)])] = v;
+        head[usz(d)] = v;
+    };
+    auto bucket_remove = [&](index_t v, index_t d) {
+        if (dprev[usz(v)] >= 0)
+            dnext[usz(dprev[usz(v)])] = dnext[usz(v)];
+        else
+            head[usz(d)] = dnext[usz(v)];
+        if (dnext[usz(v)] >= 0) dprev[usz(dnext[usz(v)])] = dprev[usz(v)];
+    };
+    for (index_t v = 0; v < n; ++v)
+        if (state[usz(v)] == kVar) bucket_insert(v, degree[usz(v)]);
+
+    std::vector<index_t> mark(usz(n), 0);   ///< reach marker, stamped per pivot
+    std::vector<index_t> wmark(usz(n), 0);  ///< validity stamp for w[]
+    std::vector<index_t> w(usz(n), 0);      ///< |Le \ Lp| scratch per element
+    index_t stamp = 0;
+
+    /// Current weight of element e's variable list (skipping stale entries).
+    auto element_weight = [&](index_t e) {
+        index_t s = 0;
+        for (const index_t v : vadj[usz(e)])
+            if (state[usz(v)] == kVar && nv[usz(v)] > 0) s += nv[usz(v)];
+        return s;
+    };
+
+    std::vector<index_t> lp;  ///< pivot reach (live supervariables)
+    lp.reserve(usz(n));
+    std::vector<std::pair<index_t, index_t>> hashes;  ///< (hash, var) pairs
+
+    index_t ordered = 0;  ///< original live variables output so far
+    index_t mind = 0;
+    while (ordered < nlive) {
+        while (mind < n && head[usz(mind)] < 0) ++mind;
+        OPMSIM_ENSURE(mind < n, "amd_ordering: degree lists exhausted early");
+        const index_t p = head[usz(mind)];
+        bucket_remove(p, mind);
+
+        // --- Lp: variables of A_p plus variables of every element of p.
+        ++stamp;
+        mark[usz(p)] = stamp;
+        lp.clear();
+        for (const index_t v : vadj[usz(p)])
+            if (state[usz(v)] == kVar && nv[usz(v)] > 0 && mark[usz(v)] != stamp) {
+                mark[usz(v)] = stamp;
+                lp.push_back(v);
+            }
+        for (const index_t e : eadj[usz(p)]) {
+            if (state[usz(e)] != kElement) continue;
+            for (const index_t v : vadj[usz(e)])
+                if (state[usz(v)] == kVar && nv[usz(v)] > 0 && mark[usz(v)] != stamp) {
+                    mark[usz(v)] = stamp;
+                    lp.push_back(v);
+                }
+            state[usz(e)] = kAbsorbed;  // covered by the new element p
+        }
+        index_t lp_weight = 0;
+        for (const index_t v : lp) lp_weight += nv[usz(v)];
+
+        // --- one-pass |Le \ Lp| for every element touching the reach.
+        for (const index_t i : lp)
+            for (const index_t e : eadj[usz(i)]) {
+                if (state[usz(e)] != kElement) continue;
+                if (wmark[usz(e)] != stamp) {
+                    wmark[usz(e)] = stamp;
+                    w[usz(e)] = element_weight(e);
+                }
+                w[usz(e)] -= nv[usz(i)];
+            }
+
+        // --- eliminate p: emit its member chain.
+        state[usz(p)] = kElement;
+        ordered += nv[usz(p)];
+        for (index_t mv = mem_head[usz(p)]; mv >= 0; mv = mem_next[usz(mv)])
+            order.push_back(mv);
+        nv[usz(p)] = 0;
+        const index_t remaining = nlive - ordered;
+
+        // --- degree update + list pruning for each reach variable.
+        for (const index_t i : lp) {
+            bucket_remove(i, degree[usz(i)]);
+
+            // Variables inside Lp are now connected through element p;
+            // drop them (and stale entries) from i's variable list.
+            auto& vl = vadj[usz(i)];
+            std::size_t keep = 0;
+            for (const index_t v : vl)
+                if (state[usz(v)] == kVar && nv[usz(v)] > 0 && mark[usz(v)] != stamp)
+                    vl[keep++] = v;
+            vl.resize(keep);
+
+            // Keep live elements; aggressive absorption deletes any element
+            // whose remaining variables are all inside Lp (w == 0).  Every
+            // live element reachable from i was stamped by the one-pass
+            // |Le \ Lp| loop above (it iterated these exact (i, e) pairs),
+            // so w[e] is always current here.
+            auto& el = eadj[usz(i)];
+            keep = 0;
+            index_t ext_elems = 0;
+            for (const index_t e : el) {
+                if (state[usz(e)] != kElement) continue;
+                if (w[usz(e)] <= 0) {
+                    state[usz(e)] = kAbsorbed;
+                    continue;
+                }
+                ext_elems += w[usz(e)];
+                el[keep++] = e;
+            }
+            el.resize(keep);
+            el.push_back(p);
+
+            index_t ext_vars = 0;
+            for (const index_t v : vl) ext_vars += nv[usz(v)];
+
+            // Approximate external degree (Amestoy–Davis–Duff bounds).
+            index_t d = ext_vars + ext_elems + (lp_weight - nv[usz(i)]);
+            d = std::min(d, degree[usz(i)] + (lp_weight - nv[usz(i)]));
+            d = std::min(d, remaining - nv[usz(i)]);
+            degree[usz(i)] = std::max<index_t>(d, 0);
+        }
+
+        // --- mass elimination: merge indistinguishable reach variables.
+        hashes.clear();
+        for (const index_t i : lp) {
+            index_t h = 0;
+            for (const index_t v : vadj[usz(i)]) h += v;
+            for (const index_t e : eadj[usz(i)]) h += e;
+            hashes.emplace_back(h % n, i);
+        }
+        std::sort(hashes.begin(), hashes.end());
+        for (std::size_t s = 0; s < hashes.size(); ++s) {
+            const index_t i = hashes[s].second;
+            if (nv[usz(i)] == 0) continue;
+            // No later entry shares the hash => no merge candidate; skip
+            // the adjacency sorts (the common singleton-bucket case).
+            if (s + 1 >= hashes.size() || hashes[s + 1].first != hashes[s].first)
+                continue;
+            std::sort(vadj[usz(i)].begin(), vadj[usz(i)].end());
+            std::sort(eadj[usz(i)].begin(), eadj[usz(i)].end());
+            for (std::size_t t = s + 1;
+                 t < hashes.size() && hashes[t].first == hashes[s].first; ++t) {
+                const index_t j = hashes[t].second;
+                if (nv[usz(j)] == 0) continue;
+                std::sort(vadj[usz(j)].begin(), vadj[usz(j)].end());
+                std::sort(eadj[usz(j)].begin(), eadj[usz(j)].end());
+                if (vadj[usz(i)] != vadj[usz(j)] || eadj[usz(i)] != eadj[usz(j)])
+                    continue;
+                // j is indistinguishable from i: absorb it.
+                degree[usz(i)] -= nv[usz(j)];
+                nv[usz(i)] += nv[usz(j)];
+                nv[usz(j)] = 0;
+                state[usz(j)] = kAbsorbed;
+                mem_next[usz(mem_tail[usz(i)])] = mem_head[usz(j)];
+                mem_tail[usz(i)] = mem_tail[usz(j)];
+                vadj[usz(j)].clear();
+                eadj[usz(j)].clear();
+            }
+        }
+
+        // --- reinsert survivors; element p's list is the compacted reach.
+        auto& pl = vadj[usz(p)];
+        pl.clear();
+        for (const index_t i : lp) {
+            if (nv[usz(i)] == 0) continue;
+            pl.push_back(i);
+            const index_t d =
+                std::clamp<index_t>(degree[usz(i)], 0, n - 1);
+            degree[usz(i)] = d;
+            bucket_insert(i, d);
+            mind = std::min(mind, d);
+        }
+        eadj[usz(p)].clear();
+    }
+
+    // Deferred dense rows are ordered last, lowest original degree first.
+    std::vector<index_t> dense;
+    for (index_t v = 0; v < n; ++v)
+        if (state[usz(v)] == kDense) dense.push_back(v);
+    std::sort(dense.begin(), dense.end(), [&](index_t x, index_t y) {
+        return std::make_pair(g.degree(x), x) < std::make_pair(g.degree(y), y);
+    });
+    order.insert(order.end(), dense.begin(), dense.end());
+
+    OPMSIM_ENSURE(static_cast<index_t>(order.size()) == n,
+                  "amd_ordering: output is not a permutation");
+    return order;
+}
+
 index_t bandwidth(const CscMatrix& a, const std::vector<index_t>& perm) {
     OPMSIM_REQUIRE(static_cast<index_t>(perm.size()) == a.rows(),
                    "bandwidth: permutation size mismatch");
     std::vector<index_t> inv(perm.size());
     for (std::size_t k = 0; k < perm.size(); ++k)
-        inv[static_cast<std::size_t>(perm[k])] = static_cast<index_t>(k);
+        inv[usz(perm[k])] = static_cast<index_t>(k);
     index_t bw = 0;
     const auto& cp = a.col_ptr();
     const auto& ri = a.row_ind();
     for (index_t j = 0; j < a.cols(); ++j)
-        for (index_t p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1];
-             ++p) {
-            const index_t i = ri[static_cast<std::size_t>(p)];
-            bw = std::max(bw, std::abs(inv[static_cast<std::size_t>(i)] -
-                                       inv[static_cast<std::size_t>(j)]));
+        for (index_t p = cp[usz(j)]; p < cp[usz(j) + 1]; ++p) {
+            const index_t i = ri[usz(p)];
+            bw = std::max(bw, std::abs(inv[usz(i)] - inv[usz(j)]));
         }
     return bw;
 }
 
 std::vector<index_t> natural_ordering(index_t n) {
-    std::vector<index_t> p(static_cast<std::size_t>(n));
+    std::vector<index_t> p(usz(n));
     std::iota(p.begin(), p.end(), index_t{0});
     return p;
 }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace opmsim::la {
 
 namespace {
+
+inline std::size_t usz(index_t v) { return static_cast<std::size_t>(v); }
 
 /// Iterative depth-first search computing the nonzero pattern (reach) of
 /// the solution of L x = b for one column.  Edges: original row r with
@@ -15,9 +18,7 @@ namespace {
 class ReachDfs {
 public:
     explicit ReachDfs(index_t n)
-        : mark_(static_cast<std::size_t>(n), -1),
-          row_stack_(static_cast<std::size_t>(n)),
-          ptr_stack_(static_cast<std::size_t>(n)) {}
+        : mark_(usz(n), -1), row_stack_(usz(n)), ptr_stack_(usz(n)) {}
 
     /// Start a new column; `stamp` must be unique per column.
     void begin(int stamp) {
@@ -27,27 +28,27 @@ public:
 
     void dfs_from(index_t root, const std::vector<index_t>& l_colp,
                   const std::vector<index_t>& l_rowi, const std::vector<index_t>& pinv) {
-        if (mark_[static_cast<std::size_t>(root)] == stamp_) return;
+        if (mark_[usz(root)] == stamp_) return;
         index_t top = 0;
         row_stack_[0] = root;
         ptr_stack_[0] = -1;  // -1 => not yet expanded
-        mark_[static_cast<std::size_t>(root)] = stamp_;
+        mark_[usz(root)] = stamp_;
         while (top >= 0) {
-            const index_t r = row_stack_[static_cast<std::size_t>(top)];
-            const index_t k = pinv[static_cast<std::size_t>(r)];
-            index_t p = ptr_stack_[static_cast<std::size_t>(top)];
-            if (p < 0) p = (k >= 0) ? l_colp[static_cast<std::size_t>(k)] : 0;
-            const index_t pend = (k >= 0) ? l_colp[static_cast<std::size_t>(k) + 1] : 0;
+            const index_t r = row_stack_[usz(top)];
+            const index_t k = pinv[usz(r)];
+            index_t p = ptr_stack_[usz(top)];
+            if (p < 0) p = (k >= 0) ? l_colp[usz(k)] : 0;
+            const index_t pend = (k >= 0) ? l_colp[usz(k) + 1] : 0;
             bool descended = false;
             while (p < pend) {
-                const index_t child = l_rowi[static_cast<std::size_t>(p)];
+                const index_t child = l_rowi[usz(p)];
                 ++p;
-                if (mark_[static_cast<std::size_t>(child)] != stamp_) {
-                    mark_[static_cast<std::size_t>(child)] = stamp_;
-                    ptr_stack_[static_cast<std::size_t>(top)] = p;
+                if (mark_[usz(child)] != stamp_) {
+                    mark_[usz(child)] = stamp_;
+                    ptr_stack_[usz(top)] = p;
                     ++top;
-                    row_stack_[static_cast<std::size_t>(top)] = child;
-                    ptr_stack_[static_cast<std::size_t>(top)] = -1;
+                    row_stack_[usz(top)] = child;
+                    ptr_stack_[usz(top)] = -1;
                     descended = true;
                     break;
                 }
@@ -73,54 +74,141 @@ private:
     std::vector<index_t> topo_;
 };
 
+/// nnz(L) of the Cholesky factor of the permuted symmetrized pattern,
+/// via Liu's elimination-tree algorithm and row-subtree column counts
+/// (O(nnz(L)) time, O(n) extra memory, no factor storage).
+index_t cholesky_factor_nnz(const SymmetricPattern& g, const std::vector<index_t>& perm) {
+    const index_t n = g.size();
+    std::vector<index_t> inv(usz(n));
+    for (index_t k = 0; k < n; ++k) inv[usz(perm[usz(k)])] = k;
+
+    std::vector<index_t> parent(usz(n), -1), ancestor(usz(n), -1);
+    for (index_t i = 0; i < n; ++i) {
+        const index_t v = perm[usz(i)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            index_t r = inv[usz(g.adj[usz(p)])];
+            if (r >= i) continue;
+            // Walk to the root, path-compressing onto i.
+            while (ancestor[usz(r)] >= 0 && ancestor[usz(r)] != i) {
+                const index_t next = ancestor[usz(r)];
+                ancestor[usz(r)] = i;
+                r = next;
+            }
+            if (ancestor[usz(r)] < 0) {
+                ancestor[usz(r)] = i;
+                parent[usz(r)] = i;
+            }
+        }
+    }
+
+    index_t nnz_l = n;  // diagonal
+    std::vector<index_t> seen(usz(n), -1);
+    for (index_t i = 0; i < n; ++i) {
+        seen[usz(i)] = i;
+        const index_t v = perm[usz(i)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            index_t r = inv[usz(g.adj[usz(p)])];
+            if (r >= i) continue;
+            // Row subtree of i: every column on the path gains entry (i, .).
+            while (seen[usz(r)] != i) {
+                seen[usz(r)] = i;
+                ++nnz_l;
+                r = parent[usz(r)];
+            }
+        }
+    }
+    return nnz_l;
+}
+
 } // namespace
 
-SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt) : n_(a.rows()) {
-    OPMSIM_REQUIRE(a.rows() == a.cols(), "SparseLu: square matrix required");
+SparseLuSymbolic::SparseLuSymbolic(const CscMatrix& a, SparseLuOptions opt)
+    : n_(a.rows()), opt_(opt) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "SparseLuSymbolic: square matrix required");
     OPMSIM_REQUIRE(opt.pivot_tol >= 0.0 && opt.pivot_tol <= 1.0,
-                   "SparseLu: pivot_tol must be in [0,1]");
+                   "SparseLuSymbolic: pivot_tol must be in [0,1]");
+
+    const SymmetricPattern g = symmetrized_pattern(a);
+    mean_degree_ = g.mean_degree();
+    chosen_ = opt.ordering;
+    if (chosen_ == SparseLuOptions::Ordering::automatic) {
+        // Density policy: path/ladder-like patterns (mean off-diagonal
+        // degree ~2) have a tiny band that RCM recovers exactly; anything
+        // denser (meshes, grids) fills far less under minimum degree.
+        chosen_ = (mean_degree_ <= 2.5) ? SparseLuOptions::Ordering::rcm
+                                        : SparseLuOptions::Ordering::amd;
+    }
+    switch (chosen_) {
+    case SparseLuOptions::Ordering::natural: perm_cols_ = natural_ordering(n_); break;
+    case SparseLuOptions::Ordering::rcm: perm_cols_ = rcm_ordering(g); break;
+    default: perm_cols_ = amd_ordering(g); break;
+    }
+    fill_estimate_ = 2 * cholesky_factor_nnz(g, perm_cols_) - n_;
+    a_colp_ = a.col_ptr();
+    a_rowi_ = a.row_ind();
+}
+
+SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt)
+    : SparseLu(a, std::make_shared<const SparseLuSymbolic>(a, opt)) {}
+
+SparseLu::SparseLu(const CscMatrix& a, std::shared_ptr<const SparseLuSymbolic> symbolic)
+    : n_(a.rows()), symbolic_(std::move(symbolic)) {
+    OPMSIM_REQUIRE(a.rows() == a.cols(), "SparseLu: square matrix required");
+    OPMSIM_REQUIRE(symbolic_ != nullptr, "SparseLu: null symbolic analysis");
+    OPMSIM_REQUIRE(symbolic_->size() == n_,
+                   "SparseLu: symbolic analysis size mismatch");
+    OPMSIM_REQUIRE(a.col_ptr() == symbolic_->pattern_colp() &&
+                       a.row_ind() == symbolic_->pattern_rowi(),
+                   "SparseLu: matrix pattern differs from the analyzed one");
+    factorize(a);
+}
+
+void SparseLu::factorize(const CscMatrix& a) {
     const index_t n = n_;
+    const double pivot_tol = symbolic_->options().pivot_tol;
+    const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
 
-    perm_cols_ = (opt.ordering == SparseLuOptions::Ordering::rcm) ? rcm_ordering(a)
-                                                                  : natural_ordering(n);
-
-    pinv_.assign(static_cast<std::size_t>(n), -1);
-    perm_rows_.assign(static_cast<std::size_t>(n), -1);
+    pinv_.assign(usz(n), -1);
+    perm_rows_.assign(usz(n), -1);
     l_colp_.assign(1, 0);
     u_colp_.assign(1, 0);
-    u_diag_.resize(static_cast<std::size_t>(n));
+    u_diag_.resize(usz(n));
 
-    Vectord x(static_cast<std::size_t>(n), 0.0);
+    // The symmetric fill estimate sizes the factors up front: half below
+    // the diagonal (L), half above (U), exact when pivots stay diagonal.
+    const index_t est_offdiag =
+        std::max<index_t>(0, (symbolic_->fill_estimate() - n) / 2);
+    l_rowi_.reserve(usz(est_offdiag));
+    l_val_.reserve(usz(est_offdiag));
+    u_rowi_.reserve(usz(est_offdiag));
+    u_val_.reserve(usz(est_offdiag));
+
+    Vectord x(usz(n), 0.0);
     ReachDfs dfs(n);
     const auto& acp = a.col_ptr();
     const auto& ari = a.row_ind();
     const auto& avl = a.values();
 
     for (index_t j = 0; j < n; ++j) {
-        const index_t aj = perm_cols_[static_cast<std::size_t>(j)];
+        const index_t aj = perm_cols[usz(j)];
 
         // --- symbolic: reach of column aj's pattern through L's DAG.
         dfs.begin(static_cast<int>(j));
-        for (index_t p = acp[static_cast<std::size_t>(aj)];
-             p < acp[static_cast<std::size_t>(aj) + 1]; ++p)
-            dfs.dfs_from(ari[static_cast<std::size_t>(p)], l_colp_, l_rowi_, pinv_);
+        for (index_t p = acp[usz(aj)]; p < acp[usz(aj) + 1]; ++p)
+            dfs.dfs_from(ari[usz(p)], l_colp_, l_rowi_, pinv_);
         const std::vector<index_t> pattern = dfs.take_topo();
 
         // --- numeric: scatter b, then eliminate in topological order.
-        for (index_t p = acp[static_cast<std::size_t>(aj)];
-             p < acp[static_cast<std::size_t>(aj) + 1]; ++p)
-            x[static_cast<std::size_t>(ari[static_cast<std::size_t>(p)])] =
-                avl[static_cast<std::size_t>(p)];
+        for (index_t p = acp[usz(aj)]; p < acp[usz(aj) + 1]; ++p)
+            x[usz(ari[usz(p)])] = avl[usz(p)];
 
         for (const index_t r : pattern) {
-            const index_t k = pinv_[static_cast<std::size_t>(r)];
+            const index_t k = pinv_[usz(r)];
             if (k < 0) continue;  // unpivoted row: below the diagonal, no outedges
-            const double xr = x[static_cast<std::size_t>(r)];
+            const double xr = x[usz(r)];
             if (xr == 0.0) continue;
-            for (index_t p = l_colp_[static_cast<std::size_t>(k)];
-                 p < l_colp_[static_cast<std::size_t>(k) + 1]; ++p)
-                x[static_cast<std::size_t>(l_rowi_[static_cast<std::size_t>(p)])] -=
-                    l_val_[static_cast<std::size_t>(p)] * xr;
+            for (index_t p = l_colp_[usz(k)]; p < l_colp_[usz(k) + 1]; ++p)
+                x[usz(l_rowi_[usz(p)])] -= l_val_[usz(p)] * xr;
         }
 
         // --- pivot: among unpivoted rows, prefer the structural diagonal
@@ -128,8 +216,8 @@ SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt) : n_(a.rows()) {
         double cmax = 0.0;
         index_t rpiv = -1;
         for (const index_t r : pattern) {
-            if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
-            const double v = std::abs(x[static_cast<std::size_t>(r)]);
+            if (pinv_[usz(r)] >= 0) continue;
+            const double v = std::abs(x[usz(r)]);
             if (v > cmax) {
                 cmax = v;
                 rpiv = r;
@@ -138,41 +226,87 @@ SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt) : n_(a.rows()) {
         if (rpiv < 0 || cmax == 0.0)
             throw numerical_error("SparseLu: matrix is singular at column " +
                                   std::to_string(j));
-        const double xdiag =
-            (pinv_[static_cast<std::size_t>(aj)] < 0) ? std::abs(x[static_cast<std::size_t>(aj)]) : 0.0;
-        if (xdiag >= opt.pivot_tol * cmax && xdiag > 0.0) {
+        const double xdiag = (pinv_[usz(aj)] < 0) ? std::abs(x[usz(aj)]) : 0.0;
+        if (xdiag >= pivot_tol * cmax && xdiag > 0.0) {
             rpiv = aj;
         } else if (rpiv != aj) {
             ++offdiag_pivots_;
         }
-        const double pivot = x[static_cast<std::size_t>(rpiv)];
-        pinv_[static_cast<std::size_t>(rpiv)] = j;
-        perm_rows_[static_cast<std::size_t>(j)] = rpiv;
-        u_diag_[static_cast<std::size_t>(j)] = pivot;
+        const double pivot = x[usz(rpiv)];
+        pinv_[usz(rpiv)] = j;
+        perm_rows_[usz(j)] = rpiv;
+        u_diag_[usz(j)] = pivot;
 
         // --- gather into U (pivoted rows) and L (unpivoted rows / pivot).
+        // Every reach entry is kept, zero-valued or not: the stored pattern
+        // must stay value-independent so refactor() can replay it exactly.
         for (const index_t r : pattern) {
-            const double v = x[static_cast<std::size_t>(r)];
-            x[static_cast<std::size_t>(r)] = 0.0;  // reset scratch
-            const index_t k = pinv_[static_cast<std::size_t>(r)];
+            const double v = x[usz(r)];
+            x[usz(r)] = 0.0;  // reset scratch
+            const index_t k = pinv_[usz(r)];
             if (r == rpiv) continue;
             if (k >= 0 && k < j) {
-                if (v != 0.0) {
-                    u_rowi_.push_back(k);
-                    u_val_.push_back(v);
-                }
+                u_rowi_.push_back(k);
+                u_val_.push_back(v);
             } else {
-                if (v != 0.0) {
-                    l_rowi_.push_back(r);
-                    l_val_.push_back(v / pivot);
-                }
+                l_rowi_.push_back(r);
+                l_val_.push_back(v / pivot);
             }
         }
         u_colp_.push_back(static_cast<index_t>(u_val_.size()));
         l_colp_.push_back(static_cast<index_t>(l_val_.size()));
     }
 
-    work_.assign(static_cast<std::size_t>(n), 0.0);
+    work_.assign(usz(n), 0.0);
+}
+
+void SparseLu::refactor(const CscMatrix& a) {
+    OPMSIM_REQUIRE(a.rows() == n_ && a.cols() == n_,
+                   "SparseLu::refactor: size mismatch");
+    OPMSIM_REQUIRE(a.col_ptr() == symbolic_->pattern_colp() &&
+                       a.row_ind() == symbolic_->pattern_rowi(),
+                   "SparseLu::refactor: sparsity pattern differs from the "
+                   "factored matrix (build a new SparseLu instead)");
+    const index_t n = n_;
+    const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
+    const std::vector<index_t>& a_colp = a.col_ptr();
+    const std::vector<index_t>& a_rowi = a.row_ind();
+    const auto& avl = a.values();
+    Vectord& x = work_;  // solves leave stale values behind — reset first
+    std::fill(x.begin(), x.end(), 0.0);
+
+    for (index_t j = 0; j < n; ++j) {
+        const index_t aj = perm_cols[usz(j)];
+        for (index_t p = a_colp[usz(aj)]; p < a_colp[usz(aj) + 1]; ++p)
+            x[usz(a_rowi[usz(p)])] = avl[usz(p)];
+
+        // Replay the frozen U pattern in its stored elimination order.
+        for (index_t p = u_colp_[usz(j)]; p < u_colp_[usz(j) + 1]; ++p) {
+            const index_t k = u_rowi_[usz(p)];
+            const index_t r = perm_rows_[usz(k)];
+            const double xr = x[usz(r)];
+            x[usz(r)] = 0.0;
+            u_val_[usz(p)] = xr;
+            if (xr == 0.0) continue;
+            for (index_t q = l_colp_[usz(k)]; q < l_colp_[usz(k) + 1]; ++q)
+                x[usz(l_rowi_[usz(q)])] -= l_val_[usz(q)] * xr;
+        }
+
+        const index_t rpiv = perm_rows_[usz(j)];
+        const double pivot = x[usz(rpiv)];
+        x[usz(rpiv)] = 0.0;
+        if (pivot == 0.0)
+            throw numerical_error(
+                "SparseLu::refactor: frozen pivot vanished at column " +
+                std::to_string(j) + "; a full factorization is required");
+        u_diag_[usz(j)] = pivot;
+
+        for (index_t q = l_colp_[usz(j)]; q < l_colp_[usz(j) + 1]; ++q) {
+            const index_t r = l_rowi_[usz(q)];
+            l_val_[usz(q)] = x[usz(r)] / pivot;
+            x[usz(r)] = 0.0;
+        }
+    }
 }
 
 void SparseLu::solve_in_place(Vectord& b) const {
@@ -184,32 +318,25 @@ void SparseLu::solve_in_place(Vectord& b) const {
     // Forward solve L z = P b, working in original row space: after
     // processing factor column k, y[perm_rows_[k]] holds z_k.
     for (index_t k = 0; k < n; ++k) {
-        const double zk = y[static_cast<std::size_t>(perm_rows_[static_cast<std::size_t>(k)])];
+        const double zk = y[usz(perm_rows_[usz(k)])];
         if (zk == 0.0) continue;
-        for (index_t p = l_colp_[static_cast<std::size_t>(k)];
-             p < l_colp_[static_cast<std::size_t>(k) + 1]; ++p)
-            y[static_cast<std::size_t>(l_rowi_[static_cast<std::size_t>(p)])] -=
-                l_val_[static_cast<std::size_t>(p)] * zk;
+        for (index_t p = l_colp_[usz(k)]; p < l_colp_[usz(k) + 1]; ++p)
+            y[usz(l_rowi_[usz(p)])] -= l_val_[usz(p)] * zk;
     }
 
     // Backward solve U w = z in pivot space (reuse b as w).
-    for (index_t k = 0; k < n; ++k)
-        b[static_cast<std::size_t>(k)] =
-            y[static_cast<std::size_t>(perm_rows_[static_cast<std::size_t>(k)])];
+    for (index_t k = 0; k < n; ++k) b[usz(k)] = y[usz(perm_rows_[usz(k)])];
     for (index_t j = n - 1; j >= 0; --j) {
-        const double wj = b[static_cast<std::size_t>(j)] / u_diag_[static_cast<std::size_t>(j)];
-        b[static_cast<std::size_t>(j)] = wj;
+        const double wj = b[usz(j)] / u_diag_[usz(j)];
+        b[usz(j)] = wj;
         if (wj == 0.0) continue;
-        for (index_t p = u_colp_[static_cast<std::size_t>(j)];
-             p < u_colp_[static_cast<std::size_t>(j) + 1]; ++p)
-            b[static_cast<std::size_t>(u_rowi_[static_cast<std::size_t>(p)])] -=
-                u_val_[static_cast<std::size_t>(p)] * wj;
+        for (index_t p = u_colp_[usz(j)]; p < u_colp_[usz(j) + 1]; ++p)
+            b[usz(u_rowi_[usz(p)])] -= u_val_[usz(p)] * wj;
     }
 
-    // Undo the column permutation: x[perm_cols_[j]] = w_j.
-    for (index_t j = 0; j < n; ++j)
-        y[static_cast<std::size_t>(perm_cols_[static_cast<std::size_t>(j)])] =
-            b[static_cast<std::size_t>(j)];
+    // Undo the column permutation: x[perm_cols[j]] = w_j.
+    const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
+    for (index_t j = 0; j < n; ++j) y[usz(perm_cols[usz(j)])] = b[usz(j)];
     std::copy(y.begin(), y.end(), b.begin());
 }
 

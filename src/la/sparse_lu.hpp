@@ -1,18 +1,29 @@
 #pragma once
 /// \file sparse_lu.hpp
-/// \brief Left-looking (Gilbert–Peierls) sparse LU with partial pivoting.
+/// \brief Left-looking (Gilbert–Peierls) sparse LU with partial pivoting,
+///        split into a reusable symbolic analysis and a numeric factor.
 ///
 /// This is the factorization engine behind every implicit time-stepping
 /// scheme in opmsim: OPM's column-by-column sweep, backward Euler,
 /// trapezoidal and Gear all factor one circuit-sized pencil once and then
-/// perform m forward/backward solves.  The factorization uses:
-///  * a fill-reducing column ordering (reverse Cuthill–McKee by default),
-///  * Gilbert–Peierls symbolic DFS per column (O(flops) total),
-///  * threshold partial pivoting that prefers the diagonal entry — circuit
-///    pencils are close to diagonally dominant, and keeping the diagonal
-///    pivot preserves the ordering's fill profile (the same choice KLU
-///    makes).
+/// perform m forward/backward solves.  The work is split in two layers:
+///
+///  * `SparseLuSymbolic` — per-*pattern* analysis: fill-reducing column
+///    ordering (AMD / RCM / natural, or an `automatic` density policy) plus
+///    the elimination tree and column counts of the symmetrized pattern
+///    (the Cholesky fill estimate used to pre-size the factors).  Pencils
+///    that share a sparsity pattern — every (aE - bA) combination of one
+///    circuit, every step size of a transient scheme — share one symbolic
+///    object.
+///  * `SparseLu` — the numeric factorization: Gilbert–Peierls symbolic DFS
+///    per column (O(flops) total) with threshold partial pivoting that
+///    prefers the diagonal entry (circuit pencils are close to diagonally
+///    dominant, and keeping the diagonal pivot preserves the ordering's
+///    fill profile — the same choice KLU makes).  `refactor()` refreshes
+///    the numeric values for a new same-pattern matrix while keeping the
+///    pattern and pivot sequence frozen, skipping the DFS entirely.
 
+#include <memory>
 #include <vector>
 
 #include "la/ordering.hpp"
@@ -21,19 +32,87 @@
 namespace opmsim::la {
 
 struct SparseLuOptions {
-    enum class Ordering { natural, rcm };
-    Ordering ordering = Ordering::rcm;
-    /// Diagonal entry is accepted as pivot when |a_diag| >= pivot_tol * max
-    /// |column|.  1.0 = strict partial pivoting, 0 = always diagonal.
+    enum class Ordering {
+        natural,   ///< identity permutation
+        rcm,       ///< reverse Cuthill–McKee (bandwidth reducer)
+        amd,       ///< approximate minimum degree (fill reducer)
+        automatic  ///< pick AMD vs RCM from the symmetrized-pattern density
+    };
+    Ordering ordering = Ordering::automatic;
+    /// Threshold partial pivoting: the structural diagonal entry is kept as
+    /// pivot when |a_diag| >= pivot_tol * max |column|.  pivot_tol = 0
+    /// accepts any nonzero diagonal; pivot_tol = 1 accepts the diagonal
+    /// only when it ties the column maximum (strict partial pivoting with a
+    /// diagonal tie-break).  Pinned by SparseLu.PivotTolThresholds.
     double pivot_tol = 0.1;
+};
+
+/// Pattern-level analysis, computed once and shared by every numeric
+/// factorization of matrices with the same sparsity structure.
+class SparseLuSymbolic {
+public:
+    explicit SparseLuSymbolic(const CscMatrix& a, SparseLuOptions opt = {});
+
+    [[nodiscard]] index_t size() const { return n_; }
+    [[nodiscard]] const SparseLuOptions& options() const { return opt_; }
+
+    /// Column order actually used: factor col j <- A col perm_cols()[j].
+    [[nodiscard]] const std::vector<index_t>& perm_cols() const { return perm_cols_; }
+
+    /// The ordering the `automatic` policy resolved to (never `automatic`).
+    [[nodiscard]] SparseLuOptions::Ordering chosen_ordering() const { return chosen_; }
+
+    /// Average off-diagonal degree of the symmetrized pattern (the density
+    /// measure the automatic policy consults).
+    [[nodiscard]] double mean_degree() const { return mean_degree_; }
+
+    /// Predicted nnz(L) + nnz(U) from the elimination-tree column counts
+    /// of the symmetrized permuted pattern.  Exact for structurally
+    /// symmetric matrices factored with diagonal pivots; an upper bound
+    /// for unsymmetric patterns; no longer a bound once off-diagonal
+    /// pivots occur.
+    [[nodiscard]] index_t fill_estimate() const { return fill_estimate_; }
+
+    /// The analyzed sparsity pattern (CSC column pointers / row indices).
+    /// Shared by every factor of the pattern: SparseLu validates its input
+    /// against this fingerprint instead of keeping per-instance copies.
+    [[nodiscard]] const std::vector<index_t>& pattern_colp() const { return a_colp_; }
+    [[nodiscard]] const std::vector<index_t>& pattern_rowi() const { return a_rowi_; }
+
+private:
+    index_t n_ = 0;
+    SparseLuOptions opt_;
+    SparseLuOptions::Ordering chosen_ = SparseLuOptions::Ordering::natural;
+    std::vector<index_t> perm_cols_;
+    std::vector<index_t> a_colp_, a_rowi_;
+    double mean_degree_ = 0.0;
+    index_t fill_estimate_ = 0;
 };
 
 /// Factor once, solve many times:
 ///   SparseLu lu(a);
 ///   Vectord x = lu.solve(b);
+///
+/// Same-pattern reuse:
+///   SparseLu lu(a0);                       // full: symbolic + numeric
+///   SparseLu lu1(a1, lu.symbolic());       // reuses ordering + analysis
+///   lu.refactor(a2);                       // numeric-only, frozen pivots
 class SparseLu {
 public:
     explicit SparseLu(const CscMatrix& a, SparseLuOptions opt = {});
+
+    /// Factor `a` reusing a previously computed symbolic analysis (the
+    /// pattern of `a` must be the one the symbolic was built from).
+    SparseLu(const CscMatrix& a, std::shared_ptr<const SparseLuSymbolic> symbolic);
+
+    /// Numeric-only refactorization: recompute L and U values for a matrix
+    /// with the *identical* sparsity pattern, keeping the column order,
+    /// pivot sequence and factor patterns frozen.  Skips the per-column
+    /// DFS and all allocation — the fast path when only coefficients
+    /// change (new step size, new pencil shift).  Throws numerical_error
+    /// if a frozen pivot becomes exactly zero; the caller should then fall
+    /// back to a fresh factorization (which re-pivots).
+    void refactor(const CscMatrix& a);
 
     /// Solve A x = b.
     [[nodiscard]] Vectord solve(Vectord b) const;
@@ -48,13 +127,23 @@ public:
     [[nodiscard]] index_t nnz_u() const {
         return static_cast<index_t>(u_val_.size() + u_diag_.size());
     }
+    /// Total factor fill nnz(L) + nnz(U) (the ordering-quality metric).
+    [[nodiscard]] index_t nnz_lu() const { return nnz_l() + nnz_u(); }
 
     /// Number of off-diagonal pivots chosen (diagnostic: 0 for diagonally
     /// dominant matrices).
     [[nodiscard]] index_t off_diagonal_pivots() const { return offdiag_pivots_; }
 
+    /// The shared pattern analysis (pass to another SparseLu to reuse it).
+    [[nodiscard]] const std::shared_ptr<const SparseLuSymbolic>& symbolic() const {
+        return symbolic_;
+    }
+
 private:
+    void factorize(const CscMatrix& a);
+
     index_t n_ = 0;
+    std::shared_ptr<const SparseLuSymbolic> symbolic_;
 
     // L: unit lower triangular, stored by factor column with *original* row
     // indices (resolved through pinv_ during solves).
@@ -62,12 +151,16 @@ private:
     std::vector<double> l_val_;
 
     // U: strictly upper part stored by column with pivot-position row
-    // indices; diagonal separately.
+    // indices; diagonal separately.  Entries within a column are kept in
+    // the elimination (topological) order of the first factorization —
+    // refactor() replays them in exactly that order.
     std::vector<index_t> u_colp_, u_rowi_;
     std::vector<double> u_val_;
     std::vector<double> u_diag_;
 
-    std::vector<index_t> perm_cols_;  ///< column order: factor col j <- A col perm_cols_[j]
+    // Column order (factor col j <- A col perm_cols()[j]) and the pattern
+    // fingerprint both live in the shared symbolic_ — factors of one
+    // pattern do not duplicate them.
     std::vector<index_t> perm_rows_;  ///< pivot order:  factor row k <- A row perm_rows_[k]
     std::vector<index_t> pinv_;       ///< inverse of perm_rows_
 

@@ -159,12 +159,17 @@ private:
         return rhs;
     }
 
-    /// Pencil cache keyed on H_jj = h^alpha / Gamma(alpha+2).
+    /// Pencil cache keyed on H_jj = h^alpha / Gamma(alpha+2).  Every pencil
+    /// (E - hjj A) shares the sparsity pattern, so the fill-reducing
+    /// ordering and elimination-tree analysis are computed once (first
+    /// factorization) and reused by every step-size change after it.
     const la::SparseLu* factor(double hjj) {
         auto it = lu_cache_.find(hjj);
         if (it == lu_cache_.end()) {
-            auto lu = std::make_unique<la::SparseLu>(
-                la::CscMatrix::add(1.0, sys_.e, -hjj, sys_.a));
+            const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys_.e, -hjj, sys_.a);
+            auto lu = symbolic_ ? std::make_unique<la::SparseLu>(pencil, symbolic_)
+                                : std::make_unique<la::SparseLu>(pencil);
+            if (!symbolic_) symbolic_ = lu->symbolic();
             ++factorizations_;
             it = lu_cache_.emplace(hjj, std::move(lu)).first;
         }
@@ -187,6 +192,7 @@ private:
     Vectord ax0_;
 
     std::map<double, std::unique_ptr<la::SparseLu>> lu_cache_;
+    std::shared_ptr<const la::SparseLuSymbolic> symbolic_;  ///< one per pattern
     index_t factorizations_ = 0;
 };
 

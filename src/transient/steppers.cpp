@@ -39,18 +39,37 @@ TransientResult simulate_transient(const opm::DescriptorSystem& sys,
     if (!opt.x0.empty())
         for (index_t i = 0; i < n; ++i) res.states(i, 0) = opt.x0[static_cast<std::size_t>(i)];
 
-    // Pencils.  Gear's first step is backward Euler, so it may need two
-    // factorizations; the BDF2 pencil dominates.
+    // Pencils.  Gear's first step is backward Euler, so it needs a second
+    // pencil (E/h - A) — same pattern, different lead coefficient: a copy
+    // of the BDF2 factor refactorized numerically, no second analysis or
+    // symbolic pass.
     WallTimer t;
     const double lead = (opt.method == Method::backward_euler) ? 1.0 / h
                         : (opt.method == Method::trapezoidal)  ? 2.0 / h
                                                                : 1.5 / h;
-    const la::SparseLu lu(la::CscMatrix::add(lead, sys.e, -1.0, sys.a));
+    const la::CscMatrix pencil = la::CscMatrix::add(lead, sys.e, -1.0, sys.a);
+    if (opt.symbolic)
+        OPMSIM_REQUIRE(opt.symbolic->size() == n,
+                       "simulate_transient: shared symbolic size mismatch");
+    const std::shared_ptr<const la::SparseLuSymbolic> symbolic =
+        opt.symbolic ? opt.symbolic
+                     : std::make_shared<const la::SparseLuSymbolic>(pencil);
+    const la::SparseLu lu(pencil, symbolic);
     std::unique_ptr<la::SparseLu> lu_start;
-    if (opt.method == Method::gear2)
-        lu_start = std::make_unique<la::SparseLu>(
-            la::CscMatrix::add(1.0 / h, sys.e, -1.0, sys.a));
+    if (opt.method == Method::gear2) {
+        const la::CscMatrix start = la::CscMatrix::add(1.0 / h, sys.e, -1.0, sys.a);
+        lu_start = std::make_unique<la::SparseLu>(lu);
+        try {
+            lu_start->refactor(start);
+        } catch (const numerical_error&) {
+            // The frozen BDF2 pivot sequence can cancel exactly on the
+            // backward-Euler pencil; re-pivot with a fresh numeric
+            // factorization (same shared analysis).
+            lu_start = std::make_unique<la::SparseLu>(start, symbolic);
+        }
+    }
     res.factor_seconds = t.elapsed_s();
+    res.symbolic = symbolic;
 
     t.reset();
     Vectord ut(static_cast<std::size_t>(p));

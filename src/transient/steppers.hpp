@@ -8,6 +8,9 @@
 /// reuse it for every step, so their cost profile matches OPM's
 /// (one factorization + m solves).
 
+#include <memory>
+
+#include "la/sparse_lu.hpp"
 #include "opm/solver.hpp"
 
 namespace opmsim::transient {
@@ -24,6 +27,13 @@ enum class Method {
 struct TransientOptions {
     Method method = Method::trapezoidal;
     Vectord x0;  ///< initial state; empty = zero
+    /// Optional shared pattern analysis for the implicit pencil
+    /// (lead*E - A).  Its pattern is the same for every method and step
+    /// size, so a caller running several baselines on one system (e.g.
+    /// bench_table2_power_grid) can analyze once and reuse; when empty,
+    /// the analysis is computed here and returned in
+    /// TransientResult::symbolic.
+    std::shared_ptr<const la::SparseLuSymbolic> symbolic;
 };
 
 struct TransientResult {
@@ -33,6 +43,10 @@ struct TransientResult {
 
     double factor_seconds = 0.0;
     double sweep_seconds = 0.0;
+
+    /// The pencil's pattern analysis (feed back into TransientOptions to
+    /// skip the ordering on the next same-system run).
+    std::shared_ptr<const la::SparseLuSymbolic> symbolic;
 };
 
 /// March m uniform steps over [0, t_end].

@@ -1,0 +1,234 @@
+/// \file test_la_ordering.cpp
+/// \brief AMD ordering coverage: permutation validity, fill quality on the
+///        power-grid pattern, degenerate graphs, and the cross-ordering
+///        solve oracle (natural | rcm | amd | automatic vs dense LU).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/power_grid.hpp"
+#include "la/dense_lu.hpp"
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace la = opmsim::la;
+namespace circuit = opmsim::circuit;
+
+namespace {
+
+/// Deterministic xorshift PRNG (no <random> to keep values platform-fixed).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+    double uniform() {  // in (0, 1)
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return static_cast<double>(s_ % 1000003u + 1) / 1000004.0;
+    }
+    la::index_t index(la::index_t bound) {
+        return static_cast<la::index_t>(uniform() * static_cast<double>(bound)) % bound;
+    }
+
+private:
+    std::uint64_t s_;
+};
+
+void expect_valid_permutation(const std::vector<la::index_t>& perm, la::index_t n) {
+    ASSERT_EQ(static_cast<la::index_t>(perm.size()), n);
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (const la::index_t p : perm) {
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, n);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(p)]) << "duplicate entry " << p;
+        seen[static_cast<std::size_t>(p)] = true;
+    }
+}
+
+la::CscMatrix power_grid_pencil(la::index_t nxy) {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = nxy;
+    spec.nz = 3;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    return la::CscMatrix::add(2.0 / 1e-11, pg.mna.e, -1.0, pg.mna.a);
+}
+
+la::index_t fill_of(const la::CscMatrix& a, la::SparseLuOptions::Ordering ord) {
+    la::SparseLuOptions opt;
+    opt.ordering = ord;
+    return la::SparseLu(a, opt).nnz_lu();
+}
+
+} // namespace
+
+TEST(AmdOrdering, ValidPermutationOnPowerGrid) {
+    const la::CscMatrix pencil = power_grid_pencil(8);
+    expect_valid_permutation(la::amd_ordering(pencil), pencil.rows());
+}
+
+TEST(AmdOrdering, ValidPermutationOnRandomUnsymmetric) {
+    Rng rng(11);
+    for (const la::index_t n : {3, 17, 60, 151}) {
+        la::Triplets t(n, n);
+        for (la::index_t i = 0; i < n; ++i) {
+            t.add(i, i, 4.0 + rng.uniform());
+            for (la::index_t k = 0; k < 4; ++k)
+                t.add(i, rng.index(n), rng.uniform() - 0.5);
+        }
+        const la::CscMatrix a(t);
+        expect_valid_permutation(la::amd_ordering(a), n);
+    }
+}
+
+TEST(AmdOrdering, FillAtMostNaturalOnPowerGrid) {
+    const la::CscMatrix pencil = power_grid_pencil(8);
+    const la::index_t fill_nat = fill_of(pencil, la::SparseLuOptions::Ordering::natural);
+    const la::index_t fill_amd = fill_of(pencil, la::SparseLuOptions::Ordering::amd);
+    EXPECT_LE(fill_amd, fill_nat);
+    // On a 3-D mesh AMD is not marginal: expect at least 2x less fill
+    // (measured ~7x at this size; the loose bound keeps the test robust).
+    EXPECT_LT(fill_amd, fill_nat / 2);
+}
+
+TEST(AmdOrdering, FillBelowRcmOnPowerGrid) {
+    // The acceptance gate of the ordering work: AMD beats RCM on the
+    // power-grid pencil (measured ~4x at g=16; assert a conservative
+    // strict improvement).
+    const la::CscMatrix pencil = power_grid_pencil(8);
+    const la::index_t fill_rcm = fill_of(pencil, la::SparseLuOptions::Ordering::rcm);
+    const la::index_t fill_amd = fill_of(pencil, la::SparseLuOptions::Ordering::amd);
+    EXPECT_LT(fill_amd, fill_rcm);
+}
+
+TEST(AmdOrdering, DiagonalMatrix) {
+    la::Triplets t(5, 5);
+    for (la::index_t i = 0; i < 5; ++i) t.add(i, i, 1.0 + static_cast<double>(i));
+    const la::CscMatrix a(t);
+    expect_valid_permutation(la::amd_ordering(a), 5);
+    const la::Vectord x = la::SparseLu(a).solve({1.0, 2.0, 3.0, 4.0, 5.0});
+    for (la::index_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(x[static_cast<std::size_t>(i)], 1.0, 1e-15);
+}
+
+TEST(AmdOrdering, DenseRowIsDeferred) {
+    // One hub row/column touching everything: AMD's dense-row deferral
+    // must order it last so it cannot pollute every degree update.
+    const la::index_t n = 400;
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) t.add(i, i, 4.0);
+    for (la::index_t i = 0; i + 1 < n; ++i) {
+        t.add(i, i + 1, -1.0);
+        t.add(i + 1, i, -1.0);
+    }
+    for (la::index_t i = 1; i < n; ++i) {
+        t.add(0, i, -0.01);
+        t.add(i, 0, -0.01);
+    }
+    const la::CscMatrix a(t);
+    const auto perm = la::amd_ordering(a);
+    expect_valid_permutation(perm, n);
+    EXPECT_EQ(perm.back(), 0) << "hub vertex should be eliminated last";
+
+    la::Vectord b(static_cast<std::size_t>(n), 1.0);
+    la::SparseLuOptions opt;
+    opt.ordering = la::SparseLuOptions::Ordering::amd;
+    const la::Vectord x = la::SparseLu(a, opt).solve(b);
+    const la::Vectord ax = a.matvec(x);
+    for (std::size_t i = 0; i < ax.size(); ++i) EXPECT_NEAR(ax[i], 1.0, 1e-10);
+}
+
+TEST(AmdOrdering, DisconnectedComponents) {
+    // Two cliques and two isolated vertices.
+    la::Triplets t(12, 12);
+    for (la::index_t i = 0; i < 12; ++i) t.add(i, i, 8.0);
+    for (la::index_t i = 0; i < 5; ++i)
+        for (la::index_t j = 0; j < 5; ++j)
+            if (i != j) t.add(i, j, -1.0);
+    for (la::index_t i = 5; i < 10; ++i)
+        for (la::index_t j = 5; j < 10; ++j)
+            if (i != j) t.add(i, j, -1.0);
+    const la::CscMatrix a(t);
+    expect_valid_permutation(la::amd_ordering(a), 12);
+    la::SparseLuOptions opt;
+    opt.ordering = la::SparseLuOptions::Ordering::amd;
+    la::Vectord b(12, 1.0);
+    const la::Vectord x = la::SparseLu(a, opt).solve(b);
+    const la::Vectord ax = a.matvec(x);
+    for (std::size_t i = 0; i < ax.size(); ++i) EXPECT_NEAR(ax[i], 1.0, 1e-12);
+}
+
+TEST(AutomaticOrdering, PicksRcmOnChainAmdOnMesh) {
+    // Tridiagonal chain: mean off-diagonal degree ~2 -> rcm.
+    const la::index_t n = 64;
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) t.add(i, i, 2.0);
+    for (la::index_t i = 0; i + 1 < n; ++i) {
+        t.add(i, i + 1, -1.0);
+        t.add(i + 1, i, -1.0);
+    }
+    const la::CscMatrix chain_mat{t};
+    const la::SparseLuSymbolic chain(chain_mat);
+    EXPECT_EQ(chain.chosen_ordering(), la::SparseLuOptions::Ordering::rcm);
+
+    // 3-D power grid: mean degree > 2.5 -> amd.
+    const la::SparseLuSymbolic mesh(power_grid_pencil(8));
+    EXPECT_EQ(mesh.chosen_ordering(), la::SparseLuOptions::Ordering::amd);
+}
+
+/// The cross-ordering oracle of the acceptance criteria: all four ordering
+/// modes must agree with a dense-LU solve to 1e-12 (relative).
+TEST(CrossOrdering, AllModesMatchDenseSolve) {
+    const la::CscMatrix pencil = power_grid_pencil(4);
+    const la::index_t n = pencil.rows();
+    Rng rng(21);
+    la::Vectord b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform() - 0.5;
+
+    const la::Vectord xd = la::solve_dense(pencil.to_dense(), b);
+    double xscale = 0.0;
+    for (const double v : xd) xscale = std::max(xscale, std::abs(v));
+
+    for (const auto ord : {la::SparseLuOptions::Ordering::natural,
+                           la::SparseLuOptions::Ordering::rcm,
+                           la::SparseLuOptions::Ordering::amd,
+                           la::SparseLuOptions::Ordering::automatic}) {
+        la::SparseLuOptions opt;
+        opt.ordering = ord;
+        const la::Vectord xs = la::SparseLu(pencil, opt).solve(b);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            EXPECT_NEAR(xs[i], xd[i], 1e-12 * xscale)
+                << "ordering mode " << static_cast<int>(ord) << " row " << i;
+    }
+}
+
+TEST(CrossOrdering, AllModesMatchDenseSolveRandom) {
+    Rng rng(5);
+    const la::index_t n = 50;
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + rng.uniform());
+        for (la::index_t k = 0; k < 4; ++k)
+            t.add(i, rng.index(n), rng.uniform() - 0.5);
+    }
+    const la::CscMatrix a(t);
+    la::Vectord b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform() - 0.5;
+    const la::Vectord xd = la::solve_dense(a.to_dense(), b);
+    double xscale = 0.0;
+    for (const double v : xd) xscale = std::max(xscale, std::abs(v));
+
+    for (const auto ord : {la::SparseLuOptions::Ordering::natural,
+                           la::SparseLuOptions::Ordering::rcm,
+                           la::SparseLuOptions::Ordering::amd,
+                           la::SparseLuOptions::Ordering::automatic}) {
+        la::SparseLuOptions opt;
+        opt.ordering = ord;
+        const la::Vectord xs = la::SparseLu(a, opt).solve(b);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            EXPECT_NEAR(xs[i], xd[i], 1e-12 * xscale);
+    }
+}

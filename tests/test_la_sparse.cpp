@@ -199,7 +199,9 @@ TEST_P(SparseLuProperty, MatchesDenseSolve) {
     for (auto& v : b) v = rng.uniform() - 0.5;
 
     for (const auto ord : {la::SparseLuOptions::Ordering::natural,
-                           la::SparseLuOptions::Ordering::rcm}) {
+                           la::SparseLuOptions::Ordering::rcm,
+                           la::SparseLuOptions::Ordering::amd,
+                           la::SparseLuOptions::Ordering::automatic}) {
         la::SparseLuOptions opt;
         opt.ordering = ord;
         const la::SparseLu lu(a, opt);
@@ -213,6 +215,142 @@ TEST_P(SparseLuProperty, MatchesDenseSolve) {
 INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuProperty,
                          ::testing::Combine(::testing::Values(5, 17, 40, 83),
                                             ::testing::Values(1, 2, 3)));
+
+/// Pins the pivot_tol semantics documented in SparseLuOptions: the
+/// structural diagonal is kept iff |a_diag| >= pivot_tol * max|column|.
+TEST(SparseLu, PivotTolThresholds) {
+    // Column 0 has a tiny diagonal (1e-3) against an off-diagonal 1.0.
+    la::Matrixd d{{1e-3, 1.0}, {1.0, 1.0}};
+    const la::CscMatrix a = la::CscMatrix::from_dense(d);
+    const la::Vectord b = {1.0, 3.0};
+    const la::Vectord xd = la::solve_dense(a.to_dense(), b);
+
+    auto factor_with_tol = [&](double tol) {
+        la::SparseLuOptions opt;
+        opt.ordering = la::SparseLuOptions::Ordering::natural;
+        opt.pivot_tol = tol;
+        return la::SparseLu(a, opt);
+    };
+
+    // tol = 0: any nonzero diagonal is accepted, tiny or not.
+    EXPECT_EQ(factor_with_tol(0.0).off_diagonal_pivots(), 0);
+    // tol = 0.1: 1e-3 < 0.1 * 1.0, so column 0's diagonal is rejected —
+    // and stealing row 1 forces column 1 off-diagonal too (count = 2).
+    EXPECT_EQ(factor_with_tol(0.1).off_diagonal_pivots(), 2);
+    // tol just below the ratio: 1e-3 >= 1e-4 * 1.0 keeps the diagonal.
+    EXPECT_EQ(factor_with_tol(1e-4).off_diagonal_pivots(), 0);
+    // tol = 1: strict partial pivoting — only a diagonal that ties the
+    // column maximum survives, so here the off-diagonal wins.
+    EXPECT_EQ(factor_with_tol(1.0).off_diagonal_pivots(), 2);
+
+    // All thresholds still solve correctly.
+    for (const double tol : {0.0, 1e-4, 0.1, 1.0}) {
+        const la::Vectord x = factor_with_tol(tol).solve(b);
+        EXPECT_NEAR(x[0], xd[0], 1e-11);
+        EXPECT_NEAR(x[1], xd[1], 1e-11);
+    }
+
+    // tol = 1 with an exact tie: the diagonal is preferred (tie-break).
+    la::Matrixd tie{{1.0, 0.5}, {1.0, 1.0}};
+    la::SparseLuOptions opt;
+    opt.ordering = la::SparseLuOptions::Ordering::natural;
+    opt.pivot_tol = 1.0;
+    EXPECT_EQ(la::SparseLu(la::CscMatrix::from_dense(tie), opt).off_diagonal_pivots(),
+              0);
+}
+
+TEST(SparseLu, RefactorMatchesFreshFactorization) {
+    Rng rng(13);
+    const la::index_t n = 40;
+    const la::CscMatrix a = random_sparse(n, 4, rng);
+
+    // Same pattern, different values (scaled + perturbed diagonal).
+    la::Triplets t2(n, n);
+    {
+        const auto& cp = a.col_ptr();
+        const auto& ri = a.row_ind();
+        const auto& vl = a.values();
+        for (la::index_t j = 0; j < n; ++j)
+            for (la::index_t p = cp[static_cast<std::size_t>(j)];
+                 p < cp[static_cast<std::size_t>(j) + 1]; ++p)
+                t2.add(ri[static_cast<std::size_t>(p)], j,
+                       -2.5 * vl[static_cast<std::size_t>(p)] +
+                           (ri[static_cast<std::size_t>(p)] == j ? 1.0 : 0.0));
+    }
+    const la::CscMatrix a2(t2);
+    ASSERT_EQ(a2.nnz(), a.nnz());
+
+    la::SparseLu lu(a);
+    lu.refactor(a2);
+    la::Vectord b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform() - 0.5;
+    const la::Vectord xr = lu.solve(b);
+    const la::Vectord xf = la::SparseLu(a2).solve(b);
+    const la::Vectord xd = la::solve_dense(a2.to_dense(), b);
+    for (std::size_t i = 0; i < xr.size(); ++i) {
+        EXPECT_NEAR(xr[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])));
+        EXPECT_NEAR(xr[i], xf[i], 1e-12 * (1.0 + std::abs(xf[i])));
+    }
+
+    // Refactor back to the original values: must match the original factor.
+    lu.refactor(a);
+    const la::Vectord x0 = lu.solve(b);
+    const la::Vectord x0d = la::solve_dense(a.to_dense(), b);
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        EXPECT_NEAR(x0[i], x0d[i], 1e-9 * (1.0 + std::abs(x0d[i])));
+}
+
+TEST(SparseLu, RefactorRejectsPatternMismatch) {
+    la::Matrixd d{{4, 1, 0}, {1, 4, 1}, {0, 1, 4}};
+    la::SparseLu lu(la::CscMatrix::from_dense(d));
+    la::Matrixd other{{4, 1, 1}, {1, 4, 1}, {1, 1, 4}};  // extra corners
+    EXPECT_THROW(lu.refactor(la::CscMatrix::from_dense(other)),
+                 std::invalid_argument);
+    la::Matrixd smaller{{4, 1}, {1, 4}};
+    EXPECT_THROW(lu.refactor(la::CscMatrix::from_dense(smaller)),
+                 std::invalid_argument);
+}
+
+TEST(SparseLu, RefactorThrowsOnVanishedPivot) {
+    la::Matrixd d{{4, 1}, {1, 4}};
+    la::SparseLu lu(la::CscMatrix::from_dense(d));
+    // Same pattern, but values that make the frozen pivot sequence singular.
+    la::Triplets t(2, 2);
+    t.add(0, 0, 0.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 0.0);
+    t.add(1, 1, 4.0);
+    EXPECT_THROW(lu.refactor(la::CscMatrix(t)), opmsim::numerical_error);
+}
+
+TEST(SparseLu, SymbolicReuseAcrossSamePatternPencils) {
+    Rng rng(17);
+    const la::index_t n = 60;
+    const la::CscMatrix e = random_sparse(n, 3, rng);
+    const la::CscMatrix a = random_sparse(n, 3, rng);
+
+    const la::CscMatrix p1 = la::CscMatrix::add(10.0, e, -1.0, a);
+    const la::CscMatrix p2 = la::CscMatrix::add(400.0, e, -1.0, a);
+    const la::SparseLu lu1(p1);
+    ASSERT_NE(lu1.symbolic(), nullptr);
+    const la::SparseLu lu2(p2, lu1.symbolic());
+    EXPECT_EQ(lu2.symbolic().get(), lu1.symbolic().get());
+
+    la::Vectord b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.uniform() - 0.5;
+    const la::Vectord x2 = lu2.solve(b);
+    const la::Vectord xd = la::solve_dense(p2.to_dense(), b);
+    for (std::size_t i = 0; i < x2.size(); ++i)
+        EXPECT_NEAR(x2[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])));
+
+    // The analysis reports the resolved ordering and a fill prediction
+    // that bounds the factor it sized (tight while pivots stay put).
+    EXPECT_NE(lu1.symbolic()->chosen_ordering(),
+              la::SparseLuOptions::Ordering::automatic);
+    if (lu1.off_diagonal_pivots() == 0) {
+        EXPECT_GE(lu1.symbolic()->fill_estimate(), lu1.nnz_lu());
+    }
+}
 
 TEST(SparseLu, ResidualSmallOnLaplacian2D) {
     // 2-D 5-point Laplacian with Dirichlet shift: the canonical mesh case.

@@ -65,7 +65,8 @@ TEST(Timer, IsMonotone) {
     opmsim::WallTimer t;
     const double a = t.elapsed_s();
     volatile double sink = 0;
-    for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
     const double b = t.elapsed_s();
     EXPECT_GE(b, a);
     t.reset();
