@@ -61,8 +61,10 @@ int main() {
         opm::OpmOptions oi = od;
         oi.form = opm::OpmForm::integral;
         const auto ri = opm::simulate_opm(sys, u, t_end, m, oi);
+        transient::GrunwaldOptions gopt;
+        gopt.alpha = alpha;
         const auto rg = transient::simulate_grunwald(sys.to_sparse(), u, t_end,
-                                                     m, {alpha});
+                                                     m, gopt);
         const auto rf = transient::simulate_fft(sys, u, t_end,
                                                 {alpha, static_cast<la::index_t>(m)});
 

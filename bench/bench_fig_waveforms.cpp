@@ -40,8 +40,10 @@ int main() {
     const auto o64 = opm::simulate_opm(tline, u, t_end, 64, oo);
     const auto f1 = transient::simulate_fft(tline, u, t_end, {0.5, 8});
     const auto f2 = transient::simulate_fft(tline, u, t_end, {0.5, 100});
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
     const auto gl = transient::simulate_grunwald(tline.to_sparse(), u, t_end,
-                                                 4000, {0.5});
+                                                 4000, gopt);
 
     std::printf("Figure A -- far-end voltage v2(t), fractional t-line "
                 "(alpha=1/2), T=2.7ns\n");

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "basis/walsh.hpp"
 #include "circuit/power_grid.hpp"
 #include "circuit/tline.hpp"
@@ -161,6 +162,58 @@ BENCHMARK(BM_MultiTermSweep)
     ->Args({256, 0})->Args({256, 1})->Args({256, 2})
     ->Args({1024, 0})->Args({1024, 1})->Args({1024, 2})
     ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})->Args({4096, 3})
+    ->Unit(benchmark::kMillisecond);
+
+/// Engine facade batched-scenario throughput (scenarios/sec): a 4-scenario
+/// what-if sweep (sources scaled, pencil identical) of the power-grid MNA
+/// model through Engine::run_batch.  warm=0 builds a fresh Engine every
+/// iteration (each batch pays one ordering + factorization before the
+/// cache kicks in); warm=1 keeps one Engine across iterations, so every
+/// scenario reuses the cached numeric factor — the facade's cross-run
+/// caching payoff, reported as the warm/cold items-per-second ratio.
+void BM_EngineBatch(benchmark::State& state) {
+    const bool warm = state.range(0) != 0;
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 16;
+    spec.nz = 3;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+
+    std::vector<api::Scenario> batch;
+    for (int s = 0; s < 4; ++s) {
+        api::Scenario sc;
+        sc.t_end = 1e-9;
+        sc.steps = 32;
+        const double gain = 1.0 + 0.2 * static_cast<double>(s);
+        for (std::size_t i = 0; i < pg.inputs.size(); ++i) {
+            const wave::Source base = pg.inputs[i];
+            if (i == 0)
+                sc.sources.push_back(base);
+            else
+                sc.sources.push_back(
+                    [base, gain](double t) { return gain * base(t); });
+        }
+        batch.push_back(std::move(sc));
+    }
+
+    api::Engine persistent;
+    const api::SystemHandle hp = persistent.add_system(pg.mna);
+    if (warm) benchmark::DoNotOptimize(persistent.run_batch(hp, batch));
+
+    for (auto _ : state) {
+        if (warm) {
+            benchmark::DoNotOptimize(persistent.run_batch(hp, batch));
+        } else {
+            api::Engine cold;
+            const api::SystemHandle hc = cold.add_system(pg.mna);
+            benchmark::DoNotOptimize(cold.run_batch(hc, batch));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_EngineBatch)
+    ->ArgNames({"warm"})
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fft(benchmark::State& state) {

@@ -19,8 +19,8 @@ Usage:
       [--gate REGEX] [--factor 3.0]
 
 Only benchmarks whose name matches --gate (default: the sparse-LU and
-multi-term sweeps) are *enforced*; every benchmark present in both files
-participates in the median normalization.
+multi-term sweeps plus the Engine batch throughput) are *enforced*; every
+benchmark present in both files participates in the median normalization.
 """
 
 import argparse
@@ -51,7 +51,8 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("smoke")
-    ap.add_argument("--gate", default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_MultiTermSweep",
+    ap.add_argument("--gate",
+                    default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_MultiTermSweep|BM_EngineBatch",
                     help="regex of benchmark names the gate enforces")
     ap.add_argument("--factor", type=float, default=3.0,
                     help="maximum allowed normalized slowdown")

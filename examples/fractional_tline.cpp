@@ -3,14 +3,16 @@
 ///        the paper's §V-A scenario — and compare OPM against the FFT
 ///        frequency-domain method.
 ///
-/// Shows the fractional API end to end: build the half-order model, pick
-/// the differential order alpha = 1/2, simulate with OPM, cross-check with
-/// the FFT solver, and print the far-end waveform.
+/// Shows the fractional API end to end through the Engine facade: build
+/// the half-order model, register it, pick the differential order
+/// alpha = 1/2 in the scenario config, cross-check OPM with the
+/// Grünwald–Letnikov stepper on the SAME handle (the caches make the
+/// second method skip the pencil ordering), and with the FFT solver.
 
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "circuit/tline.hpp"
-#include "opm/solver.hpp"
 #include "transient/fft_solver.hpp"
 #include "wave/sources.hpp"
 
@@ -25,31 +27,47 @@ int main() {
     std::printf("fractional t-line: %ld states, alpha = %.1f\n",
                 static_cast<long>(line.num_states()), circuit::kTlineAlpha);
 
-    // 2. Drive the near end with a 1 V ramped step; terminate the far end.
-    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
-                                         wave::step(0.0)};
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(line);
 
-    // 3. OPM simulation: one call, fractional order in the options.
-    const double t_end = 5e-9;
+    // 2. Drive the near end with a 1 V ramped step; terminate the far end.
+    api::Scenario sc;
+    sc.sources = {wave::smooth_step(1.0, 0.0, 0.3e-9), wave::step(0.0)};
+    sc.t_end = 5e-9;
+    sc.steps = 256;
+
+    // 3. OPM simulation: fractional order in the method config.
     opm::OpmOptions opt;
     opt.alpha = circuit::kTlineAlpha;
-    const opm::OpmResult res = opm::simulate_opm(line, u, t_end, 256, opt);
+    sc.config = opt;
+    const api::SolveResult res = engine.run(h, sc);
 
-    // 4. Cross-check with the frequency-domain baseline.
-    const auto fft = transient::simulate_fft(line, u, t_end,
+    // 4. Cross-check twice: Grünwald–Letnikov through the same facade
+    //    (reusing the cached pencil analysis) and the frequency-domain
+    //    baseline.
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = circuit::kTlineAlpha;
+    sc.config = gopt;
+    const api::SolveResult gl = engine.run(h, sc);
+
+    const auto fft = transient::simulate_fft(line, sc.sources, sc.t_end,
                                              {circuit::kTlineAlpha, 512});
 
-    std::printf("\n%10s %16s %16s\n", "t [ns]", "v_far OPM [V]", "v_far FFT [V]");
+    std::printf("\n%10s %16s %16s %16s\n", "t [ns]", "v_far OPM [V]",
+                "v_far GL [V]", "v_far FFT [V]");
     for (int k = 1; k <= 16; ++k) {
-        const double t = t_end * k / 16.0 - t_end / 512.0;
-        std::printf("%10.3f %16.6f %16.6f\n", t * 1e9, res.outputs[1].at(t),
+        const double t = sc.t_end * k / 16.0 - sc.t_end / 512.0;
+        std::printf("%10.3f %16.6f %16.6f %16.6f\n", t * 1e9,
+                    res.outputs[1].at(t), gl.outputs[1].at(t),
                     fft.outputs[1].at(t));
     }
 
     const double err_db = wave::relative_error_db(res.outputs[1], fft.outputs[1]);
     std::printf("\nOPM vs FFT mismatch: %.1f dB (dominated by the FFT "
                 "method's periodic extension)\n", err_db);
-    std::printf("timing: factorization %.3g ms, column sweep %.3g ms\n",
-                res.factor_seconds * 1e3, res.sweep_seconds * 1e3);
+    std::printf("timing: factorization %.3g ms, column sweep %.3g ms; GL run "
+                "reused the analysis (%d ordering(s))\n",
+                res.diag.factor_seconds * 1e3, res.diag.sweep_seconds * 1e3,
+                gl.diag.orderings);
     return 0;
 }

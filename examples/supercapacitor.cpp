@@ -5,16 +5,17 @@
 /// their impedance is 1/(C s^alpha) with alpha ~ 0.5-0.9, not an ideal
 /// capacitor.  This example builds the charging circuit with the netlist
 /// CPE element, lets the *fractional MNA builder* assemble
-/// E d^alpha x = A x + B u automatically, simulates with OPM, and shows
-/// the signature fractional behaviour: fast early charge, then a long
-/// algebraic tail (compared against the exact Mittag-Leffler solution).
+/// E d^alpha x = A x + B u automatically, simulates with OPM through the
+/// Engine facade, and shows the signature fractional behaviour: fast
+/// early charge, then a long algebraic tail (compared against the exact
+/// Mittag-Leffler solution).
 
 #include <cmath>
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "circuit/mna.hpp"
 #include "opm/mittag_leffler.hpp"
-#include "opm/solver.hpp"
 
 using namespace opmsim;
 
@@ -35,10 +36,17 @@ int main() {
     opm::DescriptorSystem sys = circuit::build_fractional_mna(nl, alpha, &lay);
     sys.c = circuit::node_voltage_selector(lay, {cap});
 
-    const double t_end = 20.0;
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(std::move(sys));
+
+    api::Scenario sc;
+    sc.sources = {wave::step(1.0)};
+    sc.t_end = 20.0;
+    sc.steps = 2000;
     opm::OpmOptions opt;
     opt.alpha = alpha;
-    const auto res = opm::simulate_opm(sys, {wave::step(1.0)}, t_end, 2000, opt);
+    sc.config = opt;
+    const api::SolveResult res = engine.run(h, sc);
 
     // Closed form: v(t) = 1 - E_alpha(-(t^alpha)/(R C)).
     std::printf("charging a %.2f F*s^%.1f supercapacitor through %.0f ohm\n\n",

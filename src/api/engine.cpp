@@ -1,0 +1,85 @@
+#include "api/engine.hpp"
+
+#include "api/registry.hpp"
+#include "fftx/convolve.hpp"
+#include "util/check.hpp"
+
+namespace opmsim::api {
+
+SystemHandle Engine::add_system(opm::DescriptorSystem sys) {
+    sys.validate();
+    Entry e;
+    e.descriptor = std::make_unique<opm::DescriptorSystem>(std::move(sys));
+    e.caches = std::make_unique<opm::SolveCaches>();
+    systems_.push_back(std::move(e));
+    return {systems_.size() - 1};
+}
+
+SystemHandle Engine::add_system(const opm::DenseDescriptorSystem& sys) {
+    return add_system(sys.to_sparse());
+}
+
+SystemHandle Engine::add_system(opm::MultiTermSystem sys) {
+    sys.validate();
+    Entry e;
+    e.multiterm = std::make_unique<opm::MultiTermSystem>(std::move(sys));
+    e.caches = std::make_unique<opm::SolveCaches>();
+    systems_.push_back(std::move(e));
+    return {systems_.size() - 1};
+}
+
+const Engine::Entry& Engine::entry(SystemHandle handle) const {
+    OPMSIM_REQUIRE(handle.valid() && handle.id < systems_.size(),
+                   "Engine: invalid system handle");
+    return systems_[handle.id];
+}
+
+SolveResult Engine::run(SystemHandle handle, const Scenario& scenario) {
+    const Entry& e = entry(handle);
+    const Method method = method_of(scenario.config);
+    const SolverAdapter& adapter = adapter_for(method);
+
+    SystemView view;
+    view.caches = e.caches.get();
+    if (adapter.needs_multiterm) {
+        OPMSIM_REQUIRE(e.multiterm != nullptr,
+                       std::string("Engine::run: method '") + adapter.name +
+                           "' needs a MultiTermSystem handle");
+        view.multiterm = e.multiterm.get();
+    } else {
+        OPMSIM_REQUIRE(e.descriptor != nullptr,
+                       std::string("Engine::run: method '") + adapter.name +
+                           "' needs a DescriptorSystem handle");
+        view.descriptor = e.descriptor.get();
+    }
+    return adapter.run(view, scenario);
+}
+
+std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
+                                           std::span<const Scenario> scenarios) {
+    std::vector<SolveResult> out;
+    out.reserve(scenarios.size());
+    for (const Scenario& sc : scenarios) out.push_back(run(handle, sc));
+    return out;
+}
+
+Engine::CacheStats Engine::cache_stats(SystemHandle handle) const {
+    const Entry& e = entry(handle);
+    const opm::SolveCaches& c = *e.caches;
+    CacheStats s;
+    s.symbolic_hits = c.factors.symbolic_hits();
+    s.symbolic_misses = c.factors.symbolic_misses();
+    s.factor_hits = c.factors.factor_hits();
+    s.factor_misses = c.factors.factor_misses();
+    s.plan_hits = c.plans->hits();
+    s.plan_misses = c.plans->misses();
+    s.series_hits = c.series_hits();
+    s.series_misses = c.series_misses();
+    return s;
+}
+
+opm::SolveCaches& Engine::caches(SystemHandle handle) {
+    return *entry(handle).caches;
+}
+
+} // namespace opmsim::api

@@ -1,0 +1,114 @@
+#pragma once
+/// \file engine.hpp
+/// \brief opmsim::Engine — one facade over all five solver paths, with
+///        per-system cross-run caching and batched scenario execution.
+///
+/// The paper's point is that ONE operational-matrix formulation subsumes
+/// integer, high-order and fractional circuit simulation; the Engine is
+/// that claim as an API.  Register a system once, then run any Scenario
+/// against it — plain OPM, multi-term OPM, adaptive OPM, the classic
+/// steppers, or Grünwald–Letnikov — and get the same Scenario/SolveResult
+/// shapes back, so cross-method harnesses (Table II, the cross-solver
+/// oracles, every bench) stop re-implementing dispatch by hand.
+///
+/// The scaling payoff is the per-system SolveCaches bundle the Engine
+/// threads into every run (opm/solve_cache.hpp):
+///  * sparse LU symbolic analyses keyed by pencil pattern — the second
+///    run on a handle performs ZERO fill-reducing orderings, across
+///    methods (every (aE - bA) combination shares one pattern);
+///  * whole numeric factors keyed by pattern + values — scenarios that
+///    differ only in their sources reuse one factorization (the
+///    multi-RHS sweep run_batch exploits);
+///  * FFT convolution plans and rho-series rows keyed by their content.
+/// Caching is transparent: results are bit-identical to the legacy free
+/// functions (pinned by tests/test_api_engine.cpp).
+///
+/// Lifecycle: Engine owns the registered systems and their caches;
+/// SystemHandles are cheap indices that stay valid for the Engine's
+/// lifetime.  The Engine is single-threaded by contract (same as the
+/// solvers); run() never mutates the registered system, only its cache
+/// bundle.
+///
+/// Usage:
+///     api::Engine engine;
+///     const api::SystemHandle rc = engine.add_system(build_mna(nl));
+///     api::Scenario sc;
+///     sc.sources = {wave::step(1.0)};
+///     sc.t_end = 5e-3;
+///     sc.steps = 200;             // config defaults to OpmOptions{}
+///     api::SolveResult res = engine.run(rc, sc);
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "opm/solve_cache.hpp"
+
+namespace opmsim::api {
+
+/// Opaque handle to a system registered with an Engine.
+struct SystemHandle {
+    std::size_t id = static_cast<std::size_t>(-1);
+    [[nodiscard]] bool valid() const { return id != static_cast<std::size_t>(-1); }
+};
+
+class Engine {
+public:
+    Engine() = default;
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+    Engine(Engine&&) = default;
+    Engine& operator=(Engine&&) = default;
+
+    /// Register a descriptor system E x' = A x + B u (validated here).
+    /// Serves the opm / adaptive / transient / grunwald methods.
+    SystemHandle add_system(opm::DescriptorSystem sys);
+
+    /// Dense convenience overload (converted to sparse).
+    SystemHandle add_system(const opm::DenseDescriptorSystem& sys);
+
+    /// Register a multi-term system sum_k A_k d^{alpha_k} x = ...
+    /// (validated here).  Serves the multiterm method.
+    SystemHandle add_system(opm::MultiTermSystem sys);
+
+    /// Run one scenario.  Throws std::invalid_argument when the scenario's
+    /// method does not fit the handle's system representation (multiterm
+    /// needs a MultiTermSystem, everything else a DescriptorSystem).
+    SolveResult run(SystemHandle handle, const Scenario& scenario);
+
+    /// Run a batch of scenarios against one handle, in order, sharing the
+    /// handle's caches: scenarios that differ only in their sources reuse
+    /// one numeric factorization (and all plans/series), scenarios that
+    /// differ in step size or method still share the symbolic analysis.
+    /// Results are identical to calling run() in a loop — the batch is a
+    /// throughput interface, not a different algorithm.
+    std::vector<SolveResult> run_batch(SystemHandle handle,
+                                       std::span<const Scenario> scenarios);
+
+    /// Aggregate cache counters for a handle (test / introspection).
+    struct CacheStats {
+        long symbolic_hits = 0, symbolic_misses = 0;
+        long factor_hits = 0, factor_misses = 0;
+        long plan_hits = 0, plan_misses = 0;
+        long series_hits = 0, series_misses = 0;
+    };
+    [[nodiscard]] CacheStats cache_stats(SystemHandle handle) const;
+
+    /// The handle's cache bundle (non-owning; valid for the Engine's life).
+    [[nodiscard]] opm::SolveCaches& caches(SystemHandle handle);
+
+    [[nodiscard]] std::size_t num_systems() const { return systems_.size(); }
+
+private:
+    struct Entry {
+        std::unique_ptr<opm::DescriptorSystem> descriptor;
+        std::unique_ptr<opm::MultiTermSystem> multiterm;
+        std::unique_ptr<opm::SolveCaches> caches;  ///< stable address
+    };
+    const Entry& entry(SystemHandle handle) const;
+
+    std::vector<Entry> systems_;
+};
+
+} // namespace opmsim::api

@@ -1,0 +1,113 @@
+#include "api/registry.hpp"
+
+#include "util/check.hpp"
+
+namespace opmsim::api {
+
+Method method_of(const MethodConfig& config) {
+    return static_cast<Method>(config.index());
+}
+
+const char* method_name(Method m) {
+    switch (m) {
+    case Method::opm: return "opm";
+    case Method::multiterm: return "multiterm";
+    case Method::adaptive: return "adaptive";
+    case Method::transient: return "transient";
+    case Method::grunwald: return "grunwald";
+    }
+    return "?";
+}
+
+namespace {
+
+SolveResult run_opm(const SystemView& sys, const Scenario& sc) {
+    opm::OpmOptions opt = std::get<opm::OpmOptions>(sc.config);
+    opt.caches = sys.caches;
+    opm::OpmResult r =
+        opm::simulate_opm(*sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
+    SolveResult out;
+    out.method = Method::opm;
+    out.outputs = std::move(r.outputs);
+    out.states = std::move(r.coeffs);
+    out.grid = std::move(r.edges);
+    out.diag = r.diag;
+    return out;
+}
+
+SolveResult run_multiterm(const SystemView& sys, const Scenario& sc) {
+    opm::MultiTermOptions opt = std::get<opm::MultiTermOptions>(sc.config);
+    opt.caches = sys.caches;
+    opm::OpmResult r = opm::simulate_multiterm(*sys.multiterm, sc.sources,
+                                               sc.t_end, sc.steps, opt);
+    SolveResult out;
+    out.method = Method::multiterm;
+    out.outputs = std::move(r.outputs);
+    out.states = std::move(r.coeffs);
+    out.grid = std::move(r.edges);
+    out.diag = r.diag;
+    return out;
+}
+
+SolveResult run_adaptive(const SystemView& sys, const Scenario& sc) {
+    opm::AdaptiveOptions opt = std::get<opm::AdaptiveOptions>(sc.config);
+    opt.caches = sys.caches;
+    opm::AdaptiveResult r =
+        opm::simulate_opm_adaptive(*sys.descriptor, sc.sources, sc.t_end, opt);
+    SolveResult out;
+    out.method = Method::adaptive;
+    out.outputs = std::move(r.outputs);
+    out.states = std::move(r.coeffs);
+    out.grid = std::move(r.edges);
+    out.steps = std::move(r.steps);
+    out.diag = r.diag;
+    return out;
+}
+
+SolveResult run_transient(const SystemView& sys, const Scenario& sc) {
+    transient::TransientOptions opt =
+        std::get<transient::TransientOptions>(sc.config);
+    opt.caches = sys.caches;
+    transient::TransientResult r = transient::simulate_transient(
+        *sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
+    SolveResult out;
+    out.method = Method::transient;
+    out.outputs = std::move(r.outputs);
+    out.states = std::move(r.states);
+    out.grid = std::move(r.times);
+    out.diag = r.diag;
+    return out;
+}
+
+SolveResult run_grunwald(const SystemView& sys, const Scenario& sc) {
+    transient::GrunwaldOptions opt =
+        std::get<transient::GrunwaldOptions>(sc.config);
+    opt.caches = sys.caches;
+    transient::GrunwaldResult r = transient::simulate_grunwald(
+        *sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
+    SolveResult out;
+    out.method = Method::grunwald;
+    out.outputs = std::move(r.outputs);
+    out.states = std::move(r.states);
+    out.grid = std::move(r.times);
+    out.diag = r.diag;
+    return out;
+}
+
+constexpr SolverAdapter kRegistry[] = {
+    {Method::opm, "opm", false, &run_opm},
+    {Method::multiterm, "multiterm", true, &run_multiterm},
+    {Method::adaptive, "adaptive", false, &run_adaptive},
+    {Method::transient, "transient", false, &run_transient},
+    {Method::grunwald, "grunwald", false, &run_grunwald},
+};
+
+} // namespace
+
+const SolverAdapter& adapter_for(Method m) {
+    for (const SolverAdapter& a : kRegistry)
+        if (a.method == m) return a;
+    OPMSIM_ENSURE(false, "adapter_for: unknown method");
+}
+
+} // namespace opmsim::api

@@ -1,0 +1,39 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Solver registry: the dispatch table behind Engine::run.
+///
+/// Each of the five solver paths is wrapped by one SolverAdapter that
+/// (a) declares which system representation it needs (descriptor vs
+/// multi-term), (b) copies the Scenario's per-method options, injects the
+/// handle's SolveCaches bundle, and calls the legacy free function, and
+/// (c) maps the legacy result onto the uniform SolveResult.  The adapters
+/// are the ONLY place the facade touches solver-specific types, so the
+/// Engine itself stays method-agnostic and a new solver path plugs in by
+/// appending a MethodConfig alternative and a registry row.
+
+#include "api/scenario.hpp"
+
+namespace opmsim::api {
+
+/// The system views an adapter may draw from; exactly one of the two
+/// pointers matching the adapter's requirement is non-null for a given
+/// handle.
+struct SystemView {
+    const opm::DescriptorSystem* descriptor = nullptr;
+    const opm::MultiTermSystem* multiterm = nullptr;
+    opm::SolveCaches* caches = nullptr;  ///< the handle's cache bundle
+};
+
+struct SolverAdapter {
+    Method method;
+    const char* name;
+    /// True when the adapter consumes the MultiTermSystem representation
+    /// (only `multiterm`); every other path needs a DescriptorSystem.
+    bool needs_multiterm;
+    SolveResult (*run)(const SystemView& sys, const Scenario& scenario);
+};
+
+/// The registry row for a method (every Method has exactly one).
+const SolverAdapter& adapter_for(Method m);
+
+} // namespace opmsim::api

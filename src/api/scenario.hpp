@@ -1,0 +1,123 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Unified scenario / result types for the opmsim Engine facade.
+///
+/// A Scenario is one simulation request in method-agnostic form: the
+/// excitation sources, the horizon, the time resolution, and a tagged
+/// per-method configuration.  The tag IS the method selection — the
+/// MethodConfig variant holds exactly the existing per-solver options
+/// struct, so every option the free functions accept is reachable through
+/// the facade, and adding a solver path means adding one variant
+/// alternative (and one registry adapter, api/registry.hpp).
+///
+/// SolveResult is the method-agnostic view of the five legacy result
+/// structs: output waveforms, a state trajectory, a time grid and the
+/// shared Diagnostics.  The `states`/`grid` columns mean slightly
+/// different things per family (BPF interval averages on interval edges
+/// for the OPM solvers, endpoint states on step times for the marching
+/// schemes) — `Method` + the per-family docs below disambiguate.
+
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "opm/adaptive.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+#include "transient/steppers.hpp"
+
+namespace opmsim::api {
+
+using la::index_t;
+using la::Vectord;
+
+/// The five solver paths the Engine dispatches to.
+enum class Method {
+    opm,        ///< block-pulse OPM, single order (opm::simulate_opm)
+    multiterm,  ///< multi-term OPM (opm::simulate_multiterm)
+    adaptive,   ///< adaptive-step OPM (opm::simulate_opm_adaptive)
+    transient,  ///< b-Euler / trapezoidal / Gear (transient::simulate_transient)
+    grunwald    ///< Grünwald–Letnikov stepper (transient::simulate_grunwald)
+};
+
+/// Tagged per-method configuration; the active alternative selects the
+/// solver path.  These are the existing option structs — the Engine
+/// overrides only their cache plumbing (`caches` is set to the handle's
+/// bundle; a value you put there is ignored).
+using MethodConfig = std::variant<opm::OpmOptions, opm::MultiTermOptions,
+                                  opm::AdaptiveOptions,
+                                  transient::TransientOptions,
+                                  transient::GrunwaldOptions>;
+
+// The variant alternative order IS the Method enum order (method_of maps
+// index -> enum); pin the coupling so inserting a solver into one list
+// but not the other is a compile error, not a misdispatch.
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(Method::opm),
+                                 MethodConfig>,
+                             opm::OpmOptions>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(Method::multiterm),
+                                 MethodConfig>,
+                             opm::MultiTermOptions>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(Method::adaptive),
+                                 MethodConfig>,
+                             opm::AdaptiveOptions>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(Method::transient),
+                                 MethodConfig>,
+                             transient::TransientOptions>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                                 static_cast<std::size_t>(Method::grunwald),
+                                 MethodConfig>,
+                             transient::GrunwaldOptions>);
+
+/// Which method a config selects (variant alternative -> Method).
+Method method_of(const MethodConfig& config);
+
+/// Stable display name ("opm", "multiterm", ...).
+const char* method_name(Method m);
+
+/// One simulation request against a registered system.
+struct Scenario {
+    /// Excitation sources; count must match the system's input count.
+    std::vector<wave::Source> sources;
+    /// Simulation horizon [0, t_end).
+    double t_end = 0.0;
+    /// Time resolution: the BPF column count m for opm/multiterm, the
+    /// step count for transient/grunwald.  Ignored by `adaptive` (the
+    /// controller chooses its own grid from AdaptiveOptions).
+    index_t steps = 0;
+    /// Method selection + options; defaults to plain OPM.
+    MethodConfig config = opm::OpmOptions{};
+};
+
+/// Method-agnostic result.
+struct SolveResult {
+    Method method = Method::opm;
+
+    /// Output waveforms y = C x, one per output channel — directly
+    /// comparable across methods (each waveform carries its own grid).
+    std::vector<wave::Waveform> outputs;
+
+    /// State trajectory.  OPM family (opm/multiterm/adaptive): the n x m
+    /// BPF coefficient matrix (interval averages of the Caputo-shifted
+    /// variable — identical to the legacy `coeffs`).  Marching family
+    /// (transient/grunwald): the n x (m+1) endpoint states including
+    /// x(0) — identical to the legacy `states`.
+    la::Matrixd states;
+
+    /// Time grid: interval edges (m+1) for the OPM family, step times
+    /// (m+1) for the marching family.
+    Vectord grid;
+
+    /// Accepted step lengths (adaptive only; empty otherwise).
+    Vectord steps;
+
+    /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
+    Diagnostics diag;
+};
+
+} // namespace opmsim::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace opmsim::fftx {
 
@@ -89,6 +90,34 @@ void RealConvPlan::accumulate_spectrum(const std::vector<cplx>& spec,
         ya[t] += buf_[t0 + t].real();
         if (yb != nullptr) yb[t] += buf_[t0 + t].imag();
     }
+}
+
+std::shared_ptr<RealConvPlan> ConvPlanCache::get(const double* kernel,
+                                                 std::size_t nk,
+                                                 std::size_t max_nx) {
+    // FNV-1a over (nk, max_nx, kernel bytes), verified exactly below.
+    std::uint64_t h = fnv1a(&nk, sizeof nk);
+    h = fnv1a(&max_nx, sizeof max_nx, h);
+    h = fnv1a(kernel, nk * sizeof(double), h);
+
+    for (const Entry& e : entries_) {
+        if (e.hash != h || e.max_nx != max_nx || e.kernel.size() != nk) continue;
+        if (!std::equal(kernel, kernel + nk, e.kernel.begin())) continue;
+        ++hits_;
+        return e.plan;
+    }
+    ++misses_;
+    Entry e;
+    e.hash = h;
+    e.kernel.assign(kernel, kernel + nk);
+    e.max_nx = max_nx;
+    e.plan = std::make_shared<RealConvPlan>(kernel, nk, max_nx);
+    // Replace-newest eviction, same policy (and rationale) as
+    // la::FactorCache: a warm run replaying more plans than the cap keeps
+    // hitting the resident entries instead of treadmilling to zero.
+    if (entries_.size() >= max_plans_ && !entries_.empty()) entries_.pop_back();
+    entries_.push_back(std::move(e));
+    return entries_.back().plan;
 }
 
 void RealConvPlan::accumulate2(const double* xa, const double* xb,

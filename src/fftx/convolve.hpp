@@ -13,6 +13,8 @@
 /// halves the FFT count for the multi-channel state convolutions.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fftx/fft.hpp"
@@ -71,6 +73,54 @@ private:
     std::size_t n_ = 0;       ///< FFT size (power of two)
     std::vector<cplx> kspec_; ///< cached kernel spectrum, length n_
     std::vector<cplx> buf_;   ///< scratch transform buffer, length n_
+};
+
+/// Cross-run cache of RealConvPlans, keyed by (kernel taps, max_nx).
+///
+/// Plan construction is the O(len log len) kernel-spectrum transform; the
+/// history engines build one plan per dyadic level per coefficient row, so
+/// re-running the same simulation (cross-method comparisons, batched
+/// scenarios) rebuilds identical plans from identical kernels.  This cache
+/// memoizes them: lookups hash the kernel bytes and verify tap-for-tap
+/// against the stored copy, so a collision can never return a wrong plan.
+/// max_nx must match exactly — it fixes the FFT size, and a larger plan
+/// would round differently (the cache guarantees cached runs stay
+/// bit-identical to uncached ones).
+///
+/// Plans carry internal scratch buffers: a shared plan is safe across any
+/// number of sequential users but NOT across concurrent threads — same
+/// contract as the rest of the solver stack.  Beyond `max_plans` the most
+/// recent insertion is replaced (not the oldest), so cyclic replays
+/// longer than the cap keep the resident entries hitting — the same
+/// eviction policy as la::FactorCache.
+class ConvPlanCache {
+public:
+    explicit ConvPlanCache(std::size_t max_plans = 128)
+        : max_plans_(max_plans) {}
+
+    ConvPlanCache(const ConvPlanCache&) = delete;
+    ConvPlanCache& operator=(const ConvPlanCache&) = delete;
+
+    /// Fetch (or build and store) a plan for this exact kernel.
+    std::shared_ptr<RealConvPlan> get(const double* kernel, std::size_t nk,
+                                      std::size_t max_nx);
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] long hits() const { return hits_; }
+    [[nodiscard]] long misses() const { return misses_; }
+
+    void clear() { entries_.clear(); }
+
+private:
+    struct Entry {
+        std::uint64_t hash = 0;
+        std::vector<double> kernel;
+        std::size_t max_nx = 0;
+        std::shared_ptr<RealConvPlan> plan;
+    };
+    std::size_t max_plans_;
+    std::vector<Entry> entries_;  ///< insertion order; back() is replaced when full
+    long hits_ = 0, misses_ = 0;
 };
 
 } // namespace opmsim::fftx

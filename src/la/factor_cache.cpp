@@ -1,0 +1,105 @@
+#include "la/factor_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace opmsim::la {
+
+namespace {
+
+std::uint64_t pattern_hash(const CscMatrix& a) {
+    const index_t dims[2] = {a.rows(), a.cols()};
+    std::uint64_t h = fnv1a(dims, sizeof dims);
+    h = fnv1a(a.col_ptr().data(), a.col_ptr().size() * sizeof(index_t), h);
+    h = fnv1a(a.row_ind().data(), a.row_ind().size() * sizeof(index_t), h);
+    return h;
+}
+
+std::uint64_t value_hash(const CscMatrix& a) {
+    // Bitwise over the doubles: pencils built by the deterministic
+    // CscMatrix::add / Triplets pipeline reproduce identical bits, which is
+    // exactly the "same scenario" the numeric layer wants to detect.
+    return fnv1a(a.values().data(), a.values().size() * sizeof(double));
+}
+
+bool same_options(const SparseLuOptions& a, const SparseLuOptions& b) {
+    return a.ordering == b.ordering && a.pivot_tol == b.pivot_tol;
+}
+
+bool same_pattern(const CscMatrix& a, const SparseLuSymbolic& sym) {
+    return a.col_ptr() == sym.pattern_colp() && a.row_ind() == sym.pattern_rowi();
+}
+
+} // namespace
+
+FactorCache::SymEntry* FactorCache::find_symbolic(const CscMatrix& a,
+                                                  std::uint64_t ph,
+                                                  const SparseLuOptions& opt) {
+    for (SymEntry& e : sym_)
+        if (e.pattern_hash == ph && same_options(e.opt, opt) &&
+            same_pattern(a, *e.sym))
+            return &e;
+    return nullptr;
+}
+
+std::shared_ptr<const SparseLuSymbolic> FactorCache::symbolic(
+    const CscMatrix& a, const SparseLuOptions& opt, bool* fresh) {
+    const std::uint64_t ph = pattern_hash(a);
+    if (SymEntry* e = find_symbolic(a, ph, opt)) {
+        ++sym_hits_;
+        if (fresh) *fresh = false;
+        return e->sym;
+    }
+    ++sym_misses_;
+    if (fresh) *fresh = true;
+    SymEntry e;
+    e.pattern_hash = ph;
+    e.opt = opt;
+    e.sym = std::make_shared<const SparseLuSymbolic>(a, opt);
+    sym_.push_back(e);
+    return e.sym;
+}
+
+std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
+                                                    const SparseLuOptions& opt,
+                                                    bool* symbolic_fresh,
+                                                    bool* numeric_fresh) {
+    const std::uint64_t ph = pattern_hash(a);
+    const std::uint64_t vh = value_hash(a);
+    for (const NumEntry& e : num_) {
+        if (e.pattern_hash != ph || e.value_hash != vh ||
+            !same_options(e.opt, opt))
+            continue;
+        if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values())
+            continue;
+        ++num_hits_;
+        if (symbolic_fresh) *symbolic_fresh = false;
+        if (numeric_fresh) *numeric_fresh = false;
+        return e.lu;
+    }
+    ++num_misses_;
+    if (numeric_fresh) *numeric_fresh = true;
+
+    const std::shared_ptr<const SparseLuSymbolic> sym =
+        symbolic(a, opt, symbolic_fresh);
+    NumEntry e;
+    e.pattern_hash = ph;
+    e.value_hash = vh;
+    e.opt = opt;
+    e.values = a.values();
+    e.lu = std::make_shared<const SparseLu>(a, sym);
+    // Evict the most recent insertion, not the oldest: cyclic replay of
+    // more keys than the cap (an adaptive run's step-size sequence,
+    // re-encountered by the next run) would turn oldest-first eviction
+    // into a 0%-hit treadmill, while keeping the old entries resident
+    // retains cap-1 stable hits per cycle.
+    if (num_.size() >= max_factors_ && !num_.empty()) num_.pop_back();
+    num_.push_back(std::move(e));
+    return num_.back().lu;
+}
+
+void FactorCache::clear() {
+    sym_.clear();
+    num_.clear();
+}
+
+} // namespace opmsim::la

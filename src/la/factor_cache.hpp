@@ -1,0 +1,102 @@
+#pragma once
+/// \file factor_cache.hpp
+/// \brief Cross-run cache of sparse LU analyses and numeric factors.
+///
+/// Every solver path in opmsim factors a circuit pencil (aE - bA, or the
+/// multi-term sum of scaled stamps).  Across repeated runs of the same
+/// system — parameter sweeps, method comparisons, batched scenarios that
+/// differ only in their sources — those pencils recur at two levels:
+///
+///  * the *pattern* is identical for every scalar combination of one
+///    circuit's stamps (CscMatrix::add keeps structural zeros), so the
+///    fill-reducing ordering and elimination-tree analysis
+///    (SparseLuSymbolic) can be computed once per pattern;
+///  * the *values* are identical whenever the method, order alpha and step
+///    size repeat, so the whole numeric factorization can be reused.
+///
+/// FactorCache memoizes both layers, keyed by a fingerprint of the pencil
+/// (pattern hash; pattern + value hash for numeric factors) with exact
+/// verification against the stored entry, so a hash collision can never
+/// return a wrong factor.  Lookups are value-based: callers simply build
+/// their pencil as usual and ask the cache; a hit costs one hash + one
+/// vector compare.
+///
+/// The cache is a plain mutable object with no internal locking — share it
+/// across sequential runs (the Engine facade keeps one per registered
+/// system), not across threads.  Numeric entries are capped because
+/// adaptive stepping can generate many distinct step sizes; when full,
+/// the most recent insertion is replaced (not the oldest), so cyclic
+/// replays longer than the cap still keep the resident entries hitting.
+/// Symbolic entries are tiny and per-pattern, so they are not evicted.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "la/sparse_lu.hpp"
+
+namespace opmsim::la {
+
+class FactorCache {
+public:
+    /// Maximum retained numeric factors (replace-newest eviction beyond
+    /// this — see the class comment).
+    explicit FactorCache(std::size_t max_factors = 16)
+        : max_factors_(max_factors) {}
+
+    FactorCache(const FactorCache&) = delete;
+    FactorCache& operator=(const FactorCache&) = delete;
+
+    /// Pattern-level analysis for `a`: returns the cached symbolic when one
+    /// matches `a`'s sparsity pattern and `opt` (ordering + pivot_tol),
+    /// otherwise computes, stores and returns a fresh one.  `fresh` (when
+    /// non-null) reports whether an ordering was actually performed.
+    std::shared_ptr<const SparseLuSymbolic> symbolic(const CscMatrix& a,
+                                                     const SparseLuOptions& opt = {},
+                                                     bool* fresh = nullptr);
+
+    /// Numeric factor of `a`: returns the cached SparseLu when one matches
+    /// `a` exactly (pattern and values), otherwise factors `a` (reusing a
+    /// cached symbolic when the pattern is known) and stores the result.
+    /// `symbolic_fresh` / `numeric_fresh` (when non-null) report whether an
+    /// ordering / a numeric factorization was performed by this call.
+    std::shared_ptr<const SparseLu> factor(const CscMatrix& a,
+                                           const SparseLuOptions& opt = {},
+                                           bool* symbolic_fresh = nullptr,
+                                           bool* numeric_fresh = nullptr);
+
+    [[nodiscard]] std::size_t num_symbolic() const { return sym_.size(); }
+    [[nodiscard]] std::size_t num_factors() const { return num_.size(); }
+    [[nodiscard]] long symbolic_hits() const { return sym_hits_; }
+    [[nodiscard]] long symbolic_misses() const { return sym_misses_; }
+    [[nodiscard]] long factor_hits() const { return num_hits_; }
+    [[nodiscard]] long factor_misses() const { return num_misses_; }
+
+    /// Drop every cached entry (shared_ptrs held by callers stay valid).
+    void clear();
+
+private:
+    struct SymEntry {
+        std::uint64_t pattern_hash = 0;
+        SparseLuOptions opt;
+        std::shared_ptr<const SparseLuSymbolic> sym;
+    };
+    struct NumEntry {
+        std::uint64_t pattern_hash = 0;
+        std::uint64_t value_hash = 0;
+        SparseLuOptions opt;
+        std::vector<double> values;  ///< exact-match guard against collisions
+        std::shared_ptr<const SparseLu> lu;
+    };
+
+    SymEntry* find_symbolic(const CscMatrix& a, std::uint64_t ph,
+                            const SparseLuOptions& opt);
+
+    std::size_t max_factors_;
+    std::vector<SymEntry> sym_;
+    std::vector<NumEntry> num_;  ///< insertion order; back() is replaced when full
+    long sym_hits_ = 0, sym_misses_ = 0;
+    long num_hits_ = 0, num_misses_ = 0;
+};
+
+} // namespace opmsim::la

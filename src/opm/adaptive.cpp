@@ -7,7 +7,9 @@
 
 #include "basis/bpf.hpp"
 #include "la/sparse_lu.hpp"
+#include "opm/solve_cache.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace opmsim::opm {
 
@@ -51,6 +53,7 @@ public:
     [[nodiscard]] const Vectord& steps() const { return steps_; }
     [[nodiscard]] const std::vector<Vectord>& solution() const { return xcols_; }
     [[nodiscard]] index_t factorizations() const { return factorizations_; }
+    [[nodiscard]] const Diagnostics& diag() const { return diag_; }
 
     /// Current end-of-history state estimate.
     [[nodiscard]] const Vectord& x_end() const { return xend_hist_.back(); }
@@ -162,15 +165,24 @@ private:
     /// Pencil cache keyed on H_jj = h^alpha / Gamma(alpha+2).  Every pencil
     /// (E - hjj A) shares the sparsity pattern, so the fill-reducing
     /// ordering and elimination-tree analysis are computed once (first
-    /// factorization) and reused by every step-size change after it.
+    /// factorization) and reused by every step-size change after it; with
+    /// an AdaptiveOptions::caches bundle the analysis — and any numeric
+    /// factor for a step size seen by an earlier run — crosses runs too.
     const la::SparseLu* factor(double hjj) {
         auto it = lu_cache_.find(hjj);
         if (it == lu_cache_.end()) {
+            WallTimer t;
             const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys_.e, -hjj, sys_.a);
-            auto lu = symbolic_ ? std::make_unique<la::SparseLu>(pencil, symbolic_)
-                                : std::make_unique<la::SparseLu>(pencil);
+            std::shared_ptr<const la::SparseLu> lu;
+            if (symbolic_ && opt_.caches == nullptr) {
+                lu = std::make_shared<const la::SparseLu>(pencil, symbolic_);
+                ++diag_.factorizations;
+            } else {
+                lu = acquire_factor(opt_.caches, pencil, diag_);
+            }
             if (!symbolic_) symbolic_ = lu->symbolic();
             ++factorizations_;
+            diag_.factor_seconds += t.elapsed_s();
             it = lu_cache_.emplace(hjj, std::move(lu)).first;
         }
         return it->second.get();
@@ -191,9 +203,10 @@ private:
     std::vector<Vectord> runsum_g_;   ///< alpha=1: sum h_i G_i prefix stack
     Vectord ax0_;
 
-    std::map<double, std::unique_ptr<la::SparseLu>> lu_cache_;
+    std::map<double, std::shared_ptr<const la::SparseLu>> lu_cache_;
     std::shared_ptr<const la::SparseLuSymbolic> symbolic_;  ///< one per pattern
     index_t factorizations_ = 0;
+    Diagnostics diag_;
 };
 
 } // namespace
@@ -216,6 +229,7 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
 
     AdaptiveEngine eng(sys, inputs, opt);
     AdaptiveResult res;
+    WallTimer total;
 
     double t = 0.0;
     double h = h_init;
@@ -286,6 +300,9 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
         for (index_t i = 0; i < n; ++i)
             res.coeffs(i, static_cast<index_t>(j)) = eng.solution()[j][static_cast<std::size_t>(i)];
     res.factorizations = eng.factorizations();
+    res.diag = eng.diag();
+    res.diag.sweep_seconds =
+        std::max(0.0, total.elapsed_s() - res.diag.factor_seconds);
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
     return res;
 }

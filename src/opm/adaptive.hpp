@@ -45,6 +45,12 @@ struct AdaptiveOptions {
     /// absolute error stays O(h_final^alpha) — locally tiny and, thanks to
     /// the decaying memory kernel, globally harmless.
     index_t max_consecutive_rejects = 15;
+    /// Optional cross-run cache bundle (same semantics as
+    /// OpmOptions::caches).  Adaptive runs benefit twice: the pencil
+    /// pattern analysis is shared across every step size, and repeated
+    /// runs re-encountering the same step sizes reuse whole numeric
+    /// factors.
+    SolveCaches* caches = nullptr;
 };
 
 struct AdaptiveResult {
@@ -53,9 +59,18 @@ struct AdaptiveResult {
     Vectord edges;       ///< m+1 interval edges
     std::vector<wave::Waveform> outputs;
 
+    /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).  Unlike
+    /// the legacy `factorizations` counter below, diag.factorizations
+    /// counts only factors *computed* here — pencils served from
+    /// AdaptiveOptions::caches do not inflate it.
+    Diagnostics diag;
+
     index_t accepted = 0;
     index_t rejected = 0;
-    index_t factorizations = 0;  ///< distinct pencils factored
+    /// \deprecated Distinct pencils materialized by this run (cache hits
+    /// included); alias era — prefer diag.factorizations /
+    /// diag.factor_cache_hits.
+    index_t factorizations = 0;
 };
 
 /// Simulate E d^alpha x = A x + B u on [0, t_end) with adaptive steps.

@@ -1,0 +1,63 @@
+#pragma once
+/// \file diagnostics.hpp
+/// \brief Uniform solver diagnostics shared by every result struct.
+///
+/// Before PR 4 the five solver paths reported timing through incompatible
+/// fields (GrunwaldResult::solve_seconds vs TransientResult's
+/// factor/sweep split vs OpmResult), which forced every cross-method
+/// harness to special-case each result type.  Diagnostics is the one
+/// shape they all fill now: timing split the same way, the resolved
+/// history backend and pencil ordering, and the cache-interaction
+/// counters the Engine facade's reuse guarantees are asserted against
+/// (a warm run on a cached system must report zero `orderings`).
+///
+/// The legacy per-struct fields are kept as deprecated aliases for one
+/// release and mirror the Diagnostics values exactly.
+
+#include "la/sparse_lu.hpp"
+#include "opm/fast_history.hpp"
+
+namespace opmsim {
+
+struct Diagnostics {
+    /// Pencil factorization time (construction + LU), seconds.  Near zero
+    /// when every factor came from a cache — the pencil assembly and the
+    /// cache lookup itself are still inside the timed region.
+    double factor_seconds = 0.0;
+    /// Column / time-step sweep time (including input projections), seconds.
+    double sweep_seconds = 0.0;
+
+    /// The concrete history backend used by the sweep (`automatic` is
+    /// resolved before the sweep starts).  Paths that never evaluate a
+    /// Toeplitz history (the alpha = 1 recurrence, the classic steppers,
+    /// the adaptive integral sweep) report `naive`.
+    opm::HistoryBackend history_backend = opm::HistoryBackend::naive;
+
+    /// Ordering chosen for the main pencil's symbolic analysis (the
+    /// `automatic` policy is resolved; `natural` when nothing was factored).
+    la::SparseLuOptions::Ordering ordering = la::SparseLuOptions::Ordering::natural;
+
+    /// Fill-reducing orderings (symbolic analyses) computed by this call.
+    /// Zero means every pattern analysis came from a shared cache or a
+    /// caller-provided symbolic.
+    int orderings = 0;
+    /// Full numeric factorizations performed by this call.
+    int factorizations = 0;
+    /// Numeric-only refactorizations (frozen pattern/pivots) performed.
+    int refactor_count = 0;
+    /// Numeric factors served from a FactorCache instead of being computed.
+    int factor_cache_hits = 0;
+};
+
+/// Mirror diag's timing into the deprecated per-struct aliases, for
+/// result structs that keep the {factor,sweep}_seconds pair (OpmResult,
+/// TransientResult).  The one site to delete when the deprecation window
+/// closes; GrunwaldResult's summed solve_seconds alias is maintained at
+/// its single fill site.
+template <class Result>
+void sync_legacy_timing(Result& res) {
+    res.factor_seconds = res.diag.factor_seconds;
+    res.sweep_seconds = res.diag.sweep_seconds;
+}
+
+} // namespace opmsim

@@ -5,6 +5,7 @@
 
 #include "fftx/convolve.hpp"
 #include "opm/fractional_series.hpp"
+#include "opm/solve_cache.hpp"
 #include "util/check.hpp"
 
 namespace opmsim::opm {
@@ -52,12 +53,14 @@ HistoryBackend HistoryEngine::resolve(HistoryBackend b, index_t m) {
 }
 
 HistoryEngine::HistoryEngine(Vectord coeffs, index_t n, index_t m,
-                             HistoryBackend backend)
-    : HistoryEngine(std::vector<Vectord>{std::move(coeffs)}, n, m, backend) {}
+                             HistoryBackend backend, SolveCaches* caches)
+    : HistoryEngine(std::vector<Vectord>{std::move(coeffs)}, n, m, backend,
+                    caches) {}
 
 HistoryEngine::HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
-                             HistoryBackend backend)
-    : rows_(std::move(rows)), n_(n), m_(m), backend_(resolve(backend, m)) {
+                             HistoryBackend backend, SolveCaches* caches)
+    : rows_(std::move(rows)), caches_(caches), n_(n), m_(m),
+      backend_(resolve(backend, m)) {
     OPMSIM_REQUIRE(n >= 1 && m >= 1, "HistoryEngine: empty problem");
     OPMSIM_REQUIRE(!rows_.empty(), "HistoryEngine: need at least one row");
     x_ = la::Matrixd(n_, m_);
@@ -208,8 +211,12 @@ fftx::RealConvPlan* HistoryEngine::level_plan(std::size_t level, std::size_t t,
             if (c != 0.0) any = true;
         }
         if (!any) return nullptr;
-        slot = std::make_unique<fftx::RealConvPlan>(
-            kernel.data(), kernel.size(), static_cast<std::size_t>(len));
+        slot = caches_ != nullptr
+                   ? caches_->plans->get(kernel.data(), kernel.size(),
+                                         static_cast<std::size_t>(len))
+                   : std::make_shared<fftx::RealConvPlan>(
+                         kernel.data(), kernel.size(),
+                         static_cast<std::size_t>(len));
     }
     return slot.get();
 }
@@ -276,15 +283,17 @@ void HistoryEngine::scatter_block(index_t a, index_t len) {
 }
 
 DiffHistoryEngine::DiffHistoryEngine(double alpha, double h, index_t n,
-                                     index_t m, HistoryBackend backend)
+                                     index_t m, HistoryBackend backend,
+                                     SolveCaches* caches)
     : eng_([&] {
           OPMSIM_REQUIRE(alpha > 0.0, "DiffHistoryEngine: bad operator");
           return std::vector<double>{alpha};
-      }(), h, n, m, backend) {}
+      }(), h, n, m, backend, caches) {}
 
 MultiTermHistoryEngine::MultiTermHistoryEngine(const std::vector<double>& alphas,
                                                double h, index_t n, index_t m,
-                                               HistoryBackend backend)
+                                               HistoryBackend backend,
+                                               SolveCaches* caches)
     : n_(n), backend_(HistoryEngine::resolve(backend, m)) {
     OPMSIM_REQUIRE(!alphas.empty(), "MultiTermHistoryEngine: no terms");
     OPMSIM_REQUIRE(h > 0.0 && n >= 1 && m >= 1,
@@ -308,14 +317,15 @@ MultiTermHistoryEngine::MultiTermHistoryEngine(const std::vector<double>& alphas
         if (terms_[k].identity) continue;
         const std::size_t d = static_cast<std::size_t>(terms_[k].depth);
         terms_[k].slot = rows[d].size();
-        rows[d].push_back(frac_diff_series(
-            alphas[k] - static_cast<double>(terms_[k].depth), m));
+        const double frac = alphas[k] - static_cast<double>(terms_[k].depth);
+        rows[d].push_back(caches != nullptr ? caches->frac_diff_series(frac, m)
+                                            : frac_diff_series(frac, m));
     }
     groups_.resize(rows.size());
     for (std::size_t d = 0; d < rows.size(); ++d)
         if (!rows[d].empty())
             groups_[d] = std::make_unique<HistoryEngine>(std::move(rows[d]), n,
-                                                         m, backend_);
+                                                         m, backend_, caches);
     r_.assign(static_cast<std::size_t>(max_depth),
               std::vector<long double>(static_cast<std::size_t>(n), 0.0L));
     vcol_.resize(static_cast<std::size_t>(n));
@@ -355,7 +365,7 @@ void MultiTermHistoryEngine::push(index_t j, const double* xj) {
 }
 
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
-                           HistoryBackend backend) {
+                           HistoryBackend backend, SolveCaches* caches) {
     const index_t n = x.rows();
     const index_t m = x.cols();
     OPMSIM_REQUIRE(op.size() >= m, "toeplitz_apply: coefficient row too short");
@@ -366,8 +376,15 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
     if (be == HistoryBackend::fft) {
         // All columns are known up front: one full-length convolution per
         // channel pair, O(n m log m).
-        fftx::RealConvPlan plan(op.coeffs.data(), static_cast<std::size_t>(m),
-                                static_cast<std::size_t>(m));
+        const std::shared_ptr<fftx::RealConvPlan> plan_ptr =
+            caches != nullptr
+                ? caches->plans->get(op.coeffs.data(),
+                                     static_cast<std::size_t>(m),
+                                     static_cast<std::size_t>(m))
+                : std::make_shared<fftx::RealConvPlan>(
+                      op.coeffs.data(), static_cast<std::size_t>(m),
+                      static_cast<std::size_t>(m));
+        fftx::RealConvPlan& plan = *plan_ptr;
         Vectord rowa(static_cast<std::size_t>(m)), rowb(static_cast<std::size_t>(m));
         Vectord outa(static_cast<std::size_t>(m)), outb(static_cast<std::size_t>(m));
         for (index_t r = 0; r < n; r += 2) {
@@ -396,7 +413,7 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
 
     // Stream the columns through a history engine; the diagonal term
     // c0 X_j completes the inclusive sum.
-    HistoryEngine eng(op.coeffs, n, m, be);
+    HistoryEngine eng(op.coeffs, n, m, be, caches);
     const double c0 = op.coeffs[0];
     Vectord h;
     for (index_t j = 0; j < m; ++j) {
@@ -411,7 +428,7 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
 }
 
 la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
-                                HistoryBackend backend) {
+                                HistoryBackend backend, SolveCaches* caches) {
     OPMSIM_REQUIRE(alpha >= 0.0 && h > 0.0, "diff_toeplitz_apply: bad operator");
     if (alpha == 0.0) return x;  // D^0 = I
     const index_t n = x.rows();
@@ -437,8 +454,10 @@ la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
     // Decaying fractional factor through the shared Toeplitz apply, then
     // the operator scale in one pass.
     UpperToeplitz frac;
-    frac.coeffs = frac_diff_series(alpha - static_cast<double>(k), m);
-    la::Matrixd y = toeplitz_apply(frac, v, be);
+    const double fa = alpha - static_cast<double>(k);
+    frac.coeffs = caches != nullptr ? caches->frac_diff_series(fa, m)
+                                    : frac_diff_series(fa, m);
+    la::Matrixd y = toeplitz_apply(frac, v, be, caches);
     y *= std::pow(2.0 / h, alpha);
     return y;
 }

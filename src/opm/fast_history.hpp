@@ -59,6 +59,8 @@ class RealConvPlan;
 
 namespace opmsim::opm {
 
+struct SolveCaches;  // opm/solve_cache.hpp: optional cross-run cache bundle
+
 enum class HistoryBackend {
     naive,     ///< direct per-column accumulation (oracle)
     blocked,   ///< register-tiled panel scatter
@@ -73,14 +75,18 @@ public:
     ///                Lags beyond the row are treated as zero.
     /// \param n       channel (state) count
     /// \param m       total column count
+    /// \param caches  optional cross-run cache bundle (non-owning); the fft
+    ///                backend reuses matching convolution plans from it
     HistoryEngine(Vectord coeffs, index_t n, index_t m,
-                  HistoryBackend backend = HistoryBackend::automatic);
+                  HistoryBackend backend = HistoryBackend::automatic,
+                  SolveCaches* caches = nullptr);
 
     /// Batched engine: K coefficient rows evaluated against one shared
     /// column stream.  Rows may have different lengths (short rows are
     /// zero-extended).
     HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
-                  HistoryBackend backend = HistoryBackend::automatic);
+                  HistoryBackend backend = HistoryBackend::automatic,
+                  SolveCaches* caches = nullptr);
     ~HistoryEngine();
 
     HistoryEngine(const HistoryEngine&) = delete;
@@ -115,6 +121,7 @@ private:
                                    index_t len);
 
     std::vector<Vectord> rows_;
+    SolveCaches* caches_ = nullptr;  ///< optional, non-owning
     index_t n_ = 0;
     index_t m_ = 0;
     HistoryBackend backend_ = HistoryBackend::naive;
@@ -125,9 +132,10 @@ private:
     std::vector<la::Matrixd> acc_;   ///< per-term scattered contributions
 
     // fft backend state: per-(level, term) convolution plans (null where a
-    // term's lag window is entirely zero), shared forward spectrum, and
-    // row scratch.
-    std::vector<std::vector<std::unique_ptr<fftx::RealConvPlan>>> plans_;
+    // term's lag window is entirely zero; shared_ptr so a SolveCaches can
+    // co-own them across engines), shared forward spectrum, and row
+    // scratch.
+    std::vector<std::vector<std::shared_ptr<fftx::RealConvPlan>>> plans_;
     std::vector<std::complex<double>> spec_;
     Vectord rowa_, rowb_, outa_, outb_;
     std::vector<long double> hacc_;  ///< naive oracle accumulators
@@ -171,7 +179,8 @@ class MultiTermHistoryEngine {
 public:
     MultiTermHistoryEngine(const std::vector<double>& alphas, double h,
                            index_t n, index_t m,
-                           HistoryBackend backend = HistoryBackend::automatic);
+                           HistoryBackend backend = HistoryBackend::automatic,
+                           SolveCaches* caches = nullptr);
 
     /// out = sum_{i<j} D^{alpha_term}_row[j-i] X_i (scaled).
     void history(index_t j, std::size_t term, Vectord& out);
@@ -214,7 +223,8 @@ private:
 class DiffHistoryEngine {
 public:
     DiffHistoryEngine(double alpha, double h, index_t n, index_t m,
-                      HistoryBackend backend = HistoryBackend::automatic);
+                      HistoryBackend backend = HistoryBackend::automatic,
+                      SolveCaches* caches = nullptr);
 
     /// out = sum_{i<j} D^alpha_row[j-i] X_i (scaled, like the raw operator).
     void history(index_t j, Vectord& out) { eng_.history(j, 0, out); }
@@ -232,7 +242,8 @@ private:
 /// full-length FFT convolution per channel pair (all columns are known up
 /// front), O(n m log m); other backends stream through a HistoryEngine.
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
-                           HistoryBackend backend = HistoryBackend::automatic);
+                           HistoryBackend backend = HistoryBackend::automatic,
+                           SolveCaches* caches = nullptr);
 
 /// Y = X D^alpha in coefficient space: the full (diagonal-included) apply
 /// of the differential operator to a matrix whose columns are all known up
@@ -244,6 +255,7 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
 /// extended-precision accumulation (oracle semantics).  alpha = 0 returns
 /// X unchanged.
 la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
-                                HistoryBackend backend = HistoryBackend::automatic);
+                                HistoryBackend backend = HistoryBackend::automatic,
+                                SolveCaches* caches = nullptr);
 
 } // namespace opmsim::opm

@@ -66,6 +66,10 @@ struct MultiTermOptions {
     HistoryBackend history = HistoryBackend::automatic;
     int quad_points = 4;  ///< input projection quadrature order
     int quad_panels = 1;  ///< composite panels per interval
+    /// Optional cross-run cache bundle (same semantics as
+    /// OpmOptions::caches): pencil factors, FFT plans and rho series are
+    /// reused across calls without changing results.
+    SolveCaches* caches = nullptr;
     /// Zero initial state is assumed (as in the paper); nonzero ICs for
     /// multi-term systems require per-order initial data and are out of
     /// scope for this reproduction.

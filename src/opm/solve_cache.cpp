@@ -1,0 +1,53 @@
+#include "opm/solve_cache.hpp"
+
+#include "fftx/convolve.hpp"
+#include "opm/fractional_series.hpp"
+
+namespace opmsim::opm {
+
+SolveCaches::SolveCaches() : plans(std::make_unique<fftx::ConvPlanCache>()) {}
+SolveCaches::~SolveCaches() = default;
+
+const Vectord& SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
+                                    Vectord (*compute)(double, index_t)) {
+    const auto key = std::make_pair(alpha, m);
+    auto it = map.find(key);
+    if (it != map.end()) {
+        ++series_hits_;
+        return it->second;
+    }
+    ++series_misses_;
+    if (map.size() >= kMaxSeries) map.clear();
+    return map.emplace(key, compute(alpha, m)).first->second;
+}
+
+const Vectord& SolveCaches::frac_diff_series(double alpha, index_t m) {
+    return memoize(series_, alpha, m, &opm::frac_diff_series);
+}
+
+const Vectord& SolveCaches::grunwald_weights(double alpha, index_t m) {
+    return memoize(weights_, alpha, m, &opm::grunwald_weights);
+}
+
+std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
+                                                   const la::CscMatrix& pencil,
+                                                   Diagnostics& diag) {
+    if (caches == nullptr) {
+        auto lu = std::make_shared<const la::SparseLu>(pencil);
+        ++diag.orderings;
+        ++diag.factorizations;
+        diag.ordering = lu->symbolic()->chosen_ordering();
+        return lu;
+    }
+    bool sym_fresh = false, num_fresh = false;
+    auto lu = caches->factors.factor(pencil, {}, &sym_fresh, &num_fresh);
+    if (sym_fresh) ++diag.orderings;
+    if (num_fresh)
+        ++diag.factorizations;
+    else
+        ++diag.factor_cache_hits;
+    diag.ordering = lu->symbolic()->chosen_ordering();
+    return lu;
+}
+
+} // namespace opmsim::opm

@@ -1,0 +1,84 @@
+#pragma once
+/// \file solve_cache.hpp
+/// \brief Per-system cache bundle threaded through every solver path.
+///
+/// A SolveCaches object holds everything that is reusable across repeated
+/// runs of ONE system and is expensive (or at least wasteful) to rebuild:
+///
+///  * `factors`  — sparse LU symbolic analyses keyed by pencil pattern and
+///                 whole numeric factors keyed by pattern + values
+///                 (la/factor_cache.hpp);
+///  * `plans`    — FFT convolution plans keyed by their kernel taps
+///                 (fftx::ConvPlanCache), shared by the history engines and
+///                 the offline Toeplitz applies;
+///  * memoized operational-matrix coefficient rows keyed by (alpha, m):
+///    the rho_alpha series and Grünwald–Letnikov weight rows every
+///    fractional sweep starts from.
+///
+/// Every solver options struct carries an optional non-owning
+/// `SolveCaches*`; the legacy free functions default it to null (no
+/// caching, behavior identical to before), while the Engine facade
+/// (api/engine.hpp) keeps one bundle per registered system and threads it
+/// into every run.  Caching never changes results: cache hits return
+/// bit-identical objects to what a cold run would construct, which is
+/// pinned by tests/test_api_engine.cpp.
+///
+/// Not thread-safe; share across sequential runs only.
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "la/factor_cache.hpp"
+#include "opm/diagnostics.hpp"
+
+namespace opmsim::fftx {
+class ConvPlanCache;
+}
+
+namespace opmsim::opm {
+
+struct SolveCaches {
+    SolveCaches();
+    ~SolveCaches();
+    SolveCaches(const SolveCaches&) = delete;
+    SolveCaches& operator=(const SolveCaches&) = delete;
+
+    la::FactorCache factors;
+    std::unique_ptr<fftx::ConvPlanCache> plans;
+
+    /// Memoized rho series ((1-q)/(1+q))^alpha mod q^m (unscaled).
+    /// The reference is valid only until the next series call on this
+    /// bundle (which may evict) — copy it out, as every solver does.
+    const Vectord& frac_diff_series(double alpha, index_t m);
+    /// Memoized Grünwald–Letnikov weights (-1)^j C(alpha, j), j < m.
+    /// Same reference lifetime as frac_diff_series.
+    const Vectord& grunwald_weights(double alpha, index_t m);
+
+    [[nodiscard]] long series_hits() const { return series_hits_; }
+    [[nodiscard]] long series_misses() const { return series_misses_; }
+
+private:
+    /// Each map is bounded like the factor/plan caches: a long-lived
+    /// handle sweeping many (alpha, m) pairs must not grow without limit,
+    /// so an over-full map is dropped wholesale before the next insert
+    /// (the rows are pure functions of the key — eviction only costs a
+    /// recompute).
+    static constexpr std::size_t kMaxSeries = 64;
+    using SeriesMap = std::map<std::pair<double, index_t>, Vectord>;
+    const Vectord& memoize(SeriesMap& map, double alpha, index_t m,
+                           Vectord (*compute)(double, index_t));
+
+    SeriesMap series_;
+    SeriesMap weights_;
+    long series_hits_ = 0, series_misses_ = 0;
+};
+
+/// Factor `pencil`, consulting `caches` when present, and account the work
+/// in `diag`.  The returned factor is bit-identical whether it was
+/// computed fresh or served from the cache.
+std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
+                                                   const la::CscMatrix& pencil,
+                                                   Diagnostics& diag);
+
+} // namespace opmsim::opm

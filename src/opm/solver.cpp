@@ -6,6 +6,7 @@
 #include "la/kron.hpp"
 #include "la/sparse_lu.hpp"
 #include "opm/operational.hpp"
+#include "opm/solve_cache.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -148,15 +149,17 @@ la::Matrixd build_forcing(const DescriptorSystem& sys,
 
 /// O(m) path: (2/h E - A) X_j = (2/h E + A) X_{j-1} + G_j + G_{j-1}.
 void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
-                      double h, la::Matrixd& x, OpmResult& res) {
+                      double h, SolveCaches* caches, la::Matrixd& x,
+                      OpmResult& res) {
     const index_t n = sys.num_states();
     const index_t m = g.cols();
     const double s = 2.0 / h;
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(s, sys.e, -1.0, sys.a);
-    const la::SparseLu lu(pencil);
-    res.factor_seconds = t.elapsed_s();
+    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const la::SparseLu& lu = *lu_ptr;
+    res.diag.factor_seconds = t.elapsed_s();
 
     t.reset();
     Vectord rhs(static_cast<std::size_t>(n));
@@ -174,7 +177,7 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         std::swap(prev, rhs);
     }
-    res.sweep_seconds = t.elapsed_s();
+    res.diag.sweep_seconds = t.elapsed_s();
 }
 
 /// Differential form:
@@ -184,18 +187,20 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
 /// stabilization for alpha > 1).
 void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
                          double alpha, double h, HistoryBackend backend,
-                         la::Matrixd& x, OpmResult& res) {
+                         SolveCaches* caches, la::Matrixd& x, OpmResult& res) {
     const index_t n = sys.num_states();
     const index_t m = g.cols();
     const double d0 = std::pow(2.0 / h, alpha);
+    res.diag.history_backend = HistoryEngine::resolve(backend, m);
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(d0, sys.e, -1.0, sys.a);
-    const la::SparseLu lu(pencil);
-    res.factor_seconds = t.elapsed_s();
+    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const la::SparseLu& lu = *lu_ptr;
+    res.diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    DiffHistoryEngine eng(alpha, h, n, m, backend);
+    DiffHistoryEngine eng(alpha, h, n, m, backend, caches);
     Vectord acc(static_cast<std::size_t>(n));
     Vectord rhs(static_cast<std::size_t>(n));
     for (index_t j = 0; j < m; ++j) {
@@ -206,7 +211,7 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }
-    res.sweep_seconds = t.elapsed_s();
+    res.diag.sweep_seconds = t.elapsed_s();
 }
 
 /// Integral form:
@@ -215,20 +220,22 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
 /// through the fast-convolution machinery.
 void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
                         const UpperToeplitz& hop, HistoryBackend backend,
-                        la::Matrixd& x, OpmResult& res) {
+                        SolveCaches* caches, la::Matrixd& x, OpmResult& res) {
     const index_t n = sys.num_states();
     const index_t m = g.cols();
     const double g0 = hop.coeffs[0];
+    res.diag.history_backend = HistoryEngine::resolve(backend, m);
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys.e, -g0, sys.a);
-    const la::SparseLu lu(pencil);
-    res.factor_seconds = t.elapsed_s();
+    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const la::SparseLu& lu = *lu_ptr;
+    res.diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    const la::Matrixd w = toeplitz_apply(hop, g, backend);
+    const la::Matrixd w = toeplitz_apply(hop, g, backend, caches);
 
-    HistoryEngine eng(hop.coeffs, n, m, backend);
+    HistoryEngine eng(hop.coeffs, n, m, backend, caches);
     Vectord acc(static_cast<std::size_t>(n));
     Vectord rhs(static_cast<std::size_t>(n));
     for (index_t j = 0; j < m; ++j) {
@@ -239,7 +246,7 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }
-    res.sweep_seconds = t.elapsed_s();
+    res.diag.sweep_seconds = t.elapsed_s();
 }
 
 } // namespace
@@ -270,13 +277,16 @@ OpmResult simulate_opm(const DescriptorSystem& sys,
     const la::Matrixd g = build_forcing(sys, inputs, res.edges, opt);
 
     if (path == OpmPath::recurrence) {
-        sweep_recurrence(sys, g, h, res.coeffs, res);
+        sweep_recurrence(sys, g, h, opt.caches, res.coeffs, res);
     } else if (opt.form == OpmForm::differential) {
-        sweep_toeplitz_diff(sys, g, opt.alpha, h, opt.history, res.coeffs, res);
+        sweep_toeplitz_diff(sys, g, opt.alpha, h, opt.history, opt.caches,
+                            res.coeffs, res);
     } else {
         const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_int(sys, g, hop, opt.history, res.coeffs, res);
+        sweep_toeplitz_int(sys, g, hop, opt.history, opt.caches, res.coeffs,
+                           res);
     }
+    sync_legacy_timing(res);
 
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
     return res;
@@ -322,8 +332,14 @@ OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
         wopt.x0 = x0;
         const OpmResult w = simulate_opm(
             sys, shifted, h * static_cast<double>(cols), cols, wopt);
-        res.factor_seconds += w.factor_seconds;
-        res.sweep_seconds += w.sweep_seconds;
+        res.diag.factor_seconds += w.diag.factor_seconds;
+        res.diag.sweep_seconds += w.diag.sweep_seconds;
+        res.diag.orderings += w.diag.orderings;
+        res.diag.factorizations += w.diag.factorizations;
+        res.diag.refactor_count += w.diag.refactor_count;
+        res.diag.factor_cache_hits += w.diag.factor_cache_hits;
+        res.diag.history_backend = w.diag.history_backend;
+        res.diag.ordering = w.diag.ordering;
 
         // Copy window coefficients (absolute values: add the Caputo shift
         // back so res.coeffs matches the monolithic zero-IC convention of
@@ -349,6 +365,7 @@ OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
         for (index_t j = 0; j < m; ++j)
             for (index_t i = 0; i < n; ++i)
                 res.coeffs(i, j) -= opt.x0[static_cast<std::size_t>(i)];
+    sync_legacy_timing(res);
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
     return res;
 }
@@ -389,7 +406,9 @@ OpmResult simulate_generic_basis(const DenseDescriptorSystem& sys,
 
     OpmResult res;
     res.coeffs = la::unvec(xv, n, m);
-    res.factor_seconds = t.elapsed_s();
+    res.diag.factor_seconds = t.elapsed_s();
+    res.diag.factorizations = 1;
+    sync_legacy_timing(res);
     res.edges = wave::uniform_edges(bas.t_end(), m);
 
     // Outputs: synthesize y = C x channel by channel on a fine grid.

@@ -32,6 +32,7 @@
 #include "basis/basis.hpp"
 #include "la/dense.hpp"
 #include "la/sparse.hpp"
+#include "opm/diagnostics.hpp"
 #include "opm/fast_history.hpp"
 #include "wave/sources.hpp"
 #include "wave/waveform.hpp"
@@ -92,6 +93,11 @@ struct OpmOptions {
     Vectord x0;                           ///< initial state; empty = zero
     int quad_points = 4;                  ///< input projection quadrature
     int quad_panels = 1;                  ///< composite panels per interval
+    /// Optional cross-run cache bundle (non-owning; see opm/solve_cache.hpp).
+    /// When set, pencil factorizations, FFT plans and rho series are
+    /// served from / stored into it.  Results are bit-identical either
+    /// way; the Engine facade threads one bundle per registered system.
+    SolveCaches* caches = nullptr;
 };
 
 struct OpmResult {
@@ -99,6 +105,11 @@ struct OpmResult {
     Vectord edges;       ///< m+1 interval edges
     std::vector<wave::Waveform> outputs;  ///< per channel, midpoint samples
 
+    /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
+    Diagnostics diag;
+
+    /// \deprecated Aliases of diag.factor_seconds / diag.sweep_seconds,
+    /// kept for one release; new code should read `diag`.
     double factor_seconds = 0.0;  ///< pencil factorization time
     double sweep_seconds = 0.0;   ///< column sweep time (incl. projections)
 };

@@ -4,6 +4,7 @@
 
 #include "la/sparse_lu.hpp"
 #include "opm/fractional_series.hpp"
+#include "opm/solve_cache.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -20,25 +21,42 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
     const la::index_t p = sys.num_inputs();
     OPMSIM_REQUIRE(static_cast<la::index_t>(inputs.size()) == p,
                    "simulate_grunwald: input count mismatch");
+    OPMSIM_REQUIRE(opt.x0.empty() || static_cast<la::index_t>(opt.x0.size()) == n,
+                   "simulate_grunwald: x0 size must equal the state count");
 
     const la::index_t m = steps;
     const double h = t_end / static_cast<double>(m);
     const double ha = std::pow(h, -opt.alpha);
-    const la::Vectord w = opm::grunwald_weights(opt.alpha, m + 1);
+    const la::Vectord w = opt.caches != nullptr
+                              ? opt.caches->grunwald_weights(opt.alpha, m + 1)
+                              : opm::grunwald_weights(opt.alpha, m + 1);
 
-    WallTimer timer;
     GrunwaldResult res;
+    res.diag.history_backend = opm::HistoryEngine::resolve(opt.history, m + 1);
     res.times.resize(static_cast<std::size_t>(m) + 1);
     for (la::index_t k = 0; k <= m; ++k)
         res.times[static_cast<std::size_t>(k)] = h * static_cast<double>(k);
     res.states = la::Matrixd(n, m + 1);
 
-    const la::SparseLu lu(la::CscMatrix::add(w[0] * ha, sys.e, -1.0, sys.a));
+    WallTimer timer;
+    const la::CscMatrix pencil =
+        la::CscMatrix::add(w[0] * ha, sys.e, -1.0, sys.a);
+    const auto lu = opm::acquire_factor(opt.caches, pencil, res.diag);
+    res.diag.factor_seconds = timer.elapsed_s();
 
-    // The history sum sum_{j>=1} w_j x_{k-j} is exactly the engine's
-    // Toeplitz form sum_{i<k} w_{k-i} x_i over columns 0..m (x_0 = 0).
-    opm::HistoryEngine eng(w, n, m + 1, opt.history);
-    eng.push(0, res.states.col(0));
+    // Caputo shift: march z = x - x0 (z_0 = 0) with the constant forcing
+    // term A x0 folded into every step's RHS; x0 is added back below.
+    la::Vectord ax0;
+    if (!opt.x0.empty()) ax0 = sys.a.matvec(opt.x0);
+    for (la::index_t i = 0; i < n; ++i)
+        res.states(i, 0) = opt.x0.empty() ? 0.0 : opt.x0[static_cast<std::size_t>(i)];
+
+    // The history sum sum_{j>=1} w_j z_{k-j} is exactly the engine's
+    // Toeplitz form sum_{i<k} w_{k-i} z_i over columns 0..m (z_0 = 0).
+    timer.reset();
+    opm::HistoryEngine eng(w, n, m + 1, opt.history, opt.caches);
+    la::Vectord z0(static_cast<std::size_t>(n), 0.0);
+    eng.push(0, z0.data());
 
     la::Vectord ut(static_cast<std::size_t>(p));
     la::Vectord rhs(static_cast<std::size_t>(n));
@@ -49,11 +67,16 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
             ut[static_cast<std::size_t>(i)] = inputs[static_cast<std::size_t>(i)](tk);
         std::fill(rhs.begin(), rhs.end(), 0.0);
         sys.b.gaxpy(1.0, ut, rhs);
+        if (!ax0.empty()) la::axpy(1.0, ax0, rhs);
 
         eng.history(k, hist);
         sys.e.gaxpy(-ha, hist, rhs);
-        lu.solve_in_place(rhs);
-        for (la::index_t i = 0; i < n; ++i) res.states(i, k) = rhs[static_cast<std::size_t>(i)];
+        lu->solve_in_place(rhs);
+        for (la::index_t i = 0; i < n; ++i) {
+            res.states(i, k) = rhs[static_cast<std::size_t>(i)];
+            if (!opt.x0.empty())
+                res.states(i, k) += opt.x0[static_cast<std::size_t>(i)];
+        }
         eng.push(k, rhs.data());
     }
 
@@ -73,7 +96,8 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
         }
         res.outputs.emplace_back(res.times, std::move(v));
     }
-    res.solve_seconds = timer.elapsed_s();
+    res.diag.sweep_seconds = timer.elapsed_s();
+    res.solve_seconds = res.diag.factor_seconds + res.diag.sweep_seconds;
     return res;
 }
 

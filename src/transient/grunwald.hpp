@@ -21,16 +21,32 @@ struct GrunwaldOptions {
     double alpha = 0.5;  ///< fractional order, > 0
     /// History-sum backend (same semantics as OpmOptions::history).
     opm::HistoryBackend history = opm::HistoryBackend::automatic;
+    /// Initial state, Caputo convention — the same shift as
+    /// OpmOptions::x0 / AdaptiveOptions::x0: x(t) = x0 + z(t) with
+    /// E d^alpha z = A z + (B u + A x0) and z(0) = 0 (the fractional
+    /// derivative of the constant x0 vanishes).  Empty = zero.  This is
+    /// what makes IC-bearing cross-solver oracles against the OPM paths
+    /// possible.
+    la::Vectord x0;
+    /// Optional cross-run cache bundle (same semantics as
+    /// OpmOptions::caches).
+    opm::SolveCaches* caches = nullptr;
 };
 
 struct GrunwaldResult {
-    la::Matrixd states;  ///< n x (m+1) including x(0) = 0
+    la::Matrixd states;  ///< n x (m+1) including x(0) = x0 (zero if empty)
     la::Vectord times;
     std::vector<wave::Waveform> outputs;
+
+    /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
+    Diagnostics diag;
+
+    /// \deprecated Alias of diag.factor_seconds + diag.sweep_seconds, kept
+    /// for one release; new code should read `diag`.
     double solve_seconds = 0.0;
 };
 
-/// March m uniform GL steps over [0, t_end]; zero initial state.
+/// March m uniform GL steps over [0, t_end].
 GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
                                  const std::vector<wave::Source>& inputs,
                                  double t_end, la::index_t steps,

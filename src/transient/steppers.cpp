@@ -1,6 +1,7 @@
 #include "transient/steppers.hpp"
 
 #include "la/sparse_lu.hpp"
+#include "opm/solve_cache.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -51,24 +52,35 @@ TransientResult simulate_transient(const opm::DescriptorSystem& sys,
     if (opt.symbolic)
         OPMSIM_REQUIRE(opt.symbolic->size() == n,
                        "simulate_transient: shared symbolic size mismatch");
-    const std::shared_ptr<const la::SparseLuSymbolic> symbolic =
-        opt.symbolic ? opt.symbolic
-                     : std::make_shared<const la::SparseLuSymbolic>(pencil);
-    const la::SparseLu lu(pencil, symbolic);
+    // Factor acquisition, most-shared first: a caller-provided symbolic
+    // wins (legacy bench_table2 threading), then the cross-run cache
+    // bundle, then a fresh analysis.
+    std::shared_ptr<const la::SparseLu> lu_ptr;
+    if (opt.symbolic) {
+        lu_ptr = std::make_shared<const la::SparseLu>(pencil, opt.symbolic);
+        ++res.diag.factorizations;
+        res.diag.ordering = opt.symbolic->chosen_ordering();
+    } else {
+        lu_ptr = opm::acquire_factor(opt.caches, pencil, res.diag);
+    }
+    const la::SparseLu& lu = *lu_ptr;
+    const std::shared_ptr<const la::SparseLuSymbolic> symbolic = lu.symbolic();
     std::unique_ptr<la::SparseLu> lu_start;
     if (opt.method == Method::gear2) {
         const la::CscMatrix start = la::CscMatrix::add(1.0 / h, sys.e, -1.0, sys.a);
         lu_start = std::make_unique<la::SparseLu>(lu);
         try {
             lu_start->refactor(start);
+            ++res.diag.refactor_count;
         } catch (const numerical_error&) {
             // The frozen BDF2 pivot sequence can cancel exactly on the
             // backward-Euler pencil; re-pivot with a fresh numeric
             // factorization (same shared analysis).
             lu_start = std::make_unique<la::SparseLu>(start, symbolic);
+            ++res.diag.factorizations;
         }
     }
-    res.factor_seconds = t.elapsed_s();
+    res.diag.factor_seconds = t.elapsed_s();
     res.symbolic = symbolic;
 
     t.reset();
@@ -130,7 +142,8 @@ TransientResult simulate_transient(const opm::DescriptorSystem& sys,
         xm1 = xk;
         std::swap(bu_prev, bu);
     }
-    res.sweep_seconds = t.elapsed_s();
+    res.diag.sweep_seconds = t.elapsed_s();
+    sync_legacy_timing(res);
 
     // Outputs y = C x at the step times.
     const index_t q = sys.num_outputs();

@@ -32,8 +32,11 @@ struct TransientOptions {
     /// size, so a caller running several baselines on one system (e.g.
     /// bench_table2_power_grid) can analyze once and reuse; when empty,
     /// the analysis is computed here and returned in
-    /// TransientResult::symbolic.
+    /// TransientResult::symbolic.  Takes precedence over `caches`.
     std::shared_ptr<const la::SparseLuSymbolic> symbolic;
+    /// Optional cross-run cache bundle (same semantics as
+    /// OpmOptions::caches); consulted when `symbolic` is empty.
+    opm::SolveCaches* caches = nullptr;
 };
 
 struct TransientResult {
@@ -41,6 +44,11 @@ struct TransientResult {
     Vectord times;       ///< m+1 time points
     std::vector<wave::Waveform> outputs;
 
+    /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
+    Diagnostics diag;
+
+    /// \deprecated Aliases of diag.factor_seconds / diag.sweep_seconds,
+    /// kept for one release; new code should read `diag`.
     double factor_seconds = 0.0;
     double sweep_seconds = 0.0;
 

@@ -1,0 +1,29 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Byte-range hashing shared by the content-addressed caches.
+///
+/// The factor cache (la/factor_cache.cpp) and the convolution-plan cache
+/// (fftx/convolve.cpp) both fingerprint their keys by hashing raw bytes
+/// and verifying exactly behind the hash; this is the one FNV-1a they
+/// share so the routines cannot drift apart.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opmsim {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+
+/// FNV-1a over an arbitrary byte range, chainable via `seed`.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace opmsim

@@ -1,0 +1,430 @@
+/// \file test_api_engine.cpp
+/// \brief Engine facade pins: every solver path reachable through
+///        opmsim::api::Engine must produce BIT-IDENTICAL results to the
+///        legacy free function it wraps (caching is transparent), a warm
+///        handle must reuse its caches (zero orderings on the second
+///        run), and run_batch must equal the per-scenario loop.
+///
+/// Systems under test mirror the repo's standard trio: the RC low-pass
+/// (MNA DAE), the fractional transmission line (dense -> sparse, alpha =
+/// 1/2), and a small 3-D power grid (second-order multi-term model + MNA
+/// descriptor model of the same physical grid).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/engine.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/power_grid.hpp"
+#include "circuit/tline.hpp"
+#include "opm/adaptive.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+#include "transient/steppers.hpp"
+
+namespace api = opmsim::api;
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+namespace circuit = opmsim::circuit;
+namespace transient = opmsim::transient;
+
+namespace {
+
+/// RC low-pass as an MNA DAE (the quickstart circuit).
+opm::DescriptorSystem make_rc() {
+    circuit::Netlist nl("rc lowpass");
+    const la::index_t in = nl.node("in");
+    const la::index_t out = nl.node("out");
+    nl.vsource("V1", in, 0, 0);
+    nl.resistor("R1", in, out, 1e3);
+    nl.capacitor("C1", out, 0, 1e-6);
+    circuit::MnaLayout layout;
+    opm::DescriptorSystem sys = circuit::build_mna(nl, &layout);
+    sys.c = circuit::node_voltage_selector(layout, {out});
+    return sys;
+}
+
+circuit::PowerGrid make_grid() {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 3;
+    spec.nz = 2;
+    spec.num_loads = 4;
+    spec.load_channels = 2;
+    spec.decap_alpha = 0.8;  // fractional decaps: orders {1.8, 1, 0}
+    return circuit::build_power_grid(spec);
+}
+
+double exact_diff(const la::Matrixd& a, const la::Matrixd& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return 1e300;
+    return la::max_abs_diff(a, b);
+}
+
+void expect_same_outputs(const std::vector<opmsim::wave::Waveform>& a,
+                         const std::vector<opmsim::wave::Waveform>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a.size(); ++c) {
+        ASSERT_EQ(a[c].size(), b[c].size());
+        for (std::size_t k = 0; k < a[c].size(); ++k) {
+            EXPECT_EQ(a[c].values()[k], b[c].values()[k]) << "ch " << c << " k " << k;
+            EXPECT_EQ(a[c].times()[k], b[c].times()[k]) << "ch " << c << " k " << k;
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Bit-equivalence: facade vs legacy free functions, all five methods.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngine, OpmRecurrenceBitIdenticalOnRc) {
+    const opm::DescriptorSystem sys = make_rc();
+    const std::vector<wave::Source> u = {wave::step(1.0)};
+
+    const opm::OpmResult legacy = opm::simulate_opm(sys, u, 5e-3, 200);
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(sys);
+    api::Scenario sc;
+    sc.sources = u;
+    sc.t_end = 5e-3;
+    sc.steps = 200;
+    const api::SolveResult got = engine.run(h, sc);
+
+    EXPECT_EQ(got.method, api::Method::opm);
+    EXPECT_EQ(exact_diff(legacy.coeffs, got.states), 0.0);
+    expect_same_outputs(legacy.outputs, got.outputs);
+}
+
+TEST(ApiEngine, OpmFractionalBitIdenticalOnTline) {
+    const opm::DenseDescriptorSystem line = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
+                                         wave::step(0.0)};
+    opm::OpmOptions opt;
+    opt.alpha = circuit::kTlineAlpha;
+    opt.path = opm::OpmPath::toeplitz;
+    const la::index_t m = 256;  // above the fft crossover: exercises plans
+
+    const opm::OpmResult legacy = opm::simulate_opm(line, u, 5e-9, m, opt);
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(line);
+    api::Scenario sc;
+    sc.sources = u;
+    sc.t_end = 5e-9;
+    sc.steps = m;
+    sc.config = opt;
+    const api::SolveResult got = engine.run(h, sc);
+
+    EXPECT_EQ(got.diag.history_backend, opm::HistoryBackend::fft);
+    EXPECT_EQ(exact_diff(legacy.coeffs, got.states), 0.0);
+    expect_same_outputs(legacy.outputs, got.outputs);
+}
+
+TEST(ApiEngine, MultiTermBitIdenticalOnPowerGrid) {
+    const circuit::PowerGrid pg = make_grid();
+    opm::MultiTermOptions opt;
+    opt.path = opm::MultiTermPath::toeplitz;
+    const la::index_t m = 220;
+
+    const opm::OpmResult legacy =
+        opm::simulate_multiterm(pg.second_order, pg.inputs, 3e-9, m, opt);
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(pg.second_order);
+    api::Scenario sc;
+    sc.sources = pg.inputs;
+    sc.t_end = 3e-9;
+    sc.steps = m;
+    sc.config = opt;
+    const api::SolveResult got = engine.run(h, sc);
+
+    EXPECT_EQ(got.method, api::Method::multiterm);
+    EXPECT_EQ(exact_diff(legacy.coeffs, got.states), 0.0);
+    expect_same_outputs(legacy.outputs, got.outputs);
+}
+
+TEST(ApiEngine, AdaptiveBitIdenticalOnRc) {
+    const opm::DescriptorSystem sys = make_rc();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 2e-4)};
+    opm::AdaptiveOptions opt;
+    opt.tol = 1e-5;
+
+    const opm::AdaptiveResult legacy =
+        opm::simulate_opm_adaptive(sys, u, 5e-3, opt);
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(sys);
+    api::Scenario sc;
+    sc.sources = u;
+    sc.t_end = 5e-3;
+    sc.config = opt;
+    const api::SolveResult got = engine.run(h, sc);
+
+    EXPECT_EQ(got.method, api::Method::adaptive);
+    EXPECT_EQ(exact_diff(legacy.coeffs, got.states), 0.0);
+    ASSERT_EQ(legacy.steps.size(), got.steps.size());
+    for (std::size_t j = 0; j < legacy.steps.size(); ++j)
+        EXPECT_EQ(legacy.steps[j], got.steps[j]);
+    expect_same_outputs(legacy.outputs, got.outputs);
+}
+
+TEST(ApiEngine, TransientBitIdenticalOnPowerGridMna) {
+    const circuit::PowerGrid pg = make_grid();
+    for (const auto method :
+         {transient::Method::backward_euler, transient::Method::trapezoidal,
+          transient::Method::gear2}) {
+        transient::TransientOptions opt;
+        opt.method = method;
+        const transient::TransientResult legacy =
+            transient::simulate_transient(pg.mna, pg.inputs, 3e-9, 120, opt);
+
+        api::Engine engine;
+        const api::SystemHandle h = engine.add_system(pg.mna);
+        api::Scenario sc;
+        sc.sources = pg.inputs;
+        sc.t_end = 3e-9;
+        sc.steps = 120;
+        sc.config = opt;
+        const api::SolveResult got = engine.run(h, sc);
+
+        EXPECT_EQ(got.method, api::Method::transient);
+        EXPECT_EQ(exact_diff(legacy.states, got.states), 0.0)
+            << transient::method_name(method);
+        expect_same_outputs(legacy.outputs, got.outputs);
+        if (method == transient::Method::gear2) {
+            EXPECT_EQ(got.diag.refactor_count, 1);
+        }
+    }
+}
+
+TEST(ApiEngine, GrunwaldBitIdenticalOnTline) {
+    const opm::DescriptorSystem line =
+        circuit::make_fractional_tline().to_sparse();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
+                                         wave::step(0.0)};
+    transient::GrunwaldOptions opt;
+    opt.alpha = circuit::kTlineAlpha;
+
+    const transient::GrunwaldResult legacy =
+        transient::simulate_grunwald(line, u, 5e-9, 256, opt);
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(line);
+    api::Scenario sc;
+    sc.sources = u;
+    sc.t_end = 5e-9;
+    sc.steps = 256;
+    sc.config = opt;
+    const api::SolveResult got = engine.run(h, sc);
+
+    EXPECT_EQ(got.method, api::Method::grunwald);
+    EXPECT_EQ(exact_diff(legacy.states, got.states), 0.0);
+    expect_same_outputs(legacy.outputs, got.outputs);
+}
+
+// ---------------------------------------------------------------------------
+// Cache reuse: a warm handle performs zero orderings (and, for identical
+// scenarios, zero numeric factorizations), and FFT plans are served from
+// the bundle.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngine, SecondRunReusesSymbolicAndNumericFactors) {
+    const opm::DescriptorSystem sys = make_rc();
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(sys);
+    api::Scenario sc;
+    sc.sources = {wave::step(1.0)};
+    sc.t_end = 5e-3;
+    sc.steps = 200;
+
+    const api::SolveResult cold = engine.run(h, sc);
+    EXPECT_GE(cold.diag.orderings, 1);
+    EXPECT_GE(cold.diag.factorizations, 1);
+
+    const api::SolveResult warm = engine.run(h, sc);
+    EXPECT_EQ(warm.diag.orderings, 0);
+    EXPECT_EQ(warm.diag.factorizations, 0);
+    EXPECT_GE(warm.diag.factor_cache_hits, 1);
+    EXPECT_EQ(exact_diff(cold.states, warm.states), 0.0);
+}
+
+TEST(ApiEngine, CrossMethodRunsShareTheSymbolicAnalysis) {
+    // opm, transient and grunwald all factor (aE - bA) pencils of one
+    // pattern: after the first run, NO further method pays an ordering.
+    const opm::DescriptorSystem line =
+        circuit::make_fractional_tline().to_sparse();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
+                                         wave::step(0.0)};
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(line);
+
+    api::Scenario frac;
+    frac.sources = u;
+    frac.t_end = 5e-9;
+    frac.steps = 200;
+    opm::OpmOptions fopt;
+    fopt.alpha = circuit::kTlineAlpha;
+    frac.config = fopt;
+    const api::SolveResult first = engine.run(h, frac);
+    EXPECT_EQ(first.diag.orderings, 1);
+
+    api::Scenario gl = frac;
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = circuit::kTlineAlpha;
+    gl.config = gopt;
+    EXPECT_EQ(engine.run(h, gl).diag.orderings, 0);
+
+    api::Scenario trap = frac;
+    trap.config = transient::TransientOptions{};
+    EXPECT_EQ(engine.run(h, trap).diag.orderings, 0);
+
+    api::Scenario integer = frac;
+    integer.config = opm::OpmOptions{};  // alpha = 1 recurrence path
+    EXPECT_EQ(engine.run(h, integer).diag.orderings, 0);
+}
+
+TEST(ApiEngine, FftPlansAndSeriesComeFromTheBundleWhenWarm) {
+    const opm::DenseDescriptorSystem line = circuit::make_fractional_tline();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
+                                         wave::step(0.0)};
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(line);
+    api::Scenario sc;
+    sc.sources = u;
+    sc.t_end = 5e-9;
+    sc.steps = 256;
+    opm::OpmOptions opt;
+    opt.alpha = circuit::kTlineAlpha;
+    opt.path = opm::OpmPath::toeplitz;
+    opt.history = opm::HistoryBackend::fft;
+    sc.config = opt;
+
+    engine.run(h, sc);
+    const api::Engine::CacheStats after_cold = engine.cache_stats(h);
+    EXPECT_GE(after_cold.plan_misses, 1);
+    EXPECT_GE(after_cold.series_misses, 1);
+
+    engine.run(h, sc);
+    const api::Engine::CacheStats after_warm = engine.cache_stats(h);
+    EXPECT_EQ(after_warm.plan_misses, after_cold.plan_misses);
+    EXPECT_GT(after_warm.plan_hits, after_cold.plan_hits);
+    EXPECT_EQ(after_warm.series_misses, after_cold.series_misses);
+    EXPECT_GT(after_warm.series_hits, after_cold.series_hits);
+}
+
+TEST(ApiEngine, AdaptiveWarmRunPerformsZeroOrderings) {
+    const opm::DescriptorSystem sys = make_rc();
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(sys);
+    api::Scenario sc;
+    sc.sources = {wave::smooth_step(1.0, 0.0, 2e-4)};
+    sc.t_end = 5e-3;
+    opm::AdaptiveOptions opt;
+    opt.tol = 1e-5;
+    sc.config = opt;
+
+    const api::SolveResult cold = engine.run(h, sc);
+    EXPECT_EQ(cold.diag.orderings, 1);  // one pattern, many step sizes
+    const api::SolveResult warm = engine.run(h, sc);
+    EXPECT_EQ(warm.diag.orderings, 0);
+    EXPECT_EQ(exact_diff(cold.states, warm.states), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngine, RunBatchEqualsPerScenarioLoop) {
+    const circuit::PowerGrid pg = make_grid();
+    opm::MultiTermOptions opt;
+    opt.path = opm::MultiTermPath::toeplitz;
+
+    // Scenarios differing only in their sources (scaled load currents).
+    std::vector<api::Scenario> batch;
+    for (int s = 0; s < 4; ++s) {
+        api::Scenario sc;
+        sc.t_end = 3e-9;
+        sc.steps = 220;
+        sc.config = opt;
+        const double gain = 1.0 + 0.25 * static_cast<double>(s);
+        for (std::size_t i = 0; i < pg.inputs.size(); ++i) {
+            const wave::Source base = pg.inputs[i];
+            if (i == 0)
+                sc.sources.push_back(base);  // shared VDD ramp
+            else
+                sc.sources.push_back(
+                    [base, gain](double t) { return gain * base(t); });
+        }
+        batch.push_back(std::move(sc));
+    }
+
+    api::Engine batch_engine;
+    const api::SystemHandle hb = batch_engine.add_system(pg.second_order);
+    const std::vector<api::SolveResult> got =
+        batch_engine.run_batch(hb, batch);
+
+    api::Engine loop_engine;
+    const api::SystemHandle hl = loop_engine.add_system(pg.second_order);
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        const api::SolveResult ref = loop_engine.run(hl, batch[s]);
+        const double scale = 1.0 + ref.states.max_abs();
+        EXPECT_LE(exact_diff(ref.states, got[s].states) / scale, 1e-14)
+            << "scenario " << s;
+    }
+
+    // The batch reused one numeric factorization: scenario 0 factored, the
+    // rest hit the cache (sources do not enter the pencil).
+    EXPECT_GE(got[0].diag.factorizations, 1);
+    for (std::size_t s = 1; s < got.size(); ++s) {
+        EXPECT_EQ(got[s].diag.factorizations, 0) << "scenario " << s;
+        EXPECT_EQ(got[s].diag.orderings, 0) << "scenario " << s;
+        EXPECT_GE(got[s].diag.factor_cache_hits, 1) << "scenario " << s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch validation.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngine, MismatchedSystemKindThrows) {
+    const circuit::PowerGrid pg = make_grid();
+    api::Engine engine;
+    const api::SystemHandle desc = engine.add_system(pg.mna);
+    const api::SystemHandle multi = engine.add_system(pg.second_order);
+
+    api::Scenario wants_multi;
+    wants_multi.sources = pg.inputs;
+    wants_multi.t_end = 1e-9;
+    wants_multi.steps = 10;
+    wants_multi.config = opm::MultiTermOptions{};
+    EXPECT_THROW(engine.run(desc, wants_multi), std::invalid_argument);
+
+    api::Scenario wants_desc;
+    wants_desc.sources = pg.inputs;
+    wants_desc.t_end = 1e-9;
+    wants_desc.steps = 10;
+    wants_desc.config = opm::OpmOptions{};
+    EXPECT_THROW(engine.run(multi, wants_desc), std::invalid_argument);
+
+    EXPECT_THROW(engine.run(api::SystemHandle{}, wants_desc),
+                 std::invalid_argument);
+}
+
+TEST(ApiEngine, MethodNamesAreStable) {
+    EXPECT_STREQ(api::method_name(api::method_of(opm::OpmOptions{})), "opm");
+    EXPECT_STREQ(api::method_name(api::method_of(opm::MultiTermOptions{})),
+                 "multiterm");
+    EXPECT_STREQ(api::method_name(api::method_of(opm::AdaptiveOptions{})),
+                 "adaptive");
+    EXPECT_STREQ(
+        api::method_name(api::method_of(transient::TransientOptions{})),
+        "transient");
+    EXPECT_STREQ(
+        api::method_name(api::method_of(transient::GrunwaldOptions{})),
+        "grunwald");
+}

@@ -5,6 +5,13 @@
 ///        is reducible, the dense Kronecker ground truth, and the
 ///        Grünwald–Letnikov stepper — asserting pairwise agreement.
 ///
+/// All solver invocations go through the opmsim::api::Engine facade (one
+/// Engine per comparison, often holding both system representations), so
+/// this harness doubles as an integration test of the unified dispatch:
+/// the scenarios differ only in their MethodConfig, and the per-system
+/// caches are live while methods and backends vary — any cache leakage
+/// between configurations would break the oracles below.
+///
 /// The exact-agreement checks (multiterm vs naive oracle, vs single-term
 /// solver, vs Kronecker) pin identical algebra evaluated by different
 /// code paths and must match to near roundoff.  The Grünwald comparison
@@ -16,11 +23,13 @@
 #include <cmath>
 #include <random>
 
+#include "api/engine.hpp"
 #include "opm/kron_reference.hpp"
 #include "opm/multiterm.hpp"
 #include "opm/solver.hpp"
 #include "transient/grunwald.hpp"
 
+namespace api = opmsim::api;
 namespace opm = opmsim::opm;
 namespace la = opmsim::la;
 namespace wave = opmsim::wave;
@@ -76,6 +85,18 @@ double rel_diff(const la::Matrixd& a, const la::Matrixd& b) {
     return la::max_abs_diff(a, b) / (1.0 + a.max_abs());
 }
 
+/// Facade shorthand: one scenario against a handle.
+api::SolveResult run(api::Engine& eng, api::SystemHandle h,
+                     const std::vector<wave::Source>& sources, double t_end,
+                     la::index_t steps, api::MethodConfig config) {
+    api::Scenario sc;
+    sc.sources = sources;
+    sc.t_end = t_end;
+    sc.steps = steps;
+    sc.config = std::move(config);
+    return eng.run(h, sc);
+}
+
 struct Scenario {
     unsigned seed;
     std::vector<double> orders;      ///< K = 1..4, mixed integer/fractional
@@ -95,23 +116,28 @@ const std::vector<Scenario>& scenarios() {
 
 } // namespace
 
-/// (a) The fast multi-term path, every backend against the naive oracle.
+/// (a) The fast multi-term path, every backend against the naive oracle —
+/// all through ONE warm Engine handle per system, so the comparison also
+/// pins that cached pencils/plans/series cannot bleed across backends.
 TEST(CrossSolver, MultiTermBackendsAgreeOnRandomSystems) {
     for (const Scenario& sc : scenarios()) {
         const auto sys = random_system(sc.seed, sc.orders, sc.n, sc.p,
                                        sc.rhs_orders);
         const auto u = test_inputs(sc.p);
+        api::Engine engine;
+        const api::SystemHandle h = engine.add_system(sys);
+
         opm::MultiTermOptions base;
         base.path = opm::MultiTermPath::toeplitz;
         base.history = opm::HistoryBackend::naive;
-        const auto ref = opm::simulate_multiterm(sys, u, 1.5, sc.m, base);
+        const auto ref = run(engine, h, u, 1.5, sc.m, base);
         for (const auto be : {opm::HistoryBackend::blocked,
                               opm::HistoryBackend::fft,
                               opm::HistoryBackend::automatic}) {
             opm::MultiTermOptions opt = base;
             opt.history = be;
-            const auto got = opm::simulate_multiterm(sys, u, 1.5, sc.m, opt);
-            EXPECT_LT(rel_diff(ref.coeffs, got.coeffs), 1e-10)
+            const auto got = run(engine, h, u, 1.5, sc.m, opt);
+            EXPECT_LT(rel_diff(ref.states, got.states), 1e-10)
                 << "seed=" << sc.seed << " K=" << sc.orders.size()
                 << " m=" << sc.m << " backend=" << static_cast<int>(be);
         }
@@ -119,27 +145,33 @@ TEST(CrossSolver, MultiTermBackendsAgreeOnRandomSystems) {
 }
 
 /// (b) K = 2 systems with orders {alpha, 0} are exactly the single-term
-/// descriptor problem E d^alpha x = A x + B u with E = A_1, A = -A_0.
+/// descriptor problem E d^alpha x = A x + B u with E = A_1, A = -A_0 —
+/// one Engine holds both representations of the same physics.
 TEST(CrossSolver, ReducibleSystemsMatchSingleTermSolver) {
     for (const double alpha : {0.5, 1.0, 1.4}) {
         const auto sys = random_system(21, {alpha, 0.0}, 3, 2, {0.0});
         const auto u = test_inputs(2);
         const la::index_t m = 140;
 
-        opm::MultiTermOptions mopt;
-        mopt.path = opm::MultiTermPath::toeplitz;
-        const auto mt = opm::simulate_multiterm(sys, u, 2.0, m, mopt);
-
         opm::DescriptorSystem d;
         d.e = sys.lhs[0].mat;
         d.a = la::CscMatrix::add(-1.0, sys.lhs[1].mat, 0.0, sys.lhs[1].mat);
         d.b = sys.rhs[0].mat;
+
+        api::Engine engine;
+        const api::SystemHandle hm = engine.add_system(sys);
+        const api::SystemHandle hd = engine.add_system(d);
+
+        opm::MultiTermOptions mopt;
+        mopt.path = opm::MultiTermPath::toeplitz;
+        const auto mt = run(engine, hm, u, 2.0, m, mopt);
+
         opm::OpmOptions sopt;
         sopt.alpha = alpha;
         sopt.path = opm::OpmPath::toeplitz;
-        const auto st = opm::simulate_opm(d, u, 2.0, m, sopt);
+        const auto st = run(engine, hd, u, 2.0, m, sopt);
 
-        EXPECT_LT(rel_diff(st.coeffs, mt.coeffs), 1e-9) << "alpha=" << alpha;
+        EXPECT_LT(rel_diff(st.states, mt.states), 1e-9) << "alpha=" << alpha;
     }
 }
 
@@ -153,9 +185,11 @@ TEST(CrossSolver, MultiTermMatchesKroneckerOracle) {
                                        sc.rhs_orders);
         const auto inputs = test_inputs(sc.p);
 
+        api::Engine engine;
+        const api::SystemHandle h = engine.add_system(sys);
         opm::MultiTermOptions opt;
         opt.path = opm::MultiTermPath::toeplitz;
-        const auto mt = opm::simulate_multiterm(sys, inputs, t_end, m, opt);
+        const auto mt = run(engine, h, inputs, t_end, m, opt);
 
         // Same BPF input coefficients the solver used.
         const la::Vectord edges = wave::uniform_edges(t_end, m);
@@ -169,7 +203,7 @@ TEST(CrossSolver, MultiTermMatchesKroneckerOracle) {
         }
         const la::Matrixd ref = opm::solve_multiterm_kronecker_reference(
             sys, u, t_end / static_cast<double>(m));
-        EXPECT_LT(rel_diff(ref, mt.coeffs), 1e-8)
+        EXPECT_LT(rel_diff(ref, mt.states), 1e-8)
             << "seed=" << sc.seed << " K=" << sc.orders.size();
     }
 }
@@ -190,7 +224,6 @@ TEST(CrossSolver, CommensurateSystemMatchesGrunwaldStepper) {
     const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.2)};
     const double t_end = 2.0;
     const la::index_t m = 900;  // non-power-of-two
-    const auto res = opm::simulate_multiterm(mt, u, t_end, m);
 
     opm::DescriptorSystem d;
     {
@@ -202,9 +235,15 @@ TEST(CrossSolver, CommensurateSystemMatchesGrunwaldStepper) {
         d.a = la::CscMatrix(a);
         d.b = la::CscMatrix(b);
     }
+
+    api::Engine engine;
+    const api::SystemHandle hm = engine.add_system(mt);
+    const api::SystemHandle hd = engine.add_system(d);
+    const auto res = run(engine, hm, u, t_end, m, opm::MultiTermOptions{});
+
     opmsim::transient::GrunwaldOptions gopt;
     gopt.alpha = 0.5;
-    const auto gl = opmsim::transient::simulate_grunwald(d, u, t_end, m, gopt);
+    const auto gl = run(engine, hd, u, t_end, m, gopt);
 
     for (double t : {0.5, 1.0, 1.8})
         EXPECT_NEAR(res.outputs[0].at(t), gl.outputs[0].at(t), 1.5e-2) << t;
@@ -225,7 +264,6 @@ TEST(CrossSolver, BagleyTorvikMatchesGrunwaldCompanion) {
     const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3)};
     const double t_end = 3.0;
     const la::index_t m = 1200;
-    const auto res = opm::simulate_multiterm(mt, u, t_end, m);
 
     // zeta = d^{1/2}: z = (x, zeta x, x', zeta^3 x); zeta z4 = u - z1 - z4.
     opm::DescriptorSystem comp;
@@ -245,10 +283,104 @@ TEST(CrossSolver, BagleyTorvikMatchesGrunwaldCompanion) {
         c.add(0, 0, 1.0);
         comp.c = la::CscMatrix(c);
     }
+
+    api::Engine engine;
+    const api::SystemHandle hm = engine.add_system(mt);
+    const api::SystemHandle hc = engine.add_system(comp);
+    const auto res = run(engine, hm, u, t_end, m, opm::MultiTermOptions{});
+
     opmsim::transient::GrunwaldOptions gopt;
     gopt.alpha = 0.5;
-    const auto gl = opmsim::transient::simulate_grunwald(comp, u, t_end, m, gopt);
+    const auto gl = run(engine, hc, u, t_end, m, gopt);
 
     for (double t : {0.8, 1.5, 2.7})
         EXPECT_NEAR(res.outputs[0].at(t), gl.outputs[0].at(t), 4e-2) << t;
+}
+
+/// (e) IC-bearing oracle, enabled by GrunwaldOptions::x0: the fractional
+/// relaxation d^{0.5} x = -x + u started from x0 = 0.7, solved by OPM and
+/// by Grünwald–Letnikov with the SAME Caputo-shift convention.  Different
+/// discretizations, so truncation-level tolerance.
+TEST(CrossSolver, InitialConditionOraclesAgreeAcrossSolvers) {
+    opm::DescriptorSystem d;
+    {
+        la::Triplets e(1, 1), a(1, 1), b(1, 1);
+        e.add(0, 0, 1.0);
+        a.add(0, 0, -1.0);
+        b.add(0, 0, 1.0);
+        d.e = la::CscMatrix(e);
+        d.a = la::CscMatrix(a);
+        d.b = la::CscMatrix(b);
+    }
+    const std::vector<wave::Source> u = {wave::smooth_step(0.5, 0.0, 0.2)};
+    const double t_end = 2.0;
+    const la::index_t m = 1500;
+    const la::Vectord x0 = {0.7};
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(d);
+
+    opm::OpmOptions oopt;
+    oopt.alpha = 0.5;
+    oopt.x0 = x0;
+    const auto opm_res = run(engine, h, u, t_end, m, oopt);
+
+    opmsim::transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
+    gopt.x0 = x0;
+    const auto gl = run(engine, h, u, t_end, m, gopt);
+
+    EXPECT_EQ(gl.states(0, 0), 0.7);  // x(0) = x0 is part of the result
+    for (double t : {0.3, 0.9, 1.7})
+        EXPECT_NEAR(opm_res.outputs[0].at(t), gl.outputs[0].at(t), 1.5e-2) << t;
+}
+
+/// (e') The x0 handling is EXACTLY the documented Caputo shift: GL with x0
+/// must equal GL with zero IC on the shifted system (extra constant input
+/// carrying A x0) plus x0 — to the last bit.
+TEST(CrossSolver, GrunwaldInitialStateIsTheCaputoShift) {
+    std::mt19937 gen(77);
+    const la::index_t n = 3;
+    la::Matrixd am = random_matrix(n, n, gen, 0.4);
+    for (la::index_t i = 0; i < n; ++i) am(i, i) -= 1.5;
+    const la::Matrixd bm = random_matrix(n, 1, gen, 1.0);
+
+    opm::DescriptorSystem sys;
+    sys.e = la::CscMatrix::identity(n);
+    sys.a = la::CscMatrix::from_dense(am);
+    sys.b = la::CscMatrix::from_dense(bm);
+
+    const la::Vectord x0 = {0.3, -0.2, 0.5};
+    const la::Vectord ax0 = sys.a.matvec(x0);
+    const std::vector<wave::Source> u = {wave::sine(1.0, 0.7)};
+    const double t_end = 1.5;
+    const la::index_t m = 200;
+
+    opmsim::transient::GrunwaldOptions opt;
+    opt.alpha = 0.6;
+    opt.x0 = x0;
+    const auto with_ic = opmsim::transient::simulate_grunwald(sys, u, t_end, m, opt);
+
+    // Shifted system: same E/A, inputs extended with a unit step feeding
+    // the constant A x0 column.
+    opm::DescriptorSystem shifted = sys;
+    {
+        la::Matrixd b2(n, 2);
+        for (la::index_t i = 0; i < n; ++i) {
+            b2(i, 0) = bm(i, 0);
+            b2(i, 1) = ax0[static_cast<std::size_t>(i)];
+        }
+        shifted.b = la::CscMatrix::from_dense(b2, /*drop_tol=*/-1.0);
+    }
+    opmsim::transient::GrunwaldOptions zopt;
+    zopt.alpha = 0.6;
+    const auto zero_ic = opmsim::transient::simulate_grunwald(
+        shifted, {u[0], wave::step(1.0)}, t_end, m, zopt);
+
+    for (la::index_t k = 0; k <= m; ++k)
+        for (la::index_t i = 0; i < n; ++i)
+            EXPECT_NEAR(with_ic.states(i, k),
+                        zero_ic.states(i, k) + x0[static_cast<std::size_t>(i)],
+                        1e-13)
+                << "k=" << k << " i=" << i;
 }

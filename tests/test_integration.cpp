@@ -66,7 +66,9 @@ TEST(Integration, FractionalNetlistAcrossThreeSolvers) {
     opm::OpmOptions oo;
     oo.alpha = 0.5;
     const auto r_opm = opm::simulate_opm(sys, u, t_end, 512, oo);
-    const auto r_gl = transient::simulate_grunwald(sys, u, t_end, 1024, {0.5});
+    transient::GrunwaldOptions go;
+    go.alpha = 0.5;
+    const auto r_gl = transient::simulate_grunwald(sys, u, t_end, 1024, go);
 
     // Dense copy for the FFT baseline.
     opm::DenseDescriptorSystem dense;
@@ -157,8 +159,10 @@ TEST(FailureInjection, WrongInputCountRejectedEverywhere) {
                  std::invalid_argument);
     EXPECT_THROW(transient::simulate_fft(tline, one, 1e-9, {0.5, 16}),
                  std::invalid_argument);
+    transient::GrunwaldOptions go;
+    go.alpha = 0.5;
     EXPECT_THROW(transient::simulate_grunwald(tline.to_sparse(), one, 1e-9, 8,
-                                              {0.5}),
+                                              go),
                  std::invalid_argument);
     opm::AdaptiveOptions ao;
     ao.alpha = 0.5;

@@ -1,0 +1,111 @@
+/// \file test_la_factor_cache.cpp
+/// \brief la::FactorCache pins: pattern-keyed symbolic reuse, exact
+///        value-keyed numeric reuse, eviction behavior under cyclic
+///        replay (the adaptive stepper's access pattern), and the
+///        exact-verification guard behind the fingerprint hashes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/factor_cache.hpp"
+#include "la/sparse.hpp"
+
+namespace la = opmsim::la;
+
+namespace {
+
+/// Tridiagonal (shift*I + Laplacian)-style test matrix: one pattern for
+/// every shift, different values per shift.
+la::CscMatrix tridiag(la::index_t n, double shift) {
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 2.0 + shift);
+        if (i > 0) t.add(i, i - 1, -1.0);
+        if (i + 1 < n) t.add(i, i + 1, -1.0);
+    }
+    return la::CscMatrix(t);
+}
+
+} // namespace
+
+TEST(FactorCache, SymbolicSharedAcrossValuesNumericKeyedByValues) {
+    la::FactorCache cache;
+    bool sym_fresh = true, num_fresh = true;
+
+    const auto lu1 = cache.factor(tridiag(20, 0.5), {}, &sym_fresh, &num_fresh);
+    EXPECT_TRUE(sym_fresh);
+    EXPECT_TRUE(num_fresh);
+
+    // Same pattern, new values: symbolic hit, numeric miss.
+    const auto lu2 = cache.factor(tridiag(20, 0.7), {}, &sym_fresh, &num_fresh);
+    EXPECT_FALSE(sym_fresh);
+    EXPECT_TRUE(num_fresh);
+    EXPECT_EQ(lu1->symbolic().get(), lu2->symbolic().get());
+
+    // Exact repeat: full numeric hit, same object.
+    const auto lu3 = cache.factor(tridiag(20, 0.5), {}, &sym_fresh, &num_fresh);
+    EXPECT_FALSE(sym_fresh);
+    EXPECT_FALSE(num_fresh);
+    EXPECT_EQ(lu1.get(), lu3.get());
+
+    // A cached factor must actually solve its own matrix.
+    la::Vectord b(20, 1.0);
+    const la::Vectord x = lu3->solve(b);
+    const la::Vectord back = tridiag(20, 0.5).matvec(x);
+    for (double v : back) EXPECT_NEAR(v, 1.0, 1e-12);
+
+    EXPECT_EQ(cache.symbolic_misses(), 1);
+    EXPECT_EQ(cache.factor_misses(), 2);
+    EXPECT_EQ(cache.factor_hits(), 1);
+}
+
+TEST(FactorCache, DistinctOptionsGetDistinctAnalyses) {
+    la::FactorCache cache;
+    la::SparseLuOptions amd;
+    amd.ordering = la::SparseLuOptions::Ordering::amd;
+    la::SparseLuOptions rcm;
+    rcm.ordering = la::SparseLuOptions::Ordering::rcm;
+    const auto s1 = cache.symbolic(tridiag(16, 0.0), amd);
+    const auto s2 = cache.symbolic(tridiag(16, 0.0), rcm);
+    EXPECT_NE(s1.get(), s2.get());
+    EXPECT_EQ(cache.num_symbolic(), 2u);
+    EXPECT_EQ(cache.symbolic(tridiag(16, 0.0), amd).get(), s1.get());
+}
+
+/// Cyclic replay of more distinct pencils than the cap must NOT collapse
+/// to zero hits: the replace-newest eviction keeps the first cap-1
+/// entries resident, so every later cycle re-hits them.
+TEST(FactorCache, CyclicReplayBeyondCapKeepsHitting) {
+    const std::size_t cap = 4;
+    la::FactorCache cache(cap);
+    const int keys = 7;  // > cap: oldest-first eviction would thrash to 0
+
+    auto run_cycle = [&] {
+        for (int k = 0; k < keys; ++k)
+            (void)cache.factor(tridiag(12, 0.1 * static_cast<double>(k + 1)));
+    };
+    run_cycle();  // cold: all misses
+    const long miss_after_cold = cache.factor_misses();
+    EXPECT_EQ(cache.factor_hits(), 0);
+    EXPECT_EQ(miss_after_cold, keys);
+    EXPECT_LE(cache.num_factors(), cap);
+
+    run_cycle();  // warm replay: the resident cap-1 entries hit
+    EXPECT_EQ(cache.factor_hits(), static_cast<long>(cap) - 1);
+    EXPECT_EQ(cache.symbolic_misses(), 1);  // one pattern throughout
+}
+
+TEST(FactorCache, ClearDropsEntriesButKeepsHandedOutFactorsAlive) {
+    la::FactorCache cache;
+    const auto lu = cache.factor(tridiag(10, 0.3));
+    cache.clear();
+    EXPECT_EQ(cache.num_factors(), 0u);
+    EXPECT_EQ(cache.num_symbolic(), 0u);
+    // The shared_ptr we hold stays valid and usable.
+    const la::Vectord x = lu->solve(la::Vectord(10, 1.0));
+    EXPECT_TRUE(std::isfinite(x[0]));
+    // Re-request: recomputed, not the same object.
+    const auto lu2 = cache.factor(tridiag(10, 0.3));
+    EXPECT_NE(lu.get(), lu2.get());
+}

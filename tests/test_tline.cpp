@@ -104,8 +104,10 @@ TEST(Tline, OpmAgreesWithGrunwaldReference) {
     opm::OpmOptions opt;
     opt.alpha = 0.5;
     const auto o = opm::simulate_opm(sys, u, 2.7e-9, 512, opt);
+    opmsim::transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
     const auto g = opmsim::transient::simulate_grunwald(sys.to_sparse(), u,
-                                                        2.7e-9, 512, {0.5});
+                                                        2.7e-9, 512, gopt);
     for (std::size_t ch = 0; ch < 2; ++ch)
         EXPECT_LT(wave::relative_l2(g.outputs[ch], o.outputs[ch]), 2e-2) << ch;
 }

@@ -150,7 +150,10 @@ TEST(FftSolver, FractionalPulseMatchesGrunwald) {
     fopt.alpha = 0.5;
     fopt.samples = 512;
     const auto f = transient::simulate_fft(sys, u, 8.0, fopt);
-    const auto g = transient::simulate_grunwald(sys.to_sparse(), u, 8.0, 2048, {0.5});
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = 0.5;
+    const auto g =
+        transient::simulate_grunwald(sys.to_sparse(), u, 8.0, 2048, gopt);
     // The FFT method's periodic extension clashes with the fractional
     // memory tail (~t^{-1/2}, still ~0.35 at the window edge), so the
     // mismatch is tens of percent — exactly the "difficult to control the
@@ -165,7 +168,9 @@ TEST(FftSolver, FractionalPulseMatchesGrunwald) {
 TEST(FftSolver, MoreSamplesImproveSharpInputs) {
     const auto sys = scalar_system(-1.0);
     const std::vector<wave::Source> u = {wave::pulse(1.0, 0.5, 0.05, 0.4, 0.05)};
-    const auto g = transient::simulate_grunwald(sys.to_sparse(), u, 6.0, 4096, {1.0});
+    transient::GrunwaldOptions g1;
+    g1.alpha = 1.0;
+    const auto g = transient::simulate_grunwald(sys.to_sparse(), u, 6.0, 4096, g1);
     transient::FftSolverOptions o1{1.0, 16}, o2{1.0, 256};
     const auto f1 = transient::simulate_fft(sys, u, 6.0, o1);
     const auto f2 = transient::simulate_fft(sys, u, 6.0, o2);
@@ -187,8 +192,10 @@ class GrunwaldOracle : public ::testing::TestWithParam<double> {};
 TEST_P(GrunwaldOracle, StepResponseConverges) {
     const double alpha = GetParam();
     const auto sys = scalar_system(-1.0).to_sparse();
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = alpha;
     const auto res = transient::simulate_grunwald(sys, {wave::step(1.0)}, 2.0,
-                                                  2000, {alpha});
+                                                  2000, gopt);
     double max_err = 0;
     for (double t = 0.2; t <= 1.9; t += 0.1)
         max_err = std::max(max_err,
@@ -203,8 +210,10 @@ INSTANTIATE_TEST_SUITE_P(Alphas, GrunwaldOracle,
 TEST(Grunwald, AlphaOneReducesToBackwardEuler) {
     // GL with alpha = 1 is the backward-difference scheme: compare.
     const auto sys = scalar_system(-1.0).to_sparse();
+    transient::GrunwaldOptions gopt;
+    gopt.alpha = 1.0;
     const auto g = transient::simulate_grunwald(sys, {wave::step(1.0)}, 2.0,
-                                                200, {1.0});
+                                                200, gopt);
     transient::TransientOptions be;
     be.method = transient::Method::backward_euler;
     const auto b = transient::simulate_transient(sys, {wave::step(1.0)}, 2.0,
