@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,25 +57,90 @@ la::CscMatrix power_grid_pencil(la::index_t nxy, double lead = 2.0 / 1e-11) {
     return la::CscMatrix::add(lead, pg.mna.e, -1.0, pg.mna.a);
 }
 
-/// Full factorization (symbolic analysis + numeric) of the power-grid MNA
-/// pencil per ordering.  The nnz_LU counter is the fill-in each ordering
-/// produces — the quality metric AMD is meant to cut vs RCM.
+/// Numeric factorization of the power-grid MNA pencil per (ordering,
+/// kernel), with the symbolic analysis precomputed and shared — the
+/// production situation (the Engine caches one analysis per pattern) and
+/// the "factor time" the supernodal kernel is meant to cut.  kernel 0 =
+/// scalar (Gilbert–Peierls reference), 1 = supernodal BLAS-3 panels.
+/// The nnz_LU counter is the fill-in each ordering produces — the quality
+/// metric AMD is meant to cut vs RCM.
 void BM_SparseLuGrid(benchmark::State& state) {
     const la::CscMatrix pencil = power_grid_pencil(state.range(0));
     la::SparseLuOptions opt;
     opt.ordering = static_cast<la::SparseLuOptions::Ordering>(state.range(1));
+    opt.kernel = state.range(2) == 0 ? la::SparseLuOptions::Kernel::scalar
+                                     : la::SparseLuOptions::Kernel::supernodal;
+    const auto symbolic =
+        std::make_shared<const la::SparseLuSymbolic>(pencil, opt);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(la::SparseLu(pencil, opt));
+        benchmark::DoNotOptimize(la::SparseLu(pencil, symbolic));
     }
-    const la::SparseLu lu(pencil, opt);
+    const la::SparseLu lu(pencil, symbolic);
     state.counters["nnz_LU"] = static_cast<double>(lu.nnz_lu());
     state.counters["offdiag_pivots"] = static_cast<double>(lu.off_diagonal_pivots());
+    state.counters["snode_padding"] =
+        static_cast<double>(symbolic->amalgamation_padding());
 }
 BENCHMARK(BM_SparseLuGrid)
+    ->ArgNames({"g", "ordering", "kernel"})
+    ->Args({8, 0, 0})->Args({8, 1, 0})->Args({8, 2, 0})->Args({8, 2, 1})
+    ->Args({16, 0, 0})->Args({16, 1, 0})->Args({16, 2, 0})->Args({16, 2, 1})
+    ->Args({24, 1, 0})->Args({24, 1, 1})->Args({24, 2, 0})->Args({24, 2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Symbolic analysis cost per ordering at default (automatic) kernel —
+/// ordering + elimination tree + supernode detection; amortized across
+/// runs by the Engine's factor cache, so it is measured separately from
+/// the numeric factor above.
+void BM_SparseLuAnalyze(benchmark::State& state) {
+    const la::CscMatrix pencil = power_grid_pencil(state.range(0));
+    la::SparseLuOptions opt;
+    opt.ordering = static_cast<la::SparseLuOptions::Ordering>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(la::SparseLuSymbolic(pencil, opt));
+    }
+}
+BENCHMARK(BM_SparseLuAnalyze)
     ->ArgNames({"g", "ordering"})
-    ->Args({8, 0})->Args({8, 1})->Args({8, 2})
-    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
-    ->Args({24, 1})->Args({24, 2})->Args({24, 3})
+    ->Args({8, 2})->Args({24, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// Blocked multi-RHS triangular solve throughput per kernel: one factored
+/// grid pencil, nrhs right-hand sides solved in one call.  Reported as
+/// items/sec (RHS columns per second) — the supernodal kernel streams
+/// each factor panel once across all columns, so throughput should grow
+/// with nrhs while the scalar kernel stays flat.
+void BM_SparseLuSolveMulti(benchmark::State& state) {
+    const la::index_t g = state.range(0);
+    const la::index_t nrhs = state.range(1);
+    const la::CscMatrix pencil = power_grid_pencil(g);
+    la::SparseLuOptions opt;
+    opt.ordering = la::SparseLuOptions::Ordering::amd;
+    opt.kernel = state.range(2) == 0 ? la::SparseLuOptions::Kernel::scalar
+                                     : la::SparseLuOptions::Kernel::supernodal;
+    const la::SparseLu lu(pencil, opt);
+    const la::index_t n = pencil.rows();
+    // Pristine RHS prepared once; the timed loop only pays a memcpy (the
+    // per-element sin() would be a kernel-independent constant skewing
+    // this CI-gated throughput metric).
+    std::vector<double> pristine(static_cast<std::size_t>(n * nrhs));
+    for (std::size_t i = 0; i < pristine.size(); ++i)
+        pristine[i] = std::sin(0.1 * static_cast<double>(i));
+    std::vector<double> block(pristine.size());
+    for (auto _ : state) {
+        std::memcpy(block.data(), pristine.data(),
+                    pristine.size() * sizeof(double));
+        lu.solve_in_place(block.data(), nrhs, n);
+        benchmark::DoNotOptimize(block.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nrhs));
+}
+BENCHMARK(BM_SparseLuSolveMulti)
+    ->ArgNames({"g", "nrhs", "kernel"})
+    ->Args({8, 1, 0})->Args({8, 1, 1})
+    ->Args({8, 16, 0})->Args({8, 16, 1})
+    ->Args({24, 1, 1})->Args({24, 16, 0})->Args({24, 16, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// Numeric-only refactorization of the same pencil with refreshed values
@@ -164,56 +230,67 @@ BENCHMARK(BM_MultiTermSweep)
     ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2})->Args({4096, 3})
     ->Unit(benchmark::kMillisecond);
 
-/// Engine facade batched-scenario throughput (scenarios/sec): a 4-scenario
-/// what-if sweep (sources scaled, pencil identical) of the power-grid MNA
+/// Engine facade batched-scenario throughput (scenarios/sec): a what-if
+/// source sweep (sources scaled, pencil identical) of the power-grid MNA
 /// model through Engine::run_batch.  warm=0 builds a fresh Engine every
 /// iteration (each batch pays one ordering + factorization before the
 /// cache kicks in); warm=1 keeps one Engine across iterations, so every
 /// scenario reuses the cached numeric factor — the facade's cross-run
 /// caching payoff, reported as the warm/cold items-per-second ratio.
+/// Source-compatible scenarios run as ONE grouped multi-RHS sweep; the
+/// workers arg sizes the thread pool that executes independent groups
+/// (the batch mixes per-scenario t_end values so groups exist to spread).
 void BM_EngineBatch(benchmark::State& state) {
     const bool warm = state.range(0) != 0;
+    const int workers = static_cast<int>(state.range(1));
     circuit::PowerGridSpec spec;
     spec.nx = spec.ny = 16;
     spec.nz = 3;
     const circuit::PowerGrid pg = circuit::build_power_grid(spec);
 
+    // 4 scenario groups x 4 source gains: within a group only the sources
+    // differ (one multi-RHS sweep), across groups the horizon differs (a
+    // worker-pool unit each).
     std::vector<api::Scenario> batch;
-    for (int s = 0; s < 4; ++s) {
-        api::Scenario sc;
-        sc.t_end = 1e-9;
-        sc.steps = 32;
-        const double gain = 1.0 + 0.2 * static_cast<double>(s);
-        for (std::size_t i = 0; i < pg.inputs.size(); ++i) {
-            const wave::Source base = pg.inputs[i];
-            if (i == 0)
-                sc.sources.push_back(base);
-            else
-                sc.sources.push_back(
-                    [base, gain](double t) { return gain * base(t); });
+    for (int grp = 0; grp < 4; ++grp) {
+        for (int s = 0; s < 4; ++s) {
+            api::Scenario sc;
+            sc.t_end = 1e-9 * (1.0 + 0.1 * static_cast<double>(grp));
+            sc.steps = 32;
+            const double gain = 1.0 + 0.2 * static_cast<double>(s);
+            for (std::size_t i = 0; i < pg.inputs.size(); ++i) {
+                const wave::Source base = pg.inputs[i];
+                if (i == 0)
+                    sc.sources.push_back(base);
+                else
+                    sc.sources.push_back(
+                        [base, gain](double t) { return gain * base(t); });
+            }
+            batch.push_back(std::move(sc));
         }
-        batch.push_back(std::move(sc));
     }
 
+    const api::Engine::BatchOptions bopt{workers};
     api::Engine persistent;
     const api::SystemHandle hp = persistent.add_system(pg.mna);
-    if (warm) benchmark::DoNotOptimize(persistent.run_batch(hp, batch));
+    if (warm) benchmark::DoNotOptimize(persistent.run_batch(hp, batch, bopt));
 
     for (auto _ : state) {
         if (warm) {
-            benchmark::DoNotOptimize(persistent.run_batch(hp, batch));
+            benchmark::DoNotOptimize(persistent.run_batch(hp, batch, bopt));
         } else {
             api::Engine cold;
             const api::SystemHandle hc = cold.add_system(pg.mna);
-            benchmark::DoNotOptimize(cold.run_batch(hc, batch));
+            benchmark::DoNotOptimize(cold.run_batch(hc, batch, bopt));
         }
     }
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_EngineBatch)
-    ->ArgNames({"warm"})
-    ->Arg(0)->Arg(1)
+    ->ArgNames({"warm", "workers"})
+    ->Args({0, 1})->Args({1, 1})->Args({1, 4})
+    ->UseRealTime()  // worker-pool runs must report wall-clock throughput
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fft(benchmark::State& state) {
@@ -277,6 +354,10 @@ int main(int argc, char** argv) {
     int cargc = static_cast<int>(cargs.size());
     benchmark::Initialize(&cargc, cargs.data());
     if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+    // The build type opmsim was compiled with — the context's
+    // library_build_type only describes the google-benchmark library
+    // (ci/check_bench_regression.py refuses debug-built baselines).
+    benchmark::AddCustomContext("opmsim_build_type", OPMSIM_BUILD_TYPE);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -30,10 +30,38 @@ import statistics
 import sys
 
 
-def load_times(path):
+def check_build_type(path, doc, allow_debug):
+    """Refuse Debug-built benchmark JSON (PR 4's checked-in baseline was
+    accidentally recorded without release provenance, poisoning every
+    comparison against it).  The authoritative signal is the custom
+    `opmsim_build_type` context bench_kernels records (the build type the
+    measured library was compiled with); `library_build_type` only
+    describes the google-benchmark library itself — a distro libbenchmark
+    can be a debug build while opmsim is Release — so it is consulted only
+    when the custom field is absent (pre-PR-5 emitters)."""
+    ctx = doc.get("context", {})
+    build = ctx.get("opmsim_build_type", "")
+    source = "opmsim_build_type"
+    if not build:
+        build = ctx.get("library_build_type", "")
+        source = "library_build_type"
+    if build.lower() == "debug" or not build:
+        shown = f"context.{source} = {build!r}" if build else \
+            "no build-type provenance recorded"
+        msg = (f"{path}: not a Release-built baseline ({shown}) — debug or "
+               "unknown-build timings are meaningless as a perf baseline; "
+               "regenerate with -DCMAKE_BUILD_TYPE=Release -DOPMSIM_BENCH=ON")
+        if allow_debug:
+            print(f"WARNING: {msg}", file=sys.stderr)
+        else:
+            raise SystemExit(f"error: {msg} (or pass --allow-debug)")
+
+
+def load_times(path, allow_debug=False):
     """name -> real_time in ns (aggregates and error runs skipped)."""
     with open(path) as f:
         doc = json.load(f)
+    check_build_type(path, doc, allow_debug)
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate" or "error_occurred" in b:
@@ -52,14 +80,16 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("smoke")
     ap.add_argument("--gate",
-                    default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_MultiTermSweep|BM_EngineBatch",
+                    default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_SparseLuSolveMulti|BM_MultiTermSweep|BM_EngineBatch",
                     help="regex of benchmark names the gate enforces")
     ap.add_argument("--factor", type=float, default=3.0,
                     help="maximum allowed normalized slowdown")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="downgrade the debug-build refusal to a warning")
     args = ap.parse_args()
 
-    base = load_times(args.baseline)
-    new = load_times(args.smoke)
+    base = load_times(args.baseline, args.allow_debug)
+    new = load_times(args.smoke, args.allow_debug)
     common = sorted(set(base) & set(new))
     if not common:
         print(f"error: no common benchmarks between {args.baseline} and {args.smoke}")

@@ -1,10 +1,39 @@
 #include "api/engine.hpp"
 
+#include <atomic>
+#include <exception>
+#include <thread>
+
 #include "api/registry.hpp"
 #include "fftx/convolve.hpp"
 #include "util/check.hpp"
 
 namespace opmsim::api {
+
+namespace {
+
+/// Resolve the system view an adapter needs from a registry entry
+/// (shared by run() and the run_batch group executor).
+SystemView view_for(const opm::DescriptorSystem* descriptor,
+                    const opm::MultiTermSystem* multiterm,
+                    opm::SolveCaches* caches, const SolverAdapter& adapter) {
+    SystemView view;
+    view.caches = caches;
+    if (adapter.needs_multiterm) {
+        OPMSIM_REQUIRE(multiterm != nullptr,
+                       std::string("Engine::run: method '") + adapter.name +
+                           "' needs a MultiTermSystem handle");
+        view.multiterm = multiterm;
+    } else {
+        OPMSIM_REQUIRE(descriptor != nullptr,
+                       std::string("Engine::run: method '") + adapter.name +
+                           "' needs a DescriptorSystem handle");
+        view.descriptor = descriptor;
+    }
+    return view;
+}
+
+} // namespace
 
 SystemHandle Engine::add_system(opm::DescriptorSystem sys) {
     sys.validate();
@@ -36,30 +65,88 @@ const Engine::Entry& Engine::entry(SystemHandle handle) const {
 
 SolveResult Engine::run(SystemHandle handle, const Scenario& scenario) {
     const Entry& e = entry(handle);
-    const Method method = method_of(scenario.config);
-    const SolverAdapter& adapter = adapter_for(method);
-
-    SystemView view;
-    view.caches = e.caches.get();
-    if (adapter.needs_multiterm) {
-        OPMSIM_REQUIRE(e.multiterm != nullptr,
-                       std::string("Engine::run: method '") + adapter.name +
-                           "' needs a MultiTermSystem handle");
-        view.multiterm = e.multiterm.get();
-    } else {
-        OPMSIM_REQUIRE(e.descriptor != nullptr,
-                       std::string("Engine::run: method '") + adapter.name +
-                           "' needs a DescriptorSystem handle");
-        view.descriptor = e.descriptor.get();
-    }
+    const SolverAdapter& adapter = adapter_for(method_of(scenario.config));
+    const SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
+                                     e.caches.get(), adapter);
     return adapter.run(view, scenario);
 }
 
 std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
                                            std::span<const Scenario> scenarios) {
-    std::vector<SolveResult> out;
-    out.reserve(scenarios.size());
-    for (const Scenario& sc : scenarios) out.push_back(run(handle, sc));
+    return run_batch(handle, scenarios, {});
+}
+
+std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
+                                           std::span<const Scenario> scenarios,
+                                           const BatchOptions& opt) {
+    const Entry& e = entry(handle);
+    const std::size_t ns = scenarios.size();
+    std::vector<SolveResult> out(ns);
+    if (ns == 0) return out;
+
+    // Group batch-compatible scenarios (first-appearance order).  The
+    // grouping is independent of the worker count, so serial and threaded
+    // batches perform identical arithmetic.
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < ns; ++i) {
+        bool placed = false;
+        for (std::vector<std::size_t>& g : groups) {
+            if (batch_compatible(scenarios[g.front()], scenarios[i])) {
+                g.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) groups.push_back({i});
+    }
+
+    auto execute_group = [&](const std::vector<std::size_t>& g) {
+        const Scenario& first = scenarios[g.front()];
+        const SolverAdapter& adapter = adapter_for(method_of(first.config));
+        const SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
+                                         e.caches.get(), adapter);
+        if (g.size() > 1 && adapter.run_group != nullptr) {
+            std::vector<Scenario> block;
+            block.reserve(g.size());
+            for (const std::size_t i : g) block.push_back(scenarios[i]);
+            std::vector<SolveResult> rs = adapter.run_group(view, block);
+            for (std::size_t k = 0; k < g.size(); ++k)
+                out[g[k]] = std::move(rs[k]);
+        } else {
+            for (const std::size_t i : g) out[i] = adapter.run(view, scenarios[i]);
+        }
+    };
+
+    const std::size_t workers = std::min<std::size_t>(
+        opt.workers > 0 ? static_cast<std::size_t>(opt.workers) : 1,
+        groups.size());
+    if (workers <= 1) {
+        for (const std::vector<std::size_t>& g : groups) execute_group(g);
+        return out;
+    }
+
+    // Worker pool over groups: results land at fixed scenario indices, so
+    // completion order cannot reorder anything; the first failing group
+    // (in submission order) is rethrown after the pool drains.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(groups.size());
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t gi = next.fetch_add(1);
+            if (gi >= groups.size()) return;
+            try {
+                execute_group(groups[gi]);
+            } catch (...) {
+                errors[gi] = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t wi = 0; wi < workers; ++wi) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+    for (const std::exception_ptr& err : errors)
+        if (err) std::rethrow_exception(err);
     return out;
 }
 

@@ -25,9 +25,12 @@
 ///
 /// Lifecycle: Engine owns the registered systems and their caches;
 /// SystemHandles are cheap indices that stay valid for the Engine's
-/// lifetime.  The Engine is single-threaded by contract (same as the
-/// solvers); run() never mutates the registered system, only its cache
-/// bundle.
+/// lifetime.  run() never mutates the registered system, only its cache
+/// bundle.  run() and add_system() are single-threaded by contract;
+/// run_batch() may execute independent scenario groups on an internal
+/// worker pool (BatchOptions::workers) — the cache bundle serializes its
+/// own lookups, so this is safe, but do not call other methods on the
+/// same Engine while a batch is in flight.
 ///
 /// Usage:
 ///     api::Engine engine;
@@ -77,14 +80,32 @@ public:
     /// needs a MultiTermSystem, everything else a DescriptorSystem).
     SolveResult run(SystemHandle handle, const Scenario& scenario);
 
-    /// Run a batch of scenarios against one handle, in order, sharing the
-    /// handle's caches: scenarios that differ only in their sources reuse
-    /// one numeric factorization (and all plans/series), scenarios that
-    /// differ in step size or method still share the symbolic analysis.
-    /// Results are identical to calling run() in a loop — the batch is a
-    /// throughput interface, not a different algorithm.
+    /// run_batch execution knobs.
+    struct BatchOptions {
+        /// Worker threads executing independent scenario *groups*
+        /// concurrently; 1 keeps everything on the calling thread.  The
+        /// thread count never changes results: scenario grouping and the
+        /// batched multi-RHS sweeps are applied identically at any value,
+        /// so a threaded batch is bit-identical to a serial one.
+        int workers = 1;
+    };
+
+    /// Run a batch of scenarios against one handle, sharing the handle's
+    /// caches, with results in scenario order.  Scenarios that are
+    /// batch-compatible (same method, grid and options — differing in
+    /// their sources only) are grouped and executed as ONE batched
+    /// multi-RHS sweep per group when the method supports it (opm,
+    /// transient, grunwald): one factorization and one blocked triangular
+    /// solve per time step across the whole group.  Methods without a
+    /// batched path (multiterm, adaptive) run their group as a loop that
+    /// still reuses one numeric factorization through the cache.  Results
+    /// match calling run() in a loop up to floating-point reassociation
+    /// in the batched fft history backend (bit-identical elsewhere).
     std::vector<SolveResult> run_batch(SystemHandle handle,
                                        std::span<const Scenario> scenarios);
+    std::vector<SolveResult> run_batch(SystemHandle handle,
+                                       std::span<const Scenario> scenarios,
+                                       const BatchOptions& opt);
 
     /// Aggregate cache counters for a handle (test / introspection).
     struct CacheStats {

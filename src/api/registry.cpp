@@ -94,13 +94,112 @@ SolveResult run_grunwald(const SystemView& sys, const Scenario& sc) {
     return out;
 }
 
+// ---- batched group runners (source-only scenario groups) -----------------
+
+std::vector<std::vector<wave::Source>> group_sources(
+    std::span<const Scenario> group) {
+    std::vector<std::vector<wave::Source>> srcs;
+    srcs.reserve(group.size());
+    for (const Scenario& sc : group) srcs.push_back(sc.sources);
+    return srcs;
+}
+
+std::vector<SolveResult> run_opm_group(const SystemView& sys,
+                                       std::span<const Scenario> group) {
+    opm::OpmOptions opt = std::get<opm::OpmOptions>(group.front().config);
+    opt.caches = sys.caches;
+    std::vector<opm::OpmResult> rs =
+        opm::simulate_opm_batch(*sys.descriptor, group_sources(group),
+                                group.front().t_end, group.front().steps, opt);
+    std::vector<SolveResult> out(rs.size());
+    for (std::size_t s = 0; s < rs.size(); ++s) {
+        out[s].method = Method::opm;
+        out[s].outputs = std::move(rs[s].outputs);
+        out[s].states = std::move(rs[s].coeffs);
+        out[s].grid = std::move(rs[s].edges);
+        out[s].diag = rs[s].diag;
+    }
+    return out;
+}
+
+std::vector<SolveResult> run_transient_group(const SystemView& sys,
+                                             std::span<const Scenario> group) {
+    transient::TransientOptions opt =
+        std::get<transient::TransientOptions>(group.front().config);
+    opt.caches = sys.caches;
+    std::vector<transient::TransientResult> rs = transient::simulate_transient_batch(
+        *sys.descriptor, group_sources(group), group.front().t_end,
+        group.front().steps, opt);
+    std::vector<SolveResult> out(rs.size());
+    for (std::size_t s = 0; s < rs.size(); ++s) {
+        out[s].method = Method::transient;
+        out[s].outputs = std::move(rs[s].outputs);
+        out[s].states = std::move(rs[s].states);
+        out[s].grid = std::move(rs[s].times);
+        out[s].diag = rs[s].diag;
+    }
+    return out;
+}
+
+std::vector<SolveResult> run_grunwald_group(const SystemView& sys,
+                                            std::span<const Scenario> group) {
+    transient::GrunwaldOptions opt =
+        std::get<transient::GrunwaldOptions>(group.front().config);
+    opt.caches = sys.caches;
+    std::vector<transient::GrunwaldResult> rs = transient::simulate_grunwald_batch(
+        *sys.descriptor, group_sources(group), group.front().t_end,
+        group.front().steps, opt);
+    std::vector<SolveResult> out(rs.size());
+    for (std::size_t s = 0; s < rs.size(); ++s) {
+        out[s].method = Method::grunwald;
+        out[s].outputs = std::move(rs[s].outputs);
+        out[s].states = std::move(rs[s].states);
+        out[s].grid = std::move(rs[s].times);
+        out[s].diag = rs[s].diag;
+    }
+    return out;
+}
+
 constexpr SolverAdapter kRegistry[] = {
-    {Method::opm, "opm", false, &run_opm},
-    {Method::multiterm, "multiterm", true, &run_multiterm},
-    {Method::adaptive, "adaptive", false, &run_adaptive},
-    {Method::transient, "transient", false, &run_transient},
-    {Method::grunwald, "grunwald", false, &run_grunwald},
+    {Method::opm, "opm", false, &run_opm, &run_opm_group},
+    {Method::multiterm, "multiterm", true, &run_multiterm, nullptr},
+    {Method::adaptive, "adaptive", false, &run_adaptive, nullptr},
+    {Method::transient, "transient", false, &run_transient, &run_transient_group},
+    {Method::grunwald, "grunwald", false, &run_grunwald, &run_grunwald_group},
 };
+
+// ---- per-method options equality (sources excluded by construction;
+// the `caches` pointer is Engine-injected and ignored) ---------------------
+
+bool options_equal(const opm::OpmOptions& a, const opm::OpmOptions& b) {
+    return a.alpha == b.alpha && a.form == b.form && a.path == b.path &&
+           a.history == b.history && a.x0 == b.x0 &&
+           a.quad_points == b.quad_points && a.quad_panels == b.quad_panels;
+}
+
+bool options_equal(const opm::MultiTermOptions& a,
+                   const opm::MultiTermOptions& b) {
+    return a.path == b.path && a.history == b.history &&
+           a.quad_points == b.quad_points && a.quad_panels == b.quad_panels;
+}
+
+bool options_equal(const opm::AdaptiveOptions& a, const opm::AdaptiveOptions& b) {
+    return a.alpha == b.alpha && a.tol == b.tol && a.atol == b.atol &&
+           a.h_init == b.h_init && a.h_min == b.h_min && a.h_max == b.h_max &&
+           a.x0 == b.x0 && a.quad_points == b.quad_points &&
+           a.max_steps == b.max_steps &&
+           a.max_consecutive_rejects == b.max_consecutive_rejects;
+}
+
+bool options_equal(const transient::TransientOptions& a,
+                   const transient::TransientOptions& b) {
+    return a.method == b.method && a.x0 == b.x0 && a.symbolic == b.symbolic;
+}
+
+bool options_equal(const transient::GrunwaldOptions& a,
+                   const transient::GrunwaldOptions& b) {
+    return a.alpha == b.alpha && a.history == b.history && a.x0 == b.x0;
+}
 
 } // namespace
 
@@ -108,6 +207,18 @@ const SolverAdapter& adapter_for(Method m) {
     for (const SolverAdapter& a : kRegistry)
         if (a.method == m) return a;
     OPMSIM_ENSURE(false, "adapter_for: unknown method");
+}
+
+bool batch_compatible(const Scenario& a, const Scenario& b) {
+    if (a.t_end != b.t_end || a.steps != b.steps ||
+        a.config.index() != b.config.index())
+        return false;
+    return std::visit(
+        [&b](const auto& oa) {
+            return options_equal(
+                oa, std::get<std::decay_t<decltype(oa)>>(b.config));
+        },
+        a.config);
 }
 
 } // namespace opmsim::api

@@ -11,6 +11,8 @@
 /// Engine itself stays method-agnostic and a new solver path plugs in by
 /// appending a MethodConfig alternative and a registry row.
 
+#include <span>
+
 #include "api/scenario.hpp"
 
 namespace opmsim::api {
@@ -31,9 +33,20 @@ struct SolverAdapter {
     /// (only `multiterm`); every other path needs a DescriptorSystem.
     bool needs_multiterm;
     SolveResult (*run)(const SystemView& sys, const Scenario& scenario);
+    /// Batched runner for a source-only scenario group (all scenarios
+    /// batch_compatible with each other): one factorization, multi-RHS
+    /// sweeps.  nullptr for methods without a batched path (adaptive
+    /// chooses per-solution step grids, multiterm's K history engines are
+    /// per-run) — the Engine falls back to a sequential loop of `run`.
+    std::vector<SolveResult> (*run_group)(const SystemView& sys,
+                                          std::span<const Scenario> group);
 };
 
 /// The registry row for a method (every Method has exactly one).
 const SolverAdapter& adapter_for(Method m);
+
+/// True when two scenarios may share one batched sweep: same method, time
+/// grid and per-method options — they differ in their sources only.
+bool batch_compatible(const Scenario& a, const Scenario& b);
 
 } // namespace opmsim::api

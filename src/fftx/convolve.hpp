@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fftx/fft.hpp"
@@ -72,6 +73,7 @@ private:
     std::size_t max_nx_ = 0;  ///< largest admissible input length
     std::size_t n_ = 0;       ///< FFT size (power of two)
     std::vector<cplx> kspec_; ///< cached kernel spectrum, length n_
+    std::mutex mutex_;        ///< serializes buf_ (plans are shared via the cache)
     std::vector<cplx> buf_;   ///< scratch transform buffer, length n_
 };
 
@@ -87,9 +89,10 @@ private:
 /// would round differently (the cache guarantees cached runs stay
 /// bit-identical to uncached ones).
 ///
-/// Plans carry internal scratch buffers: a shared plan is safe across any
-/// number of sequential users but NOT across concurrent threads — same
-/// contract as the rest of the solver stack.  Beyond `max_plans` the most
+/// Lookups/insertions are serialized by an internal mutex, and the plans
+/// themselves serialize their scratch buffer, so a shared cache (and a
+/// shared plan) is safe across the Engine's run_batch worker threads.
+/// Beyond `max_plans` the most
 /// recent insertion is replaced (not the oldest), so cyclic replays
 /// longer than the cap keep the resident entries hitting — the same
 /// eviction policy as la::FactorCache.
@@ -109,9 +112,13 @@ public:
     [[nodiscard]] long hits() const { return hits_; }
     [[nodiscard]] long misses() const { return misses_; }
 
-    void clear() { entries_.clear(); }
+    void clear() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+    }
 
 private:
+    std::mutex mutex_;
     struct Entry {
         std::uint64_t hash = 0;
         std::vector<double> kernel;

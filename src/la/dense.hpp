@@ -105,32 +105,8 @@ public:
     friend Matrix operator*(Matrix a, T s) { return a *= s; }
     friend Matrix operator*(T s, Matrix a) { return a *= s; }
 
-    /// Matrix product.  The jki loop is tiled 64x64 over (j, k) so the
-    /// active panel of `a` stays cache-resident across a whole tile of
-    /// output columns — the operational matrices (m up to a few thousand)
-    /// and the generic-basis Kronecker pencils are large enough to thrash
-    /// without it.
-    friend Matrix operator*(const Matrix& a, const Matrix& b) {
-        OPMSIM_REQUIRE(a.cols_ == b.rows_, "matmul: inner dimensions differ");
-        Matrix c(a.rows_, b.cols_);
-        constexpr index_t tile = 64;
-        for (index_t k0 = 0; k0 < a.cols_; k0 += tile) {
-            const index_t k1 = std::min(k0 + tile, a.cols_);
-            for (index_t j0 = 0; j0 < b.cols_; j0 += tile) {
-                const index_t j1 = std::min(j0 + tile, b.cols_);
-                for (index_t j = j0; j < j1; ++j) {
-                    T* cj = c.col(j);
-                    for (index_t k = k0; k < k1; ++k) {
-                        const T bkj = b(k, j);
-                        if (bkj == T{}) continue;
-                        const T* ak = a.col(k);
-                        for (index_t i = 0; i < a.rows_; ++i) cj[i] += ak[i] * bkj;
-                    }
-                }
-            }
-        }
-        return c;
-    }
+    // The matrix product lives as a free template below, routed through
+    // the tiled raw-pointer kernel (gemm_acc).
 
     [[nodiscard]] Matrix transposed() const {
         Matrix t(cols_, rows_);
@@ -176,6 +152,48 @@ using Matrixd = Matrix<double>;
 using Matrixz = Matrix<cplx>;
 using Vectord = std::vector<double>;
 using Vectorz = std::vector<cplx>;
+
+/// C += A * B on raw column-major storage with explicit leading
+/// dimensions: C is mr x nc (ldc), A is mr x kc (lda), B is kc x nc (ldb).
+/// The jki loop is tiled 64x64 over (j, k) so the active panel of `a`
+/// stays cache-resident across a whole tile of output columns — the
+/// operational matrices (m up to a few thousand) and the generic-basis
+/// Kronecker pencils are large enough to thrash without it.  (The
+/// supernodal sparse LU deliberately does NOT use this kernel for its
+/// panel updates: its operands are at most 64 columns wide, where the
+/// tiling is pure overhead — see panel_mult in la/sparse_lu.cpp.)
+/// Within one output column the k-accumulation order is increasing and
+/// independent of nc, so per-column results are bit-identical whether
+/// columns are computed one at a time or batched.
+template <class T>
+void gemm_acc(index_t mr, index_t nc, index_t kc, const T* a, index_t lda,
+              const T* b, index_t ldb, T* c, index_t ldc) {
+    constexpr index_t tile = 64;
+    for (index_t k0 = 0; k0 < kc; k0 += tile) {
+        const index_t k1 = std::min(k0 + tile, kc);
+        for (index_t j0 = 0; j0 < nc; j0 += tile) {
+            const index_t j1 = std::min(j0 + tile, nc);
+            for (index_t j = j0; j < j1; ++j) {
+                T* cj = c + j * ldc;
+                for (index_t k = k0; k < k1; ++k) {
+                    const T bkj = b[static_cast<std::size_t>(j * ldb + k)];
+                    if (bkj == T{}) continue;
+                    const T* ak = a + k * lda;
+                    for (index_t i = 0; i < mr; ++i) cj[i] += ak[i] * bkj;
+                }
+            }
+        }
+    }
+}
+
+template <class T>
+Matrix<T> operator*(const Matrix<T>& a, const Matrix<T>& b) {
+    OPMSIM_REQUIRE(a.cols() == b.rows(), "matmul: inner dimensions differ");
+    Matrix<T> c(a.rows(), b.cols());
+    gemm_acc(a.rows(), b.cols(), a.cols(), a.data(), a.rows(), b.data(),
+             b.rows(), c.data(), a.rows());
+    return c;
+}
 
 /// y = A x.
 template <class T>

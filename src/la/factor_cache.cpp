@@ -22,7 +22,8 @@ std::uint64_t value_hash(const CscMatrix& a) {
 }
 
 bool same_options(const SparseLuOptions& a, const SparseLuOptions& b) {
-    return a.ordering == b.ordering && a.pivot_tol == b.pivot_tol;
+    return a.ordering == b.ordering && a.kernel == b.kernel &&
+           a.pivot_tol == b.pivot_tol;
 }
 
 bool same_pattern(const CscMatrix& a, const SparseLuSymbolic& sym) {
@@ -42,6 +43,12 @@ FactorCache::SymEntry* FactorCache::find_symbolic(const CscMatrix& a,
 }
 
 std::shared_ptr<const SparseLuSymbolic> FactorCache::symbolic(
+    const CscMatrix& a, const SparseLuOptions& opt, bool* fresh) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return symbolic_locked(a, opt, fresh);
+}
+
+std::shared_ptr<const SparseLuSymbolic> FactorCache::symbolic_locked(
     const CscMatrix& a, const SparseLuOptions& opt, bool* fresh) {
     const std::uint64_t ph = pattern_hash(a);
     if (SymEntry* e = find_symbolic(a, ph, opt)) {
@@ -65,28 +72,45 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
                                                     bool* numeric_fresh) {
     const std::uint64_t ph = pattern_hash(a);
     const std::uint64_t vh = value_hash(a);
-    for (const NumEntry& e : num_) {
-        if (e.pattern_hash != ph || e.value_hash != vh ||
-            !same_options(e.opt, opt))
-            continue;
-        if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values())
-            continue;
-        ++num_hits_;
-        if (symbolic_fresh) *symbolic_fresh = false;
-        if (numeric_fresh) *numeric_fresh = false;
-        return e.lu;
-    }
-    ++num_misses_;
-    if (numeric_fresh) *numeric_fresh = true;
+    const auto find = [&]() -> std::shared_ptr<const SparseLu> {
+        for (const NumEntry& e : num_) {
+            if (e.pattern_hash != ph || e.value_hash != vh ||
+                !same_options(e.opt, opt))
+                continue;
+            if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values())
+                continue;
+            return e.lu;
+        }
+        return nullptr;
+    };
 
-    const std::shared_ptr<const SparseLuSymbolic> sym =
-        symbolic(a, opt, symbolic_fresh);
+    std::shared_ptr<const SparseLuSymbolic> sym;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (std::shared_ptr<const SparseLu> hit = find()) {
+            ++num_hits_;
+            if (symbolic_fresh) *symbolic_fresh = false;
+            if (numeric_fresh) *numeric_fresh = false;
+            return hit;
+        }
+        ++num_misses_;
+        if (numeric_fresh) *numeric_fresh = true;
+        sym = symbolic_locked(a, opt, symbolic_fresh);
+    }
+
+    // Factor OUTSIDE the lock: this is the expensive step, and holding the
+    // mutex here would serialize run_batch's worker threads whenever their
+    // groups factor different pencils.  Two threads missing on the same
+    // key may both factor; the results are bit-identical, so either copy
+    // may be cached and returned.
     NumEntry e;
     e.pattern_hash = ph;
     e.value_hash = vh;
     e.opt = opt;
     e.values = a.values();
     e.lu = std::make_shared<const SparseLu>(a, sym);
+
+    const std::lock_guard<std::mutex> lock(mutex_);
     // Evict the most recent insertion, not the oldest: cyclic replay of
     // more keys than the cap (an adaptive run's step-size sequence,
     // re-encountered by the next run) would turn oldest-first eviction
@@ -98,6 +122,7 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
 }
 
 void FactorCache::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sym_.clear();
     num_.clear();
 }

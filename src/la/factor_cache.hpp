@@ -21,9 +21,13 @@
 /// their pencil as usual and ask the cache; a hit costs one hash + one
 /// vector compare.
 ///
-/// The cache is a plain mutable object with no internal locking — share it
-/// across sequential runs (the Engine facade keeps one per registered
-/// system), not across threads.  Numeric entries are capped because
+/// Lookups and insertions are serialized by an internal mutex, so one
+/// cache may be shared by the Engine's run_batch worker threads; the
+/// returned SparseLu / SparseLuSymbolic objects are immutable and their
+/// solves use thread-local scratch, so concurrent use of a shared factor
+/// is safe too.  The statistics getters are unsynchronized snapshots —
+/// read them between runs, not while workers are active.  Numeric entries
+/// are capped because
 /// adaptive stepping can generate many distinct step sizes; when full,
 /// the most recent insertion is replaced (not the oldest), so cyclic
 /// replays longer than the cap still keep the resident entries hitting.
@@ -31,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "la/sparse_lu.hpp"
@@ -91,7 +96,10 @@ private:
 
     SymEntry* find_symbolic(const CscMatrix& a, std::uint64_t ph,
                             const SparseLuOptions& opt);
+    std::shared_ptr<const SparseLuSymbolic> symbolic_locked(
+        const CscMatrix& a, const SparseLuOptions& opt, bool* fresh);
 
+    std::mutex mutex_;
     std::size_t max_factors_;
     std::vector<SymEntry> sym_;
     std::vector<NumEntry> num_;  ///< insertion order; back() is replaced when full

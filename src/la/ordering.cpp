@@ -61,6 +61,54 @@ SymmetricPattern symmetrized_pattern(const CscMatrix& a) {
     return g;
 }
 
+EliminationTree elimination_tree(const SymmetricPattern& g,
+                                 const std::vector<index_t>& perm) {
+    const index_t n = g.size();
+    OPMSIM_REQUIRE(static_cast<index_t>(perm.size()) == n,
+                   "elimination_tree: permutation size mismatch");
+    std::vector<index_t> inv(usz(n));
+    for (index_t k = 0; k < n; ++k) inv[usz(perm[usz(k)])] = k;
+
+    EliminationTree t;
+    t.parent.assign(usz(n), -1);
+    std::vector<index_t> ancestor(usz(n), -1);
+    for (index_t i = 0; i < n; ++i) {
+        const index_t v = perm[usz(i)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            index_t r = inv[usz(g.adj[usz(p)])];
+            if (r >= i) continue;
+            // Walk to the root, path-compressing onto i.
+            while (ancestor[usz(r)] >= 0 && ancestor[usz(r)] != i) {
+                const index_t next = ancestor[usz(r)];
+                ancestor[usz(r)] = i;
+                r = next;
+            }
+            if (ancestor[usz(r)] < 0) {
+                ancestor[usz(r)] = i;
+                t.parent[usz(r)] = i;
+            }
+        }
+    }
+
+    t.col_count.assign(usz(n), 1);  // diagonal
+    std::vector<index_t> seen(usz(n), -1);
+    for (index_t i = 0; i < n; ++i) {
+        seen[usz(i)] = i;
+        const index_t v = perm[usz(i)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            index_t r = inv[usz(g.adj[usz(p)])];
+            if (r >= i) continue;
+            // Row subtree of i: every column on the path gains entry (i, .).
+            while (seen[usz(r)] != i) {
+                seen[usz(r)] = i;
+                ++t.col_count[usz(r)];
+                r = t.parent[usz(r)];
+            }
+        }
+    }
+    return t;
+}
+
 std::vector<index_t> rcm_ordering(const CscMatrix& a) {
     return rcm_ordering(symmetrized_pattern(a));
 }

@@ -42,6 +42,29 @@ struct SymmetricPattern {
 /// Build the symmetrized pattern of a square sparse matrix.
 SymmetricPattern symmetrized_pattern(const CscMatrix& a);
 
+/// Elimination tree and per-column factor counts of the permuted
+/// symmetrized pattern — the Cholesky structure analysis shared by the
+/// fill estimate and the supernode detection (Liu's algorithm: path
+/// compression for the tree, row-subtree traversal for the counts;
+/// O(nnz(L)) time, O(n) memory, no factor storage).  Indices are in the
+/// *permuted* space: parent[k] is the parent column of factor column k
+/// (-1 at a root), col_count[k] = nnz(L_chol(:,k)) including the diagonal.
+struct EliminationTree {
+    std::vector<index_t> parent;
+    std::vector<index_t> col_count;
+
+    /// nnz(L) of the Cholesky factor (sum of the column counts).
+    [[nodiscard]] index_t factor_nnz() const {
+        index_t s = 0;
+        for (const index_t c : col_count) s += c;
+        return s;
+    }
+};
+
+/// Compute the elimination tree of g permuted by `perm` (new -> old).
+EliminationTree elimination_tree(const SymmetricPattern& g,
+                                 const std::vector<index_t>& perm);
+
 /// Reverse Cuthill–McKee ordering of a square sparse matrix's symmetrized
 /// pattern.  Returns perm with perm[new_index] = old_index.  Handles
 /// disconnected graphs (each component is ordered from a pseudo-peripheral

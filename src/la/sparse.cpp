@@ -72,6 +72,10 @@ void CscMatrix::gaxpy(double alpha, const Vectord& x, Vectord& y) const {
     OPMSIM_REQUIRE(static_cast<index_t>(x.size()) == cols_ &&
                        static_cast<index_t>(y.size()) == rows_,
                    "CscMatrix::gaxpy: dimension mismatch");
+    gaxpy(alpha, x.data(), y.data());
+}
+
+void CscMatrix::gaxpy(double alpha, const double* x, double* y) const {
     for (index_t j = 0; j < cols_; ++j) {
         const double xj = alpha * x[static_cast<std::size_t>(j)];
         if (xj == 0.0) continue;

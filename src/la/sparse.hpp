@@ -72,6 +72,11 @@ public:
     /// y += alpha * A x (no allocation).
     void gaxpy(double alpha, const Vectord& x, Vectord& y) const;
 
+    /// Raw-pointer overload (x and y are length-rows()/cols() arrays) —
+    /// lets the batched multi-RHS sweeps stamp per-scenario sub-blocks of
+    /// one contiguous RHS block without slicing into temporaries.
+    void gaxpy(double alpha, const double* x, double* y) const;
+
     /// y = A^T x.
     [[nodiscard]] Vectord matvec_transposed(const Vectord& x) const;
 

@@ -1,8 +1,13 @@
 #include "la/sparse_lu.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <string>
+#include <utility>
+
+#include "la/dense.hpp"
+#include "la/triangular.hpp"
 
 namespace opmsim::la {
 
@@ -74,50 +79,51 @@ private:
     std::vector<index_t> topo_;
 };
 
-/// nnz(L) of the Cholesky factor of the permuted symmetrized pattern,
-/// via Liu's elimination-tree algorithm and row-subtree column counts
-/// (O(nnz(L)) time, O(n) extra memory, no factor storage).
-index_t cholesky_factor_nnz(const SymmetricPattern& g, const std::vector<index_t>& perm) {
-    const index_t n = g.size();
-    std::vector<index_t> inv(usz(n));
-    for (index_t k = 0; k < n; ++k) inv[usz(perm[usz(k)])] = k;
+/// Position of `row` inside the sorted below-panel row segment
+/// [first, last) of a supernode.  The static structure guarantees presence;
+/// a miss is a logic error, not a data condition.
+index_t srow_position(const std::vector<index_t>& srow, index_t first,
+                      index_t last, index_t row) {
+    const auto it = std::lower_bound(srow.begin() + first, srow.begin() + last, row);
+    OPMSIM_ENSURE(it != srow.begin() + last && *it == row,
+                  "SparseLu: entry outside the supernodal structure");
+    return static_cast<index_t>(it - (srow.begin() + first));
+}
 
-    std::vector<index_t> parent(usz(n), -1), ancestor(usz(n), -1);
-    for (index_t i = 0; i < n; ++i) {
-        const index_t v = perm[usz(i)];
-        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
-            index_t r = inv[usz(g.adj[usz(p)])];
-            if (r >= i) continue;
-            // Walk to the root, path-compressing onto i.
-            while (ancestor[usz(r)] >= 0 && ancestor[usz(r)] != i) {
-                const index_t next = ancestor[usz(r)];
-                ancestor[usz(r)] = i;
-                r = next;
-            }
-            if (ancestor[usz(r)] < 0) {
-                ancestor[usz(r)] = i;
-                parent[usz(r)] = i;
-            }
+/// Widest panel the supernode detection will form.  Bounds dense-panel
+/// scratch and keeps the tiled GEMM operands cache-sized.
+constexpr index_t kMaxPanel = 64;
+
+/// C = A * B for the supernodal update blocks: overwriting (no zero-fill
+/// pass) and untiled — the operands are panel slices at most kMaxPanel
+/// wide, so the 64x64 tiling of la::gemm_acc would only add loop overhead
+/// to what are typically sub-kilobyte multiplies.  Per output column the
+/// k-accumulation order is ascending, matching gemm_acc.
+inline void panel_mult(index_t mr, index_t nc, index_t kc,
+                       const double* __restrict a, index_t lda,
+                       const double* __restrict b, index_t ldb,
+                       double* __restrict c) {
+    for (index_t j = 0; j < nc; ++j) {
+        double* __restrict cj = c + j * mr;
+        const double* __restrict bj = b + j * ldb;
+        const double b0 = bj[0];
+        for (index_t i = 0; i < mr; ++i) cj[i] = a[i] * b0;
+        for (index_t k = 1; k < kc; ++k) {
+            const double bkj = bj[k];
+            if (bkj == 0.0) continue;
+            const double* __restrict ak = a + k * lda;
+            for (index_t i = 0; i < mr; ++i) cj[i] += ak[i] * bkj;
         }
     }
+}
 
-    index_t nnz_l = n;  // diagonal
-    std::vector<index_t> seen(usz(n), -1);
-    for (index_t i = 0; i < n; ++i) {
-        seen[usz(i)] = i;
-        const index_t v = perm[usz(i)];
-        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
-            index_t r = inv[usz(g.adj[usz(p)])];
-            if (r >= i) continue;
-            // Row subtree of i: every column on the path gains entry (i, .).
-            while (seen[usz(r)] != i) {
-                seen[usz(r)] = i;
-                ++nnz_l;
-                r = parent[usz(r)];
-            }
-        }
-    }
-    return nnz_l;
+/// Thread-local solve/refactor scratch.  SparseLu factors may be shared
+/// across the Engine's run_batch worker threads; per-thread scratch keeps
+/// concurrent solves on one factor race-free without locking.
+Vectord& thread_scratch(std::size_t need) {
+    static thread_local Vectord buf;
+    if (buf.size() < need) buf.resize(need);
+    return buf;
 }
 
 } // namespace
@@ -143,9 +149,305 @@ SparseLuSymbolic::SparseLuSymbolic(const CscMatrix& a, SparseLuOptions opt)
     case SparseLuOptions::Ordering::rcm: perm_cols_ = rcm_ordering(g); break;
     default: perm_cols_ = amd_ordering(g); break;
     }
-    fill_estimate_ = 2 * cholesky_factor_nnz(g, perm_cols_) - n_;
+    etree_ = elimination_tree(g, perm_cols_);
+    fill_estimate_ = 2 * etree_.factor_nnz() - n_;
     a_colp_ = a.col_ptr();
     a_rowi_ = a.row_ind();
+
+    if (opt.kernel == SparseLuOptions::Kernel::scalar || n_ == 0) return;
+
+    // ---- etree postordering -------------------------------------------
+    // AMD/RCM permutations are generally NOT topological orders of their
+    // own elimination tree, so columns with identical structure land far
+    // apart and no supernode can form.  Relabeling the columns by an etree
+    // postorder is fill- and flop-invariant (it permutes within the same
+    // tree) and makes every fundamental supernode a contiguous column run
+    // — the standard preprocessing of supernodal codes.
+    {
+        const index_t n = n_;
+        std::vector<index_t> child_head(usz(n), -1), child_next(usz(n), -1);
+        for (index_t j = n - 1; j >= 0; --j) {
+            const index_t p = etree_.parent[usz(j)];
+            if (p >= 0) {
+                child_next[usz(j)] = child_head[usz(p)];
+                child_head[usz(p)] = j;  // descending fill => ascending lists
+            }
+        }
+        std::vector<index_t> post;
+        post.reserve(usz(n));
+        std::vector<index_t> stack;
+        for (index_t r = 0; r < n; ++r) {
+            if (etree_.parent[usz(r)] >= 0) continue;  // roots only
+            stack.push_back(~r);  // ~v marks "emit v on pop"
+            while (!stack.empty()) {
+                const index_t v = stack.back();
+                stack.pop_back();
+                if (v < 0) {
+                    const index_t u = ~v;
+                    stack.push_back(u);  // emit after children
+                    for (index_t c = child_head[usz(u)]; c >= 0;
+                         c = child_next[usz(c)])
+                        stack.push_back(~c);
+                } else {
+                    post.push_back(v);
+                }
+            }
+        }
+        // post is built children-last per subtree; reverse the child
+        // pushes give ascending DFS — emit order is a postorder either
+        // way, determinism is what matters.  Compose and re-analyze.
+        std::vector<index_t> np(usz(n));
+        for (index_t k = 0; k < n; ++k) np[usz(k)] = perm_cols_[usz(post[usz(k)])];
+        perm_cols_ = std::move(np);
+        etree_ = elimination_tree(g, perm_cols_);
+        fill_estimate_ = 2 * etree_.factor_nnz() - n_;
+    }
+
+    // ---- supernode partition of the permuted columns -----------------
+    const std::vector<index_t>& parent = etree_.parent;
+    const std::vector<index_t>& cc = etree_.col_count;
+
+    // Fundamental supernodes: column j joins its predecessor's supernode
+    // when j is the etree parent of j-1 and drops exactly one row from its
+    // structure — the classic identical-below-structure test.
+    std::vector<index_t> fund{0};
+    for (index_t j = 1; j < n_; ++j) {
+        const bool chain = parent[usz(j - 1)] == j && cc[usz(j)] == cc[usz(j - 1)] - 1;
+        if (!chain || j - fund.back() >= kMaxPanel) fund.push_back(j);
+    }
+    fund.push_back(n_);
+
+    // Relaxed amalgamation.  A postorder interval [a, c) is a valid
+    // supernode whenever it lies inside the subtree of its last column
+    // c-1 (first_desc[c-1] <= a): every column's below-interval structure
+    // is then contained in struct(L(:,c-1)) by the etree path lemma, so
+    // the shared panel row set is exactly that column's structure.  Merge
+    // the next fundamental piece into the open run when the panel padding
+    // this introduces (explicit zeros stored and factored as part of the
+    // dense block) stays under a small budget — trading a few flops on
+    // structural zeros for wider GEMM panels and fewer scatter passes.
+    std::vector<index_t> first_desc(usz(n_));
+    for (index_t j = 0; j < n_; ++j) first_desc[usz(j)] = j;
+    for (index_t j = 0; j < n_; ++j) {
+        const index_t p = parent[usz(j)];
+        if (p >= 0)
+            first_desc[usz(p)] = std::min(first_desc[usz(p)], first_desc[usz(j)]);
+    }
+    snode_ptr_.assign(1, 0);
+    index_t true_cur = 0;  // structural entries of the run being built
+    for (std::size_t f = 0; f + 1 < fund.size(); ++f) {
+        const index_t b = fund[f], c = fund[f + 1];
+        index_t piece = 0;
+        for (index_t j = b; j < c; ++j) piece += cc[usz(j)];
+        const index_t a0 = snode_ptr_.back();
+        bool merged = false;
+        if (b > a0) {  // a run [a0, b) is open — try to absorb [b, c)
+            const index_t new_w = c - a0;
+            const index_t nb_m = cc[usz(c - 1)] - 1;  // merged below-row count
+            const index_t dense_tri =
+                new_w * (new_w + nb_m) - new_w * (new_w - 1) / 2;
+            const index_t extra = dense_tri - (true_cur + piece);
+            if (first_desc[usz(c - 1)] <= a0 && new_w <= kMaxPanel &&
+                extra <= std::max<index_t>(24, (true_cur + piece) / 8)) {
+                true_cur += piece;
+                merged = true;
+            }
+        }
+        if (!merged) {
+            if (b > a0) snode_ptr_.push_back(b);
+            true_cur = piece;
+        }
+    }
+    if (snode_ptr_.back() != n_) snode_ptr_.push_back(n_);
+
+    const index_t nsup = static_cast<index_t>(snode_ptr_.size()) - 1;
+    col_to_snode_.resize(usz(n_));
+    for (index_t s = 0; s < nsup; ++s)
+        for (index_t j = snode_ptr_[usz(s)]; j < snode_ptr_[usz(s) + 1]; ++j)
+            col_to_snode_[usz(j)] = s;
+
+    // ---- below-panel row structure (symbolic Cholesky by row subtrees):
+    // row i appears in L(:, r) for every column r on the path from a
+    // pattern entry up the etree toward i; collect each such i once per
+    // supernode (the shared panel row set) and once per column (the
+    // exact L pattern the CSC export uses).  Rows are visited in
+    // increasing i, so all lists come out sorted.
+    std::vector<index_t> inv(usz(n_));
+    for (index_t k = 0; k < n_; ++k) inv[usz(perm_cols_[usz(k)])] = k;
+    std::vector<index_t> seen(usz(n_), -1), sn_seen(usz(nsup), -1);
+    std::vector<std::vector<index_t>> rows(usz(nsup));
+    std::vector<std::vector<index_t>> lcols(usz(n_));
+    for (index_t i = 0; i < n_; ++i) {
+        seen[usz(i)] = i;
+        const index_t v = perm_cols_[usz(i)];
+        for (index_t p = g.ptr[usz(v)]; p < g.ptr[usz(v) + 1]; ++p) {
+            index_t r = inv[usz(g.adj[usz(p)])];
+            if (r >= i) continue;
+            while (seen[usz(r)] != i) {
+                seen[usz(r)] = i;
+                lcols[usz(r)].push_back(i);
+                const index_t s = col_to_snode_[usz(r)];
+                if (i >= snode_ptr_[usz(s) + 1] && sn_seen[usz(s)] != i) {
+                    sn_seen[usz(s)] = i;
+                    rows[usz(s)].push_back(i);
+                }
+                r = parent[usz(r)];
+            }
+        }
+    }
+    srow_ptr_.assign(usz(nsup) + 1, 0);
+    for (index_t s = 0; s < nsup; ++s)
+        srow_ptr_[usz(s) + 1] =
+            srow_ptr_[usz(s)] + static_cast<index_t>(rows[usz(s)].size());
+    srow_.reserve(usz(srow_ptr_.back()));
+    for (auto& list : rows) srow_.insert(srow_.end(), list.begin(), list.end());
+
+    // Padding diagnostic: dense lower-panel entries minus structural ones.
+    padding_ = 0;
+    for (index_t s = 0; s < nsup; ++s) {
+        const index_t w = snode_ptr_[usz(s) + 1] - snode_ptr_[usz(s)];
+        const index_t nb = srow_ptr_[usz(s) + 1] - srow_ptr_[usz(s)];
+        padding_ += w * (w + nb) - w * (w - 1) / 2;
+    }
+    for (const index_t c : cc) padding_ -= c;
+
+    // ---- panel offsets + A-entry scatter map (pattern-only): resolving
+    // every nonzero's panel destination once here turns each numeric
+    // assembly (and every refactor) into one linear pass with no searches.
+    lpan_off_.assign(usz(nsup) + 1, 0);
+    upan_off_.assign(usz(nsup) + 1, 0);
+    for (index_t s = 0; s < nsup; ++s) {
+        const index_t w = snode_ptr_[usz(s) + 1] - snode_ptr_[usz(s)];
+        const index_t nb = srow_ptr_[usz(s) + 1] - srow_ptr_[usz(s)];
+        lpan_off_[usz(s) + 1] = lpan_off_[usz(s)] + (w + nb) * w;
+        upan_off_[usz(s) + 1] = upan_off_[usz(s)] + w * nb;
+    }
+    {
+        // Assembly schedule grouped by destination supernode: scatter A
+        // value asm_src_[k] into panel slot asm_dst_[k] while supernode
+        // asm_ptr_-group t is being assembled (cache-hot).
+        std::vector<std::array<index_t, 3>> sched;  // (snode, dst, src)
+        sched.reserve(a_rowi_.size());
+        for (index_t aj = 0; aj < n_; ++aj) {
+            const index_t jp = inv[usz(aj)];
+            const index_t sj = col_to_snode_[usz(jp)];
+            const index_t c0 = snode_ptr_[usz(sj)], c1 = snode_ptr_[usz(sj) + 1];
+            const index_t h = (c1 - c0) + (srow_ptr_[usz(sj) + 1] - srow_ptr_[usz(sj)]);
+            for (index_t p = a_colp_[usz(aj)]; p < a_colp_[usz(aj) + 1]; ++p) {
+                const index_t ip = inv[usz(a_rowi_[usz(p)])];
+                if (ip >= c0) {
+                    const index_t local =
+                        ip < c1 ? ip - c0
+                                : (c1 - c0) + srow_position(srow_, srow_ptr_[usz(sj)],
+                                                            srow_ptr_[usz(sj) + 1], ip);
+                    sched.push_back({sj, lpan_off_[usz(sj)] + (jp - c0) * h + local, p});
+                } else {
+                    // Strictly-upper entry above the panel: row block of the
+                    // supernode owning ip, at jp's position in its row list.
+                    const index_t si = col_to_snode_[usz(ip)];
+                    const index_t wi = snode_ptr_[usz(si) + 1] - snode_ptr_[usz(si)];
+                    const index_t pos =
+                        srow_position(srow_, srow_ptr_[usz(si)], srow_ptr_[usz(si) + 1], jp);
+                    sched.push_back({si,
+                                     ~(upan_off_[usz(si)] + pos * wi +
+                                       (ip - snode_ptr_[usz(si)])),
+                                     p});
+                }
+            }
+        }
+        std::sort(sched.begin(), sched.end());
+        asm_ptr_.assign(usz(nsup) + 1, 0);
+        asm_src_.resize(sched.size());
+        asm_dst_.resize(sched.size());
+        for (std::size_t k = 0; k < sched.size(); ++k) {
+            ++asm_ptr_[usz(sched[k][0]) + 1];
+            asm_dst_[k] = sched[k][1];
+            asm_src_[k] = sched[k][2];
+        }
+        for (index_t t = 0; t < nsup; ++t) asm_ptr_[usz(t) + 1] += asm_ptr_[usz(t)];
+    }
+
+    // ---- exact-structure CSC export maps --------------------------------
+    // Resolve every structural factor entry's panel position once here:
+    // after each numeric factorization (and refactor) a single gather
+    // pass produces the compact column storage the streaming solves
+    // consume — panel padding never reaches the solve path.  Source
+    // offset for L(i, r) / U(r, i) with i in struct(L(:, r)), i > r, and
+    // supernode t owning r: in-panel when i < c1(t), the below row block
+    // / the U row block at i's srow position otherwise.
+    const auto lpan_pos = [&](index_t i, index_t r) {
+        const index_t t = col_to_snode_[usz(r)];
+        const index_t c0 = snode_ptr_[usz(t)], c1 = snode_ptr_[usz(t) + 1];
+        const index_t h = (c1 - c0) + (srow_ptr_[usz(t) + 1] - srow_ptr_[usz(t)]);
+        const index_t local =
+            i < c1 ? i - c0
+                   : (c1 - c0) + srow_position(srow_, srow_ptr_[usz(t)],
+                                               srow_ptr_[usz(t) + 1], i);
+        return lpan_off_[usz(t)] + (r - c0) * h + local;
+    };
+    const auto upan_pos = [&](index_t r, index_t i) {
+        // U(r, i): row supernode t owns r; i is a column of its diagonal
+        // block (i < c1, an lpan_ offset, >= 0) or of its U row block
+        // (an upan_ offset, encoded as ~offset like the assembly map).
+        const index_t t = col_to_snode_[usz(r)];
+        const index_t c0 = snode_ptr_[usz(t)], c1 = snode_ptr_[usz(t) + 1];
+        if (i < c1) {
+            const index_t h =
+                (c1 - c0) + (srow_ptr_[usz(t) + 1] - srow_ptr_[usz(t)]);
+            return lpan_off_[usz(t)] + (i - c0) * h + (r - c0);
+        }
+        const index_t pos = srow_position(srow_, srow_ptr_[usz(t)],
+                                          srow_ptr_[usz(t) + 1], i);
+        return ~(upan_off_[usz(t)] + pos * (c1 - c0) + (r - c0));
+    };
+
+    xl_colp_.assign(usz(n_) + 1, 0);
+    xu_colp_.assign(usz(n_) + 1, 0);
+    for (index_t r = 0; r < n_; ++r) {
+        const index_t cnt = static_cast<index_t>(lcols[usz(r)].size());
+        xl_colp_[usz(r) + 1] = cnt;  // L column r entry count
+        for (const index_t i : lcols[usz(r)]) ++xu_colp_[usz(i) + 1];
+    }
+    for (index_t r = 0; r < n_; ++r) {
+        xl_colp_[usz(r) + 1] += xl_colp_[usz(r)];
+        xu_colp_[usz(r) + 1] += xu_colp_[usz(r)];
+    }
+    const index_t nl = xl_colp_.back();
+    const index_t nu = xu_colp_.back();
+    xl_rowi_.resize(usz(nl));
+    xl_src_.resize(usz(nl));
+    xu_rowi_.resize(usz(nu));
+    std::vector<std::array<index_t, 3>> upairs;  // (source snode, src, dst)
+    upairs.reserve(usz(nu));
+    std::vector<index_t> ufill(xu_colp_.begin(), xu_colp_.end() - 1);
+    for (index_t r = 0, lp = 0; r < n_; ++r) {
+        for (const index_t i : lcols[usz(r)]) {
+            // L entry (i, r), pivot-space row index (the solves and the
+            // refactor replay run in pivot space).
+            xl_rowi_[usz(lp)] = i;
+            xl_src_[usz(lp)] = lpan_pos(i, r);
+            ++lp;
+            // Symmetric U entry (r, i) in export column i; its panel
+            // source lives in r's supernode (diag block or U row block).
+            const index_t up = ufill[usz(i)]++;
+            xu_rowi_[usz(up)] = r;
+            upairs.push_back({col_to_snode_[usz(r)], upan_pos(r, i), up});
+        }
+    }
+    // Group the U export by source supernode so it runs right after that
+    // supernode's elimination step, on a cache-hot panel.
+    std::sort(upairs.begin(), upairs.end());
+    xu_ptr_.assign(usz(nsup) + 1, 0);
+    xu_srcs_.resize(usz(nu));
+    xu_dsts_.resize(usz(nu));
+    for (index_t i = 0; i < nu; ++i) {
+        ++xu_ptr_[usz(upairs[usz(i)][0]) + 1];
+        xu_srcs_[usz(i)] = upairs[usz(i)][1];
+        xu_dsts_[usz(i)] = upairs[usz(i)][2];
+    }
+    for (index_t t = 0; t < nsup; ++t) xu_ptr_[usz(t) + 1] += xu_ptr_[usz(t)];
+    xdiag_src_.resize(usz(n_));
+    for (index_t j = 0; j < n_; ++j) xdiag_src_[usz(j)] = lpan_pos(j, j);
 }
 
 SparseLu::SparseLu(const CscMatrix& a, SparseLuOptions opt)
@@ -164,6 +466,34 @@ SparseLu::SparseLu(const CscMatrix& a, std::shared_ptr<const SparseLuSymbolic> s
 }
 
 void SparseLu::factorize(const CscMatrix& a) {
+    using Kernel = SparseLuOptions::Kernel;
+    const Kernel want = symbolic_->options().kernel;
+    const bool try_supernodal =
+        symbolic_->has_supernodes() &&
+        (want == Kernel::supernodal || (want == Kernel::automatic && n_ >= 32));
+    if (try_supernodal) {
+        try {
+            factorize_supernodal(a);
+            kernel_ = Kernel::supernodal;
+            return;
+        } catch (const numerical_error&) {
+            if (want == Kernel::supernodal) throw;
+            // automatic: a diagonal pivot failed the threshold test —
+            // release the panels and fall back to the scalar kernel, which
+            // can pivot off the diagonal.
+            lpan_.clear();
+            upan_.clear();
+        }
+    }
+    factorize_scalar(a);
+    kernel_ = Kernel::scalar;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar (Gilbert–Peierls) kernel — the reference path.
+// ---------------------------------------------------------------------------
+
+void SparseLu::factorize_scalar(const CscMatrix& a) {
     const index_t n = n_;
     const double pivot_tol = symbolic_->options().pivot_tol;
     const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
@@ -172,7 +502,14 @@ void SparseLu::factorize(const CscMatrix& a) {
     perm_rows_.assign(usz(n), -1);
     l_colp_.assign(1, 0);
     u_colp_.assign(1, 0);
-    u_diag_.resize(usz(n));
+    // Clear any state a failed supernodal attempt left behind (the
+    // automatic-kernel fallback path) — the loops below append.
+    l_rowi_.clear();
+    l_val_.clear();
+    u_rowi_.clear();
+    u_val_.clear();
+    u_diag_.assign(usz(n), 0.0);
+    offdiag_pivots_ = 0;
 
     // The symmetric fill estimate sizes the factors up front: half below
     // the diagonal (L), half above (U), exact when pivots stay diagonal.
@@ -257,44 +594,46 @@ void SparseLu::factorize(const CscMatrix& a) {
         l_colp_.push_back(static_cast<index_t>(l_val_.size()));
     }
 
-    work_.assign(usz(n), 0.0);
+    // Remap L's row indices into pivot space (every row is pivoted by
+    // now): the solves and refactor run entirely in pivot space, where
+    // the scatter targets are etree-clustered — much friendlier to the
+    // cache than original row indices, and the arithmetic is unchanged.
+    for (std::size_t p = 0; p < l_rowi_.size(); ++p)
+        l_rowi_[p] = pinv_[usz(l_rowi_[p])];
+
+    nnz_l_ = static_cast<index_t>(l_val_.size());
+    nnz_u_ = static_cast<index_t>(u_val_.size() + u_diag_.size());
 }
 
-void SparseLu::refactor(const CscMatrix& a) {
-    OPMSIM_REQUIRE(a.rows() == n_ && a.cols() == n_,
-                   "SparseLu::refactor: size mismatch");
-    OPMSIM_REQUIRE(a.col_ptr() == symbolic_->pattern_colp() &&
-                       a.row_ind() == symbolic_->pattern_rowi(),
-                   "SparseLu::refactor: sparsity pattern differs from the "
-                   "factored matrix (build a new SparseLu instead)");
+void SparseLu::refactor_scalar(const CscMatrix& a) {
     const index_t n = n_;
     const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
     const std::vector<index_t>& a_colp = a.col_ptr();
     const std::vector<index_t>& a_rowi = a.row_ind();
     const auto& avl = a.values();
-    Vectord& x = work_;  // solves leave stale values behind — reset first
-    std::fill(x.begin(), x.end(), 0.0);
+    // Pivot-space scratch (l_rowi_ holds pivot positions after the
+    // factorization's remap); A's rows are resolved through pinv_.
+    Vectord& x = thread_scratch(usz(n));
+    std::fill(x.begin(), x.begin() + n, 0.0);
 
     for (index_t j = 0; j < n; ++j) {
         const index_t aj = perm_cols[usz(j)];
         for (index_t p = a_colp[usz(aj)]; p < a_colp[usz(aj) + 1]; ++p)
-            x[usz(a_rowi[usz(p)])] = avl[usz(p)];
+            x[usz(pinv_[usz(a_rowi[usz(p)])])] = avl[usz(p)];
 
         // Replay the frozen U pattern in its stored elimination order.
         for (index_t p = u_colp_[usz(j)]; p < u_colp_[usz(j) + 1]; ++p) {
             const index_t k = u_rowi_[usz(p)];
-            const index_t r = perm_rows_[usz(k)];
-            const double xr = x[usz(r)];
-            x[usz(r)] = 0.0;
+            const double xr = x[usz(k)];
+            x[usz(k)] = 0.0;
             u_val_[usz(p)] = xr;
             if (xr == 0.0) continue;
             for (index_t q = l_colp_[usz(k)]; q < l_colp_[usz(k) + 1]; ++q)
                 x[usz(l_rowi_[usz(q)])] -= l_val_[usz(q)] * xr;
         }
 
-        const index_t rpiv = perm_rows_[usz(j)];
-        const double pivot = x[usz(rpiv)];
-        x[usz(rpiv)] = 0.0;
+        const double pivot = x[usz(j)];
+        x[usz(j)] = 0.0;
         if (pivot == 0.0)
             throw numerical_error(
                 "SparseLu::refactor: frozen pivot vanished at column " +
@@ -309,39 +648,310 @@ void SparseLu::refactor(const CscMatrix& a) {
     }
 }
 
-void SparseLu::solve_in_place(Vectord& b) const {
-    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n_, "SparseLu::solve: size mismatch");
-    const index_t n = n_;
-    Vectord& y = work_;
-    std::copy(b.begin(), b.end(), y.begin());
+// ---------------------------------------------------------------------------
+// Supernodal BLAS-3 kernel.
+// ---------------------------------------------------------------------------
 
-    // Forward solve L z = P b, working in original row space: after
-    // processing factor column k, y[perm_rows_[k]] holds z_k.
+void SparseLu::factorize_supernodal(const CscMatrix& a) {
+    const SparseLuSymbolic& sym = *symbolic_;
+    // Diagonal pivoting: the row order IS the column order.
+    perm_rows_ = sym.perm_cols();
+    pinv_.resize(usz(n_));
+    for (index_t k = 0; k < n_; ++k) pinv_[usz(perm_rows_[usz(k)])] = k;
+    offdiag_pivots_ = 0;
+
+    // Compact column values for the streaming solves (the exact
+    // structural pattern, shared from the symbolic — no panel padding);
+    // gathered per supernode inside the elimination loop while each
+    // panel is cache-hot, here and on every refactor.
+    l_val_.resize(sym.export_l_rowi().size());
+    u_val_.resize(sym.export_u_rowi().size());
+    u_diag_.resize(usz(n_));
+
+    assemble_and_factor_supernodal(a);
+
+    nnz_l_ = static_cast<index_t>(l_val_.size());
+    nnz_u_ = static_cast<index_t>(u_val_.size() + u_diag_.size());
+}
+
+void SparseLu::assemble_and_factor_supernodal(const CscMatrix& a) {
+    const SparseLuSymbolic& sym = *symbolic_;
+    const index_t nsup = sym.num_supernodes();
+    const std::vector<index_t>& sp = sym.snode_ptr();
+    const std::vector<index_t>& rp = sym.srow_ptr();
+    const std::vector<index_t>& sr = sym.srow();
+    const std::vector<index_t>& c2s = sym.col_to_snode();
+    const std::vector<index_t>& lpo = sym.lpan_off();
+    const std::vector<index_t>& upo = sym.upan_off();
+    const double pivot_tol = sym.options().pivot_tol;
+
+    lpan_.resize(usz(lpo[usz(nsup)]));
+    upan_.resize(usz(upo[usz(nsup)]));
+    const auto& avl = a.values();
+    const std::vector<index_t>& asm_ptr = sym.asm_ptr();
+    const std::vector<index_t>& asm_src = sym.asm_src();
+    const std::vector<index_t>& asm_dst = sym.asm_dst();
+    const std::vector<index_t>& xl_src = sym.export_l_src();
+    const std::vector<index_t>& xu_ptr = sym.export_u_ptr();
+    const std::vector<index_t>& xu_srcs = sym.export_u_srcs();
+    const std::vector<index_t>& xu_dsts = sym.export_u_dsts();
+    const std::vector<index_t>& xdiag = sym.export_diag_src();
+    index_t lcur = 0;  // moving cursor into the (source-ascending) L export
+
+    // ---- left-looking supernodal elimination.  head/link thread the
+    // classic updater lists: supernode s sits on the list of the target
+    // whose column range contains s's next unconsumed below-panel row.
+    std::vector<index_t> head(usz(nsup), -1), link(usz(nsup), -1),
+        spos(usz(nsup), 0);
+    std::vector<index_t> relmap(usz(n_));
+    Vectord scr;
+
+    for (index_t t = 0; t < nsup; ++t) {
+        const index_t c0 = sp[usz(t)], c1 = sp[usz(t) + 1];
+        const index_t w = c1 - c0;
+        const index_t nbt = rp[usz(t) + 1] - rp[usz(t)];
+        const index_t ht = w + nbt;
+        const index_t* rows_t = sr.data() + rp[usz(t)];
+        double* wpan = lpan_.data() + lpo[usz(t)];
+        double* ut = upan_.data() + upo[usz(t)];
+
+        for (index_t i = 0; i < w; ++i) relmap[usz(c0 + i)] = i;
+        for (index_t k = 0; k < nbt; ++k) relmap[usz(rows_t[usz(k)])] = w + k;
+
+        // Zero + assemble this supernode's panels (grouped A schedule) —
+        // everything from here to the export below touches the panel
+        // while it is cache-hot.
+        std::fill(wpan, wpan + ht * w, 0.0);
+        std::fill(ut, ut + w * nbt, 0.0);
+        {
+            double* __restrict lp = lpan_.data();
+            double* __restrict up = upan_.data();
+            for (index_t k = asm_ptr[usz(t)]; k < asm_ptr[usz(t) + 1]; ++k) {
+                const index_t d = asm_dst[usz(k)];
+                const double v = avl[usz(asm_src[usz(k)])];
+                if (d >= 0)
+                    lp[usz(d)] = v;
+                else
+                    up[usz(~d)] = v;
+            }
+        }
+
+        index_t s = head[usz(t)];
+        head[usz(t)] = -1;
+        while (s >= 0) {
+            const index_t s_next = link[usz(s)];
+            const index_t ws = sp[usz(s) + 1] - sp[usz(s)];
+            const index_t nbs = rp[usz(s) + 1] - rp[usz(s)];
+            const index_t hs = ws + nbs;
+            const index_t* rows_s = sr.data() + rp[usz(s)];
+            const index_t p = spos[usz(s)];
+            index_t q = p;
+            while (q < nbs && rows_s[usz(q)] < c1) ++q;
+
+            // M1 = L_s(suffix rows, :) * U_s(:, rows-in-[c0,c1)): lands in
+            // the target's L/diagonal panel.  M2 = L_s(rows-in-[c0,c1), :)
+            // * U_s(:, rows beyond): lands in the target's U row block.
+            // Narrow sources (the common case on circuit pencils) fuse the
+            // multiply into the scatter — the k-accumulation runs in
+            // registers and the intermediate block round-trip disappears;
+            // wide sources go through panel_mult + a scatter pass.
+            const index_t nr = nbs - p, ncj = q - p;
+            const double* lsub = lpan_.data() + lpo[usz(s)] + (ws + p);
+            const double* usrc = upan_.data() + upo[usz(s)];
+            if (ncj > 0 && ws <= 8) {
+                for (index_t cj = 0; cj < ncj; ++cj) {
+                    double* __restrict tcol =
+                        wpan + (rows_s[usz(p + cj)] - c0) * ht;
+                    const double* __restrict u = usrc + (p + cj) * ws;
+                    for (index_t ri = 0; ri < nr; ++ri) {
+                        double acc = lsub[ri] * u[0];
+                        for (index_t k = 1; k < ws; ++k)
+                            acc += lsub[ri + k * hs] * u[k];
+                        tcol[relmap[usz(rows_s[usz(p + ri)])]] -= acc;
+                    }
+                }
+                const index_t ncb = nbs - q;
+                for (index_t cb = 0; cb < ncb; ++cb) {
+                    double* __restrict ucol =
+                        ut + (relmap[usz(rows_s[usz(q + cb)])] - w) * w;
+                    const double* __restrict u = usrc + (q + cb) * ws;
+                    for (index_t ri = 0; ri < ncj; ++ri) {
+                        double acc = lsub[ri] * u[0];
+                        for (index_t k = 1; k < ws; ++k)
+                            acc += lsub[ri + k * hs] * u[k];
+                        ucol[rows_s[usz(p + ri)] - c0] -= acc;
+                    }
+                }
+            } else if (ncj > 0) {
+                if (scr.size() < usz(nr * ncj)) scr.resize(usz(nr * ncj));
+                panel_mult(nr, ncj, ws, lsub, hs, usrc + p * ws, ws,
+                           scr.data());
+                for (index_t cj = 0; cj < ncj; ++cj) {
+                    double* tcol = wpan + (rows_s[usz(p + cj)] - c0) * ht;
+                    const double* mcol = scr.data() + cj * nr;
+                    for (index_t ri = 0; ri < nr; ++ri)
+                        tcol[relmap[usz(rows_s[usz(p + ri)])]] -= mcol[ri];
+                }
+                const index_t ncb = nbs - q;
+                if (ncb > 0) {
+                    if (scr.size() < usz(ncj * ncb)) scr.resize(usz(ncj * ncb));
+                    panel_mult(ncj, ncb, ws, lsub, hs, usrc + q * ws, ws,
+                               scr.data());
+                    for (index_t cb = 0; cb < ncb; ++cb) {
+                        double* ucol =
+                            ut + (relmap[usz(rows_s[usz(q + cb)])] - w) * w;
+                        const double* mcol = scr.data() + cb * ncj;
+                        for (index_t ri = 0; ri < ncj; ++ri)
+                            ucol[rows_s[usz(p + ri)] - c0] -= mcol[ri];
+                    }
+                }
+            }
+
+            spos[usz(s)] = q;
+            if (q < nbs) {
+                const index_t t2 = c2s[usz(rows_s[usz(q)])];
+                link[usz(s)] = head[usz(t2)];
+                head[usz(t2)] = s;
+            }
+            s = s_next;
+        }
+
+        // ---- dense right-looking factorization of the panel, diagonal
+        // pivots with the same threshold test as the scalar kernel.
+        for (index_t j = 0; j < w; ++j) {
+            double* wj = wpan + j * ht;
+            double cmax = 0.0;
+            for (index_t i = j; i < ht; ++i) cmax = std::max(cmax, std::abs(wj[i]));
+            const double pivot = wj[j];
+            if (pivot == 0.0 || std::abs(pivot) < pivot_tol * cmax)
+                throw numerical_error(
+                    "SparseLu: supernodal diagonal pivot rejected at column " +
+                    std::to_string(c0 + j));
+            const double inv_piv = 1.0 / pivot;
+            for (index_t i = j + 1; i < ht; ++i) wj[i] *= inv_piv;
+            for (index_t c = j + 1; c < w; ++c) {
+                double* wc = wpan + c * ht;
+                const double f = wc[j];
+                if (f == 0.0) continue;
+                for (index_t i = j + 1; i < ht; ++i) wc[i] -= wj[i] * f;
+            }
+        }
+
+        // U row block: U(J, beyond) = Ldiag^{-1} * (assembled - updates).
+        solve_unit_lower_panel(wpan, ht, w, ut, w, nbt);
+
+        // Export this supernode's values into the compact column storage
+        // (sources final from here on, panel still hot).
+        {
+            const double* __restrict lp = lpan_.data();
+            const double* __restrict up = upan_.data();
+            const index_t lend = lpo[usz(t) + 1];
+            while (lcur < static_cast<index_t>(xl_src.size()) &&
+                   xl_src[usz(lcur)] < lend) {
+                l_val_[usz(lcur)] = lp[usz(xl_src[usz(lcur)])];
+                ++lcur;
+            }
+            for (index_t k = xu_ptr[usz(t)]; k < xu_ptr[usz(t) + 1]; ++k) {
+                const index_t d = xu_srcs[usz(k)];
+                u_val_[usz(xu_dsts[usz(k)])] = d >= 0 ? lp[usz(d)] : up[usz(~d)];
+            }
+            for (index_t j = c0; j < c1; ++j)
+                u_diag_[usz(j)] = lp[usz(xdiag[usz(j)])];
+        }
+
+        if (nbt > 0) {
+            spos[usz(t)] = 0;
+            const index_t t2 = c2s[usz(rows_t[0])];
+            link[usz(t)] = head[usz(t2)];
+            head[usz(t2)] = t;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared entry points.
+// ---------------------------------------------------------------------------
+
+void SparseLu::refactor(const CscMatrix& a) {
+    OPMSIM_REQUIRE(a.rows() == n_ && a.cols() == n_,
+                   "SparseLu::refactor: size mismatch");
+    OPMSIM_REQUIRE(a.col_ptr() == symbolic_->pattern_colp() &&
+                       a.row_ind() == symbolic_->pattern_rowi(),
+                   "SparseLu::refactor: sparsity pattern differs from the "
+                   "factored matrix (build a new SparseLu instead)");
+    if (kernel_ == SparseLuOptions::Kernel::supernodal)
+        assemble_and_factor_supernodal(a);  // exports per supernode inline
+    else
+        refactor_scalar(a);
+}
+
+void SparseLu::solve_in_place(double* b, index_t nrhs, index_t ldb) const {
+    OPMSIM_REQUIRE(nrhs >= 0 && ldb >= n_,
+                   "SparseLu::solve: bad RHS block shape");
+    if (nrhs == 0) return;
+    const bool super = kernel_ == SparseLuOptions::Kernel::supernodal;
+    const std::vector<index_t>& l_colp = super ? symbolic_->export_l_colp() : l_colp_;
+    const std::vector<index_t>& l_rowi = super ? symbolic_->export_l_rowi() : l_rowi_;
+    const std::vector<index_t>& u_colp = super ? symbolic_->export_u_colp() : u_colp_;
+    const std::vector<index_t>& u_rowi = super ? symbolic_->export_u_rowi() : u_rowi_;
+    const index_t n = n_;
+    Vectord& buf = thread_scratch(usz(n * nrhs));
+    double* y = buf.data();
+    // Gather the RHS into pivot space: y_k = b[perm_rows[k]].
+    for (index_t r = 0; r < nrhs; ++r)
+        for (index_t k = 0; k < n; ++k)
+            y[usz(r * n + k)] = b[usz(r * ldb + perm_rows_[usz(k)])];
+
+    // Forward solve L z = P b in pivot space (l_rowi_ holds pivot
+    // positions; scatter targets are etree-clustered).  The RHS loop
+    // sits INSIDE the column loop, so each factor column's entries are
+    // streamed once per call and stay cache-hot across all RHS columns;
+    // per RHS column the operation order is exactly the single-RHS
+    // order, so batching never changes a bit.
     for (index_t k = 0; k < n; ++k) {
-        const double zk = y[usz(perm_rows_[usz(k)])];
-        if (zk == 0.0) continue;
-        for (index_t p = l_colp_[usz(k)]; p < l_colp_[usz(k) + 1]; ++p)
-            y[usz(l_rowi_[usz(p)])] -= l_val_[usz(p)] * zk;
+        const index_t p0 = l_colp[usz(k)], p1 = l_colp[usz(k) + 1];
+        for (index_t r = 0; r < nrhs; ++r) {
+            double* __restrict yr = y + r * n;
+            const double zk = yr[usz(k)];
+            if (zk == 0.0) continue;
+            for (index_t p = p0; p < p1; ++p)
+                yr[usz(l_rowi[usz(p)])] -= l_val_[usz(p)] * zk;
+        }
     }
 
-    // Backward solve U w = z in pivot space (reuse b as w).
-    for (index_t k = 0; k < n; ++k) b[usz(k)] = y[usz(perm_rows_[usz(k)])];
+    // Backward solve U w = z, still in pivot space.
     for (index_t j = n - 1; j >= 0; --j) {
-        const double wj = b[usz(j)] / u_diag_[usz(j)];
-        b[usz(j)] = wj;
-        if (wj == 0.0) continue;
-        for (index_t p = u_colp_[usz(j)]; p < u_colp_[usz(j) + 1]; ++p)
-            b[usz(u_rowi_[usz(p)])] -= u_val_[usz(p)] * wj;
+        const double dj = u_diag_[usz(j)];
+        const index_t p0 = u_colp[usz(j)], p1 = u_colp[usz(j) + 1];
+        for (index_t r = 0; r < nrhs; ++r) {
+            double* __restrict yr = y + r * n;
+            const double wj = yr[usz(j)] / dj;
+            yr[usz(j)] = wj;
+            if (wj == 0.0) continue;
+            for (index_t p = p0; p < p1; ++p)
+                yr[usz(u_rowi[usz(p)])] -= u_val_[usz(p)] * wj;
+        }
     }
 
     // Undo the column permutation: x[perm_cols[j]] = w_j.
-    const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
-    for (index_t j = 0; j < n; ++j) y[usz(perm_cols[usz(j)])] = b[usz(j)];
-    std::copy(y.begin(), y.end(), b.begin());
+    for (index_t r = 0; r < nrhs; ++r)
+        for (index_t j = 0; j < n; ++j)
+            b[usz(r * ldb + symbolic_->perm_cols()[usz(j)])] = y[usz(r * n + j)];
+}
+
+void SparseLu::solve_in_place(Vectord& b) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n_, "SparseLu::solve: size mismatch");
+    solve_in_place(b.data(), 1, n_);
 }
 
 Vectord SparseLu::solve(Vectord b) const {
     solve_in_place(b);
+    return b;
+}
+
+Matrixd SparseLu::solve_multi(Matrixd b) const {
+    OPMSIM_REQUIRE(b.rows() == n_, "SparseLu::solve_multi: RHS row count mismatch");
+    solve_in_place(b.data(), b.cols(), b.rows());
     return b;
 }
 

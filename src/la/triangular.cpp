@@ -33,6 +33,33 @@ Vectord solve_lower(const Matrixd& l, Vectord b) {
     return b;
 }
 
+void solve_unit_lower_panel(const double* panel, index_t ldp, index_t w,
+                            double* x, index_t ldx, index_t nrhs) {
+    for (index_t r = 0; r < nrhs; ++r) {
+        double* __restrict xr = x + r * ldx;
+        for (index_t k = 0; k < w; ++k) {
+            const double xk = xr[k];
+            if (xk == 0.0) continue;
+            const double* __restrict lk = panel + k * ldp;
+            for (index_t i = k + 1; i < w; ++i) xr[i] -= lk[i] * xk;
+        }
+    }
+}
+
+void solve_upper_panel(const double* panel, index_t ldp, index_t w, double* x,
+                       index_t ldx, index_t nrhs) {
+    for (index_t r = 0; r < nrhs; ++r) {
+        double* __restrict xr = x + r * ldx;
+        for (index_t k = w - 1; k >= 0; --k) {
+            const double* __restrict uk = panel + k * ldp;
+            const double xk = xr[k] / uk[k];
+            xr[k] = xk;
+            if (xk == 0.0) continue;
+            for (index_t i = 0; i < k; ++i) xr[i] -= uk[i] * xk;
+        }
+    }
+}
+
 TriangularEig eig_upper_triangular(const Matrixd& t, double sep_tol) {
     OPMSIM_REQUIRE(t.rows() == t.cols(), "eig_upper_triangular: square required");
     const index_t n = t.rows();

@@ -23,6 +23,24 @@ Vectord solve_upper(const Matrixd& u, Vectord b);
 /// Solve L x = b for lower-triangular L.
 Vectord solve_lower(const Matrixd& l, Vectord b);
 
+/// Blocked multi-RHS kernels on raw column-major storage — the dense
+/// building blocks of the supernodal sparse-LU solve (la/sparse_lu.hpp).
+/// `panel` is the leading w x w block of a column-major array with leading
+/// dimension ldp; X is w x nrhs with leading dimension ldx, overwritten in
+/// place.  Per RHS column the operation order is fixed and independent of
+/// nrhs, so solving k columns at once is bit-identical to k single solves.
+///
+/// X := L^{-1} X, L = unit lower triangle of the panel block (the strictly
+/// upper part and the diagonal are not referenced).
+void solve_unit_lower_panel(const double* panel, index_t ldp, index_t w,
+                            double* x, index_t ldx, index_t nrhs);
+
+/// X := U^{-1} X, U = upper triangle of the panel block including its
+/// diagonal (the strictly lower part is not referenced).  The caller
+/// guarantees nonzero diagonal entries (the factorization pivot checks).
+void solve_upper_panel(const double* panel, index_t ldp, index_t w,
+                       double* x, index_t ldx, index_t nrhs);
+
 /// Eigendecomposition T V = V diag(lambda) of an upper-triangular matrix T
 /// with *distinct* diagonal entries.  V is upper triangular with unit
 /// diagonal; lambda_i = T(i,i).

@@ -158,7 +158,11 @@ private:
             la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], rhs);
             sys_.a.gaxpy(1.0, acc_z, rhs);
         }
-        factor(hjj)->solve_in_place(rhs);
+        const la::SparseLu* lu = factor(hjj);
+        WallTimer solve_timer;
+        lu->solve_in_place(rhs);
+        diag_.solve_seconds += solve_timer.elapsed_s();
+        ++diag_.rhs_solved;
         return rhs;
     }
 

@@ -27,6 +27,8 @@
 namespace opmsim::opm {
 
 struct AdaptiveOptions {
+    // NOTE: keep api/registry.cpp options_equal() in sync when adding fields
+    // (it decides run_batch scenario grouping; `caches` is excluded).
     double alpha = 1.0;  ///< differential order (> 0)
     double tol = 1e-4;   ///< relative local error target
     double atol = 0.0;   ///< absolute error floor (solution units);

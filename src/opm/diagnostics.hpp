@@ -26,6 +26,16 @@ struct Diagnostics {
     double factor_seconds = 0.0;
     /// Column / time-step sweep time (including input projections), seconds.
     double sweep_seconds = 0.0;
+    /// Triangular-solve time inside the sweep (forward/backward
+    /// substitution through the factored pencil), seconds.  A subset of
+    /// sweep_seconds; the remainder is history evaluation, stamping and
+    /// projections.
+    double solve_seconds = 0.0;
+    /// Right-hand-side columns solved FOR THIS RESULT through the pencil
+    /// factor(s): one per time step / basis column.  In a batched
+    /// multi-RHS sweep every scenario reports its own columns, so the
+    /// sweep's total is the sum across the group's results.
+    long rhs_solved = 0;
 
     /// The concrete history backend used by the sweep (`automatic` is
     /// resolved before the sweep starts).  Paths that never evaluate a

@@ -124,6 +124,7 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
         res.diag.factor_seconds = timer.elapsed_s();
 
         timer.reset();
+        WallTimer solve_timer;
         Vectord acc(static_cast<std::size_t>(n));
         Vectord rhs(static_cast<std::size_t>(n));
         Vectord up(static_cast<std::size_t>(p));
@@ -155,7 +156,10 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
                 }
                 if (any) sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
             }
+            solve_timer.reset();
             lu.solve_in_place(rhs);
+            res.diag.solve_seconds += solve_timer.elapsed_s();
+            ++res.diag.rhs_solved;
             for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         }
         res.diag.sweep_seconds = timer.elapsed_s();
@@ -201,6 +205,7 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
     // the K strict histories H^(k) evaluated by the batched engine (one
     // shared column stream, one forward FFT per block for all terms).
     timer.reset();
+    WallTimer solve_timer;
     std::vector<double> alphas;
     alphas.reserve(sys.lhs.size());
     for (const auto& t : sys.lhs) alphas.push_back(t.order);
@@ -216,7 +221,10 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
             eng.history(j, k, acc);
             sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
         }
+        solve_timer.reset();
         lu.solve_in_place(rhs);
+        res.diag.solve_seconds += solve_timer.elapsed_s();
+        ++res.diag.rhs_solved;
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }

@@ -58,6 +58,8 @@ enum class MultiTermPath {
 };
 
 struct MultiTermOptions {
+    // NOTE: keep api/registry.cpp options_equal() in sync when adding fields
+    // (it decides run_batch scenario grouping; `caches` is excluded).
     MultiTermPath path = MultiTermPath::automatic;
     /// History-sum backend for the Toeplitz path (same semantics as
     /// OpmOptions::history): `naive` is the O(K n m^2) oracle loop,

@@ -8,8 +8,9 @@ namespace opmsim::opm {
 SolveCaches::SolveCaches() : plans(std::make_unique<fftx::ConvPlanCache>()) {}
 SolveCaches::~SolveCaches() = default;
 
-const Vectord& SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
-                                    Vectord (*compute)(double, index_t)) {
+Vectord SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
+                             Vectord (*compute)(double, index_t)) {
+    const std::lock_guard<std::mutex> lock(series_mutex_);
     const auto key = std::make_pair(alpha, m);
     auto it = map.find(key);
     if (it != map.end()) {
@@ -21,11 +22,11 @@ const Vectord& SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
     return map.emplace(key, compute(alpha, m)).first->second;
 }
 
-const Vectord& SolveCaches::frac_diff_series(double alpha, index_t m) {
+Vectord SolveCaches::frac_diff_series(double alpha, index_t m) {
     return memoize(series_, alpha, m, &opm::frac_diff_series);
 }
 
-const Vectord& SolveCaches::grunwald_weights(double alpha, index_t m) {
+Vectord SolveCaches::grunwald_weights(double alpha, index_t m) {
     return memoize(weights_, alpha, m, &opm::grunwald_weights);
 }
 

@@ -23,10 +23,16 @@
 /// bit-identical objects to what a cold run would construct, which is
 /// pinned by tests/test_api_engine.cpp.
 ///
-/// Not thread-safe; share across sequential runs only.
+/// Thread-safety: every layer serializes its own lookups/insertions
+/// (la::FactorCache and fftx::ConvPlanCache internally, the series maps
+/// via this struct's mutex) and hands out either immutable objects or
+/// copies, so one bundle may be shared by Engine::run_batch's worker
+/// threads.  The statistics getters are unsynchronized snapshots — read
+/// them between runs, not while workers are active.
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "la/factor_cache.hpp"
@@ -48,12 +54,12 @@ struct SolveCaches {
     std::unique_ptr<fftx::ConvPlanCache> plans;
 
     /// Memoized rho series ((1-q)/(1+q))^alpha mod q^m (unscaled).
-    /// The reference is valid only until the next series call on this
-    /// bundle (which may evict) — copy it out, as every solver does.
-    const Vectord& frac_diff_series(double alpha, index_t m);
+    /// Returned by value: the stored row may be evicted (or moved by a
+    /// concurrent insert) at any time, so callers get their own copy —
+    /// which every solver wanted anyway.
+    Vectord frac_diff_series(double alpha, index_t m);
     /// Memoized Grünwald–Letnikov weights (-1)^j C(alpha, j), j < m.
-    /// Same reference lifetime as frac_diff_series.
-    const Vectord& grunwald_weights(double alpha, index_t m);
+    Vectord grunwald_weights(double alpha, index_t m);
 
     [[nodiscard]] long series_hits() const { return series_hits_; }
     [[nodiscard]] long series_misses() const { return series_misses_; }
@@ -66,9 +72,10 @@ private:
     /// recompute).
     static constexpr std::size_t kMaxSeries = 64;
     using SeriesMap = std::map<std::pair<double, index_t>, Vectord>;
-    const Vectord& memoize(SeriesMap& map, double alpha, index_t m,
-                           Vectord (*compute)(double, index_t));
+    Vectord memoize(SeriesMap& map, double alpha, index_t m,
+                    Vectord (*compute)(double, index_t));
 
+    std::mutex series_mutex_;
     SeriesMap series_;
     SeriesMap weights_;
     long series_hits_ = 0, series_misses_ = 0;

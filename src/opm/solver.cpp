@@ -110,23 +110,17 @@ std::vector<wave::Waveform> endpoint_outputs_from_coeffs(const la::CscMatrix& c,
 namespace {
 
 /// Effective per-column forcing G_j = B U_j + A x0 (the x0 term implements
-/// the Caputo shift described in the header).
+/// the Caputo shift described in the header), stacked scenario-major: the
+/// S scenarios' state blocks occupy rows [s*n, (s+1)*n), which makes every
+/// stacked column simultaneously the contiguous n x S multi-RHS block the
+/// blocked solves consume.
 la::Matrixd build_forcing(const DescriptorSystem& sys,
-                          const std::vector<wave::Source>& inputs,
+                          const std::vector<std::vector<wave::Source>>& inputs,
                           const Vectord& edges, const OpmOptions& opt) {
     const index_t n = sys.num_states();
     const index_t p = sys.num_inputs();
+    const index_t nscen = static_cast<index_t>(inputs.size());
     const index_t m = static_cast<index_t>(edges.size()) - 1;
-    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == p,
-                   "simulate_opm: input count must match B's column count");
-
-    la::Matrixd u(p, m);
-    for (index_t i = 0; i < p; ++i) {
-        const Vectord ui = wave::project_average(inputs[static_cast<std::size_t>(i)],
-                                                 edges, opt.quad_points,
-                                                 opt.quad_panels);
-        for (index_t j = 0; j < m; ++j) u(i, j) = ui[static_cast<std::size_t>(j)];
-    }
 
     Vectord ax0;
     if (!opt.x0.empty()) {
@@ -135,83 +129,114 @@ la::Matrixd build_forcing(const DescriptorSystem& sys,
         ax0 = sys.a.matvec(opt.x0);
     }
 
-    la::Matrixd g(n, m);
+    la::Matrixd g(n * nscen, m);
+    la::Matrixd u(p, m);
     Vectord uj(static_cast<std::size_t>(p));
-    for (index_t j = 0; j < m; ++j) {
-        for (index_t i = 0; i < p; ++i) uj[static_cast<std::size_t>(i)] = u(i, j);
-        Vectord gj(static_cast<std::size_t>(n), 0.0);
-        sys.b.gaxpy(1.0, uj, gj);
-        if (!ax0.empty()) la::axpy(1.0, ax0, gj);
-        for (index_t i = 0; i < n; ++i) g(i, j) = gj[static_cast<std::size_t>(i)];
+    for (index_t s = 0; s < nscen; ++s) {
+        const std::vector<wave::Source>& src = inputs[static_cast<std::size_t>(s)];
+        OPMSIM_REQUIRE(static_cast<index_t>(src.size()) == p,
+                       "simulate_opm: input count must match B's column count");
+        for (index_t i = 0; i < p; ++i) {
+            const Vectord ui = wave::project_average(src[static_cast<std::size_t>(i)],
+                                                     edges, opt.quad_points,
+                                                     opt.quad_panels);
+            for (index_t j = 0; j < m; ++j) u(i, j) = ui[static_cast<std::size_t>(j)];
+        }
+        for (index_t j = 0; j < m; ++j) {
+            for (index_t i = 0; i < p; ++i) uj[static_cast<std::size_t>(i)] = u(i, j);
+            Vectord gj(static_cast<std::size_t>(n), 0.0);
+            sys.b.gaxpy(1.0, uj, gj);
+            if (!ax0.empty()) la::axpy(1.0, ax0, gj);
+            for (index_t i = 0; i < n; ++i) g(s * n + i, j) = gj[static_cast<std::size_t>(i)];
+        }
     }
     return g;
 }
 
+/// Per-scenario stamp y += alpha * A x applied to every scenario block of
+/// a stacked column (A is n x n, the column is n*S long).
+void gaxpy_blocks(const la::CscMatrix& a, double alpha, const double* x,
+                  double* y, index_t n, index_t nscen) {
+    for (index_t s = 0; s < nscen; ++s) a.gaxpy(alpha, x + s * n, y + s * n);
+}
+
 /// O(m) path: (2/h E - A) X_j = (2/h E + A) X_{j-1} + G_j + G_{j-1}.
 void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
-                      double h, SolveCaches* caches, la::Matrixd& x,
-                      OpmResult& res) {
+                      index_t nscen, double h, SolveCaches* caches,
+                      la::Matrixd& x, Diagnostics& diag) {
     const index_t n = sys.num_states();
+    const index_t nr = n * nscen;
     const index_t m = g.cols();
     const double s = 2.0 / h;
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(s, sys.e, -1.0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const auto lu_ptr = acquire_factor(caches, pencil, diag);
     const la::SparseLu& lu = *lu_ptr;
-    res.diag.factor_seconds = t.elapsed_s();
+    diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    Vectord rhs(static_cast<std::size_t>(n));
-    Vectord prev(static_cast<std::size_t>(n), 0.0);
+    WallTimer st;
+    Vectord rhs(static_cast<std::size_t>(nr));
+    Vectord prev(static_cast<std::size_t>(nr), 0.0);
     for (index_t j = 0; j < m; ++j) {
-        for (index_t i = 0; i < n; ++i) {
+        for (index_t i = 0; i < nr; ++i) {
             rhs[static_cast<std::size_t>(i)] = g(i, j);
             if (j > 0) rhs[static_cast<std::size_t>(i)] += g(i, j - 1);
         }
         if (j > 0) {
-            sys.e.gaxpy(s, prev, rhs);
-            sys.a.gaxpy(1.0, prev, rhs);
+            gaxpy_blocks(sys.e, s, prev.data(), rhs.data(), n, nscen);
+            gaxpy_blocks(sys.a, 1.0, prev.data(), rhs.data(), n, nscen);
         }
-        lu.solve_in_place(rhs);
-        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        st.reset();
+        lu.solve_in_place(rhs.data(), nscen, n);
+        diag.solve_seconds += st.elapsed_s();
+        diag.rhs_solved += nscen;
+        for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         std::swap(prev, rhs);
     }
-    res.diag.sweep_seconds = t.elapsed_s();
+    diag.sweep_seconds = t.elapsed_s();
 }
 
 /// Differential form:
 ///   (d0 E - A) X_j = G_j - E sum_{i<j} d_{j-i} X_i.
 /// The history sum is delegated to a DiffHistoryEngine backend: O(m^2 n)
 /// for naive/blocked, O(m log^2 m n) for fft (with the cascade
-/// stabilization for alpha > 1).
+/// stabilization for alpha > 1).  Batched scenarios stack as extra
+/// history rows — one shared coefficient stream drives all of them.
 void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
-                         double alpha, double h, HistoryBackend backend,
-                         SolveCaches* caches, la::Matrixd& x, OpmResult& res) {
+                         index_t nscen, double alpha, double h,
+                         HistoryBackend backend, SolveCaches* caches,
+                         la::Matrixd& x, Diagnostics& diag) {
     const index_t n = sys.num_states();
+    const index_t nr = n * nscen;
     const index_t m = g.cols();
     const double d0 = std::pow(2.0 / h, alpha);
-    res.diag.history_backend = HistoryEngine::resolve(backend, m);
+    diag.history_backend = HistoryEngine::resolve(backend, m);
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(d0, sys.e, -1.0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const auto lu_ptr = acquire_factor(caches, pencil, diag);
     const la::SparseLu& lu = *lu_ptr;
-    res.diag.factor_seconds = t.elapsed_s();
+    diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    DiffHistoryEngine eng(alpha, h, n, m, backend, caches);
-    Vectord acc(static_cast<std::size_t>(n));
-    Vectord rhs(static_cast<std::size_t>(n));
+    WallTimer st;
+    DiffHistoryEngine eng(alpha, h, nr, m, backend, caches);
+    Vectord acc(static_cast<std::size_t>(nr));
+    Vectord rhs(static_cast<std::size_t>(nr));
     for (index_t j = 0; j < m; ++j) {
         eng.history(j, acc);
-        for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = g(i, j);
-        sys.e.gaxpy(-1.0, acc, rhs);
-        lu.solve_in_place(rhs);
-        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        for (index_t i = 0; i < nr; ++i) rhs[static_cast<std::size_t>(i)] = g(i, j);
+        gaxpy_blocks(sys.e, -1.0, acc.data(), rhs.data(), n, nscen);
+        st.reset();
+        lu.solve_in_place(rhs.data(), nscen, n);
+        diag.solve_seconds += st.elapsed_s();
+        diag.rhs_solved += nscen;
+        for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }
-    res.diag.sweep_seconds = t.elapsed_s();
+    diag.sweep_seconds = t.elapsed_s();
 }
 
 /// Integral form:
@@ -219,42 +244,50 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
 /// Both the forcing precompute W = G H^alpha and the history sum go
 /// through the fast-convolution machinery.
 void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
-                        const UpperToeplitz& hop, HistoryBackend backend,
-                        SolveCaches* caches, la::Matrixd& x, OpmResult& res) {
+                        index_t nscen, const UpperToeplitz& hop,
+                        HistoryBackend backend, SolveCaches* caches,
+                        la::Matrixd& x, Diagnostics& diag) {
     const index_t n = sys.num_states();
+    const index_t nr = n * nscen;
     const index_t m = g.cols();
     const double g0 = hop.coeffs[0];
-    res.diag.history_backend = HistoryEngine::resolve(backend, m);
+    diag.history_backend = HistoryEngine::resolve(backend, m);
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys.e, -g0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, res.diag);
+    const auto lu_ptr = acquire_factor(caches, pencil, diag);
     const la::SparseLu& lu = *lu_ptr;
-    res.diag.factor_seconds = t.elapsed_s();
+    diag.factor_seconds = t.elapsed_s();
 
     t.reset();
+    WallTimer st;
     const la::Matrixd w = toeplitz_apply(hop, g, backend, caches);
 
-    HistoryEngine eng(hop.coeffs, n, m, backend, caches);
-    Vectord acc(static_cast<std::size_t>(n));
-    Vectord rhs(static_cast<std::size_t>(n));
+    HistoryEngine eng(hop.coeffs, nr, m, backend, caches);
+    Vectord acc(static_cast<std::size_t>(nr));
+    Vectord rhs(static_cast<std::size_t>(nr));
     for (index_t j = 0; j < m; ++j) {
         eng.history(j, acc);
-        for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = w(i, j);
-        sys.a.gaxpy(1.0, acc, rhs);
-        lu.solve_in_place(rhs);
-        for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        for (index_t i = 0; i < nr; ++i) rhs[static_cast<std::size_t>(i)] = w(i, j);
+        gaxpy_blocks(sys.a, 1.0, acc.data(), rhs.data(), n, nscen);
+        st.reset();
+        lu.solve_in_place(rhs.data(), nscen, n);
+        diag.solve_seconds += st.elapsed_s();
+        diag.rhs_solved += nscen;
+        for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }
-    res.diag.sweep_seconds = t.elapsed_s();
+    diag.sweep_seconds = t.elapsed_s();
 }
 
 } // namespace
 
-OpmResult simulate_opm(const DescriptorSystem& sys,
-                       const std::vector<wave::Source>& inputs, double t_end,
-                       index_t m, const OpmOptions& opt) {
+std::vector<OpmResult> simulate_opm_batch(
+    const DescriptorSystem& sys,
+    const std::vector<std::vector<wave::Source>>& inputs, double t_end,
+    index_t m, const OpmOptions& opt) {
     sys.validate();
+    OPMSIM_REQUIRE(!inputs.empty(), "simulate_opm_batch: empty scenario list");
     OPMSIM_REQUIRE(t_end > 0.0, "simulate_opm: t_end must be positive");
     OPMSIM_REQUIRE(m >= 1, "simulate_opm: m >= 1 required");
     OPMSIM_REQUIRE(opt.alpha > 0.0, "simulate_opm: alpha must be positive");
@@ -269,27 +302,61 @@ OpmResult simulate_opm(const DescriptorSystem& sys,
                    "differential form");
 
     const index_t n = sys.num_states();
+    const index_t nscen = static_cast<index_t>(inputs.size());
     const double h = t_end / static_cast<double>(m);
-    OpmResult res;
-    res.edges = wave::uniform_edges(t_end, m);
-    res.coeffs = la::Matrixd(n, m);
+    const Vectord edges = wave::uniform_edges(t_end, m);
 
-    const la::Matrixd g = build_forcing(sys, inputs, res.edges, opt);
+    const la::Matrixd g = build_forcing(sys, inputs, edges, opt);
+    la::Matrixd x(n * nscen, m);
+    Diagnostics diag;
 
     if (path == OpmPath::recurrence) {
-        sweep_recurrence(sys, g, h, opt.caches, res.coeffs, res);
+        sweep_recurrence(sys, g, nscen, h, opt.caches, x, diag);
     } else if (opt.form == OpmForm::differential) {
-        sweep_toeplitz_diff(sys, g, opt.alpha, h, opt.history, opt.caches,
-                            res.coeffs, res);
+        sweep_toeplitz_diff(sys, g, nscen, opt.alpha, h, opt.history,
+                            opt.caches, x, diag);
     } else {
         const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_int(sys, g, hop, opt.history, opt.caches, res.coeffs,
-                           res);
+        sweep_toeplitz_int(sys, g, nscen, hop, opt.history, opt.caches, x,
+                           diag);
     }
-    sync_legacy_timing(res);
 
-    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
-    return res;
+    // Per-scenario results.  The shared factor/sweep work is accounted to
+    // scenario 0 (summing across results stays truthful); every scenario
+    // reports its own m solved RHS columns.
+    std::vector<OpmResult> out(static_cast<std::size_t>(nscen));
+    for (index_t s = 0; s < nscen; ++s) {
+        OpmResult& res = out[static_cast<std::size_t>(s)];
+        res.edges = edges;
+        if (nscen == 1) {
+            res.coeffs = std::move(x);  // single scenario: no extraction copy
+        } else {
+            res.coeffs = la::Matrixd(n, m);
+            for (index_t j = 0; j < m; ++j)
+                for (index_t i = 0; i < n; ++i) res.coeffs(i, j) = x(s * n + i, j);
+        }
+        if (s == 0) {
+            res.diag = diag;
+        } else {
+            res.diag.history_backend = diag.history_backend;
+            res.diag.ordering = diag.ordering;
+            // Report the shared batch factor as a cache hit only when a
+            // cache bundle actually served it.
+            if (opt.caches != nullptr) res.diag.factor_cache_hits = 1;
+        }
+        res.diag.rhs_solved = m;
+        sync_legacy_timing(res);
+        res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
+    }
+    return out;
+}
+
+OpmResult simulate_opm(const DescriptorSystem& sys,
+                       const std::vector<wave::Source>& inputs, double t_end,
+                       index_t m, const OpmOptions& opt) {
+    std::vector<OpmResult> res =
+        simulate_opm_batch(sys, {inputs}, t_end, m, opt);
+    return std::move(res.front());
 }
 
 OpmResult simulate_opm(const DenseDescriptorSystem& sys,
@@ -334,6 +401,8 @@ OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
             sys, shifted, h * static_cast<double>(cols), cols, wopt);
         res.diag.factor_seconds += w.diag.factor_seconds;
         res.diag.sweep_seconds += w.diag.sweep_seconds;
+        res.diag.solve_seconds += w.diag.solve_seconds;
+        res.diag.rhs_solved += w.diag.rhs_solved;
         res.diag.orderings += w.diag.orderings;
         res.diag.factorizations += w.diag.factorizations;
         res.diag.refactor_count += w.diag.refactor_count;

@@ -83,6 +83,10 @@ enum class OpmPath {
 };
 
 struct OpmOptions {
+    // NOTE: api/registry.cpp's options_equal() decides run_batch scenario
+    // grouping by comparing every field here except `caches` — keep it in
+    // sync when adding fields, or grouped batches will silently run with
+    // the first scenario's value.
     double alpha = 1.0;                   ///< differential order (> 0)
     OpmForm form = OpmForm::differential;
     OpmPath path = OpmPath::automatic;
@@ -123,6 +127,20 @@ OpmResult simulate_opm(const DescriptorSystem& sys,
 OpmResult simulate_opm(const DenseDescriptorSystem& sys,
                        const std::vector<wave::Source>& inputs, double t_end,
                        index_t m, const OpmOptions& opt = {});
+
+/// Batched variant: S source sets against one system, identical grid and
+/// options.  The pencil is factored once and every column step performs
+/// ONE multi-RHS triangular solve across all S scenarios (the history
+/// engines run on the stacked n*S row block), so the per-step factor and
+/// history machinery is amortized S ways.  Results are per scenario and
+/// match simulate_opm run S times up to floating-point reassociation in
+/// the fft history backend (bit-identical on the recurrence path and the
+/// naive/blocked backends); the shared work is accounted to the first
+/// result's Diagnostics, the per-scenario rhs_solved to each.
+std::vector<OpmResult> simulate_opm_batch(
+    const DescriptorSystem& sys,
+    const std::vector<std::vector<wave::Source>>& inputs, double t_end,
+    index_t m, const OpmOptions& opt = {});
 
 /// Windowed (restarted) OPM for long horizons: the m columns are solved in
 /// windows of `window` columns each, chaining the end-of-window state as

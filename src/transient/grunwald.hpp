@@ -18,6 +18,8 @@
 namespace opmsim::transient {
 
 struct GrunwaldOptions {
+    // NOTE: keep api/registry.cpp options_equal() in sync when adding fields
+    // (it decides run_batch scenario grouping; `caches` is excluded).
     double alpha = 0.5;  ///< fractional order, > 0
     /// History-sum backend (same semantics as OpmOptions::history).
     opm::HistoryBackend history = opm::HistoryBackend::automatic;
@@ -51,5 +53,16 @@ GrunwaldResult simulate_grunwald(const opm::DescriptorSystem& sys,
                                  const std::vector<wave::Source>& inputs,
                                  double t_end, la::index_t steps,
                                  const GrunwaldOptions& opt = {});
+
+/// Batched variant: S source sets, one factorization, one shared
+/// Grünwald–Letnikov history engine over the stacked n*S state rows and
+/// one multi-RHS triangular solve per step.  Matches S separate runs up
+/// to floating-point reassociation in the fft history backend
+/// (bit-identical on naive/blocked).  Shared factor work is accounted to
+/// the first result's Diagnostics; each result reports its own rhs_solved.
+std::vector<GrunwaldResult> simulate_grunwald_batch(
+    const opm::DescriptorSystem& sys,
+    const std::vector<std::vector<wave::Source>>& inputs, double t_end,
+    la::index_t steps, const GrunwaldOptions& opt = {});
 
 } // namespace opmsim::transient

@@ -25,6 +25,8 @@ enum class Method {
 };
 
 struct TransientOptions {
+    // NOTE: keep api/registry.cpp options_equal() in sync when adding fields
+    // (it decides run_batch scenario grouping; `caches` is excluded).
     Method method = Method::trapezoidal;
     Vectord x0;  ///< initial state; empty = zero
     /// Optional shared pattern analysis for the implicit pencil
@@ -62,6 +64,15 @@ TransientResult simulate_transient(const opm::DescriptorSystem& sys,
                                    const std::vector<wave::Source>& inputs,
                                    double t_end, index_t steps,
                                    const TransientOptions& opt = {});
+
+/// Batched variant: S source sets, one factorization, one multi-RHS
+/// triangular solve per step across all S scenarios (bit-identical per
+/// scenario to S separate runs).  Shared factor work is accounted to the
+/// first result's Diagnostics; each result reports its own rhs_solved.
+std::vector<TransientResult> simulate_transient_batch(
+    const opm::DescriptorSystem& sys,
+    const std::vector<std::vector<wave::Source>>& inputs, double t_end,
+    index_t steps, const TransientOptions& opt = {});
 
 /// Name for table output ("b-Euler", "Trapezoidal", "Gear").
 const char* method_name(Method m);

@@ -1,0 +1,331 @@
+/// \file test_sparse_lu_supernodal.cpp
+/// \brief Supernodal sparse-LU kernel pins: supernode-partition
+///        invariants against a dense symbolic-Cholesky oracle, multi-RHS
+///        solves against the looped single-RHS oracle, the
+///        supernodal-vs-scalar factor pin on the power-grid pencil, the
+///        automatic pivot fallback, and supernodal refactorization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/power_grid.hpp"
+#include "la/dense_lu.hpp"
+#include "la/ordering.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+
+namespace la = opmsim::la;
+namespace circuit = opmsim::circuit;
+
+using Kernel = la::SparseLuOptions::Kernel;
+using Ordering = la::SparseLuOptions::Ordering;
+
+namespace {
+
+/// Deterministic xorshift PRNG (no <random> to keep values platform-fixed).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+    double uniform() {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return static_cast<double>(s_ % 1000003u + 1) / 1000004.0;
+    }
+    la::index_t index(la::index_t bound) {
+        return static_cast<la::index_t>(uniform() * static_cast<double>(bound)) % bound;
+    }
+
+private:
+    std::uint64_t s_;
+};
+
+/// Random diagonally-bumped sparse matrix (always nonsingular).
+la::CscMatrix random_sparse(la::index_t n, la::index_t extra_per_row, Rng& rng) {
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + rng.uniform());
+        for (la::index_t k = 0; k < extra_per_row; ++k)
+            t.add(i, rng.index(n), rng.uniform() - 0.5);
+    }
+    return la::CscMatrix(t);
+}
+
+la::CscMatrix power_grid_pencil(la::index_t nxy, double lead = 2.0 / 1e-11) {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = nxy;
+    spec.nz = 3;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    return la::CscMatrix::add(lead, pg.mna.e, -1.0, pg.mna.a);
+}
+
+/// Dense boolean symbolic Cholesky of the permuted symmetrized pattern:
+/// the reference L structure the supernode partition must cover.
+std::vector<std::vector<bool>> dense_chol_struct(const la::CscMatrix& a,
+                                                 const std::vector<la::index_t>& perm) {
+    const la::index_t n = a.rows();
+    std::vector<la::index_t> inv(static_cast<std::size_t>(n));
+    for (la::index_t k = 0; k < n; ++k) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = k;
+    std::vector<std::vector<bool>> s(static_cast<std::size_t>(n),
+                                     std::vector<bool>(static_cast<std::size_t>(n), false));
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_ind();
+    for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t p = cp[static_cast<std::size_t>(j)]; p < cp[static_cast<std::size_t>(j) + 1]; ++p) {
+            const la::index_t pi = inv[static_cast<std::size_t>(ri[static_cast<std::size_t>(p)])];
+            const la::index_t pj = inv[static_cast<std::size_t>(j)];
+            s[static_cast<std::size_t>(std::max(pi, pj))][static_cast<std::size_t>(std::min(pi, pj))] = true;
+        }
+    for (la::index_t k = 0; k < n; ++k) {
+        s[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = true;
+        for (la::index_t i = k + 1; i < n; ++i)
+            if (s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)])
+                for (la::index_t j = i + 1; j < n; ++j)
+                    if (s[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)])
+                        s[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+    }
+    return s;
+}
+
+void check_partition_invariants(const la::CscMatrix& a, la::SparseLuOptions opt) {
+    opt.kernel = Kernel::supernodal;
+    const la::SparseLuSymbolic sym(a, opt);
+    const la::index_t n = sym.size();
+    ASSERT_TRUE(sym.has_supernodes());
+    const auto& sp = sym.snode_ptr();
+    const auto& rp = sym.srow_ptr();
+    const auto& sr = sym.srow();
+    const la::index_t nsup = sym.num_supernodes();
+
+    // Contiguous, covering, nonempty column runs.
+    ASSERT_EQ(sp.front(), 0);
+    ASSERT_EQ(sp.back(), n);
+    for (la::index_t s = 0; s < nsup; ++s)
+        EXPECT_LT(sp[static_cast<std::size_t>(s)], sp[static_cast<std::size_t>(s) + 1]);
+    for (la::index_t j = 0; j < n; ++j) {
+        const la::index_t s = sym.col_to_snode()[static_cast<std::size_t>(j)];
+        EXPECT_GE(j, sp[static_cast<std::size_t>(s)]);
+        EXPECT_LT(j, sp[static_cast<std::size_t>(s) + 1]);
+    }
+
+    // Below-panel rows: sorted strictly ascending, strictly below the panel.
+    for (la::index_t s = 0; s < nsup; ++s) {
+        for (la::index_t p = rp[static_cast<std::size_t>(s)]; p < rp[static_cast<std::size_t>(s) + 1]; ++p) {
+            EXPECT_GE(sr[static_cast<std::size_t>(p)], sp[static_cast<std::size_t>(s) + 1]);
+            if (p > rp[static_cast<std::size_t>(s)]) {
+                EXPECT_LT(sr[static_cast<std::size_t>(p - 1)], sr[static_cast<std::size_t>(p)]);
+            }
+        }
+    }
+
+    // After amalgamation every column shares the panel row structure: the
+    // reference Cholesky structure of each column must be contained in
+    // {its in-panel tail} + the supernode's row list, and every panel row
+    // must appear in at least one column's reference structure (the row
+    // lists are unions, not over-approximations).
+    const auto ref = dense_chol_struct(a, sym.perm_cols());
+    for (la::index_t s = 0; s < nsup; ++s) {
+        const la::index_t c0 = sp[static_cast<std::size_t>(s)], c1 = sp[static_cast<std::size_t>(s) + 1];
+        std::vector<bool> in_rows(static_cast<std::size_t>(n), false);
+        for (la::index_t p = rp[static_cast<std::size_t>(s)]; p < rp[static_cast<std::size_t>(s) + 1]; ++p)
+            in_rows[static_cast<std::size_t>(sr[static_cast<std::size_t>(p)])] = true;
+        for (la::index_t j = c0; j < c1; ++j)
+            for (la::index_t i = c1; i < n; ++i)
+                if (ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+                    EXPECT_TRUE(in_rows[static_cast<std::size_t>(i)])
+                        << "missing row " << i << " of column " << j;
+                }
+        for (la::index_t p = rp[static_cast<std::size_t>(s)]; p < rp[static_cast<std::size_t>(s) + 1]; ++p) {
+            const la::index_t i = sr[static_cast<std::size_t>(p)];
+            bool hit = false;
+            for (la::index_t j = c0; j < c1 && !hit; ++j)
+                hit = ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            EXPECT_TRUE(hit) << "row " << i << " in no column of supernode " << s;
+        }
+    }
+}
+
+} // namespace
+
+TEST(SupernodalSymbolic, PartitionInvariantsRandom) {
+    Rng rng(7);
+    check_partition_invariants(random_sparse(40, 3, rng), {});
+    check_partition_invariants(random_sparse(73, 2, rng), {});
+}
+
+TEST(SupernodalSymbolic, PartitionInvariantsGridAllOrderings) {
+    const la::CscMatrix pencil = power_grid_pencil(4);
+    for (const Ordering ord : {Ordering::natural, Ordering::rcm, Ordering::amd}) {
+        la::SparseLuOptions opt;
+        opt.ordering = ord;
+        check_partition_invariants(pencil, opt);
+    }
+}
+
+TEST(SupernodalSymbolic, ScalarKernelSkipsSupernodeAnalysis) {
+    Rng rng(3);
+    la::SparseLuOptions opt;
+    opt.kernel = Kernel::scalar;
+    const la::SparseLuSymbolic sym(random_sparse(40, 2, rng), opt);
+    EXPECT_FALSE(sym.has_supernodes());
+    EXPECT_EQ(sym.num_supernodes(), 0);
+}
+
+TEST(SparseLuMultiRhs, MatchesLoopedSingleRhsBitwise) {
+    Rng rng(11);
+    for (const Kernel kernel : {Kernel::scalar, Kernel::supernodal}) {
+        const la::CscMatrix a = random_sparse(60, 3, rng);
+        la::SparseLuOptions opt;
+        opt.kernel = kernel;
+        const la::SparseLu lu(a, opt);
+        EXPECT_EQ(lu.kernel_used(), kernel);
+
+        const la::index_t nrhs = 7;
+        la::Matrixd b(60, nrhs);
+        for (la::index_t r = 0; r < nrhs; ++r)
+            for (la::index_t i = 0; i < 60; ++i)
+                b(i, r) = std::sin(0.1 * static_cast<double>(i + 60 * r));
+
+        const la::Matrixd x = lu.solve_multi(b);
+        for (la::index_t r = 0; r < nrhs; ++r) {
+            la::Vectord col(static_cast<std::size_t>(60));
+            for (la::index_t i = 0; i < 60; ++i) col[static_cast<std::size_t>(i)] = b(i, r);
+            const la::Vectord single = lu.solve(col);
+            for (la::index_t i = 0; i < 60; ++i)
+                EXPECT_EQ(x(i, r), single[static_cast<std::size_t>(i)])
+                    << "kernel " << static_cast<int>(kernel) << " rhs " << r;
+        }
+    }
+}
+
+TEST(SparseLuSupernodal, MatchesScalarOnPowerGridPencil) {
+    const la::CscMatrix pencil = power_grid_pencil(8);
+    la::SparseLuOptions opt;
+    opt.ordering = Ordering::amd;
+    opt.kernel = Kernel::scalar;
+    const la::SparseLu lu_scalar(pencil, opt);
+    opt.kernel = Kernel::supernodal;
+    const la::SparseLu lu_super(pencil, opt);
+
+    EXPECT_EQ(lu_scalar.kernel_used(), Kernel::scalar);
+    EXPECT_EQ(lu_super.kernel_used(), Kernel::supernodal);
+    EXPECT_EQ(lu_super.off_diagonal_pivots(), 0);
+    // Same structural fill metric (the grid pencil is structurally
+    // symmetric and both kernels keep diagonal pivots).
+    EXPECT_EQ(lu_scalar.nnz_lu(), lu_super.nnz_lu());
+
+    la::Vectord b(static_cast<std::size_t>(pencil.rows()));
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = std::cos(0.05 * static_cast<double>(i));
+    const la::Vectord xs = lu_scalar.solve(b);
+    const la::Vectord xu = lu_super.solve(b);
+    double scale = 0.0;
+    for (const double v : xs) scale = std::max(scale, std::abs(v));
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(xs[i], xu[i], 1e-12 * scale);
+}
+
+TEST(SparseLuSupernodal, AutomaticFallsBackOnOffDiagonalPivot) {
+    // Cyclic permutation pattern: every diagonal is structurally zero, so
+    // a diagonal-pivot kernel cannot factor it while the scalar kernel
+    // pivots off the diagonal trivially.
+    const la::index_t n = 40;
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) t.add((i + 1) % n, i, 1.0 + 0.01 * static_cast<double>(i));
+    const la::CscMatrix a(t);
+
+    la::SparseLuOptions opt;  // kernel = automatic
+    const la::SparseLu lu(a, opt);
+    EXPECT_EQ(lu.kernel_used(), Kernel::scalar);
+    EXPECT_GT(lu.off_diagonal_pivots(), 0);
+    const la::Vectord x = lu.solve(la::Vectord(static_cast<std::size_t>(n), 1.0));
+    // Solution of the cyclic system is well-defined; sanity-check residual.
+    const la::Vectord ax = a.matvec(x);
+    for (const double v : ax) EXPECT_NEAR(v, 1.0, 1e-12);
+
+    opt.kernel = Kernel::supernodal;
+    EXPECT_THROW(la::SparseLu(a, opt), opmsim::numerical_error);
+}
+
+TEST(SparseLuSupernodal, RefactorMatchesFreshFactor) {
+    const la::CscMatrix pencil = power_grid_pencil(6);
+    const la::CscMatrix shifted = power_grid_pencil(6, 2.0 / 0.7e-11);
+    la::SparseLuOptions opt;
+    opt.kernel = Kernel::supernodal;
+    la::SparseLu lu(pencil, opt);
+    lu.refactor(shifted);
+
+    const la::SparseLu fresh(shifted, lu.symbolic());
+    la::Vectord b(static_cast<std::size_t>(pencil.rows()));
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 / (1.0 + static_cast<double>(i));
+    const la::Vectord xr = lu.solve(b);
+    const la::Vectord xf = fresh.solve(b);
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(xr[i], xf[i]);
+}
+
+TEST(SparseLuSupernodal, RefactorRejectsDifferentPattern) {
+    Rng rng(5);
+    const la::CscMatrix a = random_sparse(40, 2, rng);
+    const la::CscMatrix other = random_sparse(40, 3, rng);
+    la::SparseLuOptions opt;
+    opt.kernel = Kernel::supernodal;
+    la::SparseLu lu(a, opt);
+    EXPECT_THROW(lu.refactor(other), std::invalid_argument);
+}
+
+TEST(SparseLuSupernodal, RefactorThrowsWhenPivotFailsThreshold) {
+    // Start from a diagonally dominant matrix, refactor with values whose
+    // diagonal fails the threshold test — the frozen diagonal-pivot
+    // contract cannot hold and the caller must re-factor from scratch.
+    const la::index_t n = 6;
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0);
+        if (i + 1 < n) {
+            t.add(i + 1, i, 1.0);
+            t.add(i, i + 1, 1.0);
+        }
+    }
+    const la::CscMatrix a(t);
+    la::SparseLuOptions opt;
+    opt.kernel = Kernel::supernodal;
+    opt.pivot_tol = 0.5;
+    la::SparseLu lu(a, opt);
+
+    la::Triplets t2(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t2.add(i, i, 1e-9);  // diagonal collapses below the threshold
+        if (i + 1 < n) {
+            t2.add(i + 1, i, 1.0);
+            t2.add(i, i + 1, 1.0);
+        }
+    }
+    EXPECT_THROW(lu.refactor(la::CscMatrix(t2)), opmsim::numerical_error);
+}
+
+TEST(SparseLuSupernodal, SolveMultiAgreesWithDenseOracle) {
+    Rng rng(21);
+    const la::index_t n = 50;
+    const la::CscMatrix a = random_sparse(n, 3, rng);
+    la::SparseLuOptions opt;
+    opt.kernel = Kernel::supernodal;
+    const la::SparseLu lu(a, opt);
+
+    la::Matrixd b(n, 3);
+    for (la::index_t r = 0; r < 3; ++r)
+        for (la::index_t i = 0; i < n; ++i)
+            b(i, r) = rng.uniform() - 0.5;
+    const la::Matrixd x = lu.solve_multi(b);
+
+    const la::DenseLu<double> dense(a.to_dense());
+    for (la::index_t r = 0; r < 3; ++r) {
+        la::Vectord col(static_cast<std::size_t>(n));
+        for (la::index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = b(i, r);
+        const la::Vectord ref = dense.solve(col);
+        for (la::index_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x(i, r), ref[static_cast<std::size_t>(i)], 1e-11);
+    }
+}
