@@ -63,14 +63,34 @@ def load_times(path, allow_debug=False):
         doc = json.load(f)
     check_build_type(path, doc, allow_debug)
     times = {}
-    for b in doc.get("benchmarks", []):
+    for i, b in enumerate(doc.get("benchmarks", [])):
         if b.get("run_type") == "aggregate" or "error_occurred" in b:
             continue
-        name = b["name"]
-        t = float(b["real_time"])
+        # A truncated or hand-edited JSON must fail with a message naming
+        # the file and entry, not as a bare KeyError traceback the CI log
+        # buries.
+        name = b.get("name")
+        if not name:
+            raise SystemExit(
+                f"error: {path}: benchmarks[{i}] has no 'name' field — "
+                f"malformed benchmark JSON (entry: {b!r})")
+        if "real_time" not in b:
+            raise SystemExit(
+                f"error: {path}: benchmark '{name}' has no 'real_time' "
+                "field — malformed or truncated benchmark JSON")
+        try:
+            t = float(b["real_time"])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"error: {path}: benchmark '{name}' has non-numeric "
+                f"real_time {b['real_time']!r}")
         # google-benchmark reports per-iteration time in `time_unit`.
         unit = b.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise SystemExit(
+                f"error: {path}: benchmark '{name}' has unknown time_unit "
+                f"{unit!r} (expected ns/us/ms/s)")
         times[name] = t * scale
     return times
 

@@ -1,12 +1,15 @@
 #include "api/engine.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "api/registry.hpp"
 #include "fftx/convolve.hpp"
 #include "util/check.hpp"
+#include "util/status.hpp"
 
 namespace opmsim::api {
 
@@ -84,11 +87,55 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
     std::vector<SolveResult> out(ns);
     if (ns == 0) return out;
 
+    // Cooperative run control shared by every group in this batch.
+    util::RunControl control;
+    if (opt.deadline > 0.0)
+        control.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(opt.deadline));
+    control.cancel = opt.cancel;
+
+    // Pre-validate every scenario: malformed requests are marked
+    // invalid_scenario here and never reach a solver (or poison a group).
+    const auto validate = [&](const Scenario& sc) -> Status {
+        const SolverAdapter& adapter = adapter_for(method_of(sc.config));
+        const bool have_repr = adapter.needs_multiterm ? e.multiterm != nullptr
+                                                       : e.descriptor != nullptr;
+        if (!have_repr)
+            return {ErrorCode::invalid_scenario,
+                    std::string("method '") + adapter.name +
+                        (adapter.needs_multiterm
+                             ? "' needs a MultiTermSystem handle"
+                             : "' needs a DescriptorSystem handle")};
+        const index_t p = adapter.needs_multiterm ? e.multiterm->num_inputs()
+                                                  : e.descriptor->num_inputs();
+        if (static_cast<index_t>(sc.sources.size()) != p)
+            return {ErrorCode::invalid_scenario,
+                    "scenario has " + std::to_string(sc.sources.size()) +
+                        " sources, system has " + std::to_string(p) + " inputs"};
+        if (!(sc.t_end > 0.0))
+            return {ErrorCode::invalid_scenario, "t_end must be positive"};
+        if (method_of(sc.config) != Method::adaptive && sc.steps < 1)
+            return {ErrorCode::invalid_scenario, "steps must be >= 1"};
+        return {};
+    };
+    std::vector<char> runnable(ns, 1);
+    for (std::size_t i = 0; i < ns; ++i) {
+        Status st = validate(scenarios[i]);
+        if (!st.ok()) {
+            out[i].method = method_of(scenarios[i].config);
+            out[i].status = std::move(st);
+            runnable[i] = 0;
+        }
+    }
+
     // Group batch-compatible scenarios (first-appearance order).  The
     // grouping is independent of the worker count, so serial and threaded
     // batches perform identical arithmetic.
     std::vector<std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < ns; ++i) {
+        if (!runnable[i]) continue;
         bool placed = false;
         for (std::vector<std::size_t>& g : groups) {
             if (batch_compatible(scenarios[g.front()], scenarios[i])) {
@@ -100,20 +147,54 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
         if (!placed) groups.push_back({i});
     }
 
+    // Failure containment: every scenario failure — in a shared group
+    // sweep or an individual run — lands in that scenario's status; no
+    // exception escapes run_batch.
+    const auto mark_failed = [&](std::size_t i, Status st) {
+        out[i] = SolveResult{};
+        out[i].method = method_of(scenarios[i].config);
+        out[i].status = std::move(st);
+    };
+    const auto run_one = [&](const SolverAdapter& adapter,
+                             const SystemView& view, std::size_t i) {
+        try {
+            out[i] = adapter.run(view, scenarios[i]);
+        } catch (...) {
+            mark_failed(i, status_from_current_exception());
+        }
+    };
     auto execute_group = [&](const std::vector<std::size_t>& g) {
         const Scenario& first = scenarios[g.front()];
         const SolverAdapter& adapter = adapter_for(method_of(first.config));
-        const SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
-                                         e.caches.get(), adapter);
+        SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
+                                   e.caches.get(), adapter);
+        view.control = &control;
         if (g.size() > 1 && adapter.run_group != nullptr) {
-            std::vector<Scenario> block;
-            block.reserve(g.size());
-            for (const std::size_t i : g) block.push_back(scenarios[i]);
-            std::vector<SolveResult> rs = adapter.run_group(view, block);
-            for (std::size_t k = 0; k < g.size(); ++k)
-                out[g[k]] = std::move(rs[k]);
+            try {
+                std::vector<Scenario> block;
+                block.reserve(g.size());
+                for (const std::size_t i : g) block.push_back(scenarios[i]);
+                std::vector<SolveResult> rs = adapter.run_group(view, block);
+                for (std::size_t k = 0; k < g.size(); ++k)
+                    out[g[k]] = std::move(rs[k]);
+                return;
+            } catch (...) {
+                Status st = status_from_current_exception();
+                if (st.code == ErrorCode::deadline_exceeded ||
+                    st.code == ErrorCode::cancelled) {
+                    // Stop requests apply to every member; retrying would
+                    // only re-trip the same check.
+                    for (const std::size_t i : g) mark_failed(i, st);
+                    return;
+                }
+                // One member poisoned the shared sweep.  Isolate it: run
+                // each member alone so the healthy siblings still get
+                // their (bit-identical to run()) results and only the
+                // offender reports its failure.
+            }
+            for (const std::size_t i : g) run_one(adapter, view, i);
         } else {
-            for (const std::size_t i : g) out[i] = adapter.run(view, scenarios[i]);
+            for (const std::size_t i : g) run_one(adapter, view, i);
         }
     };
 
@@ -126,10 +207,10 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
     }
 
     // Worker pool over groups: results land at fixed scenario indices, so
-    // completion order cannot reorder anything; the first failing group
-    // (in submission order) is rethrown after the pool drains.
+    // completion order cannot reorder anything.  execute_group contains
+    // scenario failures itself; the catch-all is a last-resort backstop so
+    // nothing can terminate a worker thread.
     std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(groups.size());
     auto worker = [&] {
         for (;;) {
             const std::size_t gi = next.fetch_add(1);
@@ -137,7 +218,8 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
             try {
                 execute_group(groups[gi]);
             } catch (...) {
-                errors[gi] = std::current_exception();
+                const Status st = status_from_current_exception();
+                for (const std::size_t i : groups[gi]) mark_failed(i, st);
             }
         }
     };
@@ -145,8 +227,6 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
     pool.reserve(workers);
     for (std::size_t wi = 0; wi < workers; ++wi) pool.emplace_back(worker);
     for (std::thread& th : pool) th.join();
-    for (const std::exception_ptr& err : errors)
-        if (err) std::rethrow_exception(err);
     return out;
 }
 

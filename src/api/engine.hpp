@@ -41,6 +41,7 @@
 ///     sc.steps = 200;             // config defaults to OpmOptions{}
 ///     api::SolveResult res = engine.run(rc, sc);
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -83,11 +84,21 @@ public:
     /// run_batch execution knobs.
     struct BatchOptions {
         /// Worker threads executing independent scenario *groups*
-        /// concurrently; 1 keeps everything on the calling thread.  The
-        /// thread count never changes results: scenario grouping and the
-        /// batched multi-RHS sweeps are applied identically at any value,
-        /// so a threaded batch is bit-identical to a serial one.
+        /// concurrently; 1 keeps everything on the calling thread, and
+        /// values <= 0 are clamped to 1.  The thread count never changes
+        /// results: scenario grouping and the batched multi-RHS sweeps are
+        /// applied identically at any value, so a threaded batch is
+        /// bit-identical to a serial one.
         int workers = 1;
+        /// Wall-clock budget for the whole batch in seconds; <= 0 means
+        /// none.  The solver loops check it at sweep-step granularity, so
+        /// scenarios still running when it expires finish their current
+        /// step and fail with `deadline_exceeded` status.
+        double deadline = 0.0;
+        /// Optional cooperative cancellation token (non-owning).  Setting
+        /// it to true makes in-flight scenarios fail with `cancelled`
+        /// status at their next sweep-step check.
+        const std::atomic<bool>* cancel = nullptr;
     };
 
     /// Run a batch of scenarios against one handle, sharing the handle's
@@ -101,6 +112,15 @@ public:
     /// still reuses one numeric factorization through the cache.  Results
     /// match calling run() in a loop up to floating-point reassociation
     /// in the batched fft history backend (bit-identical elsewhere).
+    ///
+    /// Fault containment: unlike run(), run_batch never lets a scenario
+    /// failure escape as an exception.  Malformed scenarios are marked
+    /// `invalid_scenario` up front and never reach a solver; a scenario
+    /// that fails inside a shared group sweep poisons only itself — the
+    /// group is re-run member by member, so its healthy siblings get
+    /// their (bit-identical to run()) results and only the offender
+    /// carries a failed `SolveResult::status`.  Result order is always
+    /// the scenario order, failures included.
     std::vector<SolveResult> run_batch(SystemHandle handle,
                                        std::span<const Scenario> scenarios);
     std::vector<SolveResult> run_batch(SystemHandle handle,

@@ -24,6 +24,7 @@ namespace {
 SolveResult run_opm(const SystemView& sys, const Scenario& sc) {
     opm::OpmOptions opt = std::get<opm::OpmOptions>(sc.config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     opm::OpmResult r =
         opm::simulate_opm(*sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
     SolveResult out;
@@ -38,6 +39,7 @@ SolveResult run_opm(const SystemView& sys, const Scenario& sc) {
 SolveResult run_multiterm(const SystemView& sys, const Scenario& sc) {
     opm::MultiTermOptions opt = std::get<opm::MultiTermOptions>(sc.config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     opm::OpmResult r = opm::simulate_multiterm(*sys.multiterm, sc.sources,
                                                sc.t_end, sc.steps, opt);
     SolveResult out;
@@ -52,6 +54,7 @@ SolveResult run_multiterm(const SystemView& sys, const Scenario& sc) {
 SolveResult run_adaptive(const SystemView& sys, const Scenario& sc) {
     opm::AdaptiveOptions opt = std::get<opm::AdaptiveOptions>(sc.config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     opm::AdaptiveResult r =
         opm::simulate_opm_adaptive(*sys.descriptor, sc.sources, sc.t_end, opt);
     SolveResult out;
@@ -68,6 +71,7 @@ SolveResult run_transient(const SystemView& sys, const Scenario& sc) {
     transient::TransientOptions opt =
         std::get<transient::TransientOptions>(sc.config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     transient::TransientResult r = transient::simulate_transient(
         *sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
     SolveResult out;
@@ -83,6 +87,7 @@ SolveResult run_grunwald(const SystemView& sys, const Scenario& sc) {
     transient::GrunwaldOptions opt =
         std::get<transient::GrunwaldOptions>(sc.config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     transient::GrunwaldResult r = transient::simulate_grunwald(
         *sys.descriptor, sc.sources, sc.t_end, sc.steps, opt);
     SolveResult out;
@@ -108,6 +113,7 @@ std::vector<SolveResult> run_opm_group(const SystemView& sys,
                                        std::span<const Scenario> group) {
     opm::OpmOptions opt = std::get<opm::OpmOptions>(group.front().config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     std::vector<opm::OpmResult> rs =
         opm::simulate_opm_batch(*sys.descriptor, group_sources(group),
                                 group.front().t_end, group.front().steps, opt);
@@ -127,6 +133,7 @@ std::vector<SolveResult> run_transient_group(const SystemView& sys,
     transient::TransientOptions opt =
         std::get<transient::TransientOptions>(group.front().config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     std::vector<transient::TransientResult> rs = transient::simulate_transient_batch(
         *sys.descriptor, group_sources(group), group.front().t_end,
         group.front().steps, opt);
@@ -146,6 +153,7 @@ std::vector<SolveResult> run_grunwald_group(const SystemView& sys,
     transient::GrunwaldOptions opt =
         std::get<transient::GrunwaldOptions>(group.front().config);
     opt.caches = sys.caches;
+    opt.control = sys.control;
     std::vector<transient::GrunwaldResult> rs = transient::simulate_grunwald_batch(
         *sys.descriptor, group_sources(group), group.front().t_end,
         group.front().steps, opt);

@@ -24,6 +24,9 @@ struct SystemView {
     const opm::DescriptorSystem* descriptor = nullptr;
     const opm::MultiTermSystem* multiterm = nullptr;
     opm::SolveCaches* caches = nullptr;  ///< the handle's cache bundle
+    /// The batch's deadline/cancellation token (null for Engine::run);
+    /// adapters inject it into the per-method options.
+    const util::RunControl* control = nullptr;
 };
 
 struct SolverAdapter {

@@ -26,6 +26,7 @@
 #include "opm/solver.hpp"
 #include "transient/grunwald.hpp"
 #include "transient/steppers.hpp"
+#include "util/status.hpp"
 
 namespace opmsim::api {
 
@@ -97,6 +98,12 @@ struct Scenario {
 /// Method-agnostic result.
 struct SolveResult {
     Method method = Method::opm;
+
+    /// Outcome of this scenario.  Engine::run throws on failure, so a
+    /// result it returns is always ok; Engine::run_batch contains failures
+    /// instead — a failed scenario carries its taxonomy code and message
+    /// here with empty outputs/states, and its siblings are unaffected.
+    Status status;
 
     /// Output waveforms y = C x, one per output channel — directly
     /// comparable across methods (each waveform carries its own grid).

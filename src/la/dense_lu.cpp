@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/status.hpp"
+
 namespace opmsim::la {
 
 template <class T>
@@ -9,6 +11,17 @@ DenseLu<T>::DenseLu(Matrix<T> a) : lu_(std::move(a)) {
     OPMSIM_REQUIRE(lu_.rows() == lu_.cols(), "DenseLu: matrix must be square");
     const index_t n = lu_.rows();
     piv_.resize(static_cast<std::size_t>(n));
+
+    // Input norms for the health monitors (rcond, pivot growth).
+    for (index_t j = 0; j < n; ++j) {
+        double colsum = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+            const double v = abs_val(lu_(i, j));
+            colsum += v;
+            if (v > maxabs_a_) maxabs_a_ = v;
+        }
+        if (colsum > anorm1_) anorm1_ = colsum;
+    }
 
     for (index_t k = 0; k < n; ++k) {
         // Partial pivot: largest magnitude in column k at/below the diagonal.
@@ -22,8 +35,11 @@ DenseLu<T>::DenseLu(Matrix<T> a) : lu_(std::move(a)) {
             }
         }
         if (best == 0.0)
-            throw numerical_error("DenseLu: singular matrix (zero pivot column at k=" +
-                                  std::to_string(k) + ")");
+            throw solver_error(
+                ErrorCode::singular_pencil,
+                "DenseLu: singular matrix — pivot column " + std::to_string(k) +
+                    " (best row " + std::to_string(p) +
+                    ") has |pivot| = 0 against max|A| = " + std::to_string(maxabs_a_));
         piv_[static_cast<std::size_t>(k)] = p;
         if (p != k) {
             sign_ = -sign_;
@@ -60,6 +76,90 @@ void DenseLu<T>::solve_in_place(std::vector<T>& b) const {
         for (index_t j = i + 1; j < n; ++j) s -= lu_(i, j) * b[static_cast<std::size_t>(j)];
         b[static_cast<std::size_t>(i)] = s / lu_(i, i);
     }
+}
+
+template <class T>
+void DenseLu<T>::solve_transpose_in_place(std::vector<T>& b) const {
+    const index_t n = lu_.rows();
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n,
+                   "DenseLu::solve_transpose: size mismatch");
+    // A = P^T L U, so A^T x = b is U^T y = b, L^T z = y, x = P^T z.
+    for (index_t i = 0; i < n; ++i) {
+        T s = b[static_cast<std::size_t>(i)];
+        for (index_t j = 0; j < i; ++j) s -= lu_(j, i) * b[static_cast<std::size_t>(j)];
+        b[static_cast<std::size_t>(i)] = s / lu_(i, i);
+    }
+    for (index_t i = n - 1; i >= 0; --i) {
+        T s = b[static_cast<std::size_t>(i)];
+        for (index_t j = i + 1; j < n; ++j) s -= lu_(j, i) * b[static_cast<std::size_t>(j)];
+        b[static_cast<std::size_t>(i)] = s;
+    }
+    // Undo the row permutation (apply the recorded swaps in reverse).
+    for (index_t k = n - 1; k >= 0; --k) {
+        const index_t p = piv_[static_cast<std::size_t>(k)];
+        if (p != k) std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(p)]);
+    }
+}
+
+namespace {
+inline double sign_of(double v, double) { return v >= 0.0 ? 1.0 : -1.0; }
+inline cplx sign_of(cplx v, double mag) { return mag == 0.0 ? cplx{1.0, 0.0} : v / mag; }
+inline double real_of(double v) { return v; }
+inline double real_of(cplx v) { return v.real(); }
+} // namespace
+
+template <class T>
+double DenseLu<T>::rcond_estimate() const {
+    const index_t n = lu_.rows();
+    if (n == 0 || anorm1_ == 0.0) return 0.0;
+    // Hager's method: walk toward a maximizing vector for ||A^-1||_1 by
+    // alternating A^-1 and A^-T solves on sign vectors.
+    std::vector<T> x(static_cast<std::size_t>(n), T{1.0} / static_cast<double>(n));
+    double est = 0.0;
+    index_t last = -1;
+    for (int iter = 0; iter < 5; ++iter) {
+        std::vector<T> y = x;
+        solve_in_place(y);
+        double ynorm = 0.0;
+        for (const T& v : y) ynorm += abs_val(v);
+        est = ynorm;
+        std::vector<T> xi(static_cast<std::size_t>(n));
+        for (index_t i = 0; i < n; ++i) {
+            const T& v = y[static_cast<std::size_t>(i)];
+            xi[static_cast<std::size_t>(i)] = sign_of(v, abs_val(v));
+        }
+        solve_transpose_in_place(xi);
+        index_t j = 0;
+        double zmax = 0.0;
+        double ztx = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+            const double a = abs_val(xi[static_cast<std::size_t>(i)]);
+            ztx += real_of(xi[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)]);
+            if (a > zmax) {
+                zmax = a;
+                j = i;
+            }
+        }
+        if (zmax <= ztx || j == last) break;
+        last = j;
+        std::fill(x.begin(), x.end(), T{});
+        x[static_cast<std::size_t>(j)] = T{1.0};
+    }
+    if (est == 0.0) return 0.0;
+    return 1.0 / (anorm1_ * est);
+}
+
+template <class T>
+double DenseLu<T>::pivot_growth() const {
+    if (maxabs_a_ == 0.0) return 0.0;
+    const index_t n = lu_.rows();
+    double maxu = 0.0;
+    for (index_t i = 0; i < n; ++i)
+        for (index_t j = i; j < n; ++j) {
+            const double v = abs_val(lu_(i, j));
+            if (v > maxu) maxu = v;
+        }
+    return maxu / maxabs_a_;
 }
 
 template <class T>

@@ -35,6 +35,21 @@ public:
     /// inner loops of the OPM column sweep.
     void solve_in_place(std::vector<T>& b) const;
 
+    /// In-place transpose solve A^T x = b (needed by the Hager condition
+    /// estimator; also useful for adjoint sweeps).
+    void solve_transpose_in_place(std::vector<T>& b) const;
+
+    /// Hager/Higham 1-norm reciprocal-condition estimate
+    /// ~ 1 / (||A||_1 ||A^-1||_1); a handful of triangular solves, no
+    /// refactorization.  Returns 0 when the estimate underflows.
+    [[nodiscard]] double rcond_estimate() const;
+
+    /// Pivot growth max|U| / max|A| — elimination-stability monitor.
+    [[nodiscard]] double pivot_growth() const;
+
+    /// 1-norm of the original matrix (max column abs sum).
+    [[nodiscard]] double anorm1() const { return anorm1_; }
+
     /// Determinant (product of pivots with permutation sign).
     [[nodiscard]] T det() const;
 
@@ -47,6 +62,8 @@ private:
     Matrix<T> lu_;              ///< packed L (unit lower) and U
     std::vector<index_t> piv_;  ///< piv_[k] = row swapped into position k
     int sign_ = 1;              ///< permutation parity
+    double anorm1_ = 0.0;       ///< ||A||_1 of the input, for rcond
+    double maxabs_a_ = 0.0;     ///< max|A| of the input, for pivot growth
 };
 
 extern template class DenseLu<double>;

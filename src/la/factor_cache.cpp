@@ -121,6 +121,21 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
     return num_.back().lu;
 }
 
+std::size_t FactorCache::invalidate(const CscMatrix& a) {
+    const std::uint64_t ph = pattern_hash(a);
+    const std::uint64_t vh = value_hash(a);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t removed = 0;
+    for (std::size_t i = num_.size(); i-- > 0;) {
+        const NumEntry& e = num_[i];
+        if (e.pattern_hash != ph || e.value_hash != vh) continue;
+        if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values()) continue;
+        num_.erase(num_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++removed;
+    }
+    return removed;
+}
+
 void FactorCache::clear() {
     const std::lock_guard<std::mutex> lock(mutex_);
     sym_.clear();

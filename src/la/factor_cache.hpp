@@ -80,6 +80,14 @@ public:
     /// Drop every cached entry (shared_ptrs held by callers stay valid).
     void clear();
 
+    /// Invalidate the numeric factors of one pencil (every entry whose
+    /// pattern and values match `a`, across all options).  Called by the
+    /// degradation ladder when a cached factor produced a non-finite
+    /// solution: the stale factor must not be served again.  Returns the
+    /// number of entries removed.  Symbolic entries stay — the pattern
+    /// analysis is value-independent.
+    std::size_t invalidate(const CscMatrix& a);
+
 private:
     struct SymEntry {
         std::uint64_t pattern_hash = 0;

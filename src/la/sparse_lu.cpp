@@ -8,6 +8,8 @@
 
 #include "la/dense.hpp"
 #include "la/triangular.hpp"
+#include "util/fault_inject.hpp"
+#include "util/status.hpp"
 
 namespace opmsim::la {
 
@@ -465,8 +467,31 @@ SparseLu::SparseLu(const CscMatrix& a, std::shared_ptr<const SparseLuSymbolic> s
     factorize(a);
 }
 
+namespace {
+
+/// ||A||_1 (max column abs sum) and max|A| of a CSC matrix, captured at
+/// factorization time for the rcond / pivot-growth monitors.
+void input_norms(const CscMatrix& a, double& anorm1, double& maxabs) {
+    anorm1 = 0.0;
+    maxabs = 0.0;
+    const auto& colp = a.col_ptr();
+    const auto& val = a.values();
+    for (index_t j = 0; j < a.cols(); ++j) {
+        double colsum = 0.0;
+        for (index_t p = colp[usz(j)]; p < colp[usz(j) + 1]; ++p) {
+            const double v = std::abs(val[usz(p)]);
+            colsum += v;
+            if (v > maxabs) maxabs = v;
+        }
+        if (colsum > anorm1) anorm1 = colsum;
+    }
+}
+
+} // namespace
+
 void SparseLu::factorize(const CscMatrix& a) {
     using Kernel = SparseLuOptions::Kernel;
+    input_norms(a, anorm1_, maxabs_a_);
     const Kernel want = symbolic_->options().kernel;
     const bool try_supernodal =
         symbolic_->has_supernodes() &&
@@ -475,6 +500,8 @@ void SparseLu::factorize(const CscMatrix& a) {
         try {
             factorize_supernodal(a);
             kernel_ = Kernel::supernodal;
+            if (fault::enabled() && !u_diag_.empty())
+                u_diag_[0] = fault::perturb(fault::Site::factor_values, u_diag_[0]);
             return;
         } catch (const numerical_error&) {
             if (want == Kernel::supernodal) throw;
@@ -487,6 +514,11 @@ void SparseLu::factorize(const CscMatrix& a) {
     }
     factorize_scalar(a);
     kernel_ = Kernel::scalar;
+    // Fault site: perturb one factor value after a successful
+    // factorization (exercises the refinement / cache-invalidation arms
+    // of the degradation ladder).
+    if (fault::enabled() && !u_diag_.empty())
+        u_diag_[0] = fault::perturb(fault::Site::factor_values, u_diag_[0]);
 }
 
 // ---------------------------------------------------------------------------
@@ -561,8 +593,16 @@ void SparseLu::factorize_scalar(const CscMatrix& a) {
             }
         }
         if (rpiv < 0 || cmax == 0.0)
-            throw numerical_error("SparseLu: matrix is singular at column " +
-                                  std::to_string(j));
+            throw solver_error(
+                ErrorCode::singular_pencil,
+                "SparseLu: matrix is singular at factor column " + std::to_string(j) +
+                    " (original column " + std::to_string(aj) +
+                    "): no nonzero pivot candidate (column max = 0)");
+        if (fault::enabled() && fault::fire(fault::Site::scalar_pivot))
+            throw solver_error(
+                ErrorCode::pivot_breakdown,
+                "SparseLu: pivot rejected at factor column " + std::to_string(j) +
+                    " (fault injection)");
         const double xdiag = (pinv_[usz(aj)] < 0) ? std::abs(x[usz(aj)]) : 0.0;
         if (xdiag >= pivot_tol * cmax && xdiag > 0.0) {
             rpiv = aj;
@@ -634,10 +674,13 @@ void SparseLu::refactor_scalar(const CscMatrix& a) {
 
         const double pivot = x[usz(j)];
         x[usz(j)] = 0.0;
-        if (pivot == 0.0)
-            throw numerical_error(
+        if (pivot == 0.0 ||
+            (fault::enabled() && fault::fire(fault::Site::refactor_pivot)))
+            throw solver_error(
+                ErrorCode::pivot_breakdown,
                 "SparseLu::refactor: frozen pivot vanished at column " +
-                std::to_string(j) + "; a full factorization is required");
+                    std::to_string(j) + " (|pivot| = " + std::to_string(std::abs(pivot)) +
+                    "); a full factorization is required");
         u_diag_[usz(j)] = pivot;
 
         for (index_t q = l_colp_[usz(j)]; q < l_colp_[usz(j) + 1]; ++q) {
@@ -823,10 +866,15 @@ void SparseLu::assemble_and_factor_supernodal(const CscMatrix& a) {
             double cmax = 0.0;
             for (index_t i = j; i < ht; ++i) cmax = std::max(cmax, std::abs(wj[i]));
             const double pivot = wj[j];
-            if (pivot == 0.0 || std::abs(pivot) < pivot_tol * cmax)
-                throw numerical_error(
+            if (pivot == 0.0 || std::abs(pivot) < pivot_tol * cmax ||
+                (fault::enabled() && fault::fire(fault::Site::supernodal_pivot)))
+                throw solver_error(
+                    ErrorCode::pivot_breakdown,
                     "SparseLu: supernodal diagonal pivot rejected at column " +
-                    std::to_string(c0 + j));
+                        std::to_string(c0 + j) + ": |pivot| = " +
+                        std::to_string(std::abs(pivot)) + " < threshold " +
+                        std::to_string(pivot_tol * cmax) + " (pivot_tol = " +
+                        std::to_string(pivot_tol) + ")");
             const double inv_piv = 1.0 / pivot;
             for (index_t i = j + 1; i < ht; ++i) wj[i] *= inv_piv;
             for (index_t c = j + 1; c < w; ++c) {
@@ -879,6 +927,7 @@ void SparseLu::refactor(const CscMatrix& a) {
                        a.row_ind() == symbolic_->pattern_rowi(),
                    "SparseLu::refactor: sparsity pattern differs from the "
                    "factored matrix (build a new SparseLu instead)");
+    input_norms(a, anorm1_, maxabs_a_);
     if (kernel_ == SparseLuOptions::Kernel::supernodal)
         assemble_and_factor_supernodal(a);  // exports per supernode inline
     else
@@ -953,6 +1002,87 @@ Matrixd SparseLu::solve_multi(Matrixd b) const {
     OPMSIM_REQUIRE(b.rows() == n_, "SparseLu::solve_multi: RHS row count mismatch");
     solve_in_place(b.data(), b.cols(), b.rows());
     return b;
+}
+
+void SparseLu::solve_transpose_in_place(Vectord& b) const {
+    OPMSIM_REQUIRE(static_cast<index_t>(b.size()) == n_,
+                   "SparseLu::solve_transpose: size mismatch");
+    // A(perm_rows, perm_cols) = L U, so A^T x = b becomes
+    // U^T v = b(perm_cols), L^T w = v, x(perm_rows) = w — both triangular
+    // passes are gathers (dot products) against the stored columns, the
+    // mirror image of the forward solve's scatters.
+    const bool super = kernel_ == SparseLuOptions::Kernel::supernodal;
+    const std::vector<index_t>& l_colp = super ? symbolic_->export_l_colp() : l_colp_;
+    const std::vector<index_t>& l_rowi = super ? symbolic_->export_l_rowi() : l_rowi_;
+    const std::vector<index_t>& u_colp = super ? symbolic_->export_u_colp() : u_colp_;
+    const std::vector<index_t>& u_rowi = super ? symbolic_->export_u_rowi() : u_rowi_;
+    const index_t n = n_;
+    const std::vector<index_t>& perm_cols = symbolic_->perm_cols();
+    Vectord& buf = thread_scratch(usz(n));
+    double* y = buf.data();
+    for (index_t j = 0; j < n; ++j) y[usz(j)] = b[usz(perm_cols[usz(j)])];
+
+    // Forward through U^T (lower triangular with u_diag_ diagonal).
+    for (index_t j = 0; j < n; ++j) {
+        double s = y[usz(j)];
+        for (index_t p = u_colp[usz(j)]; p < u_colp[usz(j) + 1]; ++p)
+            s -= u_val_[usz(p)] * y[usz(u_rowi[usz(p)])];
+        y[usz(j)] = s / u_diag_[usz(j)];
+    }
+    // Backward through L^T (unit upper triangular).
+    for (index_t k = n - 1; k >= 0; --k) {
+        double s = y[usz(k)];
+        for (index_t p = l_colp[usz(k)]; p < l_colp[usz(k) + 1]; ++p)
+            s -= l_val_[usz(p)] * y[usz(l_rowi[usz(p)])];
+        y[usz(k)] = s;
+    }
+    for (index_t k = 0; k < n; ++k) b[usz(perm_rows_[usz(k)])] = y[usz(k)];
+}
+
+double SparseLu::rcond_estimate() const {
+    if (n_ == 0 || anorm1_ == 0.0) return 0.0;
+    const index_t n = n_;
+    // Hager's method: walk toward a maximizing vector for ||A^-1||_1 by
+    // alternating A^-1 and A^-T applications to sign vectors.  Local
+    // buffers — solve_in_place owns the thread-local scratch.
+    Vectord x(usz(n), 1.0 / static_cast<double>(n));
+    double est = 0.0;
+    index_t last = -1;
+    for (int iter = 0; iter < 5; ++iter) {
+        Vectord y = x;
+        solve_in_place(y);
+        double ynorm = 0.0;
+        for (const double v : y) ynorm += std::abs(v);
+        est = ynorm;
+        Vectord z(usz(n));
+        for (index_t i = 0; i < n; ++i)
+            z[usz(i)] = y[usz(i)] >= 0.0 ? 1.0 : -1.0;
+        solve_transpose_in_place(z);
+        index_t j = 0;
+        double zmax = 0.0, ztx = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+            const double a = std::abs(z[usz(i)]);
+            ztx += z[usz(i)] * x[usz(i)];
+            if (a > zmax) {
+                zmax = a;
+                j = i;
+            }
+        }
+        if (zmax <= ztx || j == last) break;
+        last = j;
+        std::fill(x.begin(), x.end(), 0.0);
+        x[usz(j)] = 1.0;
+    }
+    if (est == 0.0 || !std::isfinite(est)) return 0.0;
+    return 1.0 / (anorm1_ * est);
+}
+
+double SparseLu::pivot_growth() const {
+    if (maxabs_a_ == 0.0) return 0.0;
+    double maxu = 0.0;
+    for (const double v : u_val_) maxu = std::max(maxu, std::abs(v));
+    for (const double v : u_diag_) maxu = std::max(maxu, std::abs(v));
+    return maxu / maxabs_a_;
 }
 
 } // namespace opmsim::la

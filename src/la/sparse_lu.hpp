@@ -248,6 +248,24 @@ public:
     /// resolving to solve(Vectord).
     [[nodiscard]] Matrixd solve_multi(Matrixd b) const;
 
+    /// In-place transpose solve A^T x = b (consumed by the Hager
+    /// condition estimator; also the adjoint-sweep building block).
+    /// Bit-identical across kernels like the forward solve.
+    void solve_transpose_in_place(Vectord& b) const;
+
+    /// Hager/Higham 1-norm reciprocal-condition estimate
+    /// ~ 1 / (||A||_1 ||A^-1||_1), computed from a handful of forward and
+    /// transpose solves through the existing factor — no refactorization.
+    /// Returns 0 when the estimate underflows (numerically singular).
+    [[nodiscard]] double rcond_estimate() const;
+
+    /// Pivot-growth factor max|U| / max|A|: large values flag an unstable
+    /// elimination even when every pivot passed the threshold test.
+    [[nodiscard]] double pivot_growth() const;
+
+    /// 1-norm of the factored input (max column abs sum).
+    [[nodiscard]] double anorm1() const { return anorm1_; }
+
     [[nodiscard]] index_t size() const { return n_; }
     /// Factor fill counters.  Scalar kernel: exact stored entries.
     /// Supernodal kernel: the structural (unpadded) counts from the
@@ -321,6 +339,11 @@ private:
 
     index_t nnz_l_ = 0, nnz_u_ = 0;
     index_t offdiag_pivots_ = 0;
+
+    // Input norms captured at factorize()/refactor() time for the health
+    // monitors (rcond_estimate, pivot_growth).
+    double anorm1_ = 0.0;
+    double maxabs_a_ = 0.0;
 };
 
 } // namespace opmsim::la

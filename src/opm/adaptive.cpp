@@ -4,11 +4,13 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "basis/bpf.hpp"
 #include "la/sparse_lu.hpp"
 #include "opm/solve_cache.hpp"
 #include "util/check.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace opmsim::opm {
@@ -242,6 +244,7 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
     double last_diff = -1.0;  ///< diff of the previous trial (any step)
 
     while (t < t_end * (1.0 - 1e-12)) {
+        util::check_run_control(opt.control);
         // Clamp to [h_min, h_max], then never step past the horizon — the
         // horizon cap wins even when the remainder is below h_min.
         const double remaining = t_end - t;
@@ -265,6 +268,11 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
         }
         eng.pop_step();
         eng.pop_step();
+        if (!std::isfinite(diff) || !std::isfinite(scale))
+            throw solver_error(ErrorCode::nonfinite_state,
+                               "simulate_opm_adaptive: trial step at t = " +
+                                   std::to_string(t) + " (h = " + std::to_string(h) +
+                                   ") produced a non-finite state");
 #ifdef OPMSIM_ADAPTIVE_DEBUG
         std::fprintf(stderr, "t=%.6g h=%.6g diff=%.3e scale=%.3e err=%.3e\n", t,
                      h, diff, scale, diff / (scale + 1e-300));

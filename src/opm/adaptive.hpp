@@ -53,6 +53,10 @@ struct AdaptiveOptions {
     /// runs re-encountering the same step sizes reuse whole numeric
     /// factors.
     SolveCaches* caches = nullptr;
+    /// Optional cooperative deadline / cancellation token (non-owning;
+    /// util/status.hpp), checked once per controller trial.  Injected by
+    /// Engine::run_batch; excluded from options_equal like `caches`.
+    const util::RunControl* control = nullptr;
 };
 
 struct AdaptiveResult {

@@ -14,6 +14,9 @@
 /// The legacy per-struct fields are kept as deprecated aliases for one
 /// release and mirror the Diagnostics values exactly.
 
+#include <string>
+#include <vector>
+
 #include "la/sparse_lu.hpp"
 #include "opm/fast_history.hpp"
 
@@ -57,6 +60,25 @@ struct Diagnostics {
     int refactor_count = 0;
     /// Numeric factors served from a FactorCache instead of being computed.
     int factor_cache_hits = 0;
+
+    // --- numerical health (PR 6) -------------------------------------
+    /// Hager/Higham 1-norm reciprocal-condition estimate of the main
+    /// pencil factor: rcond ~ 1 / (||A||_1 ||A^-1||_1).  Values near
+    /// machine epsilon mean the solve digits are suspect.  -1 when no
+    /// estimate was computed (nothing factored on this path).
+    double rcond_estimate = -1.0;
+    /// Pivot-growth factor max|U| / max|A| of the main pencil factor.
+    /// Large growth (>> 1e8) flags an unstable elimination even when the
+    /// pivots themselves were accepted.  0 when nothing was factored.
+    double pivot_growth = 0.0;
+    /// Iterative-refinement corrections applied across the sweep's
+    /// solves.  0 on a healthy run — refinement only triggers when the
+    /// residual check fails, so the bit-exact fast path is untouched.
+    long refinement_iters = 0;
+    /// Degradation-ladder actions taken to complete this solve, in order
+    /// (e.g. "supernodal_fallback", "pivot_tol_refactor", or
+    /// "cache_invalidated").  Empty on a healthy run.
+    std::vector<std::string> degradations;
 };
 
 /// Mirror diag's timing into the deprecated per-struct aliases, for

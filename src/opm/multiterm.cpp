@@ -119,12 +119,10 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
         la::CscMatrix pencil(la::Triplets(n, n));
         for (std::size_t k = 0; k < sys.lhs.size(); ++k)
             pencil = la::CscMatrix::add(1.0, pencil, cl[k][0], sys.lhs[k].mat);
-        const auto lu_ptr = acquire_factor(opt.caches, pencil, res.diag);
-        const la::SparseLu& lu = *lu_ptr;
+        PencilSolve ps(opt.caches, pencil, res.diag, opt.control);
         res.diag.factor_seconds = timer.elapsed_s();
 
         timer.reset();
-        WallTimer solve_timer;
         Vectord acc(static_cast<std::size_t>(n));
         Vectord rhs(static_cast<std::size_t>(n));
         Vectord up(static_cast<std::size_t>(p));
@@ -156,10 +154,7 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
                 }
                 if (any) sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
             }
-            solve_timer.reset();
-            lu.solve_in_place(rhs);
-            res.diag.solve_seconds += solve_timer.elapsed_s();
-            ++res.diag.rhs_solved;
+            ps.solve(rhs.data(), 1, n);
             for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         }
         res.diag.sweep_seconds = timer.elapsed_s();
@@ -197,15 +192,13 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
     for (const auto& t : sys.lhs)
         pencil = la::CscMatrix::add(1.0, pencil, std::pow(2.0 / h, t.order),
                                     t.mat);
-    const auto lu_ptr = acquire_factor(opt.caches, pencil, res.diag);
-    const la::SparseLu& lu = *lu_ptr;
+    PencilSolve ps(opt.caches, pencil, res.diag, opt.control);
     res.diag.factor_seconds = timer.elapsed_s();
 
     // Column sweep: (sum_k d0^(k) A_k) X_j = F_j - sum_k A_k H^(k)_j with
     // the K strict histories H^(k) evaluated by the batched engine (one
     // shared column stream, one forward FFT per block for all terms).
     timer.reset();
-    WallTimer solve_timer;
     std::vector<double> alphas;
     alphas.reserve(sys.lhs.size());
     for (const auto& t : sys.lhs) alphas.push_back(t.order);
@@ -221,10 +214,7 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
             eng.history(j, k, acc);
             sys.lhs[k].mat.gaxpy(-1.0, acc, rhs);
         }
-        solve_timer.reset();
-        lu.solve_in_place(rhs);
-        res.diag.solve_seconds += solve_timer.elapsed_s();
-        ++res.diag.rhs_solved;
+        ps.solve(rhs.data(), 1, n);
         for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         eng.push(j, rhs.data());
     }

@@ -72,6 +72,10 @@ struct MultiTermOptions {
     /// OpmOptions::caches): pencil factors, FFT plans and rho series are
     /// reused across calls without changing results.
     SolveCaches* caches = nullptr;
+    /// Optional cooperative deadline / cancellation token (non-owning;
+    /// util/status.hpp), checked at sweep-step granularity.  Injected by
+    /// Engine::run_batch; excluded from options_equal like `caches`.
+    const util::RunControl* control = nullptr;
     /// Zero initial state is assumed (as in the paper); nonzero ICs for
     /// multi-term systems require per-order initial data and are out of
     /// scope for this reproduction.

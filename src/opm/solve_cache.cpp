@@ -1,7 +1,12 @@
 #include "opm/solve_cache.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 #include "fftx/convolve.hpp"
 #include "opm/fractional_series.hpp"
+#include "util/timer.hpp"
 
 namespace opmsim::opm {
 
@@ -32,16 +37,17 @@ Vectord SolveCaches::grunwald_weights(double alpha, index_t m) {
 
 std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
                                                    const la::CscMatrix& pencil,
+                                                   const la::SparseLuOptions& opt,
                                                    Diagnostics& diag) {
     if (caches == nullptr) {
-        auto lu = std::make_shared<const la::SparseLu>(pencil);
+        auto lu = std::make_shared<const la::SparseLu>(pencil, opt);
         ++diag.orderings;
         ++diag.factorizations;
         diag.ordering = lu->symbolic()->chosen_ordering();
         return lu;
     }
     bool sym_fresh = false, num_fresh = false;
-    auto lu = caches->factors.factor(pencil, {}, &sym_fresh, &num_fresh);
+    auto lu = caches->factors.factor(pencil, opt, &sym_fresh, &num_fresh);
     if (sym_fresh) ++diag.orderings;
     if (num_fresh)
         ++diag.factorizations;
@@ -49,6 +55,143 @@ std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
         ++diag.factor_cache_hits;
     diag.ordering = lu->symbolic()->chosen_ordering();
     return lu;
+}
+
+std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
+                                                   const la::CscMatrix& pencil,
+                                                   Diagnostics& diag) {
+    return acquire_factor(caches, pencil, {}, diag);
+}
+
+// ---------------------------------------------------------------------------
+// PencilSolve — the guarded factor/solve funnel.
+// ---------------------------------------------------------------------------
+
+PencilSolve::PencilSolve(SolveCaches* caches, const la::CscMatrix& pencil,
+                         Diagnostics& diag, const util::RunControl* control)
+    : caches_(caches), pencil_(pencil), diag_(diag), control_(control) {
+    util::check_run_control(control_);
+    const auto& val = pencil_.values();
+    for (std::size_t i = 0; i < val.size(); ++i)
+        if (!std::isfinite(val[i]))
+            throw solver_error(ErrorCode::nonfinite_input,
+                               "pencil contains a non-finite value at nnz index " +
+                                   std::to_string(i));
+    try {
+        lu_ = acquire_factor(caches_, pencil_, opts_, diag_);
+    } catch (const numerical_error& e) {
+        // Ladder escalation: refactor with the scalar kernel under strict
+        // partial pivoting (pivot_tol = 1.0).  If this throws too the
+        // pencil is genuinely singular and the error propagates.
+        diag_.degradations.push_back(std::string("pivot_tol_refactor: ") + e.what());
+        opts_.kernel = la::SparseLuOptions::Kernel::scalar;
+        opts_.pivot_tol = 1.0;
+        lu_ = acquire_factor(caches_, pencil_, opts_, diag_);
+    }
+    // The automatic kernel's silent supernodal -> scalar pivot fallback
+    // (inside SparseLu::factorize) is a ladder edge too — surface it.
+    if (opts_.kernel == la::SparseLuOptions::Kernel::automatic &&
+        lu_->kernel_used() == la::SparseLuOptions::Kernel::scalar &&
+        lu_->symbolic()->has_supernodes() && lu_->size() >= 32)
+        diag_.degradations.push_back("supernodal_fallback");
+    diag_.pivot_growth = lu_->pivot_growth();
+    diag_.rcond_estimate = lu_->rcond_estimate();
+}
+
+void PencilSolve::rebuild_factor() {
+    // Never serve the stale factor again, then refactor from scratch with
+    // whatever options the ladder settled on.
+    if (caches_ != nullptr) caches_->factors.invalidate(pencil_);
+    lu_ = acquire_factor(caches_, pencil_, opts_, diag_);
+}
+
+void PencilSolve::solve(double* b, index_t nrhs, index_t ldb) {
+    util::check_run_control(control_);
+    const index_t n = lu_->size();
+    for (index_t r = 0; r < nrhs; ++r)
+        for (index_t i = 0; i < n; ++i)
+            if (!std::isfinite(b[static_cast<std::size_t>(r * ldb + i)]))
+                throw solver_error(
+                    first_solve_ ? ErrorCode::nonfinite_input
+                                 : ErrorCode::nonfinite_state,
+                    std::string(first_solve_ ? "right-hand side"
+                                             : "evolving state") +
+                        " is non-finite at row " + std::to_string(i) +
+                        " of RHS column " + std::to_string(r));
+
+    b0_.resize(static_cast<std::size_t>(n * nrhs));
+    for (index_t r = 0; r < nrhs; ++r)
+        for (index_t i = 0; i < n; ++i)
+            b0_[static_cast<std::size_t>(r * n + i)] =
+                b[static_cast<std::size_t>(r * ldb + i)];
+
+    WallTimer st;
+    lu_->solve_in_place(b, nrhs, ldb);
+    diag_.solve_seconds += st.elapsed_s();
+    diag_.rhs_solved += nrhs;
+
+    const auto block_finite = [&]() {
+        for (index_t r = 0; r < nrhs; ++r)
+            for (index_t i = 0; i < n; ++i)
+                if (!std::isfinite(b[static_cast<std::size_t>(r * ldb + i)]))
+                    return false;
+        return true;
+    };
+    if (!block_finite()) {
+        // Finite RHS, non-finite solution: the factor itself is corrupt
+        // (stale cache entry, perturbed values).  One-shot recovery:
+        // invalidate, refactor, re-solve.
+        if (rebuilt_)
+            throw solver_error(ErrorCode::nonfinite_state,
+                               "solution is non-finite after a factor rebuild");
+        rebuilt_ = true;
+        diag_.degradations.push_back("cache_invalidated");
+        rebuild_factor();
+        for (index_t r = 0; r < nrhs; ++r)
+            for (index_t i = 0; i < n; ++i)
+                b[static_cast<std::size_t>(r * ldb + i)] =
+                    b0_[static_cast<std::size_t>(r * n + i)];
+        st.reset();
+        lu_->solve_in_place(b, nrhs, ldb);
+        diag_.solve_seconds += st.elapsed_s();
+        if (!block_finite())
+            throw solver_error(ErrorCode::nonfinite_state,
+                               "solution is non-finite after a factor rebuild");
+    }
+
+    refine(b, nrhs, ldb);
+    first_solve_ = false;
+}
+
+void PencilSolve::refine(double* b, index_t nrhs, index_t ldb) {
+    const index_t n = lu_->size();
+    const double anorm = lu_->anorm1();
+    resid_.resize(static_cast<std::size_t>(n));
+    for (index_t r = 0; r < nrhs; ++r) {
+        double* x = b + r * ldb;
+        const double* b0 = b0_.data() + r * n;
+        for (int iter = 0; iter <= 2; ++iter) {
+            double xinf = 0.0, binf = 0.0;
+            for (index_t i = 0; i < n; ++i) {
+                xinf = std::max(xinf, std::abs(x[static_cast<std::size_t>(i)]));
+                binf = std::max(binf, std::abs(b0[static_cast<std::size_t>(i)]));
+            }
+            std::copy(b0, b0 + n, resid_.begin());
+            pencil_.gaxpy(-1.0, x, resid_.data());
+            double rinf = 0.0;
+            for (const double v : resid_) rinf = std::max(rinf, std::abs(v));
+            // Loose relative threshold: a healthy factor leaves residuals
+            // ~1e-13 relative, so refinement never fires on the fast path
+            // and grouped/loop runs stay bit-identical.
+            if (!(rinf > 1e-9 * (anorm * xinf + binf)) || !std::isfinite(rinf))
+                break;
+            if (iter == 2) break;  // corrections exhausted; keep best iterate
+            lu_->solve_in_place(resid_);
+            for (index_t i = 0; i < n; ++i)
+                x[static_cast<std::size_t>(i)] += resid_[static_cast<std::size_t>(i)];
+            ++diag_.refinement_iters;
+        }
+    }
 }
 
 } // namespace opmsim::opm

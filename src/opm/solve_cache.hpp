@@ -37,6 +37,7 @@
 
 #include "la/factor_cache.hpp"
 #include "opm/diagnostics.hpp"
+#include "util/status.hpp"
 
 namespace opmsim::fftx {
 class ConvPlanCache;
@@ -87,5 +88,69 @@ private:
 std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
                                                    const la::CscMatrix& pencil,
                                                    Diagnostics& diag);
+
+/// Same, with explicit factorization options (the degradation ladder's
+/// strict-pivoting retry path).
+std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
+                                                   const la::CscMatrix& pencil,
+                                                   const la::SparseLuOptions& opt,
+                                                   Diagnostics& diag);
+
+/// One pencil's factor plus guarded solves: the robustness funnel every
+/// sweep loop goes through.
+///
+/// Construction acquires the factor through the graceful-degradation
+/// ladder: NaN/Inf guard on the pencil values, then the default
+/// (supernodal-preferring) factorization — which itself falls back
+/// supernodal -> scalar on a rejected diagonal pivot — then, on pivot
+/// breakdown, a scalar refactorization with strict partial pivoting
+/// (pivot_tol = 1.0).  Each escalation is recorded in
+/// Diagnostics::degradations; the pivot-growth factor and the Hager
+/// 1-norm rcond estimate of the factor land in the same Diagnostics.
+///
+/// solve() wraps SparseLu::solve_in_place with: the cooperative
+/// deadline/cancellation check (sweep granularity), NaN/Inf guards on the
+/// RHS and the solution, a one-shot stale-factor recovery (a non-finite
+/// solution from a finite RHS invalidates the cached factor — it is never
+/// served again — and refactors fresh), and residual-checked iterative
+/// refinement (<= 2 corrections, only when the residual check fails, so
+/// healthy solves stay bit-identical to a raw solve_in_place).  The solve
+/// timing / rhs_solved bookkeeping the sweeps used to do inline happens
+/// here.
+///
+/// The pencil is held by reference and must outlive the PencilSolve (the
+/// sweep loops keep it in scope); errors surface as opmsim::solver_error
+/// carrying the taxonomy code.
+class PencilSolve {
+public:
+    PencilSolve(SolveCaches* caches, const la::CscMatrix& pencil,
+                Diagnostics& diag, const util::RunControl* control = nullptr);
+
+    /// Guarded multi-RHS solve, same shape contract as
+    /// SparseLu::solve_in_place(b, nrhs, ldb).
+    void solve(double* b, index_t nrhs, index_t ldb);
+
+    /// The underlying factor (for symbolic sharing / direct solves on
+    /// side pencils).
+    [[nodiscard]] const la::SparseLu& lu() const { return *lu_; }
+    [[nodiscard]] const std::shared_ptr<const la::SparseLu>& factor() const {
+        return lu_;
+    }
+
+private:
+    void rebuild_factor();
+    void refine(double* b, index_t nrhs, index_t ldb);
+
+    SolveCaches* caches_;
+    const la::CscMatrix& pencil_;
+    Diagnostics& diag_;
+    const util::RunControl* control_;
+    la::SparseLuOptions opts_{};  ///< options the ladder settled on
+    std::shared_ptr<const la::SparseLu> lu_;
+    Vectord b0_;     ///< RHS copy for the residual check
+    Vectord resid_;  ///< per-column residual / correction scratch
+    bool rebuilt_ = false;
+    bool first_solve_ = true;
+};
 
 } // namespace opmsim::opm

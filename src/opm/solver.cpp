@@ -1,6 +1,7 @@
 #include "opm/solver.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "la/dense_lu.hpp"
 #include "la/kron.hpp"
@@ -8,6 +9,8 @@
 #include "opm/operational.hpp"
 #include "opm/solve_cache.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace opmsim::opm {
@@ -150,6 +153,18 @@ la::Matrixd build_forcing(const DescriptorSystem& sys,
             for (index_t i = 0; i < n; ++i) g(s * n + i, j) = gj[static_cast<std::size_t>(i)];
         }
     }
+    // Per-scenario NaN/Inf guard on the projected forcing: a poisoned
+    // source fails with its scenario index, so run_batch's containment
+    // can retry the siblings individually.
+    for (index_t s = 0; s < nscen; ++s)
+        for (index_t j = 0; j < m; ++j)
+            for (index_t i = 0; i < n; ++i)
+                if (!std::isfinite(g(s * n + i, j)))
+                    throw solver_error(
+                        ErrorCode::nonfinite_input,
+                        "scenario " + std::to_string(s) +
+                            ": source projection is non-finite at state " +
+                            std::to_string(i) + ", interval " + std::to_string(j));
     return g;
 }
 
@@ -163,7 +178,8 @@ void gaxpy_blocks(const la::CscMatrix& a, double alpha, const double* x,
 /// O(m) path: (2/h E - A) X_j = (2/h E + A) X_{j-1} + G_j + G_{j-1}.
 void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
                       index_t nscen, double h, SolveCaches* caches,
-                      la::Matrixd& x, Diagnostics& diag) {
+                      const util::RunControl* control, la::Matrixd& x,
+                      Diagnostics& diag) {
     const index_t n = sys.num_states();
     const index_t nr = n * nscen;
     const index_t m = g.cols();
@@ -171,12 +187,10 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(s, sys.e, -1.0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, diag);
-    const la::SparseLu& lu = *lu_ptr;
+    PencilSolve ps(caches, pencil, diag, control);
     diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    WallTimer st;
     Vectord rhs(static_cast<std::size_t>(nr));
     Vectord prev(static_cast<std::size_t>(nr), 0.0);
     for (index_t j = 0; j < m; ++j) {
@@ -188,10 +202,7 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
             gaxpy_blocks(sys.e, s, prev.data(), rhs.data(), n, nscen);
             gaxpy_blocks(sys.a, 1.0, prev.data(), rhs.data(), n, nscen);
         }
-        st.reset();
-        lu.solve_in_place(rhs.data(), nscen, n);
-        diag.solve_seconds += st.elapsed_s();
-        diag.rhs_solved += nscen;
+        ps.solve(rhs.data(), nscen, n);
         for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         std::swap(prev, rhs);
     }
@@ -207,7 +218,8 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
 void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
                          index_t nscen, double alpha, double h,
                          HistoryBackend backend, SolveCaches* caches,
-                         la::Matrixd& x, Diagnostics& diag) {
+                         const util::RunControl* control, la::Matrixd& x,
+                         Diagnostics& diag) {
     const index_t n = sys.num_states();
     const index_t nr = n * nscen;
     const index_t m = g.cols();
@@ -216,12 +228,10 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(d0, sys.e, -1.0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, diag);
-    const la::SparseLu& lu = *lu_ptr;
+    PencilSolve ps(caches, pencil, diag, control);
     diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    WallTimer st;
     DiffHistoryEngine eng(alpha, h, nr, m, backend, caches);
     Vectord acc(static_cast<std::size_t>(nr));
     Vectord rhs(static_cast<std::size_t>(nr));
@@ -229,11 +239,10 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
         eng.history(j, acc);
         for (index_t i = 0; i < nr; ++i) rhs[static_cast<std::size_t>(i)] = g(i, j);
         gaxpy_blocks(sys.e, -1.0, acc.data(), rhs.data(), n, nscen);
-        st.reset();
-        lu.solve_in_place(rhs.data(), nscen, n);
-        diag.solve_seconds += st.elapsed_s();
-        diag.rhs_solved += nscen;
+        ps.solve(rhs.data(), nscen, n);
         for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        if (fault::enabled() && fault::fire(fault::Site::history_nan))
+            rhs[0] = std::numeric_limits<double>::quiet_NaN();
         eng.push(j, rhs.data());
     }
     diag.sweep_seconds = t.elapsed_s();
@@ -246,7 +255,8 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
 void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
                         index_t nscen, const UpperToeplitz& hop,
                         HistoryBackend backend, SolveCaches* caches,
-                        la::Matrixd& x, Diagnostics& diag) {
+                        const util::RunControl* control, la::Matrixd& x,
+                        Diagnostics& diag) {
     const index_t n = sys.num_states();
     const index_t nr = n * nscen;
     const index_t m = g.cols();
@@ -255,12 +265,10 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
 
     WallTimer t;
     const la::CscMatrix pencil = la::CscMatrix::add(1.0, sys.e, -g0, sys.a);
-    const auto lu_ptr = acquire_factor(caches, pencil, diag);
-    const la::SparseLu& lu = *lu_ptr;
+    PencilSolve ps(caches, pencil, diag, control);
     diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    WallTimer st;
     const la::Matrixd w = toeplitz_apply(hop, g, backend, caches);
 
     HistoryEngine eng(hop.coeffs, nr, m, backend, caches);
@@ -270,11 +278,10 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
         eng.history(j, acc);
         for (index_t i = 0; i < nr; ++i) rhs[static_cast<std::size_t>(i)] = w(i, j);
         gaxpy_blocks(sys.a, 1.0, acc.data(), rhs.data(), n, nscen);
-        st.reset();
-        lu.solve_in_place(rhs.data(), nscen, n);
-        diag.solve_seconds += st.elapsed_s();
-        diag.rhs_solved += nscen;
+        ps.solve(rhs.data(), nscen, n);
         for (index_t i = 0; i < nr; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
+        if (fault::enabled() && fault::fire(fault::Site::history_nan))
+            rhs[0] = std::numeric_limits<double>::quiet_NaN();
         eng.push(j, rhs.data());
     }
     diag.sweep_seconds = t.elapsed_s();
@@ -311,14 +318,14 @@ std::vector<OpmResult> simulate_opm_batch(
     Diagnostics diag;
 
     if (path == OpmPath::recurrence) {
-        sweep_recurrence(sys, g, nscen, h, opt.caches, x, diag);
+        sweep_recurrence(sys, g, nscen, h, opt.caches, opt.control, x, diag);
     } else if (opt.form == OpmForm::differential) {
         sweep_toeplitz_diff(sys, g, nscen, opt.alpha, h, opt.history,
-                            opt.caches, x, diag);
+                            opt.caches, opt.control, x, diag);
     } else {
         const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_int(sys, g, nscen, hop, opt.history, opt.caches, x,
-                           diag);
+        sweep_toeplitz_int(sys, g, nscen, hop, opt.history, opt.caches,
+                           opt.control, x, diag);
     }
 
     // Per-scenario results.  The shared factor/sweep work is accounted to
@@ -409,6 +416,12 @@ OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
         res.diag.factor_cache_hits += w.diag.factor_cache_hits;
         res.diag.history_backend = w.diag.history_backend;
         res.diag.ordering = w.diag.ordering;
+        res.diag.refinement_iters += w.diag.refinement_iters;
+        res.diag.rcond_estimate = w.diag.rcond_estimate;
+        res.diag.pivot_growth = w.diag.pivot_growth;
+        res.diag.degradations.insert(res.diag.degradations.end(),
+                                     w.diag.degradations.begin(),
+                                     w.diag.degradations.end());
 
         // Copy window coefficients (absolute values: add the Caputo shift
         // back so res.coeffs matches the monolithic zero-IC convention of
@@ -471,12 +484,15 @@ OpmResult simulate_generic_basis(const DenseDescriptorSystem& sys,
             for (index_t i = 0; i < n; ++i)
                 rhs_m(i, j) += ex0[static_cast<std::size_t>(i)] * k1[static_cast<std::size_t>(j)];
     }
-    const Vectord xv = la::DenseLu<double>(lhs).solve(la::vec(rhs_m));
+    const la::DenseLu<double> lu(lhs);
+    const Vectord xv = lu.solve(la::vec(rhs_m));
 
     OpmResult res;
     res.coeffs = la::unvec(xv, n, m);
     res.diag.factor_seconds = t.elapsed_s();
     res.diag.factorizations = 1;
+    res.diag.rcond_estimate = lu.rcond_estimate();
+    res.diag.pivot_growth = lu.pivot_growth();
     sync_legacy_timing(res);
     res.edges = wave::uniform_edges(bas.t_end(), m);
 

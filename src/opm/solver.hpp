@@ -37,6 +37,10 @@
 #include "wave/sources.hpp"
 #include "wave/waveform.hpp"
 
+namespace opmsim::util {
+struct RunControl;
+}
+
 namespace opmsim::opm {
 
 using la::index_t;
@@ -102,6 +106,10 @@ struct OpmOptions {
     /// served from / stored into it.  Results are bit-identical either
     /// way; the Engine facade threads one bundle per registered system.
     SolveCaches* caches = nullptr;
+    /// Optional cooperative deadline / cancellation token (non-owning;
+    /// util/status.hpp), checked at sweep-step granularity.  Injected by
+    /// Engine::run_batch; excluded from options_equal like `caches`.
+    const util::RunControl* control = nullptr;
 };
 
 struct OpmResult {

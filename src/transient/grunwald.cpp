@@ -1,11 +1,13 @@
 #include "transient/grunwald.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "la/sparse_lu.hpp"
 #include "opm/fractional_series.hpp"
 #include "opm/solve_cache.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
 #include "util/timer.hpp"
 
 namespace opmsim::transient {
@@ -44,7 +46,7 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
     WallTimer timer;
     const la::CscMatrix pencil =
         la::CscMatrix::add(w[0] * ha, sys.e, -1.0, sys.a);
-    const auto lu = opm::acquire_factor(opt.caches, pencil, diag);
+    opm::PencilSolve ps(opt.caches, pencil, diag, opt.control);
     diag.factor_seconds = timer.elapsed_s();
 
     // Caputo shift: march z = x - x0 (z_0 = 0) with the constant forcing
@@ -56,7 +58,6 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
     // Toeplitz form sum_{i<k} w_{k-i} z_i over columns 0..m (z_0 = 0);
     // batched scenarios stack as extra rows of the shared engine.
     timer.reset();
-    WallTimer st;
     la::Matrixd states(nr, m + 1);
     if (!opt.x0.empty())
         for (la::index_t s = 0; s < nscen; ++s)
@@ -85,15 +86,14 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
         eng.history(k, hist);
         for (la::index_t s = 0; s < nscen; ++s)
             sys.e.gaxpy(-ha, hist.data() + s * n, rhs.data() + s * n);
-        st.reset();
-        lu->solve_in_place(rhs.data(), nscen, n);
-        diag.solve_seconds += st.elapsed_s();
-        diag.rhs_solved += nscen;
+        ps.solve(rhs.data(), nscen, n);
         for (la::index_t i = 0; i < nr; ++i) {
             states(i, k) = rhs[static_cast<std::size_t>(i)];
             if (!opt.x0.empty())
                 states(i, k) += opt.x0[static_cast<std::size_t>(i % n)];
         }
+        if (fault::enabled() && fault::fire(fault::Site::history_nan))
+            rhs[0] = std::numeric_limits<double>::quiet_NaN();
         eng.push(k, rhs.data());
     }
     diag.sweep_seconds = timer.elapsed_s();

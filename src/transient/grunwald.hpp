@@ -33,6 +33,10 @@ struct GrunwaldOptions {
     /// Optional cross-run cache bundle (same semantics as
     /// OpmOptions::caches).
     opm::SolveCaches* caches = nullptr;
+    /// Optional cooperative deadline / cancellation token (non-owning;
+    /// util/status.hpp), checked at step granularity.  Injected by
+    /// Engine::run_batch; excluded from options_equal like `caches`.
+    const util::RunControl* control = nullptr;
 };
 
 struct GrunwaldResult {

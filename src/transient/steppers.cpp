@@ -1,8 +1,11 @@
 #include "transient/steppers.hpp"
 
+#include <optional>
+
 #include "la/sparse_lu.hpp"
 #include "opm/solve_cache.hpp"
 #include "util/check.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace opmsim::transient {
@@ -57,12 +60,14 @@ std::vector<TransientResult> simulate_transient_batch(
     // wins (legacy bench_table2 threading), then the cross-run cache
     // bundle, then a fresh analysis.
     std::shared_ptr<const la::SparseLu> lu_ptr;
+    std::optional<opm::PencilSolve> ps;
     if (opt.symbolic) {
         lu_ptr = std::make_shared<const la::SparseLu>(pencil, opt.symbolic);
         ++diag.factorizations;
         diag.ordering = opt.symbolic->chosen_ordering();
     } else {
-        lu_ptr = opm::acquire_factor(opt.caches, pencil, diag);
+        ps.emplace(opt.caches, pencil, diag, opt.control);
+        lu_ptr = ps->factor();
     }
     const la::SparseLu& lu = *lu_ptr;
     const std::shared_ptr<const la::SparseLuSymbolic> symbolic = lu.symbolic();
@@ -155,10 +160,17 @@ std::vector<TransientResult> simulate_transient_batch(
             }
             break;
         }
-        st.reset();
-        step_lu->solve_in_place(rhs.data(), nscen, n);
-        diag.solve_seconds += st.elapsed_s();
-        diag.rhs_solved += nscen;
+        if (step_lu == &lu && ps) {
+            ps->solve(rhs.data(), nscen, n);
+        } else {
+            // Gear's backward-Euler start pencil / caller-provided symbolic
+            // path: direct solve, same bookkeeping PencilSolve would do.
+            util::check_run_control(opt.control);
+            st.reset();
+            step_lu->solve_in_place(rhs.data(), nscen, n);
+            diag.solve_seconds += st.elapsed_s();
+            diag.rhs_solved += nscen;
+        }
         for (index_t i = 0; i < nr; ++i) states(i, k) = rhs[static_cast<std::size_t>(i)];
         std::swap(xm2, xm1);
         std::swap(xm1, rhs);

@@ -39,6 +39,10 @@ struct TransientOptions {
     /// Optional cross-run cache bundle (same semantics as
     /// OpmOptions::caches); consulted when `symbolic` is empty.
     opm::SolveCaches* caches = nullptr;
+    /// Optional cooperative deadline / cancellation token (non-owning;
+    /// util/status.hpp), checked at step granularity.  Injected by
+    /// Engine::run_batch; excluded from options_equal like `caches`.
+    const util::RunControl* control = nullptr;
 };
 
 struct TransientResult {

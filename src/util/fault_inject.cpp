@@ -1,0 +1,86 @@
+#include "util/fault_inject.hpp"
+
+#include <cmath>
+#include <mutex>
+
+namespace opmsim::fault {
+
+namespace detail {
+std::atomic<int> armed_count{0};
+} // namespace detail
+
+namespace {
+
+struct SiteState {
+    bool armed = false;
+    FaultSpec spec;
+    long calls = 0;
+    long fired = 0;
+};
+
+constexpr int kSites = static_cast<int>(Site::site_count_);
+
+std::mutex& state_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+SiteState* states() {
+    static SiteState s[kSites];
+    return s;
+}
+
+} // namespace
+
+void arm(Site site, FaultSpec spec) {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    SiteState& st = states()[static_cast<int>(site)];
+    if (!st.armed) detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+    st.armed = true;
+    st.spec = spec;
+    st.calls = 0;
+    st.fired = 0;
+}
+
+void disarm(Site site) {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    SiteState& st = states()[static_cast<int>(site)];
+    if (st.armed) detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    st.armed = false;
+}
+
+void disarm_all() {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    for (int i = 0; i < kSites; ++i) {
+        SiteState& st = states()[i];
+        if (st.armed) detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+        st.armed = false;
+    }
+}
+
+bool fire(Site site) {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    SiteState& st = states()[static_cast<int>(site)];
+    if (!st.armed) return false;
+    const long call = st.calls++;
+    const bool hit = call >= st.spec.skip && call < st.spec.skip + st.spec.fire;
+    if (hit) ++st.fired;
+    return hit;
+}
+
+long fire_count(Site site) {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    return states()[static_cast<int>(site)].fired;
+}
+
+double perturb(Site site, double v) {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    SiteState& st = states()[static_cast<int>(site)];
+    if (!st.armed) return v;
+    const long call = st.calls++;
+    if (call < st.spec.skip || call >= st.spec.skip + st.spec.fire) return v;
+    ++st.fired;
+    return std::isnan(st.spec.value) ? st.spec.value : v * st.spec.value;
+}
+
+} // namespace opmsim::fault

@@ -1,0 +1,77 @@
+#pragma once
+/// \file fault_inject.hpp
+/// \brief Deterministic fault-injection harness for robustness tests.
+///
+/// Compiled into the library unconditionally but a no-op unless a site is
+/// armed: the only cost on the hot path is one relaxed atomic load behind
+/// `enabled()`.  Tests arm a site with a call-counted window — skip the
+/// first `skip` hits, fire the next `fire` hits — so a failure can be
+/// placed at an exact call (e.g. "reject the pivot on the third column of
+/// the second factorization") and the run replays identically every time.
+///
+/// Idiomatic hot-path use:
+///
+///     if (fault::enabled() && fault::fire(fault::Site::scalar_pivot))
+///         /* treat this pivot as rejected */;
+///
+///     if (fault::enabled())
+///         v = fault::perturb(fault::Site::factor_values, v);
+///
+/// All bookkeeping (arm state, call counters) lives behind a mutex so
+/// concurrent solver threads may hit the same site under TSan without
+/// races; `enabled()` itself is lock-free.
+
+#include <atomic>
+#include <limits>
+
+namespace opmsim::fault {
+
+/// Injection points wired into the solver stack.
+enum class Site : int {
+    scalar_pivot = 0, ///< reject a pivot in the scalar Gilbert-Peierls kernel
+    supernodal_pivot, ///< reject a diagonal pivot in the supernodal kernel
+    refactor_pivot,   ///< make a frozen pivot vanish during refactor()
+    factor_values,    ///< perturb a factor value after factorization
+    history_nan,      ///< corrupt a state row before it enters history
+    deadline,         ///< force the cooperative deadline check to expire
+    site_count_,      ///< sentinel, not a real site
+};
+
+/// When and how a site fires: calls `[skip, skip + fire)` hit; for value
+/// sites, `value` is the multiplier applied (NaN means "replace by NaN").
+struct FaultSpec {
+    long skip = 0;
+    long fire = 1;
+    double value = std::numeric_limits<double>::quiet_NaN();
+};
+
+namespace detail {
+extern std::atomic<int> armed_count;
+} // namespace detail
+
+/// True when at least one site is armed; relaxed load, safe on hot paths.
+inline bool enabled() {
+    return detail::armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arm `site` with the given firing window (replaces any previous spec and
+/// resets its counters).
+void arm(Site site, FaultSpec spec = {});
+
+/// Disarm one site / every site.  disarm_all() is the test-teardown hammer.
+void disarm(Site site);
+void disarm_all();
+
+/// Count a hit at `site`; returns true when the call falls inside the
+/// armed firing window.  Unarmed sites always return false (and do not
+/// count calls).
+bool fire(Site site);
+
+/// Number of times `site` actually fired since it was last armed.
+long fire_count(Site site);
+
+/// Value-site helper: when `site` fires, returns NaN (spec.value NaN) or
+/// `v * spec.value`; otherwise returns `v` unchanged.
+double perturb(Site site, double v);
+
+} // namespace opmsim::fault

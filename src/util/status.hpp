@@ -1,0 +1,127 @@
+#pragma once
+/// \file status.hpp
+/// \brief Structured error taxonomy and cooperative run control.
+///
+/// The solver core keeps throwing (deep call stacks unwind naturally and
+/// tier-1 callers expect exceptions), but every throw that crosses the
+/// Engine boundary is classified into an ErrorCode and reported as data in
+/// `SolveResult::status` — a failed scenario in a batch marks itself and
+/// leaves its siblings untouched.
+///
+/// Taxonomy:
+///   invalid_scenario   malformed request (bad sizes, t_end <= 0, ...)
+///   nonfinite_input    NaN/Inf in the pencil, sources, or RHS
+///   singular_pencil    structurally/numerically singular after all retries
+///   pivot_breakdown    pivot rejected and the degradation ladder exhausted
+///   nonfinite_state    the evolving state became NaN/Inf mid-sweep
+///   deadline_exceeded  BatchOptions::deadline expired mid-solve
+///   cancelled          the caller's cancellation token was set
+///   internal_error     anything unclassified (library bug)
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/fault_inject.hpp"
+
+namespace opmsim {
+
+enum class ErrorCode : int {
+    ok = 0,
+    invalid_scenario,
+    nonfinite_input,
+    singular_pencil,
+    pivot_breakdown,
+    nonfinite_state,
+    deadline_exceeded,
+    cancelled,
+    internal_error,
+};
+
+inline const char* error_code_name(ErrorCode code) {
+    switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::invalid_scenario: return "invalid_scenario";
+    case ErrorCode::nonfinite_input: return "nonfinite_input";
+    case ErrorCode::singular_pencil: return "singular_pencil";
+    case ErrorCode::pivot_breakdown: return "pivot_breakdown";
+    case ErrorCode::nonfinite_state: return "nonfinite_state";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::cancelled: return "cancelled";
+    case ErrorCode::internal_error: return "internal_error";
+    }
+    return "?";
+}
+
+/// Failure-as-data carried on SolveResult.  Default-constructed == ok.
+struct Status {
+    ErrorCode code = ErrorCode::ok;
+    std::string message;
+
+    bool ok() const { return code == ErrorCode::ok; }
+};
+
+/// A numerical_error that knows its taxonomy code.  Deriving from
+/// numerical_error keeps every existing `catch (const numerical_error&)`
+/// retry path (supernodal fallback, Gear refactor fallback) working.
+class solver_error : public numerical_error {
+public:
+    solver_error(ErrorCode code, const std::string& what_arg)
+        : numerical_error(what_arg), code_(code) {}
+
+    ErrorCode code() const { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// Classify the in-flight exception (call from inside a catch block).
+inline Status status_from_current_exception() {
+    try {
+        throw;
+    } catch (const solver_error& e) {
+        return {e.code(), e.what()};
+    } catch (const numerical_error& e) {
+        return {ErrorCode::pivot_breakdown, e.what()};
+    } catch (const std::invalid_argument& e) {
+        return {ErrorCode::invalid_scenario, e.what()};
+    } catch (const std::exception& e) {
+        return {ErrorCode::internal_error, e.what()};
+    } catch (...) {
+        return {ErrorCode::internal_error, "unknown exception"};
+    }
+}
+
+namespace util {
+
+/// Cooperative deadline + cancellation token, checked by the solver loops
+/// at sweep-step granularity.  A default-constructed deadline (epoch)
+/// means "no deadline"; `cancel` may be null.  The struct is trivially
+/// copyable and shared read-only across worker threads.
+struct RunControl {
+    std::chrono::steady_clock::time_point deadline{};
+    const std::atomic<bool>* cancel = nullptr;
+
+    bool has_deadline() const { return deadline.time_since_epoch().count() != 0; }
+};
+
+/// Throw solver_error(cancelled / deadline_exceeded) when the control says
+/// to stop.  Null `control` is a cheap no-op, except that the fault
+/// harness can still force a deadline expiry at this site.
+inline void check_run_control(const RunControl* control) {
+    if (fault::enabled() && fault::fire(fault::Site::deadline))
+        throw solver_error(ErrorCode::deadline_exceeded,
+                           "solve deadline expired (fault injection)");
+    if (control == nullptr) return;
+    if (control->cancel != nullptr && control->cancel->load(std::memory_order_relaxed))
+        throw solver_error(ErrorCode::cancelled, "solve cancelled by caller");
+    if (control->has_deadline() &&
+        std::chrono::steady_clock::now() > control->deadline)
+        throw solver_error(ErrorCode::deadline_exceeded, "solve deadline expired");
+}
+
+} // namespace util
+} // namespace opmsim

@@ -1,0 +1,233 @@
+/// \file test_engine_faults.cpp
+/// \brief Engine::run_batch fault containment: a single poisoned scenario
+///        in a grouped batch fails alone (siblings bit-identical to
+///        run()), malformed scenarios are marked invalid_scenario without
+///        throwing, empty batches and non-positive worker counts are
+///        handled, and the deadline / cancellation controls surface as
+///        per-scenario statuses.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "circuit/power_grid.hpp"
+#include "util/status.hpp"
+
+namespace api = opmsim::api;
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+namespace circuit = opmsim::circuit;
+namespace transient = opmsim::transient;
+
+using opmsim::ErrorCode;
+
+namespace {
+
+double exact_diff(const la::Matrixd& a, const la::Matrixd& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return 1e300;
+    double m = 0.0;
+    for (la::index_t j = 0; j < a.cols(); ++j)
+        for (la::index_t i = 0; i < a.rows(); ++i)
+            m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    return m;
+}
+
+circuit::PowerGrid make_grid() {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = 4;
+    spec.nz = 2;
+    spec.num_loads = 4;
+    spec.load_channels = 2;
+    return circuit::build_power_grid(spec);
+}
+
+/// Scenarios differing only in their load-current gains (one group).
+std::vector<api::Scenario> source_sweep(const circuit::PowerGrid& pg,
+                                        const api::MethodConfig& config,
+                                        int count, la::index_t steps,
+                                        double t_end) {
+    std::vector<api::Scenario> batch;
+    for (int s = 0; s < count; ++s) {
+        api::Scenario sc;
+        sc.t_end = t_end;
+        sc.steps = steps;
+        sc.config = config;
+        const double gain = 1.0 + 0.2 * static_cast<double>(s);
+        for (std::size_t i = 0; i < pg.inputs.size(); ++i) {
+            const wave::Source base = pg.inputs[i];
+            if (i == 0)
+                sc.sources.push_back(base);
+            else
+                sc.sources.push_back(
+                    [base, gain](double t) { return gain * base(t); });
+        }
+        batch.push_back(std::move(sc));
+    }
+    return batch;
+}
+
+} // namespace
+
+TEST(EngineFaults, PoisonedScenarioFailsAloneSiblingsBitIdentical) {
+    // Four batch-compatible scenarios form ONE shared group sweep; the
+    // third carries a NaN source that kills the grouped run.  The batch
+    // must not throw: only the offender reports nonfinite_input, and the
+    // healthy siblings still get results bit-identical to run().
+    const circuit::PowerGrid pg = make_grid();
+    std::vector<api::Scenario> batch =
+        source_sweep(pg, opm::OpmOptions{}, 4, 16, 1e-9);
+    batch[2].sources[1] = [](double) {
+        return std::numeric_limits<double>::quiet_NaN();
+    };
+
+    api::Engine be;
+    const api::SystemHandle hb = be.add_system(pg.mna);
+    std::vector<api::SolveResult> got;
+    ASSERT_NO_THROW(got = be.run_batch(hb, batch));
+    ASSERT_EQ(got.size(), batch.size());
+
+    EXPECT_EQ(got[2].status.code, ErrorCode::nonfinite_input)
+        << got[2].status.message;
+    EXPECT_TRUE(got[2].outputs.empty());
+    EXPECT_EQ(got[2].states.rows(), 0);
+
+    api::Engine le;
+    const api::SystemHandle hl = le.add_system(pg.mna);
+    for (const std::size_t s : {0ul, 1ul, 3ul}) {
+        ASSERT_TRUE(got[s].status.ok()) << "scenario " << s << ": "
+                                        << got[s].status.message;
+        const api::SolveResult ref = le.run(hl, batch[s]);
+        EXPECT_TRUE(ref.status.ok());
+        EXPECT_EQ(exact_diff(ref.states, got[s].states), 0.0) << "scenario " << s;
+        ASSERT_EQ(ref.outputs.size(), got[s].outputs.size());
+        for (std::size_t o = 0; o < ref.outputs.size(); ++o)
+            EXPECT_EQ(ref.outputs[o].values(), got[s].outputs[o].values())
+                << "scenario " << s << " output " << o;
+    }
+}
+
+TEST(EngineFaults, ContainmentIsIdenticalUnderWorkerPool) {
+    // The same poisoned batch through 4 workers: statuses and every
+    // surviving bit must match the serial run.
+    const circuit::PowerGrid pg = make_grid();
+    transient::GrunwaldOptions gl;
+    gl.alpha = 0.7;
+    std::vector<api::Scenario> batch;
+    for (const auto& sub : {source_sweep(pg, opm::OpmOptions{}, 3, 12, 1e-9),
+                            source_sweep(pg, gl, 3, 12, 1e-9)})
+        batch.insert(batch.end(), sub.begin(), sub.end());
+    batch[4].sources[0] = [](double) {
+        return std::numeric_limits<double>::quiet_NaN();
+    };
+
+    api::Engine se;
+    const api::SystemHandle hs = se.add_system(pg.mna);
+    const std::vector<api::SolveResult> serial =
+        se.run_batch(hs, batch, {.workers = 1});
+    api::Engine te;
+    const api::SystemHandle ht = te.add_system(pg.mna);
+    const std::vector<api::SolveResult> threaded =
+        te.run_batch(ht, batch, {.workers = 4});
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+        EXPECT_EQ(serial[s].status.code, threaded[s].status.code) << s;
+        EXPECT_EQ(exact_diff(serial[s].states, threaded[s].states), 0.0) << s;
+    }
+    EXPECT_EQ(serial[4].status.code, ErrorCode::nonfinite_input);
+    for (const std::size_t s : {0ul, 1ul, 2ul, 3ul, 5ul})
+        EXPECT_TRUE(serial[s].status.ok()) << s;
+}
+
+TEST(EngineFaults, MalformedScenariosMarkedInvalidNotThrown) {
+    const circuit::PowerGrid pg = make_grid();
+    std::vector<api::Scenario> batch =
+        source_sweep(pg, opm::OpmOptions{}, 5, 12, 1e-9);
+    batch[0].sources.pop_back();              // wrong source count
+    batch[1].t_end = 0.0;                     // non-positive horizon
+    batch[2].steps = 0;                       // no steps on a stepped method
+    batch[3].config = opm::MultiTermOptions{};  // wrong representation
+    // batch[4] stays valid and must still run.
+
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(pg.mna);
+    std::vector<api::SolveResult> got;
+    ASSERT_NO_THROW(got = engine.run_batch(h, batch));
+    ASSERT_EQ(got.size(), 5u);
+    for (const std::size_t s : {0ul, 1ul, 2ul, 3ul}) {
+        EXPECT_EQ(got[s].status.code, ErrorCode::invalid_scenario) << s;
+        EXPECT_FALSE(got[s].status.message.empty()) << s;
+        EXPECT_TRUE(got[s].outputs.empty()) << s;
+    }
+    EXPECT_TRUE(got[4].status.ok()) << got[4].status.message;
+    EXPECT_FALSE(got[4].outputs.empty());
+}
+
+TEST(EngineFaults, EmptyBatchAndClampedWorkers) {
+    const circuit::PowerGrid pg = make_grid();
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(pg.mna);
+
+    const std::vector<api::Scenario> none;
+    std::vector<api::SolveResult> empty;
+    ASSERT_NO_THROW(empty = engine.run_batch(h, none));
+    EXPECT_TRUE(empty.empty());
+
+    // workers <= 0 clamps to 1 and stays bit-identical to workers = 1.
+    const std::vector<api::Scenario> batch =
+        source_sweep(pg, opm::OpmOptions{}, 3, 12, 1e-9);
+    const std::vector<api::SolveResult> one =
+        engine.run_batch(h, batch, {.workers = 1});
+    for (const int w : {0, -3}) {
+        const std::vector<api::SolveResult> clamped =
+            engine.run_batch(h, batch, {.workers = w});
+        ASSERT_EQ(clamped.size(), one.size());
+        for (std::size_t s = 0; s < one.size(); ++s) {
+            EXPECT_TRUE(clamped[s].status.ok()) << s;
+            EXPECT_EQ(exact_diff(one[s].states, clamped[s].states), 0.0) << s;
+        }
+    }
+}
+
+TEST(EngineFaults, ExpiredDeadlineMarksScenariosNotThrows) {
+    const circuit::PowerGrid pg = make_grid();
+    const std::vector<api::Scenario> batch =
+        source_sweep(pg, opm::OpmOptions{}, 3, 24, 1e-9);
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(pg.mna);
+    std::vector<api::SolveResult> got;
+    // A 1 ns budget is over before the first sweep-step check runs.
+    ASSERT_NO_THROW(got = engine.run_batch(h, batch, {.deadline = 1e-9}));
+    ASSERT_EQ(got.size(), batch.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+        EXPECT_EQ(got[s].status.code, ErrorCode::deadline_exceeded)
+            << s << ": " << got[s].status.message;
+        EXPECT_TRUE(got[s].outputs.empty()) << s;
+    }
+}
+
+TEST(EngineFaults, CancellationTokenMarksScenariosCancelled) {
+    const circuit::PowerGrid pg = make_grid();
+    const std::vector<api::Scenario> batch =
+        source_sweep(pg, opm::OpmOptions{}, 3, 24, 1e-9);
+    api::Engine engine;
+    const api::SystemHandle h = engine.add_system(pg.mna);
+    const std::atomic<bool> stop{true};
+    api::Engine::BatchOptions opt;
+    opt.workers = 2;
+    opt.cancel = &stop;
+    std::vector<api::SolveResult> got;
+    ASSERT_NO_THROW(got = engine.run_batch(h, batch, opt));
+    for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s].status.code, ErrorCode::cancelled) << s;
+
+    // The same handle stays usable after a cancelled batch.
+    const api::SolveResult ok = engine.run(h, batch[0]);
+    EXPECT_TRUE(ok.status.ok());
+    EXPECT_FALSE(ok.outputs.empty());
+}

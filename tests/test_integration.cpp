@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "circuit/mna.hpp"
 #include "circuit/netlist.hpp"
@@ -16,6 +17,7 @@
 #include "transient/fft_solver.hpp"
 #include "transient/grunwald.hpp"
 #include "transient/steppers.hpp"
+#include "util/status.hpp"
 
 namespace circuit = opmsim::circuit;
 namespace la = opmsim::la;
@@ -170,17 +172,23 @@ TEST(FailureInjection, WrongInputCountRejectedEverywhere) {
                  std::invalid_argument);
 }
 
-TEST(FailureInjection, NonFiniteInputsProduceNonFiniteNotCrash) {
-    // A NaN source must not crash the sweep; it propagates into the
-    // coefficients where the caller can detect it.
+TEST(FailureInjection, NonFiniteInputsRejectedWithTaxonomyCode) {
+    // A NaN source must not crash the sweep or silently poison the
+    // coefficients: the forcing guard rejects it up front with the
+    // structured nonfinite_input code.
     const auto sys = circuit::make_fractional_tline();
     const std::vector<wave::Source> u = {
         [](double) { return std::numeric_limits<double>::quiet_NaN(); },
         wave::step(0.0)};
     opm::OpmOptions oo;
     oo.alpha = 0.5;
-    const auto res = opm::simulate_opm(sys, u, 1e-9, 8, oo);
-    EXPECT_TRUE(std::isnan(res.coeffs(0, 0)) || std::isnan(res.coeffs.max_abs()));
+    try {
+        const auto res = opm::simulate_opm(sys, u, 1e-9, 8, oo);
+        FAIL() << "expected solver_error(nonfinite_input)";
+    } catch (const opmsim::solver_error& e) {
+        EXPECT_EQ(e.code(), opmsim::ErrorCode::nonfinite_input);
+        EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+    }
 }
 
 TEST(FailureInjection, EmptyNetlistRejected) {

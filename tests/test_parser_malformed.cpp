@@ -1,0 +1,164 @@
+/// \file test_parser_malformed.cpp
+/// \brief Table-driven malformed-netlist rejection: every bad deck must
+///        throw std::invalid_argument whose message carries the offending
+///        deck line number (where one exists) and a recognizable reason —
+///        never a crash, a silent default, or a bare number-parse error.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/parser.hpp"
+
+namespace circuit = opmsim::circuit;
+
+namespace {
+
+struct BadDeck {
+    const char* name;      ///< row label for failure messages
+    const char* deck;      ///< full deck text (title on line 1)
+    const char* expect1;   ///< required substring of the what() message
+    const char* expect2;   ///< second required substring ("" to skip)
+};
+
+const std::vector<BadDeck> kBadDecks = {
+    {"bad_suffix",
+     "* t\nR1 a 0 5#\n.end\n",
+     "netlist line 2", "bad suffix"},
+    {"not_a_number",
+     "* t\nR1 a 0 xyz\n.end\n",
+     "netlist line 2", "not a number"},
+    {"too_few_fields",
+     "* t\nR1 a 0\n.end\n",
+     "netlist line 2", "too few fields"},
+    {"nonpositive_resistance",
+     "* t\nR1 a 0 -5\n.end\n",
+     "netlist line 2", "resistance must be positive"},
+    {"nonpositive_capacitance",
+     "* t\nC1 a 0 0\n.end\n",
+     "netlist line 2", "capacitance must be positive"},
+    {"cpe_order_out_of_range",
+     "* t\nP1 a 0 CPE(1u 2.5)\n.end\n",
+     "netlist line 2", "CPE order"},
+    {"cpe_missing_alpha",
+     "* t\nP1 a 0 CPE(1u)\n.end\n",
+     "netlist line 2", "CPE needs c and alpha"},
+    // A leading R card keeps the unknown 'Q' line from being consumed by
+    // the SPICE first-line-is-the-title convention.
+    {"unsupported_element",
+     "* t\nR0 a 0 1\nQ1 a 0 b 1\n.end\n",
+     "netlist line 3", "unsupported element"},
+    {"unsupported_directive",
+     "* t\n.ac dec 10 1 1k\n.end\n",
+     "netlist line 2", "unsupported directive"},
+    {"tran_step_not_below_stop",
+     "* t\nR1 a 0 1\n.tran 5 1\n.end\n",
+     "netlist line 3", ".tran needs 0 < step < stop"},
+    {"tran_missing_args",
+     "* t\nR1 a 0 1\n.tran 1n\n.end\n",
+     "netlist line 3", ".tran needs step and stop"},
+    {"continuation_without_card",
+     "* t\n+ 1 2\n.end\n",
+     "netlist line 2", "continuation with no previous card"},
+    {"card_after_end",
+     "* t\nR1 a 0 1\n.end\nR2 b 0 2\n",
+     "netlist line 4", "card after .end"},
+    {"pwl_single_breakpoint",
+     "* t\nV1 in 0 PWL(0 1)\n.end\n",
+     "netlist line 2", "PWL needs at least two breakpoints"},
+    {"sin_zero_frequency",
+     "* t\nV1 in 0 SIN(0 1 0)\n.end\n",
+     "netlist line 2", "SIN needs a positive frequency"},
+    {"dc_missing_value",
+     "* t\nV1 in 0 DC\n.end\n",
+     "netlist line 2", "DC needs a value"},
+    {"exp_nonpositive_tau",
+     "* t\nV1 in 0 EXP(0 1 0 0)\n.end\n",
+     "netlist line 2", "EXP needs a positive tau"},
+    {"vccs_too_few_nodes",
+     "* t\nG1 a 0 b 1\n.end\n",
+     "netlist line 2", "VCCS needs 4 nodes and gm"},
+    {"empty_deck",
+     "",
+     "empty deck", ""},
+    {"comment_only_deck",
+     "* nothing here\n; still nothing\n\n",
+     "empty deck", ""},
+};
+
+} // namespace
+
+TEST(ParserMalformed, EveryBadDeckThrowsWithLineNumberAndReason) {
+    for (const BadDeck& row : kBadDecks) {
+        try {
+            const circuit::ParsedDeck deck = circuit::parse_netlist(row.deck);
+            (void)deck;
+            FAIL() << row.name << ": expected std::invalid_argument";
+        } catch (const std::invalid_argument& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(row.expect1), std::string::npos)
+                << row.name << ": missing '" << row.expect1 << "' in: " << msg;
+            if (row.expect2[0] != '\0') {
+                EXPECT_NE(msg.find(row.expect2), std::string::npos)
+                    << row.name << ": missing '" << row.expect2
+                    << "' in: " << msg;
+            }
+        } catch (const std::exception& e) {
+            FAIL() << row.name << ": wrong exception type: " << e.what();
+        }
+    }
+}
+
+TEST(ParserMalformed, DuplicateElementNamesRejectedAtBuildMna) {
+    // The parser accepts the deck (names are just labels to it); the MNA
+    // builder owns the uniqueness invariant and must name the offender.
+    const char* deck_text =
+        "* dup\n"
+        "V1 in 0 DC 1\n"
+        "L1 in mid 1n\n"
+        "L1 mid 0 2n\n"
+        ".end\n";
+    const circuit::ParsedDeck deck = circuit::parse_netlist(deck_text);
+    try {
+        circuit::build_mna(deck.netlist);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate branch element name 'L1'"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(ParserMalformed, UnknownNodeLookupNamesTheNode) {
+    const circuit::ParsedDeck deck =
+        circuit::parse_netlist("* t\nR1 a 0 1\n.end\n");
+    EXPECT_NO_THROW((void)deck.node("a"));
+    EXPECT_EQ(deck.node("0"), 0);
+    try {
+        (void)deck.node("nope");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("unknown node 'nope'"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParserMalformed, GoodDeckStillParses) {
+    // Guard the guard: the table above must be rejecting bad decks, not
+    // decks in general.
+    const char* good =
+        "* rc lowpass\n"
+        "V1 in 0 PULSE(0 1 0 1n 1n 5n 12n)\n"
+        "R1 in out 1k\n"
+        "C1 out 0 1u\n"
+        ".tran 10n 5u\n"
+        ".end\n";
+    const circuit::ParsedDeck deck = circuit::parse_netlist(good);
+    EXPECT_EQ(deck.inputs.size(), 1u);
+    EXPECT_GT(deck.netlist.num_nodes(), 0);
+    EXPECT_DOUBLE_EQ(deck.tran_stop, 5e-6);
+}

@@ -1,0 +1,473 @@
+/// \file test_robustness.cpp
+/// \brief Numerical-health and failure-isolation layer: the error
+///        taxonomy, the LU condition/pivot-growth monitors, every edge of
+///        the graceful-degradation ladder (exercised through deterministic
+///        fault injection), cooperative run control, and the fault
+///        harness's own firing-window semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/power_grid.hpp"
+#include "la/dense.hpp"
+#include "la/dense_lu.hpp"
+#include "la/sparse.hpp"
+#include "la/sparse_lu.hpp"
+#include "opm/diagnostics.hpp"
+#include "opm/solve_cache.hpp"
+#include "util/fault_inject.hpp"
+#include "util/status.hpp"
+
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace circuit = opmsim::circuit;
+namespace fault = opmsim::fault;
+
+using opmsim::Diagnostics;
+using opmsim::ErrorCode;
+using opmsim::Status;
+using opmsim::solver_error;
+using Kernel = la::SparseLuOptions::Kernel;
+
+namespace {
+
+/// Deterministic xorshift PRNG (no <random> to keep values platform-fixed).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : s_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+    double uniform() {
+        s_ ^= s_ << 13;
+        s_ ^= s_ >> 7;
+        s_ ^= s_ << 17;
+        return static_cast<double>(s_ % 1000003u + 1) / 1000004.0;
+    }
+    la::index_t index(la::index_t bound) {
+        return static_cast<la::index_t>(uniform() * static_cast<double>(bound)) %
+               bound;
+    }
+
+private:
+    std::uint64_t s_;
+};
+
+/// Random diagonally-bumped sparse matrix (always nonsingular).
+la::CscMatrix random_sparse(la::index_t n, la::index_t extra_per_row, Rng& rng) {
+    la::Triplets t(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        t.add(i, i, 4.0 + rng.uniform());
+        for (la::index_t k = 0; k < extra_per_row; ++k)
+            t.add(i, rng.index(n), rng.uniform() - 0.5);
+    }
+    return la::CscMatrix(t);
+}
+
+la::CscMatrix power_grid_pencil(la::index_t nxy, double lead = 2.0 / 1e-11) {
+    circuit::PowerGridSpec spec;
+    spec.nx = spec.ny = nxy;
+    spec.nz = 3;
+    const circuit::PowerGrid pg = circuit::build_power_grid(spec);
+    return la::CscMatrix::add(lead, pg.mna.e, -1.0, pg.mna.a);
+}
+
+la::Vectord dense_oracle(const la::CscMatrix& a, const la::Vectord& b) {
+    return la::solve_dense(a.to_dense(), b);
+}
+
+bool has_degradation(const Diagnostics& diag, const std::string& prefix) {
+    for (const std::string& d : diag.degradations)
+        if (d.rfind(prefix, 0) == 0) return true;
+    return false;
+}
+
+double max_abs_err(const la::Vectord& a, const la::Vectord& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/// Every fault-armed test runs through this fixture so a failing assertion
+/// can never leak an armed site into later tests.
+class FaultLadder : public ::testing::Test {
+protected:
+    void TearDown() override { fault::disarm_all(); }
+};
+
+} // namespace
+
+// ---- taxonomy -------------------------------------------------------------
+
+TEST(StatusTaxonomy, DefaultStatusIsOkAndCodesHaveStableNames) {
+    const Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code, ErrorCode::ok);
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::ok), "ok");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::nonfinite_input),
+                 "nonfinite_input");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::singular_pencil),
+                 "singular_pencil");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::pivot_breakdown),
+                 "pivot_breakdown");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::nonfinite_state),
+                 "nonfinite_state");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::deadline_exceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::cancelled), "cancelled");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::invalid_scenario),
+                 "invalid_scenario");
+    EXPECT_STREQ(opmsim::error_code_name(ErrorCode::internal_error),
+                 "internal_error");
+}
+
+TEST(StatusTaxonomy, SolverErrorCarriesItsCodeAndIsANumericalError) {
+    const solver_error e(ErrorCode::nonfinite_state, "boom");
+    EXPECT_EQ(e.code(), ErrorCode::nonfinite_state);
+    // The taxonomy must not break existing catch(numerical_error) retries.
+    const opmsim::numerical_error* base = &e;
+    EXPECT_STREQ(base->what(), "boom");
+}
+
+TEST(StatusTaxonomy, CurrentExceptionClassification) {
+    const auto classify = [](auto&& thrower) -> Status {
+        try {
+            thrower();
+        } catch (...) {
+            return opmsim::status_from_current_exception();
+        }
+        return {};
+    };
+    Status st = classify(
+        [] { throw solver_error(ErrorCode::deadline_exceeded, "late"); });
+    EXPECT_EQ(st.code, ErrorCode::deadline_exceeded);
+    EXPECT_EQ(st.message, "late");
+
+    st = classify([] { throw opmsim::numerical_error("pivot died"); });
+    EXPECT_EQ(st.code, ErrorCode::pivot_breakdown);
+
+    st = classify([] { throw std::invalid_argument("bad scenario"); });
+    EXPECT_EQ(st.code, ErrorCode::invalid_scenario);
+
+    st = classify([] { throw std::runtime_error("surprise"); });
+    EXPECT_EQ(st.code, ErrorCode::internal_error);
+
+    st = classify([] { throw 42; });
+    EXPECT_EQ(st.code, ErrorCode::internal_error);
+}
+
+// ---- condition / pivot-growth monitors ------------------------------------
+
+TEST(LuMonitors, DenseWellConditionedMatrixReportsHealthyEstimates) {
+    la::Matrixd a(3, 3);
+    a(0, 0) = 2.0;
+    a(1, 1) = 3.0;
+    a(2, 2) = 4.0;
+    a(0, 1) = 0.5;
+    const la::DenseLu<double> lu(a);
+    // kappa_1(A) is ~2.4; the Hager estimate must land the right order.
+    EXPECT_GT(lu.rcond_estimate(), 0.1);
+    EXPECT_LE(lu.rcond_estimate(), 1.0 + 1e-12);
+    EXPECT_GE(lu.pivot_growth(), 1.0 - 1e-12);  // no elimination growth here
+    EXPECT_LT(lu.pivot_growth(), 2.0);
+    EXPECT_NEAR(lu.anorm1(), 4.0, 1e-15);  // max column abs sum
+}
+
+TEST(LuMonitors, DenseIllConditionedMatrixReportsTinyRcond) {
+    // Hilbert matrix, the classic ill-conditioned test case:
+    // kappa_1(H_10) ~ 3.5e13, so rcond must come out near 1e-14.
+    const la::index_t n = 10;
+    la::Matrixd h(n, n);
+    for (la::index_t i = 0; i < n; ++i)
+        for (la::index_t j = 0; j < n; ++j)
+            h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    const la::DenseLu<double> lu(h);
+    EXPECT_GT(lu.rcond_estimate(), 0.0);
+    EXPECT_LT(lu.rcond_estimate(), 1e-11);
+}
+
+TEST(LuMonitors, DenseSingularMessageNamesThePivotColumn) {
+    la::Matrixd a(3, 3);
+    a(0, 0) = 1.0;
+    a(2, 2) = 1.0;  // column 1 identically zero
+    try {
+        const la::DenseLu<double> lu(a);
+        FAIL() << "expected solver_error(singular_pencil)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::singular_pencil);
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("pivot column 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("max|A|"), std::string::npos) << msg;
+    }
+}
+
+TEST(LuMonitors, DenseTransposeSolveMatchesKnownSolution) {
+    Rng rng(7);
+    const la::index_t n = 6;
+    la::Matrixd a(n, n);
+    for (la::index_t i = 0; i < n; ++i) {
+        for (la::index_t j = 0; j < n; ++j) a(i, j) = rng.uniform() - 0.5;
+        a(i, i) += 4.0;
+    }
+    la::Vectord x(static_cast<std::size_t>(n));
+    for (la::index_t i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(i)] = rng.uniform();
+    la::Vectord b(static_cast<std::size_t>(n), 0.0);
+    for (la::index_t j = 0; j < n; ++j)  // b = A^T x
+        for (la::index_t i = 0; i < n; ++i)
+            b[static_cast<std::size_t>(j)] +=
+                a(i, j) * x[static_cast<std::size_t>(i)];
+    const la::DenseLu<double> lu(a);
+    lu.solve_transpose_in_place(b);
+    EXPECT_LT(max_abs_err(b, x), 1e-12);
+}
+
+TEST(LuMonitors, SparseMonitorsAgreeWithDenseOnPowerGridPencil) {
+    const la::CscMatrix a = power_grid_pencil(3);
+    const la::SparseLu slu(a);
+    const la::DenseLu<double> dlu(a.to_dense());
+    EXPECT_GT(slu.rcond_estimate(), 0.0);
+    EXPECT_LE(slu.rcond_estimate(), 1.0 + 1e-12);
+    // Same estimator on the same matrix: the two must agree to the order.
+    const double ratio = slu.rcond_estimate() / dlu.rcond_estimate();
+    EXPECT_GT(ratio, 0.05);
+    EXPECT_LT(ratio, 20.0);
+    EXPECT_GT(slu.pivot_growth(), 0.0);
+    EXPECT_TRUE(std::isfinite(slu.pivot_growth()));
+    EXPECT_NEAR(slu.anorm1(), dlu.anorm1(), 1e-9 * dlu.anorm1());
+}
+
+TEST(LuMonitors, SparseTransposeSolveMatchesKnownSolution) {
+    Rng rng(11);
+    const la::index_t n = 12;
+    const la::CscMatrix a = random_sparse(n, 3, rng);
+    la::Vectord x(static_cast<std::size_t>(n));
+    for (la::index_t i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(i)] = rng.uniform() - 0.5;
+    // b = A^T x straight off the CSC arrays.
+    la::Vectord b(static_cast<std::size_t>(n), 0.0);
+    const auto& cp = a.col_ptr();
+    const auto& ri = a.row_ind();
+    const auto& vv = a.values();
+    for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t p = cp[static_cast<std::size_t>(j)];
+             p < cp[static_cast<std::size_t>(j) + 1]; ++p)
+            b[static_cast<std::size_t>(j)] +=
+                vv[static_cast<std::size_t>(p)] *
+                x[static_cast<std::size_t>(ri[static_cast<std::size_t>(p)])];
+    const la::SparseLu lu(a);
+    lu.solve_transpose_in_place(b);
+    EXPECT_LT(max_abs_err(b, x), 1e-10);
+}
+
+// ---- the graceful-degradation ladder, edge by edge ------------------------
+
+TEST_F(FaultLadder, RejectedSupernodalPivotFallsBackToScalarKernel) {
+    const la::CscMatrix a = power_grid_pencil(4);  // n >= 32, supernodal path
+    const la::Vectord ones(static_cast<std::size_t>(a.rows()), 1.0);
+    const la::Vectord ref = dense_oracle(a, ones);
+
+    fault::arm(fault::Site::supernodal_pivot, {.skip = 0, .fire = 1});
+    Diagnostics diag;
+    opm::PencilSolve ps(nullptr, a, diag);
+    EXPECT_EQ(fault::fire_count(fault::Site::supernodal_pivot), 1);
+    EXPECT_EQ(ps.lu().kernel_used(), Kernel::scalar);
+    EXPECT_TRUE(has_degradation(diag, "supernodal_fallback"))
+        << ::testing::PrintToString(diag.degradations);
+    EXPECT_GT(diag.rcond_estimate, 0.0);
+
+    la::Vectord b = ones;
+    ps.solve(b.data(), 1, a.rows());
+    double xmax = 0.0;
+    for (double v : ref) xmax = std::max(xmax, std::abs(v));
+    EXPECT_LT(max_abs_err(b, ref), 1e-9 * (1.0 + xmax));
+}
+
+TEST_F(FaultLadder, RejectedScalarPivotEscalatesToStrictPivotingRefactor) {
+    Rng rng(3);
+    const la::CscMatrix a = random_sparse(8, 2, rng);  // n < 32: scalar kernel
+    const la::Vectord ones(8, 1.0);
+    const la::Vectord ref = dense_oracle(a, ones);
+
+    fault::arm(fault::Site::scalar_pivot, {.skip = 0, .fire = 1});
+    Diagnostics diag;
+    opm::PencilSolve ps(nullptr, a, diag);
+    // First factorization consumed the firing window and threw; the strict
+    // pivot_tol = 1.0 retry then succeeded.
+    EXPECT_EQ(fault::fire_count(fault::Site::scalar_pivot), 1);
+    EXPECT_TRUE(has_degradation(diag, "pivot_tol_refactor"))
+        << ::testing::PrintToString(diag.degradations);
+
+    la::Vectord b = ones;
+    ps.solve(b.data(), 1, 8);
+    EXPECT_LT(max_abs_err(b, ref), 1e-10);
+}
+
+TEST_F(FaultLadder, PerturbedFactorTriggersIterativeRefinement) {
+    Rng rng(5);
+    const la::CscMatrix a = random_sparse(10, 2, rng);
+    la::Vectord b(10);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform();
+    const la::Vectord ref = dense_oracle(a, b);
+
+    // Scale one stored factor value by 0.1%: the raw solve is ~1e-3 off,
+    // which must trip the residual check and be refined away.
+    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1, .value = 1.001});
+    Diagnostics diag;
+    opm::PencilSolve ps(nullptr, a, diag);
+    la::Vectord x = b;
+    ps.solve(x.data(), 1, 10);
+    EXPECT_GE(diag.refinement_iters, 1);
+    EXPECT_LT(max_abs_err(x, ref), 1e-8);
+}
+
+TEST_F(FaultLadder, NonFiniteSolutionInvalidatesCachedFactorAndRecovers) {
+    Rng rng(9);
+    const la::CscMatrix a = random_sparse(9, 2, rng);
+    la::Vectord b(9);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform() - 0.5;
+    const la::Vectord ref = dense_oracle(a, b);
+
+    // The first factorization lands in the cache with a NaN poisoned into
+    // it; the finite-RHS / non-finite-solution guard must invalidate that
+    // cache entry, refactor fresh (the fault window is exhausted by then)
+    // and re-solve.
+    opm::SolveCaches caches;
+    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1});
+    Diagnostics diag;
+    opm::PencilSolve ps(&caches, a, diag);
+    la::Vectord x = b;
+    ps.solve(x.data(), 1, 9);
+    EXPECT_TRUE(has_degradation(diag, "cache_invalidated"))
+        << ::testing::PrintToString(diag.degradations);
+    for (double v : x) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(max_abs_err(x, ref), 1e-10);
+
+    // The poisoned factor must never be served again: a fresh PencilSolve
+    // on the same caches gets the clean rebuilt factor.
+    Diagnostics diag2;
+    opm::PencilSolve ps2(&caches, a, diag2);
+    la::Vectord x2 = b;
+    ps2.solve(x2.data(), 1, 9);
+    EXPECT_TRUE(diag2.degradations.empty());
+    EXPECT_LT(max_abs_err(x2, ref), 1e-10);
+}
+
+TEST_F(FaultLadder, NonFinitePencilRejectedUpFront) {
+    la::Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 1, std::numeric_limits<double>::quiet_NaN());
+    const la::CscMatrix a(t);
+    Diagnostics diag;
+    try {
+        opm::PencilSolve ps(nullptr, a, diag);
+        FAIL() << "expected solver_error(nonfinite_input)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::nonfinite_input);
+    }
+}
+
+TEST_F(FaultLadder, NonFiniteRhsRejectedWithTaxonomyCode) {
+    Rng rng(13);
+    const la::CscMatrix a = random_sparse(6, 2, rng);
+    Diagnostics diag;
+    opm::PencilSolve ps(nullptr, a, diag);
+    la::Vectord b(6, 1.0);
+    b[3] = std::numeric_limits<double>::infinity();
+    try {
+        ps.solve(b.data(), 1, 6);
+        FAIL() << "expected solver_error(nonfinite_input)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::nonfinite_input);
+    }
+}
+
+// ---- cooperative run control ----------------------------------------------
+
+TEST(RunControl, CancellationTokenSurfacesAsCancelled) {
+    std::atomic<bool> stop{true};
+    opmsim::util::RunControl rc;
+    rc.cancel = &stop;
+    try {
+        opmsim::util::check_run_control(&rc);
+        FAIL() << "expected solver_error(cancelled)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::cancelled);
+    }
+    stop.store(false);
+    EXPECT_NO_THROW(opmsim::util::check_run_control(&rc));
+}
+
+TEST(RunControl, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+    opmsim::util::RunControl rc;
+    rc.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    ASSERT_TRUE(rc.has_deadline());
+    try {
+        opmsim::util::check_run_control(&rc);
+        FAIL() << "expected solver_error(deadline_exceeded)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::deadline_exceeded);
+    }
+}
+
+TEST(RunControl, NullAndDefaultControlsAreNoOps) {
+    EXPECT_NO_THROW(opmsim::util::check_run_control(nullptr));
+    const opmsim::util::RunControl rc;  // no deadline, no token
+    EXPECT_FALSE(rc.has_deadline());
+    EXPECT_NO_THROW(opmsim::util::check_run_control(&rc));
+}
+
+TEST_F(FaultLadder, InjectedDeadlineFiresEvenWithoutAControl) {
+    fault::arm(fault::Site::deadline, {.skip = 0, .fire = 1});
+    try {
+        opmsim::util::check_run_control(nullptr);
+        FAIL() << "expected solver_error(deadline_exceeded)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::deadline_exceeded);
+    }
+    // Window exhausted: the next check passes again.
+    EXPECT_NO_THROW(opmsim::util::check_run_control(nullptr));
+    EXPECT_EQ(fault::fire_count(fault::Site::deadline), 1);
+}
+
+// ---- the fault harness itself ---------------------------------------------
+
+TEST_F(FaultLadder, FiringWindowIsDeterministic) {
+    fault::arm(fault::Site::scalar_pivot, {.skip = 2, .fire = 2});
+    std::vector<bool> hits;
+    for (int i = 0; i < 6; ++i)
+        hits.push_back(fault::fire(fault::Site::scalar_pivot));
+    const std::vector<bool> expect = {false, false, true, true, false, false};
+    EXPECT_EQ(hits, expect);
+    EXPECT_EQ(fault::fire_count(fault::Site::scalar_pivot), 2);
+
+    // Re-arming resets the counters.
+    fault::arm(fault::Site::scalar_pivot, {.skip = 0, .fire = 1});
+    EXPECT_TRUE(fault::fire(fault::Site::scalar_pivot));
+    EXPECT_FALSE(fault::fire(fault::Site::scalar_pivot));
+    EXPECT_EQ(fault::fire_count(fault::Site::scalar_pivot), 1);
+}
+
+TEST_F(FaultLadder, UnarmedSitesNeverFireAndPerturbIsExact) {
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::fire(fault::Site::refactor_pivot));
+    EXPECT_EQ(fault::fire_count(fault::Site::refactor_pivot), 0);
+    EXPECT_EQ(fault::perturb(fault::Site::factor_values, 3.5), 3.5);
+
+    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1, .value = 2.0});
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_EQ(fault::perturb(fault::Site::factor_values, 3.0), 6.0);
+    EXPECT_EQ(fault::perturb(fault::Site::factor_values, 3.0), 3.0);
+
+    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1});  // NaN value
+    EXPECT_TRUE(std::isnan(fault::perturb(fault::Site::factor_values, 3.0)));
+
+    fault::disarm(fault::Site::factor_values);
+    EXPECT_FALSE(fault::enabled());
+}
