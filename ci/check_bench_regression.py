@@ -19,7 +19,8 @@ Usage:
       [--gate REGEX] [--factor 3.0]
 
 Only benchmarks whose name matches --gate (default: the sparse-LU and
-multi-term sweeps plus the Engine batch throughput) are *enforced*; every
+multi-term sweeps, the Engine batch throughput, and the streaming SoE
+history sweep) are *enforced*; every
 benchmark present in both files participates in the median normalization.
 """
 
@@ -100,7 +101,7 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("smoke")
     ap.add_argument("--gate",
-                    default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_SparseLuSolveMulti|BM_MultiTermSweep|BM_EngineBatch",
+                    default=r"BM_SparseLuGrid|BM_SparseLuRefactor|BM_SparseLuSolveMulti|BM_MultiTermSweep|BM_EngineBatch|BM_HistorySweepSoE",
                     help="regex of benchmark names the gate enforces")
     ap.add_argument("--factor", type=float, default=3.0,
                     help="maximum allowed normalized slowdown")

@@ -181,21 +181,22 @@ constexpr SolverAdapter kRegistry[] = {
 
 bool options_equal(const opm::OpmOptions& a, const opm::OpmOptions& b) {
     return a.alpha == b.alpha && a.form == b.form && a.path == b.path &&
-           a.history == b.history && a.x0 == b.x0 &&
+           a.history == b.history && a.soe_tol == b.soe_tol && a.x0 == b.x0 &&
            a.quad_points == b.quad_points && a.quad_panels == b.quad_panels;
 }
 
 bool options_equal(const opm::MultiTermOptions& a,
                    const opm::MultiTermOptions& b) {
     return a.path == b.path && a.history == b.history &&
-           a.quad_points == b.quad_points && a.quad_panels == b.quad_panels;
+           a.soe_tol == b.soe_tol && a.quad_points == b.quad_points &&
+           a.quad_panels == b.quad_panels;
 }
 
 bool options_equal(const opm::AdaptiveOptions& a, const opm::AdaptiveOptions& b) {
     return a.alpha == b.alpha && a.tol == b.tol && a.atol == b.atol &&
            a.h_init == b.h_init && a.h_min == b.h_min && a.h_max == b.h_max &&
-           a.x0 == b.x0 && a.quad_points == b.quad_points &&
-           a.max_steps == b.max_steps &&
+           a.history == b.history && a.soe_tol == b.soe_tol && a.x0 == b.x0 &&
+           a.quad_points == b.quad_points && a.max_steps == b.max_steps &&
            a.max_consecutive_rejects == b.max_consecutive_rejects;
 }
 
@@ -206,7 +207,8 @@ bool options_equal(const transient::TransientOptions& a,
 
 bool options_equal(const transient::GrunwaldOptions& a,
                    const transient::GrunwaldOptions& b) {
-    return a.alpha == b.alpha && a.history == b.history && a.x0 == b.x0;
+    return a.alpha == b.alpha && a.history == b.history &&
+           a.soe_tol == b.soe_tol && a.x0 == b.x0;
 }
 
 } // namespace

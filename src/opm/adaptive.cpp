@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,9 +39,13 @@ namespace {
 /// grow and roll back as the error controller probes candidate steps.
 class AdaptiveEngine {
 public:
+    /// `t_end` / `h_floor` bound the kernel arguments the far-history sum
+    /// can see (h_floor = smallest step any caller may push — the
+    /// step-doubling driver probes halves down to h_min / 2); they size
+    /// the soe kernel-fit interval and are unused on the dense path.
     AdaptiveEngine(const DescriptorSystem& sys,
                    const std::vector<wave::Source>& inputs,
-                   const AdaptiveOptions& opt)
+                   const AdaptiveOptions& opt, double t_end, double h_floor)
         : sys_(sys), inputs_(inputs), opt_(opt), n_(sys.num_states()),
           inv_gamma_a2_(1.0 / std::tgamma(opt.alpha + 2.0)) {
         if (!opt_.x0.empty()) ax0_ = sys_.a.matvec(opt_.x0);
@@ -48,6 +53,34 @@ public:
         if (opt_.alpha == 1.0) {
             runsum_z_.push_back(Vectord(static_cast<std::size_t>(n_), 0.0));
             runsum_g_.push_back(Vectord(static_cast<std::size_t>(n_), 0.0));
+        }
+        // soe fast path: only meaningful for genuinely fractional memory
+        // (alpha = 1 already has the exact running-sum path; alpha > 1 is
+        // outside the kernel fitter's domain — silently stay exact).
+        if (opt_.history == HistoryBackend::soe && opt_.alpha > 0.0 &&
+            opt_.alpha < 1.0) {
+            // Round the fit interval to dyadic classes so nearby horizons
+            // (and cached vs uncached runs on them) share one table.
+            const double tmin = std::exp2(std::floor(std::log2(h_floor)));
+            const double tmax = std::exp2(std::ceil(std::log2(t_end)));
+            kfit_ = opt_.caches != nullptr
+                        ? opt_.caches->soe_kernel(opt_.alpha, tmin, tmax,
+                                                  opt_.soe_tol)
+                        : fit_soe_kernel(opt_.alpha, tmin, tmax, opt_.soe_tol);
+            // A fit this bad would corrupt the waveform outright (the grid
+            // is degenerate, e.g. t_end / h_floor ~ 1e15) — fall back to
+            // the exact dense path rather than degrade silently.
+            soe_active_ = kfit_.rel_error <= 0.1;
+        }
+        if (soe_active_) {
+            const std::size_t kn =
+                static_cast<std::size_t>(kfit_.modes()) *
+                static_cast<std::size_t>(n_);
+            soe_sz_.assign(kn, 0.0);
+            soe_sg_.assign(kn, 0.0);
+            diag_.history_backend = HistoryBackend::soe;
+            diag_.soe_modes = static_cast<int>(2 * kfit_.modes());
+            diag_.soe_fit_error = kfit_.rel_error;
         }
     }
 
@@ -69,6 +102,7 @@ public:
         steps_.push_back(h);
         edges_.push_back(edges_.empty() ? h : edges_.back() + h);
         gcols_.push_back(forcing(t, h));
+        if (soe_active_) advance_soe_state();
         xcols_.push_back(solve_column());
 
         if (opt_.alpha == 1.0) {
@@ -102,6 +136,19 @@ public:
         if (opt_.alpha == 1.0) {
             runsum_z_.pop_back();
             runsum_g_.pop_back();
+        }
+        if (soe_active_) {
+            // Restore the mode states checkpointed by the matching push.
+            OPMSIM_ENSURE(!soe_snapshots_.empty(),
+                          "AdaptiveEngine::pop_step: soe checkpoint stack "
+                          "underflow (pops outran the snapshot window)");
+            const std::size_t kn = soe_sz_.size();
+            const Vectord& snap = soe_snapshots_.back();
+            std::copy(snap.begin(), snap.begin() + static_cast<std::ptrdiff_t>(kn),
+                      soe_sz_.begin());
+            std::copy(snap.begin() + static_cast<std::ptrdiff_t>(kn), snap.end(),
+                      soe_sg_.begin());
+            soe_snapshots_.pop_back();
         }
     }
 
@@ -144,12 +191,49 @@ private:
         const index_t j = static_cast<index_t>(steps_.size()) - 1;
         Vectord rhs(static_cast<std::size_t>(n_), 0.0);
         const double hjj = h_entry(j, j);
+        ++diag_.kernel_evals;
         if (opt_.alpha == 1.0) {
             const Vectord& az = runsum_z_.back();  // sum h_i Z_i, i < j
             Vectord acc = runsum_g_.back();        // sum h_i G_i, i < j
             la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], acc);
             rhs = std::move(acc);
             sys_.a.gaxpy(1.0, az, rhs);
+        } else if (soe_active_) {
+            // Exact near field: the adjacent column (kernel arguments
+            // reach down to 0 there, below the fit interval) and the
+            // diagonal.  Everything older flows in through the 2K mode
+            // states, weighted by the closed-form average of e^{-lambda t}
+            // over the new interval:
+            //   H_ij ~= sum_k [w_k (1-e^{-l_k h_j}) / (l_k^2 h_j)]
+            //           * e^{-l_k (a_j - b_i)} (1 - e^{-l_k h_i}),  i <= j-2,
+            // and the bracket is c_k below (the i-dependent factor lives in
+            // the states).
+            Vectord acc_z(static_cast<std::size_t>(n_), 0.0);
+            la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], rhs);
+            if (j >= 1) {
+                const double hadj = h_entry(j - 1, j);
+                ++diag_.kernel_evals;
+                la::axpy(hadj, xcols_[static_cast<std::size_t>(j - 1)], acc_z);
+                la::axpy(hadj, gcols_[static_cast<std::size_t>(j - 1)], rhs);
+            }
+            const double hj = steps_[static_cast<std::size_t>(j)];
+            const index_t nk = kfit_.modes();
+            for (index_t k = 0; k < nk; ++k) {
+                const double lam = kfit_.lambdas[static_cast<std::size_t>(k)];
+                const double ck = kfit_.weights[static_cast<std::size_t>(k)] *
+                                  (-std::expm1(-lam * hj)) / (lam * lam * hj);
+                const double* sz = soe_sz_.data() +
+                                   static_cast<std::size_t>(k) *
+                                       static_cast<std::size_t>(n_);
+                const double* sg = soe_sg_.data() +
+                                   static_cast<std::size_t>(k) *
+                                       static_cast<std::size_t>(n_);
+                for (index_t i = 0; i < n_; ++i) {
+                    acc_z[static_cast<std::size_t>(i)] += ck * sz[i];
+                    rhs[static_cast<std::size_t>(i)] += ck * sg[i];
+                }
+            }
+            sys_.a.gaxpy(1.0, acc_z, rhs);
         } else {
             Vectord acc_z(static_cast<std::size_t>(n_), 0.0);
             for (index_t i = 0; i < j; ++i) {
@@ -157,6 +241,7 @@ private:
                 la::axpy(hij, xcols_[static_cast<std::size_t>(i)], acc_z);
                 la::axpy(hij, gcols_[static_cast<std::size_t>(i)], rhs);
             }
+            diag_.kernel_evals += j;
             la::axpy(hjj, gcols_[static_cast<std::size_t>(j)], rhs);
             sys_.a.gaxpy(1.0, acc_z, rhs);
         }
@@ -166,6 +251,52 @@ private:
         diag_.solve_seconds += solve_timer.elapsed_s();
         ++diag_.rhs_solved;
         return rhs;
+    }
+
+    /// Advance the streaming mode states to the column just appended
+    /// (steps_/edges_/gcols_ already include it; xcols_ does not yet) and
+    /// checkpoint the previous states for rollback.  With jn the new
+    /// column index, each state
+    ///     S_k(jn) = sum_{i <= jn-2} e^{-l_k (a_jn - b_i)}
+    ///               * (1 - e^{-l_k h_i}) V_i            (V in {Z, G})
+    /// obeys the EXACT recurrence — valid for any step sequence —
+    ///     S_k(jn) = e^{-l_k h_{jn-1}} (S_k(jn-1)
+    ///               + (1 - e^{-l_k h_{jn-2}}) V_{jn-2}),
+    /// i.e. decay across the last committed interval and absorb the
+    /// column that just aged out of the exact near field.
+    void advance_soe_state() {
+        // Checkpoint BEFORE mutating: pop_step restores this snapshot.
+        // The window is bounded — the drivers only ever roll back the few
+        // most recent trial pushes, while committed steps retire their
+        // snapshots from the old end.
+        Vectord snap(soe_sz_.size() + soe_sg_.size());
+        std::copy(soe_sz_.begin(), soe_sz_.end(), snap.begin());
+        std::copy(soe_sg_.begin(), soe_sg_.end(),
+                  snap.begin() + static_cast<std::ptrdiff_t>(soe_sz_.size()));
+        soe_snapshots_.push_back(std::move(snap));
+        if (soe_snapshots_.size() > kSoeSnapshotWindow)
+            soe_snapshots_.pop_front();
+
+        const std::size_t jn = steps_.size() - 1;
+        if (jn < 2) return;  // no column older than the exact near field yet
+        const double hprev = steps_[jn - 1];
+        const double habs = steps_[jn - 2];
+        const Vectord& z = xcols_[jn - 2];
+        const Vectord& g = gcols_[jn - 2];
+        const index_t nk = kfit_.modes();
+        for (index_t k = 0; k < nk; ++k) {
+            const double lam = kfit_.lambdas[static_cast<std::size_t>(k)];
+            const double decay = std::exp(-lam * hprev);
+            const double absorb = -std::expm1(-lam * habs);
+            double* sz = soe_sz_.data() + static_cast<std::size_t>(k) *
+                                              static_cast<std::size_t>(n_);
+            double* sg = soe_sg_.data() + static_cast<std::size_t>(k) *
+                                              static_cast<std::size_t>(n_);
+            for (index_t i = 0; i < n_; ++i) {
+                sz[i] = decay * (sz[i] + absorb * z[static_cast<std::size_t>(i)]);
+                sg[i] = decay * (sg[i] + absorb * g[static_cast<std::size_t>(i)]);
+            }
+        }
     }
 
     /// Pencil cache keyed on H_jj = h^alpha / Gamma(alpha+2).  Every pencil
@@ -209,6 +340,17 @@ private:
     std::vector<Vectord> runsum_g_;   ///< alpha=1: sum h_i G_i prefix stack
     Vectord ax0_;
 
+    /// soe fast path: fitted kernel table and the K x n streaming mode
+    /// states for the solution (Z) and forcing (G) far histories, plus
+    /// the bounded rollback checkpoint window (each entry is one
+    /// concatenated (Sz, Sg) snapshot).
+    static constexpr std::size_t kSoeSnapshotWindow = 8;
+    bool soe_active_ = false;
+    SoeKernelFit kfit_;
+    std::vector<double> soe_sz_;
+    std::vector<double> soe_sg_;
+    std::deque<Vectord> soe_snapshots_;
+
     std::map<double, std::shared_ptr<const la::SparseLu>> lu_cache_;
     std::shared_ptr<const la::SparseLuSymbolic> symbolic_;  ///< one per pattern
     index_t factorizations_ = 0;
@@ -233,7 +375,9 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
     OPMSIM_REQUIRE(h_min <= h_init && h_init <= h_max,
                    "simulate_opm_adaptive: h_min <= h_init <= h_max violated");
 
-    AdaptiveEngine eng(sys, inputs, opt);
+    // The step-doubling trials probe half steps, so the smallest step the
+    // engine can ever see (and the soe kernel-fit left edge) is h_min / 2.
+    AdaptiveEngine eng(sys, inputs, opt, t_end, 0.5 * h_min);
     AdaptiveResult res;
     WallTimer total;
 
@@ -324,6 +468,53 @@ AdaptiveResult simulate_opm_adaptive(const DenseDescriptorSystem& sys,
                                      double t_end, const AdaptiveOptions& opt) {
     const DescriptorSystem s = sys.to_sparse();
     return simulate_opm_adaptive(s, inputs, t_end, opt);
+}
+
+AdaptiveResult simulate_opm_nonuniform(const DescriptorSystem& sys,
+                                       const std::vector<wave::Source>& inputs,
+                                       const Vectord& steps,
+                                       const AdaptiveOptions& opt) {
+    sys.validate();
+    OPMSIM_REQUIRE(!steps.empty(), "simulate_opm_nonuniform: empty step list");
+    OPMSIM_REQUIRE(opt.alpha > 0.0,
+                   "simulate_opm_nonuniform: alpha must be positive");
+    OPMSIM_REQUIRE(static_cast<index_t>(inputs.size()) == sys.num_inputs(),
+                   "simulate_opm_nonuniform: input count mismatch");
+    double t_end = 0.0, h_floor = steps[0];
+    for (const double h : steps) {
+        OPMSIM_REQUIRE(h > 0.0 && std::isfinite(h),
+                       "simulate_opm_nonuniform: every step must be positive "
+                       "and finite");
+        t_end += h;
+        h_floor = std::min(h_floor, h);
+    }
+
+    AdaptiveEngine eng(sys, inputs, opt, t_end, h_floor);
+    AdaptiveResult res;
+    WallTimer total;
+    double t = 0.0;
+    for (const double h : steps) {
+        util::check_run_control(opt.control);
+        eng.push_step(t, h);
+        t += h;
+        ++res.accepted;
+    }
+
+    const std::size_t m = eng.columns();
+    const index_t n = sys.num_states();
+    res.steps = eng.steps();
+    res.edges = basis::edges_from_steps(res.steps);
+    res.coeffs = la::Matrixd(n, static_cast<index_t>(m));
+    for (std::size_t j = 0; j < m; ++j)
+        for (index_t i = 0; i < n; ++i)
+            res.coeffs(i, static_cast<index_t>(j)) =
+                eng.solution()[j][static_cast<std::size_t>(i)];
+    res.factorizations = eng.factorizations();
+    res.diag = eng.diag();
+    res.diag.sweep_seconds =
+        std::max(0.0, total.elapsed_s() - res.diag.factor_seconds);
+    res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
+    return res;
 }
 
 } // namespace opmsim::opm

@@ -37,6 +37,20 @@ struct AdaptiveOptions {
     double h_min = 0.0;  ///< 0 => t_end * 1e-9
     double h_max = 0.0;  ///< 0 => t_end / 4
     Vectord x0;          ///< initial state (Caputo shift); empty = 0
+    /// History representation for the fractional column sweep.  The dense
+    /// default evaluates every exact Riemann–Liouville entry H~_ij — O(j)
+    /// kernel evaluations per column, O(m^2) per run.  `soe` fits the RL
+    /// kernel u^{alpha-1}/Gamma(alpha) by a sum of K exponentials once
+    /// (see opm/soe.hpp) and keeps the far history as 2K streaming mode
+    /// states whose recurrence is EXACT for any step sequence — O(K) per
+    /// column, with only the adjacent column and the diagonal still
+    /// computed exactly.  Requires alpha in (0, 1); outside that range
+    /// (and for the alpha = 1 running-sum fast path) the engine silently
+    /// uses the exact dense path and reports history_backend = naive.
+    /// Backends other than `soe` all mean "exact dense" here.
+    HistoryBackend history = HistoryBackend::automatic;
+    /// Relative fit tolerance for the `soe` kernel compression.
+    double soe_tol = 1e-8;
     int quad_points = 4;
     index_t max_steps = 200000;
     /// Force-accept after this many consecutive rejections.  Fractional
@@ -90,5 +104,17 @@ AdaptiveResult simulate_opm_adaptive(const DenseDescriptorSystem& sys,
                                      const std::vector<wave::Source>& inputs,
                                      double t_end,
                                      const AdaptiveOptions& opt = {});
+
+/// Simulate on a PRESCRIBED nonuniform grid: one column per entry of
+/// `steps` (every step > 0), no error control — the controller fields of
+/// `opt` (tol, h_*, max_*) are ignored; alpha, x0, history, soe_tol,
+/// quad_points, caches and control apply.  This is the integral-form
+/// adaptive engine driven without trial steps, so it is the oracle
+/// surface for clustered / equal / strongly graded step sequences and
+/// the direct way to use the `soe` streaming history on a user grid.
+AdaptiveResult simulate_opm_nonuniform(const DescriptorSystem& sys,
+                                       const std::vector<wave::Source>& inputs,
+                                       const Vectord& steps,
+                                       const AdaptiveOptions& opt = {});
 
 } // namespace opmsim::opm

@@ -46,6 +46,22 @@ struct Diagnostics {
     /// the adaptive integral sweep) report `naive`.
     opm::HistoryBackend history_backend = opm::HistoryBackend::naive;
 
+    /// Total sum-of-exponentials modes K carried by the history engine
+    /// (summed over terms for the multi-term engine; the adaptive soe
+    /// path reports Z-modes + G-modes).  0 when the sweep did not use the
+    /// soe backend.
+    int soe_modes = 0;
+    /// Worst fit error of the SoE tables used: l1 tail error for the
+    /// discrete row fits, max relative error for the adaptive kernel fit.
+    /// -1 when the soe backend was not used.
+    double soe_fit_error = -1.0;
+    /// History-kernel coefficient evaluations performed by the adaptive
+    /// sweep (h_entry calls on the dense path, per-mode coefficient pairs
+    /// on the soe path).  The dense path is Theta(steps^2), the soe path
+    /// Theta(K * steps) — tests gate sub-quadratic cost on this counter.
+    /// 0 for the non-adaptive solvers.
+    long kernel_evals = 0;
+
     /// Ordering chosen for the main pencil's symbolic analysis (the
     /// `automatic` policy is resolved; `natural` when nothing was factored).
     la::SparseLuOptions::Ordering ordering = la::SparseLuOptions::Ordering::natural;

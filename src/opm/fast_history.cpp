@@ -49,20 +49,56 @@ inline double rho1_advance(long double& r, double v) {
 
 HistoryBackend HistoryEngine::resolve(HistoryBackend b, index_t m) {
     if (b != HistoryBackend::automatic) return b;
+    // Degenerate / tiny m: below one panel width the blocked scatter never
+    // fires (base = m), leaving naive arithmetic plus useless accumulator
+    // allocations — fall back to naive cleanly.  `soe` is never chosen
+    // automatically: it is approximate and strictly opt-in.
+    if (m < kPanel) return HistoryBackend::naive;
     return m >= kFftCrossover ? HistoryBackend::fft : HistoryBackend::blocked;
 }
 
 HistoryEngine::HistoryEngine(Vectord coeffs, index_t n, index_t m,
-                             HistoryBackend backend, SolveCaches* caches)
+                             HistoryBackend backend, SolveCaches* caches,
+                             double soe_tol)
     : HistoryEngine(std::vector<Vectord>{std::move(coeffs)}, n, m, backend,
-                    caches) {}
+                    caches, soe_tol) {}
 
 HistoryEngine::HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
-                             HistoryBackend backend, SolveCaches* caches)
+                             HistoryBackend backend, SolveCaches* caches,
+                             double soe_tol)
     : rows_(std::move(rows)), caches_(caches), n_(n), m_(m),
       backend_(resolve(backend, m)) {
-    OPMSIM_REQUIRE(n >= 1 && m >= 1, "HistoryEngine: empty problem");
+    // m = 0 is a legal (if vacuous) engine: nothing may be pushed or
+    // queried, but construction must not trip over zero-sized plans.
+    OPMSIM_REQUIRE(n >= 1 && m >= 0, "HistoryEngine: empty problem");
     OPMSIM_REQUIRE(!rows_.empty(), "HistoryEngine: need at least one row");
+    if (backend_ == HistoryBackend::soe) {
+        // Streaming representation: a sliding ring of the last base_
+        // columns (the exact direct window, lags [1, base)) plus K fitted
+        // modes per term covering lags >= base.  No O(m) column storage is
+        // ever allocated — that is the point of the backend.
+        base_ = std::max<index_t>(std::min(kPanel, m_), 1);
+        ring_ = la::Matrixd(n_, base_);
+        fits_.reserve(rows_.size());
+        sstate_.resize(rows_.size());
+        for (std::size_t t = 0; t < rows_.size(); ++t) {
+            Vectord& row = rows_[t];
+            const index_t len =
+                std::min<index_t>(static_cast<index_t>(row.size()), m_);
+            SoeFit f = caches_ != nullptr
+                           ? caches_->soe_row(row, len, base_, soe_tol)
+                           : fit_soe_row(row.data(), len, base_, soe_tol);
+            sstate_[t].assign(
+                static_cast<std::size_t>(f.modes()) * static_cast<std::size_t>(n_),
+                0.0L);
+            fits_.push_back(std::move(f));
+            // Only the direct-window taps are needed from here on; free
+            // the O(m) row.
+            if (static_cast<index_t>(row.size()) > base_)
+                row.resize(static_cast<std::size_t>(base_));
+        }
+        return;
+    }
     x_ = la::Matrixd(n_, m_);
     if (backend_ != HistoryBackend::naive) {
         acc_.resize(rows_.size());
@@ -84,6 +120,36 @@ void HistoryEngine::history(index_t j, std::size_t term, Vectord& out) {
     OPMSIM_REQUIRE(term < rows_.size(), "HistoryEngine::history: term out of range");
     OPMSIM_ENSURE(j <= next_col_, "HistoryEngine::history: column not yet reachable");
     out.assign(static_cast<std::size_t>(n_), 0.0);
+
+    if (backend_ == HistoryBackend::soe) {
+        // Streaming contract: the ring window and the mode states are
+        // advanced by push(), so only the frontier column is answerable.
+        OPMSIM_REQUIRE(j == next_col_,
+                       "HistoryEngine::history: soe backend is streaming — "
+                       "history may only be queried at the frontier column");
+        // Exact direct window: lags 1 .. min(j, base-1) from the ring.
+        const index_t dmax = std::min<index_t>(j, base_ - 1);
+        for (index_t d = 1; d <= dmax; ++d) {
+            const double cd = coef(term, d);
+            if (cd == 0.0) continue;
+            const double* xi = ring_.col((j - d) % base_);
+            for (index_t r = 0; r < n_; ++r)
+                out[static_cast<std::size_t>(r)] += cd * xi[r];
+        }
+        // Mode tail: sum_k w_k S_k covers lags >= base.
+        const SoeFit& f = fits_[term];
+        const std::vector<long double>& st = sstate_[term];
+        for (index_t k = 0; k < f.modes(); ++k) {
+            const double wk = f.weights[static_cast<std::size_t>(k)];
+            const long double* sk = st.data() +
+                                    static_cast<std::size_t>(k) *
+                                        static_cast<std::size_t>(n_);
+            for (index_t r = 0; r < n_; ++r)
+                out[static_cast<std::size_t>(r)] +=
+                    wk * static_cast<double>(sk[r]);
+        }
+        return;
+    }
 
     if (backend_ == HistoryBackend::naive) {
         // Oracle path: accumulate in extended precision.  For operators
@@ -125,6 +191,33 @@ void HistoryEngine::history(index_t j, std::size_t term, Vectord& out) {
 void HistoryEngine::push(index_t j, const double* xj) {
     OPMSIM_REQUIRE(j == next_col_, "HistoryEngine::push: columns must arrive in order");
     OPMSIM_REQUIRE(j < m_, "HistoryEngine::push: column out of range");
+    if (backend_ == HistoryBackend::soe) {
+        // The column leaving the direct window at the NEXT query is
+        // X_{j+1-base}; absorb it into every mode state (S_k tracks
+        // sum_{i <= j-base} r_k^{(j-i)-base} X_i, so the entering column
+        // carries weight r^0 = 1), then commit X_j into its ring slot.
+        const index_t idx = j + 1 - base_;
+        if (idx >= 0) {
+            const double* enter =
+                idx == j ? xj : ring_.col(idx % base_);
+            for (std::size_t t = 0; t < rows_.size(); ++t) {
+                const SoeFit& f = fits_[t];
+                std::vector<long double>& st = sstate_[t];
+                for (index_t k = 0; k < f.modes(); ++k) {
+                    const long double rk = static_cast<long double>(
+                        f.rates[static_cast<std::size_t>(k)]);
+                    long double* sk = st.data() +
+                                      static_cast<std::size_t>(k) *
+                                          static_cast<std::size_t>(n_);
+                    for (index_t r = 0; r < n_; ++r)
+                        sk[r] = rk * sk[r] + static_cast<long double>(enter[r]);
+                }
+            }
+        }
+        std::copy(xj, xj + n_, ring_.col(j % base_));
+        ++next_col_;
+        return;
+    }
     std::copy(xj, xj + n_, x_.col(j));
     ++next_col_;
 
@@ -140,6 +233,35 @@ void HistoryEngine::push(index_t j, const double* xj) {
     // [a, a+2L).
     for (index_t len = base_; len < m_ && a % len == 0; len *= 2)
         scatter_block(a, len);
+}
+
+index_t HistoryEngine::soe_modes() const {
+    index_t k = 0;
+    for (const SoeFit& f : fits_) k += f.modes();
+    return k;
+}
+
+double HistoryEngine::soe_fit_error() const {
+    double e = 0.0;
+    for (const SoeFit& f : fits_) e = std::max(e, f.fit_error);
+    return e;
+}
+
+std::size_t HistoryEngine::resident_state_bytes() const {
+    std::size_t b = 0;
+    b += static_cast<std::size_t>(x_.rows()) *
+         static_cast<std::size_t>(x_.cols()) * sizeof(double);
+    for (const la::Matrixd& a : acc_)
+        b += static_cast<std::size_t>(a.rows()) *
+             static_cast<std::size_t>(a.cols()) * sizeof(double);
+    b += static_cast<std::size_t>(ring_.rows()) *
+         static_cast<std::size_t>(ring_.cols()) * sizeof(double);
+    for (const std::vector<long double>& s : sstate_)
+        b += s.size() * sizeof(long double);
+    for (const SoeFit& f : fits_)
+        b += (f.rates.size() + f.weights.size()) * sizeof(double);
+    for (const Vectord& r : rows_) b += r.size() * sizeof(double);
+    return b;
 }
 
 /// Blocked backend: fold the completed panel [a-P, a) into every future
@@ -284,16 +406,17 @@ void HistoryEngine::scatter_block(index_t a, index_t len) {
 
 DiffHistoryEngine::DiffHistoryEngine(double alpha, double h, index_t n,
                                      index_t m, HistoryBackend backend,
-                                     SolveCaches* caches)
+                                     SolveCaches* caches, double soe_tol)
     : eng_([&] {
           OPMSIM_REQUIRE(alpha > 0.0, "DiffHistoryEngine: bad operator");
           return std::vector<double>{alpha};
-      }(), h, n, m, backend, caches) {}
+      }(), h, n, m, backend, caches, soe_tol) {}
 
 MultiTermHistoryEngine::MultiTermHistoryEngine(const std::vector<double>& alphas,
                                                double h, index_t n, index_t m,
                                                HistoryBackend backend,
-                                               SolveCaches* caches)
+                                               SolveCaches* caches,
+                                               double soe_tol)
     : n_(n), backend_(HistoryEngine::resolve(backend, m)) {
     OPMSIM_REQUIRE(!alphas.empty(), "MultiTermHistoryEngine: no terms");
     OPMSIM_REQUIRE(h > 0.0 && n >= 1 && m >= 1,
@@ -324,11 +447,33 @@ MultiTermHistoryEngine::MultiTermHistoryEngine(const std::vector<double>& alphas
     groups_.resize(rows.size());
     for (std::size_t d = 0; d < rows.size(); ++d)
         if (!rows[d].empty())
-            groups_[d] = std::make_unique<HistoryEngine>(std::move(rows[d]), n,
-                                                         m, backend_, caches);
+            groups_[d] = std::make_unique<HistoryEngine>(
+                std::move(rows[d]), n, m, backend_, caches, soe_tol);
     r_.assign(static_cast<std::size_t>(max_depth),
               std::vector<long double>(static_cast<std::size_t>(n), 0.0L));
     vcol_.resize(static_cast<std::size_t>(n));
+}
+
+index_t MultiTermHistoryEngine::soe_modes() const {
+    index_t k = 0;
+    for (const auto& g : groups_)
+        if (g) k += g->soe_modes();
+    return k;
+}
+
+double MultiTermHistoryEngine::soe_fit_error() const {
+    double e = 0.0;
+    for (const auto& g : groups_)
+        if (g) e = std::max(e, g->soe_fit_error());
+    return e;
+}
+
+std::size_t MultiTermHistoryEngine::resident_state_bytes() const {
+    std::size_t b = 0;
+    for (const auto& g : groups_)
+        if (g) b += g->resident_state_bytes();
+    for (const auto& rt : r_) b += rt.size() * sizeof(long double);
+    return b;
 }
 
 void MultiTermHistoryEngine::history(index_t j, std::size_t term, Vectord& out) {
@@ -365,7 +510,8 @@ void MultiTermHistoryEngine::push(index_t j, const double* xj) {
 }
 
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
-                           HistoryBackend backend, SolveCaches* caches) {
+                           HistoryBackend backend, SolveCaches* caches,
+                           double soe_tol) {
     const index_t n = x.rows();
     const index_t m = x.cols();
     OPMSIM_REQUIRE(op.size() >= m, "toeplitz_apply: coefficient row too short");
@@ -411,9 +557,10 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
         return y;
     }
 
-    // Stream the columns through a history engine; the diagonal term
-    // c0 X_j completes the inclusive sum.
-    HistoryEngine eng(op.coeffs, n, m, be, caches);
+    // Stream the columns through a history engine (the soe backend's
+    // frontier-only contract is honored by construction); the diagonal
+    // term c0 X_j completes the inclusive sum.
+    HistoryEngine eng(op.coeffs, n, m, be, caches, soe_tol);
     const double c0 = op.coeffs[0];
     Vectord h;
     for (index_t j = 0; j < m; ++j) {
@@ -428,7 +575,8 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
 }
 
 la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
-                                HistoryBackend backend, SolveCaches* caches) {
+                                HistoryBackend backend, SolveCaches* caches,
+                                double soe_tol) {
     OPMSIM_REQUIRE(alpha >= 0.0 && h > 0.0, "diff_toeplitz_apply: bad operator");
     if (alpha == 0.0) return x;  // D^0 = I
     const index_t n = x.rows();
@@ -457,7 +605,7 @@ la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
     const double fa = alpha - static_cast<double>(k);
     frac.coeffs = caches != nullptr ? caches->frac_diff_series(fa, m)
                                     : frac_diff_series(fa, m);
-    la::Matrixd y = toeplitz_apply(frac, v, be, caches);
+    la::Matrixd y = toeplitz_apply(frac, v, be, caches, soe_tol);
     y *= std::pow(2.0 / h, alpha);
     return y;
 }

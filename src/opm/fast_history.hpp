@@ -31,7 +31,21 @@
 ///                Each block is one batched FFT convolution with a
 ///                per-level cached kernel spectrum (fftx::RealConvPlan),
 ///                giving O(m log^2 m · n) total.
-///  * `automatic` — fft above a measured crossover in m, blocked below.
+///  * `soe`     — sum-of-exponentials kernel compression (opm/soe.hpp):
+///                the tail lags d >= B of each row are fitted by K modes
+///                c_d ~= sum_k w_k r_k^{d-B}, each realized as the scalar
+///                recurrence S_k <- r_k S_k + X_enter.  History state is
+///                O((K + B) n) — independent of m — and each step costs
+///                O((K + B) n), so million-step transients run in O(m)
+///                time and O(1) memory.  Approximate at the fit tolerance
+///                (reported per engine); OPT-IN ONLY — `automatic` never
+///                resolves to it.  Streaming contract: history(j) may only
+///                be queried at the frontier j = #pushed (all sweeps
+///                comply).
+///  * `automatic` — fft above a measured crossover in m, blocked in the
+///                midrange, naive below one panel width (where the
+///                blocked scatter degenerates to the naive loop plus
+///                bookkeeping).
 ///
 /// The engine is *batched*: one instance evaluates the histories of K
 /// coefficient rows against the SAME pushed column stream (the multi-term
@@ -52,6 +66,7 @@
 
 #include "la/dense.hpp"
 #include "opm/operational.hpp"
+#include "opm/soe.hpp"
 
 namespace opmsim::fftx {
 class RealConvPlan;
@@ -65,7 +80,8 @@ enum class HistoryBackend {
     naive,     ///< direct per-column accumulation (oracle)
     blocked,   ///< register-tiled panel scatter
     fft,       ///< dyadic blocked FFT convolution
-    automatic  ///< fft above a crossover m, blocked below
+    automatic, ///< fft above a crossover m, blocked/naive below
+    soe        ///< streaming sum-of-exponentials compression (opt-in)
 };
 
 class HistoryEngine {
@@ -76,17 +92,20 @@ public:
     /// \param n       channel (state) count
     /// \param m       total column count
     /// \param caches  optional cross-run cache bundle (non-owning); the fft
-    ///                backend reuses matching convolution plans from it
+    ///                backend reuses matching convolution plans from it and
+    ///                the soe backend reuses fitted mode tables
+    /// \param soe_tol absolute-l1 fit tolerance for the soe backend's
+    ///                kernel compression (ignored by the exact backends)
     HistoryEngine(Vectord coeffs, index_t n, index_t m,
                   HistoryBackend backend = HistoryBackend::automatic,
-                  SolveCaches* caches = nullptr);
+                  SolveCaches* caches = nullptr, double soe_tol = 1e-8);
 
     /// Batched engine: K coefficient rows evaluated against one shared
     /// column stream.  Rows may have different lengths (short rows are
     /// zero-extended).
     HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
                   HistoryBackend backend = HistoryBackend::automatic,
-                  SolveCaches* caches = nullptr);
+                  SolveCaches* caches = nullptr, double soe_tol = 1e-8);
     ~HistoryEngine();
 
     HistoryEngine(const HistoryEngine&) = delete;
@@ -107,8 +126,18 @@ public:
     /// Number of coefficient rows served by this engine.
     [[nodiscard]] std::size_t num_terms() const { return rows_.size(); }
 
-    /// Resolve `automatic` to a concrete backend for m columns.
+    /// Resolve `automatic` to a concrete backend for m columns.  Never
+    /// returns `soe`: the approximate backend is strictly opt-in.
     static HistoryBackend resolve(HistoryBackend b, index_t m);
+
+    /// Total SoE mode count across all terms (0 for exact backends).
+    [[nodiscard]] index_t soe_modes() const;
+    /// Worst per-term SoE l1 fit error (0 for exact backends / zero tails).
+    [[nodiscard]] double soe_fit_error() const;
+    /// Bytes of resident per-step history state: the soe backend's ring
+    /// window + mode states + retained window taps; the exact backends
+    /// report their full O(m) column/accumulator storage.
+    [[nodiscard]] std::size_t resident_state_bytes() const;
 
 private:
     [[nodiscard]] double coef(std::size_t t, index_t d) const {
@@ -139,6 +168,16 @@ private:
     std::vector<std::complex<double>> spec_;
     Vectord rowa_, rowb_, outa_, outb_;
     std::vector<long double> hacc_;  ///< naive oracle accumulators
+
+    // soe backend state: per-term fitted mode tables, the sliding ring of
+    // the last base_ columns (slot j % base_), and per-term mode states
+    // S_k (K x n, mode-major) in extended precision — the marginal
+    // |r| = 1 modes (the exact alternating rho_1 tail) would otherwise
+    // accumulate double roundoff linearly in m.  This is the ONLY pushed-
+    // column storage the backend keeps: O((K + base) n), independent of m.
+    std::vector<SoeFit> fits_;
+    la::Matrixd ring_;
+    std::vector<std::vector<long double>> sstate_;
 };
 
 /// Batched engine for differential operators D^{alpha_k}: one instance
@@ -180,7 +219,8 @@ public:
     MultiTermHistoryEngine(const std::vector<double>& alphas, double h,
                            index_t n, index_t m,
                            HistoryBackend backend = HistoryBackend::automatic,
-                           SolveCaches* caches = nullptr);
+                           SolveCaches* caches = nullptr,
+                           double soe_tol = 1e-8);
 
     /// out = sum_{i<j} D^{alpha_term}_row[j-i] X_i (scaled).
     void history(index_t j, std::size_t term, Vectord& out);
@@ -194,6 +234,11 @@ public:
     }
 
     [[nodiscard]] HistoryBackend backend() const { return backend_; }
+
+    /// Aggregate SoE diagnostics over the depth-group engines.
+    [[nodiscard]] index_t soe_modes() const;
+    [[nodiscard]] double soe_fit_error() const;
+    [[nodiscard]] std::size_t resident_state_bytes() const;
 
 private:
     struct Term {
@@ -224,13 +269,20 @@ class DiffHistoryEngine {
 public:
     DiffHistoryEngine(double alpha, double h, index_t n, index_t m,
                       HistoryBackend backend = HistoryBackend::automatic,
-                      SolveCaches* caches = nullptr);
+                      SolveCaches* caches = nullptr, double soe_tol = 1e-8);
 
     /// out = sum_{i<j} D^alpha_row[j-i] X_i (scaled, like the raw operator).
     void history(index_t j, Vectord& out) { eng_.history(j, 0, out); }
 
     /// Commit solved column j (columns must arrive in order 0, 1, ...).
     void push(index_t j, const double* xj) { eng_.push(j, xj); }
+
+    [[nodiscard]] HistoryBackend backend() const { return eng_.backend(); }
+    [[nodiscard]] index_t soe_modes() const { return eng_.soe_modes(); }
+    [[nodiscard]] double soe_fit_error() const { return eng_.soe_fit_error(); }
+    [[nodiscard]] std::size_t resident_state_bytes() const {
+        return eng_.resident_state_bytes();
+    }
 
 private:
     MultiTermHistoryEngine eng_;
@@ -243,7 +295,8 @@ private:
 /// front), O(n m log m); other backends stream through a HistoryEngine.
 la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
                            HistoryBackend backend = HistoryBackend::automatic,
-                           SolveCaches* caches = nullptr);
+                           SolveCaches* caches = nullptr,
+                           double soe_tol = 1e-8);
 
 /// Y = X D^alpha in coefficient space: the full (diagonal-included) apply
 /// of the differential operator to a matrix whose columns are all known up
@@ -256,6 +309,7 @@ la::Matrixd toeplitz_apply(const UpperToeplitz& op, const la::Matrixd& x,
 /// X unchanged.
 la::Matrixd diff_toeplitz_apply(double alpha, double h, const la::Matrixd& x,
                                 HistoryBackend backend = HistoryBackend::automatic,
-                                SolveCaches* caches = nullptr);
+                                SolveCaches* caches = nullptr,
+                                double soe_tol = 1e-8);
 
 } // namespace opmsim::opm

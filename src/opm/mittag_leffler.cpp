@@ -8,13 +8,25 @@
 
 namespace opmsim::opm {
 
-namespace {
-
-/// 1/Gamma(x), returning 0 at the poles (x = 0, -1, -2, ...).
-double inv_gamma(double x) {
+double reciprocal_gamma(double x) {
+    // At the poles x = 0, -1, -2, ... the limit of 1/Gamma is exactly 0;
+    // raw 1/tgamma(x) would return 1/(+-inf or NaN) depending on the libm.
     if (x <= 0.0 && x == std::floor(x)) return 0.0;
+    // Left of the poles' neighborhood, go through the reflection formula
+    //   1/Gamma(x) = Gamma(1 - x) sin(pi x) / pi:
+    // tgamma(x) itself underflows to +-0 on much of the negative axis
+    // (its magnitude is ~pi / (Gamma(1-x) |sin(pi x)|)), which would turn
+    // a perfectly representable reciprocal into +-inf.
+    if (x < 0.5)
+        return std::tgamma(1.0 - x) *
+               std::sin(3.14159265358979323846 * x) / 3.14159265358979323846;
     return 1.0 / std::tgamma(x);
 }
+
+namespace {
+
+/// Local shorthand for the public pole-safe reciprocal.
+double inv_gamma(double x) { return reciprocal_gamma(x); }
 
 /// Power series sum_k z^k / Gamma(alpha k + beta), long-double accumulation.
 double ml_series(double alpha, double beta, double z) {
@@ -78,7 +90,10 @@ double ml_asymptotic_neg(double alpha, double beta, double z) {
 double mittag_leffler(double alpha, double beta, double z) {
     OPMSIM_REQUIRE(alpha > 0.0 && alpha <= 2.0,
                    "mittag_leffler: alpha must be in (0, 2]");
-    OPMSIM_REQUIRE(beta > 0.0, "mittag_leffler: beta must be positive");
+    // The series sum_k z^k / Gamma(alpha k + beta) is entire in beta: for
+    // beta <= 0 the leading 1/Gamma terms hit poles and contribute exactly
+    // 0 (reciprocal_gamma handles them), e.g. E_{1,-1}(z) = z^2 e^z.
+    OPMSIM_REQUIRE(std::isfinite(beta), "mittag_leffler: beta must be finite");
 
     // Exact special cases.
     if (alpha == 1.0 && beta == 1.0) return std::exp(z);

@@ -15,8 +15,18 @@
 
 namespace opmsim::opm {
 
+/// Pole-safe reciprocal gamma function 1/Gamma(x): exactly 0 at the
+/// poles x = 0, -1, -2, ... (the analytic limit), and evaluated through
+/// the reflection formula on the negative axis where tgamma itself
+/// under/overflows long before its reciprocal does.  This is the term
+/// factor of the ML series, where beta <= 0 makes the pole arguments
+/// reachable.
+double reciprocal_gamma(double x);
+
 /// Two-parameter Mittag-Leffler E_{alpha,beta}(z) for real z.
-/// Supported domain: 0 < alpha <= 2, beta > 0, z <= ~12 (any negative z).
+/// Supported domain: 0 < alpha <= 2, any finite beta (for beta <= 0 the
+/// leading series terms sit on Gamma poles and contribute exactly zero,
+/// e.g. E_{a,0}(z) = z E_{a,a}(z)), z <= ~12 (any negative z).
 /// Throws std::invalid_argument outside the supported domain.
 double mittag_leffler(double alpha, double beta, double z);
 

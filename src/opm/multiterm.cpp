@@ -173,8 +173,9 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
         Vectord wj(static_cast<std::size_t>(p));
         Vectord fj(static_cast<std::size_t>(n));
         for (std::size_t l = 0; l < sys.rhs.size(); ++l) {
-            const la::Matrixd w = diff_toeplitz_apply(sys.rhs[l].order, h, u,
-                                                      opt.history, opt.caches);
+            const la::Matrixd w =
+                diff_toeplitz_apply(sys.rhs[l].order, h, u, opt.history,
+                                    opt.caches, opt.soe_tol);
             for (index_t j = 0; j < m; ++j) {
                 for (index_t r = 0; r < p; ++r)
                     wj[static_cast<std::size_t>(r)] = w(r, j);
@@ -202,7 +203,12 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
     std::vector<double> alphas;
     alphas.reserve(sys.lhs.size());
     for (const auto& t : sys.lhs) alphas.push_back(t.order);
-    MultiTermHistoryEngine eng(alphas, h, n, m, opt.history, opt.caches);
+    MultiTermHistoryEngine eng(alphas, h, n, m, opt.history, opt.caches,
+                               opt.soe_tol);
+    if (eng.backend() == HistoryBackend::soe) {
+        res.diag.soe_modes = static_cast<int>(eng.soe_modes());
+        res.diag.soe_fit_error = eng.soe_fit_error();
+    }
 
     Vectord acc(static_cast<std::size_t>(n));
     Vectord rhs(static_cast<std::size_t>(n));

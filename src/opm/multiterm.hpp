@@ -66,6 +66,9 @@ struct MultiTermOptions {
     /// `blocked` the register-tiled panel scatter, `fft` the batched
     /// O(n m log^2 m) blocked-convolution scheme; `automatic` picks by m.
     HistoryBackend history = HistoryBackend::automatic;
+    /// Absolute l1 fit tolerance for the `soe` history backend (same
+    /// semantics as OpmOptions::soe_tol; ignored by the exact backends).
+    double soe_tol = 1e-8;
     int quad_points = 4;  ///< input projection quadrature order
     int quad_panels = 1;  ///< composite panels per interval
     /// Optional cross-run cache bundle (same semantics as

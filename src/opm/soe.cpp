@@ -1,0 +1,273 @@
+#include "opm/soe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace opmsim::opm {
+
+namespace {
+
+/// Weighted least squares min ||A v - y||_2 by modified Gram–Schmidt QR in
+/// long double with two re-orthogonalization passes and a drop tolerance:
+/// a column that is (numerically) dependent on the kept ones is dropped —
+/// its coefficient comes back 0 — which is what regularizes the nearly
+/// collinear exponential dictionaries without a ridge term distorting the
+/// fit.  `a` is column-major and consumed in place.
+std::vector<long double> mgs_lsq(std::vector<std::vector<long double>>& a,
+                                 const std::vector<long double>& y) {
+    const std::size_t nc = a.size();
+    std::vector<long double> coef(nc, 0.0L);
+    if (nc == 0) return coef;
+    const std::size_t ns = y.size();
+
+    const auto dot = [ns](const std::vector<long double>& u,
+                          const std::vector<long double>& v) {
+        long double s = 0.0L;
+        for (std::size_t i = 0; i < ns; ++i) s += u[i] * v[i];
+        return s;
+    };
+
+    std::vector<std::size_t> kept;
+    std::vector<std::vector<long double>> q;  // orthonormal kept columns
+    std::vector<std::vector<long double>> r;  // r[p][t]: projection of kept
+                                              // column p onto q_t (t < p)
+    std::vector<long double> diag;            // r[p][p]
+    for (std::size_t k = 0; k < nc; ++k) {
+        std::vector<long double>& col = a[k];
+        const long double n0 = std::sqrt(dot(col, col));
+        std::vector<long double> rk(q.size(), 0.0L);
+        for (int pass = 0; pass < 2; ++pass)
+            for (std::size_t t = 0; t < q.size(); ++t) {
+                const long double s = dot(q[t], col);
+                rk[t] += s;
+                for (std::size_t i = 0; i < ns; ++i) col[i] -= s * q[t][i];
+            }
+        const long double nn = std::sqrt(dot(col, col));
+        if (!(n0 > 0.0L) || nn < 1e-13L * n0) continue;  // dependent: drop
+        for (auto& v : col) v /= nn;
+        kept.push_back(k);
+        r.push_back(std::move(rk));
+        diag.push_back(nn);
+        q.push_back(std::move(col));
+    }
+
+    // Back-substitute R v = Q^T y over the kept columns.
+    const std::size_t nk = kept.size();
+    std::vector<long double> z(nk);
+    for (std::size_t p = 0; p < nk; ++p) z[p] = dot(q[p], y);
+    std::vector<long double> v(nk, 0.0L);
+    for (std::size_t p = nk; p-- > 0;) {
+        long double s = z[p];
+        for (std::size_t t = p + 1; t < nk; ++t) s -= r[t][p] * v[t];
+        v[p] = s / diag[p];
+    }
+    for (std::size_t p = 0; p < nk; ++p) coef[kept[p]] = v[p];
+    return coef;
+}
+
+/// Log-spaced decay-rate grid — the quadrature nodes of the diffusive
+/// representation, `per_decade` per decade of [lo, hi].
+std::vector<double> log_nodes(double lo, double hi, int per_decade) {
+    std::vector<double> out;
+    const double dec = std::log10(hi / lo);
+    const int count = std::max(2, static_cast<int>(std::ceil(dec * per_decade)) + 1);
+    for (int i = 0; i < count; ++i)
+        out.push_back(lo * std::pow(hi / lo,
+                                    static_cast<double>(i) /
+                                        static_cast<double>(count - 1)));
+    return out;
+}
+
+} // namespace
+
+SoeFit fit_soe_row(const double* c, index_t len, index_t window, double tol) {
+    OPMSIM_REQUIRE(window >= 1 && tol > 0.0, "fit_soe_row: bad parameters");
+    SoeFit best;
+    best.window = window;
+    if (len <= window) return best;
+    const index_t tail = len - window;  // lags d = window + d', d' in [0, tail)
+
+    long double l1 = 0.0L;
+    for (index_t d = 0; d < tail; ++d) l1 += std::abs(c[window + d]);
+    best.tail_l1 = static_cast<double>(l1);
+    if (best.tail_l1 == 0.0) return best;  // zero tail: zero modes, exact
+
+    best.fit_error = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+        // Sample lags: every lag of the dense head, then geometric.  Later
+        // rounds densify both the samples and the rate dictionary.
+        std::vector<index_t> samp;
+        for (index_t d = 0; d < std::min<index_t>(tail, 48); ++d)
+            samp.push_back(d);
+        const double ratio = 1.0 + 1.0 / (8.0 * (round + 1));
+        for (double d = 48.0; d < static_cast<double>(tail - 1); d *= ratio)
+            samp.push_back(static_cast<index_t>(d));
+        if (tail > 48) samp.push_back(tail - 1);
+        samp.erase(std::unique(samp.begin(), samp.end()), samp.end());
+        const std::size_t ns = samp.size();
+
+        // sqrt(bucket width) sample weights make the LS objective the
+        // trapezoid estimate of the l1-relevant squared error.
+        std::vector<long double> sw(ns, 1.0L);
+        for (std::size_t s = 0; s < ns; ++s) {
+            const double lo = s == 0 ? static_cast<double>(samp[0])
+                                     : 0.5 * static_cast<double>(samp[s - 1] + samp[s]);
+            const double hi = s + 1 == ns
+                                  ? static_cast<double>(samp[s])
+                                  : 0.5 * static_cast<double>(samp[s] + samp[s + 1]);
+            sw[s] = std::sqrt(static_cast<long double>(std::max(1.0, hi - lo)));
+        }
+
+        // Rate dictionary: r = +-1 exactly (marginal modes: the rho_1 tail
+        // is exactly alternating) plus both signs of e^{-lambda} on a log
+        // grid spanning "decays over the whole tail" .. "gone in a couple
+        // of lags past the window".
+        std::vector<double> rates;
+        rates.push_back(1.0);
+        rates.push_back(-1.0);
+        const double lmin = 0.25 / static_cast<double>(std::max<index_t>(tail, 4));
+        for (const double lam : log_nodes(lmin, 2.0, 7 + 4 * round)) {
+            rates.push_back(std::exp(-lam));
+            rates.push_back(-std::exp(-lam));
+        }
+
+        const auto build_cols = [&](const std::vector<double>& rs) {
+            std::vector<std::vector<long double>> cols(rs.size());
+            for (std::size_t k = 0; k < rs.size(); ++k) {
+                cols[k].resize(ns);
+                const double mag = std::abs(rs[k]);
+                const bool neg = rs[k] < 0.0;
+                for (std::size_t s = 0; s < ns; ++s) {
+                    const double d = static_cast<double>(samp[s]);
+                    double e = mag == 1.0 ? 1.0 : std::exp(d * std::log(mag));
+                    if (neg && (samp[s] & 1)) e = -e;
+                    cols[k][s] = static_cast<long double>(e) * sw[s];
+                }
+            }
+            return cols;
+        };
+        std::vector<long double> y(ns);
+        for (std::size_t s = 0; s < ns; ++s)
+            y[s] = static_cast<long double>(c[window + samp[s]]) * sw[s];
+
+        auto cols = build_cols(rates);
+        std::vector<long double> v = mgs_lsq(cols, y);
+
+        // Prune negligible modes (each mode's total l1 contribution bound)
+        // and refit on the survivors — the compression step.
+        std::vector<double> kept_r;
+        for (std::size_t k = 0; k < rates.size(); ++k) {
+            const double mag = std::abs(rates[k]);
+            const double reach =
+                mag == 1.0 ? static_cast<double>(tail)
+                           : std::min(static_cast<double>(tail), 1.0 / (1.0 - mag));
+            if (std::abs(static_cast<double>(v[k])) * reach > 0.005 * tol)
+                kept_r.push_back(rates[k]);
+        }
+        if (kept_r.empty()) kept_r.push_back(rates[0]);
+        auto kept_cols = build_cols(kept_r);
+        v = mgs_lsq(kept_cols, y);
+
+        // Exact l1 error over EVERY tail lag via the mode recurrences.
+        const std::size_t nk = kept_r.size();
+        std::vector<double> p(nk, 1.0), w(nk);
+        for (std::size_t k = 0; k < nk; ++k) w[k] = static_cast<double>(v[k]);
+        long double err = 0.0L;
+        for (index_t d = 0; d < tail; ++d) {
+            double approx = 0.0;
+            for (std::size_t k = 0; k < nk; ++k) {
+                approx += w[k] * p[k];
+                p[k] *= kept_r[k];
+            }
+            err += std::abs(approx - c[window + d]);
+        }
+
+        if (static_cast<double>(err) < best.fit_error) {
+            best.fit_error = static_cast<double>(err);
+            best.rates.assign(kept_r.begin(), kept_r.end());
+            best.weights = std::move(w);
+        }
+        if (best.fit_error <= tol) break;
+    }
+    return best;
+}
+
+SoeKernelFit fit_soe_kernel(double alpha, double tmin, double tmax, double tol) {
+    OPMSIM_REQUIRE(alpha > 0.0 && alpha < 1.0,
+                   "fit_soe_kernel: alpha must be in (0, 1)");
+    OPMSIM_REQUIRE(tmin > 0.0 && tmax > tmin && tol > 0.0,
+                   "fit_soe_kernel: bad fit interval / tolerance");
+    SoeKernelFit best;
+    best.alpha = alpha;
+    best.tmin = tmin;
+    best.tmax = tmax;
+    best.rel_error = std::numeric_limits<double>::infinity();
+
+    const double inv_gamma_a = 1.0 / std::tgamma(alpha);
+    const auto kernel = [&](double u) {
+        return std::pow(u, alpha - 1.0) * inv_gamma_a;
+    };
+
+    for (int round = 0; round < 3; ++round) {
+        // Relative fit: columns e^{-lambda u}/g(u) against target 1 on a
+        // log-spaced sample grid, so every magnitude decade of the kernel
+        // counts equally.
+        const std::vector<double> us =
+            log_nodes(tmin, tmax, 16 + 8 * round);
+        const std::size_t ns = us.size();
+        const std::vector<double> lams =
+            log_nodes(0.05 / tmax, 30.0 / tmin, 6 + 3 * round);
+
+        const auto build_cols = [&](const std::vector<double>& ls) {
+            std::vector<std::vector<long double>> cols(ls.size());
+            for (std::size_t k = 0; k < ls.size(); ++k) {
+                cols[k].resize(ns);
+                for (std::size_t s = 0; s < ns; ++s)
+                    cols[k][s] = static_cast<long double>(
+                        std::exp(-ls[k] * us[s]) / kernel(us[s]));
+            }
+            return cols;
+        };
+        std::vector<long double> y(ns, 1.0L);
+
+        auto cols = build_cols(lams);
+        std::vector<long double> v = mgs_lsq(cols, y);
+
+        // Prune modes whose best-case relative contribution is negligible
+        // (largest |w e^{-lambda u}/g(u)| is at the left edge), then refit.
+        std::vector<double> kept;
+        for (std::size_t k = 0; k < lams.size(); ++k)
+            if (std::abs(static_cast<double>(v[k])) *
+                    std::exp(-lams[k] * tmin) / kernel(tmin) >
+                1e-4 * tol)
+                kept.push_back(lams[k]);
+        if (kept.empty()) kept.push_back(lams.front());
+        auto kept_cols = build_cols(kept);
+        v = mgs_lsq(kept_cols, y);
+
+        // Max relative error on a denser validation grid.
+        double err = 0.0;
+        for (const double u : log_nodes(tmin, tmax, 48)) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < kept.size(); ++k)
+                s += static_cast<double>(v[k]) * std::exp(-kept[k] * u);
+            err = std::max(err, std::abs(s - kernel(u)) / kernel(u));
+        }
+
+        if (err < best.rel_error) {
+            best.rel_error = err;
+            best.lambdas.assign(kept.begin(), kept.end());
+            best.weights.resize(kept.size());
+            for (std::size_t k = 0; k < kept.size(); ++k)
+                best.weights[k] = static_cast<double>(v[k]);
+        }
+        if (best.rel_error <= tol) break;
+    }
+    return best;
+}
+
+} // namespace opmsim::opm

@@ -1,0 +1,96 @@
+#pragma once
+/// \file soe.hpp
+/// \brief Sum-of-exponentials compression of fractional history kernels.
+///
+/// Both fast-history representations in this repo keep the *exact* kernel
+/// (Toeplitz rows for the uniform sweeps, closed-form RL entries for the
+/// adaptive grid) and pay for it with O(m) history state.  The classical
+/// alternative — going back to the diffusive (spectral) representation of
+/// the power-law kernel,
+///     t^{a-1}/Gamma(a) = integral_0^inf  e^{-s t}  s^{-a}/Gamma(a)Gamma(1-a) ds,
+/// is to discretize that Laplace integral on a log grid and compress the
+/// quadrature nodes to K ~ log(range) * log(1/tol) modes, after which the
+/// whole memory term collapses to K scalar recurrences
+///     S_k <- r_k S_k + x_new           (discrete lag kernels)
+///     S_k <- e^{-lambda_k h} (S_k + c)  (continuous RL kernel, any step h)
+/// with O(K) state and O(K) work per step — the "short memory without
+/// forgetting" trick used across the fast fractional-ODE literature.
+///
+/// Two fitters live here:
+///
+///  * fit_soe_row — discrete: given a Toeplitz coefficient row c[d]
+///    (rho-series, Grünwald weights, integral series), approximate the
+///    *tail* lags d >= window by
+///        c[d] ~= sum_k w_k r_k^{d - window},      |r_k| <= 1,
+///    leaving lags below `window` to the engine's exact sliding window.
+///    The dictionary contains BOTH signs r = +-e^{-lambda} (the rho series
+///    has a smooth d^{-a-1} component from the q = 1 singularity and an
+///    alternating (-1)^d d^{a-1} component from q = -1 — the alternating
+///    one dominates for a in (0,1)) plus the exact marginal nodes r = +-1
+///    (the rho_1 tail is exactly 2 (-1)^d).  Node placement is a log grid
+///    over the decay-rate decades (the discrete diffusive quadrature);
+///    the least-squares solve + pruning pass is the Prony-style
+///    compression to the final K.
+///
+///  * fit_soe_kernel — continuous: approximate the Riemann–Liouville
+///    kernel u^{alpha-1}/Gamma(alpha) by sum_k w_k e^{-lambda_k u},
+///    uniformly in RELATIVE error on [tmin, tmax] (the kernel spans many
+///    decades of magnitude; absolute fitting would waste every digit on
+///    the left edge).  This is what the adaptive engine integrates in
+///    closed form over arbitrary step intervals.
+///
+/// Both fits are deterministic (fixed node grids, fixed sample grids, one
+/// densify-and-retry ladder), so memoizing them in SolveCaches returns
+/// bit-identical tables.
+
+#include "la/dense.hpp"
+
+namespace opmsim::opm {
+
+using la::index_t;
+using la::Vectord;
+
+/// Discrete sum-of-exponentials approximation of a Toeplitz row tail:
+///     c[d] ~= sum_k weights[k] * rates[k]^(d - window)  for d >= window.
+/// `weights` are the mode amplitudes AT the window edge (the r^{-window}
+/// normalization is folded in, so nothing here ever under/overflows).
+struct SoeFit {
+    Vectord rates;           ///< r_k, |r_k| <= 1 (both signs occur)
+    Vectord weights;         ///< amplitude of mode k at lag d = window
+    index_t window = 0;      ///< first lag the modes cover
+    double fit_error = 0.0;  ///< sum_{d >= window} |c_d - soe(d)| (exact, l1)
+    double tail_l1 = 0.0;    ///< sum_{d >= window} |c_d|
+
+    [[nodiscard]] index_t modes() const {
+        return static_cast<index_t>(rates.size());
+    }
+};
+
+/// Fit the tail lags [window, len) of row c (length len) at absolute-l1
+/// target `tol` (per unit of pushed-column magnitude: the history-sum
+/// error of the streaming engine is bounded by fit_error * max|X|).
+/// A row whose tail is identically zero yields zero modes; a tail the
+/// dictionary cannot represent (non-decaying arbitrary data) is returned
+/// with its achieved fit_error — callers decide whether to accept.
+SoeFit fit_soe_row(const double* c, index_t len, index_t window, double tol);
+
+/// Continuous sum-of-exponentials approximation of the RL kernel:
+///     u^{alpha-1}/Gamma(alpha) ~= sum_k weights[k] e^{-lambdas[k] u}
+/// uniformly in relative error on [tmin, tmax].
+struct SoeKernelFit {
+    Vectord lambdas;         ///< decay rates, all > 0
+    Vectord weights;
+    double alpha = 0.0;
+    double tmin = 0.0, tmax = 0.0;
+    double rel_error = 0.0;  ///< max relative error on the fit interval
+
+    [[nodiscard]] index_t modes() const {
+        return static_cast<index_t>(lambdas.size());
+    }
+};
+
+/// Fit u^{alpha-1}/Gamma(alpha), alpha in (0, 1), on [tmin, tmax]
+/// (0 < tmin < tmax) at relative target `tol`.
+SoeKernelFit fit_soe_kernel(double alpha, double tmin, double tmax, double tol);
+
+} // namespace opmsim::opm

@@ -35,6 +35,51 @@ Vectord SolveCaches::grunwald_weights(double alpha, index_t m) {
     return memoize(weights_, alpha, m, &opm::grunwald_weights);
 }
 
+namespace {
+/// FNV-1a over the fitted row prefix — the content part of the soe_row key.
+std::uint64_t fnv1a(const double* p, index_t len) {
+    std::uint64_t h = 14695981039346656037ULL;
+    const auto* b = reinterpret_cast<const unsigned char*>(p);
+    const std::size_t nbytes = static_cast<std::size_t>(len) * sizeof(double);
+    for (std::size_t i = 0; i < nbytes; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+} // namespace
+
+SoeFit SolveCaches::soe_row(const Vectord& row, index_t len, index_t window,
+                            double tol) {
+    const index_t n = std::min<index_t>(len, static_cast<index_t>(row.size()));
+    const auto key = std::make_tuple(fnv1a(row.data(), n), n, window, tol);
+    const std::lock_guard<std::mutex> lock(series_mutex_);
+    auto it = soe_rows_.find(key);
+    if (it != soe_rows_.end()) {
+        ++series_hits_;
+        return it->second;
+    }
+    ++series_misses_;
+    if (soe_rows_.size() >= kMaxSeries) soe_rows_.clear();
+    return soe_rows_.emplace(key, fit_soe_row(row.data(), n, window, tol))
+        .first->second;
+}
+
+SoeKernelFit SolveCaches::soe_kernel(double alpha, double tmin, double tmax,
+                                     double tol) {
+    const auto key = std::make_tuple(alpha, tmin, tmax, tol);
+    const std::lock_guard<std::mutex> lock(series_mutex_);
+    auto it = soe_kernels_.find(key);
+    if (it != soe_kernels_.end()) {
+        ++series_hits_;
+        return it->second;
+    }
+    ++series_misses_;
+    if (soe_kernels_.size() >= kMaxSeries) soe_kernels_.clear();
+    return soe_kernels_.emplace(key, fit_soe_kernel(alpha, tmin, tmax, tol))
+        .first->second;
+}
+
 std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,
                                                    const la::CscMatrix& pencil,
                                                    const la::SparseLuOptions& opt,

@@ -30,13 +30,16 @@
 /// threads.  The statistics getters are unsynchronized snapshots — read
 /// them between runs, not while workers are active.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 
 #include "la/factor_cache.hpp"
 #include "opm/diagnostics.hpp"
+#include "opm/soe.hpp"
 #include "util/status.hpp"
 
 namespace opmsim::fftx {
@@ -62,6 +65,21 @@ struct SolveCaches {
     /// Memoized Grünwald–Letnikov weights (-1)^j C(alpha, j), j < m.
     Vectord grunwald_weights(double alpha, index_t m);
 
+    /// Memoized sum-of-exponentials fit of a Toeplitz row tail (soe
+    /// history backend).  Keyed by a content hash of the row prefix plus
+    /// (len, window, tol): the fitters are deterministic, so a hit returns
+    /// a bit-identical table to a cold fit.  In the astronomically
+    /// unlikely event of a hash collision the table returned would still
+    /// be a valid SoE fit of *some* row at the same (len, window, tol) —
+    /// and the stored fit_error would expose it — but we accept the hash
+    /// as the identity here, like every content-addressed cache.
+    SoeFit soe_row(const Vectord& row, index_t len, index_t window, double tol);
+    /// Memoized continuous RL-kernel fit (adaptive soe path), keyed by
+    /// (alpha, tmin, tmax, tol).  Callers wanting cache/no-cache
+    /// bit-identical runs should canonicalize tmin/tmax (the adaptive
+    /// driver rounds them to dyadic classes) before calling.
+    SoeKernelFit soe_kernel(double alpha, double tmin, double tmax, double tol);
+
     [[nodiscard]] long series_hits() const { return series_hits_; }
     [[nodiscard]] long series_misses() const { return series_misses_; }
 
@@ -79,6 +97,13 @@ private:
     std::mutex series_mutex_;
     SeriesMap series_;
     SeriesMap weights_;
+    /// SoE fit memos, bounded like the series maps (kMaxSeries entries,
+    /// dropped wholesale when over-full — the fits are pure functions of
+    /// their keys).
+    std::map<std::tuple<std::uint64_t, index_t, index_t, double>, SoeFit>
+        soe_rows_;
+    std::map<std::tuple<double, double, double, double>, SoeKernelFit>
+        soe_kernels_;
     long series_hits_ = 0, series_misses_ = 0;
 };
 

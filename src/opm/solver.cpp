@@ -217,9 +217,9 @@ void sweep_recurrence(const DescriptorSystem& sys, const la::Matrixd& g,
 /// history rows — one shared coefficient stream drives all of them.
 void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
                          index_t nscen, double alpha, double h,
-                         HistoryBackend backend, SolveCaches* caches,
-                         const util::RunControl* control, la::Matrixd& x,
-                         Diagnostics& diag) {
+                         HistoryBackend backend, double soe_tol,
+                         SolveCaches* caches, const util::RunControl* control,
+                         la::Matrixd& x, Diagnostics& diag) {
     const index_t n = sys.num_states();
     const index_t nr = n * nscen;
     const index_t m = g.cols();
@@ -232,7 +232,11 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
     diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    DiffHistoryEngine eng(alpha, h, nr, m, backend, caches);
+    DiffHistoryEngine eng(alpha, h, nr, m, backend, caches, soe_tol);
+    if (eng.backend() == HistoryBackend::soe) {
+        diag.soe_modes = static_cast<int>(eng.soe_modes());
+        diag.soe_fit_error = eng.soe_fit_error();
+    }
     Vectord acc(static_cast<std::size_t>(nr));
     Vectord rhs(static_cast<std::size_t>(nr));
     for (index_t j = 0; j < m; ++j) {
@@ -254,9 +258,9 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
 /// through the fast-convolution machinery.
 void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
                         index_t nscen, const UpperToeplitz& hop,
-                        HistoryBackend backend, SolveCaches* caches,
-                        const util::RunControl* control, la::Matrixd& x,
-                        Diagnostics& diag) {
+                        HistoryBackend backend, double soe_tol,
+                        SolveCaches* caches, const util::RunControl* control,
+                        la::Matrixd& x, Diagnostics& diag) {
     const index_t n = sys.num_states();
     const index_t nr = n * nscen;
     const index_t m = g.cols();
@@ -269,9 +273,13 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
     diag.factor_seconds = t.elapsed_s();
 
     t.reset();
-    const la::Matrixd w = toeplitz_apply(hop, g, backend, caches);
+    const la::Matrixd w = toeplitz_apply(hop, g, backend, caches, soe_tol);
 
-    HistoryEngine eng(hop.coeffs, nr, m, backend, caches);
+    HistoryEngine eng(hop.coeffs, nr, m, backend, caches, soe_tol);
+    if (eng.backend() == HistoryBackend::soe) {
+        diag.soe_modes = static_cast<int>(eng.soe_modes());
+        diag.soe_fit_error = eng.soe_fit_error();
+    }
     Vectord acc(static_cast<std::size_t>(nr));
     Vectord rhs(static_cast<std::size_t>(nr));
     for (index_t j = 0; j < m; ++j) {
@@ -321,11 +329,11 @@ std::vector<OpmResult> simulate_opm_batch(
         sweep_recurrence(sys, g, nscen, h, opt.caches, opt.control, x, diag);
     } else if (opt.form == OpmForm::differential) {
         sweep_toeplitz_diff(sys, g, nscen, opt.alpha, h, opt.history,
-                            opt.caches, opt.control, x, diag);
+                            opt.soe_tol, opt.caches, opt.control, x, diag);
     } else {
         const UpperToeplitz hop = frac_integral_toeplitz(opt.alpha, h, m);
-        sweep_toeplitz_int(sys, g, nscen, hop, opt.history, opt.caches,
-                           opt.control, x, diag);
+        sweep_toeplitz_int(sys, g, nscen, hop, opt.history, opt.soe_tol,
+                           opt.caches, opt.control, x, diag);
     }
 
     // Per-scenario results.  The shared factor/sweep work is accounted to
@@ -346,6 +354,8 @@ std::vector<OpmResult> simulate_opm_batch(
             res.diag = diag;
         } else {
             res.diag.history_backend = diag.history_backend;
+            res.diag.soe_modes = diag.soe_modes;
+            res.diag.soe_fit_error = diag.soe_fit_error;
             res.diag.ordering = diag.ordering;
             // Report the shared batch factor as a cache hit only when a
             // cache bundle actually served it.

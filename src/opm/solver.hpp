@@ -96,8 +96,14 @@ struct OpmOptions {
     OpmPath path = OpmPath::automatic;
     /// History-sum backend for the Toeplitz sweeps: `naive` is the O(m^2)
     /// oracle loop, `blocked` the register-tiled panel scatter, `fft` the
-    /// O(m log^2 m) blocked-convolution scheme; `automatic` picks by m.
+    /// O(m log^2 m) blocked-convolution scheme, `soe` the streaming
+    /// sum-of-exponentials compression (O(K) state per row, opt-in);
+    /// `automatic` picks among the exact backends by m.
     HistoryBackend history = HistoryBackend::automatic;
+    /// Absolute l1 fit tolerance for the `soe` history backend's kernel
+    /// compression (ignored by the exact backends).  The history-sum
+    /// error per column is bounded by soe_tol * max column magnitude.
+    double soe_tol = 1e-8;
     Vectord x0;                           ///< initial state; empty = zero
     int quad_points = 4;                  ///< input projection quadrature
     int quad_panels = 1;                  ///< composite panels per interval

@@ -63,7 +63,11 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
         for (la::index_t s = 0; s < nscen; ++s)
             for (la::index_t i = 0; i < n; ++i)
                 states(s * n + i, 0) = opt.x0[static_cast<std::size_t>(i)];
-    opm::HistoryEngine eng(w, nr, m + 1, opt.history, opt.caches);
+    opm::HistoryEngine eng(w, nr, m + 1, opt.history, opt.caches, opt.soe_tol);
+    if (eng.backend() == opm::HistoryBackend::soe) {
+        diag.soe_modes = static_cast<int>(eng.soe_modes());
+        diag.soe_fit_error = eng.soe_fit_error();
+    }
     la::Vectord z0(static_cast<std::size_t>(nr), 0.0);
     eng.push(0, z0.data());
 
@@ -117,6 +121,8 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
             res.diag = diag;
         } else {
             res.diag.history_backend = diag.history_backend;
+            res.diag.soe_modes = diag.soe_modes;
+            res.diag.soe_fit_error = diag.soe_fit_error;
             res.diag.ordering = diag.ordering;
             // Report the shared batch factor as a cache hit only when a
             // cache bundle actually served it.

@@ -23,6 +23,9 @@ struct GrunwaldOptions {
     double alpha = 0.5;  ///< fractional order, > 0
     /// History-sum backend (same semantics as OpmOptions::history).
     opm::HistoryBackend history = opm::HistoryBackend::automatic;
+    /// Absolute l1 fit tolerance for the `soe` history backend (same
+    /// semantics as OpmOptions::soe_tol; ignored by the exact backends).
+    double soe_tol = 1e-8;
     /// Initial state, Caputo convention — the same shift as
     /// OpmOptions::x0 / AdaptiveOptions::x0: x(t) = x0 + z(t) with
     /// E d^alpha z = A z + (B u + A x0) and z(0) = 0 (the fractional

@@ -74,4 +74,25 @@ long fire_count(Site site);
 /// `v * spec.value`; otherwise returns `v` unchanged.
 double perturb(Site site, double v);
 
+/// RAII arming guard: arms `site` on construction, disarms it on scope
+/// exit.  This is the only exception-safe way to arm a site in a test
+/// body — a failed ASSERT throws past any manual disarm_all(), leaving
+/// the site armed for every later test in the process.  Non-copyable;
+/// nest one guard per site.
+class ScopedFault {
+public:
+    explicit ScopedFault(Site site, FaultSpec spec = {}) : site_(site) {
+        arm(site_, spec);
+    }
+    ~ScopedFault() { disarm(site_); }
+    ScopedFault(const ScopedFault&) = delete;
+    ScopedFault& operator=(const ScopedFault&) = delete;
+
+    /// Fires of the guarded site since arming.
+    [[nodiscard]] long fires() const { return fire_count(site_); }
+
+private:
+    Site site_;
+};
+
 } // namespace opmsim::fault

@@ -1,0 +1,236 @@
+/// \file test_adaptive_soe.cpp
+/// \brief The nonuniform-grid / adaptive integral-form engine with the
+///        streaming sum-of-exponentials history: oracle pins against the
+///        exact dense path on equal, clustered, strongly graded and random
+///        step sequences, the sub-quadratic kernel-evaluation gate, the
+///        controller (rollback) path, the out-of-domain fallbacks, and
+///        input validation of simulate_opm_nonuniform.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "opm/adaptive.hpp"
+
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+
+namespace {
+
+opm::DescriptorSystem mimo_system() {
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd{{1, 0.2, 0}, {0, 1, 0}, {0.1, 0, 1}};
+    sys.a = la::Matrixd{{-2, 1, 0}, {0, -3, 1}, {0.5, 0, -1}};
+    sys.b = la::Matrixd{{1, 0}, {0, 1}, {1, 1}};
+    return sys.to_sparse();
+}
+
+std::vector<wave::Source> mimo_inputs() {
+    return {wave::step(1.0), wave::sine(0.5, 3.0)};
+}
+
+double max_coeff_diff(const la::Matrixd& a, const la::Matrixd& b) {
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    double err = 0.0;
+    for (la::index_t j = 0; j < a.cols(); ++j)
+        for (la::index_t i = 0; i < a.rows(); ++i)
+            err = std::max(err, std::abs(a(i, j) - b(i, j)));
+    return err;
+}
+
+/// Run the prescribed-grid engine twice — exact dense vs soe — and return
+/// the coefficient difference, asserting the soe diagnostics on the way.
+double soe_vs_dense(const la::Vectord& steps, double alpha,
+                    bool expect_soe = true) {
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    opm::AdaptiveOptions dense, soe;
+    dense.alpha = soe.alpha = alpha;
+    soe.history = opm::HistoryBackend::soe;
+    soe.soe_tol = 1e-9;
+    const opm::AdaptiveResult rd = opm::simulate_opm_nonuniform(sys, u, steps, dense);
+    const opm::AdaptiveResult rs = opm::simulate_opm_nonuniform(sys, u, steps, soe);
+    EXPECT_EQ(rd.accepted, static_cast<la::index_t>(steps.size()));
+    EXPECT_EQ(rs.accepted, rd.accepted);
+    EXPECT_EQ(rd.diag.history_backend, opm::HistoryBackend::naive);
+    if (expect_soe) {
+        EXPECT_EQ(rs.diag.history_backend, opm::HistoryBackend::soe);
+        EXPECT_GT(rs.diag.soe_modes, 0);
+        EXPECT_GE(rs.diag.soe_fit_error, 0.0);
+        EXPECT_LT(rs.diag.kernel_evals, rd.diag.kernel_evals);
+    }
+    return max_coeff_diff(rd.coeffs, rs.coeffs);
+}
+
+} // namespace
+
+// ---- prescribed-grid oracles ----------------------------------------------
+
+TEST(AdaptiveSoe, EqualStepsMatchDense) {
+    // All-equal steps: the degenerate clustering case (the one the Parlett
+    // differential path cannot even represent — the integral form can).
+    const la::Vectord steps(384, 2.0 / 384);
+    EXPECT_LT(soe_vs_dense(steps, 0.6), 1e-8);
+}
+
+TEST(AdaptiveSoe, ClusteredStepsMatchDense) {
+    // Near-coincident runs of tiny steps between normal ones: exercises
+    // the mode-state recurrence with h varying by 3 orders of magnitude
+    // between adjacent columns.
+    la::Vectord steps;
+    double t = 0.0;
+    while (t < 1.5) {
+        steps.push_back(1e-2);
+        for (int k = 0; k < 6; ++k) steps.push_back(1e-5);
+        for (int k = 0; k < 3; ++k) steps.push_back(5e-3);
+        t += 1e-2 + 6e-5 + 1.5e-2;
+    }
+    EXPECT_LT(soe_vs_dense(steps, 0.5), 1e-8);
+}
+
+TEST(AdaptiveSoe, GeometricallyGradedStepsMatchDense) {
+    // Strongly nonuniform: h grows geometrically over ~4 decades, the
+    // startup mesh shape every fractional controller produces.
+    la::Vectord steps;
+    double h = 1e-5;
+    double t = 0.0;
+    while (t < 2.0) {
+        steps.push_back(h);
+        t += h;
+        h = std::min(h * 1.07, 0.02);
+    }
+    for (const double alpha : {0.3, 0.8}) {
+        EXPECT_LT(soe_vs_dense(steps, alpha), 1e-8) << "alpha=" << alpha;
+    }
+}
+
+TEST(AdaptiveSoe, RandomStepsMatchDense) {
+    std::mt19937 gen(2026);
+    std::uniform_real_distribution<double> dist(-3.5, -1.5);  // log10 h
+    la::Vectord steps;
+    double t = 0.0;
+    while (t < 1.0) {
+        const double h = std::pow(10.0, dist(gen));
+        steps.push_back(h);
+        t += h;
+    }
+    EXPECT_LT(soe_vs_dense(steps, 0.6), 1e-8);
+}
+
+TEST(AdaptiveSoe, KernelEvaluationsAreSubQuadratic) {
+    // The measured-cost acceptance gate, on the deterministic counter: the
+    // dense path evaluates H~_ij for every i <= j (~m^2/2 kernel evals),
+    // the soe path only the adjacent entry and the diagonal (~2m), with
+    // the far history carried by the mode recurrence.
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    const la::index_t m = 512;
+    const la::Vectord steps(static_cast<std::size_t>(m), 2.0 / static_cast<double>(m));
+    opm::AdaptiveOptions dense, soe;
+    dense.alpha = soe.alpha = 0.6;
+    soe.history = opm::HistoryBackend::soe;
+    const auto rd = opm::simulate_opm_nonuniform(sys, u, steps, dense);
+    const auto rs = opm::simulate_opm_nonuniform(sys, u, steps, soe);
+    EXPECT_GE(rd.diag.kernel_evals, m * (m - 1) / 2);  // O(m^2) dense
+    EXPECT_LE(rs.diag.kernel_evals, 4 * m);            // O(m) streaming
+    EXPECT_LT(max_coeff_diff(rd.coeffs, rs.coeffs), 1e-7);
+}
+
+// ---- the adaptive controller (rollback path) ------------------------------
+
+TEST(AdaptiveSoe, ControllerRunMatchesDenseIncludingRollback) {
+    // The step-doubling controller probes candidate steps and rolls them
+    // back (pop_step), so agreement of the FULL adaptive run — identical
+    // accepted-step sequence, waveforms equal to fit tolerance — is a
+    // direct test of the mode-state checkpointing.
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    opm::AdaptiveOptions dense, soe;
+    dense.alpha = soe.alpha = 0.6;
+    dense.tol = soe.tol = 1e-5;
+    soe.history = opm::HistoryBackend::soe;
+    soe.soe_tol = 1e-9;
+    const auto rd = opm::simulate_opm_adaptive(sys, u, 2.0, dense);
+    const auto rs = opm::simulate_opm_adaptive(sys, u, 2.0, soe);
+    ASSERT_GT(rd.rejected, 0) << "controller never rejected: rollback untested";
+    ASSERT_EQ(rs.accepted, rd.accepted)
+        << "soe history changed the controller's step decisions";
+    ASSERT_EQ(rs.steps.size(), rd.steps.size());
+    for (std::size_t j = 0; j < rd.steps.size(); ++j)
+        EXPECT_EQ(rs.steps[j], rd.steps[j]) << "step " << j;
+    EXPECT_LT(max_coeff_diff(rd.coeffs, rs.coeffs), 1e-7);
+    ASSERT_EQ(rs.outputs.size(), rd.outputs.size());
+    for (std::size_t c = 0; c < rd.outputs.size(); ++c) {
+        const auto& vd = rd.outputs[c].values();
+        const auto& vs = rs.outputs[c].values();
+        ASSERT_EQ(vs.size(), vd.size());
+        for (std::size_t k = 0; k < vd.size(); ++k)
+            EXPECT_NEAR(vs[k], vd[k], 1e-7);
+    }
+    EXPECT_LT(rs.diag.kernel_evals, rd.diag.kernel_evals / 4);
+}
+
+// ---- out-of-domain fallbacks ----------------------------------------------
+
+TEST(AdaptiveSoe, FallsBackToExactDenseOutsideAlphaDomain) {
+    // soe requires alpha in (0, 1); alpha = 1 has its own running-sum fast
+    // path and alpha > 1 the generalized integral kernel.  Requesting soe
+    // there must be a silent no-op: bit-identical results, backend
+    // reported as naive (exact dense), no modes.
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    const la::Vectord steps(128, 1.0 / 128);
+    for (const double alpha : {1.0, 1.5}) {
+        opm::AdaptiveOptions dense, soe;
+        dense.alpha = soe.alpha = alpha;
+        soe.history = opm::HistoryBackend::soe;
+        const auto rd = opm::simulate_opm_nonuniform(sys, u, steps, dense);
+        const auto rs = opm::simulate_opm_nonuniform(sys, u, steps, soe);
+        EXPECT_EQ(max_coeff_diff(rd.coeffs, rs.coeffs), 0.0) << "alpha=" << alpha;
+        EXPECT_EQ(rs.diag.history_backend, opm::HistoryBackend::naive);
+        EXPECT_EQ(rs.diag.soe_modes, 0);
+        EXPECT_EQ(rs.diag.soe_fit_error, -1.0);
+    }
+}
+
+TEST(AdaptiveSoe, ExactBackendNamesAreDenseHere) {
+    // AdaptiveOptions::history values other than soe all mean "exact
+    // dense" — requesting fft must not change anything.
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    const la::Vectord steps(96, 1.0 / 96);
+    opm::AdaptiveOptions a, b;
+    a.alpha = b.alpha = 0.7;
+    b.history = opm::HistoryBackend::fft;
+    const auto ra = opm::simulate_opm_nonuniform(sys, u, steps, a);
+    const auto rb = opm::simulate_opm_nonuniform(sys, u, steps, b);
+    EXPECT_EQ(max_coeff_diff(ra.coeffs, rb.coeffs), 0.0);
+    EXPECT_EQ(rb.diag.history_backend, opm::HistoryBackend::naive);
+}
+
+// ---- validation -----------------------------------------------------------
+
+TEST(AdaptiveSoe, NonuniformValidatesItsArguments) {
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    opm::AdaptiveOptions opt;
+    opt.alpha = 0.5;
+    EXPECT_THROW(opm::simulate_opm_nonuniform(sys, u, la::Vectord{}, opt),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        opm::simulate_opm_nonuniform(sys, u, la::Vectord{0.1, -0.1, 0.1}, opt),
+        std::invalid_argument);
+    EXPECT_THROW(
+        opm::simulate_opm_nonuniform(sys, u, la::Vectord{0.1, 0.0, 0.1}, opt),
+        std::invalid_argument);
+    // Wrong input count for a 2-input system.
+    EXPECT_THROW(opm::simulate_opm_nonuniform(sys, {wave::step(1.0)},
+                                              la::Vectord{0.1, 0.1}, opt),
+                 std::invalid_argument);
+    opt.alpha = -0.5;
+    EXPECT_THROW(opm::simulate_opm_nonuniform(sys, u, la::Vectord{0.1}, opt),
+                 std::invalid_argument);
+}

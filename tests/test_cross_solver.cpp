@@ -141,6 +141,18 @@ TEST(CrossSolver, MultiTermBackendsAgreeOnRandomSystems) {
                 << "seed=" << sc.seed << " K=" << sc.orders.size()
                 << " m=" << sc.m << " backend=" << static_cast<int>(be);
         }
+        // The soe backend is approximate by contract: pinned at its fit
+        // tolerance (soe_tol = 1e-8 kernel compression; the exact backends
+        // above pin 1e-10), through the same warm Engine handle.
+        {
+            opm::MultiTermOptions opt = base;
+            opt.history = opm::HistoryBackend::soe;
+            opt.soe_tol = 1e-8;
+            const auto got = run(engine, h, u, 1.5, sc.m, opt);
+            EXPECT_LT(rel_diff(ref.states, got.states), 1e-6)
+                << "seed=" << sc.seed << " K=" << sc.orders.size()
+                << " m=" << sc.m << " backend=soe";
+        }
     }
 }
 

@@ -1,0 +1,412 @@
+/// \file test_history_soe.cpp
+/// \brief The sum-of-exponentials streaming history backend against the
+///        exact backends: fitter contracts, engine-level oracles for every
+///        consumer (single-term, multi-term, Grünwald), the SolveCaches
+///        memo, resident-state bounds, and the degenerate-m boundary audit
+///        of resolve() / plan construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "opm/fast_history.hpp"
+#include "opm/fractional_series.hpp"
+#include "opm/multiterm.hpp"
+#include "opm/soe.hpp"
+#include "opm/solve_cache.hpp"
+#include "opm/solver.hpp"
+#include "transient/grunwald.hpp"
+
+namespace opm = opmsim::opm;
+namespace la = opmsim::la;
+namespace wave = opmsim::wave;
+
+namespace {
+
+constexpr double kSoeTol = 1e-8;
+
+la::Matrixd random_columns(la::index_t n, la::index_t m, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    la::Matrixd x(n, m);
+    for (la::index_t j = 0; j < m; ++j)
+        for (la::index_t i = 0; i < n; ++i) x(i, j) = dist(gen);
+    return x;
+}
+
+/// The 3-state MIMO descriptor system shared with test_opm_solver.
+opm::DescriptorSystem mimo_system() {
+    opm::DenseDescriptorSystem sys;
+    sys.e = la::Matrixd{{1, 0.2, 0}, {0, 1, 0}, {0.1, 0, 1}};
+    sys.a = la::Matrixd{{-2, 1, 0}, {0, -3, 1}, {0.5, 0, -1}};
+    sys.b = la::Matrixd{{1, 0}, {0, 1}, {1, 1}};
+    return sys.to_sparse();
+}
+
+std::vector<wave::Source> mimo_inputs() {
+    return {wave::step(1.0), wave::sine(0.5, 3.0)};
+}
+
+double max_coeff_diff(const la::Matrixd& a, const la::Matrixd& b) {
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.cols(), b.cols());
+    double err = 0.0;
+    for (la::index_t j = 0; j < a.cols(); ++j)
+        for (la::index_t i = 0; i < a.rows(); ++i)
+            err = std::max(err, std::abs(a(i, j) - b(i, j)));
+    return err;
+}
+
+} // namespace
+
+// ---- the fitters ----------------------------------------------------------
+
+TEST(SoeFit, CompressesFractionalRowsAtTolerance) {
+    // The three kernel families every consumer feeds the engine: the rho
+    // series (differential sweeps), the integral series, and the GL
+    // weights.  fit_error is the EXACT l1 tail error, so asserting on it
+    // is asserting the streaming history-sum error bound itself.
+    const la::index_t m = 4096;
+    for (const double alpha : {0.3, 0.5, 0.8}) {
+        const la::Vectord rho = opm::frac_diff_series(alpha, m);
+        const opm::SoeFit f = opm::fit_soe_row(rho.data(), m, 64, kSoeTol);
+        EXPECT_LE(f.fit_error, kSoeTol) << "rho alpha=" << alpha;
+        EXPECT_GT(f.modes(), 0);
+        EXPECT_LT(f.modes(), 256) << "compression failed, K ~ m";
+        for (la::index_t k = 0; k < f.modes(); ++k)
+            EXPECT_LE(std::abs(f.rates[static_cast<std::size_t>(k)]), 1.0);
+    }
+    const la::Vectord gi = opm::frac_int_series(0.5, m);
+    EXPECT_LE(opm::fit_soe_row(gi.data(), m, 64, kSoeTol).fit_error, kSoeTol);
+    const la::Vectord gl = opm::grunwald_weights(0.5, m);
+    EXPECT_LE(opm::fit_soe_row(gl.data(), m, 64, kSoeTol).fit_error, kSoeTol);
+}
+
+TEST(SoeFit, ZeroTailAndShortRowsYieldZeroModes) {
+    la::Vectord row(128, 0.0);
+    row[0] = 2.0;
+    row[1] = -1.0;  // inside the window: tail is identically zero
+    const opm::SoeFit f = opm::fit_soe_row(row.data(), 128, 64, kSoeTol);
+    EXPECT_EQ(f.modes(), 0);
+    EXPECT_EQ(f.fit_error, 0.0);
+    // len <= window: nothing to fit at all.
+    const opm::SoeFit g = opm::fit_soe_row(row.data(), 64, 64, kSoeTol);
+    EXPECT_EQ(g.modes(), 0);
+}
+
+TEST(SoeFit, KernelFitIsUniformlyRelativeAndKGrowsSlowly) {
+    // K-vs-tolerance: each extra ~2 digits of tolerance costs a bounded
+    // number of extra modes (K ~ log(tmax/tmin) * log(1/tol)), which is
+    // the whole complexity claim of the backend.
+    int k_prev = 0;
+    for (const double tol : {1e-4, 1e-6, 1e-8}) {
+        const opm::SoeKernelFit kf = opm::fit_soe_kernel(0.5, 1e-4, 2.0, tol);
+        EXPECT_LE(kf.rel_error, tol);
+        EXPECT_LT(kf.modes(), 128);
+        EXPECT_GE(kf.modes(), k_prev - 16);  // monotone up to grid jitter
+        k_prev = static_cast<int>(kf.modes());
+        // Spot-check the advertised relative error off the fit grid.
+        const double inv_g = 1.0 / std::tgamma(0.5);
+        for (const double u : {1.3e-4, 3.7e-3, 0.11, 1.7}) {
+            double s = 0.0;
+            for (la::index_t k = 0; k < kf.modes(); ++k)
+                s += kf.weights[static_cast<std::size_t>(k)] *
+                     std::exp(-kf.lambdas[static_cast<std::size_t>(k)] * u);
+            const double exact = std::pow(u, -0.5) * inv_g;
+            EXPECT_LE(std::abs(s - exact) / exact, 4.0 * tol) << "u=" << u;
+        }
+    }
+}
+
+TEST(SoeFit, RejectsBadParameters) {
+    la::Vectord row(8, 1.0);
+    EXPECT_THROW(opm::fit_soe_row(row.data(), 8, 0, kSoeTol),
+                 std::invalid_argument);
+    EXPECT_THROW(opm::fit_soe_row(row.data(), 8, 4, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(opm::fit_soe_kernel(1.5, 1e-3, 1.0, kSoeTol),
+                 std::invalid_argument);
+    EXPECT_THROW(opm::fit_soe_kernel(0.5, 1.0, 0.5, kSoeTol),
+                 std::invalid_argument);
+}
+
+// ---- streaming engine vs the naive oracle ---------------------------------
+
+TEST(SoeHistoryEngine, MatchesNaiveOnFractionalRows) {
+    const la::index_t n = 4, m = 1024;
+    const la::Matrixd x = random_columns(n, m, 77);
+    for (const double alpha : {0.4, 0.8}) {
+        const la::Vectord row = opm::frac_diff_series(alpha, m);
+        opm::HistoryEngine naive(row, n, m, opm::HistoryBackend::naive,
+                                 nullptr);
+        opm::HistoryEngine soe(row, n, m, opm::HistoryBackend::soe, nullptr,
+                               kSoeTol);
+        EXPECT_EQ(soe.backend(), opm::HistoryBackend::soe);
+        EXPECT_GT(soe.soe_modes(), 0);
+        EXPECT_LE(soe.soe_fit_error(), kSoeTol);
+        la::Vectord hn, hs;
+        double err = 0.0;
+        for (la::index_t j = 0; j < m; ++j) {
+            naive.history(j, hn);
+            soe.history(j, hs);
+            for (la::index_t i = 0; i < n; ++i)
+                err = std::max(err, std::abs(hn[static_cast<std::size_t>(i)] -
+                                             hs[static_cast<std::size_t>(i)]));
+            naive.push(j, x.col(j));
+            soe.push(j, x.col(j));
+        }
+        // Streaming error bound: fit_error * max|X| (X in [-1, 1] here).
+        EXPECT_LE(err, 4.0 * kSoeTol) << "alpha=" << alpha;
+    }
+}
+
+TEST(SoeHistoryEngine, StateIsOKnNotOmn) {
+    // The acceptance claim: resident history state O((K + window) n),
+    // independent of m.  Compare m = 16384 against m = 2048 — the exact
+    // backends grow 8x here, the soe engine must not grow at all (the
+    // fitted tables differ only in K by a handful of modes).
+    const la::index_t n = 8;
+    const la::Vectord row_small = opm::frac_diff_series(0.5, 2048);
+    const la::Vectord row_big = opm::frac_diff_series(0.5, 16384);
+    opm::HistoryEngine small(row_small, n, 2048, opm::HistoryBackend::soe,
+                             nullptr, kSoeTol);
+    opm::HistoryEngine big(row_big, n, 16384, opm::HistoryBackend::soe,
+                           nullptr, kSoeTol);
+    opm::HistoryEngine fft(row_big, n, 16384, opm::HistoryBackend::fft,
+                           nullptr);
+    EXPECT_LE(big.resident_state_bytes(),
+              2 * small.resident_state_bytes() + (1 << 16));
+    EXPECT_LT(big.resident_state_bytes(), fft.resident_state_bytes() / 4);
+}
+
+TEST(SoeHistoryEngine, FrontierOnlyQueriesAreEnforced) {
+    const la::Vectord row = opm::frac_diff_series(0.5, 256);
+    opm::HistoryEngine eng(row, 2, 256, opm::HistoryBackend::soe, nullptr,
+                           kSoeTol);
+    la::Vectord h;
+    eng.history(0, h);
+    const la::Vectord x(2, 1.0);
+    eng.push(0, x.data());
+    eng.push(1, x.data());
+    // Columns behind the frontier are gone — the engine must say so, not
+    // silently return the wrong sum.
+    EXPECT_THROW(eng.history(1, h), std::invalid_argument);
+    eng.history(2, h);  // frontier: fine
+}
+
+// ---- consumers ------------------------------------------------------------
+
+TEST(SoeSolvers, OpmBothFormsMatchNaive) {
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    const la::index_t m = 1024;
+    for (const double alpha : {0.5, 1.5}) {
+        for (const opm::OpmForm form :
+             {opm::OpmForm::differential, opm::OpmForm::integral}) {
+            opm::OpmOptions on;
+            on.alpha = alpha;
+            on.form = form;
+            on.history = opm::HistoryBackend::naive;
+            opm::OpmOptions os = on;
+            os.history = opm::HistoryBackend::soe;
+            os.soe_tol = kSoeTol;
+            const opm::OpmResult rn = opm::simulate_opm(sys, u, 2.0, m, on);
+            const opm::OpmResult rs = opm::simulate_opm(sys, u, 2.0, m, os);
+            EXPECT_LT(max_coeff_diff(rn.coeffs, rs.coeffs), 1e-6)
+                << "alpha=" << alpha << " form=" << static_cast<int>(form);
+            EXPECT_EQ(rs.diag.history_backend, opm::HistoryBackend::soe);
+            EXPECT_GT(rs.diag.soe_modes, 0);
+            EXPECT_GE(rs.diag.soe_fit_error, 0.0);
+            EXPECT_LE(rs.diag.soe_fit_error, kSoeTol);
+            EXPECT_EQ(rn.diag.soe_modes, 0);
+            EXPECT_EQ(rn.diag.soe_fit_error, -1.0);
+        }
+    }
+}
+
+TEST(SoeSolvers, GrunwaldMatchesNaive) {
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    opmsim::transient::GrunwaldOptions gn;
+    gn.alpha = 0.5;
+    gn.history = opm::HistoryBackend::naive;
+    opmsim::transient::GrunwaldOptions gs = gn;
+    gs.history = opm::HistoryBackend::soe;
+    gs.soe_tol = kSoeTol;
+    const auto rn = opmsim::transient::simulate_grunwald(sys, u, 2.0, 1024, gn);
+    const auto rs = opmsim::transient::simulate_grunwald(sys, u, 2.0, 1024, gs);
+    EXPECT_LT(max_coeff_diff(rn.states, rs.states), 1e-6);
+    EXPECT_EQ(rs.diag.history_backend, opm::HistoryBackend::soe);
+    EXPECT_GT(rs.diag.soe_modes, 0);
+}
+
+TEST(SoeSolvers, MultiTermMatchesNaive) {
+    // Mixed integer/fractional orders: exercises the per-term fits and the
+    // rho_1 cascade (order 1.5) inside the grouped engine.
+    opm::MultiTermSystem sys;
+    la::Matrixd a2{{1.0, 0.1}, {0.0, 1.0}};
+    la::Matrixd a1{{0.5, 0.0}, {0.2, 0.4}};
+    la::Matrixd a0{{1.5, -0.3}, {0.0, 1.2}};
+    sys.lhs.push_back({1.5, la::CscMatrix::from_dense(a2)});
+    sys.lhs.push_back({0.7, la::CscMatrix::from_dense(a1)});
+    sys.lhs.push_back({0.0, la::CscMatrix::from_dense(a0)});
+    sys.rhs.push_back({0.5, la::CscMatrix::from_dense(la::Matrixd{{1.0}, {0.5}})});
+    sys.rhs.push_back({0.0, la::CscMatrix::from_dense(la::Matrixd{{0.3}, {1.0}})});
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.05, 0.3)};
+
+    opm::MultiTermOptions on;
+    on.path = opm::MultiTermPath::toeplitz;
+    on.history = opm::HistoryBackend::naive;
+    opm::MultiTermOptions os = on;
+    os.history = opm::HistoryBackend::soe;
+    os.soe_tol = kSoeTol;
+    const opm::OpmResult rn = opm::simulate_multiterm(sys, u, 1.5, 700, on);
+    const opm::OpmResult rs = opm::simulate_multiterm(sys, u, 1.5, 700, os);
+    EXPECT_LT(max_coeff_diff(rn.coeffs, rs.coeffs), 1e-6);
+    EXPECT_EQ(rs.diag.history_backend, opm::HistoryBackend::soe);
+    EXPECT_GT(rs.diag.soe_modes, 0);
+    EXPECT_LE(rs.diag.soe_fit_error, kSoeTol);
+}
+
+TEST(SoeSolvers, BatchedScenariosMatchSingleRuns) {
+    const opm::DescriptorSystem sys = mimo_system();
+    std::vector<std::vector<wave::Source>> scen = {
+        mimo_inputs(), {wave::sine(1.0, 2.0), wave::step(0.5)}};
+    opm::OpmOptions opt;
+    opt.alpha = 0.6;
+    opt.history = opm::HistoryBackend::soe;
+    const auto batch = opm::simulate_opm_batch(sys, scen, 1.0, 256, opt);
+    ASSERT_EQ(batch.size(), 2u);
+    for (std::size_t s = 0; s < scen.size(); ++s) {
+        const auto solo = opm::simulate_opm(sys, scen[s], 1.0, 256, opt);
+        // The stacked-row engine applies identical per-mode recurrences to
+        // each scenario's rows, so batch == solo to roundoff.
+        EXPECT_LT(max_coeff_diff(batch[s].coeffs, solo.coeffs), 1e-12);
+        EXPECT_EQ(batch[s].diag.history_backend, opm::HistoryBackend::soe);
+        EXPECT_GT(batch[s].diag.soe_modes, 0);
+    }
+}
+
+// ---- SolveCaches memoization ----------------------------------------------
+
+TEST(SoeCaches, FittedTablesAreMemoizedAndBitIdentical) {
+    opm::SolveCaches caches;
+    const la::Vectord row = opm::frac_diff_series(0.5, 2048);
+    const long miss0 = caches.series_misses();
+    const opm::SoeFit cold = caches.soe_row(row, 2048, 64, kSoeTol);
+    EXPECT_EQ(caches.series_misses(), miss0 + 1);
+    const long hit0 = caches.series_hits();
+    const opm::SoeFit warm = caches.soe_row(row, 2048, 64, kSoeTol);
+    EXPECT_EQ(caches.series_hits(), hit0 + 1);
+    ASSERT_EQ(cold.modes(), warm.modes());
+    for (la::index_t k = 0; k < cold.modes(); ++k) {
+        EXPECT_EQ(cold.rates[static_cast<std::size_t>(k)],
+                  warm.rates[static_cast<std::size_t>(k)]);
+        EXPECT_EQ(cold.weights[static_cast<std::size_t>(k)],
+                  warm.weights[static_cast<std::size_t>(k)]);
+    }
+    // The uncached fit is the same table (determinism of the fitter).
+    const opm::SoeFit direct = opm::fit_soe_row(row.data(), 2048, 64, kSoeTol);
+    EXPECT_EQ(direct.fit_error, cold.fit_error);
+
+    // Kernel memo, same contract.
+    const opm::SoeKernelFit kc = caches.soe_kernel(0.5, 1e-3, 2.0, kSoeTol);
+    const opm::SoeKernelFit kw = caches.soe_kernel(0.5, 1e-3, 2.0, kSoeTol);
+    ASSERT_EQ(kc.modes(), kw.modes());
+    EXPECT_EQ(kc.rel_error, kw.rel_error);
+    // A different tolerance is a different key, not a stale hit.
+    const opm::SoeKernelFit k2 = caches.soe_kernel(0.5, 1e-3, 2.0, 1e-4);
+    EXPECT_LE(k2.modes(), kc.modes());
+}
+
+TEST(SoeCaches, CachedRunMatchesUncachedRun) {
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    opm::OpmOptions opt;
+    opt.alpha = 0.5;
+    opt.history = opm::HistoryBackend::soe;
+    const opm::OpmResult cold = opm::simulate_opm(sys, u, 1.0, 512, opt);
+    opm::SolveCaches caches;
+    opt.caches = &caches;
+    const opm::OpmResult warm1 = opm::simulate_opm(sys, u, 1.0, 512, opt);
+    const opm::OpmResult warm2 = opm::simulate_opm(sys, u, 1.0, 512, opt);
+    EXPECT_EQ(max_coeff_diff(cold.coeffs, warm1.coeffs), 0.0);
+    EXPECT_EQ(max_coeff_diff(cold.coeffs, warm2.coeffs), 0.0);
+    EXPECT_GT(caches.series_hits(), 0);
+}
+
+// ---- degenerate m / resolve() boundary audit (satellite) ------------------
+
+TEST(HistoryBoundary, AutomaticResolvesNaiveBelowPanelWidth) {
+    using HB = opm::HistoryBackend;
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 0), HB::naive);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 1), HB::naive);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 63), HB::naive);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 64), HB::blocked);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 191), HB::blocked);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::automatic, 192), HB::fft);
+    // Explicit choices always stick — soe is opt-in only.
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::soe, 5), HB::soe);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::fft, 1), HB::fft);
+    EXPECT_EQ(opm::HistoryEngine::resolve(HB::naive, 1 << 20), HB::naive);
+}
+
+TEST(HistoryBoundary, DegenerateColumnCountsAreExactForEveryBackend) {
+    // m in {0, 1, 2, 3, 5} x every backend (explicit fft included: m far
+    // below any plan size must construct zero-size plans cleanly), pinned
+    // against the naive oracle.
+    using HB = opm::HistoryBackend;
+    const la::index_t n = 3;
+    for (const la::index_t m : {0, 1, 2, 3, 5, 64, 65}) {
+        const la::Vectord row =
+            opm::frac_diff_series(0.5, std::max<la::index_t>(m, 1));
+        const la::Matrixd x =
+            random_columns(n, std::max<la::index_t>(m, 1), 1234 + m);
+        for (const HB be :
+             {HB::naive, HB::blocked, HB::fft, HB::automatic, HB::soe}) {
+            opm::HistoryEngine oracle(row, n, m, HB::naive, nullptr);
+            opm::HistoryEngine eng(row, n, m, be, nullptr, kSoeTol);
+            la::Vectord ho, he;
+            for (la::index_t j = 0; j < m; ++j) {
+                oracle.history(j, ho);
+                eng.history(j, he);
+                for (la::index_t i = 0; i < n; ++i)
+                    EXPECT_NEAR(he[static_cast<std::size_t>(i)],
+                                ho[static_cast<std::size_t>(i)], 1e-9)
+                        << "m=" << m << " backend=" << static_cast<int>(be)
+                        << " j=" << j;
+                oracle.push(j, x.col(j));
+                eng.push(j, x.col(j));
+            }
+        }
+    }
+}
+
+TEST(HistoryBoundary, DegenerateGridsRunThroughTheSolvers) {
+    // End-to-end m = 1 and m = 2 on every path that builds history
+    // engines or fft plans — the original failure mode was plan
+    // construction tripping on sub-plan-size m.
+    const opm::DescriptorSystem sys = mimo_system();
+    const auto u = mimo_inputs();
+    for (const la::index_t m : {1, 2}) {
+        for (const auto be :
+             {opm::HistoryBackend::automatic, opm::HistoryBackend::fft,
+              opm::HistoryBackend::soe}) {
+            opm::OpmOptions opt;
+            opt.alpha = 0.5;
+            opt.history = be;
+            const opm::OpmResult r = opm::simulate_opm(sys, u, 0.5, m, opt);
+            EXPECT_EQ(r.coeffs.cols(), m);
+            for (la::index_t j = 0; j < m; ++j)
+                for (la::index_t i = 0; i < 3; ++i)
+                    EXPECT_TRUE(std::isfinite(r.coeffs(i, j)));
+        }
+    }
+    // DiffHistoryEngine / offline applies at m = 1 (input-derivative path).
+    const la::Matrixd u1 = random_columns(2, 1, 9);
+    const la::Matrixd y =
+        opm::diff_toeplitz_apply(0.5, 0.1, u1, opm::HistoryBackend::fft,
+                                 nullptr);
+    EXPECT_EQ(y.cols(), 1);
+}

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "opm/mittag_leffler.hpp"
 
@@ -92,7 +93,62 @@ TEST(MittagLeffler, FractionalTailIsAlgebraicNotExponential) {
 TEST(MittagLeffler, DomainChecks) {
     EXPECT_THROW(opm::mittag_leffler(0.0, 1.0, 1.0), std::invalid_argument);
     EXPECT_THROW(opm::mittag_leffler(2.5, 1.0, 1.0), std::invalid_argument);
-    EXPECT_THROW(opm::mittag_leffler(0.7, -1.0, 1.0), std::invalid_argument);
+    // beta must be finite, but ANY finite beta (including <= 0) is in
+    // domain — the series is entire in beta.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(opm::mittag_leffler(0.7, inf, 1.0), std::invalid_argument);
+    EXPECT_THROW(opm::mittag_leffler(0.7, std::nan(""), 1.0),
+                 std::invalid_argument);
     EXPECT_THROW(opm::mittag_leffler(0.7, 1.0, 100.0), std::invalid_argument);
     EXPECT_THROW(opm::ml_relaxation(0.5, -1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(MittagLeffler, ReciprocalGammaPolesAndReflection) {
+    // Exactly zero at the poles (the analytic limit of 1/Gamma).
+    EXPECT_EQ(opm::reciprocal_gamma(0.0), 0.0);
+    EXPECT_EQ(opm::reciprocal_gamma(-1.0), 0.0);
+    EXPECT_EQ(opm::reciprocal_gamma(-2.0), 0.0);
+    EXPECT_EQ(opm::reciprocal_gamma(-37.0), 0.0);
+    // Reference values on and off the positive axis.
+    EXPECT_DOUBLE_EQ(opm::reciprocal_gamma(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(opm::reciprocal_gamma(2.0), 1.0);
+    EXPECT_NEAR(opm::reciprocal_gamma(0.5), 1.0 / std::sqrt(3.14159265358979323846), 1e-15);
+    // Gamma(-0.5) = -2 sqrt(pi)  =>  1/Gamma(-0.5) = -1/(2 sqrt(pi)).
+    EXPECT_NEAR(opm::reciprocal_gamma(-0.5), -0.28209479177387814, 1e-15);
+    // Deep negative axis: tgamma underflows to +-0 here, the reflection
+    // formula keeps the reciprocal finite and correctly signed.
+    const double deep = opm::reciprocal_gamma(-170.5);
+    EXPECT_TRUE(std::isfinite(deep));
+    EXPECT_NE(deep, 0.0);
+    // Recurrence 1/Gamma(x) = x * (1/Gamma(x+1)) across the seam at 0.5.
+    for (const double x : {-5.3, -2.5, -0.5, 0.25, 0.49}) {
+        EXPECT_NEAR(opm::reciprocal_gamma(x),
+                    x * opm::reciprocal_gamma(x + 1.0),
+                    1e-14 * (1.0 + std::abs(opm::reciprocal_gamma(x))))
+            << "x=" << x;
+    }
+}
+
+TEST(MittagLeffler, NonPositiveBetaIdentities) {
+    // The beta <= 0 values reachable from solver-side series manipulation:
+    // E_{a,0}(z) = z E_{a,a}(z) (the k = 0 term sits on the Gamma pole and
+    // vanishes), and E_{1,-1}(z) = z^2 e^z (both leading terms vanish).
+    for (const double a : {0.5, 0.8, 1.3}) {
+        for (const double z : {-3.0, -0.7, 0.5, 2.0}) {
+            EXPECT_NEAR(opm::mittag_leffler(a, 0.0, z),
+                        z * opm::mittag_leffler(a, a, z),
+                        1e-12 * (1.0 + std::abs(z * opm::mittag_leffler(a, a, z))))
+                << "a=" << a << " z=" << z;
+        }
+    }
+    for (const double z : {-2.0, -0.5, 1.0, 3.0}) {
+        EXPECT_NEAR(opm::mittag_leffler(1.0, -1.0, z), z * z * std::exp(z),
+                    1e-12 * (1.0 + std::abs(z * z * std::exp(z))))
+            << "z=" << z;
+    }
+    // Deep negative z goes through the asymptotic branch; it must also
+    // survive beta <= 0 (inv_gamma pole handling inside the divergent sum).
+    const double v = opm::mittag_leffler(0.5, 0.0, -40.0);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, -40.0 * opm::mittag_leffler(0.5, 0.5, -40.0), 1e-8);
 }

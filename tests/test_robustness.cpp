@@ -273,10 +273,11 @@ TEST_F(FaultLadder, RejectedSupernodalPivotFallsBackToScalarKernel) {
     const la::Vectord ones(static_cast<std::size_t>(a.rows()), 1.0);
     const la::Vectord ref = dense_oracle(a, ones);
 
-    fault::arm(fault::Site::supernodal_pivot, {.skip = 0, .fire = 1});
+    const fault::ScopedFault guard(fault::Site::supernodal_pivot,
+                                   {.skip = 0, .fire = 1});
     Diagnostics diag;
     opm::PencilSolve ps(nullptr, a, diag);
-    EXPECT_EQ(fault::fire_count(fault::Site::supernodal_pivot), 1);
+    EXPECT_EQ(guard.fires(), 1);
     EXPECT_EQ(ps.lu().kernel_used(), Kernel::scalar);
     EXPECT_TRUE(has_degradation(diag, "supernodal_fallback"))
         << ::testing::PrintToString(diag.degradations);
@@ -295,12 +296,13 @@ TEST_F(FaultLadder, RejectedScalarPivotEscalatesToStrictPivotingRefactor) {
     const la::Vectord ones(8, 1.0);
     const la::Vectord ref = dense_oracle(a, ones);
 
-    fault::arm(fault::Site::scalar_pivot, {.skip = 0, .fire = 1});
+    const fault::ScopedFault guard(fault::Site::scalar_pivot,
+                                   {.skip = 0, .fire = 1});
     Diagnostics diag;
     opm::PencilSolve ps(nullptr, a, diag);
     // First factorization consumed the firing window and threw; the strict
     // pivot_tol = 1.0 retry then succeeded.
-    EXPECT_EQ(fault::fire_count(fault::Site::scalar_pivot), 1);
+    EXPECT_EQ(guard.fires(), 1);
     EXPECT_TRUE(has_degradation(diag, "pivot_tol_refactor"))
         << ::testing::PrintToString(diag.degradations);
 
@@ -318,7 +320,8 @@ TEST_F(FaultLadder, PerturbedFactorTriggersIterativeRefinement) {
 
     // Scale one stored factor value by 0.1%: the raw solve is ~1e-3 off,
     // which must trip the residual check and be refined away.
-    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1, .value = 1.001});
+    const fault::ScopedFault guard(fault::Site::factor_values,
+                                   {.skip = 0, .fire = 1, .value = 1.001});
     Diagnostics diag;
     opm::PencilSolve ps(nullptr, a, diag);
     la::Vectord x = b;
@@ -339,7 +342,8 @@ TEST_F(FaultLadder, NonFiniteSolutionInvalidatesCachedFactorAndRecovers) {
     // cache entry, refactor fresh (the fault window is exhausted by then)
     // and re-solve.
     opm::SolveCaches caches;
-    fault::arm(fault::Site::factor_values, {.skip = 0, .fire = 1});
+    const fault::ScopedFault guard(fault::Site::factor_values,
+                                   {.skip = 0, .fire = 1});
     Diagnostics diag;
     opm::PencilSolve ps(&caches, a, diag);
     la::Vectord x = b;
@@ -424,7 +428,7 @@ TEST(RunControl, NullAndDefaultControlsAreNoOps) {
 }
 
 TEST_F(FaultLadder, InjectedDeadlineFiresEvenWithoutAControl) {
-    fault::arm(fault::Site::deadline, {.skip = 0, .fire = 1});
+    const fault::ScopedFault guard(fault::Site::deadline, {.skip = 0, .fire = 1});
     try {
         opmsim::util::check_run_control(nullptr);
         FAIL() << "expected solver_error(deadline_exceeded)";
@@ -433,13 +437,14 @@ TEST_F(FaultLadder, InjectedDeadlineFiresEvenWithoutAControl) {
     }
     // Window exhausted: the next check passes again.
     EXPECT_NO_THROW(opmsim::util::check_run_control(nullptr));
-    EXPECT_EQ(fault::fire_count(fault::Site::deadline), 1);
+    EXPECT_EQ(guard.fires(), 1);
 }
 
 // ---- the fault harness itself ---------------------------------------------
 
 TEST_F(FaultLadder, FiringWindowIsDeterministic) {
-    fault::arm(fault::Site::scalar_pivot, {.skip = 2, .fire = 2});
+    const fault::ScopedFault guard(fault::Site::scalar_pivot,
+                                   {.skip = 2, .fire = 2});
     std::vector<bool> hits;
     for (int i = 0; i < 6; ++i)
         hits.push_back(fault::fire(fault::Site::scalar_pivot));
@@ -447,7 +452,7 @@ TEST_F(FaultLadder, FiringWindowIsDeterministic) {
     EXPECT_EQ(hits, expect);
     EXPECT_EQ(fault::fire_count(fault::Site::scalar_pivot), 2);
 
-    // Re-arming resets the counters.
+    // Re-arming resets the counters (the guard's teardown still disarms).
     fault::arm(fault::Site::scalar_pivot, {.skip = 0, .fire = 1});
     EXPECT_TRUE(fault::fire(fault::Site::scalar_pivot));
     EXPECT_FALSE(fault::fire(fault::Site::scalar_pivot));
