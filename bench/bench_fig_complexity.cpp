@@ -84,8 +84,8 @@ int main() {
         double total = 0, factor = 0, sweep = 0;
         total = best_ms([&] {
             const auto r = opm::simulate_opm(sys, u, 1e-9, 64);
-            factor = r.factor_seconds * 1e3;
-            sweep = r.sweep_seconds * 1e3;
+            factor = r.diag.factor_seconds * 1e3;
+            sweep = r.diag.sweep_seconds * 1e3;
         });
         t1.add_row({std::to_string(sys.num_states()), fmt_ms(factor),
                     fmt_ms(sweep), fmt_ms(total)});

@@ -1,0 +1,313 @@
+/// \file bench_service_load.cpp
+/// \brief Open-loop load harness for the scenario daemon (docs/service.md).
+///
+/// Spins up an in-process svc::Server on a private Unix socket, then
+/// drives it OPEN-LOOP: scenario arrivals follow a Poisson process with a
+/// fixed-seed RNG, submitted through the async client API regardless of
+/// how fast the daemon drains them (closed-loop harnesses hide queueing
+/// delay — precisely the thing a micro-batching window trades against).
+/// Reports end-to-end latency percentiles (p50/p99/mean) and sustained
+/// scenarios/sec, plus the daemon's coalescing counters.
+///
+/// Two in-process calibration timings (warm / cold Engine::run of the
+/// same scenario) are emitted alongside so ci/check_bench_regression.py
+/// can normalize away machine speed: the gated BM_ServiceLoad/* entries
+/// then measure SERVICE overhead + batching, not runner hardware.
+///
+/// Output: a human summary on stdout and — like bench_kernels — a
+/// google-benchmark-shaped BENCH_service.json in the working directory
+/// (override with --out), carrying context.opmsim_build_type so the
+/// regression gate can refuse Debug-built baselines.
+///
+/// Usage:
+///     bench_service_load [--requests 200] [--rate 2000] [--workers 2]
+///                        [--window 0.001] [--out BENCH_service.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/engine.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+using namespace opmsim;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+#ifndef OPMSIM_BUILD_TYPE
+#define OPMSIM_BUILD_TYPE ""
+#endif
+
+/// The load circuit: a 32-node RC ladder driven at node 0 (same fixture
+/// family as the service tests).
+opm::DescriptorSystem rc_ladder(la::index_t n) {
+    la::Triplets e(n, n), a(n, n), b(n, 1);
+    for (la::index_t i = 0; i < n; ++i) {
+        e.add(i, i, 1e-9);
+        double g = 0.0;
+        if (i > 0) {
+            a.add(i, i - 1, 1e-3);
+            g += 1e-3;
+        }
+        if (i + 1 < n) {
+            a.add(i, i + 1, 1e-3);
+            g += 1e-3;
+        }
+        a.add(i, i, -(g + (i == 0 ? 1e-3 : 0.0)));
+    }
+    b.add(0, 0, 1e-3);
+    opm::DescriptorSystem sys;
+    sys.e = la::CscMatrix(e);
+    sys.a = la::CscMatrix(a);
+    sys.b = la::CscMatrix(b);
+    return sys;
+}
+
+svc::WireScenario scenario_for(int k) {
+    // Same grid + options across the fleet (batch-compatible, so the
+    // window can coalesce), different excitation per request.
+    svc::WireScenario sc;
+    sc.sources = {svc::SourceSpec::sine(1.0, 1e4 * (1 + k % 16))};
+    sc.t_end = 1e-5;
+    sc.steps = 128;
+    sc.config = opm::OpmOptions{};
+    return sc;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        std::min<double>(sorted.size() - 1.0,
+                         p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[idx];
+}
+
+struct BenchEntry {
+    std::string name;
+    double real_time_ns;
+    long iterations;
+};
+
+void write_json(const std::string& path,
+                const std::vector<BenchEntry>& entries) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_service_load: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n  \"context\": {\n"
+        << "    \"opmsim_build_type\": \"" << OPMSIM_BUILD_TYPE << "\"\n"
+        << "  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BenchEntry& e = entries[i];
+        out << "    {\n"
+            << "      \"name\": \"" << e.name << "\",\n"
+            << "      \"run_type\": \"iteration\",\n"
+            << "      \"iterations\": " << e.iterations << ",\n"
+            << "      \"real_time\": " << e.real_time_ns << ",\n"
+            << "      \"cpu_time\": " << e.real_time_ns << ",\n"
+            << "      \"time_unit\": \"ns\"\n"
+            << "    }" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int requests = 200;
+    double rate = 2000.0;  // arrivals per second
+    int workers = 2;
+    double window = 1e-3;
+    std::string out_path = "BENCH_service.json";
+    for (int i = 1; i < argc; ++i) {
+        const auto val = [&](const char* name) -> const char* {
+            if (std::strcmp(argv[i], name) != 0 || i + 1 >= argc)
+                return nullptr;
+            return argv[++i];
+        };
+        if (const char* v = val("--requests")) {
+            requests = std::atoi(v);
+        } else if (const char* v = val("--rate")) {
+            rate = std::atof(v);
+        } else if (const char* v = val("--workers")) {
+            workers = std::atoi(v);
+        } else if (const char* v = val("--window")) {
+            window = std::atof(v);
+        } else if (const char* v = val("--out")) {
+            out_path = v;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_service_load [--requests N] [--rate "
+                         "PER_SEC] [--workers N] [--window SEC] [--out PATH]\n");
+            return 2;
+        }
+    }
+
+    svc::ServerOptions opt;
+    opt.socket_path = "/tmp/opmsim_bench_" + std::to_string(::getpid()) +
+                      ".sock";
+    opt.batch_window = window;
+    opt.batch_workers = workers;
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client client;
+    client.connect_unix(opt.socket_path);
+    const std::uint64_t h = client.register_system(rc_ladder(32));
+
+    // Warm-up: fill the caches so the measured fleet sees steady state
+    // (cold-start cost is reported separately by the inproc/cold entry).
+    for (int k = 0; k < 4; ++k) {
+        const api::SolveResult r = client.submit(h, scenario_for(k));
+        if (!r.status.ok()) {
+            std::fprintf(stderr, "bench_service_load: warm-up failed: %s\n",
+                         r.status.message.c_str());
+            return 1;
+        }
+    }
+
+    // Precomputed Poisson arrival schedule, fixed seed: the offered load
+    // is identical run to run, so latency changes mean code changes.
+    std::mt19937_64 rng(0x5EEDu);
+    std::exponential_distribution<double> interarrival(rate);
+    std::vector<double> arrival(requests);
+    double t = 0.0;
+    for (int k = 0; k < requests; ++k) {
+        t += interarrival(rng);
+        arrival[k] = t;
+    }
+
+    std::vector<double> latency_ns(requests, 0.0);
+    std::atomic<int> failed{0};
+    std::atomic<int> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    const Clock::time_point start = Clock::now();
+    Clock::time_point last_done = start;
+    for (int k = 0; k < requests; ++k) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrival[k]));
+        std::this_thread::sleep_until(due);  // open loop: never backs off
+        const Clock::time_point sent = Clock::now();
+        client.submit_cb(h, scenario_for(k), [&, k, sent](
+                                                 api::SolveResult res) {
+            const Clock::time_point now = Clock::now();
+            latency_ns[k] = std::chrono::duration<double, std::nano>(
+                                now - sent)
+                                .count();
+            if (!res.status.ok()) failed.fetch_add(1);
+            {
+                const std::lock_guard<std::mutex> lock(done_mutex);
+                last_done = std::max(last_done, now);
+            }
+            if (done.fetch_add(1) + 1 == requests) done_cv.notify_all();
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        if (!done_cv.wait_for(lock, std::chrono::seconds(120), [&] {
+                return done.load() == requests;
+            })) {
+            std::fprintf(stderr,
+                         "bench_service_load: timed out (%d/%d done)\n",
+                         done.load(), requests);
+            return 1;
+        }
+    }
+    const svc::ServiceStats stats = server.stats();
+    client.close();
+    server.stop();
+
+    if (failed.load() != 0) {
+        std::fprintf(stderr, "bench_service_load: %d scenario(s) failed\n",
+                     failed.load());
+        return 1;
+    }
+
+    std::vector<double> sorted = latency_ns;
+    std::sort(sorted.begin(), sorted.end());
+    const double p50 = percentile(sorted, 50.0);
+    const double p99 = percentile(sorted, 99.0);
+    double mean = 0.0;
+    for (double v : sorted) mean += v;
+    mean /= static_cast<double>(sorted.size());
+    const double span_s =
+        std::chrono::duration<double>(last_done - start).count();
+    const double throughput = requests / std::max(span_s, 1e-12);
+
+    // In-process calibration: the same scenario straight through an
+    // Engine, warm (median of 16) and cold (fresh engine, median of 4).
+    // These are the gate's machine-speed anchors — ungated by design.
+    double warm_ns = 0.0, cold_ns = 0.0;
+    {
+        api::Engine engine;
+        const api::SystemHandle lh = engine.add_system(rc_ladder(32));
+        const api::Scenario sc = scenario_for(0).to_scenario();
+        (void)engine.run(lh, sc);  // warm the caches
+        std::vector<double> samples;
+        for (int k = 0; k < 16; ++k) {
+            const Clock::time_point t0 = Clock::now();
+            (void)engine.run(lh, sc);
+            samples.push_back(std::chrono::duration<double, std::nano>(
+                                  Clock::now() - t0)
+                                  .count());
+        }
+        std::sort(samples.begin(), samples.end());
+        warm_ns = samples[samples.size() / 2];
+    }
+    {
+        std::vector<double> samples;
+        const api::Scenario sc = scenario_for(0).to_scenario();
+        for (int k = 0; k < 4; ++k) {
+            api::Engine engine;
+            const api::SystemHandle lh = engine.add_system(rc_ladder(32));
+            const Clock::time_point t0 = Clock::now();
+            (void)engine.run(lh, sc);
+            samples.push_back(std::chrono::duration<double, std::nano>(
+                                  Clock::now() - t0)
+                                  .count());
+        }
+        std::sort(samples.begin(), samples.end());
+        cold_ns = samples[samples.size() / 2];
+    }
+
+    std::printf("bench_service_load: %d requests at %.0f/s (Poisson, fixed "
+                "seed), window %.2g s, %d workers\n",
+                requests, rate, window, workers);
+    std::printf("  latency   p50 %.3f ms   p99 %.3f ms   mean %.3f ms\n",
+                p50 / 1e6, p99 / 1e6, mean / 1e6);
+    std::printf("  throughput %.0f scenarios/sec over %.3f s\n", throughput,
+                span_s);
+    std::printf("  batching   %llu batches, %llu coalesced, largest %llu\n",
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.largest_batch));
+    std::printf("  in-process warm %.3f ms   cold %.3f ms\n", warm_ns / 1e6,
+                cold_ns / 1e6);
+
+    write_json(out_path,
+               {{"BM_ServiceLoad/p50", p50, requests},
+                {"BM_ServiceLoad/p99", p99, requests},
+                {"BM_ServiceLoad/mean", mean, requests},
+                {"BM_ServiceLoad_inproc/warm", warm_ns, 16},
+                {"BM_ServiceLoad_inproc/cold", cold_ns, 4}});
+    std::printf("  wrote %s\n", out_path.c_str());
+    return 0;
+}

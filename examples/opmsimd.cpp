@@ -1,0 +1,103 @@
+/// \file opmsimd.cpp
+/// \brief The opmsim scenario daemon.
+///
+/// Runs an api::Engine as a service: clients connect over a Unix-domain
+/// (default) or loopback TCP socket, register systems once, and submit
+/// scenarios that the dispatcher coalesces into multi-RHS micro-batches
+/// (docs/service.md).  Warm caches can be snapshotted to disk by clients
+/// (save_caches/load_caches), so a restarted daemon answers its first
+/// request with zero fill-reducing orderings and zero SoE refits.
+///
+/// Usage:
+///     opmsimd --socket /tmp/opmsim.sock [--window 0.001] [--max-batch 64]
+///             [--workers 1] [--cache-capacity 0]
+///     opmsimd --port 9178          # loopback TCP instead (0 = ephemeral)
+///
+/// The daemon runs until a client sends shutdown or it receives SIGINT /
+/// SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "svc/server.hpp"
+
+namespace {
+opmsim::svc::Server* g_server = nullptr;
+
+void handle_signal(int) {
+    // async-signal-safe enough for a demo daemon: stop() only touches
+    // sockets and condition variables already built for cross-thread use.
+    if (g_server != nullptr) g_server->stop();
+}
+} // namespace
+
+int main(int argc, char** argv) {
+    opmsim::svc::ServerOptions opt;
+    opt.socket_path = "/tmp/opmsim.sock";
+    bool tcp = false;
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char* name) {
+            if (std::strcmp(argv[i], name) != 0) return (const char*)nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "opmsimd: %s needs a value\n", name);
+                std::exit(2);
+            }
+            return (const char*)argv[++i];
+        };
+        if (const char* v = arg("--socket")) {
+            opt.socket_path = v;
+            tcp = false;
+        } else if (const char* v = arg("--port")) {
+            opt.tcp_port = std::atoi(v);
+            opt.socket_path.clear();
+            tcp = true;
+        } else if (const char* v = arg("--window")) {
+            opt.batch_window = std::atof(v);
+        } else if (const char* v = arg("--max-batch")) {
+            opt.max_batch = std::atoi(v);
+        } else if (const char* v = arg("--workers")) {
+            opt.batch_workers = std::atoi(v);
+        } else if (const char* v = arg("--cache-capacity")) {
+            opt.cache_capacity = static_cast<std::size_t>(std::atol(v));
+        } else {
+            std::fprintf(stderr,
+                         "opmsimd: unknown option %s\n"
+                         "usage: opmsimd [--socket PATH | --port N] "
+                         "[--window SEC] [--max-batch N] [--workers N] "
+                         "[--cache-capacity N]\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    opmsim::svc::Server server(opt);
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "opmsimd: %s\n", e.what());
+        return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    if (tcp)
+        std::printf("opmsimd: listening on 127.0.0.1:%d\n", server.port());
+    else
+        std::printf("opmsimd: listening on %s\n", server.socket_path().c_str());
+    std::fflush(stdout);
+
+    server.wait_for_shutdown();
+    server.stop();
+
+    const opmsim::svc::ServiceStats s = server.stats();
+    std::printf("opmsimd: served %llu scenarios in %llu batches "
+                "(%llu coalesced, largest %llu); bye\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.coalesced),
+                static_cast<unsigned long long>(s.largest_batch));
+    return 0;
+}

@@ -16,20 +16,24 @@ namespace opmsim::api {
 namespace {
 
 /// Resolve the system view an adapter needs from a registry entry
-/// (shared by run() and the run_batch group executor).
+/// (shared by run() and the run_batch group executor).  Error messages
+/// name the method through the scenario's stable tag.
 SystemView view_for(const opm::DescriptorSystem* descriptor,
                     const opm::MultiTermSystem* multiterm,
-                    opm::SolveCaches* caches, const SolverAdapter& adapter) {
+                    opm::SolveCaches* caches, const SolverAdapter& adapter,
+                    const Scenario& scenario) {
     SystemView view;
     view.caches = caches;
     if (adapter.needs_multiterm) {
         OPMSIM_REQUIRE(multiterm != nullptr,
-                       std::string("Engine::run: method '") + adapter.name +
+                       std::string("Engine::run: scenario method '") +
+                           scenario.method_name() +
                            "' needs a MultiTermSystem handle");
         view.multiterm = multiterm;
     } else {
         OPMSIM_REQUIRE(descriptor != nullptr,
-                       std::string("Engine::run: method '") + adapter.name +
+                       std::string("Engine::run: scenario method '") +
+                           scenario.method_name() +
                            "' needs a DescriptorSystem handle");
         view.descriptor = descriptor;
     }
@@ -63,14 +67,60 @@ SystemHandle Engine::add_system(opm::MultiTermSystem sys) {
 const Engine::Entry& Engine::entry(SystemHandle handle) const {
     OPMSIM_REQUIRE(handle.valid() && handle.id < systems_.size(),
                    "Engine: invalid system handle");
+    OPMSIM_REQUIRE(systems_[handle.id].live(),
+                   "Engine: system handle was removed (remove_system)");
     return systems_[handle.id];
+}
+
+void Engine::remove_system(SystemHandle handle) {
+    entry(handle);  // validates: in range and not already removed
+    Entry& e = systems_[handle.id];
+    e.descriptor.reset();
+    e.multiterm.reset();
+    e.caches.reset();
+    e.warm = false;
+}
+
+void Engine::set_cache_capacity(std::size_t max_warm) {
+    cache_capacity_ = max_warm;
+    touch({});  // enforce the new cap immediately (no handle to favor)
+}
+
+std::size_t Engine::num_systems() const {
+    std::size_t n = 0;
+    for (const Entry& e : systems_)
+        if (e.live()) ++n;
+    return n;
+}
+
+void Engine::touch(SystemHandle handle) {
+    if (handle.valid() && handle.id < systems_.size() &&
+        systems_[handle.id].live()) {
+        systems_[handle.id].last_used = ++use_tick_;
+        systems_[handle.id].warm = true;
+    }
+    if (cache_capacity_ == 0) return;
+    for (;;) {
+        std::size_t warm = 0;
+        Entry* coldest = nullptr;
+        for (Entry& e : systems_) {
+            if (!e.live() || !e.warm) continue;
+            ++warm;
+            if (coldest == nullptr || e.last_used < coldest->last_used)
+                coldest = &e;
+        }
+        if (warm <= cache_capacity_ || coldest == nullptr) return;
+        coldest->caches->purge();
+        coldest->warm = false;
+    }
 }
 
 SolveResult Engine::run(SystemHandle handle, const Scenario& scenario) {
     const Entry& e = entry(handle);
-    const SolverAdapter& adapter = adapter_for(method_of(scenario.config));
+    touch(handle);
+    const SolverAdapter& adapter = adapter_for(scenario.method());
     const SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
-                                     e.caches.get(), adapter);
+                                     e.caches.get(), adapter, scenario);
     return adapter.run(view, scenario);
 }
 
@@ -83,6 +133,7 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
                                            std::span<const Scenario> scenarios,
                                            const BatchOptions& opt) {
     const Entry& e = entry(handle);
+    touch(handle);
     const std::size_t ns = scenarios.size();
     std::vector<SolveResult> out(ns);
     if (ns == 0) return out;
@@ -104,7 +155,7 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
                                                        : e.descriptor != nullptr;
         if (!have_repr)
             return {ErrorCode::invalid_scenario,
-                    std::string("method '") + adapter.name +
+                    std::string("scenario method '") + sc.method_name() +
                         (adapter.needs_multiterm
                              ? "' needs a MultiTermSystem handle"
                              : "' needs a DescriptorSystem handle")};
@@ -167,7 +218,7 @@ std::vector<SolveResult> Engine::run_batch(SystemHandle handle,
         const Scenario& first = scenarios[g.front()];
         const SolverAdapter& adapter = adapter_for(method_of(first.config));
         SystemView view = view_for(e.descriptor.get(), e.multiterm.get(),
-                                   e.caches.get(), adapter);
+                                   e.caches.get(), adapter, first);
         view.control = &control;
         if (g.size() > 1 && adapter.run_group != nullptr) {
             try {

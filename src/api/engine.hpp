@@ -24,9 +24,16 @@
 /// functions (pinned by tests/test_api_engine.cpp).
 ///
 /// Lifecycle: Engine owns the registered systems and their caches;
-/// SystemHandles are cheap indices that stay valid for the Engine's
-/// lifetime.  run() never mutates the registered system, only its cache
-/// bundle.  run() and add_system() are single-threaded by contract;
+/// SystemHandles are cheap indices that stay valid until remove_system()
+/// retires them (slots are never reused, so a removed handle fails fast
+/// instead of aliasing a newer system).  run() never mutates the
+/// registered system, only its cache bundle.  A long-lived multi-tenant
+/// Engine (the svc daemon) can bound warm-cache memory with
+/// set_cache_capacity(): beyond the cap, the least-recently-run system's
+/// SolveCaches contents are purged (the bundle's address stays stable —
+/// caches() references remain valid, the next run on that handle just
+/// re-analyzes).  run(), add_system() and remove_system() are
+/// single-threaded by contract;
 /// run_batch() may execute independent scenario groups on an internal
 /// worker pool (BatchOptions::workers) — the cache bundle serializes its
 /// own lookups, so this is safe, but do not call other methods on the
@@ -42,6 +49,7 @@
 ///     api::SolveResult res = engine.run(rc, sc);
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -75,6 +83,21 @@ public:
     /// Register a multi-term system sum_k A_k d^{alpha_k} x = ...
     /// (validated here).  Serves the multiterm method.
     SystemHandle add_system(opm::MultiTermSystem sys);
+
+    /// Retire a registered system: frees the system matrices and the
+    /// warm-cache bundle.  The handle (and any SolveCaches& obtained from
+    /// caches()) becomes invalid — subsequent run()/caches() calls on it
+    /// throw std::invalid_argument.  Handle ids are never reused.
+    /// Single-threaded like add_system(); must not race a run_batch.
+    void remove_system(SystemHandle handle);
+
+    /// Cap the number of systems keeping WARM caches (0 = unlimited, the
+    /// default).  Each run()/run_batch() marks its handle most-recently
+    /// used; when more than `max_warm` handles hold warm contents, the
+    /// coldest bundle is purged (SolveCaches::purge()) — the system stays
+    /// registered and re-warms on its next run.  A daemon serving many
+    /// tenants uses this as its cache-eviction tier.
+    void set_cache_capacity(std::size_t max_warm);
 
     /// Run one scenario.  Throws std::invalid_argument when the scenario's
     /// method does not fit the handle's system representation (multiterm
@@ -139,17 +162,28 @@ public:
     /// The handle's cache bundle (non-owning; valid for the Engine's life).
     [[nodiscard]] opm::SolveCaches& caches(SystemHandle handle);
 
-    [[nodiscard]] std::size_t num_systems() const { return systems_.size(); }
+    /// Number of live (not removed) registered systems.
+    [[nodiscard]] std::size_t num_systems() const;
 
 private:
     struct Entry {
         std::unique_ptr<opm::DescriptorSystem> descriptor;
         std::unique_ptr<opm::MultiTermSystem> multiterm;
         std::unique_ptr<opm::SolveCaches> caches;  ///< stable address
+        std::uint64_t last_used = 0;  ///< LRU clock tick of the last run
+        bool warm = false;            ///< caches may hold warm contents
+        [[nodiscard]] bool live() const {
+            return descriptor != nullptr || multiterm != nullptr;
+        }
     };
     const Entry& entry(SystemHandle handle) const;
+    /// Mark `handle` most-recently-used and purge the coldest warm bundle
+    /// while more than cache_capacity_ handles are warm.
+    void touch(SystemHandle handle);
 
     std::vector<Entry> systems_;
+    std::uint64_t use_tick_ = 0;
+    std::size_t cache_capacity_ = 0;  ///< 0 = unlimited
 };
 
 } // namespace opmsim::api

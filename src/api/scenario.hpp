@@ -93,6 +93,17 @@ struct Scenario {
     index_t steps = 0;
     /// Method selection + options; defaults to plain OPM.
     MethodConfig config = opm::OpmOptions{};
+
+    /// The method this scenario selects — the stable tag for dispatch,
+    /// logging and the wire protocol, so callers never pattern-match the
+    /// variant index themselves.
+    [[nodiscard]] Method method() const { return method_of(config); }
+
+    /// Stable display name of the selected method ("opm", "multiterm",
+    /// ...); wire- and log-friendly.
+    [[nodiscard]] const char* method_name() const {
+        return api::method_name(method_of(config));
+    }
 };
 
 /// Method-agnostic result.

@@ -1,6 +1,9 @@
 #include "la/factor_cache.hpp"
 
+#include <string>
+
 #include "util/hash.hpp"
+#include "util/serial.hpp"
 
 namespace opmsim::la {
 
@@ -140,6 +143,66 @@ void FactorCache::clear() {
     const std::lock_guard<std::mutex> lock(mutex_);
     sym_.clear();
     num_.clear();
+}
+
+namespace {
+/// The same fingerprint pattern_hash() computes from a CscMatrix, derived
+/// from an analysis's stored pattern (pencils are square: rows == cols ==
+/// size()).  Loading verifies the snapshot's stored hash against this.
+std::uint64_t pattern_hash_of(const SparseLuSymbolic& sym) {
+    const index_t dims[2] = {sym.size(), sym.size()};
+    std::uint64_t h = fnv1a(dims, sizeof dims);
+    h = fnv1a(sym.pattern_colp().data(),
+              sym.pattern_colp().size() * sizeof(index_t), h);
+    h = fnv1a(sym.pattern_rowi().data(),
+              sym.pattern_rowi().size() * sizeof(index_t), h);
+    return h;
+}
+} // namespace
+
+void FactorCache::save_symbolic(util::ByteWriter& w) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.u64(sym_.size());
+    for (const SymEntry& e : sym_) {
+        w.u64(e.pattern_hash);
+        w.u8(static_cast<std::uint8_t>(e.opt.ordering));
+        w.u8(static_cast<std::uint8_t>(e.opt.kernel));
+        w.f64(e.opt.pivot_tol);
+        e.sym->save(w);
+    }
+}
+
+void FactorCache::load_symbolic(util::ByteReader& r) {
+    const std::uint64_t count = r.count(8 + 2 + 8, "symbolic entries");
+    for (std::uint64_t k = 0; k < count; ++k) {
+        SymEntry e;
+        e.pattern_hash = r.u64();
+        const auto ordering = r.u8();
+        const auto kernel = r.u8();
+        if (ordering >
+                static_cast<std::uint8_t>(SparseLuOptions::Ordering::automatic) ||
+            kernel > static_cast<std::uint8_t>(SparseLuOptions::Kernel::automatic))
+            r.fail("invalid SparseLuOptions enum in symbolic entry");
+        e.opt.ordering = static_cast<SparseLuOptions::Ordering>(ordering);
+        e.opt.kernel = static_cast<SparseLuOptions::Kernel>(kernel);
+        e.opt.pivot_tol = r.f64();
+        e.sym = SparseLuSymbolic::load(r);
+        // Fingerprint verification: the key must be the hash of the loaded
+        // pattern, or lookups would silently miss (or worse, collide).
+        if (pattern_hash_of(*e.sym) != e.pattern_hash)
+            r.fail("symbolic entry fingerprint mismatch (pattern hash " +
+                   std::to_string(e.pattern_hash) +
+                   " does not match the stored analysis)");
+        const std::lock_guard<std::mutex> lock(mutex_);
+        bool dup = false;
+        for (const SymEntry& have : sym_)
+            if (have.pattern_hash == e.pattern_hash &&
+                same_options(have.opt, e.opt)) {
+                dup = true;
+                break;
+            }
+        if (!dup) sym_.push_back(std::move(e));
+    }
 }
 
 } // namespace opmsim::la

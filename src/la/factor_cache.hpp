@@ -40,6 +40,11 @@
 
 #include "la/sparse_lu.hpp"
 
+namespace opmsim::util {
+class ByteWriter;
+class ByteReader;
+} // namespace opmsim::util
+
 namespace opmsim::la {
 
 class FactorCache {
@@ -79,6 +84,20 @@ public:
 
     /// Drop every cached entry (shared_ptrs held by callers stay valid).
     void clear();
+
+    /// Serialize the symbolic (pattern-analysis) entries — the layer worth
+    /// shipping across restarts: a loaded analysis makes the next factor
+    /// call report zero fill-reducing orderings.  Numeric factors are
+    /// value-bound and cheap to rebuild on first use, so they are not
+    /// snapshotted.
+    void save_symbolic(util::ByteWriter& w);
+
+    /// Restore entries saved by save_symbolic().  Each entry's stored
+    /// pattern hash is recomputed from the loaded analysis and must match
+    /// (fingerprint verification); a mismatch throws
+    /// solver_error(ErrorCode::invalid_scenario).  Entries already present
+    /// (same fingerprint + options) are left alone.
+    void load_symbolic(util::ByteReader& r);
 
     /// Invalidate the numeric factors of one pencil (every entry whose
     /// pattern and values match `a`, across all options).  Called by the

@@ -56,6 +56,47 @@ CscMatrix CscMatrix::from_dense(const Matrixd& a, double drop_tol) {
     return CscMatrix(t);
 }
 
+CscMatrix CscMatrix::from_parts(index_t rows, index_t cols,
+                                std::vector<index_t> col_ptr,
+                                std::vector<index_t> row_ind,
+                                std::vector<double> values) {
+    OPMSIM_REQUIRE(rows >= 0 && cols >= 0,
+                   "CscMatrix::from_parts: negative dimension");
+    CscMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    // The default-constructed matrix has all-empty arrays; keep that shape
+    // round-trippable.
+    if (col_ptr.empty() && row_ind.empty() && values.empty()) {
+        OPMSIM_REQUIRE(rows == 0 && cols == 0,
+                       "CscMatrix::from_parts: empty arrays for nonzero shape");
+        return m;
+    }
+    OPMSIM_REQUIRE(static_cast<index_t>(col_ptr.size()) == cols + 1,
+                   "CscMatrix::from_parts: col_ptr size must be cols+1");
+    OPMSIM_REQUIRE(col_ptr.front() == 0 &&
+                       col_ptr.back() == static_cast<index_t>(row_ind.size()) &&
+                       row_ind.size() == values.size(),
+                   "CscMatrix::from_parts: inconsistent nnz");
+    for (index_t j = 0; j < cols; ++j) {
+        const index_t lo = col_ptr[static_cast<std::size_t>(j)];
+        const index_t hi = col_ptr[static_cast<std::size_t>(j) + 1];
+        OPMSIM_REQUIRE(lo <= hi, "CscMatrix::from_parts: col_ptr not monotone");
+        for (index_t k = lo; k < hi; ++k) {
+            const index_t i = row_ind[static_cast<std::size_t>(k)];
+            OPMSIM_REQUIRE(i >= 0 && i < rows,
+                           "CscMatrix::from_parts: row index out of range");
+            OPMSIM_REQUIRE(k == lo || row_ind[static_cast<std::size_t>(k) - 1] < i,
+                           "CscMatrix::from_parts: rows not strictly "
+                           "increasing within a column");
+        }
+    }
+    m.colp_ = std::move(col_ptr);
+    m.rowi_ = std::move(row_ind);
+    m.val_ = std::move(values);
+    return m;
+}
+
 CscMatrix CscMatrix::identity(index_t n) {
     Triplets t(n, n);
     for (index_t i = 0; i < n; ++i) t.add(i, i, 1.0);

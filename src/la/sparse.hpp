@@ -55,6 +55,18 @@ public:
     /// Build from an existing dense matrix, dropping exact zeros (tests).
     static CscMatrix from_dense(const Matrixd& a, double drop_tol = 0.0);
 
+    /// Adopt ready-made CSC arrays verbatim (the wire decoder's path: no
+    /// re-compression, so the reconstructed matrix is bit-identical to the
+    /// encoded one).  The arrays must satisfy the class invariants —
+    /// col_ptr of size cols+1 starting at 0, nondecreasing, ending at nnz;
+    /// row indices in range and strictly increasing within each column —
+    /// or std::invalid_argument is thrown.  A fully empty triple (the
+    /// default-constructed matrix) is accepted for any dimensions of 0.
+    static CscMatrix from_parts(index_t rows, index_t cols,
+                                std::vector<index_t> col_ptr,
+                                std::vector<index_t> row_ind,
+                                std::vector<double> values);
+
     /// n-by-n identity.
     static CscMatrix identity(index_t n);
 

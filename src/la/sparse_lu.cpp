@@ -9,6 +9,7 @@
 #include "la/dense.hpp"
 #include "la/triangular.hpp"
 #include "util/fault_inject.hpp"
+#include "util/serial.hpp"
 #include "util/status.hpp"
 
 namespace opmsim::la {
@@ -1083,6 +1084,113 @@ double SparseLu::pivot_growth() const {
     for (const double v : u_val_) maxu = std::max(maxu, std::abs(v));
     for (const double v : u_diag_) maxu = std::max(maxu, std::abs(v));
     return maxu / maxabs_a_;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization (SolveCaches::save / load).  Every field in
+// declaration order inside one length-prefixed block, so future fields can
+// append without breaking old readers.
+
+void SparseLuSymbolic::save(util::ByteWriter& w) const {
+    const std::size_t block = w.begin_block();
+    w.i64(n_);
+    w.u8(static_cast<std::uint8_t>(opt_.ordering));
+    w.u8(static_cast<std::uint8_t>(opt_.kernel));
+    w.f64(opt_.pivot_tol);
+    w.u8(static_cast<std::uint8_t>(chosen_));
+    w.vec_int(perm_cols_);
+    w.vec_int(a_colp_);
+    w.vec_int(a_rowi_);
+    w.f64(mean_degree_);
+    w.i64(fill_estimate_);
+    w.vec_int(etree_.parent);
+    w.vec_int(etree_.col_count);
+    w.vec_int(snode_ptr_);
+    w.vec_int(srow_ptr_);
+    w.vec_int(srow_);
+    w.vec_int(col_to_snode_);
+    w.vec_int(lpan_off_);
+    w.vec_int(upan_off_);
+    w.vec_int(asm_ptr_);
+    w.vec_int(asm_src_);
+    w.vec_int(asm_dst_);
+    w.vec_int(xl_colp_);
+    w.vec_int(xl_rowi_);
+    w.vec_int(xu_colp_);
+    w.vec_int(xu_rowi_);
+    w.vec_int(xl_src_);
+    w.vec_int(xu_ptr_);
+    w.vec_int(xu_srcs_);
+    w.vec_int(xu_dsts_);
+    w.vec_int(xdiag_src_);
+    w.i64(padding_);
+    w.end_block(block);
+}
+
+namespace {
+SparseLuOptions::Ordering decode_ordering(util::ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(SparseLuOptions::Ordering::automatic))
+        r.fail("invalid ordering enum value " + std::to_string(v));
+    return static_cast<SparseLuOptions::Ordering>(v);
+}
+SparseLuOptions::Kernel decode_kernel(util::ByteReader& r) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(SparseLuOptions::Kernel::automatic))
+        r.fail("invalid kernel enum value " + std::to_string(v));
+    return static_cast<SparseLuOptions::Kernel>(v);
+}
+} // namespace
+
+std::shared_ptr<const SparseLuSymbolic> SparseLuSymbolic::load(
+    util::ByteReader& outer) {
+    util::ByteReader r = outer.sub_reader();
+    auto sym = std::shared_ptr<SparseLuSymbolic>(new SparseLuSymbolic());
+    sym->n_ = static_cast<index_t>(r.i64());
+    sym->opt_.ordering = decode_ordering(r);
+    sym->opt_.kernel = decode_kernel(r);
+    sym->opt_.pivot_tol = r.f64();
+    sym->chosen_ = decode_ordering(r);
+    sym->perm_cols_ = r.vec_int<index_t>();
+    sym->a_colp_ = r.vec_int<index_t>();
+    sym->a_rowi_ = r.vec_int<index_t>();
+    sym->mean_degree_ = r.f64();
+    sym->fill_estimate_ = static_cast<index_t>(r.i64());
+    sym->etree_.parent = r.vec_int<index_t>();
+    sym->etree_.col_count = r.vec_int<index_t>();
+    sym->snode_ptr_ = r.vec_int<index_t>();
+    sym->srow_ptr_ = r.vec_int<index_t>();
+    sym->srow_ = r.vec_int<index_t>();
+    sym->col_to_snode_ = r.vec_int<index_t>();
+    sym->lpan_off_ = r.vec_int<index_t>();
+    sym->upan_off_ = r.vec_int<index_t>();
+    sym->asm_ptr_ = r.vec_int<index_t>();
+    sym->asm_src_ = r.vec_int<index_t>();
+    sym->asm_dst_ = r.vec_int<index_t>();
+    sym->xl_colp_ = r.vec_int<index_t>();
+    sym->xl_rowi_ = r.vec_int<index_t>();
+    sym->xu_colp_ = r.vec_int<index_t>();
+    sym->xu_rowi_ = r.vec_int<index_t>();
+    sym->xl_src_ = r.vec_int<index_t>();
+    sym->xu_ptr_ = r.vec_int<index_t>();
+    sym->xu_srcs_ = r.vec_int<index_t>();
+    sym->xu_dsts_ = r.vec_int<index_t>();
+    sym->xdiag_src_ = r.vec_int<index_t>();
+    sym->padding_ = static_cast<index_t>(r.i64());
+
+    // Structural sanity: the cheap invariants every analysis satisfies.
+    const index_t n = sym->n_;
+    if (n < 0) r.fail("negative dimension");
+    if (static_cast<index_t>(sym->perm_cols_.size()) != n)
+        r.fail("perm_cols size mismatch");
+    if (static_cast<index_t>(sym->a_colp_.size()) != n + 1 && n > 0)
+        r.fail("pattern col_ptr size mismatch");
+    if (n > 0 &&
+        sym->a_colp_.back() != static_cast<index_t>(sym->a_rowi_.size()))
+        r.fail("pattern row index count mismatch");
+    for (const index_t p : sym->perm_cols_)
+        if (p < 0 || p >= n) r.fail("perm_cols entry out of range");
+    return sym;
 }
 
 } // namespace opmsim::la

@@ -51,6 +51,11 @@
 #include "la/ordering.hpp"
 #include "la/sparse.hpp"
 
+namespace opmsim::util {
+class ByteWriter;
+class ByteReader;
+} // namespace opmsim::util
+
 namespace opmsim::la {
 
 struct SparseLuOptions {
@@ -183,7 +188,20 @@ public:
     [[nodiscard]] const std::vector<index_t>& export_u_dsts() const { return xu_dsts_; }
     [[nodiscard]] const std::vector<index_t>& export_diag_src() const { return xdiag_src_; }
 
+    /// Serialize the complete analysis (every field, as a length-prefixed
+    /// block) — the SolveCaches snapshot format.  A loaded analysis is
+    /// field-identical to the saved one, so factors built on it are
+    /// bit-identical to factors built on the original.
+    void save(util::ByteWriter& w) const;
+
+    /// Reconstruct a saved analysis.  Runs basic structural sanity checks
+    /// and throws solver_error(ErrorCode::invalid_scenario) on malformed
+    /// input; deep integrity is the snapshot file's checksum's job.
+    static std::shared_ptr<const SparseLuSymbolic> load(util::ByteReader& r);
+
 private:
+    SparseLuSymbolic() = default;  ///< load() only
+
     index_t n_ = 0;
     SparseLuOptions opt_;
     SparseLuOptions::Ordering chosen_ = SparseLuOptions::Ordering::natural;

@@ -63,10 +63,12 @@ public:
             // (and cached vs uncached runs on them) share one table.
             const double tmin = std::exp2(std::floor(std::log2(h_floor)));
             const double tmax = std::exp2(std::ceil(std::log2(t_end)));
+            bool fresh = true;
             kfit_ = opt_.caches != nullptr
                         ? opt_.caches->soe_kernel(opt_.alpha, tmin, tmax,
-                                                  opt_.soe_tol)
+                                                  opt_.soe_tol, &fresh)
                         : fit_soe_kernel(opt_.alpha, tmin, tmax, opt_.soe_tol);
+            if (fresh) ++diag_.soe_fits;
             // A fit this bad would corrupt the waveform outright (the grid
             // is degenerate, e.g. t_end / h_floor ~ 1e15) — fall back to
             // the exact dense path rather than degrade silently.
@@ -455,7 +457,6 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
     for (std::size_t j = 0; j < m; ++j)
         for (index_t i = 0; i < n; ++i)
             res.coeffs(i, static_cast<index_t>(j)) = eng.solution()[j][static_cast<std::size_t>(i)];
-    res.factorizations = eng.factorizations();
     res.diag = eng.diag();
     res.diag.sweep_seconds =
         std::max(0.0, total.elapsed_s() - res.diag.factor_seconds);
@@ -509,7 +510,6 @@ AdaptiveResult simulate_opm_nonuniform(const DescriptorSystem& sys,
         for (index_t i = 0; i < n; ++i)
             res.coeffs(i, static_cast<index_t>(j)) =
                 eng.solution()[j][static_cast<std::size_t>(i)];
-    res.factorizations = eng.factorizations();
     res.diag = eng.diag();
     res.diag.sweep_seconds =
         std::max(0.0, total.elapsed_s() - res.diag.factor_seconds);

@@ -87,10 +87,6 @@ struct AdaptiveResult {
 
     index_t accepted = 0;
     index_t rejected = 0;
-    /// \deprecated Distinct pencils materialized by this run (cache hits
-    /// included); alias era — prefer diag.factorizations /
-    /// diag.factor_cache_hits.
-    index_t factorizations = 0;
 };
 
 /// Simulate E d^alpha x = A x + B u on [0, t_end) with adaptive steps.

@@ -11,8 +11,10 @@
 /// counters the Engine facade's reuse guarantees are asserted against
 /// (a warm run on a cached system must report zero `orderings`).
 ///
-/// The legacy per-struct fields are kept as deprecated aliases for one
-/// release and mirror the Diagnostics values exactly.
+/// Diagnostics is also a wire-level type: the scenario service
+/// (svc/wire.cpp) serializes every field below in declaration order, so
+/// additions go at the END of the struct and need a matching encoder /
+/// decoder clause (old decoders skip unknown trailing fields).
 
 #include <string>
 #include <vector>
@@ -95,17 +97,14 @@ struct Diagnostics {
     /// (e.g. "supernodal_fallback", "pivot_tol_refactor", or
     /// "cache_invalidated").  Empty on a healthy run.
     std::vector<std::string> degradations;
-};
 
-/// Mirror diag's timing into the deprecated per-struct aliases, for
-/// result structs that keep the {factor,sweep}_seconds pair (OpmResult,
-/// TransientResult).  The one site to delete when the deprecation window
-/// closes; GrunwaldResult's summed solve_seconds alias is maintained at
-/// its single fill site.
-template <class Result>
-void sync_legacy_timing(Result& res) {
-    res.factor_seconds = res.diag.factor_seconds;
-    res.sweep_seconds = res.diag.sweep_seconds;
-}
+    // --- cache freshness (PR 8) --------------------------------------
+    /// Sum-of-exponentials tables fitted FRESH by this call (row fits for
+    /// the discrete soe history backend, kernel fits for the adaptive
+    /// path).  Zero means every table came from the SolveCaches bundle —
+    /// the warm-restart guarantee the snapshot loader is gated on.  0 when
+    /// the soe backend was not used.
+    int soe_fits = 0;
+};
 
 } // namespace opmsim

@@ -85,9 +85,11 @@ HistoryEngine::HistoryEngine(std::vector<Vectord> rows, index_t n, index_t m,
             Vectord& row = rows_[t];
             const index_t len =
                 std::min<index_t>(static_cast<index_t>(row.size()), m_);
+            bool fresh = true;
             SoeFit f = caches_ != nullptr
-                           ? caches_->soe_row(row, len, base_, soe_tol)
+                           ? caches_->soe_row(row, len, base_, soe_tol, &fresh)
                            : fit_soe_row(row.data(), len, base_, soe_tol);
+            if (fresh) ++soe_fresh_fits_;
             sstate_[t].assign(
                 static_cast<std::size_t>(f.modes()) * static_cast<std::size_t>(n_),
                 0.0L);
@@ -458,6 +460,13 @@ index_t MultiTermHistoryEngine::soe_modes() const {
     index_t k = 0;
     for (const auto& g : groups_)
         if (g) k += g->soe_modes();
+    return k;
+}
+
+index_t MultiTermHistoryEngine::soe_fresh_fits() const {
+    index_t k = 0;
+    for (const auto& g : groups_)
+        if (g) k += g->soe_fresh_fits();
     return k;
 }
 

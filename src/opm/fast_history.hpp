@@ -134,6 +134,9 @@ public:
     [[nodiscard]] index_t soe_modes() const;
     /// Worst per-term SoE l1 fit error (0 for exact backends / zero tails).
     [[nodiscard]] double soe_fit_error() const;
+    /// Row fits computed FRESH at construction (not served by the caches
+    /// bundle); 0 for exact backends.  Feeds Diagnostics::soe_fits.
+    [[nodiscard]] index_t soe_fresh_fits() const { return soe_fresh_fits_; }
     /// Bytes of resident per-step history state: the soe backend's ring
     /// window + mode states + retained window taps; the exact backends
     /// report their full O(m) column/accumulator storage.
@@ -178,6 +181,7 @@ private:
     std::vector<SoeFit> fits_;
     la::Matrixd ring_;
     std::vector<std::vector<long double>> sstate_;
+    index_t soe_fresh_fits_ = 0;
 };
 
 /// Batched engine for differential operators D^{alpha_k}: one instance
@@ -238,6 +242,7 @@ public:
     /// Aggregate SoE diagnostics over the depth-group engines.
     [[nodiscard]] index_t soe_modes() const;
     [[nodiscard]] double soe_fit_error() const;
+    [[nodiscard]] index_t soe_fresh_fits() const;
     [[nodiscard]] std::size_t resident_state_bytes() const;
 
 private:
@@ -280,6 +285,9 @@ public:
     [[nodiscard]] HistoryBackend backend() const { return eng_.backend(); }
     [[nodiscard]] index_t soe_modes() const { return eng_.soe_modes(); }
     [[nodiscard]] double soe_fit_error() const { return eng_.soe_fit_error(); }
+    [[nodiscard]] index_t soe_fresh_fits() const {
+        return eng_.soe_fresh_fits();
+    }
     [[nodiscard]] std::size_t resident_state_bytes() const {
         return eng_.resident_state_bytes();
     }

@@ -158,7 +158,6 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
             for (index_t i = 0; i < n; ++i) x(i, j) = rhs[static_cast<std::size_t>(i)];
         }
         res.diag.sweep_seconds = timer.elapsed_s();
-        sync_legacy_timing(res);
         res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges);
         return res;
     }
@@ -208,6 +207,7 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
     if (eng.backend() == HistoryBackend::soe) {
         res.diag.soe_modes = static_cast<int>(eng.soe_modes());
         res.diag.soe_fit_error = eng.soe_fit_error();
+        res.diag.soe_fits = static_cast<int>(eng.soe_fresh_fits());
     }
 
     Vectord acc(static_cast<std::size_t>(n));
@@ -225,7 +225,6 @@ OpmResult simulate_multiterm(const MultiTermSystem& sys,
         eng.push(j, rhs.data());
     }
     res.diag.sweep_seconds = timer.elapsed_s();
-    sync_legacy_timing(res);
 
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges);
     return res;

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "fftx/convolve.hpp"
 #include "opm/fractional_series.hpp"
+#include "util/hash.hpp"
+#include "util/serial.hpp"
 #include "util/timer.hpp"
 
 namespace opmsim::opm {
@@ -50,34 +56,228 @@ std::uint64_t fnv1a(const double* p, index_t len) {
 } // namespace
 
 SoeFit SolveCaches::soe_row(const Vectord& row, index_t len, index_t window,
-                            double tol) {
+                            double tol, bool* fresh) {
     const index_t n = std::min<index_t>(len, static_cast<index_t>(row.size()));
     const auto key = std::make_tuple(fnv1a(row.data(), n), n, window, tol);
     const std::lock_guard<std::mutex> lock(series_mutex_);
     auto it = soe_rows_.find(key);
     if (it != soe_rows_.end()) {
         ++series_hits_;
+        if (fresh != nullptr) *fresh = false;
         return it->second;
     }
     ++series_misses_;
+    if (fresh != nullptr) *fresh = true;
     if (soe_rows_.size() >= kMaxSeries) soe_rows_.clear();
     return soe_rows_.emplace(key, fit_soe_row(row.data(), n, window, tol))
         .first->second;
 }
 
 SoeKernelFit SolveCaches::soe_kernel(double alpha, double tmin, double tmax,
-                                     double tol) {
+                                     double tol, bool* fresh) {
     const auto key = std::make_tuple(alpha, tmin, tmax, tol);
     const std::lock_guard<std::mutex> lock(series_mutex_);
     auto it = soe_kernels_.find(key);
     if (it != soe_kernels_.end()) {
         ++series_hits_;
+        if (fresh != nullptr) *fresh = false;
         return it->second;
     }
     ++series_misses_;
+    if (fresh != nullptr) *fresh = true;
     if (soe_kernels_.size() >= kMaxSeries) soe_kernels_.clear();
     return soe_kernels_.emplace(key, fit_soe_kernel(alpha, tmin, tmax, tol))
         .first->second;
+}
+
+void SolveCaches::purge() {
+    factors.clear();
+    plans->clear();
+    const std::lock_guard<std::mutex> lock(series_mutex_);
+    series_.clear();
+    weights_.clear();
+    soe_rows_.clear();
+    soe_kernels_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Warm-restart snapshots.  Layout:
+//   "OPMSNAP1"  (8-byte magic)
+//   u32         format version
+//   u64         FNV-1a checksum of the payload bytes
+//   u64         payload byte count
+//   payload     symbolic entries, series/weight memos, SoE fit tables
+// The checksum makes bit rot and truncation a classified load error; the
+// per-entry pattern fingerprints (FactorCache::load_symbolic) guard the
+// semantic layer on top.
+
+namespace {
+constexpr char kSnapshotMagic[8] = {'O', 'P', 'M', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void encode_soe_fit(util::ByteWriter& w, const SoeFit& f) {
+    w.vec_f64(f.rates);
+    w.vec_f64(f.weights);
+    w.i64(f.window);
+    w.f64(f.fit_error);
+    w.f64(f.tail_l1);
+}
+
+SoeFit decode_soe_fit(util::ByteReader& r) {
+    SoeFit f;
+    f.rates = r.vec_f64();
+    f.weights = r.vec_f64();
+    f.window = static_cast<index_t>(r.i64());
+    f.fit_error = r.f64();
+    f.tail_l1 = r.f64();
+    if (f.rates.size() != f.weights.size())
+        r.fail("SoE fit rate/weight count mismatch");
+    return f;
+}
+
+void encode_soe_kernel_fit(util::ByteWriter& w, const SoeKernelFit& f) {
+    w.vec_f64(f.lambdas);
+    w.vec_f64(f.weights);
+    w.f64(f.alpha);
+    w.f64(f.tmin);
+    w.f64(f.tmax);
+    w.f64(f.rel_error);
+}
+
+SoeKernelFit decode_soe_kernel_fit(util::ByteReader& r) {
+    SoeKernelFit f;
+    f.lambdas = r.vec_f64();
+    f.weights = r.vec_f64();
+    f.alpha = r.f64();
+    f.tmin = r.f64();
+    f.tmax = r.f64();
+    f.rel_error = r.f64();
+    if (f.lambdas.size() != f.weights.size())
+        r.fail("SoE kernel fit rate/weight count mismatch");
+    return f;
+}
+} // namespace
+
+void SolveCaches::save(const std::string& path) {
+    util::ByteWriter w;
+    factors.save_symbolic(w);
+    {
+        const std::lock_guard<std::mutex> lock(series_mutex_);
+        for (const SeriesMap* map : {&series_, &weights_}) {
+            w.u64(map->size());
+            for (const auto& [key, row] : *map) {
+                w.f64(key.first);
+                w.i64(key.second);
+                w.vec_f64(row);
+            }
+        }
+        w.u64(soe_rows_.size());
+        for (const auto& [key, fit] : soe_rows_) {
+            w.u64(std::get<0>(key));
+            w.i64(std::get<1>(key));
+            w.i64(std::get<2>(key));
+            w.f64(std::get<3>(key));
+            encode_soe_fit(w, fit);
+        }
+        w.u64(soe_kernels_.size());
+        for (const auto& [key, fit] : soe_kernels_) {
+            w.f64(std::get<0>(key));
+            w.f64(std::get<1>(key));
+            w.f64(std::get<2>(key));
+            w.f64(std::get<3>(key));
+            encode_soe_kernel_fit(w, fit);
+        }
+    }
+
+    util::ByteWriter file;
+    file.bytes(kSnapshotMagic, sizeof kSnapshotMagic);
+    file.u32(kSnapshotVersion);
+    file.u64(opmsim::fnv1a(w.data().data(), w.size()));
+    file.u64(w.size());
+    file.bytes(w.data().data(), w.size());
+
+    // Atomic publish: a crash mid-write must never leave a torn snapshot
+    // where a restarting daemon would find it.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw solver_error(ErrorCode::internal_error,
+                               "SolveCaches::save: cannot open " + tmp);
+        out.write(reinterpret_cast<const char*>(file.data().data()),
+                  static_cast<std::streamsize>(file.size()));
+        if (!out)
+            throw solver_error(ErrorCode::internal_error,
+                               "SolveCaches::save: write failed on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw solver_error(ErrorCode::internal_error,
+                           "SolveCaches::save: rename to " + path + " failed");
+    }
+}
+
+void SolveCaches::load(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw solver_error(ErrorCode::invalid_scenario,
+                           "SolveCaches::load: cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    util::ByteReader r(bytes.data(), bytes.size());
+
+    char magic[8];
+    if (r.remaining() < sizeof magic)
+        r.fail("snapshot shorter than its magic");
+    for (char& c : magic) c = static_cast<char>(r.u8());
+    if (std::memcmp(magic, kSnapshotMagic, sizeof magic) != 0)
+        r.fail("not an opmsim cache snapshot (bad magic)");
+    const std::uint32_t version = r.u32();
+    if (version != kSnapshotVersion)
+        r.fail("unsupported snapshot version " + std::to_string(version));
+    const std::uint64_t checksum = r.u64();
+    const std::size_t payload = r.count(1, "snapshot payload");
+    if (payload != r.remaining())
+        r.fail("snapshot payload size mismatch");
+    if (opmsim::fnv1a(bytes.data() + (bytes.size() - payload), payload) !=
+        checksum)
+        r.fail("snapshot checksum mismatch (corrupt file)");
+
+    factors.load_symbolic(r);
+    const std::lock_guard<std::mutex> lock(series_mutex_);
+    for (SeriesMap* map : {&series_, &weights_}) {
+        const std::uint64_t count = r.count(24, "series entries");
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const double alpha = r.f64();
+            const auto m = static_cast<index_t>(r.i64());
+            Vectord row = r.vec_f64();
+            map->emplace(std::make_pair(alpha, m), std::move(row));
+        }
+    }
+    {
+        const std::uint64_t count = r.count(32, "soe row fits");
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const std::uint64_t h = r.u64();
+            const auto len = static_cast<index_t>(r.i64());
+            const auto window = static_cast<index_t>(r.i64());
+            const double tol = r.f64();
+            SoeFit fit = decode_soe_fit(r);
+            soe_rows_.emplace(std::make_tuple(h, len, window, tol),
+                              std::move(fit));
+        }
+    }
+    {
+        const std::uint64_t count = r.count(32, "soe kernel fits");
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const double alpha = r.f64();
+            const double tmin = r.f64();
+            const double tmax = r.f64();
+            const double tol = r.f64();
+            SoeKernelFit fit = decode_soe_kernel_fit(r);
+            soe_kernels_.emplace(std::make_tuple(alpha, tmin, tmax, tol),
+                                 std::move(fit));
+        }
+    }
 }
 
 std::shared_ptr<const la::SparseLu> acquire_factor(SolveCaches* caches,

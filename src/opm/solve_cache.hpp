@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 #include <utility>
 
@@ -72,16 +73,44 @@ struct SolveCaches {
     /// unlikely event of a hash collision the table returned would still
     /// be a valid SoE fit of *some* row at the same (len, window, tol) —
     /// and the stored fit_error would expose it — but we accept the hash
-    /// as the identity here, like every content-addressed cache.
-    SoeFit soe_row(const Vectord& row, index_t len, index_t window, double tol);
+    /// as the identity here, like every content-addressed cache.  `fresh`
+    /// (optional) reports whether the fit was computed by this call (true)
+    /// or served from the memo (false) — the Diagnostics::soe_fits signal.
+    SoeFit soe_row(const Vectord& row, index_t len, index_t window, double tol,
+                   bool* fresh = nullptr);
     /// Memoized continuous RL-kernel fit (adaptive soe path), keyed by
     /// (alpha, tmin, tmax, tol).  Callers wanting cache/no-cache
     /// bit-identical runs should canonicalize tmin/tmax (the adaptive
-    /// driver rounds them to dyadic classes) before calling.
-    SoeKernelFit soe_kernel(double alpha, double tmin, double tmax, double tol);
+    /// driver rounds them to dyadic classes) before calling.  `fresh` as
+    /// in soe_row().
+    SoeKernelFit soe_kernel(double alpha, double tmin, double tmax, double tol,
+                            bool* fresh = nullptr);
 
     [[nodiscard]] long series_hits() const { return series_hits_; }
     [[nodiscard]] long series_misses() const { return series_misses_; }
+
+    /// Drop every cached entry (factors, plans, series and SoE memos) —
+    /// the Engine's LRU cache tier evicts cold tenants with this.  The
+    /// bundle's address is unchanged and it stays fully usable; the next
+    /// run simply re-warms it.  Not thread-safe against in-flight runs.
+    void purge();
+
+    /// Write a warm-restart snapshot to `path` (atomic: temp file +
+    /// rename): the factor cache's symbolic analyses, the rho-series /
+    /// Grünwald-weight memos, and the fitted SoE tables — everything a
+    /// fresh process needs so its FIRST request reports zero
+    /// fill-reducing orderings and zero SoE refits.  Numeric factors and
+    /// FFT plans are value-/process-bound and cheap to rebuild, so they
+    /// are not snapshotted.  Throws solver_error(internal_error) on I/O
+    /// failure.
+    void save(const std::string& path);
+
+    /// Merge a snapshot written by save() into this bundle.  The file's
+    /// checksum and every symbolic entry's pattern fingerprint are
+    /// verified; corruption or version mismatch throws
+    /// solver_error(ErrorCode::invalid_scenario) and leaves the bundle
+    /// usable (entries loaded before the failure may remain).
+    void load(const std::string& path);
 
 private:
     /// Each map is bounded like the factor/plan caches: a long-lived

@@ -236,6 +236,7 @@ void sweep_toeplitz_diff(const DescriptorSystem& sys, const la::Matrixd& g,
     if (eng.backend() == HistoryBackend::soe) {
         diag.soe_modes = static_cast<int>(eng.soe_modes());
         diag.soe_fit_error = eng.soe_fit_error();
+        diag.soe_fits = static_cast<int>(eng.soe_fresh_fits());
     }
     Vectord acc(static_cast<std::size_t>(nr));
     Vectord rhs(static_cast<std::size_t>(nr));
@@ -279,6 +280,7 @@ void sweep_toeplitz_int(const DescriptorSystem& sys, const la::Matrixd& g,
     if (eng.backend() == HistoryBackend::soe) {
         diag.soe_modes = static_cast<int>(eng.soe_modes());
         diag.soe_fit_error = eng.soe_fit_error();
+        diag.soe_fits = static_cast<int>(eng.soe_fresh_fits());
     }
     Vectord acc(static_cast<std::size_t>(nr));
     Vectord rhs(static_cast<std::size_t>(nr));
@@ -362,7 +364,6 @@ std::vector<OpmResult> simulate_opm_batch(
             if (opt.caches != nullptr) res.diag.factor_cache_hits = 1;
         }
         res.diag.rhs_solved = m;
-        sync_legacy_timing(res);
         res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
     }
     return out;
@@ -457,7 +458,6 @@ OpmResult simulate_opm_windowed(const DescriptorSystem& sys,
         for (index_t j = 0; j < m; ++j)
             for (index_t i = 0; i < n; ++i)
                 res.coeffs(i, j) -= opt.x0[static_cast<std::size_t>(i)];
-    sync_legacy_timing(res);
     res.outputs = outputs_from_coeffs(sys.c, res.coeffs, res.edges, opt.x0);
     return res;
 }
@@ -503,7 +503,6 @@ OpmResult simulate_generic_basis(const DenseDescriptorSystem& sys,
     res.diag.factorizations = 1;
     res.diag.rcond_estimate = lu.rcond_estimate();
     res.diag.pivot_growth = lu.pivot_growth();
-    sync_legacy_timing(res);
     res.edges = wave::uniform_edges(bas.t_end(), m);
 
     // Outputs: synthesize y = C x channel by channel on a fine grid.

@@ -125,11 +125,6 @@ struct OpmResult {
 
     /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
     Diagnostics diag;
-
-    /// \deprecated Aliases of diag.factor_seconds / diag.sweep_seconds,
-    /// kept for one release; new code should read `diag`.
-    double factor_seconds = 0.0;  ///< pencil factorization time
-    double sweep_seconds = 0.0;   ///< column sweep time (incl. projections)
 };
 
 /// Simulate on [0, t_end) with m uniform steps.

@@ -1,0 +1,335 @@
+#include "svc/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace opmsim::svc {
+
+namespace {
+
+constexpr std::size_t kMaxReplyBytes = std::size_t{1} << 28;
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t k = ::read(fd, buf + got, n - got);
+        if (k > 0) {
+            got += static_cast<std::size_t>(k);
+        } else if (k < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t k = ::write(fd, buf + put, n - put);
+        if (k > 0) {
+            put += static_cast<std::size_t>(k);
+        } else if (k < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+[[noreturn]] void transport_fail(const std::string& what) {
+    throw solver_error(ErrorCode::internal_error, "svc::Client: " + what);
+}
+
+} // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect_unix(const std::string& path) {
+    OPMSIM_REQUIRE(fd_ < 0, "svc::Client: already connected");
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) transport_fail(std::string("socket: ") + std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    OPMSIM_REQUIRE(path.size() < sizeof addr.sun_path,
+                   "svc::Client: socket path too long");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        transport_fail("connect(" + path + "): " + why);
+    }
+    fd_ = fd;
+    handshake();
+}
+
+void Client::connect_tcp(int port) {
+    OPMSIM_REQUIRE(fd_ < 0, "svc::Client: already connected");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) transport_fail(std::string("socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        transport_fail("connect(127.0.0.1:" + std::to_string(port) +
+                       "): " + why);
+    }
+    fd_ = fd;
+    handshake();
+}
+
+void Client::handshake() {
+    receiver_ = std::thread([this] { receive_loop(); });
+    const auto [type, payload] = call(MsgType::hello, {});
+    if (type != MsgType::hello_ack) transport_fail("handshake rejected");
+    util::ByteReader r(payload.data(), payload.size());
+    const std::uint16_t major = r.u16();
+    if (major != kProtoMajor)
+        transport_fail("server speaks protocol major " + std::to_string(major));
+    minor_ = r.u16();
+}
+
+void Client::close() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    if (receiver_.joinable()) receiver_.join();
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Client::fail_all_pending(const std::string& why) {
+    std::map<std::uint64_t, Pending> orphans;
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        orphans.swap(pending_);
+    }
+    util::ByteWriter w;
+    encode(w, Status{ErrorCode::internal_error, why});
+    for (auto& [id, p] : orphans) p.deliver(MsgType::error, w.data());
+}
+
+void Client::receive_loop() {
+    std::vector<std::uint8_t> header(kFrameHeaderBytes);
+    for (;;) {
+        if (!read_exact(fd_, header.data(), header.size())) break;
+        FrameHeader hdr;
+        try {
+            hdr = decode_frame_header(header.data(), header.size(),
+                                      kMaxReplyBytes);
+        } catch (...) {
+            break;  // framing lost; the connection is unusable
+        }
+        std::vector<std::uint8_t> payload(hdr.payload_len);
+        if (!read_exact(fd_, payload.data(), payload.size())) break;
+        Pending p;
+        {
+            const std::lock_guard<std::mutex> lock(pending_mutex_);
+            const auto it = pending_.find(hdr.request_id);
+            if (it == pending_.end()) continue;  // stray reply: drop
+            p = std::move(it->second);
+            pending_.erase(it);
+        }
+        p.deliver(hdr.type, std::move(payload));
+    }
+    fail_all_pending("connection closed");
+}
+
+std::uint64_t Client::send_request(MsgType type,
+                                   const std::vector<std::uint8_t>& payload) {
+    OPMSIM_REQUIRE(fd_ >= 0, "svc::Client: not connected");
+    std::uint64_t id;
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        id = next_id_++;
+    }
+    util::ByteWriter w;
+    FrameHeader h;
+    h.type = type;
+    h.request_id = id;
+    h.payload_len = payload.size();
+    encode_frame_header(w, h);
+    w.bytes(payload.data(), payload.size());
+    const std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!write_all(fd_, w.data().data(), w.size()))
+        transport_fail("send failed (connection closed)");
+    return id;
+}
+
+std::pair<MsgType, std::vector<std::uint8_t>> Client::call(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+    std::promise<std::pair<MsgType, std::vector<std::uint8_t>>> promise;
+    std::future<std::pair<MsgType, std::vector<std::uint8_t>>> future =
+        promise.get_future();
+    std::uint64_t id;
+    {
+        // Register BEFORE sending so a fast reply cannot race the map
+        // insert; the id must be reserved and mapped atomically.
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        id = next_id_++;
+        pending_[id].deliver = [&promise](MsgType t,
+                                          std::vector<std::uint8_t> body) {
+            promise.set_value({t, std::move(body)});
+        };
+    }
+    util::ByteWriter w;
+    FrameHeader h;
+    h.type = type;
+    h.request_id = id;
+    h.payload_len = payload.size();
+    encode_frame_header(w, h);
+    w.bytes(payload.data(), payload.size());
+    {
+        const std::lock_guard<std::mutex> lock(write_mutex_);
+        if (!write_all(fd_, w.data().data(), w.size())) {
+            {
+                const std::lock_guard<std::mutex> plock(pending_mutex_);
+                pending_.erase(id);
+            }
+            transport_fail("send failed (connection closed)");
+        }
+    }
+    auto [rtype, body] = future.get();
+    if (rtype == MsgType::error) {
+        util::ByteReader r(body.data(), body.size());
+        const Status st = decode_status(r);
+        throw solver_error(st.code, st.message);
+    }
+    return {rtype, std::move(body)};
+}
+
+std::uint64_t Client::register_system(const opm::DescriptorSystem& sys) {
+    util::ByteWriter w;
+    encode(w, sys);
+    const auto [type, body] = call(MsgType::register_descriptor, w.data());
+    util::ByteReader r(body.data(), body.size());
+    return r.u64();
+}
+
+std::uint64_t Client::register_system(const opm::MultiTermSystem& sys) {
+    util::ByteWriter w;
+    encode(w, sys);
+    const auto [type, body] = call(MsgType::register_multiterm, w.data());
+    util::ByteReader r(body.data(), body.size());
+    return r.u64();
+}
+
+void Client::remove_system(std::uint64_t handle) {
+    util::ByteWriter w;
+    w.u64(handle);
+    call(MsgType::remove_system, w.data());
+}
+
+api::SolveResult Client::submit(std::uint64_t handle, const WireScenario& sc) {
+    return submit_async(handle, sc).get();
+}
+
+std::future<api::SolveResult> Client::submit_async(std::uint64_t handle,
+                                                   const WireScenario& sc) {
+    auto promise = std::make_shared<std::promise<api::SolveResult>>();
+    std::future<api::SolveResult> future = promise->get_future();
+    submit_cb(handle, sc, [promise](api::SolveResult res) {
+        promise->set_value(std::move(res));
+    });
+    return future;
+}
+
+void Client::submit_cb(std::uint64_t handle, const WireScenario& sc,
+                       std::function<void(api::SolveResult)> cb) {
+    OPMSIM_REQUIRE(fd_ >= 0, "svc::Client: not connected");
+    util::ByteWriter body;
+    body.u64(handle);
+    encode(body, sc);
+
+    std::uint64_t id;
+    {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        id = next_id_++;
+        pending_[id].deliver = [cb = std::move(cb)](
+                                   MsgType type,
+                                   std::vector<std::uint8_t> payload) {
+            api::SolveResult res;
+            try {
+                util::ByteReader r(payload.data(), payload.size());
+                if (type == MsgType::result) {
+                    res = decode_result(r);
+                } else if (type == MsgType::error) {
+                    res.status = decode_status(r);
+                } else {
+                    res.status = {ErrorCode::internal_error,
+                                  "unexpected reply type"};
+                }
+            } catch (...) {
+                res.status = status_from_current_exception();
+            }
+            cb(std::move(res));
+        };
+    }
+    util::ByteWriter w;
+    FrameHeader h;
+    h.type = MsgType::submit;
+    h.request_id = id;
+    h.payload_len = body.size();
+    encode_frame_header(w, h);
+    w.bytes(body.data().data(), body.size());
+    bool sent;
+    {
+        const std::lock_guard<std::mutex> lock(write_mutex_);
+        sent = write_all(fd_, w.data().data(), w.size());
+    }
+    if (!sent) {
+        // Deliver the failure outside every lock: the callback is free to
+        // submit again.
+        Pending orphan;
+        {
+            const std::lock_guard<std::mutex> plock(pending_mutex_);
+            const auto it = pending_.find(id);
+            if (it == pending_.end()) return;  // receiver already failed it
+            orphan = std::move(it->second);
+            pending_.erase(it);
+        }
+        util::ByteWriter err;
+        encode(err, Status{ErrorCode::internal_error,
+                           "send failed (connection closed)"});
+        orphan.deliver(MsgType::error, err.data());
+    }
+}
+
+void Client::save_caches(std::uint64_t handle, const std::string& path) {
+    util::ByteWriter w;
+    w.u64(handle);
+    w.str(path);
+    call(MsgType::save_caches, w.data());
+}
+
+void Client::load_caches(std::uint64_t handle, const std::string& path) {
+    util::ByteWriter w;
+    w.u64(handle);
+    w.str(path);
+    call(MsgType::load_caches, w.data());
+}
+
+ServiceStats Client::stats() {
+    const auto [type, body] = call(MsgType::stats, {});
+    util::ByteReader r(body.data(), body.size());
+    return decode_service_stats(r);
+}
+
+void Client::ping() { call(MsgType::ping, {}); }
+
+void Client::shutdown_server() { call(MsgType::shutdown, {}); }
+
+} // namespace opmsim::svc

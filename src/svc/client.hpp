@@ -1,0 +1,104 @@
+#pragma once
+/// \file client.hpp
+/// \brief Client library for the opmsim scenario daemon.
+///
+/// A Client owns one connection to an svc::Server and exposes the wire
+/// protocol as typed calls.  A background receive thread demultiplexes
+/// reply frames by request_id, so requests may be pipelined: the async
+/// submit paths (submit_async / submit_cb) let a caller keep many
+/// scenarios in flight — which is exactly what makes the daemon's
+/// micro-batching window fill up — while the blocking helpers stay
+/// one-liner convenient.
+///
+/// Failure model: a reply carrying MsgType::error is rethrown in the
+/// caller's thread as solver_error with the server's taxonomy code.  A
+/// failed *scenario* is not an error frame — Engine::run_batch reports
+/// failure as data, so submit() returns a SolveResult whose `status`
+/// carries the code and the transport stays healthy.  A broken connection
+/// fails every pending call with ErrorCode::internal_error.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+namespace opmsim::svc {
+
+class Client {
+public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Connect to a Unix-domain socket and perform the hello handshake.
+    void connect_unix(const std::string& path);
+    /// Connect to a loopback TCP port and perform the hello handshake.
+    void connect_tcp(int port);
+
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+    /// The minor protocol version negotiated by the handshake.
+    [[nodiscard]] std::uint16_t negotiated_minor() const { return minor_; }
+
+    /// Register a system with the daemon's Engine; returns the wire handle.
+    std::uint64_t register_system(const opm::DescriptorSystem& sys);
+    std::uint64_t register_system(const opm::MultiTermSystem& sys);
+    void remove_system(std::uint64_t handle);
+
+    /// Run one scenario (blocking).  Failure — whether the scenario's or
+    /// the transport's — comes back as data in the result's `status`, so a
+    /// load driver never needs try/catch around its request loop.
+    api::SolveResult submit(std::uint64_t handle, const WireScenario& sc);
+    /// Pipelined submit; same failure-as-data contract as submit().
+    std::future<api::SolveResult> submit_async(std::uint64_t handle,
+                                               const WireScenario& sc);
+    /// Callback submit for open-loop load generation: `cb` runs on the
+    /// receive thread the moment the result frame arrives (keep it cheap —
+    /// timestamping and queueing, not processing).  Transport failures
+    /// deliver a result with status.code == internal_error.
+    void submit_cb(std::uint64_t handle, const WireScenario& sc,
+                   std::function<void(api::SolveResult)> cb);
+
+    /// Snapshot the handle's warm caches to a file on the DAEMON's host.
+    void save_caches(std::uint64_t handle, const std::string& path);
+    /// Merge a snapshot into the handle's caches (fingerprint-verified).
+    void load_caches(std::uint64_t handle, const std::string& path);
+
+    [[nodiscard]] ServiceStats stats();
+    void ping();
+    /// Ask the daemon to stop accepting work and exit its dispatch loop.
+    void shutdown_server();
+
+    void close();
+
+private:
+    struct Pending {
+        std::function<void(MsgType, std::vector<std::uint8_t>)> deliver;
+    };
+
+    void handshake();
+    void receive_loop();
+    std::uint64_t send_request(MsgType type,
+                               const std::vector<std::uint8_t>& payload);
+    /// Send and wait for the reply frame; throws on error frames.
+    std::pair<MsgType, std::vector<std::uint8_t>> call(
+        MsgType type, const std::vector<std::uint8_t>& payload);
+    void fail_all_pending(const std::string& why);
+
+    int fd_ = -1;
+    std::uint16_t minor_ = 0;
+    std::thread receiver_;
+    std::mutex write_mutex_;
+    std::mutex pending_mutex_;
+    std::map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace opmsim::svc

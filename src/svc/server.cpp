@@ -1,0 +1,447 @@
+#include "svc/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <utility>
+
+namespace opmsim::svc {
+
+namespace {
+
+/// Blocking full-buffer read; false on EOF/error (connection gone).
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t k = ::read(fd, buf + got, n - got);
+        if (k > 0) {
+            got += static_cast<std::size_t>(k);
+        } else if (k < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t k = ::write(fd, buf + put, n - put);
+        if (k > 0) {
+            put += static_cast<std::size_t>(k);
+        } else if (k < 0 && errno == EINTR) {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+[[noreturn]] void socket_fail(const std::string& what) {
+    throw solver_error(ErrorCode::internal_error,
+                       "svc::Server: " + what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)) {
+    if (opt_.max_batch < 1) opt_.max_batch = 1;
+    engine_.set_cache_capacity(opt_.cache_capacity);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+    OPMSIM_REQUIRE(!started_, "svc::Server: start() called twice");
+    if (!opt_.socket_path.empty()) {
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) socket_fail("socket(AF_UNIX)");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        OPMSIM_REQUIRE(opt_.socket_path.size() < sizeof addr.sun_path,
+                       "svc::Server: socket path too long");
+        std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+                    opt_.socket_path.size() + 1);
+        ::unlink(opt_.socket_path.c_str());  // stale socket from a crash
+        if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0)
+            socket_fail("bind(" + opt_.socket_path + ")");
+    } else {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) socket_fail("socket(AF_INET)");
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcp_port));
+        if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0)
+            socket_fail("bind(127.0.0.1:" + std::to_string(opt_.tcp_port) + ")");
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+        port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    if (::listen(listen_fd_, 64) != 0) socket_fail("listen");
+    started_ = true;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Server::close_listener() {
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void Server::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_ && !started_) return;
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    close_listener();
+    {
+        const std::lock_guard<std::mutex> lock(conn_mutex_);
+        for (const std::shared_ptr<Connection>& c : connections_)
+            if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (dispatch_thread_.joinable()) dispatch_thread_.join();
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        const std::lock_guard<std::mutex> lock(conn_mutex_);
+        conns.swap(connections_);
+    }
+    for (const std::shared_ptr<Connection>& c : conns) {
+        if (c->reader.joinable()) c->reader.join();
+        if (c->fd >= 0) ::close(c->fd);
+    }
+    if (!opt_.socket_path.empty()) ::unlink(opt_.socket_path.c_str());
+    started_ = false;
+    {
+        const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+}
+
+void Server::wait_for_shutdown() {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+ServiceStats Server::stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+void Server::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // listener closed: stop() is in progress
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            const std::lock_guard<std::mutex> lock(conn_mutex_);
+            connections_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    }
+}
+
+void Server::send_frame(Connection& conn, MsgType type,
+                        std::uint64_t request_id,
+                        const std::vector<std::uint8_t>& payload) {
+    util::ByteWriter w;
+    FrameHeader h;
+    h.type = type;
+    h.request_id = request_id;
+    h.payload_len = payload.size();
+    encode_frame_header(w, h);
+    w.bytes(payload.data(), payload.size());
+    const std::lock_guard<std::mutex> lock(conn.write_mutex);
+    write_all(conn.fd, w.data().data(), w.size());
+}
+
+void Server::send_error(Connection& conn, std::uint64_t request_id,
+                        const Status& st) {
+    util::ByteWriter w;
+    encode(w, st);
+    send_frame(conn, MsgType::error, request_id, w.data());
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+    std::vector<std::uint8_t> header(kFrameHeaderBytes);
+    for (;;) {
+        if (!read_exact(conn->fd, header.data(), header.size())) return;
+        FrameHeader hdr;
+        try {
+            hdr = decode_frame_header(header.data(), header.size(),
+                                      opt_.max_frame_bytes);
+        } catch (...) {
+            // A bad header means framing is lost; report and drop the
+            // connection (we cannot resynchronize a byte stream).
+            send_error(*conn, 0, status_from_current_exception());
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+        }
+        std::vector<std::uint8_t> payload(hdr.payload_len);
+        if (!read_exact(conn->fd, payload.data(), payload.size())) return;
+
+        Job job;
+        job.conn = conn;
+        job.hdr = hdr;
+        if (hdr.type == MsgType::submit) {
+            // Decode on the reader thread: malformed submissions are
+            // rejected here and never occupy the dispatcher.
+            try {
+                util::ByteReader r(payload.data(), payload.size());
+                job.handle = r.u64();
+                job.scenario = decode_scenario(r);
+            } catch (...) {
+                send_error(*conn, hdr.request_id,
+                           status_from_current_exception());
+                continue;
+            }
+        } else if (hdr.type == MsgType::ping) {
+            send_frame(*conn, MsgType::pong, hdr.request_id, {});
+            continue;
+        } else {
+            job.payload = std::move(payload);
+        }
+        {
+            const std::lock_guard<std::mutex> lock(queue_mutex_);
+            if (stopping_) return;
+            queue_.push_back(std::move(job));
+        }
+        queue_cv_.notify_one();
+    }
+}
+
+void Server::dispatch_loop() {
+    for (;;) {
+        std::vector<Job> submits;
+        Job control;
+        bool have_control = false;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty()) return;
+            if (queue_.front().hdr.type != MsgType::submit) {
+                control = std::move(queue_.front());
+                queue_.pop_front();
+                have_control = true;
+            } else {
+                // Micro-batching: hold the window open from the FIRST
+                // submit, absorbing every further submit that arrives —
+                // but never across a control message (the barrier).
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(opt_.batch_window));
+                for (;;) {
+                    while (!queue_.empty() &&
+                           queue_.front().hdr.type == MsgType::submit &&
+                           submits.size() <
+                               static_cast<std::size_t>(opt_.max_batch)) {
+                        submits.push_back(std::move(queue_.front()));
+                        queue_.pop_front();
+                    }
+                    if (stopping_ ||
+                        submits.size() >=
+                            static_cast<std::size_t>(opt_.max_batch) ||
+                        (!queue_.empty() &&
+                         queue_.front().hdr.type != MsgType::submit))
+                        break;
+                    if (queue_cv_.wait_until(lock, deadline) ==
+                        std::cv_status::timeout) {
+                        // Window closed; absorb whatever raced in before
+                        // the timeout fired.
+                        while (!queue_.empty() &&
+                               queue_.front().hdr.type == MsgType::submit &&
+                               submits.size() <
+                                   static_cast<std::size_t>(opt_.max_batch)) {
+                            submits.push_back(std::move(queue_.front()));
+                            queue_.pop_front();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if (have_control) {
+            handle_control(control);
+            if (control.hdr.type == MsgType::shutdown) return;
+        } else if (!submits.empty()) {
+            dispatch_submits(std::move(submits));
+        }
+    }
+}
+
+void Server::dispatch_submits(std::vector<Job> batch) {
+    // Partition by system handle, preserving arrival order within each
+    // partition; each partition is ONE Engine::run_batch call, so
+    // batch-compatible scenarios from different clients share one
+    // multi-RHS sweep and incompatible ones still share the handle's
+    // warm caches.
+    std::map<std::uint64_t, std::vector<std::size_t>> by_handle;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        by_handle[batch[i].handle].push_back(i);
+
+    for (const auto& [handle, members] : by_handle) {
+        std::vector<api::Scenario> scenarios;
+        scenarios.reserve(members.size());
+        bool materialized = true;
+        try {
+            for (const std::size_t i : members)
+                scenarios.push_back(batch[i].scenario.to_scenario());
+        } catch (...) {
+            // Source instantiation failed (bad factory parameters):
+            // reject the whole partition member-by-member below.
+            materialized = false;
+        }
+
+        std::vector<api::SolveResult> results;
+        if (materialized) {
+            try {
+                api::Engine::BatchOptions bopt;
+                bopt.workers = opt_.batch_workers;
+                results = engine_.run_batch(api::SystemHandle{handle},
+                                            scenarios, bopt);
+            } catch (...) {
+                // Bad handle (or Engine-level failure): every member gets
+                // the same classified error.
+                const Status st = status_from_current_exception();
+                for (const std::size_t i : members)
+                    send_error(*batch[i].conn, batch[i].hdr.request_id, st);
+                continue;
+            }
+        } else {
+            // Re-run members individually so healthy ones still complete.
+            results.reserve(members.size());
+            for (const std::size_t i : members) {
+                api::SolveResult res;
+                try {
+                    res = engine_.run(api::SystemHandle{handle},
+                                      batch[i].scenario.to_scenario());
+                } catch (...) {
+                    res.status = status_from_current_exception();
+                }
+                results.push_back(std::move(res));
+            }
+        }
+
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            const Job& job = batch[members[k]];
+            util::ByteWriter w;
+            encode(w, results[k]);
+            send_frame(*job.conn, MsgType::result, job.hdr.request_id,
+                       w.data());
+        }
+
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.requests += members.size();
+        stats_.batches += 1;
+        if (members.size() >= 2) stats_.coalesced += members.size();
+        if (members.size() > stats_.largest_batch)
+            stats_.largest_batch = members.size();
+    }
+}
+
+void Server::handle_control(Job& job) {
+    Connection& conn = *job.conn;
+    const std::uint64_t id = job.hdr.request_id;
+    try {
+        util::ByteReader r(job.payload.data(), job.payload.size());
+        switch (job.hdr.type) {
+        case MsgType::hello: {
+            util::ByteWriter w;
+            w.u16(kProtoMajor);
+            w.u16(std::min(kProtoMinor, job.hdr.ver_minor));
+            send_frame(conn, MsgType::hello_ack, id, w.data());
+            break;
+        }
+        case MsgType::register_descriptor: {
+            const api::SystemHandle h = engine_.add_system(decode_descriptor(r));
+            util::ByteWriter w;
+            w.u64(h.id);
+            send_frame(conn, MsgType::ok, id, w.data());
+            break;
+        }
+        case MsgType::register_multiterm: {
+            const api::SystemHandle h = engine_.add_system(decode_multiterm(r));
+            util::ByteWriter w;
+            w.u64(h.id);
+            send_frame(conn, MsgType::ok, id, w.data());
+            break;
+        }
+        case MsgType::remove_system: {
+            engine_.remove_system(api::SystemHandle{r.u64()});
+            send_frame(conn, MsgType::ok, id, {});
+            break;
+        }
+        case MsgType::save_caches: {
+            const std::uint64_t handle = r.u64();
+            const std::string path = r.str();
+            engine_.caches(api::SystemHandle{handle}).save(path);
+            send_frame(conn, MsgType::ok, id, {});
+            break;
+        }
+        case MsgType::load_caches: {
+            const std::uint64_t handle = r.u64();
+            const std::string path = r.str();
+            engine_.caches(api::SystemHandle{handle}).load(path);
+            send_frame(conn, MsgType::ok, id, {});
+            break;
+        }
+        case MsgType::stats: {
+            util::ByteWriter w;
+            encode(w, stats());
+            send_frame(conn, MsgType::stats_reply, id, w.data());
+            break;
+        }
+        case MsgType::shutdown: {
+            send_frame(conn, MsgType::ok, id, {});
+            {
+                const std::lock_guard<std::mutex> lock(queue_mutex_);
+                stopping_ = true;
+            }
+            queue_cv_.notify_all();
+            close_listener();
+            {
+                const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+                shutdown_requested_ = true;
+            }
+            shutdown_cv_.notify_all();
+            break;
+        }
+        default:
+            send_error(conn, id,
+                       {ErrorCode::invalid_scenario,
+                        "message type not valid as a request"});
+            break;
+        }
+    } catch (...) {
+        send_error(conn, id, status_from_current_exception());
+    }
+}
+
+} // namespace opmsim::svc

@@ -1,0 +1,154 @@
+#pragma once
+/// \file server.hpp
+/// \brief The opmsim scenario daemon: an Engine behind a socket, with
+///        dynamic micro-batching of concurrent scenario submissions.
+///
+/// The Server owns one api::Engine and exposes it over a Unix-domain (or
+/// loopback TCP) socket speaking the wire protocol of svc/wire.hpp.
+/// Clients register systems once, then submit scenarios against the
+/// returned handles; the daemon keeps each handle's SolveCaches warm
+/// across requests and — via SolveCaches::{save,load} — across restarts.
+///
+/// Concurrency model: accept and per-connection reader threads only parse
+/// frames; every Engine interaction happens on ONE dispatcher thread, so
+/// the Engine's single-threaded contract (add/remove/run) holds by
+/// construction.  The dispatcher is also where dynamic micro-batching
+/// lives: when a submit arrives it waits up to `batch_window` for more
+/// submits, then partitions the collected jobs by system handle and runs
+/// each partition as ONE Engine::run_batch call — batch-compatible
+/// scenarios from DIFFERENT clients coalesce into one multi-RHS sweep
+/// (one factorization, blocked triangular solves), and PR 6's fault
+/// containment guarantees a poisoned submission cannot take its
+/// batch-mates down.  Control messages (register/remove/save/load/stats/
+/// shutdown) act as barriers: coalescing never reorders a submit across
+/// them, so "register, submit, remove" behaves sequentially per
+/// connection.
+///
+/// Every reply frame echoes its request_id, so clients may pipeline
+/// requests freely; per-connection writes are serialized by a mutex.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "svc/wire.hpp"
+
+namespace opmsim::svc {
+
+struct ServerOptions {
+    /// Unix-domain socket path.  When empty, the server listens on
+    /// loopback TCP instead (`tcp_port`).
+    std::string socket_path;
+    /// TCP port on 127.0.0.1 (0 = ephemeral; read the bound port back
+    /// with Server::port()).  Used only when `socket_path` is empty.
+    int tcp_port = 0;
+    /// Coalescing window in seconds: how long the dispatcher holds the
+    /// first submit of a batch open for others to join.  0 disables
+    /// coalescing (every submit runs alone — still through run_batch, so
+    /// behavior is identical, just unbatched).
+    double batch_window = 1e-3;
+    /// Max submits coalesced into one dispatch round.
+    int max_batch = 64;
+    /// Worker threads Engine::run_batch may use per dispatch
+    /// (BatchOptions::workers; thread count never changes results).
+    int batch_workers = 1;
+    /// Hard cap on a single frame's payload (decode error beyond it) —
+    /// a corrupt or adversarial length field cannot trigger an absurd
+    /// allocation.
+    std::size_t max_frame_bytes = std::size_t{1} << 28;
+    /// Engine::set_cache_capacity value (0 = unlimited): the LRU bound on
+    /// how many registered systems keep warm caches.
+    std::size_t cache_capacity = 0;
+};
+
+class Server {
+public:
+    explicit Server(ServerOptions opt = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind, listen and spawn the accept + dispatcher threads.  Throws
+    /// solver_error(internal_error) when the socket cannot be set up.
+    void start();
+
+    /// Close the listener and every connection, join all threads.  Safe to
+    /// call twice; the destructor calls it.
+    void stop();
+
+    /// Block until a client's shutdown request arrives (or stop() is
+    /// called from another thread).  The daemon main's idle loop.
+    void wait_for_shutdown();
+
+    /// Bound TCP port (meaningful after start() in TCP mode).
+    [[nodiscard]] int port() const { return port_; }
+    [[nodiscard]] const std::string& socket_path() const {
+        return opt_.socket_path;
+    }
+
+    /// Micro-batching counters (also served to clients via MsgType::stats).
+    [[nodiscard]] ServiceStats stats() const;
+
+private:
+    struct Connection {
+        int fd = -1;
+        std::mutex write_mutex;
+        std::thread reader;
+    };
+
+    /// One decoded request waiting for the dispatcher.
+    struct Job {
+        std::shared_ptr<Connection> conn;
+        FrameHeader hdr;
+        std::vector<std::uint8_t> payload;  ///< raw body (control messages)
+        // Decoded submit fields (valid when hdr.type == MsgType::submit;
+        // decoding happens on the reader thread so malformed submissions
+        // are rejected before they can stall the dispatcher).
+        std::uint64_t handle = 0;
+        WireScenario scenario;
+    };
+
+    void accept_loop();
+    void reader_loop(const std::shared_ptr<Connection>& conn);
+    void dispatch_loop();
+    void handle_control(Job& job);
+    void dispatch_submits(std::vector<Job> batch);
+    void send_frame(Connection& conn, MsgType type, std::uint64_t request_id,
+                    const std::vector<std::uint8_t>& payload);
+    void send_error(Connection& conn, std::uint64_t request_id,
+                    const Status& st);
+    void close_listener();
+
+    ServerOptions opt_;
+    api::Engine engine_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    bool started_ = false;
+
+    std::thread accept_thread_;
+    std::thread dispatch_thread_;
+
+    std::mutex conn_mutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    bool stopping_ = false;
+
+    mutable std::mutex stats_mutex_;
+    ServiceStats stats_;
+
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+    bool shutdown_requested_ = false;
+};
+
+} // namespace opmsim::svc

@@ -67,6 +67,7 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
     if (eng.backend() == opm::HistoryBackend::soe) {
         diag.soe_modes = static_cast<int>(eng.soe_modes());
         diag.soe_fit_error = eng.soe_fit_error();
+        diag.soe_fits = static_cast<int>(eng.soe_fresh_fits());
     }
     la::Vectord z0(static_cast<std::size_t>(nr), 0.0);
     eng.push(0, z0.data());
@@ -143,7 +144,6 @@ std::vector<GrunwaldResult> simulate_grunwald_batch(
             }
             res.outputs.emplace_back(res.times, std::move(v));
         }
-        res.solve_seconds = res.diag.factor_seconds + res.diag.sweep_seconds;
     }
     return out;
 }

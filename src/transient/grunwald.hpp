@@ -49,10 +49,6 @@ struct GrunwaldResult {
 
     /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
     Diagnostics diag;
-
-    /// \deprecated Alias of diag.factor_seconds + diag.sweep_seconds, kept
-    /// for one release; new code should read `diag`.
-    double solve_seconds = 0.0;
 };
 
 /// March m uniform GL steps over [0, t_end].

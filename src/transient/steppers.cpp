@@ -203,7 +203,6 @@ std::vector<TransientResult> simulate_transient_batch(
         }
         res.diag.rhs_solved = m;
         res.symbolic = symbolic;
-        sync_legacy_timing(res);
 
         la::Matrixd y(q, m + 1);
         for (index_t k = 0; k <= m; ++k) {

@@ -53,11 +53,6 @@ struct TransientResult {
     /// Uniform timing / cache diagnostics (opm/diagnostics.hpp).
     Diagnostics diag;
 
-    /// \deprecated Aliases of diag.factor_seconds / diag.sweep_seconds,
-    /// kept for one release; new code should read `diag`.
-    double factor_seconds = 0.0;
-    double sweep_seconds = 0.0;
-
     /// The pencil's pattern analysis (feed back into TransientOptions to
     /// skip the ordering on the next same-system run).
     std::shared_ptr<const la::SparseLuSymbolic> symbolic;

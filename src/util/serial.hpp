@@ -1,0 +1,197 @@
+#pragma once
+/// \file serial.hpp
+/// \brief Bounds-checked little-endian byte serialization primitives.
+///
+/// The one encode/decode substrate shared by the scenario service's wire
+/// protocol (svc/wire.cpp) and the SolveCaches snapshot files
+/// (opm/solve_cache.cpp, la/sparse_lu.cpp): fixed-width little-endian
+/// integers, bit-preserved doubles (memcpy through uint64, so a decoded
+/// value is bit-identical to the encoded one — the property every
+/// "daemon == in-process" pin rests on), and length-prefixed strings /
+/// vectors.
+///
+/// Decoding is defensive by construction: every read is bounds-checked
+/// and every failure throws solver_error(ErrorCode::invalid_scenario) —
+/// truncated, corrupt or adversarial frames surface as a classified,
+/// catchable error, never UB.  Element counts are validated against the
+/// bytes actually remaining BEFORE allocation, so a corrupt length field
+/// cannot request an absurd allocation.
+///
+/// Forward compatibility idiom: encode a struct as a length-prefixed body
+/// (`begin_block`/`end_block` on the writer, `sub_reader` on the reader)
+/// and let old decoders skip trailing fields they do not know.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace opmsim::util {
+
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { put_uint(v, 2); }
+    void u32(std::uint32_t v) { put_uint(v, 4); }
+    void u64(std::uint64_t v) { put_uint(v, 8); }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /// Bit-preserving double (NaN payloads and signed zeros included).
+    void f64(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void bytes(const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    void str(const std::string& s) {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void vec_f64(const std::vector<double>& v) {
+        u64(v.size());
+        for (const double x : v) f64(x);
+    }
+
+    template <class Int>
+    void vec_int(const std::vector<Int>& v) {
+        u64(v.size());
+        for (const Int x : v) i64(static_cast<std::int64_t>(x));
+    }
+
+    /// Open a length-prefixed block; returns a token for end_block.
+    /// The length is patched in when the block closes.
+    std::size_t begin_block() {
+        u64(0);
+        return buf_.size();
+    }
+    void end_block(std::size_t token) {
+        const std::uint64_t len = buf_.size() - token;
+        for (int i = 0; i < 8; ++i)
+            buf_[token - 8 + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    }
+
+    [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+private:
+    void put_uint(std::uint64_t v, int nbytes) {
+        for (int i = 0; i < nbytes; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+public:
+    ByteReader(const std::uint8_t* data, std::size_t size)
+        : p_(data), n_(size) {}
+    explicit ByteReader(const std::vector<std::uint8_t>& buf)
+        : p_(buf.data()), n_(buf.size()) {}
+
+    [[nodiscard]] std::size_t remaining() const { return n_ - pos_; }
+    [[nodiscard]] bool empty() const { return pos_ >= n_; }
+
+    std::uint8_t u8() {
+        need(1, "u8");
+        return p_[pos_++];
+    }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(get_uint(2, "u16")); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(get_uint(4, "u32")); }
+    std::uint64_t u64() { return get_uint(8, "u64"); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64() {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string str() {
+        const std::size_t len = count(1, "string");
+        std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    std::vector<double> vec_f64() {
+        const std::size_t len = count(8, "f64 vector");
+        std::vector<double> v(len);
+        for (std::size_t i = 0; i < len; ++i) v[i] = f64();
+        return v;
+    }
+
+    template <class Int>
+    std::vector<Int> vec_int() {
+        const std::size_t len = count(8, "int vector");
+        std::vector<Int> v(len);
+        for (std::size_t i = 0; i < len; ++i) v[i] = static_cast<Int>(i64());
+        return v;
+    }
+
+    /// A length-prefixed count, validated so that count * elem_size fits in
+    /// the remaining bytes (corrupt lengths fail BEFORE allocation).
+    std::size_t count(std::size_t elem_size, const char* what) {
+        const std::uint64_t len = u64();
+        if (elem_size != 0 && len > remaining() / elem_size)
+            fail(std::string("length ") + std::to_string(len) + " of " + what +
+                 " exceeds the " + std::to_string(remaining()) +
+                 " bytes remaining");
+        return static_cast<std::size_t>(len);
+    }
+
+    /// Consume a length-prefixed block and return a reader over its body
+    /// (the forward-compatibility idiom: decode known fields from the sub
+    /// reader, ignore whatever trails them).
+    ByteReader sub_reader() {
+        const std::size_t len = count(1, "block");
+        ByteReader r(p_ + pos_, len);
+        pos_ += len;
+        return r;
+    }
+
+    void skip(std::size_t n) {
+        need(n, "skip");
+        pos_ += n;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw solver_error(ErrorCode::invalid_scenario,
+                           "decode error at byte " + std::to_string(pos_) +
+                               "/" + std::to_string(n_) + ": " + what);
+    }
+
+private:
+    void need(std::size_t k, const char* what) const {
+        if (k > remaining())
+            fail(std::string("truncated input reading ") + what);
+    }
+    std::uint64_t get_uint(int nbytes, const char* what) {
+        need(static_cast<std::size_t>(nbytes), what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < nbytes; ++i)
+            v |= static_cast<std::uint64_t>(p_[pos_ + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        pos_ += static_cast<std::size_t>(nbytes);
+        return v;
+    }
+
+    const std::uint8_t* p_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t pos_ = 0;
+};
+
+} // namespace opmsim::util

@@ -428,3 +428,64 @@ TEST(ApiEngine, MethodNamesAreStable) {
         api::method_name(api::method_of(transient::GrunwaldOptions{})),
         "grunwald");
 }
+
+// ---------------------------------------------------------------------------
+// Lifecycle: remove_system invalidation and the warm-cache LRU tier.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngine, RemoveSystemInvalidatesHandleAndNeverReusesIds) {
+    api::Engine engine;
+    const api::SystemHandle a = engine.add_system(make_rc());
+    const api::SystemHandle b = engine.add_system(make_rc());
+    EXPECT_EQ(engine.num_systems(), 2u);
+
+    api::Scenario sc;
+    sc.sources = {wave::step(1.0)};
+    sc.t_end = 5e-3;
+    sc.steps = 64;
+    const api::SolveResult before = engine.run(b, sc);
+
+    engine.remove_system(a);
+    EXPECT_EQ(engine.num_systems(), 1u);
+    EXPECT_THROW(engine.run(a, sc), std::invalid_argument);
+    EXPECT_THROW((void)engine.caches(a), std::invalid_argument);
+    EXPECT_THROW(engine.remove_system(a), std::invalid_argument);
+
+    // Slots are never reused: a later registration cannot alias the
+    // removed handle, and the survivor still runs (bit-identically).
+    const api::SystemHandle c = engine.add_system(make_rc());
+    EXPECT_NE(c.id, a.id);
+    const api::SolveResult after = engine.run(b, sc);
+    expect_same_outputs(before.outputs, after.outputs);
+}
+
+TEST(ApiEngine, CacheCapacityPurgesTheColdestSystemOnly) {
+    api::Engine engine;
+    engine.set_cache_capacity(1);
+    const api::SystemHandle a = engine.add_system(make_rc());
+    const api::SystemHandle b = engine.add_system(make_rc());
+
+    api::Scenario sc;
+    sc.sources = {wave::step(1.0)};
+    sc.t_end = 5e-3;
+    sc.steps = 64;
+
+    const api::SolveResult a_cold = engine.run(a, sc);
+    EXPECT_GE(a_cold.diag.orderings, 1);
+    // Running `b` makes it the most-recently-used handle; with capacity 1
+    // that purges `a`'s warm caches.
+    (void)engine.run(b, sc);
+    const api::SolveResult b_warm = engine.run(b, sc);
+    EXPECT_EQ(b_warm.diag.orderings, 0);  // b stayed warm (it is the MRU)
+    const api::SolveResult a_again = engine.run(a, sc);
+    EXPECT_GE(a_again.diag.orderings, 1);  // a was purged: re-analyzes
+
+    // Purging never changes results, only warm-up cost.
+    expect_same_outputs(a_cold.outputs, a_again.outputs);
+
+    // Unlimited capacity restores plain warm behavior.
+    engine.set_cache_capacity(0);
+    (void)engine.run(a, sc);
+    const api::SolveResult a_warm = engine.run(a, sc);
+    EXPECT_EQ(a_warm.diag.orderings, 0);
+}

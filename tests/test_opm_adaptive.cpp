@@ -212,5 +212,6 @@ TEST(AdaptiveOpm, FactorizationCacheBoundsWork) {
     const auto res = opm::simulate_opm_adaptive(scalar_system(-1.0),
                                                 {wave::step(1.0)}, 5.0, opt);
     EXPECT_GT(res.accepted, 4);
-    EXPECT_LE(res.factorizations, res.accepted + res.rejected + 2);
+    EXPECT_LE(res.diag.factorizations + res.diag.factor_cache_hits,
+              res.accepted + res.rejected + 2);
 }

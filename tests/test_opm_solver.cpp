@@ -294,8 +294,8 @@ TEST(OpmSolver, WindowedSupportsInitialConditionAndRejectsFractional) {
 
 TEST(OpmSolver, TimingFieldsPopulated) {
     const auto res = opm::simulate_opm(rc_system(1.0), {wave::step(1.0)}, 1.0, 32);
-    EXPECT_GE(res.factor_seconds, 0.0);
-    EXPECT_GE(res.sweep_seconds, 0.0);
+    EXPECT_GE(res.diag.factor_seconds, 0.0);
+    EXPECT_GE(res.diag.sweep_seconds, 0.0);
     EXPECT_EQ(res.coeffs.cols(), 32);
     EXPECT_EQ(res.edges.size(), 33u);
 }

@@ -1,0 +1,392 @@
+/// \file test_svc_server.cpp
+/// \brief End-to-end pins for the scenario daemon (svc/server.hpp).
+///
+/// The service stack's headline guarantee: a scenario submitted through
+/// the socket produces a SolveResult BIT-IDENTICAL to running the same
+/// Scenario on an in-process Engine — for every method, and whether the
+/// submit ran alone or coalesced with other clients' submits into one
+/// multi-RHS micro-batch.  On top of that sit the service-only behaviors:
+/// fault containment across coalesced strangers, cache snapshots that let
+/// a RESTARTED daemon answer its first request with zero orderings and
+/// zero SoE refits, handle invalidation, and clean client-driven
+/// shutdown.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace api = opmsim::api;
+namespace la = opmsim::la;
+namespace opm = opmsim::opm;
+namespace svc = opmsim::svc;
+namespace transient = opmsim::transient;
+using opmsim::ErrorCode;
+
+namespace {
+
+/// Per-test unique Unix-socket path (tests may run concurrently).
+std::string unique_socket(const char* tag) {
+    static int counter = 0;
+    return "/tmp/opmsim_test_" + std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++) + ".sock";
+}
+
+/// The shared fixture circuit: a small RC ladder driven at node 0.
+opm::DescriptorSystem rc_ladder(la::index_t n) {
+    la::Triplets e(n, n), a(n, n), b(n, 1);
+    for (la::index_t i = 0; i < n; ++i) {
+        e.add(i, i, 1e-9);
+        double g = 0.0;
+        if (i > 0) {
+            a.add(i, i - 1, 1e-3);
+            g += 1e-3;
+        }
+        if (i + 1 < n) {
+            a.add(i, i + 1, 1e-3);
+            g += 1e-3;
+        }
+        a.add(i, i, -(g + (i == 0 ? 1e-3 : 0.0)));
+    }
+    b.add(0, 0, 1e-3);
+    opm::DescriptorSystem sys;
+    sys.e = la::CscMatrix(e);
+    sys.a = la::CscMatrix(a);
+    sys.b = la::CscMatrix(b);
+    return sys;
+}
+
+opm::MultiTermSystem rlc_multiterm() {
+    la::Triplets a2(3, 3), a0(3, 3), b0(3, 1);
+    for (la::index_t i = 0; i < 3; ++i) {
+        a2.add(i, i, 1e-12);
+        double g = 0.0;
+        if (i > 0) {
+            a0.add(i, i - 1, -1e-3);
+            g += 1e-3;
+        }
+        if (i + 1 < 3) {
+            a0.add(i, i + 1, -1e-3);
+            g += 1e-3;
+        }
+        a0.add(i, i, g + 1e-3);
+    }
+    b0.add(0, 0, 1e-3);
+    opm::MultiTermSystem sys;
+    sys.lhs.push_back({2.0, la::CscMatrix(a2)});
+    sys.lhs.push_back({0.0, la::CscMatrix(a0)});
+    sys.rhs.push_back({0.0, la::CscMatrix(b0)});
+    return sys;
+}
+
+void expect_result_bits(const api::SolveResult& got,
+                        const api::SolveResult& want) {
+    EXPECT_EQ(got.status.code, want.status.code);
+    EXPECT_EQ(static_cast<int>(got.method), static_cast<int>(want.method));
+    ASSERT_EQ(got.outputs.size(), want.outputs.size());
+    for (std::size_t c = 0; c < want.outputs.size(); ++c) {
+        ASSERT_EQ(got.outputs[c].size(), want.outputs[c].size());
+        for (std::size_t k = 0; k < want.outputs[c].size(); ++k) {
+            EXPECT_EQ(got.outputs[c].times()[k], want.outputs[c].times()[k]);
+            EXPECT_EQ(got.outputs[c].values()[k], want.outputs[c].values()[k]);
+        }
+    }
+    ASSERT_EQ(got.states.rows(), want.states.rows());
+    ASSERT_EQ(got.states.cols(), want.states.cols());
+    for (la::index_t j = 0; j < want.states.cols(); ++j)
+        for (la::index_t i = 0; i < want.states.rows(); ++i)
+            EXPECT_EQ(got.states(i, j), want.states(i, j))
+                << "state (" << i << "," << j << ")";
+    EXPECT_EQ(got.grid, want.grid);
+    EXPECT_EQ(got.steps, want.steps);
+}
+
+svc::WireScenario base_scenario() {
+    svc::WireScenario sc;
+    sc.sources = {svc::SourceSpec::step(1.0)};
+    sc.t_end = 1e-5;
+    sc.steps = 64;
+    return sc;
+}
+
+} // namespace
+
+// ----------------------------------------------------- loopback bit-identity
+
+TEST(SvcServer, LoopbackBitIdenticalToInProcessForEveryMethod) {
+    svc::ServerOptions opt;
+    opt.socket_path.clear();
+    opt.tcp_port = 0;  // ephemeral loopback TCP
+    opt.batch_window = 0.0;
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client client;
+    client.connect_tcp(server.port());
+    const std::uint64_t h = client.register_system(rc_ladder(8));
+
+    api::Engine local;
+    const api::SystemHandle lh = local.add_system(rc_ladder(8));
+
+    opm::OpmOptions frac;
+    frac.alpha = 0.5;
+    frac.path = opm::OpmPath::toeplitz;
+    transient::GrunwaldOptions gl;
+    gl.alpha = 0.8;
+    const api::MethodConfig configs[] = {
+        opm::OpmOptions{}, frac, opm::AdaptiveOptions{},
+        transient::TransientOptions{}, gl};
+    for (const api::MethodConfig& c : configs) {
+        svc::WireScenario sc = base_scenario();
+        sc.config = c;
+        const api::SolveResult remote = client.submit(h, sc);
+        ASSERT_TRUE(remote.status.ok())
+            << sc.to_scenario().method_name() << ": "
+            << remote.status.message;
+        const api::SolveResult in_process = local.run(lh, sc.to_scenario());
+        expect_result_bits(remote, in_process);
+    }
+
+    client.close();
+    server.stop();
+}
+
+TEST(SvcServer, MultiTermLoopbackBitIdenticalOverUnixSocket) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("mt");
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client client;
+    client.connect_unix(opt.socket_path);
+    const std::uint64_t h = client.register_system(rlc_multiterm());
+
+    api::Engine local;
+    const api::SystemHandle lh = local.add_system(rlc_multiterm());
+
+    svc::WireScenario sc = base_scenario();
+    sc.config = opm::MultiTermOptions{};
+    const api::SolveResult remote = client.submit(h, sc);
+    ASSERT_TRUE(remote.status.ok()) << remote.status.message;
+    expect_result_bits(remote, local.run(lh, sc.to_scenario()));
+
+    client.close();
+    server.stop();
+}
+
+// ------------------------------------------------- cross-client coalescing
+
+TEST(SvcServer, CrossClientCoalescedBatchBitIdenticalToSerialRuns) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("coalesce");
+    opt.batch_window = 0.25;  // generous: both clients' bursts must join
+    opt.max_batch = 16;
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client alice, bob;
+    alice.connect_unix(opt.socket_path);
+    bob.connect_unix(opt.socket_path);
+    const std::uint64_t h = alice.register_system(rc_ladder(8));
+
+    // Batch-compatible scenarios (same grid + options, different sources):
+    // the integer-order OPM recurrence path is bitwise-stable under
+    // multi-RHS batching, so coalesced == serial must hold EXACTLY.
+    std::vector<svc::WireScenario> scenarios;
+    for (int k = 0; k < 6; ++k) {
+        svc::WireScenario sc = base_scenario();
+        sc.sources = {svc::SourceSpec::sine(1.0, 2e4 * (k + 1))};
+        scenarios.push_back(sc);
+    }
+
+    std::vector<std::future<api::SolveResult>> futures;
+    for (int k = 0; k < 6; ++k) {
+        svc::Client& c = (k % 2 == 0) ? alice : bob;
+        futures.push_back(c.submit_async(h, scenarios[k]));
+    }
+    std::vector<api::SolveResult> remote;
+    for (auto& f : futures) remote.push_back(f.get());
+
+    // Serial oracle: each scenario alone on a FRESH engine (cache state
+    // never changes results, so cold-vs-warm is irrelevant to bit-identity).
+    for (int k = 0; k < 6; ++k) {
+        ASSERT_TRUE(remote[k].status.ok()) << remote[k].status.message;
+        api::Engine local;
+        const api::SystemHandle lh = local.add_system(rc_ladder(8));
+        expect_result_bits(remote[k], local.run(lh, scenarios[k].to_scenario()));
+    }
+
+    // The six submits arrived within one window: they must have coalesced.
+    const svc::ServiceStats stats = server.stats();
+    EXPECT_GE(stats.largest_batch, 2u);
+    EXPECT_GE(stats.coalesced, 2u);
+    EXPECT_LT(stats.batches, 6u);
+
+    alice.close();
+    bob.close();
+    server.stop();
+}
+
+TEST(SvcServer, PoisonedSiblingCannotTakeDownItsCoalescedBatchMates) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("poison");
+    opt.batch_window = 0.25;
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client alice, bob;
+    alice.connect_unix(opt.socket_path);
+    bob.connect_unix(opt.socket_path);
+    const std::uint64_t h = alice.register_system(rc_ladder(8));
+
+    svc::WireScenario healthy = base_scenario();
+    svc::WireScenario poisoned = base_scenario();
+    // NaN amplitude passes structural validation but poisons the sweep;
+    // PR 6 fault containment reruns the batch member-by-member so the
+    // healthy strangers still complete.
+    poisoned.sources = {
+        svc::SourceSpec::sine(std::numeric_limits<double>::quiet_NaN(), 1e4)};
+
+    auto fa = alice.submit_async(h, healthy);
+    auto fp = bob.submit_async(h, poisoned);
+    auto fb = bob.submit_async(h, healthy);
+
+    const api::SolveResult ra = fa.get();
+    const api::SolveResult rp = fp.get();
+    const api::SolveResult rb = fb.get();
+
+    EXPECT_FALSE(rp.status.ok());
+    ASSERT_TRUE(ra.status.ok()) << ra.status.message;
+    ASSERT_TRUE(rb.status.ok()) << rb.status.message;
+
+    api::Engine local;
+    const api::SystemHandle lh = local.add_system(rc_ladder(8));
+    const api::SolveResult want = local.run(lh, healthy.to_scenario());
+    expect_result_bits(ra, want);
+    expect_result_bits(rb, want);
+
+    alice.close();
+    bob.close();
+    server.stop();
+}
+
+// --------------------------------------------------- snapshot warm restart
+
+TEST(SvcServer, SnapshotWarmStartsAFreshDaemonWithZeroOrderingsAndRefits) {
+    const std::string snapshot =
+        "/tmp/opmsim_test_" + std::to_string(::getpid()) + "_warm.snap";
+
+    // A scenario that exercises BOTH expensive warm-up paths: a fill-
+    // reducing ordering + symbolic analysis for the pencil, and an SoE
+    // compression fit for the fractional history.
+    svc::WireScenario sc = base_scenario();
+    opm::OpmOptions frac;
+    frac.alpha = 0.5;
+    frac.path = opm::OpmPath::toeplitz;
+    frac.history = opm::HistoryBackend::soe;
+    sc.config = frac;
+
+    api::SolveResult cold;
+    {
+        svc::ServerOptions opt;
+        opt.socket_path = unique_socket("warmA");
+        svc::Server server(opt);
+        server.start();
+        svc::Client client;
+        client.connect_unix(opt.socket_path);
+        const std::uint64_t h = client.register_system(rc_ladder(8));
+
+        cold = client.submit(h, sc);
+        ASSERT_TRUE(cold.status.ok()) << cold.status.message;
+        EXPECT_GE(cold.diag.orderings, 1);
+        EXPECT_GE(cold.diag.soe_fits, 1);
+
+        client.save_caches(h, snapshot);
+        client.shutdown_server();
+        server.wait_for_shutdown();
+        server.stop();
+    }
+
+    // A FRESH daemon (new Engine, empty caches) that loads the snapshot
+    // must serve its very first request entirely from the warm caches.
+    {
+        svc::ServerOptions opt;
+        opt.socket_path = unique_socket("warmB");
+        svc::Server server(opt);
+        server.start();
+        svc::Client client;
+        client.connect_unix(opt.socket_path);
+        const std::uint64_t h = client.register_system(rc_ladder(8));
+        client.load_caches(h, snapshot);
+
+        const api::SolveResult warm = client.submit(h, sc);
+        ASSERT_TRUE(warm.status.ok()) << warm.status.message;
+        EXPECT_EQ(warm.diag.orderings, 0);
+        EXPECT_EQ(warm.diag.soe_fits, 0);
+        expect_result_bits(warm, cold);
+
+        client.close();
+        server.stop();
+    }
+    std::remove(snapshot.c_str());
+}
+
+// ----------------------------------------------- lifecycle + clean shutdown
+
+TEST(SvcServer, RemovedHandleFailsAsDataAndLoadErrorsAreReported) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("lifecycle");
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client client;
+    client.connect_unix(opt.socket_path);
+    const std::uint64_t h = client.register_system(rc_ladder(4));
+
+    client.remove_system(h);
+    const api::SolveResult res = client.submit(h, base_scenario());
+    EXPECT_EQ(res.status.code, ErrorCode::invalid_scenario);
+
+    // Control-path failures arrive as error frames -> solver_error.
+    const std::uint64_t h2 = client.register_system(rc_ladder(4));
+    EXPECT_THROW(client.load_caches(h2, "/nonexistent/opmsim.snap"),
+                 opmsim::solver_error);
+    // The connection survives both failures.
+    client.ping();
+
+    client.close();
+    server.stop();
+}
+
+TEST(SvcServer, ClientDrivenShutdownIsClean) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("shutdown");
+    svc::Server server(opt);
+    server.start();
+
+    svc::Client client;
+    client.connect_unix(opt.socket_path);
+    client.ping();
+    client.shutdown_server();  // server acks, then stops dispatching
+    server.wait_for_shutdown();
+    server.stop();
+    client.close();
+
+    // The socket file is gone: a second daemon can bind the same path.
+    svc::Server second(opt);
+    second.start();
+    svc::Client again;
+    again.connect_unix(opt.socket_path);
+    again.ping();
+    again.close();
+    second.stop();
+}
