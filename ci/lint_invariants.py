@@ -1,0 +1,394 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for opmsim.
+
+Enforces cross-file contracts that neither the compiler nor clang-tidy can
+see — the places where PR review has historically had to catch "you added
+the enum but forgot the wire case" by hand.  Run from anywhere:
+
+    python3 ci/lint_invariants.py [--repo PATH]
+
+Exits 0 when every invariant holds, 1 with one line per violation
+otherwise.  The rules (see docs/static_analysis.md for the rationale):
+
+  error-code-wire       every ErrorCode enumerator has a name-switch case,
+                        a docs/robustness.md row, and the wire decode bound
+                        names the LAST enumerator.
+  diagnostics-append    Diagnostics fields only append: the committed
+                        manifest (ci/diagnostics_fields.txt) must be an
+                        exact ordered prefix of the struct, and every field
+                        must appear in both wire codec functions.
+  runcontrol-sweeps     every solver sweep file consults RunControl (or
+                        delegates to a PencilSolve that does).
+  options-wire-parity   every field compared by an options_equal overload
+                        travels in the matching wire encode AND decode
+                        block (explicit allowlist for fields that
+                        deliberately stay process-local).
+  naked-throw           src/ does not throw raw std::runtime_error /
+                        std::logic_error outside the status/check taxonomy.
+  fault-sites-armed     every fault::Site enumerator is armed by at least
+                        one test, so the injection points cannot rot.
+
+Parsing is regex-over-comment-stripped-source on purpose: the linter must
+run on a bare python3 with no compile step, and the shapes it matches are
+the repo's own stable idioms.  If a rule misfires after a legitimate
+refactor, fix the rule (or extend an allowlist with a justification) in
+the same PR — tests/test_lint_invariants.py proves each rule still fires
+on a synthetic violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Allowlists.  Every entry carries its justification; additions require one.
+# --------------------------------------------------------------------------
+
+# options_equal compares these fields, but they deliberately do NOT travel
+# on the wire.
+OPTIONS_WIRE_ALLOWLIST = {
+    # The daemon supplies per-system pattern analyses from its own
+    # SolveCaches bundle; shipping a client-side symbolic pointer would be
+    # meaningless cross-process.  Equality still compares it so in-process
+    # Engine reuse distinguishes "caller pinned a symbolic" configs.
+    ("transient::TransientOptions", "symbolic"),
+}
+
+# Files allowed to throw raw std:: exceptions: the taxonomy roots.
+NAKED_THROW_ALLOWLIST = {
+    # OPMSIM_CHECK/OPMSIM_REQUIRE funnel here and attach file:line context.
+    "util/check.hpp",
+    # solver_error and the classify() boundary own the ErrorCode taxonomy.
+    "util/status.hpp",
+}
+
+# Solver sweep translation units: every one must consult the cooperative
+# RunControl (deadline/cancel) machinery, directly or via PencilSolve.
+SWEEP_FILES = [
+    "opm/solver.cpp",
+    "opm/multiterm.cpp",
+    "opm/adaptive.cpp",
+    "transient/steppers.cpp",
+    "transient/grunwald.cpp",
+]
+
+RUNCONTROL_RE = re.compile(r"\b(RunControl|check_run_control|PencilSolve)\b")
+
+# --------------------------------------------------------------------------
+# Small parsing helpers
+# --------------------------------------------------------------------------
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments (keeps line structure for // only)."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def read(repo: pathlib.Path, rel: str) -> str:
+    return (repo / rel).read_text(encoding="utf-8")
+
+
+def enum_body(text: str, enum_name: str) -> str:
+    m = re.search(r"enum\s+class\s+" + enum_name + r"\b[^{]*\{(.*?)\}",
+                  strip_comments(text), flags=re.DOTALL)
+    if m is None:
+        raise ValueError(f"enum class {enum_name} not found")
+    return m.group(1)
+
+
+def enum_values(text: str, enum_name: str) -> list[str]:
+    names = []
+    for part in enum_body(text, enum_name).split(","):
+        m = re.match(r"\s*([A-Za-z_]\w*)", part)
+        if m:
+            names.append(m.group(1))
+    return names
+
+
+def function_body(text: str, signature_re: str) -> str:
+    """Return the brace-matched body of the first function whose signature
+    matches signature_re (which must match up to, not including, '{')."""
+    clean = strip_comments(text)
+    m = re.search(signature_re, clean)
+    if m is None:
+        raise ValueError(f"signature not found: {signature_re}")
+    i = clean.index("{", m.end())
+    depth = 0
+    for j in range(i, len(clean)):
+        if clean[j] == "{":
+            depth += 1
+        elif clean[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return clean[i:j + 1]
+    raise ValueError(f"unbalanced braces after: {signature_re}")
+
+
+def struct_fields(text: str, struct_name: str) -> list[str]:
+    """Field names of a plain aggregate, in declaration order."""
+    clean = strip_comments(text)
+    m = re.search(r"struct\s+" + struct_name + r"\b[^{]*\{", clean)
+    if m is None:
+        raise ValueError(f"struct {struct_name} not found")
+    i = clean.index("{", m.start())
+    depth, j = 0, i
+    for j in range(i, len(clean)):
+        if clean[j] == "{":
+            depth += 1
+        elif clean[j] == "}":
+            depth -= 1
+            if depth == 0:
+                break
+    body = clean[i + 1:j]
+    fields = []
+    # One declaration per ';' — "Type name;" or "Type name = init;".
+    for decl in body.split(";"):
+        m2 = re.match(r"\s*[\w:<>,\s*&]+?[\s&*]([A-Za-z_]\w*)\s*(=.*)?$",
+                      decl, flags=re.DOTALL)
+        if m2:
+            fields.append(m2.group(1))
+    return fields
+
+
+# --------------------------------------------------------------------------
+# Rules.  Each returns a list of "rule-name: message" strings.
+# --------------------------------------------------------------------------
+
+
+def rule_error_code_wire(repo: pathlib.Path) -> list[str]:
+    out = []
+    status = read(repo, "src/util/status.hpp")
+    codes = enum_values(status, "ErrorCode")
+    if not codes:
+        return ["error-code-wire: failed to parse ErrorCode enumerators"]
+
+    name_switch = function_body(
+        status, r"error_code_name\s*\(\s*ErrorCode\s+\w+\s*\)")
+    docs = read(repo, "docs/robustness.md")
+    for code in codes:
+        if f"ErrorCode::{code}" not in name_switch:
+            out.append(f"error-code-wire: ErrorCode::{code} has no "
+                       f"error_code_name() case in src/util/status.hpp")
+        if code != "ok" and f"`{code}`" not in docs:
+            out.append(f"error-code-wire: ErrorCode::{code} has no "
+                       f"`{code}` row in docs/robustness.md")
+
+    wire = strip_comments(read(repo, "src/svc/wire.cpp"))
+    m = re.search(r'checked_enum\s*\(\s*r\s*,\s*ErrorCode::(\w+)\s*,\s*"error code"',
+                  wire)
+    if m is None:
+        out.append("error-code-wire: decode_status() range check "
+                   "(checked_enum ErrorCode bound) not found in src/svc/wire.cpp")
+    elif m.group(1) != codes[-1]:
+        out.append(f"error-code-wire: decode_status() bounds the wire range at "
+                   f"ErrorCode::{m.group(1)} but the last enumerator is "
+                   f"ErrorCode::{codes[-1]} — new codes would be rejected as "
+                   f"malformed frames")
+    return out
+
+
+def rule_diagnostics_append(repo: pathlib.Path) -> list[str]:
+    out = []
+    fields = struct_fields(read(repo, "src/opm/diagnostics.hpp"), "Diagnostics")
+    if not fields:
+        return ["diagnostics-append: failed to parse Diagnostics fields"]
+
+    manifest_path = repo / "ci/diagnostics_fields.txt"
+    manifest = [ln.strip() for ln in manifest_path.read_text().splitlines()
+                if ln.strip() and not ln.lstrip().startswith("#")]
+
+    # The manifest must be an exact ordered prefix: removals, renames,
+    # reorders and mid-struct insertions all break old wire decoders.
+    for i, name in enumerate(manifest):
+        if i >= len(fields) or fields[i] != name:
+            found = fields[i] if i < len(fields) else "<missing>"
+            out.append(f"diagnostics-append: Diagnostics field #{i} is "
+                       f"'{found}' but the committed manifest says '{name}' — "
+                       f"fields may only be APPENDED (wire compat); never "
+                       f"remove, rename or reorder")
+            break
+    else:
+        for name in fields[len(manifest):]:
+            out.append(f"diagnostics-append: new Diagnostics field '{name}' is "
+                       f"not in ci/diagnostics_fields.txt — append it to the "
+                       f"manifest in the same PR (and add its codec clauses)")
+
+    wire = read(repo, "src/svc/wire.cpp")
+    enc = function_body(
+        wire, r"void\s+encode\s*\(\s*util::ByteWriter&\s*\w+\s*,\s*const\s+Diagnostics&")
+    dec = function_body(wire, r"Diagnostics\s+decode_diagnostics\s*\(")
+    for name in fields:
+        if not re.search(r"\bd\." + name + r"\b", enc):
+            out.append(f"diagnostics-append: Diagnostics::{name} is never "
+                       f"written by encode() in src/svc/wire.cpp")
+        if not re.search(r"\bd\." + name + r"\b", dec):
+            out.append(f"diagnostics-append: Diagnostics::{name} is never "
+                       f"read by decode_diagnostics() in src/svc/wire.cpp")
+    return out
+
+
+def rule_runcontrol_sweeps(repo: pathlib.Path) -> list[str]:
+    out = []
+    for rel in SWEEP_FILES:
+        clean = strip_comments(read(repo, "src/" + rel))
+        if not RUNCONTROL_RE.search(clean):
+            out.append(f"runcontrol-sweeps: src/{rel} never consults RunControl "
+                       f"(no RunControl/check_run_control/PencilSolve use) — "
+                       f"its sweep cannot be deadlined or cancelled")
+    return out
+
+
+def parse_options_equal(registry_text: str) -> dict[str, list[str]]:
+    """Map qualified option type -> fields its options_equal compares."""
+    clean = strip_comments(registry_text)
+    overloads = {}
+    for m in re.finditer(
+            r"bool\s+options_equal\s*\(\s*const\s+([\w:]+)&\s*a\s*,", clean):
+        body = function_body(clean[m.start():],
+                             r"bool\s+options_equal\s*\(")
+        overloads[m.group(1)] = re.findall(r"\ba\.(\w+)\s*==", body)
+    return overloads
+
+
+def wire_option_blocks(wire_text: str) -> tuple[dict[str, str], dict[str, str]]:
+    """(encode, decode) maps: qualified option type -> case-block text."""
+    clean = strip_comments(wire_text)
+    enc_fn = function_body(
+        clean, r"void\s+encode\s*\(\s*util::ByteWriter&\s*\w+\s*,"
+               r"\s*const\s+api::MethodConfig&")
+    dec_fn = function_body(clean, r"api::MethodConfig\s+decode_method_config\s*\(")
+
+    def split_cases(fn_body: str) -> list[str]:
+        starts = [m.start() for m in re.finditer(r"case\s+api::Method::", fn_body)]
+        return [fn_body[s:e] for s, e in
+                zip(starts, starts[1:] + [len(fn_body)])]
+
+    enc, dec = {}, {}
+    for block in split_cases(enc_fn):
+        m = re.search(r"std::get<([\w:]+)>", block)
+        if m:
+            enc[m.group(1)] = block
+    for block in split_cases(dec_fn):
+        m = re.search(r"\b([\w:]+)\s+o\s*;", block)
+        if m:
+            dec[m.group(1)] = block
+    return enc, dec
+
+
+def rule_options_wire_parity(repo: pathlib.Path) -> list[str]:
+    out = []
+    overloads = parse_options_equal(read(repo, "src/api/registry.cpp"))
+    if not overloads:
+        return ["options-wire-parity: no options_equal overloads found in "
+                "src/api/registry.cpp"]
+    enc, dec = wire_option_blocks(read(repo, "src/svc/wire.cpp"))
+    for qtype, fields in overloads.items():
+        # registry.cpp writes `opm::OpmOptions`; wire.cpp uses the same
+        # qualification, so keys line up directly.
+        if qtype not in enc:
+            out.append(f"options-wire-parity: no wire encode case found for "
+                       f"{qtype} in src/svc/wire.cpp")
+            continue
+        if qtype not in dec:
+            out.append(f"options-wire-parity: no wire decode case found for "
+                       f"{qtype} in src/svc/wire.cpp")
+            continue
+        for f in fields:
+            if (qtype, f) in OPTIONS_WIRE_ALLOWLIST:
+                continue
+            pat = re.compile(r"\bo\." + f + r"\b")
+            if not pat.search(enc[qtype]):
+                out.append(f"options-wire-parity: {qtype}::{f} is compared by "
+                           f"options_equal but never encoded on the wire — "
+                           f"equal-looking remote configs could differ")
+            if not pat.search(dec[qtype]):
+                out.append(f"options-wire-parity: {qtype}::{f} is compared by "
+                           f"options_equal but never decoded from the wire")
+    return out
+
+
+NAKED_THROW_RE = re.compile(r"\bthrow\s+std::(runtime_error|logic_error)\b")
+
+
+def rule_naked_throw(repo: pathlib.Path) -> list[str]:
+    out = []
+    for path in sorted((repo / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(repo / "src").as_posix()
+        if rel in NAKED_THROW_ALLOWLIST:
+            continue
+        clean = strip_comments(path.read_text(encoding="utf-8"))
+        for m in NAKED_THROW_RE.finditer(clean):
+            line = clean.count("\n", 0, m.start()) + 1
+            out.append(f"naked-throw: src/{rel}:{line} throws raw "
+                       f"std::{m.group(1)} — use the util/status.hpp taxonomy "
+                       f"(solver_error) or util/check.hpp so the Engine "
+                       f"boundary can classify it")
+    return out
+
+
+def rule_fault_sites_armed(repo: pathlib.Path) -> list[str]:
+    out = []
+    sites = [s for s in enum_values(read(repo, "src/util/fault_inject.hpp"),
+                                    "Site")
+             if s != "site_count_"]
+    if not sites:
+        return ["fault-sites-armed: failed to parse fault::Site enumerators"]
+    tests = "\n".join(p.read_text(encoding="utf-8")
+                      for p in sorted((repo / "tests").glob("*.cpp")))
+    for site in sites:
+        if f"Site::{site}" not in tests:
+            out.append(f"fault-sites-armed: fault::Site::{site} is never armed "
+                       f"by any test in tests/*.cpp — the injection point can "
+                       f"silently rot")
+    return out
+
+
+RULES = [
+    rule_error_code_wire,
+    rule_diagnostics_append,
+    rule_runcontrol_sweeps,
+    rule_options_wire_parity,
+    rule_naked_throw,
+    rule_fault_sites_armed,
+]
+
+
+def run(repo: pathlib.Path) -> list[str]:
+    findings = []
+    for rule in RULES:
+        try:
+            findings.extend(rule(repo))
+        except (OSError, ValueError) as e:
+            name = rule.__name__.removeprefix("rule_").replace("_", "-")
+            findings.append(f"{name}: linter could not parse its inputs: {e}")
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=".",
+                    help="repository root (default: current directory)")
+    args = ap.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+    if not (repo / "src/util/status.hpp").is_file():
+        print(f"lint_invariants: {repo} does not look like the opmsim root",
+              file=sys.stderr)
+        return 2
+    findings = run(repo)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_invariants: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: all {len(RULES)} invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

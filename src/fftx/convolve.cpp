@@ -66,7 +66,7 @@ void RealConvPlan::accumulate(const double* x, std::size_t nx, double* y,
                               std::size_t t0, std::size_t nt) {
     OPMSIM_ENSURE(nx <= max_nx_, "RealConvPlan: input exceeds planned length");
     OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (std::size_t u = 0; u < nx; ++u) buf_[u] = cplx(x[u], 0.0);
     transform_and_extract(nx);
     for (std::size_t t = 0; t < nt; ++t) y[t] += buf_[t0 + t].real();
@@ -86,7 +86,7 @@ void RealConvPlan::accumulate_spectrum(const std::vector<cplx>& spec,
                                        std::size_t nt) {
     OPMSIM_ENSURE(spec.size() == n_, "RealConvPlan: spectrum size mismatch");
     OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     multiply_and_invert(spec.data());
     for (std::size_t t = 0; t < nt; ++t) {
         ya[t] += buf_[t0 + t].real();
@@ -103,7 +103,7 @@ std::shared_ptr<RealConvPlan> ConvPlanCache::get(const double* kernel,
     h = fnv1a(kernel, nk * sizeof(double), h);
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         for (const Entry& e : entries_) {
             if (e.hash != h || e.max_nx != max_nx || e.kernel.size() != nk) continue;
             if (!std::equal(kernel, kernel + nk, e.kernel.begin())) continue;
@@ -124,7 +124,7 @@ std::shared_ptr<RealConvPlan> ConvPlanCache::get(const double* kernel,
     e.max_nx = max_nx;
     e.plan = std::make_shared<RealConvPlan>(kernel, nk, max_nx);
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // Replace-newest eviction, same policy (and rationale) as
     // la::FactorCache: a warm run replaying more plans than the cap keeps
     // hitting the resident entries instead of treadmilling to zero.
@@ -138,7 +138,7 @@ void RealConvPlan::accumulate2(const double* xa, const double* xb,
                                std::size_t t0, std::size_t nt) {
     OPMSIM_ENSURE(nx <= max_nx_, "RealConvPlan: input exceeds planned length");
     OPMSIM_ENSURE(t0 + nt <= n_, "RealConvPlan: output range exceeds FFT size");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (std::size_t u = 0; u < nx; ++u) buf_[u] = cplx(xa[u], xb[u]);
     transform_and_extract(nx);
     for (std::size_t t = 0; t < nt; ++t) {

@@ -15,10 +15,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "fftx/fft.hpp"
+#include "util/annotations.hpp"
 
 namespace opmsim::fftx {
 
@@ -66,15 +66,18 @@ public:
     [[nodiscard]] std::size_t kernel_size() const { return nk_; }
 
 private:
-    void transform_and_extract(std::size_t nx);
-    void multiply_and_invert(const cplx* spec);
+    void transform_and_extract(std::size_t nx) REQUIRES(mutex_);
+    void multiply_and_invert(const cplx* spec) REQUIRES(mutex_);
 
     std::size_t nk_ = 0;      ///< kernel length
     std::size_t max_nx_ = 0;  ///< largest admissible input length
     std::size_t n_ = 0;       ///< FFT size (power of two)
-    std::vector<cplx> kspec_; ///< cached kernel spectrum, length n_
-    std::mutex mutex_;        ///< serializes buf_ (plans are shared via the cache)
-    std::vector<cplx> buf_;   ///< scratch transform buffer, length n_
+    std::vector<cplx> kspec_; ///< cached kernel spectrum, length n_ (immutable after ctor)
+    util::Mutex mutex_;       ///< serializes buf_ (plans are shared via the cache)
+    /// scratch transform buffer, length n_.  The constructor sizes it
+    /// before the plan is published, so only the locked accumulate paths
+    /// ever touch it afterwards.
+    std::vector<cplx> buf_ GUARDED_BY(mutex_);
 };
 
 /// Cross-run cache of RealConvPlans, keyed by (kernel taps, max_nx).
@@ -108,26 +111,40 @@ public:
     std::shared_ptr<RealConvPlan> get(const double* kernel, std::size_t nk,
                                       std::size_t max_nx);
 
-    [[nodiscard]] std::size_t size() const { return entries_.size(); }
-    [[nodiscard]] long hits() const { return hits_; }
-    [[nodiscard]] long misses() const { return misses_; }
+    [[nodiscard]] std::size_t size() const {
+        const util::MutexLock lock(mutex_);
+        return entries_.size();
+    }
+    [[nodiscard]] long hits() const {
+        const util::MutexLock lock(mutex_);
+        return hits_;
+    }
+    [[nodiscard]] long misses() const {
+        const util::MutexLock lock(mutex_);
+        return misses_;
+    }
 
     void clear() {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         entries_.clear();
     }
 
 private:
-    std::mutex mutex_;
     struct Entry {
         std::uint64_t hash = 0;
         std::vector<double> kernel;
         std::size_t max_nx = 0;
         std::shared_ptr<RealConvPlan> plan;
     };
+
+    /// mutable: the stats getters are const but must lock (an
+    /// unsynchronized size()/hits() read racing get()'s insert is UB).
+    mutable util::Mutex mutex_;
     std::size_t max_plans_;
-    std::vector<Entry> entries_;  ///< insertion order; back() is replaced when full
-    long hits_ = 0, misses_ = 0;
+    /// insertion order; back() is replaced when full
+    std::vector<Entry> entries_ GUARDED_BY(mutex_);
+    long hits_ GUARDED_BY(mutex_) = 0;
+    long misses_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace opmsim::fftx

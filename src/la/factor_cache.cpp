@@ -47,7 +47,7 @@ FactorCache::SymEntry* FactorCache::find_symbolic(const CscMatrix& a,
 
 std::shared_ptr<const SparseLuSymbolic> FactorCache::symbolic(
     const CscMatrix& a, const SparseLuOptions& opt, bool* fresh) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return symbolic_locked(a, opt, fresh);
 }
 
@@ -69,28 +69,31 @@ std::shared_ptr<const SparseLuSymbolic> FactorCache::symbolic_locked(
     return e.sym;
 }
 
+std::shared_ptr<const SparseLu> FactorCache::find_numeric(
+    const CscMatrix& a, std::uint64_t ph, std::uint64_t vh,
+    const SparseLuOptions& opt) {
+    for (const NumEntry& e : num_) {
+        if (e.pattern_hash != ph || e.value_hash != vh ||
+            !same_options(e.opt, opt))
+            continue;
+        if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values())
+            continue;
+        return e.lu;
+    }
+    return nullptr;
+}
+
 std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
                                                     const SparseLuOptions& opt,
                                                     bool* symbolic_fresh,
                                                     bool* numeric_fresh) {
     const std::uint64_t ph = pattern_hash(a);
     const std::uint64_t vh = value_hash(a);
-    const auto find = [&]() -> std::shared_ptr<const SparseLu> {
-        for (const NumEntry& e : num_) {
-            if (e.pattern_hash != ph || e.value_hash != vh ||
-                !same_options(e.opt, opt))
-                continue;
-            if (!same_pattern(a, *e.lu->symbolic()) || e.values != a.values())
-                continue;
-            return e.lu;
-        }
-        return nullptr;
-    };
 
     std::shared_ptr<const SparseLuSymbolic> sym;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (std::shared_ptr<const SparseLu> hit = find()) {
+        const util::MutexLock lock(mutex_);
+        if (std::shared_ptr<const SparseLu> hit = find_numeric(a, ph, vh, opt)) {
             ++num_hits_;
             if (symbolic_fresh) *symbolic_fresh = false;
             if (numeric_fresh) *numeric_fresh = false;
@@ -113,7 +116,7 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
     e.values = a.values();
     e.lu = std::make_shared<const SparseLu>(a, sym);
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // Evict the most recent insertion, not the oldest: cyclic replay of
     // more keys than the cap (an adaptive run's step-size sequence,
     // re-encountered by the next run) would turn oldest-first eviction
@@ -127,7 +130,7 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
 std::size_t FactorCache::invalidate(const CscMatrix& a) {
     const std::uint64_t ph = pattern_hash(a);
     const std::uint64_t vh = value_hash(a);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::size_t removed = 0;
     for (std::size_t i = num_.size(); i-- > 0;) {
         const NumEntry& e = num_[i];
@@ -140,7 +143,7 @@ std::size_t FactorCache::invalidate(const CscMatrix& a) {
 }
 
 void FactorCache::clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     sym_.clear();
     num_.clear();
 }
@@ -161,7 +164,7 @@ std::uint64_t pattern_hash_of(const SparseLuSymbolic& sym) {
 } // namespace
 
 void FactorCache::save_symbolic(util::ByteWriter& w) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     w.u64(sym_.size());
     for (const SymEntry& e : sym_) {
         w.u64(e.pattern_hash);
@@ -193,7 +196,7 @@ void FactorCache::load_symbolic(util::ByteReader& r) {
             r.fail("symbolic entry fingerprint mismatch (pattern hash " +
                    std::to_string(e.pattern_hash) +
                    " does not match the stored analysis)");
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         bool dup = false;
         for (const SymEntry& have : sym_)
             if (have.pattern_hash == e.pattern_hash &&

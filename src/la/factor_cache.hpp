@@ -21,13 +21,14 @@
 /// their pencil as usual and ask the cache; a hit costs one hash + one
 /// vector compare.
 ///
-/// Lookups and insertions are serialized by an internal mutex, so one
-/// cache may be shared by the Engine's run_batch worker threads; the
-/// returned SparseLu / SparseLuSymbolic objects are immutable and their
-/// solves use thread-local scratch, so concurrent use of a shared factor
-/// is safe too.  The statistics getters are unsynchronized snapshots —
-/// read them between runs, not while workers are active.  Numeric entries
-/// are capped because
+/// Lookups and insertions are serialized by an internal mutex (a
+/// util::Mutex capability — every guarded field is GUARDED_BY it and the
+/// clang -Wthread-safety CI job proves the discipline), so one cache may
+/// be shared by the Engine's run_batch worker threads; the returned
+/// SparseLu / SparseLuSymbolic objects are immutable and their solves use
+/// thread-local scratch, so concurrent use of a shared factor is safe
+/// too.  The statistics getters take the mutex and may be called while
+/// workers are active.  Numeric entries are capped because
 /// adaptive stepping can generate many distinct step sizes; when full,
 /// the most recent insertion is replaced (not the oldest), so cyclic
 /// replays longer than the cap still keep the resident entries hitting.
@@ -35,10 +36,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "la/sparse_lu.hpp"
+#include "util/annotations.hpp"
 
 namespace opmsim::util {
 class ByteWriter;
@@ -75,12 +76,30 @@ public:
                                            bool* symbolic_fresh = nullptr,
                                            bool* numeric_fresh = nullptr);
 
-    [[nodiscard]] std::size_t num_symbolic() const { return sym_.size(); }
-    [[nodiscard]] std::size_t num_factors() const { return num_.size(); }
-    [[nodiscard]] long symbolic_hits() const { return sym_hits_; }
-    [[nodiscard]] long symbolic_misses() const { return sym_misses_; }
-    [[nodiscard]] long factor_hits() const { return num_hits_; }
-    [[nodiscard]] long factor_misses() const { return num_misses_; }
+    [[nodiscard]] std::size_t num_symbolic() const {
+        const util::MutexLock lock(mutex_);
+        return sym_.size();
+    }
+    [[nodiscard]] std::size_t num_factors() const {
+        const util::MutexLock lock(mutex_);
+        return num_.size();
+    }
+    [[nodiscard]] long symbolic_hits() const {
+        const util::MutexLock lock(mutex_);
+        return sym_hits_;
+    }
+    [[nodiscard]] long symbolic_misses() const {
+        const util::MutexLock lock(mutex_);
+        return sym_misses_;
+    }
+    [[nodiscard]] long factor_hits() const {
+        const util::MutexLock lock(mutex_);
+        return num_hits_;
+    }
+    [[nodiscard]] long factor_misses() const {
+        const util::MutexLock lock(mutex_);
+        return num_misses_;
+    }
 
     /// Drop every cached entry (shared_ptrs held by callers stay valid).
     void clear();
@@ -122,16 +141,28 @@ private:
     };
 
     SymEntry* find_symbolic(const CscMatrix& a, std::uint64_t ph,
-                            const SparseLuOptions& opt);
+                            const SparseLuOptions& opt) REQUIRES(mutex_);
+    std::shared_ptr<const SparseLu> find_numeric(const CscMatrix& a,
+                                                 std::uint64_t ph,
+                                                 std::uint64_t vh,
+                                                 const SparseLuOptions& opt)
+        REQUIRES(mutex_);
     std::shared_ptr<const SparseLuSymbolic> symbolic_locked(
-        const CscMatrix& a, const SparseLuOptions& opt, bool* fresh);
+        const CscMatrix& a, const SparseLuOptions& opt, bool* fresh)
+        REQUIRES(mutex_);
 
-    std::mutex mutex_;
+    /// mutable: the stats getters are const but must lock — an
+    /// unsynchronized size()/hits() read racing an insert is UB, and the
+    /// svc daemon polls these while the dispatcher is live.
+    mutable util::Mutex mutex_;
     std::size_t max_factors_;
-    std::vector<SymEntry> sym_;
-    std::vector<NumEntry> num_;  ///< insertion order; back() is replaced when full
-    long sym_hits_ = 0, sym_misses_ = 0;
-    long num_hits_ = 0, num_misses_ = 0;
+    std::vector<SymEntry> sym_ GUARDED_BY(mutex_);
+    /// insertion order; back() is replaced when full
+    std::vector<NumEntry> num_ GUARDED_BY(mutex_);
+    long sym_hits_ GUARDED_BY(mutex_) = 0;
+    long sym_misses_ GUARDED_BY(mutex_) = 0;
+    long num_hits_ GUARDED_BY(mutex_) = 0;
+    long num_misses_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace opmsim::la

@@ -420,8 +420,11 @@ AdaptiveResult simulate_opm_adaptive(const DescriptorSystem& sys,
                                    std::to_string(t) + " (h = " + std::to_string(h) +
                                    ") produced a non-finite state");
 #ifdef OPMSIM_ADAPTIVE_DEBUG
-        std::fprintf(stderr, "t=%.6g h=%.6g diff=%.3e scale=%.3e err=%.3e\n", t,
-                     h, diff, scale, diff / (scale + 1e-300));
+        // Best-effort debug trace; a failed stderr write is not actionable
+        // here (cert-err33-c).
+        static_cast<void>(std::fprintf(stderr,
+                                       "t=%.6g h=%.6g diff=%.3e scale=%.3e err=%.3e\n",
+                                       t, h, diff, scale, diff / (scale + 1e-300)));
 #endif
 
         const double threshold = opt.atol + opt.tol * scale;

@@ -21,7 +21,6 @@ SolveCaches::~SolveCaches() = default;
 
 Vectord SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
                              Vectord (*compute)(double, index_t)) {
-    const std::lock_guard<std::mutex> lock(series_mutex_);
     const auto key = std::make_pair(alpha, m);
     auto it = map.find(key);
     if (it != map.end()) {
@@ -34,10 +33,12 @@ Vectord SolveCaches::memoize(SeriesMap& map, double alpha, index_t m,
 }
 
 Vectord SolveCaches::frac_diff_series(double alpha, index_t m) {
+    const util::MutexLock lock(series_mutex_);
     return memoize(series_, alpha, m, &opm::frac_diff_series);
 }
 
 Vectord SolveCaches::grunwald_weights(double alpha, index_t m) {
+    const util::MutexLock lock(series_mutex_);
     return memoize(weights_, alpha, m, &opm::grunwald_weights);
 }
 
@@ -59,7 +60,7 @@ SoeFit SolveCaches::soe_row(const Vectord& row, index_t len, index_t window,
                             double tol, bool* fresh) {
     const index_t n = std::min<index_t>(len, static_cast<index_t>(row.size()));
     const auto key = std::make_tuple(fnv1a(row.data(), n), n, window, tol);
-    const std::lock_guard<std::mutex> lock(series_mutex_);
+    const util::MutexLock lock(series_mutex_);
     auto it = soe_rows_.find(key);
     if (it != soe_rows_.end()) {
         ++series_hits_;
@@ -76,7 +77,7 @@ SoeFit SolveCaches::soe_row(const Vectord& row, index_t len, index_t window,
 SoeKernelFit SolveCaches::soe_kernel(double alpha, double tmin, double tmax,
                                      double tol, bool* fresh) {
     const auto key = std::make_tuple(alpha, tmin, tmax, tol);
-    const std::lock_guard<std::mutex> lock(series_mutex_);
+    const util::MutexLock lock(series_mutex_);
     auto it = soe_kernels_.find(key);
     if (it != soe_kernels_.end()) {
         ++series_hits_;
@@ -93,7 +94,7 @@ SoeKernelFit SolveCaches::soe_kernel(double alpha, double tmin, double tmax,
 void SolveCaches::purge() {
     factors.clear();
     plans->clear();
-    const std::lock_guard<std::mutex> lock(series_mutex_);
+    const util::MutexLock lock(series_mutex_);
     series_.clear();
     weights_.clear();
     soe_rows_.clear();
@@ -162,7 +163,7 @@ void SolveCaches::save(const std::string& path) {
     util::ByteWriter w;
     factors.save_symbolic(w);
     {
-        const std::lock_guard<std::mutex> lock(series_mutex_);
+        const util::MutexLock lock(series_mutex_);
         for (const SeriesMap* map : {&series_, &weights_}) {
             w.u64(map->size());
             for (const auto& [key, row] : *map) {
@@ -211,7 +212,10 @@ void SolveCaches::save(const std::string& path) {
                                "SolveCaches::save: write failed on " + tmp);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+        // Best-effort cleanup of the temp file while already on the error
+        // path; the rename failure below is the actionable error
+        // (cert-err33-c).
+        static_cast<void>(std::remove(tmp.c_str()));
         throw solver_error(ErrorCode::internal_error,
                            "SolveCaches::save: rename to " + path + " failed");
     }
@@ -244,7 +248,7 @@ void SolveCaches::load(const std::string& path) {
         r.fail("snapshot checksum mismatch (corrupt file)");
 
     factors.load_symbolic(r);
-    const std::lock_guard<std::mutex> lock(series_mutex_);
+    const util::MutexLock lock(series_mutex_);
     for (SeriesMap* map : {&series_, &weights_}) {
         const std::uint64_t count = r.count(24, "series entries");
         for (std::uint64_t k = 0; k < count; ++k) {

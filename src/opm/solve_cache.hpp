@@ -25,15 +25,15 @@
 ///
 /// Thread-safety: every layer serializes its own lookups/insertions
 /// (la::FactorCache and fftx::ConvPlanCache internally, the series maps
-/// via this struct's mutex) and hands out either immutable objects or
-/// copies, so one bundle may be shared by Engine::run_batch's worker
-/// threads.  The statistics getters are unsynchronized snapshots — read
-/// them between runs, not while workers are active.
+/// via this struct's mutex — a util::Mutex capability, every guarded map
+/// GUARDED_BY it) and hands out either immutable objects or copies, so
+/// one bundle may be shared by Engine::run_batch's worker threads.  The
+/// statistics getters take the mutex and may be called while workers are
+/// active.
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -41,6 +41,7 @@
 #include "la/factor_cache.hpp"
 #include "opm/diagnostics.hpp"
 #include "opm/soe.hpp"
+#include "util/annotations.hpp"
 #include "util/status.hpp"
 
 namespace opmsim::fftx {
@@ -86,8 +87,14 @@ struct SolveCaches {
     SoeKernelFit soe_kernel(double alpha, double tmin, double tmax, double tol,
                             bool* fresh = nullptr);
 
-    [[nodiscard]] long series_hits() const { return series_hits_; }
-    [[nodiscard]] long series_misses() const { return series_misses_; }
+    [[nodiscard]] long series_hits() const {
+        const util::MutexLock lock(series_mutex_);
+        return series_hits_;
+    }
+    [[nodiscard]] long series_misses() const {
+        const util::MutexLock lock(series_mutex_);
+        return series_misses_;
+    }
 
     /// Drop every cached entry (factors, plans, series and SoE memos) —
     /// the Engine's LRU cache tier evicts cold tenants with this.  The
@@ -121,19 +128,23 @@ private:
     static constexpr std::size_t kMaxSeries = 64;
     using SeriesMap = std::map<std::pair<double, index_t>, Vectord>;
     Vectord memoize(SeriesMap& map, double alpha, index_t m,
-                    Vectord (*compute)(double, index_t));
+                    Vectord (*compute)(double, index_t))
+        REQUIRES(series_mutex_);
 
-    std::mutex series_mutex_;
-    SeriesMap series_;
-    SeriesMap weights_;
+    /// mutable: the stats getters are const but must lock — the svc
+    /// daemon polls them while the dispatcher is live.
+    mutable util::Mutex series_mutex_;
+    SeriesMap series_ GUARDED_BY(series_mutex_);
+    SeriesMap weights_ GUARDED_BY(series_mutex_);
     /// SoE fit memos, bounded like the series maps (kMaxSeries entries,
     /// dropped wholesale when over-full — the fits are pure functions of
     /// their keys).
     std::map<std::tuple<std::uint64_t, index_t, index_t, double>, SoeFit>
-        soe_rows_;
+        soe_rows_ GUARDED_BY(series_mutex_);
     std::map<std::tuple<double, double, double, double>, SoeKernelFit>
-        soe_kernels_;
-    long series_hits_ = 0, series_misses_ = 0;
+        soe_kernels_ GUARDED_BY(series_mutex_);
+    long series_hits_ GUARDED_BY(series_mutex_) = 0;
+    long series_misses_ GUARDED_BY(series_mutex_) = 0;
 };
 
 /// Factor `pencil`, consulting `caches` when present, and account the work

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/posix_error.hpp"
+
 namespace opmsim::svc {
 
 namespace {
@@ -56,7 +58,7 @@ Client::~Client() { close(); }
 void Client::connect_unix(const std::string& path) {
     OPMSIM_REQUIRE(fd_ < 0, "svc::Client: already connected");
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) transport_fail(std::string("socket: ") + std::strerror(errno));
+    if (fd < 0) transport_fail(std::string("socket: ") + util::errno_message(errno));
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     OPMSIM_REQUIRE(path.size() < sizeof addr.sun_path,
@@ -64,7 +66,7 @@ void Client::connect_unix(const std::string& path) {
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
         0) {
-        const std::string why = std::strerror(errno);
+        const std::string why = util::errno_message(errno);
         ::close(fd);
         transport_fail("connect(" + path + "): " + why);
     }
@@ -75,14 +77,14 @@ void Client::connect_unix(const std::string& path) {
 void Client::connect_tcp(int port) {
     OPMSIM_REQUIRE(fd_ < 0, "svc::Client: already connected");
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) transport_fail(std::string("socket: ") + std::strerror(errno));
+    if (fd < 0) transport_fail(std::string("socket: ") + util::errno_message(errno));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
         0) {
-        const std::string why = std::strerror(errno);
+        const std::string why = util::errno_message(errno);
         ::close(fd);
         transport_fail("connect(127.0.0.1:" + std::to_string(port) +
                        "): " + why);
@@ -114,7 +116,7 @@ void Client::close() {
 void Client::fail_all_pending(const std::string& why) {
     std::map<std::uint64_t, Pending> orphans;
     {
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const util::MutexLock lock(pending_mutex_);
         orphans.swap(pending_);
     }
     util::ByteWriter w;
@@ -137,7 +139,7 @@ void Client::receive_loop() {
         if (!read_exact(fd_, payload.data(), payload.size())) break;
         Pending p;
         {
-            const std::lock_guard<std::mutex> lock(pending_mutex_);
+            const util::MutexLock lock(pending_mutex_);
             const auto it = pending_.find(hdr.request_id);
             if (it == pending_.end()) continue;  // stray reply: drop
             p = std::move(it->second);
@@ -153,7 +155,7 @@ std::uint64_t Client::send_request(MsgType type,
     OPMSIM_REQUIRE(fd_ >= 0, "svc::Client: not connected");
     std::uint64_t id;
     {
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const util::MutexLock lock(pending_mutex_);
         id = next_id_++;
     }
     util::ByteWriter w;
@@ -163,7 +165,7 @@ std::uint64_t Client::send_request(MsgType type,
     h.payload_len = payload.size();
     encode_frame_header(w, h);
     w.bytes(payload.data(), payload.size());
-    const std::lock_guard<std::mutex> lock(write_mutex_);
+    const util::MutexLock lock(write_mutex_);
     if (!write_all(fd_, w.data().data(), w.size()))
         transport_fail("send failed (connection closed)");
     return id;
@@ -178,7 +180,7 @@ std::pair<MsgType, std::vector<std::uint8_t>> Client::call(
     {
         // Register BEFORE sending so a fast reply cannot race the map
         // insert; the id must be reserved and mapped atomically.
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const util::MutexLock lock(pending_mutex_);
         id = next_id_++;
         pending_[id].deliver = [&promise](MsgType t,
                                           std::vector<std::uint8_t> body) {
@@ -193,10 +195,10 @@ std::pair<MsgType, std::vector<std::uint8_t>> Client::call(
     encode_frame_header(w, h);
     w.bytes(payload.data(), payload.size());
     {
-        const std::lock_guard<std::mutex> lock(write_mutex_);
+        const util::MutexLock lock(write_mutex_);
         if (!write_all(fd_, w.data().data(), w.size())) {
             {
-                const std::lock_guard<std::mutex> plock(pending_mutex_);
+                const util::MutexLock plock(pending_mutex_);
                 pending_.erase(id);
             }
             transport_fail("send failed (connection closed)");
@@ -256,7 +258,7 @@ void Client::submit_cb(std::uint64_t handle, const WireScenario& sc,
 
     std::uint64_t id;
     {
-        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const util::MutexLock lock(pending_mutex_);
         id = next_id_++;
         pending_[id].deliver = [cb = std::move(cb)](
                                    MsgType type,
@@ -287,7 +289,7 @@ void Client::submit_cb(std::uint64_t handle, const WireScenario& sc,
     w.bytes(body.data().data(), body.size());
     bool sent;
     {
-        const std::lock_guard<std::mutex> lock(write_mutex_);
+        const util::MutexLock lock(write_mutex_);
         sent = write_all(fd_, w.data().data(), w.size());
     }
     if (!sent) {
@@ -295,7 +297,7 @@ void Client::submit_cb(std::uint64_t handle, const WireScenario& sc,
         // submit again.
         Pending orphan;
         {
-            const std::lock_guard<std::mutex> plock(pending_mutex_);
+            const util::MutexLock plock(pending_mutex_);
             const auto it = pending_.find(id);
             if (it == pending_.end()) return;  // receiver already failed it
             orphan = std::move(it->second);

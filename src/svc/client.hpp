@@ -21,12 +21,13 @@
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "svc/wire.hpp"
+#include "util/annotations.hpp"
 
 namespace opmsim::svc {
 
@@ -92,13 +93,16 @@ private:
         MsgType type, const std::vector<std::uint8_t>& payload);
     void fail_all_pending(const std::string& why);
 
+    /// Socket fd.  Written only while single-threaded (connect_* before the
+    /// receiver thread spawns; close() after it joins), so it needs no
+    /// capability — the receiver and senders only ever read it.
     int fd_ = -1;
-    std::uint16_t minor_ = 0;
+    std::uint16_t minor_ = 0;  ///< set once by handshake(), then read-only
     std::thread receiver_;
-    std::mutex write_mutex_;
-    std::mutex pending_mutex_;
-    std::map<std::uint64_t, Pending> pending_;
-    std::uint64_t next_id_ = 1;
+    util::Mutex write_mutex_;  ///< serializes whole-frame socket writes
+    util::Mutex pending_mutex_;
+    std::map<std::uint64_t, Pending> pending_ GUARDED_BY(pending_mutex_);
+    std::uint64_t next_id_ GUARDED_BY(pending_mutex_) = 1;
 };
 
 } // namespace opmsim::svc

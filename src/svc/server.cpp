@@ -12,6 +12,8 @@
 #include <map>
 #include <utility>
 
+#include "util/posix_error.hpp"
+
 namespace opmsim::svc {
 
 namespace {
@@ -49,7 +51,7 @@ bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
 
 [[noreturn]] void socket_fail(const std::string& what) {
     throw solver_error(ErrorCode::internal_error,
-                       "svc::Server: " + what + ": " + std::strerror(errno));
+                       "svc::Server: " + what + ": " + util::errno_message(errno));
 }
 
 } // namespace
@@ -62,10 +64,21 @@ Server::Server(ServerOptions opt) : opt_(std::move(opt)) {
 Server::~Server() { stop(); }
 
 void Server::start() {
-    OPMSIM_REQUIRE(!started_, "svc::Server: start() called twice");
+    {
+        const util::MutexLock lock(queue_mutex_);
+        OPMSIM_REQUIRE(!started_, "svc::Server: start() called twice");
+    }
+    // Build the listener in a local fd and publish it under listener_mutex_
+    // only once it is fully set up: accept_loop() must never observe a
+    // half-configured socket, and a failure here must not leak the fd.
+    int fd = -1;
+    const auto fail = [&fd](const std::string& what) {
+        if (fd >= 0) ::close(fd);
+        socket_fail(what);
+    };
     if (!opt_.socket_path.empty()) {
-        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (listen_fd_ < 0) socket_fail("socket(AF_UNIX)");
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) fail("socket(AF_UNIX)");
         sockaddr_un addr{};
         addr.sun_family = AF_UNIX;
         OPMSIM_REQUIRE(opt_.socket_path.size() < sizeof addr.sun_path,
@@ -73,33 +86,45 @@ void Server::start() {
         std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
                     opt_.socket_path.size() + 1);
         ::unlink(opt_.socket_path.c_str());  // stale socket from a crash
-        if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof addr) != 0)
-            socket_fail("bind(" + opt_.socket_path + ")");
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0)
+            fail("bind(" + opt_.socket_path + ")");
     } else {
-        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (listen_fd_ < 0) socket_fail("socket(AF_INET)");
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) fail("socket(AF_INET)");
         const int one = 1;
-        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
         addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcp_port));
-        if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof addr) != 0)
-            socket_fail("bind(127.0.0.1:" + std::to_string(opt_.tcp_port) + ")");
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0)
+            fail("bind(127.0.0.1:" + std::to_string(opt_.tcp_port) + ")");
         sockaddr_in bound{};
         socklen_t len = sizeof bound;
-        ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
         port_ = static_cast<int>(ntohs(bound.sin_port));
     }
-    if (::listen(listen_fd_, 64) != 0) socket_fail("listen");
-    started_ = true;
+    if (::listen(fd, 64) != 0) fail("listen");
+    {
+        const util::MutexLock lock(listener_mutex_);
+        listen_fd_ = fd;
+    }
+    {
+        const util::MutexLock lock(queue_mutex_);
+        started_ = true;
+    }
     accept_thread_ = std::thread([this] { accept_loop(); });
     dispatch_thread_ = std::thread([this] { dispatch_loop(); });
 }
 
 void Server::close_listener() {
+    // Serialized: stop() and the dispatcher's client-shutdown path may
+    // both get here, and the second caller must see -1 — shutting down an
+    // already-closed (possibly kernel-reused) fd number would hit an
+    // unrelated descriptor.
+    const util::MutexLock lock(listener_mutex_);
     if (listen_fd_ >= 0) {
         ::shutdown(listen_fd_, SHUT_RDWR);
         ::close(listen_fd_);
@@ -109,14 +134,14 @@ void Server::close_listener() {
 
 void Server::stop() {
     {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        const util::MutexLock lock(queue_mutex_);
         if (stopping_ && !started_) return;
         stopping_ = true;
     }
     queue_cv_.notify_all();
     close_listener();
     {
-        const std::lock_guard<std::mutex> lock(conn_mutex_);
+        const util::MutexLock lock(conn_mutex_);
         for (const std::shared_ptr<Connection>& c : connections_)
             if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
     }
@@ -124,7 +149,7 @@ void Server::stop() {
     if (dispatch_thread_.joinable()) dispatch_thread_.join();
     std::vector<std::shared_ptr<Connection>> conns;
     {
-        const std::lock_guard<std::mutex> lock(conn_mutex_);
+        const util::MutexLock lock(conn_mutex_);
         conns.swap(connections_);
     }
     for (const std::shared_ptr<Connection>& c : conns) {
@@ -132,27 +157,38 @@ void Server::stop() {
         if (c->fd >= 0) ::close(c->fd);
     }
     if (!opt_.socket_path.empty()) ::unlink(opt_.socket_path.c_str());
-    started_ = false;
     {
-        const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        const util::MutexLock lock(queue_mutex_);
+        started_ = false;
+    }
+    {
+        const util::MutexLock lock(shutdown_mutex_);
         shutdown_requested_ = true;
     }
     shutdown_cv_.notify_all();
 }
 
 void Server::wait_for_shutdown() {
-    std::unique_lock<std::mutex> lock(shutdown_mutex_);
-    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+    util::MutexLock lock(shutdown_mutex_);
+    while (!shutdown_requested_) shutdown_cv_.wait(lock);
 }
 
 ServiceStats Server::stats() const {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     return stats_;
 }
 
 void Server::accept_loop() {
     for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        int lfd;
+        {
+            const util::MutexLock lock(listener_mutex_);
+            lfd = listen_fd_;
+        }
+        if (lfd < 0) return;  // close_listener() already ran
+        // accept() on the snapshot, not under the lock: close_listener()
+        // must be able to shut the socket down to wake this blocking call.
+        const int fd = ::accept(lfd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR) continue;
             return;  // listener closed: stop() is in progress
@@ -160,7 +196,7 @@ void Server::accept_loop() {
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
-            const std::lock_guard<std::mutex> lock(conn_mutex_);
+            const util::MutexLock lock(conn_mutex_);
             connections_.push_back(conn);
         }
         conn->reader = std::thread([this, conn] { reader_loop(conn); });
@@ -177,7 +213,7 @@ void Server::send_frame(Connection& conn, MsgType type,
     h.payload_len = payload.size();
     encode_frame_header(w, h);
     w.bytes(payload.data(), payload.size());
-    const std::lock_guard<std::mutex> lock(conn.write_mutex);
+    const util::MutexLock lock(conn.write_mutex);
     write_all(conn.fd, w.data().data(), w.size());
 }
 
@@ -228,7 +264,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
             job.payload = std::move(payload);
         }
         {
-            const std::lock_guard<std::mutex> lock(queue_mutex_);
+            const util::MutexLock lock(queue_mutex_);
             if (stopping_) return;
             queue_.push_back(std::move(job));
         }
@@ -242,8 +278,8 @@ void Server::dispatch_loop() {
         Job control;
         bool have_control = false;
         {
-            std::unique_lock<std::mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            util::MutexLock lock(queue_mutex_);
+            while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
             if (stopping_ && queue_.empty()) return;
             if (queue_.front().hdr.type != MsgType::submit) {
                 control = std::move(queue_.front());
@@ -357,7 +393,7 @@ void Server::dispatch_submits(std::vector<Job> batch) {
                        w.data());
         }
 
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         stats_.requests += members.size();
         stats_.batches += 1;
         if (members.size() >= 2) stats_.coalesced += members.size();
@@ -421,13 +457,13 @@ void Server::handle_control(Job& job) {
         case MsgType::shutdown: {
             send_frame(conn, MsgType::ok, id, {});
             {
-                const std::lock_guard<std::mutex> lock(queue_mutex_);
+                const util::MutexLock lock(queue_mutex_);
                 stopping_ = true;
             }
             queue_cv_.notify_all();
             close_listener();
             {
-                const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+                const util::MutexLock lock(shutdown_mutex_);
                 shutdown_requested_ = true;
             }
             shutdown_cv_.notify_all();

@@ -27,17 +27,16 @@
 /// Every reply frame echoes its request_id, so clients may pipeline
 /// requests freely; per-connection writes are serialized by a mutex.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/engine.hpp"
 #include "svc/wire.hpp"
+#include "util/annotations.hpp"
 
 namespace opmsim::svc {
 
@@ -98,8 +97,11 @@ public:
 
 private:
     struct Connection {
+        /// Set once by accept_loop() before the reader thread spawns (and
+        /// before the connection is published), then never reassigned —
+        /// read-only to every thread, so it needs no capability.
         int fd = -1;
-        std::mutex write_mutex;
+        util::Mutex write_mutex;  ///< serializes whole-frame socket writes
         std::thread reader;
     };
 
@@ -128,27 +130,41 @@ private:
 
     ServerOptions opt_;
     api::Engine engine_;
-    int listen_fd_ = -1;
+
+    /// Guards the listener fd: close_listener() runs from stop() (any
+    /// thread) AND from the dispatcher on a client shutdown request, and
+    /// those may race — an unguarded fd could be shut down twice, the
+    /// second time on a number the kernel has already reused.
+    /// accept_loop() snapshots the fd under this lock each iteration.
+    util::Mutex listener_mutex_;
+    int listen_fd_ GUARDED_BY(listener_mutex_) = -1;
+    /// Bound TCP port.  Written by start() before any thread spawns, then
+    /// read-only — no capability needed.
     int port_ = 0;
-    bool started_ = false;
 
     std::thread accept_thread_;
     std::thread dispatch_thread_;
 
-    std::mutex conn_mutex_;
-    std::vector<std::shared_ptr<Connection>> connections_;
+    util::Mutex conn_mutex_;
+    std::vector<std::shared_ptr<Connection>> connections_
+        GUARDED_BY(conn_mutex_);
 
-    std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<Job> queue_;
-    bool stopping_ = false;
+    util::Mutex queue_mutex_;
+    util::CondVar queue_cv_;
+    std::deque<Job> queue_ GUARDED_BY(queue_mutex_);
+    bool stopping_ GUARDED_BY(queue_mutex_) = false;
+    /// start()/stop() lifecycle flag; shares queue_mutex_ because stop()
+    /// already reads it together with stopping_ (a lone unguarded bool
+    /// here was a data race between start() and a concurrent stop()).
+    bool started_ GUARDED_BY(queue_mutex_) = false;
 
-    mutable std::mutex stats_mutex_;
-    ServiceStats stats_;
+    /// mutable: stats() is const but must lock.
+    mutable util::Mutex stats_mutex_;
+    ServiceStats stats_ GUARDED_BY(stats_mutex_);
 
-    std::mutex shutdown_mutex_;
-    std::condition_variable shutdown_cv_;
-    bool shutdown_requested_ = false;
+    util::Mutex shutdown_mutex_;
+    util::CondVar shutdown_cv_;
+    bool shutdown_requested_ GUARDED_BY(shutdown_mutex_) = false;
 };
 
 } // namespace opmsim::svc

@@ -1,0 +1,121 @@
+#pragma once
+/// \file annotations.hpp
+/// \brief Clang thread-safety capability annotations + annotated mutex types.
+///
+/// opmsim's concurrency surface (run_batch worker pools, the shared
+/// FactorCache/ConvPlanCache/series memos, the svc daemon's
+/// reader/dispatcher threading model) is guarded at compile time by
+/// Clang's -Wthread-safety analysis: every mutex is a declared
+/// *capability*, every piece of state it protects is GUARDED_BY it, and
+/// every private helper that assumes the lock is held says so with
+/// REQUIRES.  A forgotten lock (or a lock taken twice) is then a hard
+/// compile error in the CI thread-safety job
+/// (-Wthread-safety -Wthread-safety-beta -Werror, clang only) instead of
+/// an interleaving TSan may or may not reach on a 1-CPU runner.
+///
+/// The analysis needs lock/unlock functions it can see, and libstdc++'s
+/// std::mutex / std::lock_guard carry no attributes — so this header also
+/// provides the thin annotated wrappers the codebase uses instead:
+///
+///   * util::Mutex     — std::mutex with ACQUIRE/RELEASE-annotated methods;
+///   * util::MutexLock — a SCOPED_CAPABILITY lock_guard replacement that
+///                       also satisfies BasicLockable, so it plugs into
+///                       std::condition_variable_any (util::CondVar);
+///   * util::CondVar   — condition_variable_any; pair it with MutexLock
+///                       and an explicit `while (!pred) cv.wait(lock);`
+///                       loop (lambda predicates hide the guarded reads
+///                       from the analysis).
+///
+/// On every non-Clang compiler (and on Clang without the attribute) the
+/// macros expand to nothing and Mutex/MutexLock are zero-cost veneers over
+/// std::mutex, so gcc builds are untouched.
+///
+/// Discipline (see docs/static_analysis.md): annotate, don't suppress.
+/// Shapes the analysis cannot express (lock-then-return, conditional
+/// locking) are refactored into `*_locked()` helpers with REQUIRES; the
+/// NO_THREAD_SAFETY_ANALYSIS escape hatch is reserved for the annotated
+/// wrapper internals below and must carry a justification comment anywhere
+/// else (ci/lint_invariants.py-adjacent review rule).
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OPMSIM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OPMSIM_THREAD_ANNOTATION
+#define OPMSIM_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) OPMSIM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY OPMSIM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) OPMSIM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) OPMSIM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRE(...) OPMSIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) OPMSIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+    OPMSIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) \
+    OPMSIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) OPMSIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+    OPMSIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+    OPMSIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) OPMSIM_THREAD_ANNOTATION(lock_returned(x))
+#define ASSERT_CAPABILITY(x) OPMSIM_THREAD_ANNOTATION(assert_capability(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+    OPMSIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace opmsim::util {
+
+/// std::mutex as a declared capability.  Use through MutexLock; the bare
+/// lock()/unlock() exist for the wrapper and for adopting interfaces that
+/// need BasicLockable.
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    std::mutex m_;
+};
+
+/// Scoped lock over util::Mutex (the std::lock_guard of this codebase).
+/// Also BasicLockable, so util::CondVar::wait(lock) / wait_until(lock, t)
+/// can release and reacquire it around the block — the capability state
+/// before and after a wait is identical, which is exactly what the
+/// analysis assumes.
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) ACQUIRE(m) : mu_(m) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// BasicLockable surface for condition_variable_any only — calling
+    /// these by hand defeats the scope discipline.
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable compatible with util::Mutex/MutexLock.  Always wait
+/// in an explicit predicate loop —
+///     while (!pred) cv.wait(lock);
+/// — not with the lambda-predicate overload: the lambda is a separate
+/// function body to the analysis, so guarded reads inside it would need
+/// their own (unattachable) REQUIRES.
+using CondVar = std::condition_variable_any;
+
+} // namespace opmsim::util

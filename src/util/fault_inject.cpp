@@ -1,7 +1,8 @@
 #include "util/fault_inject.hpp"
 
 #include <cmath>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace opmsim::fault {
 
@@ -20,21 +21,27 @@ struct SiteState {
 
 constexpr int kSites = static_cast<int>(Site::site_count_);
 
-std::mutex& state_mutex() {
-    static std::mutex m;
-    return m;
-}
+/// All mutable harness state behind one capability, so the thread-safety
+/// analysis can see that every SiteState access holds the mutex (a bare
+/// function-local `static std::mutex` can't be named in GUARDED_BY).
+struct Registry {
+    util::Mutex m;
+    SiteState sites[kSites] GUARDED_BY(m);
 
-SiteState* states() {
-    static SiteState s[kSites];
-    return s;
+    SiteState& site(Site s) REQUIRES(m) { return sites[static_cast<int>(s)]; }
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
 }
 
 } // namespace
 
 void arm(Site site, FaultSpec spec) {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    SiteState& st = states()[static_cast<int>(site)];
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    SiteState& st = r.site(site);
     if (!st.armed) detail::armed_count.fetch_add(1, std::memory_order_relaxed);
     st.armed = true;
     st.spec = spec;
@@ -43,24 +50,26 @@ void arm(Site site, FaultSpec spec) {
 }
 
 void disarm(Site site) {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    SiteState& st = states()[static_cast<int>(site)];
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    SiteState& st = r.site(site);
     if (st.armed) detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
     st.armed = false;
 }
 
 void disarm_all() {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    for (int i = 0; i < kSites; ++i) {
-        SiteState& st = states()[i];
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    for (SiteState& st : r.sites) {
         if (st.armed) detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
         st.armed = false;
     }
 }
 
 bool fire(Site site) {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    SiteState& st = states()[static_cast<int>(site)];
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    SiteState& st = r.site(site);
     if (!st.armed) return false;
     const long call = st.calls++;
     const bool hit = call >= st.spec.skip && call < st.spec.skip + st.spec.fire;
@@ -69,13 +78,15 @@ bool fire(Site site) {
 }
 
 long fire_count(Site site) {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    return states()[static_cast<int>(site)].fired;
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    return r.site(site).fired;
 }
 
 double perturb(Site site, double v) {
-    const std::lock_guard<std::mutex> lock(state_mutex());
-    SiteState& st = states()[static_cast<int>(site)];
+    Registry& r = registry();
+    const util::MutexLock lock(r.m);
+    SiteState& st = r.site(site);
     if (!st.armed) return v;
     const long call = st.calls++;
     if (call < st.spec.skip || call >= st.spec.skip + st.spec.fire) return v;

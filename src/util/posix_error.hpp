@@ -1,0 +1,36 @@
+#pragma once
+/// \file posix_error.hpp
+/// \brief Thread-safe errno formatting for the svc transport layer.
+///
+/// std::strerror returns a pointer into static storage and is not
+/// reentrant (clang-tidy concurrency-mt-unsafe); the svc daemon formats
+/// errno from its accept loop, per-connection readers and the dispatcher
+/// concurrently, so every errno message goes through errno_message()
+/// instead, which is strerror_r over a caller-local buffer.
+
+#include <cstring>
+#include <string>
+
+namespace opmsim::util {
+
+namespace detail {
+/// Overload dispatch over the two strerror_r flavours: the XSI version
+/// returns int and fills the buffer, the GNU version returns the message
+/// pointer (which may or may not be the buffer).  Whichever the libc
+/// provides, exactly one of these is selected at overload resolution.
+inline const char* strerror_result(int rc, const char* buf) {
+    return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_result(const char* msg, const char* /*buf*/) {
+    return msg;
+}
+} // namespace detail
+
+/// Message text for `err` (an errno value), safe to call from any thread.
+inline std::string errno_message(int err) {
+    char buf[256];
+    buf[0] = '\0';
+    return detail::strerror_result(strerror_r(err, buf, sizeof buf), buf);
+}
+
+} // namespace opmsim::util

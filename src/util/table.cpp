@@ -42,26 +42,30 @@ std::string TextTable::str() const {
     return os.str();
 }
 
-void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+void TextTable::print() const {
+    // Best-effort console output; a failed write to stdout is not an
+    // error the table layer can act on (cert-err33-c).
+    static_cast<void>(std::fputs(str().c_str(), stdout));
+}
 
 std::string fmt_g(double v, int prec) {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    static_cast<void>(std::snprintf(buf, sizeof buf, "%.*g", prec, v));
     return buf;
 }
 
 std::string fmt_ms(double ms) {
     char buf[64];
     if (ms >= 1000.0)
-        std::snprintf(buf, sizeof buf, "%.3g s", ms / 1000.0);
+        static_cast<void>(std::snprintf(buf, sizeof buf, "%.3g s", ms / 1000.0));
     else
-        std::snprintf(buf, sizeof buf, "%.3g ms", ms);
+        static_cast<void>(std::snprintf(buf, sizeof buf, "%.3g ms", ms));
     return buf;
 }
 
 std::string fmt_db(double db) {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.1f dB", db);
+    static_cast<void>(std::snprintf(buf, sizeof buf, "%.1f dB", db));
     return buf;
 }
 

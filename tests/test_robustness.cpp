@@ -17,19 +17,24 @@
 #include <vector>
 
 #include "circuit/power_grid.hpp"
+#include "circuit/tline.hpp"
 #include "la/dense.hpp"
 #include "la/dense_lu.hpp"
 #include "la/sparse.hpp"
 #include "la/sparse_lu.hpp"
 #include "opm/diagnostics.hpp"
 #include "opm/solve_cache.hpp"
+#include "transient/grunwald.hpp"
 #include "util/fault_inject.hpp"
 #include "util/status.hpp"
+#include "wave/sources.hpp"
 
 namespace la = opmsim::la;
 namespace opm = opmsim::opm;
 namespace circuit = opmsim::circuit;
 namespace fault = opmsim::fault;
+namespace transient = opmsim::transient;
+namespace wave = opmsim::wave;
 
 using opmsim::Diagnostics;
 using opmsim::ErrorCode;
@@ -437,6 +442,29 @@ TEST_F(FaultLadder, InjectedDeadlineFiresEvenWithoutAControl) {
     }
     // Window exhausted: the next check passes again.
     EXPECT_NO_THROW(opmsim::util::check_run_control(nullptr));
+    EXPECT_EQ(guard.fires(), 1);
+}
+
+TEST_F(FaultLadder, PoisonedHistoryRowSurfacesAsNonFiniteState) {
+    const opm::DescriptorSystem line =
+        circuit::make_fractional_tline().to_sparse();
+    const std::vector<wave::Source> u = {wave::smooth_step(1.0, 0.0, 0.3e-9),
+                                         wave::step(0.0)};
+    transient::GrunwaldOptions opt;
+    opt.alpha = circuit::kTlineAlpha;
+
+    // Corrupt the first state row pushed into the Grunwald history.  The
+    // poisoned row feeds the NEXT step's RHS, which the pencil solve must
+    // classify as nonfinite_state — not nonfinite_input: the inputs were
+    // fine, the evolving state went bad mid-sweep.
+    const fault::ScopedFault guard(fault::Site::history_nan,
+                                   {.skip = 0, .fire = 1});
+    try {
+        transient::simulate_grunwald(line, u, 5e-9, 16, opt);
+        FAIL() << "expected solver_error(nonfinite_state)";
+    } catch (const solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::nonfinite_state);
+    }
     EXPECT_EQ(guard.fires(), 1);
 }
 
