@@ -5,16 +5,22 @@
 /// (default) or loopback TCP socket, register systems once, and submit
 /// scenarios that the dispatcher coalesces into multi-RHS micro-batches
 /// (docs/service.md).  Warm caches can be snapshotted to disk by clients
-/// (save_caches/load_caches), so a restarted daemon answers its first
-/// request with zero fill-reducing orderings and zero SoE refits.
+/// (save_caches/load_caches) — and, with --snapshot-dir, automatically on
+/// a graceful drain — so a restarted daemon answers its first request
+/// with zero fill-reducing orderings and zero SoE refits.
 ///
 /// Usage:
 ///     opmsimd --socket /tmp/opmsim.sock [--window 0.001] [--max-batch 64]
-///             [--workers 1] [--cache-capacity 0]
+///             [--workers 1] [--cache-capacity 0] [--max-queue 4096]
+///             [--max-pending-per-conn 0] [--write-timeout 30]
+///             [--snapshot-dir DIR]
 ///     opmsimd --port 9178          # loopback TCP instead (0 = ephemeral)
 ///
-/// The daemon runs until a client sends shutdown or it receives SIGINT /
-/// SIGTERM.
+/// The daemon runs until a client sends shutdown or it receives a signal:
+/// SIGINT / SIGTERM begin a GRACEFUL drain — the listener closes, new
+/// submits are shed with `unavailable`, in-flight batches finish, the
+/// warm caches are snapshotted to --snapshot-dir (when set), and only
+/// then does the process exit.  A second signal force-stops.
 
 #include <csignal>
 #include <cstdio>
@@ -25,11 +31,19 @@
 
 namespace {
 opmsim::svc::Server* g_server = nullptr;
+volatile std::sig_atomic_t g_signals_seen = 0;
 
 void handle_signal(int) {
-    // async-signal-safe enough for a demo daemon: stop() only touches
-    // sockets and condition variables already built for cross-thread use.
-    if (g_server != nullptr) g_server->stop();
+    // First signal: graceful drain.  begin_drain() is nonblocking and only
+    // touches mutex/cv state already built for cross-thread use — the
+    // blocking epilogue (wait + snapshot + stop) runs on the main thread
+    // below, never in signal context.  Second signal: the operator is
+    // insisting; force-stop without waiting for in-flight work.
+    if (g_server == nullptr) return;
+    if (++g_signals_seen == 1)
+        g_server->begin_drain();
+    else
+        g_server->stop();
 }
 } // namespace
 
@@ -61,12 +75,22 @@ int main(int argc, char** argv) {
             opt.batch_workers = std::atoi(v);
         } else if (const char* v = arg("--cache-capacity")) {
             opt.cache_capacity = static_cast<std::size_t>(std::atol(v));
+        } else if (const char* v = arg("--max-queue")) {
+            opt.max_queue = static_cast<std::size_t>(std::atol(v));
+        } else if (const char* v = arg("--max-pending-per-conn")) {
+            opt.max_pending_per_conn = static_cast<std::size_t>(std::atol(v));
+        } else if (const char* v = arg("--write-timeout")) {
+            opt.write_timeout = std::atof(v);
+        } else if (const char* v = arg("--snapshot-dir")) {
+            opt.snapshot_dir = v;
         } else {
             std::fprintf(stderr,
                          "opmsimd: unknown option %s\n"
                          "usage: opmsimd [--socket PATH | --port N] "
                          "[--window SEC] [--max-batch N] [--workers N] "
-                         "[--cache-capacity N]\n",
+                         "[--cache-capacity N] [--max-queue N] "
+                         "[--max-pending-per-conn N] [--write-timeout SEC] "
+                         "[--snapshot-dir DIR]\n",
                          argv[i]);
             return 2;
         }
@@ -89,15 +113,23 @@ int main(int argc, char** argv) {
         std::printf("opmsimd: listening on %s\n", server.socket_path().c_str());
     std::fflush(stdout);
 
+    // Returns on a client shutdown request, a completed drain (signal), or
+    // a force-stop; stop() is idempotent so the epilogue is one path.
     server.wait_for_shutdown();
     server.stop();
 
     const opmsim::svc::ServiceStats s = server.stats();
     std::printf("opmsimd: served %llu scenarios in %llu batches "
-                "(%llu coalesced, largest %llu); bye\n",
+                "(%llu coalesced, largest %llu); "
+                "shed %llu, deadline-expired %llu, drains %llu, "
+                "reconnects seen %llu; bye\n",
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.batches),
                 static_cast<unsigned long long>(s.coalesced),
-                static_cast<unsigned long long>(s.largest_batch));
+                static_cast<unsigned long long>(s.largest_batch),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.deadline_expired),
+                static_cast<unsigned long long>(s.drains),
+                static_cast<unsigned long long>(s.reconnects_seen));
     return 0;
 }

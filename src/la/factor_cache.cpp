@@ -107,8 +107,9 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
     // Factor OUTSIDE the lock: this is the expensive step, and holding the
     // mutex here would serialize run_batch's worker threads whenever their
     // groups factor different pencils.  Two threads missing on the same
-    // key may both factor; the results are bit-identical, so either copy
-    // may be cached and returned.
+    // key may both factor (the results are bit-identical), but only one
+    // copy may be cached — the recheck below keeps the entry set deduped
+    // so racing inserts never burn eviction capacity on clones.
     NumEntry e;
     e.pattern_hash = ph;
     e.value_hash = vh;
@@ -117,6 +118,8 @@ std::shared_ptr<const SparseLu> FactorCache::factor(const CscMatrix& a,
     e.lu = std::make_shared<const SparseLu>(a, sym);
 
     const util::MutexLock lock(mutex_);
+    if (std::shared_ptr<const SparseLu> raced = find_numeric(a, ph, vh, opt))
+        return raced;
     // Evict the most recent insertion, not the oldest: cyclic replay of
     // more keys than the cap (an adaptive run's step-size sequence,
     // re-encountered by the next run) would turn oldest-first eviction

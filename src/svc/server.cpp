@@ -5,6 +5,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -12,6 +14,7 @@
 #include <map>
 #include <utility>
 
+#include "util/fault_inject.hpp"
 #include "util/posix_error.hpp"
 
 namespace opmsim::svc {
@@ -37,7 +40,9 @@ bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
 bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
     std::size_t put = 0;
     while (put < n) {
-        const ssize_t k = ::write(fd, buf + put, n - put);
+        // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as
+        // EPIPE (we drop the connection), not as a process-killing SIGPIPE.
+        const ssize_t k = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
         if (k > 0) {
             put += static_cast<std::size_t>(k);
         } else if (k < 0 && errno == EINTR) {
@@ -53,6 +58,10 @@ bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
     throw solver_error(ErrorCode::internal_error,
                        "svc::Server: " + what + ": " + util::errno_message(errno));
 }
+
+/// How long fault::Site::dispatch_stall freezes the dispatcher per fire —
+/// long enough for a test's reader threads to pile the queue up behind it.
+constexpr auto kDispatchStall = std::chrono::milliseconds(50);
 
 } // namespace
 
@@ -114,6 +123,8 @@ void Server::start() {
     {
         const util::MutexLock lock(queue_mutex_);
         started_ = true;
+        stopping_ = false;
+        draining_ = false;
     }
     accept_thread_ = std::thread([this] { accept_loop(); });
     dispatch_thread_ = std::thread([this] { dispatch_loop(); });
@@ -160,6 +171,8 @@ void Server::stop() {
     {
         const util::MutexLock lock(queue_mutex_);
         started_ = false;
+        queue_.clear();  // undelivered jobs die with their connections
+        queued_submits_ = 0;
     }
     {
         const util::MutexLock lock(shutdown_mutex_);
@@ -171,6 +184,56 @@ void Server::stop() {
 void Server::wait_for_shutdown() {
     util::MutexLock lock(shutdown_mutex_);
     while (!shutdown_requested_) shutdown_cv_.wait(lock);
+}
+
+void Server::begin_drain() {
+    {
+        const util::MutexLock lock(queue_mutex_);
+        if (!started_ || stopping_ || draining_) return;
+        draining_ = true;
+    }
+    {
+        const util::MutexLock lock(stats_mutex_);
+        ++stats_.drains;
+    }
+    // No new connections, no new submits (the readers now shed them with
+    // `unavailable`); the dispatcher flushes what is already queued and
+    // then runs finish_drain().
+    close_listener();
+    queue_cv_.notify_all();
+}
+
+void Server::drain() {
+    {
+        const util::MutexLock lock(queue_mutex_);
+        if (!started_) return;
+    }
+    begin_drain();
+    wait_for_shutdown();
+    stop();
+}
+
+void Server::finish_drain() {
+    // Dispatcher-thread epilogue: every queued job has been flushed.  The
+    // dispatcher is the Engine's only user, so snapshotting warm caches
+    // here needs no extra synchronization.
+    if (!opt_.snapshot_dir.empty()) {
+        for (const std::uint64_t h : live_handles_) {
+            try {
+                engine_.caches(api::SystemHandle{h})
+                    .save(opt_.snapshot_dir + "/opmsim_h" + std::to_string(h) +
+                          ".snap");
+            } catch (...) {
+                // Best effort: a full disk or bad directory must not keep
+                // the daemon from completing its drain.
+            }
+        }
+    }
+    {
+        const util::MutexLock lock(shutdown_mutex_);
+        shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
 }
 
 ServiceStats Server::stats() const {
@@ -193,6 +256,16 @@ void Server::accept_loop() {
             if (errno == EINTR) continue;
             return;  // listener closed: stop() is in progress
         }
+        if (opt_.write_timeout > 0) {
+            // Reply writes must not block forever on a peer that stopped
+            // reading: past this budget the write fails and send_frame
+            // drops the connection instead of wedging the dispatcher.
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(opt_.write_timeout);
+            tv.tv_usec = static_cast<suseconds_t>(
+                (opt_.write_timeout - static_cast<double>(tv.tv_sec)) * 1e6);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
@@ -214,7 +287,13 @@ void Server::send_frame(Connection& conn, MsgType type,
     encode_frame_header(w, h);
     w.bytes(payload.data(), payload.size());
     const util::MutexLock lock(conn.write_mutex);
-    write_all(conn.fd, w.data().data(), w.size());
+    const bool write_faulted =
+        fault::enabled() && fault::fire(fault::Site::sock_write_fail);
+    if (write_faulted || !write_all(conn.fd, w.data().data(), w.size())) {
+        // Stalled (SO_SNDTIMEO expired) or broken peer: drop it so no
+        // later reply blocks here again; its reader_loop wakes and exits.
+        ::shutdown(conn.fd, SHUT_RDWR);
+    }
 }
 
 void Server::send_error(Connection& conn, std::uint64_t request_id,
@@ -239,8 +318,22 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
             ::shutdown(conn->fd, SHUT_RDWR);
             return;
         }
+        if (fault::enabled() && fault::fire(fault::Site::sock_read_torn)) {
+            // Chaos harness: the frame tears between header and payload —
+            // exactly what a peer crashing mid-send looks like.  Framing
+            // is lost, so the connection must go.
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+        }
         std::vector<std::uint8_t> payload(hdr.payload_len);
         if (!read_exact(conn->fd, payload.data(), payload.size())) return;
+        if (fault::enabled() && fault::fire(fault::Site::conn_drop)) {
+            // Chaos harness: the connection dies AFTER the request is
+            // fully received but before any reply — the window where only
+            // an idempotent-retry client recovers.
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+        }
 
         Job job;
         job.conn = conn;
@@ -252,17 +345,70 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
                 util::ByteReader r(payload.data(), payload.size());
                 job.handle = r.u64();
                 job.scenario = decode_scenario(r);
+                // Minor >= 1 clients append a per-request deadline after
+                // the scenario block; 0 (and absence) mean none.
+                if (r.remaining() >= 8) job.deadline_ms = r.u64();
             } catch (...) {
                 send_error(*conn, hdr.request_id,
                            status_from_current_exception());
                 continue;
             }
-        } else if (hdr.type == MsgType::ping) {
+            if (job.deadline_ms > 0) {
+                // Clamp to ~1 year: an adversarial u64 must not overflow
+                // the steady_clock arithmetic into a deadline in the past.
+                constexpr std::uint64_t kMaxDeadlineMs = 366ull * 86'400'000ull;
+                job.deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(
+                        std::min(job.deadline_ms, kMaxDeadlineMs));
+            }
+            // Admission control — shed on the reader thread, in one round
+            // trip, while the dispatcher is free to ignore overload
+            // entirely.  Controls are exempt: they are cheap barriers and
+            // rejecting them would turn overload into spurious client
+            // exceptions.
+            Status shed_status;
+            {
+                const util::MutexLock lock(queue_mutex_);
+                if (stopping_) return;
+                if (draining_) {
+                    shed_status = {ErrorCode::unavailable,
+                                   "server is draining; resubmit elsewhere"};
+                } else if (opt_.max_queue > 0 &&
+                           queued_submits_ >= opt_.max_queue) {
+                    shed_status = {
+                        ErrorCode::overloaded,
+                        "dispatch queue full (max_queue=" +
+                            std::to_string(opt_.max_queue) + ")"};
+                } else if (opt_.max_pending_per_conn > 0 &&
+                           conn->inflight.load(std::memory_order_relaxed) >=
+                               opt_.max_pending_per_conn) {
+                    shed_status = {
+                        ErrorCode::overloaded,
+                        "connection pipeline full (max_pending_per_conn=" +
+                            std::to_string(opt_.max_pending_per_conn) + ")"};
+                } else {
+                    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+                    ++queued_submits_;
+                    queue_.push_back(std::move(job));
+                }
+            }
+            if (shed_status.code != ErrorCode::ok) {
+                {
+                    const util::MutexLock lock(stats_mutex_);
+                    ++stats_.shed;
+                }
+                send_error(*conn, hdr.request_id, shed_status);
+                continue;
+            }
+            queue_cv_.notify_one();
+            continue;
+        }
+        if (hdr.type == MsgType::ping) {
             send_frame(*conn, MsgType::pong, hdr.request_id, {});
             continue;
-        } else {
-            job.payload = std::move(payload);
         }
+        job.payload = std::move(payload);
         {
             const util::MutexLock lock(queue_mutex_);
             if (stopping_) return;
@@ -277,11 +423,15 @@ void Server::dispatch_loop() {
         std::vector<Job> submits;
         Job control;
         bool have_control = false;
+        bool drained = false;
         {
             util::MutexLock lock(queue_mutex_);
-            while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
+            while (!stopping_ && !draining_ && queue_.empty())
+                queue_cv_.wait(lock);
             if (stopping_ && queue_.empty()) return;
-            if (queue_.front().hdr.type != MsgType::submit) {
+            if (draining_ && queue_.empty()) {
+                drained = true;
+            } else if (queue_.front().hdr.type != MsgType::submit) {
                 control = std::move(queue_.front());
                 queue_.pop_front();
                 have_control = true;
@@ -289,19 +439,25 @@ void Server::dispatch_loop() {
                 // Micro-batching: hold the window open from the FIRST
                 // submit, absorbing every further submit that arrives —
                 // but never across a control message (the barrier).
-                const auto deadline =
-                    std::chrono::steady_clock::now() +
-                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(opt_.batch_window));
-                for (;;) {
+                const auto absorb = [&]() REQUIRES(queue_mutex_) {
                     while (!queue_.empty() &&
                            queue_.front().hdr.type == MsgType::submit &&
                            submits.size() <
                                static_cast<std::size_t>(opt_.max_batch)) {
                         submits.push_back(std::move(queue_.front()));
                         queue_.pop_front();
+                        --queued_submits_;
                     }
-                    if (stopping_ ||
+                };
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(opt_.batch_window));
+                for (;;) {
+                    absorb();
+                    // While draining the window never waits: no new submit
+                    // can be admitted, so flush what we already hold.
+                    if (stopping_ || draining_ ||
                         submits.size() >=
                             static_cast<std::size_t>(opt_.max_batch) ||
                         (!queue_.empty() &&
@@ -311,38 +467,74 @@ void Server::dispatch_loop() {
                         std::cv_status::timeout) {
                         // Window closed; absorb whatever raced in before
                         // the timeout fired.
-                        while (!queue_.empty() &&
-                               queue_.front().hdr.type == MsgType::submit &&
-                               submits.size() <
-                                   static_cast<std::size_t>(opt_.max_batch)) {
-                            submits.push_back(std::move(queue_.front()));
-                            queue_.pop_front();
-                        }
+                        absorb();
                         break;
                     }
                 }
             }
         }
+        if (drained) {
+            finish_drain();
+            return;
+        }
         if (have_control) {
             handle_control(control);
             if (control.hdr.type == MsgType::shutdown) return;
         } else if (!submits.empty()) {
+            if (fault::enabled() && fault::fire(fault::Site::dispatch_stall))
+                std::this_thread::sleep_for(kDispatchStall);
             dispatch_submits(std::move(submits));
         }
     }
 }
 
 void Server::dispatch_submits(std::vector<Job> batch) {
-    // Partition by system handle, preserving arrival order within each
-    // partition; each partition is ONE Engine::run_batch call, so
-    // batch-compatible scenarios from different clients share one
-    // multi-RHS sweep and incompatible ones still share the handle's
-    // warm caches.
-    std::map<std::uint64_t, std::vector<std::size_t>> by_handle;
-    for (std::size_t i = 0; i < batch.size(); ++i)
-        by_handle[batch[i].handle].push_back(i);
+    // Jobs whose wire deadline expired while queued are shed HERE, before
+    // any Engine work: the reply is deadline_exceeded as data (the same
+    // thing a mid-sweep expiry produces), but the Engine never sees them.
+    {
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<Job> live, expired;
+        live.reserve(batch.size());
+        for (Job& job : batch) {
+            if (job.has_deadline() && now >= job.deadline)
+                expired.push_back(std::move(job));
+            else
+                live.push_back(std::move(job));
+        }
+        batch = std::move(live);
+        // Stats BEFORE replies: the reply is what lets a client observe
+        // the shed, and stats() right after it must already reflect it.
+        if (!expired.empty()) {
+            const util::MutexLock lock(stats_mutex_);
+            stats_.deadline_expired += expired.size();
+        }
+        for (const Job& job : expired) {
+            api::SolveResult res;
+            res.status = {ErrorCode::deadline_exceeded,
+                          "request deadline expired before dispatch"};
+            util::ByteWriter w;
+            encode(w, res);
+            send_frame(*job.conn, MsgType::result, job.hdr.request_id,
+                       w.data());
+            job.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
 
-    for (const auto& [handle, members] : by_handle) {
+    // Partition by (system handle, wire deadline), preserving arrival
+    // order within each partition; each partition is ONE Engine::run_batch
+    // call, so batch-compatible scenarios from different clients share one
+    // multi-RHS sweep and incompatible ones still share the handle's
+    // warm caches.  The deadline is part of the key because run_batch's
+    // budget is sweep-wide: requests with different budgets must not
+    // inherit each other's.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::size_t>>
+        by_handle;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        by_handle[{batch[i].handle, batch[i].deadline_ms}].push_back(i);
+
+    for (const auto& [key, members] : by_handle) {
+        const std::uint64_t handle = key.first;
         std::vector<api::Scenario> scenarios;
         scenarios.reserve(members.size());
         bool materialized = true;
@@ -355,19 +547,49 @@ void Server::dispatch_submits(std::vector<Job> batch) {
             materialized = false;
         }
 
+        // Sweep-wide budget: every member of this partition shares the
+        // same wire deadline_ms (it is in the partition key), so the
+        // tightest ABSOLUTE expiry — the earliest arrival — bounds the
+        // sweep.  An expiry mid-sweep comes back as deadline_exceeded
+        // data via the PR 6 containment path.
+        double budget_seconds = 0.0;
+        if (key.second > 0) {
+            auto earliest = batch[members.front()].deadline;
+            for (const std::size_t i : members)
+                earliest = std::min(earliest, batch[i].deadline);
+            budget_seconds = std::chrono::duration<double>(
+                                 earliest - std::chrono::steady_clock::now())
+                                 .count();
+            // The pre-dispatch shed above ran moments ago; if the clock
+            // crossed the line since, a minimal positive budget makes the
+            // first sweep-step check expire it as data.
+            if (budget_seconds <= 0.0) budget_seconds = 1e-9;
+        }
+
         std::vector<api::SolveResult> results;
         if (materialized) {
             try {
                 api::Engine::BatchOptions bopt;
                 bopt.workers = opt_.batch_workers;
+                bopt.deadline = budget_seconds;
                 results = engine_.run_batch(api::SystemHandle{handle},
                                             scenarios, bopt);
             } catch (...) {
                 // Bad handle (or Engine-level failure): every member gets
-                // the same classified error.
+                // the same classified error.  A deadline that expires in
+                // the SHARED phase of the sweep (before per-member
+                // containment can attribute it) lands here too, so it
+                // still counts as deadline_expired.
                 const Status st = status_from_current_exception();
-                for (const std::size_t i : members)
+                if (st.code == ErrorCode::deadline_exceeded) {
+                    const util::MutexLock lock(stats_mutex_);
+                    stats_.deadline_expired += members.size();
+                }
+                for (const std::size_t i : members) {
                     send_error(*batch[i].conn, batch[i].hdr.request_id, st);
+                    batch[i].conn->inflight.fetch_sub(
+                        1, std::memory_order_relaxed);
+                }
                 continue;
             }
         } else {
@@ -385,20 +607,29 @@ void Server::dispatch_submits(std::vector<Job> batch) {
             }
         }
 
+        // Stats BEFORE replies: a client that reads stats() the moment its
+        // reply lands must already see this sweep accounted for.
+        {
+            std::uint64_t expired_in_sweep = 0;
+            for (const api::SolveResult& res : results)
+                if (res.status.code == ErrorCode::deadline_exceeded)
+                    ++expired_in_sweep;
+            const util::MutexLock lock(stats_mutex_);
+            stats_.requests += members.size();
+            stats_.batches += 1;
+            stats_.deadline_expired += expired_in_sweep;
+            if (members.size() >= 2) stats_.coalesced += members.size();
+            if (members.size() > stats_.largest_batch)
+                stats_.largest_batch = members.size();
+        }
         for (std::size_t k = 0; k < members.size(); ++k) {
             const Job& job = batch[members[k]];
             util::ByteWriter w;
             encode(w, results[k]);
             send_frame(*job.conn, MsgType::result, job.hdr.request_id,
                        w.data());
+            job.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
         }
-
-        const util::MutexLock lock(stats_mutex_);
-        stats_.requests += members.size();
-        stats_.batches += 1;
-        if (members.size() >= 2) stats_.coalesced += members.size();
-        if (members.size() > stats_.largest_batch)
-            stats_.largest_batch = members.size();
     }
 }
 
@@ -409,6 +640,14 @@ void Server::handle_control(Job& job) {
         util::ByteReader r(job.payload.data(), job.payload.size());
         switch (job.hdr.type) {
         case MsgType::hello: {
+            // Minor >= 1 clients append a u8 flag marking an automatic
+            // reconnect after a transport failure (old clients send an
+            // empty body) — the daemon-side signal that peers are seeing
+            // drops.
+            if (!job.payload.empty() && job.payload[0] != 0) {
+                const util::MutexLock lock(stats_mutex_);
+                ++stats_.reconnects_seen;
+            }
             util::ByteWriter w;
             w.u16(kProtoMajor);
             w.u16(std::min(kProtoMinor, job.hdr.ver_minor));
@@ -417,6 +656,7 @@ void Server::handle_control(Job& job) {
         }
         case MsgType::register_descriptor: {
             const api::SystemHandle h = engine_.add_system(decode_descriptor(r));
+            live_handles_.push_back(h.id);
             util::ByteWriter w;
             w.u64(h.id);
             send_frame(conn, MsgType::ok, id, w.data());
@@ -424,13 +664,18 @@ void Server::handle_control(Job& job) {
         }
         case MsgType::register_multiterm: {
             const api::SystemHandle h = engine_.add_system(decode_multiterm(r));
+            live_handles_.push_back(h.id);
             util::ByteWriter w;
             w.u64(h.id);
             send_frame(conn, MsgType::ok, id, w.data());
             break;
         }
         case MsgType::remove_system: {
-            engine_.remove_system(api::SystemHandle{r.u64()});
+            const std::uint64_t h = r.u64();
+            engine_.remove_system(api::SystemHandle{h});
+            live_handles_.erase(
+                std::remove(live_handles_.begin(), live_handles_.end(), h),
+                live_handles_.end());
             send_frame(conn, MsgType::ok, id, {});
             break;
         }

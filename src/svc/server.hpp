@@ -27,6 +27,8 @@
 /// Every reply frame echoes its request_id, so clients may pipeline
 /// requests freely; per-connection writes are serialized by a mutex.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -64,6 +66,26 @@ struct ServerOptions {
     /// Engine::set_cache_capacity value (0 = unlimited): the LRU bound on
     /// how many registered systems keep warm caches.
     std::size_t cache_capacity = 0;
+    /// Admission control: max decoded submits waiting for the dispatcher
+    /// (0 = unbounded).  A submit arriving with the queue full is rejected
+    /// on the reader thread with ErrorCode::overloaded — the client learns
+    /// in one round trip instead of queueing behind work that will miss
+    /// every deadline anyway.
+    std::size_t max_queue = 4096;
+    /// Per-connection in-flight submit bound (0 = unbounded): one
+    /// pipelining client cannot occupy the whole dispatch queue; its
+    /// excess submits are shed with ErrorCode::overloaded.
+    std::size_t max_pending_per_conn = 0;
+    /// SO_SNDTIMEO on accepted sockets, in seconds (0 disables).  A peer
+    /// that stops reading its replies blocks the dispatcher's reply write
+    /// at most this long, then the connection is dropped — one stalled
+    /// reader cannot wedge every other client's dispatch.
+    double write_timeout = 30.0;
+    /// When non-empty, a graceful drain snapshots every registered
+    /// system's warm caches (SolveCaches::save) to
+    /// `<snapshot_dir>/opmsim_h<handle>.snap` before shutdown, so the next
+    /// daemon can warm-start with zero orderings and zero SoE refits.
+    std::string snapshot_dir;
 };
 
 class Server {
@@ -81,6 +103,19 @@ public:
     /// Close the listener and every connection, join all threads.  Safe to
     /// call twice; the destructor calls it.
     void stop();
+
+    /// Begin a graceful drain and return immediately (signal-handler
+    /// friendly): the listener closes, new submits are rejected with
+    /// ErrorCode::unavailable, and once the dispatcher has flushed every
+    /// queued job it writes the optional cache snapshots
+    /// (ServerOptions::snapshot_dir) and signals shutdown — at which point
+    /// wait_for_shutdown() returns and the owner should call stop().
+    /// No-op when the server is not running or already draining/stopping.
+    void begin_drain();
+
+    /// Blocking graceful shutdown: begin_drain(), wait for the dispatcher
+    /// to flush in-flight work and write the auto-snapshot, then stop().
+    void drain();
 
     /// Block until a client's shutdown request arrives (or stop() is
     /// called from another thread).  The daemon main's idle loop.
@@ -103,6 +138,12 @@ private:
         int fd = -1;
         util::Mutex write_mutex;  ///< serializes whole-frame socket writes
         std::thread reader;
+        /// Submits admitted for this connection and not yet replied to —
+        /// the max_pending_per_conn admission counter.  Atomic rather than
+        /// GUARDED_BY: the reader increments, the dispatcher decrements,
+        /// and an off-by-one during the race window only shifts the shed
+        /// threshold by one request.
+        std::atomic<std::uint64_t> inflight{0};
     };
 
     /// One decoded request waiting for the dispatcher.
@@ -115,6 +156,16 @@ private:
         // are rejected before they can stall the dispatcher).
         std::uint64_t handle = 0;
         WireScenario scenario;
+        /// Wire deadline_ms as received (0 = none) — part of the dispatch
+        /// partition key so requests with different budgets never share a
+        /// sweep-wide RunControl.
+        std::uint64_t deadline_ms = 0;
+        /// Absolute expiry (arrival + deadline_ms); epoch means none.
+        std::chrono::steady_clock::time_point deadline{};
+
+        [[nodiscard]] bool has_deadline() const {
+            return deadline.time_since_epoch().count() != 0;
+        }
     };
 
     void accept_loop();
@@ -122,6 +173,9 @@ private:
     void dispatch_loop();
     void handle_control(Job& job);
     void dispatch_submits(std::vector<Job> batch);
+    /// Dispatcher-thread drain epilogue: write the auto-snapshots and
+    /// signal shutdown.
+    void finish_drain();
     void send_frame(Connection& conn, MsgType type, std::uint64_t request_id,
                     const std::vector<std::uint8_t>& payload);
     void send_error(Connection& conn, std::uint64_t request_id,
@@ -152,11 +206,25 @@ private:
     util::Mutex queue_mutex_;
     util::CondVar queue_cv_;
     std::deque<Job> queue_ GUARDED_BY(queue_mutex_);
+    /// Submits currently in queue_ (controls excluded) — the max_queue
+    /// admission counter, maintained by the reader (push) and dispatcher
+    /// (pop) under queue_mutex_.
+    std::size_t queued_submits_ GUARDED_BY(queue_mutex_) = 0;
     bool stopping_ GUARDED_BY(queue_mutex_) = false;
+    /// Graceful-drain flag: readers reject new submits with
+    /// ErrorCode::unavailable, and the dispatcher runs finish_drain() once
+    /// the queue empties.
+    bool draining_ GUARDED_BY(queue_mutex_) = false;
     /// start()/stop() lifecycle flag; shares queue_mutex_ because stop()
     /// already reads it together with stopping_ (a lone unguarded bool
     /// here was a data race between start() and a concurrent stop()).
     bool started_ GUARDED_BY(queue_mutex_) = false;
+
+    /// Handles of currently registered systems, for the drain snapshot.
+    /// Touched only on the dispatcher thread (register/remove control
+    /// handlers, finish_drain), which is also the only Engine user — no
+    /// capability needed, same single-thread contract as engine_.
+    std::vector<std::uint64_t> live_handles_;
 
     /// mutable: stats() is const but must lock.
     mutable util::Mutex stats_mutex_;

@@ -349,7 +349,7 @@ void encode(util::ByteWriter& w, const Status& st) {
 Status decode_status(util::ByteReader& outer) {
     util::ByteReader r = outer.sub_reader();
     Status st;
-    st.code = checked_enum(r, ErrorCode::internal_error, "error code");
+    st.code = checked_enum(r, ErrorCode::unavailable, "error code");
     st.message = r.str();
     return st;
 }
@@ -575,6 +575,12 @@ void encode(util::ByteWriter& w, const ServiceStats& s) {
     w.u64(s.batches);
     w.u64(s.coalesced);
     w.u64(s.largest_batch);
+    // Minor-1 survivability counters — appended at the END of the block so
+    // a minor-0 decoder skips them with the rest of the trailing bytes.
+    w.u64(s.shed);
+    w.u64(s.deadline_expired);
+    w.u64(s.drains);
+    w.u64(s.reconnects_seen);
     w.end_block(tok);
 }
 
@@ -585,6 +591,11 @@ ServiceStats decode_service_stats(util::ByteReader& outer) {
     s.batches = r.u64();
     s.coalesced = r.u64();
     s.largest_batch = r.u64();
+    // A minor-0 encoder stops here; the counters it cannot know stay 0.
+    if (r.remaining() >= 8) s.shed = r.u64();
+    if (r.remaining() >= 8) s.deadline_expired = r.u64();
+    if (r.remaining() >= 8) s.drains = r.u64();
+    if (r.remaining() >= 8) s.reconnects_seen = r.u64();
     return s;
 }
 

@@ -49,18 +49,25 @@ namespace opmsim::svc {
 /// "OPMS" as a little-endian u32.
 inline constexpr std::uint32_t kFrameMagic = 0x534D504F;
 inline constexpr std::uint16_t kProtoMajor = 1;
-inline constexpr std::uint16_t kProtoMinor = 0;
+/// Minor 1 (PR 10) appends: an optional u64 `deadline_ms` after the
+/// scenario in submit bodies, a u8 reconnect flag in hello bodies, and the
+/// {shed, deadline_expired, drains, reconnects_seen} ServiceStats counters.
+/// All are trailing-block additions: a minor-0 peer negotiates them away
+/// (min-wins) and a minor-1 decoder tolerates their absence.
+inline constexpr std::uint16_t kProtoMinor = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 28;
 
 enum class MsgType : std::uint8_t {
-    hello = 0,            ///< client -> server, first frame; body empty
+    hello = 0,            ///< client -> server, first frame; body empty, or
+                          ///<   (minor >= 1) u8 reconnect flag
     hello_ack,            ///< server -> client: u16 major, u16 minor (negotiated)
     ok,                   ///< generic success reply; body depends on request
     error,                ///< failure reply; body = Status
     register_descriptor,  ///< body = DescriptorSystem; ok body = u64 handle
     register_multiterm,   ///< body = MultiTermSystem;  ok body = u64 handle
     remove_system,        ///< body = u64 handle; ok body empty
-    submit,               ///< body = u64 handle + WireScenario
+    submit,               ///< body = u64 handle + WireScenario, then
+                          ///<   (minor >= 1) u64 deadline_ms (0 = none)
     result,               ///< reply to submit; body = SolveResult
     save_caches,          ///< body = u64 handle + str path; ok body empty
     load_caches,          ///< body = u64 handle + str path; ok body empty
@@ -156,12 +163,19 @@ struct WireScenario {
     [[nodiscard]] api::Scenario to_scenario() const;
 };
 
-/// Daemon micro-batching counters (stats_reply body).
+/// Daemon micro-batching + survivability counters (stats_reply body).
+/// The last four are minor-1 additions: the encoder appends them inside
+/// the length-prefixed block and the decoder reads them only when bytes
+/// remain, so minor-0 peers interoperate in both directions.
 struct ServiceStats {
     std::uint64_t requests = 0;       ///< submit frames executed
     std::uint64_t batches = 0;        ///< run_batch sweeps dispatched
     std::uint64_t coalesced = 0;      ///< submits that shared a sweep with >= 1 other
     std::uint64_t largest_batch = 0;  ///< max submits in one sweep
+    std::uint64_t shed = 0;           ///< submits rejected by admission control
+    std::uint64_t deadline_expired = 0;  ///< submits answered deadline_exceeded
+    std::uint64_t drains = 0;            ///< graceful drains begun
+    std::uint64_t reconnects_seen = 0;   ///< hello frames flagged as reconnects
 };
 
 // Struct codecs.  Every encoder writes one length-prefixed block; every

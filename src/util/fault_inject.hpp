@@ -34,6 +34,10 @@ enum class Site : int {
     factor_values,    ///< perturb a factor value after factorization
     history_nan,      ///< corrupt a state row before it enters history
     deadline,         ///< force the cooperative deadline check to expire
+    sock_read_torn,   ///< tear a svc frame mid-payload on the read path
+    sock_write_fail,  ///< fail a svc whole-frame socket write
+    conn_drop,        ///< drop a svc connection after a frame is received
+    dispatch_stall,   ///< stall the svc dispatcher for one round
     site_count_,      ///< sentinel, not a real site
 };
 

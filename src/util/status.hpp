@@ -17,6 +17,10 @@
 ///   deadline_exceeded  BatchOptions::deadline expired mid-solve
 ///   cancelled          the caller's cancellation token was set
 ///   internal_error     anything unclassified (library bug)
+///   overloaded         service admission control shed the request (queue
+///                      or per-connection bound hit); retry after backoff
+///   unavailable        the service is draining toward shutdown; do not
+///                      retry against this instance
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +43,10 @@ enum class ErrorCode : int {
     deadline_exceeded,
     cancelled,
     internal_error,
+    // Service-tier admission codes (PR 10).  Appended so the u8 wire
+    // encoding of every earlier code is unchanged across the minor bump.
+    overloaded,
+    unavailable,
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -52,6 +60,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::deadline_exceeded: return "deadline_exceeded";
     case ErrorCode::cancelled: return "cancelled";
     case ErrorCode::internal_error: return "internal_error";
+    case ErrorCode::overloaded: return "overloaded";
+    case ErrorCode::unavailable: return "unavailable";
     }
     return "?";
 }

@@ -107,7 +107,7 @@ expect_fires(
     "error-code-wire fires on a stale wire decode bound",
     "error-code-wire",
     lambda root: edit(root, "src/svc/wire.cpp",
-                      r'checked_enum\(r, ErrorCode::internal_error, "error code"',
+                      r'checked_enum\(r, ErrorCode::unavailable, "error code"',
                       'checked_enum(r, ErrorCode::cancelled, "error code"'),
     expect_substr="cancelled")
 

@@ -13,12 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <future>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.hpp"
@@ -364,6 +367,154 @@ TEST(SvcServer, RemovedHandleFailsAsDataAndLoadErrorsAreReported) {
     client.ping();
 
     client.close();
+    server.stop();
+}
+
+// ------------------------------------------- stats & lifecycle under load
+
+TEST(SvcServer, StatsAndWaitForShutdownAreSafeUnderConcurrentClients) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("concurrent");
+    svc::Server server(opt);
+    server.start();
+
+    std::uint64_t handle = 0;
+    {
+        svc::Client setup;
+        setup.connect_unix(opt.socket_path);
+        handle = setup.register_system(rc_ladder(8));
+        setup.close();
+    }
+
+    // A thread parked in wait_for_shutdown() (the daemon main's idle
+    // loop), a thread hammering stats(), and three client threads
+    // submitting concurrently — everything must stay data-race free
+    // (this test runs under TSan in CI) and the counters must add up.
+    std::thread waiter([&server] { server.wait_for_shutdown(); });
+    std::atomic<bool> polling{true};
+    std::thread poller([&server, &polling] {
+        while (polling.load()) {
+            const svc::ServiceStats s = server.stats();
+            EXPECT_LE(s.batches, s.requests);
+        }
+    });
+
+    constexpr int kClients = 3, kSubmits = 4;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+        clients.emplace_back([&opt, handle] {
+            svc::Client client;
+            client.connect_unix(opt.socket_path);
+            for (int k = 0; k < kSubmits; ++k) {
+                const api::SolveResult res =
+                    client.submit(handle, base_scenario());
+                EXPECT_TRUE(res.status.ok()) << res.status.message;
+            }
+            client.close();
+        });
+    for (std::thread& t : clients) t.join();
+    polling.store(false);
+    poller.join();
+
+    EXPECT_EQ(server.stats().requests,
+              static_cast<std::uint64_t>(kClients * kSubmits));
+
+    svc::Client last;
+    last.connect_unix(opt.socket_path);
+    last.shutdown_server();
+    waiter.join();  // wait_for_shutdown() saw the client-driven shutdown
+    last.close();
+    server.stop();
+}
+
+namespace {
+
+/// Open descriptors of this process — the fd-leak oracle for failed
+/// start() paths.
+int count_open_fds() {
+    int n = 0;
+    DIR* d = ::opendir("/proc/self/fd");
+    if (d == nullptr) return -1;
+    while (::readdir(d) != nullptr) ++n;
+    ::closedir(d);
+    return n;
+}
+
+} // namespace
+
+TEST(SvcServer, StartFailuresAreCleanAndLeakNeitherFdsNorThreads) {
+    // Bind conflict: a second daemon on an already-taken TCP port.
+    svc::ServerOptions taken;
+    taken.socket_path.clear();
+    taken.tcp_port = 0;
+    svc::Server first(taken);
+    first.start();
+
+    svc::ServerOptions conflict;
+    conflict.socket_path.clear();
+    conflict.tcp_port = first.port();
+    svc::Server second(conflict);
+    const int fds_before = count_open_fds();
+    try {
+        second.start();
+        FAIL() << "start() on a taken port must throw";
+    } catch (const opmsim::solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::internal_error);
+    }
+    EXPECT_EQ(count_open_fds(), fds_before);  // no leaked socket fd
+    first.stop();
+
+    // Unreachable socket path: bind fails before any thread spawns.
+    svc::ServerOptions bad;
+    bad.socket_path = "/nonexistent_opmsim_dir/daemon.sock";
+    svc::Server broken(bad);
+    const int fds_before2 = count_open_fds();
+    try {
+        broken.start();
+        FAIL() << "start() on a bad socket path must throw";
+    } catch (const opmsim::solver_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::internal_error);
+    }
+    EXPECT_EQ(count_open_fds(), fds_before2);
+
+    // Failed starts leave the process fully serviceable: a fresh daemon
+    // on a sane endpoint starts and serves.
+    svc::ServerOptions good;
+    good.socket_path = unique_socket("afterfail");
+    svc::Server healthy(good);
+    healthy.start();
+    svc::Client client;
+    client.connect_unix(good.socket_path);
+    const std::uint64_t h = client.register_system(rc_ladder(4));
+    EXPECT_TRUE(client.submit(h, base_scenario()).status.ok());
+    client.close();
+    healthy.stop();
+}
+
+TEST(SvcServer, ClientFrameCapDropsOversizedRepliesAsTransportFailure) {
+    svc::ServerOptions opt;
+    opt.socket_path = unique_socket("framecap");
+    svc::Server server(opt);
+    server.start();
+
+    // A 64-byte reply cap: the handshake and the register ack fit, but a
+    // solve result cannot — the client must sever the connection rather
+    // than trust the oversized length field.
+    svc::ClientOptions copt;
+    copt.max_frame_bytes = 64;
+    svc::Client client(copt);
+    client.connect_unix(opt.socket_path);
+    const std::uint64_t h = client.register_system(rc_ladder(8));
+
+    const api::SolveResult res = client.submit(h, base_scenario());
+    EXPECT_EQ(res.status.code, ErrorCode::internal_error);
+    client.close();
+
+    // The daemon shrugs off the severed connection.
+    svc::Client normal;
+    normal.connect_unix(opt.socket_path);
+    EXPECT_TRUE(normal.submit(h, base_scenario()).status.ok());
+    normal.close();
     server.stop();
 }
 

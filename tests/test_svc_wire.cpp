@@ -364,7 +364,7 @@ TEST(SvcWire, StatusDiagnosticsAndStatsRoundTrip) {
         EXPECT_EQ(d.soe_fits, dg.soe_fits);
     }
     {
-        const svc::ServiceStats st{11, 4, 7, 5};
+        const svc::ServiceStats st{11, 4, 7, 5, 13, 2, 1, 3};
         util::ByteWriter w;
         svc::encode(w, st);
         const auto b = w.data();
@@ -374,6 +374,69 @@ TEST(SvcWire, StatusDiagnosticsAndStatsRoundTrip) {
         EXPECT_EQ(d.batches, st.batches);
         EXPECT_EQ(d.coalesced, st.coalesced);
         EXPECT_EQ(d.largest_batch, st.largest_batch);
+        EXPECT_EQ(d.shed, st.shed);
+        EXPECT_EQ(d.deadline_expired, st.deadline_expired);
+        EXPECT_EQ(d.drains, st.drains);
+        EXPECT_EQ(d.reconnects_seen, st.reconnects_seen);
+    }
+}
+
+TEST(SvcWire, ServiceStatsFromAMinorZeroEncoderDecodesWithZeroNewCounters) {
+    // A minor-0 peer's stats block ends after largest_batch; the minor-1
+    // survivability counters it cannot know must decode as zero, not as
+    // garbage or a decode error.
+    util::ByteWriter w;
+    {
+        const auto tok = w.begin_block();
+        w.u64(11);
+        w.u64(4);
+        w.u64(7);
+        w.u64(5);
+        w.end_block(tok);
+    }
+    const auto b = w.data();
+    util::ByteReader r(b.data(), b.size());
+    const svc::ServiceStats d = svc::decode_service_stats(r);
+    EXPECT_EQ(d.requests, 11u);
+    EXPECT_EQ(d.largest_batch, 5u);
+    EXPECT_EQ(d.shed, 0u);
+    EXPECT_EQ(d.deadline_expired, 0u);
+    EXPECT_EQ(d.drains, 0u);
+    EXPECT_EQ(d.reconnects_seen, 0u);
+}
+
+TEST(SvcWire, FrameCapFuzzRejectsEveryLengthBeyondTheBound) {
+    // The same decode_frame_header bound protects BOTH directions (server
+    // reader and, since PR 10, the client's receive path): fuzz payload
+    // lengths against a spread of caps — at, below, above and far beyond
+    // each cap must classify cleanly, never allocate, never crash.
+    svc::FrameHeader h;
+    h.type = svc::MsgType::result;
+    h.request_id = 99;
+    const std::size_t caps[] = {0, 1, 64, 4096, kMaxPayload};
+    for (const std::size_t cap : caps) {
+        const std::uint64_t probes[] = {
+            0,
+            1,
+            cap > 0 ? cap - 1 : 0,
+            cap,
+            cap + 1,
+            cap * 2 + 17,
+            std::uint64_t{1} << 40,
+            ~std::uint64_t{0}};
+        for (const std::uint64_t len : probes) {
+            h.payload_len = len;
+            util::ByteWriter w;
+            svc::encode_frame_header(w, h);
+            const ErrorCode code = classify([&] {
+                const svc::FrameHeader d =
+                    svc::decode_frame_header(w.data().data(), w.size(), cap);
+                EXPECT_EQ(d.payload_len, len);
+            });
+            EXPECT_EQ(code, len <= cap ? ErrorCode::ok
+                                       : ErrorCode::invalid_scenario)
+                << "cap " << cap << " len " << len;
+        }
     }
 }
 
